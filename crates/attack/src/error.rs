@@ -1,0 +1,50 @@
+//! Error types for adversarial attacks.
+
+use thiserror::Error;
+
+/// Error produced while configuring or running an attack.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum AttackError {
+    /// The victim network rejected the input (shape mismatch, …).
+    #[error("network error: {0}")]
+    Network(#[from] opad_nn::NnError),
+
+    /// A tensor operation failed.
+    #[error("tensor operation failed: {0}")]
+    Tensor(#[from] opad_tensor::TensorError),
+
+    /// The naturalness/density oracle failed.
+    #[error("operational-profile model error: {0}")]
+    OpModel(#[from] opad_opmodel::OpModelError),
+
+    /// An attack was configured with invalid parameters.
+    #[error("invalid attack configuration: {reason}")]
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+
+    /// The seed input was malformed (not 1-D, empty, …).
+    #[error("invalid seed: {reason}")]
+    InvalidSeed {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: AttackError = opad_tensor::TensorError::Empty { op: "x" }.into();
+        assert!(matches!(e, AttackError::Tensor(_)));
+        let e = AttackError::InvalidConfig {
+            reason: "epsilon must be positive".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

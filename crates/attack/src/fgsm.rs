@@ -1,0 +1,157 @@
+//! The fast gradient sign method.
+
+use crate::outcome::{check_seed, grad_one, predict_one};
+use crate::{Attack, AttackError, AttackOutcome};
+use opad_nn::Network;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// The fast gradient sign method (Goodfellow et al.): one L∞ step of size
+/// ε along the sign of the input gradient.
+///
+/// The cheapest gradient baseline — two model queries per seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fgsm {
+    epsilon: f32,
+    clip: Option<(f32, f32)>,
+}
+
+impl Fgsm {
+    /// Creates an FGSM attack with L∞ budget `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless ε is positive and finite.
+    pub fn new(epsilon: f32) -> Result<Self, AttackError> {
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("epsilon must be positive and finite, got {epsilon}"),
+            });
+        }
+        Ok(Fgsm {
+            epsilon,
+            clip: None,
+        })
+    }
+
+    /// Constrains outputs to the valid input range `[lo, hi]` (e.g. pixel
+    /// space `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `lo >= hi`.
+    pub fn with_clip(mut self, lo: f32, hi: f32) -> Result<Self, AttackError> {
+        if lo >= hi {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("clip range [{lo}, {hi}] is empty"),
+            });
+        }
+        self.clip = Some((lo, hi));
+        Ok(self)
+    }
+
+    /// The ε budget.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> &'static str {
+        "fgsm"
+    }
+
+    fn run(
+        &self,
+        net: &mut Network,
+        seed: &Tensor,
+        label: usize,
+        _rng: &mut StdRng,
+    ) -> Result<AttackOutcome, AttackError> {
+        check_seed(seed)?;
+        let (_, g) = grad_one(net, seed, label)?;
+        let step = g.map(|v| {
+            if v > 0.0 {
+                self.epsilon
+            } else if v < 0.0 {
+                -self.epsilon
+            } else {
+                0.0
+            }
+        });
+        let mut candidate = seed.checked_add(&step)?;
+        if let Some((lo, hi)) = self.clip {
+            candidate = candidate.clamp(lo, hi);
+        }
+        let predicted = predict_one(net, &candidate)?;
+        AttackOutcome::from_candidate(seed, candidate, predicted, label, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{linear_victim, rng};
+
+    #[test]
+    fn config_validation() {
+        assert!(Fgsm::new(0.0).is_err());
+        assert!(Fgsm::new(f32::NAN).is_err());
+        assert!(Fgsm::new(0.1).unwrap().with_clip(1.0, 0.0).is_err());
+        assert_eq!(Fgsm::new(0.1).unwrap().epsilon(), 0.1);
+    }
+
+    #[test]
+    fn flips_a_boundary_point() {
+        // Victim classifies by sign of x₀; a point just right of the
+        // boundary flips with ε = 0.2.
+        let mut net = linear_victim();
+        let seed = Tensor::from_slice(&[0.05, 0.0]);
+        let mut r = rng();
+        let fgsm = Fgsm::new(0.2).unwrap();
+        let out = fgsm.run(&mut net, &seed, 1, &mut r).unwrap();
+        assert!(out.success, "should cross the boundary");
+        assert_eq!(out.predicted, 0);
+        assert!(out.linf <= 0.2 + 1e-5);
+        assert_eq!(out.queries, 2);
+    }
+
+    #[test]
+    fn cannot_flip_far_point_with_small_epsilon() {
+        let mut net = linear_victim();
+        let seed = Tensor::from_slice(&[5.0, 0.0]);
+        let mut r = rng();
+        let out = Fgsm::new(0.1).unwrap().run(&mut net, &seed, 1, &mut r).unwrap();
+        assert!(!out.success);
+        assert_eq!(out.predicted, 1);
+    }
+
+    #[test]
+    fn clip_keeps_candidate_in_range() {
+        let mut net = linear_victim();
+        let seed = Tensor::from_slice(&[0.02, 0.99]);
+        let mut r = rng();
+        let out = Fgsm::new(0.5)
+            .unwrap()
+            .with_clip(0.0, 1.0)
+            .unwrap()
+            .run(&mut net, &seed, 1, &mut r)
+            .unwrap();
+        assert!(out
+            .candidate
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn rejects_bad_seed() {
+        let mut net = linear_victim();
+        let mut r = rng();
+        assert!(Fgsm::new(0.1)
+            .unwrap()
+            .run(&mut net, &Tensor::zeros(&[2, 2]), 0, &mut r)
+            .is_err());
+    }
+}

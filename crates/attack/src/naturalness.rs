@@ -1,0 +1,335 @@
+//! Naturalness oracles — quantified approximations of the "local OP"
+//! (paper Sec. II-b).
+
+use crate::AttackError;
+use opad_opmodel::Density;
+use opad_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Scores how "natural" (operationally plausible) an input is; higher is
+/// more natural. Scores are only compared against thresholds and against
+/// each other, so any monotone scale works.
+pub trait Naturalness {
+    /// The naturalness score of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    fn score(&self, x: &[f32]) -> Result<f64, AttackError>;
+
+    /// Gradient of the score (used by naturalness-*guided* search).
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    fn score_gradient(&self, x: &[f32]) -> Result<Vec<f32>, AttackError>;
+}
+
+/// Naturalness as log-density under an operational-profile density model —
+/// the most literal reading of "naturalness approximates the local OP".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityNaturalness<D> {
+    density: D,
+}
+
+impl<D: Density> DensityNaturalness<D> {
+    /// Wraps a density model.
+    pub fn new(density: D) -> Self {
+        DensityNaturalness { density }
+    }
+
+    /// The wrapped density.
+    pub fn density(&self) -> &D {
+        &self.density
+    }
+}
+
+impl<D: Density> Naturalness for DensityNaturalness<D> {
+    fn score(&self, x: &[f32]) -> Result<f64, AttackError> {
+        Ok(self.density.log_density(x)?)
+    }
+
+    fn score_gradient(&self, x: &[f32]) -> Result<Vec<f32>, AttackError> {
+        Ok(self.density.grad_log_density(x)?)
+    }
+}
+
+/// Naturalness as negative PCA reconstruction error: natural inputs lie
+/// near the training-data manifold spanned by the top principal
+/// components. This is the classical autoencoder-style detector, built
+/// here from a from-scratch PCA (power iteration with deflation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcaNaturalness {
+    mean: Vec<f32>,
+    components: Tensor, // [k, d] orthonormal rows
+}
+
+impl PcaNaturalness {
+    /// Fits a `k`-component PCA on the rows of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `data` is not a matrix with at least 2 rows, or
+    /// `k` exceeds the dimensionality.
+    pub fn fit(data: &Tensor, k: usize) -> Result<Self, AttackError> {
+        if data.rank() != 2 || data.dims()[0] < 2 {
+            return Err(AttackError::InvalidConfig {
+                reason: "PCA needs a [n≥2, d] matrix".into(),
+            });
+        }
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        if k == 0 || k > d {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("k must be in 1..={d}, got {k}"),
+            });
+        }
+        // Mean-centre.
+        let mean_t = data.mean_axis(0)?;
+        let mean: Vec<f32> = mean_t.as_slice().to_vec();
+        // Covariance (d×d), fine for the dimensionalities in this toolkit.
+        let mut cov = vec![0.0f64; d * d];
+        let xs = data.as_slice();
+        for i in 0..n {
+            let row = &xs[i * d..(i + 1) * d];
+            for a in 0..d {
+                let va = (row[a] - mean[a]) as f64;
+                for b in a..d {
+                    let vb = (row[b] - mean[b]) as f64;
+                    cov[a * d + b] += va * vb;
+                }
+            }
+        }
+        for a in 0..d {
+            for b in a..d {
+                let v = cov[a * d + b] / (n - 1) as f64;
+                cov[a * d + b] = v;
+                cov[b * d + a] = v;
+            }
+        }
+        // Power iteration with deflation for the top-k eigenvectors.
+        let mut components = Vec::with_capacity(k * d);
+        let mut deflated = cov;
+        for comp in 0..k {
+            // Deterministic start (varies per component to avoid
+            // pathological orthogonality).
+            let mut v: Vec<f64> = (0..d)
+                .map(|j| if j % (comp + 1) == 0 { 1.0 } else { 0.5 })
+                .collect();
+            normalize(&mut v);
+            let mut eigval = 0.0f64;
+            for _ in 0..200 {
+                let mut w = vec![0.0f64; d];
+                for a in 0..d {
+                    let mut acc = 0.0;
+                    for b in 0..d {
+                        acc += deflated[a * d + b] * v[b];
+                    }
+                    w[a] = acc;
+                }
+                eigval = norm(&w);
+                if eigval < 1e-12 {
+                    break; // rank exhausted: keep current direction
+                }
+                for (vi, wi) in v.iter_mut().zip(&w) {
+                    *vi = wi / eigval;
+                }
+            }
+            // Deflate: C ← C − λ v vᵀ.
+            for a in 0..d {
+                for b in 0..d {
+                    deflated[a * d + b] -= eigval * v[a] * v[b];
+                }
+            }
+            components.extend(v.iter().map(|&x| x as f32));
+        }
+        Ok(PcaNaturalness {
+            mean,
+            components: Tensor::from_vec(components, &[k, d])?,
+        })
+    }
+
+    /// Number of principal components retained.
+    pub fn num_components(&self) -> usize {
+        self.components.dims()[0]
+    }
+
+    /// Squared reconstruction error of `x` under the retained subspace.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    pub fn reconstruction_error(&self, x: &[f32]) -> Result<f64, AttackError> {
+        let d = self.mean.len();
+        if x.len() != d {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("expected dimension {d}, got {}", x.len()),
+            });
+        }
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(&a, &m)| (a - m) as f64).collect();
+        let k = self.num_components();
+        let comps = self.components.as_slice();
+        // ‖c‖² − Σ (vᵀc)²  (Pythagoras in the orthonormal basis).
+        let total: f64 = centered.iter().map(|v| v * v).sum();
+        let mut explained = 0.0f64;
+        for c in 0..k {
+            let proj: f64 = comps[c * d..(c + 1) * d]
+                .iter()
+                .zip(&centered)
+                .map(|(&v, &x)| v as f64 * x)
+                .sum();
+            explained += proj * proj;
+        }
+        Ok((total - explained).max(0.0))
+    }
+}
+
+impl Naturalness for PcaNaturalness {
+    fn score(&self, x: &[f32]) -> Result<f64, AttackError> {
+        Ok(-self.reconstruction_error(x)?)
+    }
+
+    /// Analytic gradient of `−‖(I − VVᵀ)(x − μ)‖²`:
+    /// `−2 (I − VVᵀ)(x − μ)`.
+    fn score_gradient(&self, x: &[f32]) -> Result<Vec<f32>, AttackError> {
+        let d = self.mean.len();
+        if x.len() != d {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("expected dimension {d}, got {}", x.len()),
+            });
+        }
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(&a, &m)| (a - m) as f64).collect();
+        let k = self.num_components();
+        let comps = self.components.as_slice();
+        // residual = c − V Vᵀ c
+        let mut residual = centered.clone();
+        for c in 0..k {
+            let row = &comps[c * d..(c + 1) * d];
+            let proj: f64 = row.iter().zip(&centered).map(|(&v, &x)| v as f64 * x).sum();
+            for (r, &v) in residual.iter_mut().zip(row) {
+                *r -= proj * v as f64;
+            }
+        }
+        Ok(residual.into_iter().map(|r| (-2.0 * r) as f32).collect())
+    }
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_opmodel::{Gmm, GmmComponent};
+    use opad_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn density_naturalness_orders_points() {
+        let gmm = Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0, 0.0],
+            std: 1.0,
+        }])
+        .unwrap();
+        let nat = DensityNaturalness::new(gmm);
+        assert!(nat.score(&[0.0, 0.0]).unwrap() > nat.score(&[3.0, 3.0]).unwrap());
+        let g = nat.score_gradient(&[2.0, 0.0]).unwrap();
+        assert!((g[0] + 2.0).abs() < 1e-5);
+        assert!(nat.score(&[0.0]).is_err());
+    }
+
+    /// Data on a line in 2-D: PCA with 1 component reconstructs on-line
+    /// points perfectly and penalises off-line points.
+    #[test]
+    fn pca_detects_off_manifold_points() {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let t = i as f32 / 10.0 - 2.5;
+            rows.push(Tensor::from_slice(&[t, 2.0 * t]));
+        }
+        let data = Tensor::stack_rows(&rows).unwrap();
+        let pca = PcaNaturalness::fit(&data, 1).unwrap();
+        let on = pca.reconstruction_error(&[1.0, 2.0]).unwrap();
+        let off = pca.reconstruction_error(&[2.0, -1.0]).unwrap();
+        assert!(on < 1e-6, "on-manifold error {on}");
+        assert!(off > 1.0, "off-manifold error {off}");
+        assert!(pca.score(&[1.0, 2.0]).unwrap() > pca.score(&[2.0, -1.0]).unwrap());
+    }
+
+    #[test]
+    fn pca_full_rank_reconstructs_everything() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = Tensor::rand_normal(&[100, 3], 0.0, 1.0, &mut rng);
+        let pca = PcaNaturalness::fit(&data, 3).unwrap();
+        assert_eq!(pca.num_components(), 3);
+        for i in 0..5 {
+            let x = data.row(i).unwrap();
+            let err = pca.reconstruction_error(x.as_slice()).unwrap();
+            assert!(err < 1e-3, "row {i} error {err}");
+        }
+    }
+
+    #[test]
+    fn pca_validation() {
+        let data = Tensor::zeros(&[10, 3]);
+        assert!(PcaNaturalness::fit(&data, 0).is_err());
+        assert!(PcaNaturalness::fit(&data, 4).is_err());
+        assert!(PcaNaturalness::fit(&Tensor::zeros(&[1, 3]), 1).is_err());
+        assert!(PcaNaturalness::fit(&Tensor::zeros(&[5]), 1).is_err());
+        let pca = PcaNaturalness::fit(&data, 2).unwrap();
+        assert!(pca.reconstruction_error(&[0.0]).is_err());
+        assert!(pca.score_gradient(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn pca_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Tensor::rand_normal(&[60, 4], 0.0, 1.0, &mut rng);
+        let pca = PcaNaturalness::fit(&data, 2).unwrap();
+        let x = [0.3f32, -0.7, 1.1, 0.2];
+        let analytic = pca.score_gradient(&x).unwrap();
+        let h = 1e-3f32;
+        for j in 0..4 {
+            let mut xp = x;
+            xp[j] += h;
+            let mut xm = x;
+            xm[j] -= h;
+            let num =
+                ((pca.score(&xp).unwrap() - pca.score(&xm).unwrap()) / (2.0 * h as f64)) as f32;
+            assert!(
+                (num - analytic[j]).abs() < 1e-2,
+                "dim {j}: {num} vs {}",
+                analytic[j]
+            );
+        }
+    }
+
+    #[test]
+    fn pca_components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Anisotropic data so eigenvalues are distinct.
+        let base = Tensor::rand_normal(&[200, 3], 0.0, 1.0, &mut rng);
+        let scale = Tensor::from_vec(vec![3.0, 1.0, 0.3], &[3]).unwrap();
+        let data = base.checked_mul(&scale).unwrap();
+        let pca = PcaNaturalness::fit(&data, 3).unwrap();
+        let c = pca.components.as_slice();
+        for a in 0..3 {
+            for b in 0..3 {
+                let dot: f32 = (0..3).map(|j| c[a * 3 + j] * c[b * 3 + j]).sum();
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3, "⟨v{a}, v{b}⟩ = {dot}");
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Norm balls: the perturbation regions adversarial robustness is defined
+//! over.
+
+use crate::AttackError;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A norm ball of radius ε around a seed input — the region `η` within
+/// which the paper requires prediction invariance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NormBall {
+    /// `‖δ‖∞ ≤ ε`: every feature may move by at most ε.
+    Linf {
+        /// Radius.
+        epsilon: f32,
+    },
+    /// `‖δ‖₂ ≤ ε`: the total Euclidean perturbation is at most ε.
+    L2 {
+        /// Radius.
+        epsilon: f32,
+    },
+}
+
+impl NormBall {
+    /// An L∞ ball of radius ε.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless ε is positive and finite.
+    pub fn linf(epsilon: f32) -> Result<Self, AttackError> {
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("epsilon must be positive and finite, got {epsilon}"),
+            });
+        }
+        Ok(NormBall::Linf { epsilon })
+    }
+
+    /// An L2 ball of radius ε.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless ε is positive and finite.
+    pub fn l2(epsilon: f32) -> Result<Self, AttackError> {
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("epsilon must be positive and finite, got {epsilon}"),
+            });
+        }
+        Ok(NormBall::L2 { epsilon })
+    }
+
+    /// The radius ε.
+    pub fn epsilon(&self) -> f32 {
+        match *self {
+            NormBall::Linf { epsilon } | NormBall::L2 { epsilon } => epsilon,
+        }
+    }
+
+    /// Whether `x` lies within the ball centred at `center` (with a small
+    /// floating-point tolerance).
+    pub fn contains(&self, center: &Tensor, x: &Tensor) -> bool {
+        let Ok(delta) = x.checked_sub(center) else {
+            return false;
+        };
+        let tol = 1e-5;
+        match *self {
+            NormBall::Linf { epsilon } => delta.norm_linf() <= epsilon + tol,
+            NormBall::L2 { epsilon } => delta.norm_l2() <= epsilon + tol,
+        }
+    }
+
+    /// Projects `x` onto the ball centred at `center`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when shapes differ.
+    pub fn project(&self, center: &Tensor, x: &Tensor) -> Result<Tensor, AttackError> {
+        let delta = x.checked_sub(center)?;
+        let clipped = match *self {
+            NormBall::Linf { epsilon } => delta.clamp(-epsilon, epsilon),
+            NormBall::L2 { epsilon } => {
+                let n = delta.norm_l2();
+                if n <= epsilon {
+                    delta
+                } else {
+                    delta.scale(epsilon / n)
+                }
+            }
+        };
+        Ok(center.checked_add(&clipped)?)
+    }
+
+    /// The steepest-ascent step direction for gradient `g` under this
+    /// norm: `sign(g)` for L∞, `g/‖g‖₂` for L2 (zero gradient maps to
+    /// zero).
+    pub fn steepest_step(&self, g: &Tensor) -> Tensor {
+        match *self {
+            NormBall::Linf { .. } => g.map(|v| {
+                if v > 0.0 {
+                    1.0
+                } else if v < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }),
+            NormBall::L2 { .. } => {
+                let n = g.norm_l2();
+                if n > 0.0 {
+                    g.scale(1.0 / n)
+                } else {
+                    g.clone()
+                }
+            }
+        }
+    }
+
+    /// A uniform random point inside the ball centred at `center`.
+    pub fn sample(&self, center: &Tensor, rng: &mut StdRng) -> Tensor {
+        match *self {
+            NormBall::Linf { epsilon } => {
+                let noise = Tensor::rand_uniform(center.dims(), -epsilon, epsilon, rng);
+                center.checked_add(&noise).expect("same shape")
+            }
+            NormBall::L2 { epsilon } => {
+                // Direction uniform on the sphere, radius ∝ u^(1/d).
+                let dir = Tensor::rand_normal(center.dims(), 0.0, 1.0, rng);
+                let n = dir.norm_l2().max(1e-12);
+                let d = center.len() as f32;
+                let r = epsilon * rng.gen::<f32>().powf(1.0 / d);
+                center
+                    .checked_add(&dir.scale(r / n))
+                    .expect("same shape")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(NormBall::linf(0.0).is_err());
+        assert!(NormBall::linf(-1.0).is_err());
+        assert!(NormBall::linf(f32::NAN).is_err());
+        assert!(NormBall::l2(f32::INFINITY).is_err());
+        assert_eq!(NormBall::linf(0.3).unwrap().epsilon(), 0.3);
+        assert_eq!(NormBall::l2(0.5).unwrap().epsilon(), 0.5);
+    }
+
+    #[test]
+    fn contains_and_project_linf() {
+        let ball = NormBall::linf(0.5).unwrap();
+        let c = Tensor::zeros(&[3]);
+        let inside = Tensor::from_slice(&[0.4, -0.2, 0.0]);
+        let outside = Tensor::from_slice(&[0.9, 0.0, -0.7]);
+        assert!(ball.contains(&c, &inside));
+        assert!(!ball.contains(&c, &outside));
+        let proj = ball.project(&c, &outside).unwrap();
+        assert!(ball.contains(&c, &proj));
+        assert_eq!(proj.as_slice(), &[0.5, 0.0, -0.5]);
+        // Projection of an inside point is the identity.
+        assert_eq!(ball.project(&c, &inside).unwrap(), inside);
+    }
+
+    #[test]
+    fn contains_and_project_l2() {
+        let ball = NormBall::l2(1.0).unwrap();
+        let c = Tensor::from_slice(&[1.0, 1.0]);
+        let outside = Tensor::from_slice(&[4.0, 1.0]);
+        assert!(!ball.contains(&c, &outside));
+        let proj = ball.project(&c, &outside).unwrap();
+        assert!(ball.contains(&c, &proj));
+        // Projection keeps the direction: lands at (2, 1).
+        assert!(proj.approx_eq(&Tensor::from_slice(&[2.0, 1.0]), 1e-5));
+    }
+
+    #[test]
+    fn project_rejects_shape_mismatch() {
+        let ball = NormBall::linf(0.5).unwrap();
+        assert!(ball
+            .project(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]))
+            .is_err());
+        assert!(!ball.contains(&Tensor::zeros(&[2]), &Tensor::zeros(&[3])));
+    }
+
+    #[test]
+    fn steepest_step_directions() {
+        let g = Tensor::from_slice(&[3.0, -4.0, 0.0]);
+        let linf = NormBall::linf(1.0).unwrap().steepest_step(&g);
+        assert_eq!(linf.as_slice(), &[1.0, -1.0, 0.0]);
+        let l2 = NormBall::l2(1.0).unwrap().steepest_step(&g);
+        assert!((l2.norm_l2() - 1.0).abs() < 1e-6);
+        assert!((l2.as_slice()[0] - 0.6).abs() < 1e-6);
+        // Zero gradient → zero step.
+        let z = NormBall::l2(1.0).unwrap().steepest_step(&Tensor::zeros(&[3]));
+        assert_eq!(z.norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn samples_stay_inside() {
+        let mut r = rng();
+        let c = Tensor::from_slice(&[1.0, -1.0, 0.5, 2.0]);
+        for ball in [NormBall::linf(0.3).unwrap(), NormBall::l2(0.7).unwrap()] {
+            for _ in 0..200 {
+                let x = ball.sample(&c, &mut r);
+                assert!(ball.contains(&c, &x), "{ball:?} sample escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn l2_samples_fill_the_ball() {
+        // Radius distribution should not concentrate at the centre.
+        let mut r = rng();
+        let c = Tensor::zeros(&[2]);
+        let ball = NormBall::l2(1.0).unwrap();
+        let mean_r: f32 = (0..2000)
+            .map(|_| ball.sample(&c, &mut r).norm_l2())
+            .sum::<f32>()
+            / 2000.0;
+        // Uniform disc in 2-D: E[r] = 2/3.
+        assert!((mean_r - 2.0 / 3.0).abs() < 0.05, "mean radius {mean_r}");
+    }
+}

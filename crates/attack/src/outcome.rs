@@ -1,0 +1,175 @@
+//! Attack results and the common attack interface.
+
+use crate::AttackError;
+use opad_nn::Network;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// The result of attacking one seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Whether an adversarial example (misclassified point in the ball)
+    /// was found.
+    pub success: bool,
+    /// The final candidate input (the adversarial example on success; the
+    /// last iterate otherwise).
+    pub candidate: Tensor,
+    /// The model's predicted label for `candidate`.
+    pub predicted: usize,
+    /// Number of model queries (forward passes and gradient evaluations).
+    pub queries: usize,
+    /// L∞ distance of `candidate` from the seed.
+    pub linf: f32,
+    /// L2 distance of `candidate` from the seed.
+    pub l2: f32,
+}
+
+impl AttackOutcome {
+    /// Builds an outcome, computing the distances from the seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when seed and candidate shapes disagree.
+    pub fn from_candidate(
+        seed: &Tensor,
+        candidate: Tensor,
+        predicted: usize,
+        true_label: usize,
+        queries: usize,
+    ) -> Result<Self, AttackError> {
+        let delta = candidate.checked_sub(seed)?;
+        Ok(AttackOutcome {
+            success: predicted != true_label,
+            candidate,
+            predicted,
+            queries,
+            linf: delta.norm_linf(),
+            l2: delta.norm_l2(),
+        })
+    }
+}
+
+/// A test-case generation (attack) algorithm.
+///
+/// Implementations search the norm ball around a seed for inputs the model
+/// misclassifies. All randomness flows through the supplied RNG so runs
+/// are reproducible.
+pub trait Attack {
+    /// A short identifier for reports ("pgd", "fgsm", …).
+    fn name(&self) -> &'static str;
+
+    /// Attacks a single `[d]` seed with known `label`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatches or oracle errors; a *failed search* is
+    /// not an error (check [`AttackOutcome::success`]).
+    fn run(
+        &self,
+        net: &mut Network,
+        seed: &Tensor,
+        label: usize,
+        rng: &mut StdRng,
+    ) -> Result<AttackOutcome, AttackError>;
+}
+
+impl<T: Attack + ?Sized> Attack for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn run(
+        &self,
+        net: &mut Network,
+        seed: &Tensor,
+        label: usize,
+        rng: &mut StdRng,
+    ) -> Result<AttackOutcome, AttackError> {
+        (**self).run(net, seed, label, rng)
+    }
+}
+
+impl<T: Attack + ?Sized> Attack for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn run(
+        &self,
+        net: &mut Network,
+        seed: &Tensor,
+        label: usize,
+        rng: &mut StdRng,
+    ) -> Result<AttackOutcome, AttackError> {
+        (**self).run(net, seed, label, rng)
+    }
+}
+
+/// Validates that a seed is a nonempty 1-D tensor.
+pub(crate) fn check_seed(seed: &Tensor) -> Result<(), AttackError> {
+    if seed.rank() != 1 || seed.is_empty() {
+        return Err(AttackError::InvalidSeed {
+            reason: format!(
+                "seed must be a nonempty 1-D tensor, got rank {} with {} elements",
+                seed.rank(),
+                seed.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Runs a forward pass on a single example and returns its predicted label.
+pub(crate) fn predict_one(net: &mut Network, x: &Tensor) -> Result<usize, AttackError> {
+    let batch = x.reshape(&[1, x.len()])?;
+    Ok(net.predict_labels(&batch)?[0])
+}
+
+/// Loss and input gradient for a single `[d]` example, returned as `[d]`.
+pub(crate) fn grad_one(
+    net: &mut Network,
+    x: &Tensor,
+    label: usize,
+) -> Result<(f32, Tensor), AttackError> {
+    let batch = x.reshape(&[1, x.len()])?;
+    let (loss, g) = net.loss_and_input_grad(&batch, &[label])?;
+    Ok((loss, g.reshape(&[x.len()])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_distances() {
+        let seed = Tensor::from_slice(&[0.0, 0.0]);
+        let cand = Tensor::from_slice(&[0.3, -0.4]);
+        let o = AttackOutcome::from_candidate(&seed, cand, 1, 0, 7).unwrap();
+        assert!(o.success);
+        assert_eq!(o.queries, 7);
+        assert!((o.l2 - 0.5).abs() < 1e-6);
+        assert!((o.linf - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outcome_failure_when_label_unchanged() {
+        let seed = Tensor::from_slice(&[0.0]);
+        let o = AttackOutcome::from_candidate(&seed, seed.clone(), 2, 2, 1).unwrap();
+        assert!(!o.success);
+        assert_eq!(o.linf, 0.0);
+    }
+
+    #[test]
+    fn outcome_shape_mismatch() {
+        let seed = Tensor::from_slice(&[0.0, 1.0]);
+        assert!(AttackOutcome::from_candidate(&seed, Tensor::zeros(&[3]), 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn seed_validation() {
+        assert!(check_seed(&Tensor::from_slice(&[1.0])).is_ok());
+        assert!(check_seed(&Tensor::zeros(&[2, 2])).is_err());
+        assert!(check_seed(&Tensor::default()).is_err());
+    }
+}

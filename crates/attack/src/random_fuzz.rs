@@ -1,0 +1,151 @@
+//! Gradient-free random fuzzing inside the norm ball — the black-box
+//! baseline.
+
+use crate::outcome::{check_seed, predict_one};
+use crate::{Attack, AttackError, AttackOutcome, NormBall};
+use opad_nn::Network;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform random search in the perturbation ball: draw `trials` points,
+/// return the first misclassified one.
+///
+/// Weak on purpose — it calibrates how much the gradient (and, in the
+/// naturalness-guided fuzzer, the OP) buys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomFuzz {
+    ball: NormBall,
+    trials: usize,
+    clip: Option<(f32, f32)>,
+}
+
+impl RandomFuzz {
+    /// Creates a random fuzzer drawing `trials` candidates from `ball`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `trials` is zero.
+    pub fn new(ball: NormBall, trials: usize) -> Result<Self, AttackError> {
+        if trials == 0 {
+            return Err(AttackError::InvalidConfig {
+                reason: "trials must be nonzero".into(),
+            });
+        }
+        Ok(RandomFuzz {
+            ball,
+            trials,
+            clip: None,
+        })
+    }
+
+    /// Constrains candidates to the valid input range `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `lo >= hi`.
+    pub fn with_clip(mut self, lo: f32, hi: f32) -> Result<Self, AttackError> {
+        if lo >= hi {
+            return Err(AttackError::InvalidConfig {
+                reason: format!("clip range [{lo}, {hi}] is empty"),
+            });
+        }
+        self.clip = Some((lo, hi));
+        Ok(self)
+    }
+
+    /// The trial budget per seed.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+}
+
+impl Attack for RandomFuzz {
+    fn name(&self) -> &'static str {
+        "random-fuzz"
+    }
+
+    fn run(
+        &self,
+        net: &mut Network,
+        seed: &Tensor,
+        label: usize,
+        rng: &mut StdRng,
+    ) -> Result<AttackOutcome, AttackError> {
+        check_seed(seed)?;
+        let mut queries = 0usize;
+        let mut last = seed.clone();
+        let mut last_pred = label;
+        for _ in 0..self.trials {
+            let mut cand = self.ball.sample(seed, rng);
+            if let Some((lo, hi)) = self.clip {
+                cand = cand.clamp(lo, hi);
+            }
+            let pred = predict_one(net, &cand)?;
+            queries += 1;
+            last = cand;
+            last_pred = pred;
+            if pred != label {
+                break;
+            }
+        }
+        AttackOutcome::from_candidate(seed, last, last_pred, label, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{linear_victim, rng};
+
+    #[test]
+    fn config_validation() {
+        let ball = NormBall::linf(0.1).unwrap();
+        assert!(RandomFuzz::new(ball, 0).is_err());
+        assert!(RandomFuzz::new(ball, 5).unwrap().with_clip(2.0, 1.0).is_err());
+        assert_eq!(RandomFuzz::new(ball, 5).unwrap().trials(), 5);
+    }
+
+    #[test]
+    fn finds_easy_boundary_flips() {
+        let mut net = linear_victim();
+        let mut r = rng();
+        // A point so close to the boundary that ~half the ball flips it.
+        let fuzz = RandomFuzz::new(NormBall::linf(0.2).unwrap(), 50).unwrap();
+        let out = fuzz
+            .run(&mut net, &Tensor::from_slice(&[0.01, 0.0]), 1, &mut r)
+            .unwrap();
+        assert!(out.success);
+        assert!(out.queries <= 50);
+    }
+
+    #[test]
+    fn fails_on_robust_points_and_reports_budget() {
+        let mut net = linear_victim();
+        let mut r = rng();
+        let fuzz = RandomFuzz::new(NormBall::linf(0.1).unwrap(), 10).unwrap();
+        let out = fuzz
+            .run(&mut net, &Tensor::from_slice(&[5.0, 0.0]), 1, &mut r)
+            .unwrap();
+        assert!(!out.success);
+        assert_eq!(out.queries, 10, "uses its whole budget");
+    }
+
+    #[test]
+    fn clip_respected() {
+        let mut net = linear_victim();
+        let mut r = rng();
+        let fuzz = RandomFuzz::new(NormBall::linf(0.5).unwrap(), 20)
+            .unwrap()
+            .with_clip(0.0, 1.0)
+            .unwrap();
+        let out = fuzz
+            .run(&mut net, &Tensor::from_slice(&[0.1, 0.9]), 1, &mut r)
+            .unwrap();
+        assert!(out
+            .candidate
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

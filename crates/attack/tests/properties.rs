@@ -1,0 +1,144 @@
+//! Property-based tests for attack invariants: whatever the seed, budget
+//! or victim, candidates stay inside the perturbation ball and the valid
+//! input range.
+
+use opad_attack::{Attack, Fgsm, NormBall, Pgd, RandomFuzz};
+use opad_nn::{Activation, Network};
+use opad_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn victim(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::mlp(&[3, 8, 3], Activation::Tanh, &mut rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linf_projection_is_idempotent_and_sound(
+        center in proptest::collection::vec(-3.0f32..3.0, 4),
+        point in proptest::collection::vec(-6.0f32..6.0, 4),
+        eps in 0.05f32..2.0,
+    ) {
+        let ball = NormBall::linf(eps).unwrap();
+        let c = Tensor::from_slice(&center);
+        let x = Tensor::from_slice(&point);
+        let p = ball.project(&c, &x).unwrap();
+        prop_assert!(ball.contains(&c, &p));
+        let pp = ball.project(&c, &p).unwrap();
+        prop_assert!(p.approx_eq(&pp, 1e-6));
+        // Projection never moves an inside point.
+        if ball.contains(&c, &x) {
+            prop_assert!(p.approx_eq(&x, 1e-6));
+        }
+    }
+
+    #[test]
+    fn l2_projection_preserves_direction(
+        center in proptest::collection::vec(-2.0f32..2.0, 3),
+        point in proptest::collection::vec(-6.0f32..6.0, 3),
+        eps in 0.1f32..2.0,
+    ) {
+        let ball = NormBall::l2(eps).unwrap();
+        let c = Tensor::from_slice(&center);
+        let x = Tensor::from_slice(&point);
+        let p = ball.project(&c, &x).unwrap();
+        prop_assert!(ball.contains(&c, &p));
+        // The projected delta is parallel to the original delta.
+        let d0 = x.checked_sub(&c).unwrap();
+        let d1 = p.checked_sub(&c).unwrap();
+        let cross = d0.as_slice()[0] * d1.as_slice()[1] - d0.as_slice()[1] * d1.as_slice()[0];
+        prop_assert!(cross.abs() < 1e-3 * d0.norm_l2().max(1.0) * d1.norm_l2().max(1.0));
+    }
+
+    #[test]
+    fn ball_samples_never_escape(
+        center in proptest::collection::vec(-3.0f32..3.0, 5),
+        eps in 0.05f32..1.5,
+        seed in 0u64..50,
+    ) {
+        let c = Tensor::from_slice(&center);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for ball in [NormBall::linf(eps).unwrap(), NormBall::l2(eps).unwrap()] {
+            for _ in 0..10 {
+                prop_assert!(ball.contains(&c, &ball.sample(&c, &mut rng)));
+            }
+        }
+    }
+
+    #[test]
+    fn fgsm_stays_in_budget(
+        seed_vec in proptest::collection::vec(-2.0f32..2.0, 3),
+        eps in 0.05f32..0.5,
+        net_seed in 0u64..20,
+        label in 0usize..3,
+    ) {
+        let mut net = victim(net_seed);
+        let mut rng = StdRng::seed_from_u64(net_seed);
+        let seed = Tensor::from_slice(&seed_vec);
+        let out = Fgsm::new(eps).unwrap().run(&mut net, &seed, label, &mut rng).unwrap();
+        prop_assert!(out.linf <= eps + 1e-5);
+        prop_assert_eq!(out.queries, 2);
+    }
+
+    #[test]
+    fn pgd_candidates_in_ball_and_clip_range(
+        seed_vec in proptest::collection::vec(0.1f32..0.9, 3),
+        eps in 0.05f32..0.4,
+        net_seed in 0u64..20,
+        label in 0usize..3,
+    ) {
+        let mut net = victim(net_seed);
+        let mut rng = StdRng::seed_from_u64(net_seed + 7);
+        let seed = Tensor::from_slice(&seed_vec);
+        let ball = NormBall::linf(eps).unwrap();
+        let pgd = Pgd::new(ball, 8, eps / 3.0).unwrap().with_clip(0.0, 1.0).unwrap();
+        let out = pgd.run(&mut net, &seed, label, &mut rng).unwrap();
+        prop_assert!(ball.contains(&seed, &out.candidate));
+        prop_assert!(out.candidate.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(out.queries >= 1);
+        // success flag is consistent with the prediction.
+        prop_assert_eq!(out.success, out.predicted != label);
+    }
+
+    #[test]
+    fn random_fuzz_query_budget_respected(
+        trials in 1usize..30,
+        net_seed in 0u64..20,
+    ) {
+        let mut net = victim(net_seed);
+        let mut rng = StdRng::seed_from_u64(net_seed);
+        let seed = Tensor::from_slice(&[0.0, 0.0, 0.0]);
+        let fuzz = RandomFuzz::new(NormBall::l2(0.5).unwrap(), trials).unwrap();
+        let out = fuzz.run(&mut net, &seed, 0, &mut rng).unwrap();
+        prop_assert!(out.queries <= trials);
+        if !out.success {
+            prop_assert_eq!(out.queries, trials);
+        }
+    }
+
+    #[test]
+    fn outcome_distances_match_candidate(
+        seed_vec in proptest::collection::vec(-1.0f32..1.0, 4),
+        eps in 0.1f32..0.5,
+        net_seed in 0u64..10,
+    ) {
+        let mut net = Network::mlp(
+            &[4, 6, 2],
+            Activation::Relu,
+            &mut StdRng::seed_from_u64(net_seed),
+        ).unwrap();
+        let mut rng = StdRng::seed_from_u64(net_seed);
+        let seed = Tensor::from_slice(&seed_vec);
+        let out = Pgd::new(NormBall::linf(eps).unwrap(), 5, eps / 2.0)
+            .unwrap()
+            .run(&mut net, &seed, 0, &mut rng)
+            .unwrap();
+        let delta = out.candidate.checked_sub(&seed).unwrap();
+        prop_assert!((out.linf - delta.norm_linf()).abs() < 1e-6);
+        prop_assert!((out.l2 - delta.norm_l2()).abs() < 1e-6);
+    }
+}

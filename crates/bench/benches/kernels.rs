@@ -1,0 +1,147 @@
+//! Criterion benchmarks for the hot kernels: the costs that determine how
+//! much testing a wall-clock budget buys (attack steps, density queries,
+//! reliability updates) and the substrate operations underneath them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opad_attack::{Attack, DensityNaturalness, NaturalFuzz, NormBall, Pgd};
+use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
+use opad_nn::{Activation, Network};
+use opad_opmodel::{CentroidPartition, Density, Gmm, GmmComponent, Kde, Partition};
+use opad_reliability::{Beta, CellReliabilityModel};
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    for &n in &[32usize, 128] {
+        let mut r = rng();
+        let a = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut r);
+        let b = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    let mut r = rng();
+    let a = Tensor::rand_normal(&[64, 256], 0.0, 1.0, &mut r);
+    let v = Tensor::rand_normal(&[256], 0.0, 1.0, &mut r);
+    group.bench_function("broadcast_add_64x256", |bench| {
+        bench.iter(|| black_box(a.checked_add(&v).unwrap()))
+    });
+    group.bench_function("sum_axis0_64x256", |bench| {
+        bench.iter(|| black_box(a.sum_axis(0).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    let mut r = rng();
+    let mut net = Network::mlp(&[144, 48, 10], Activation::Relu, &mut r).unwrap();
+    let x = Tensor::rand_uniform(&[32, 144], 0.0, 1.0, &mut r);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    group.bench_function("forward_b32_mlp144", |bench| {
+        bench.iter(|| black_box(net.forward(&x, false).unwrap()))
+    });
+    group.bench_function("input_grad_b32_mlp144", |bench| {
+        bench.iter(|| black_box(net.loss_and_input_grad(&x, &labels).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(20);
+    let mut r = rng();
+    let mut net = Network::mlp(&[2, 24, 3], Activation::Relu, &mut r).unwrap();
+    let seed = Tensor::from_slice(&[0.3, -0.2]);
+    let ball = NormBall::linf(0.3).unwrap();
+    let pgd = Pgd::new(ball, 15, 0.06).unwrap();
+    group.bench_function("pgd_15steps", |bench| {
+        bench.iter(|| black_box(pgd.run(&mut net, &seed, 0, &mut r).unwrap()))
+    });
+    let gmm = Gmm::from_components(vec![GmmComponent {
+        weight: 1.0,
+        mean: vec![0.0, 0.0],
+        std: 1.0,
+    }])
+    .unwrap();
+    let nat = DensityNaturalness::new(gmm);
+    let fuzz = NaturalFuzz::new(&nat, ball, 15, 0.06, 1.5).unwrap();
+    group.bench_function("natural_fuzz_15steps", |bench| {
+        bench.iter(|| black_box(fuzz.run(&mut net, &seed, 0, &mut r).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_opmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opmodel");
+    let mut r = rng();
+    let cfg = GaussianClustersConfig::default();
+    let data = gaussian_clusters(&cfg, 500, &uniform_probs(3), &mut r).unwrap();
+    let kde = Kde::fit_scott(data.features()).unwrap();
+    let gmm = Gmm::fit(data.features(), 3, 10, &mut r).unwrap();
+    let q = [0.5f32, -0.5];
+    group.bench_function("kde_log_density_n500", |bench| {
+        bench.iter(|| black_box(kde.log_density(&q).unwrap()))
+    });
+    group.bench_function("kde_score_n500", |bench| {
+        bench.iter(|| black_box(kde.grad_log_density(&q).unwrap()))
+    });
+    group.bench_function("gmm_log_density_k3", |bench| {
+        bench.iter(|| black_box(gmm.log_density(&q).unwrap()))
+    });
+    let partition = CentroidPartition::fit(data.features(), 16, 20, &mut r).unwrap();
+    group.bench_function("kmeans_assign_k16", |bench| {
+        bench.iter(|| black_box(partition.cell_of(&q).unwrap()))
+    });
+    group.bench_function("kmeans_fit_n500_k16", |bench| {
+        bench.iter(|| {
+            let mut rr = rng();
+            black_box(CentroidPartition::fit(data.features(), 16, 10, &mut rr).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_reliability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reliability");
+    let beta = Beta::new(3.0, 500.0).unwrap();
+    group.bench_function("beta_quantile", |bench| {
+        bench.iter(|| black_box(beta.quantile(0.95).unwrap()))
+    });
+    let op: Vec<f64> = {
+        let raw: Vec<f64> = (0..16).map(|i| 0.7f64.powi(i)).collect();
+        let z: f64 = raw.iter().sum();
+        raw.into_iter().map(|p| p / z).collect()
+    };
+    let mut model = CellReliabilityModel::new(op).unwrap();
+    for i in 0..1000 {
+        model.observe(i % 16, i % 37 == 0).unwrap();
+    }
+    group.bench_function("cell_observe", |bench| {
+        bench.iter(|| {
+            model.observe(black_box(3), black_box(false)).unwrap();
+        })
+    });
+    group.bench_function("pfd_upper_bound_mc1000", |bench| {
+        let mut r = rng();
+        bench.iter(|| black_box(model.pfd_upper_bound(0.95, 1000, &mut r).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_nn,
+    bench_attacks,
+    bench_opmodel,
+    bench_reliability
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! E1 — Train/OP mismatch hurts delivered accuracy (paper Sec. I–II a).
+//!
+//! A model trained on *balanced* data is evaluated under operational
+//! profiles of increasing Zipf skew, on both the clusters and glyphs
+//! datasets. Reported: balanced test accuracy, OP-weighted (delivered)
+//! accuracy, their gap, and the JS divergence between training and
+//! operational class distributions.
+//!
+//! Run with: `cargo run --release -p opad-bench --bin exp1_op_mismatch`
+
+use opad_bench::{build_cluster_world, build_glyph_world, dump_json, print_header, print_row, ClusterWorldConfig};
+use opad_data::{uniform_probs, Corruption};
+use rand::SeedableRng;
+use opad_nn::ConfusionMatrix;
+use opad_opmodel::js_divergence;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    zipf_s: f64,
+    balanced_acc: f64,
+    operational_acc: f64,
+    gap: f64,
+    js_train_op: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("## E1 — delivered accuracy under operational skew\n");
+    print_header(&["dataset", "zipf s", "balanced acc", "operational acc", "gap", "JS(train‖op)"]);
+
+    for &s in &[0.0, 0.5, 1.0, 1.5, 2.0] {
+        // Clusters (harder geometry: overlapping classes).
+        let cfg = ClusterWorldConfig {
+            zipf_s: s,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut w = build_cluster_world(&cfg);
+        let pred = w.net.predict_labels(w.field.features()).unwrap();
+        let cm = ConfusionMatrix::from_predictions(w.field.labels(), &pred, 3).unwrap();
+        let balanced = cm.weighted_accuracy(&uniform_probs(3)).unwrap();
+        let operational = cm.weighted_accuracy(&w.truth_class_probs).unwrap();
+        let js = js_divergence(&uniform_probs(3), &w.truth_class_probs).unwrap();
+        print_row(&[
+            "clusters".into(),
+            format!("{s:.1}"),
+            format!("{balanced:.4}"),
+            format!("{operational:.4}"),
+            format!("{:+.4}", operational - balanced),
+            format!("{js:.4}"),
+        ]);
+        rows.push(Row {
+            dataset: "clusters".into(),
+            zipf_s: s,
+            balanced_acc: balanced,
+            operational_acc: operational,
+            gap: operational - balanced,
+            js_train_op: js,
+        });
+    }
+
+    for &s in &[0.0, 1.0, 2.0] {
+        let (mut net, _train, field, _, _, probs) = build_glyph_world(11, 6, s, 600, 600);
+        // Operation sees environmental corruption the clean test set lacks:
+        // pixel noise + brightness drift (paper footnote 1's benign
+        // perturbations). This is what makes the robustness gap visible on
+        // an otherwise saturated task.
+        let mut crng = rand::rngs::StdRng::seed_from_u64(99);
+        let field = Corruption::GaussianNoise { std: 0.25 }
+            .apply(&field, &mut crng)
+            .unwrap();
+        let field = Corruption::Brightness {
+            delta: 0.15,
+            clamp_unit: true,
+        }
+        .apply(&field, &mut crng)
+        .unwrap();
+        let pred = net.predict_labels(field.features()).unwrap();
+        let cm = ConfusionMatrix::from_predictions(field.labels(), &pred, 6).unwrap();
+        let balanced = cm.weighted_accuracy(&uniform_probs(6)).unwrap();
+        let operational = cm.weighted_accuracy(&probs).unwrap();
+        let js = js_divergence(&uniform_probs(6), &probs).unwrap();
+        print_row(&[
+            "glyphs".into(),
+            format!("{s:.1}"),
+            format!("{balanced:.4}"),
+            format!("{operational:.4}"),
+            format!("{:+.4}", operational - balanced),
+            format!("{js:.4}"),
+        ]);
+        rows.push(Row {
+            dataset: "glyphs".into(),
+            zipf_s: s,
+            balanced_acc: balanced,
+            operational_acc: operational,
+            gap: operational - balanced,
+            js_train_op: js,
+        });
+    }
+
+    println!(
+        "\nReading: at s = 0 the gap is ~0 by construction; as skew grows, the\n\
+         delivered (OP-weighted) accuracy decouples from the balanced figure —\n\
+         the mismatch the paper's testing method is built around."
+    );
+    dump_json("exp1_op_mismatch", &rows);
+}

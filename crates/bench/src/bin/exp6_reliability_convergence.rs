@@ -1,0 +1,105 @@
+//! E6 — RQ5: convergence of the cell-based reliability estimator.
+//!
+//! A synthetic ground truth plants a known per-cell failure probability;
+//! we sweep the number of test demands and the number of cells, and
+//! report the absolute estimation error and the 95% upper bound, plus a
+//! comparison with the partition-free Clopper–Pearson estimator.
+//!
+//! Run with: `cargo run --release -p opad-bench --bin exp6_reliability_convergence`
+
+use opad_bench::{dump_json, print_header, print_row};
+use opad_reliability::{clopper_pearson_upper, CellReliabilityModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cells: usize,
+    demands: usize,
+    true_pfd: f64,
+    est_pfd: f64,
+    abs_error: f64,
+    upper_95: f64,
+    cp_upper_95: f64,
+}
+
+/// Plants a per-cell failure probability: heavy cells are reliable, the
+/// tail is increasingly broken (the shape OP-blind testing gets wrong).
+fn make_truth(cells: usize) -> (Vec<f64>, Vec<f64>) {
+    // OP: geometric-ish decay.
+    let raw: Vec<f64> = (0..cells).map(|i| 0.5f64.powi(i as i32)).collect();
+    let z: f64 = raw.iter().sum();
+    let op: Vec<f64> = raw.into_iter().map(|p| p / z).collect();
+    // Failure probability grows toward the tail.
+    let pfd: Vec<f64> = (0..cells)
+        .map(|i| 0.02 + 0.5 * i as f64 / cells as f64)
+        .collect();
+    (op, pfd)
+}
+
+fn main() {
+    println!("## E6 — reliability-estimator convergence on a planted ground truth\n");
+    print_header(&[
+        "cells", "demands", "true pfd", "est pfd", "|err|", "95% UB", "CP 95% UB",
+    ]);
+    let mut rows = Vec::new();
+
+    for &cells in &[4usize, 16, 64] {
+        let (op, pfd) = make_truth(cells);
+        let true_pfd: f64 = op.iter().zip(&pfd).map(|(&p, &f)| p * f).sum();
+        for &demands in &[100usize, 400, 1600, 6400] {
+            let mut rng = StdRng::seed_from_u64(60 + cells as u64);
+            let mut model = CellReliabilityModel::new(op.clone()).unwrap();
+            let mut failures = 0u64;
+            for _ in 0..demands {
+                // Sample a cell from the OP, then fail by its true rate.
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut cell = cells - 1;
+                for (i, &p) in op.iter().enumerate() {
+                    acc += p;
+                    if u < acc {
+                        cell = i;
+                        break;
+                    }
+                }
+                let failed = rng.gen::<f64>() < pfd[cell];
+                if failed {
+                    failures += 1;
+                }
+                model.observe(cell, failed).unwrap();
+            }
+            let est = model.pfd_mean();
+            let ub = model.pfd_upper_bound(0.95, 3000, &mut rng).unwrap();
+            let cp = clopper_pearson_upper(failures, demands as u64, 0.95).unwrap();
+            print_row(&[
+                format!("{cells}"),
+                format!("{demands}"),
+                format!("{true_pfd:.4}"),
+                format!("{est:.4}"),
+                format!("{:.4}", (est - true_pfd).abs()),
+                format!("{ub:.4}"),
+                format!("{cp:.4}"),
+            ]);
+            rows.push(Row {
+                cells,
+                demands,
+                true_pfd,
+                est_pfd: est,
+                abs_error: (est - true_pfd).abs(),
+                upper_95: ub,
+                cp_upper_95: cp,
+            });
+        }
+        println!("|---|---|---|---|---|---|---|");
+    }
+
+    println!(
+        "\nReading: error shrinks ~1/√n at every cell count; the 95% bound stays\n\
+         above the truth and converges toward it. With many cells and few\n\
+         demands the uniform priors dominate (visible over-estimate at n=100,\n\
+         cells=64) — the cost of fine partitions the paper's RQ5 must balance."
+    );
+    dump_json("exp6_reliability_convergence", &rows);
+}

@@ -1,0 +1,102 @@
+//! E9 (ablation) — the Fig.-1 feedback arrow: does boosting the next
+//! round's seed weights by the reliability model's cell priorities help?
+//!
+//! Two otherwise-identical loops run with `priority_feedback` on/off; we
+//! compare per-round AE discovery, the spread of demands across cells,
+//! and the final pfd. A second block ablates `ae_evidence` (whether
+//! detected AEs count as failed demands in the claim).
+//!
+//! Run with: `cargo run --release -p opad-bench --bin exp9_feedback_ablation`
+
+use opad_attack::{NormBall, Pgd};
+use opad_bench::{build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig};
+use opad_core::{LoopConfig, RetrainConfig, SeedWeighting, TestingLoop};
+use opad_reliability::ReliabilityTarget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    setting: String,
+    round: usize,
+    aes: usize,
+    op_mass: f64,
+    pfd_mean: f64,
+    pfd_upper: f64,
+}
+
+fn main() {
+    let cfg = ClusterWorldConfig {
+        seed: 93,
+        n_field: 900,
+        ..Default::default()
+    };
+    let base = build_cluster_world(&cfg);
+    let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 12, 0.06).unwrap();
+    let mut rows = Vec::new();
+
+    println!("## E9 — ablations of the loop's design choices\n");
+    for (label, feedback, ae_evidence) in [
+        ("feedback on, AE-evidence on", true, true),
+        ("feedback off, AE-evidence on", false, true),
+        ("feedback on, AE-evidence off", true, false),
+    ] {
+        println!("### {label}\n");
+        print_header(&["round", "AEs", "cum. op-mass", "pfd mean", "pfd 90% UB"]);
+        let config = LoopConfig {
+            seeds_per_round: 40,
+            eval_per_round: 150,
+            weighting: SeedWeighting::OpTimesMargin,
+            priority_feedback: feedback,
+            retrain: RetrainConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            ae_evidence,
+            max_rounds: 4,
+            mc_samples: 1000,
+        };
+        let target = ReliabilityTarget::new(1e-9, 0.90).unwrap(); // never stop early
+        let mut lp = TestingLoop::new(
+            base.net.clone(),
+            base.op.clone(),
+            base.partition.clone(),
+            &base.field,
+            target,
+            config,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(9300);
+        for round in 0..4 {
+            let r = lp
+                .run_round(&base.field, &base.train, &attack, &mut rng)
+                .unwrap();
+            print_row(&[
+                format!("{round}"),
+                format!("{}", r.aes_found),
+                format!("{:.3}", r.op_mass_detected),
+                format!("{:.4}", r.pfd_mean),
+                format!("{:.4}", r.pfd_upper),
+            ]);
+            rows.push(Row {
+                setting: label.into(),
+                round,
+                aes: r.aes_found,
+                op_mass: r.op_mass_detected,
+                pfd_mean: r.pfd_mean,
+                pfd_upper: r.pfd_upper,
+            });
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: with feedback on, later rounds chase the cells the claim is\n\
+         still uncertain about — cumulative op-mass should grow at least as\n\
+         fast as without feedback. AE-evidence inflates the measured pfd by\n\
+         design (a conservative, robustness-aware claim); turning it off\n\
+         reveals the operational-demand-only estimate."
+    );
+    dump_json("exp9_feedback_ablation", &rows);
+}

@@ -1,0 +1,115 @@
+//! F1 — the paper's only figure: the five-step iterative workflow.
+//!
+//! Runs one full loop with verbose per-step tracing so the printed output
+//! mirrors Figure 1: (1) learn OP → (2) sample seeds → (3) fuzz →
+//! (4) retrain → (5) assess, with the feedback arrow from 5 back to 2.
+//!
+//! Run with: `cargo run --release -p opad-bench --bin fig1_workflow`
+
+use opad_attack::{DensityNaturalness, NaturalFuzz, NormBall};
+use opad_bench::{build_cluster_world, ClusterWorldConfig};
+use opad_core::{LoopConfig, RetrainConfig, SeedWeighting, TestingLoop};
+use opad_reliability::ReliabilityTarget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = ClusterWorldConfig {
+        seed: 91,
+        n_field: 800,
+        ..Default::default()
+    };
+    println!("┌─ Step 1 (RQ1): learn the operational profile ─────────────────┐");
+    let base = build_cluster_world(&cfg);
+    println!(
+        "│ field data: {} samples, class skew {:?}",
+        base.field.len(),
+        base.field
+            .class_distribution()
+            .iter()
+            .map(|p| (p * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "│ learned OP: class probs {:?}, {}-component GMM density",
+        base.op
+            .class_probs()
+            .iter()
+            .map(|p| (p * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        base.op.density().num_components()
+    );
+    println!("└────────────────────────────────────────────────────────────────┘");
+
+    let naturalness = DensityNaturalness::new(base.op.density().clone());
+    let attack = NaturalFuzz::new(&naturalness, NormBall::linf(0.3).unwrap(), 15, 0.06, 1.5)
+        .unwrap()
+        .with_restarts(2);
+    let target = ReliabilityTarget::new(0.10, 0.90).unwrap();
+    let config = LoopConfig {
+        seeds_per_round: 40,
+        eval_per_round: 150,
+        weighting: SeedWeighting::OpTimesMargin,
+        priority_feedback: true,
+        retrain: RetrainConfig {
+            epochs: 8,
+            ae_boost: 4.0,
+            ..Default::default()
+        },
+        ae_evidence: true,
+        max_rounds: 6,
+        mc_samples: 1500,
+    };
+    let mut lp = TestingLoop::new(
+        base.net,
+        base.op,
+        base.partition,
+        &base.field,
+        target,
+        config,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(9100);
+
+    loop {
+        let round = lp.timeline().rounds().len();
+        if round >= 6 {
+            println!("round budget exhausted without meeting the target");
+            break;
+        }
+        println!("\n═══ loop iteration {round} ═══");
+        println!("┌─ Step 2 (RQ2): weight-based seed sampling (op×margin{}) ─┐",
+            if round > 0 { " × cell-priority feedback" } else { "" });
+        let report = lp
+            .run_round(&base.field, &base.train, &attack, &mut rng)
+            .unwrap();
+        println!("│ attacked {} seeds", report.seeds_attacked);
+        println!("└─ Step 3 (RQ3): naturalness-guided fuzzing ──────────────────┘");
+        println!("   detected {} operational AEs (cumulative op-mass {:.3})",
+            report.aes_found, report.op_mass_detected);
+        println!("┌─ Step 5 (RQ5): reliability assessment ──────────────────────┐");
+        println!(
+            "│ pfd mean {:.4}, 90% upper bound {:.4}, operational accuracy {:.3}",
+            report.pfd_mean, report.pfd_upper, report.op_accuracy
+        );
+        if report.target_met {
+            println!("│ claim `pfd ≤ 0.10 @ 90%` SUPPORTED → stop testing");
+            println!("└──────────────────────────────────────────────────────────────┘");
+            break;
+        }
+        println!("│ claim not yet supported → feedback to step 2 and retrain");
+        println!("└─ Step 4 (RQ4): OP-weighted adversarial retraining ──────────┘");
+    }
+
+    println!("\n─── final summary ───");
+    println!(
+        "rounds: {}, total test cases: {}, operational AEs: {}, target met: {}",
+        lp.timeline().rounds().len(),
+        lp.timeline().total_tests(),
+        lp.corpus().len(),
+        lp.timeline().target_met()
+    );
+    if let Some(imp) = lp.timeline().improvement() {
+        println!("pfd improvement first→last round: {:.1}%", imp * 100.0);
+    }
+}

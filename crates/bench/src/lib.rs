@@ -1,0 +1,125 @@
+//! # opad-bench
+//!
+//! Shared harness for the experiment binaries (`src/bin/exp*.rs`,
+//! `src/bin/fig1_workflow.rs`) that regenerate the evaluation recorded in
+//! `EXPERIMENTS.md`, plus Criterion benches for the hot kernels.
+//!
+//! The paper itself reports no tables (it is a vision paper); the
+//! experiments here realise the evaluation its Section IV commits to.
+//! Everything is seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod world;
+
+pub use campaign::{attack_campaign, density_percentile, CampaignResult, Method};
+pub use world::{build_cluster_world, build_glyph_world, ClusterWorldConfig, World};
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs independent jobs concurrently on a small worker pool (one per CPU,
+/// capped by the job count), returning results in input order.
+///
+/// Every experiment job carries its own seeded RNG and cloned model, so
+/// running them in parallel is bit-for-bit identical to running them
+/// sequentially — this only buys wall-clock time on sweeps.
+///
+/// # Panics
+///
+/// Propagates panics from job closures.
+pub fn run_parallel<T: Send, F: FnOnce() -> T + Send>(jobs: Vec<F>) -> Vec<T> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4)
+        .min(n);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i].lock().take().expect("job taken once");
+                *results[i].lock() = Some(job());
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("job completed"))
+        .collect()
+}
+
+/// Prints a Markdown-style table row with `|`-separated cells.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a table header plus separator.
+pub fn print_header(cols: &[&str]) {
+    print_row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Serialises an experiment's result payload to `results/<name>.json`
+/// (best effort: printing is the primary artefact; failures are reported
+/// but not fatal).
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_and_rows_do_not_panic() {
+        super::print_header(&["a", "b"]);
+        super::print_row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order_and_handles_empty() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..32usize).map(|i| Box::new(move || i * i) as _).collect();
+        let out = super::run_parallel(jobs);
+        assert_eq!(out, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert!(super::run_parallel(empty).is_empty());
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential_for_seeded_work() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mk = |seed: u64| move || StdRng::seed_from_u64(seed).gen::<u64>();
+        let par = super::run_parallel((0..8).map(mk).collect::<Vec<_>>());
+        let seq: Vec<u64> = (0..8).map(|s| mk(s)()).collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,225 @@
+//! Experiment worlds: a trained model, balanced training data, skewed
+//! field data, a learned OP, the ground-truth OP, and a cell partition —
+//! everything an experiment needs, built deterministically from a seed.
+
+use opad_data::{
+    gaussian_clusters, glyphs, uniform_probs, zipf_probs, Dataset, GaussianClustersConfig,
+    GlyphConfig,
+};
+use opad_nn::{Activation, Network, Optimizer, TrainConfig, Trainer};
+use opad_opmodel::{
+    learn_op_gmm, CentroidPartition, Gmm, GmmComponent, OperationalProfile, Partition,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a Gaussian-clusters experiment world.
+#[derive(Debug, Clone)]
+pub struct ClusterWorldConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of classes/clusters.
+    pub num_classes: usize,
+    /// Zipf skew `s` of the operational class distribution (0 = uniform).
+    pub zipf_s: f64,
+    /// Cluster separation.
+    pub separation: f32,
+    /// Cluster standard deviation.
+    pub std: f32,
+    /// Training-set size (balanced).
+    pub n_train: usize,
+    /// Field-data size (skewed).
+    pub n_field: usize,
+    /// Cells in the partition.
+    pub cells: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for ClusterWorldConfig {
+    fn default() -> Self {
+        ClusterWorldConfig {
+            seed: 7,
+            num_classes: 3,
+            zipf_s: 1.5,
+            separation: 2.0,
+            std: 1.0,
+            n_train: 500,
+            n_field: 800,
+            cells: 16,
+            epochs: 30,
+        }
+    }
+}
+
+/// A fully-built experiment world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The trained model under test.
+    pub net: Network,
+    /// Balanced training data.
+    pub train: Dataset,
+    /// Balanced held-out test data — the seed pool OP-ignorant baselines
+    /// attack (standard debug-testing practice).
+    pub test: Dataset,
+    /// Skewed operational (field) data.
+    pub field: Dataset,
+    /// The OP learned from the field data (RQ1 output).
+    pub op: OperationalProfile<Gmm>,
+    /// The *ground-truth* input density (from the generator's own
+    /// parameters) — only experiments may peek at this.
+    pub truth: Gmm,
+    /// The ground-truth class probabilities.
+    pub truth_class_probs: Vec<f64>,
+    /// Cell partition of the input space.
+    pub partition: CentroidPartition,
+    /// Discretised OP over the cells (from field data).
+    pub cell_op: Vec<f64>,
+}
+
+/// Builds a Gaussian-clusters world: balanced training, Zipf-skewed
+/// operation, trained MLP, learned OP, ground-truth density, partition.
+///
+/// # Panics
+///
+/// Panics on internal errors — experiment worlds are built from
+/// known-valid configurations, so failures indicate bugs.
+pub fn build_cluster_world(cfg: &ClusterWorldConfig) -> World {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let gcfg = GaussianClustersConfig {
+        dim: 2,
+        num_classes: cfg.num_classes,
+        separation: cfg.separation,
+        std: cfg.std,
+    };
+    let truth_class_probs = zipf_probs(cfg.num_classes, cfg.zipf_s);
+    let train =
+        gaussian_clusters(&gcfg, cfg.n_train, &uniform_probs(cfg.num_classes), &mut rng).unwrap();
+    let test =
+        gaussian_clusters(&gcfg, cfg.n_field, &uniform_probs(cfg.num_classes), &mut rng).unwrap();
+    let field = gaussian_clusters(&gcfg, cfg.n_field, &truth_class_probs, &mut rng).unwrap();
+    let mut net = Network::mlp(&[2, 24, cfg.num_classes], Activation::Relu, &mut rng).unwrap();
+    Trainer::new(TrainConfig::new(cfg.epochs, 32), Optimizer::adam(0.01))
+        .fit(&mut net, train.features(), train.labels(), None, &mut rng)
+        .unwrap();
+    let op = learn_op_gmm(&field, cfg.num_classes, 20, &mut rng).unwrap();
+    let truth = Gmm::from_components(
+        (0..cfg.num_classes)
+            .map(|c| GmmComponent {
+                weight: truth_class_probs[c],
+                mean: opad_data::cluster_center(&gcfg, c),
+                std: cfg.std as f64,
+            })
+            .collect(),
+    )
+    .unwrap();
+    let partition = CentroidPartition::fit(field.features(), cfg.cells, 25, &mut rng).unwrap();
+    let cell_op = partition.cell_distribution(field.features(), 0.5).unwrap();
+    World {
+        net,
+        train,
+        test,
+        field,
+        op,
+        truth,
+        truth_class_probs,
+        partition,
+        cell_op,
+    }
+}
+
+/// Builds a glyph-image world with an MLP classifier (conv nets are
+/// exercised in the examples; experiments favour speed).
+///
+/// Returns `(net, train, field, partition, cell_op, truth_class_probs)`.
+///
+/// # Panics
+///
+/// Panics on internal errors (known-valid configuration).
+pub fn build_glyph_world(
+    seed: u64,
+    num_classes: usize,
+    zipf_s: f64,
+    n_train: usize,
+    n_field: usize,
+) -> (Network, Dataset, Dataset, CentroidPartition, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gcfg = GlyphConfig {
+        num_classes,
+        ..Default::default()
+    };
+    let truth_probs = zipf_probs(num_classes, zipf_s);
+    let train = glyphs(&gcfg, n_train, &uniform_probs(num_classes), &mut rng).unwrap();
+    let field = glyphs(&gcfg, n_field, &truth_probs, &mut rng).unwrap();
+    let mut net = Network::mlp(
+        &[gcfg.feature_dim(), 48, num_classes],
+        Activation::Relu,
+        &mut rng,
+    )
+    .unwrap();
+    Trainer::new(TrainConfig::new(12, 32), Optimizer::adam(0.005))
+        .fit(&mut net, train.features(), train.labels(), None, &mut rng)
+        .unwrap();
+    let partition = CentroidPartition::fit(field.features(), 12, 15, &mut rng).unwrap();
+    let cell_op = partition.cell_distribution(field.features(), 0.5).unwrap();
+    (net, train, field, partition, cell_op, truth_probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_world_is_consistent() {
+        let cfg = ClusterWorldConfig {
+            n_train: 120,
+            n_field: 150,
+            epochs: 5,
+            cells: 4,
+            ..Default::default()
+        };
+        let mut w = build_cluster_world(&cfg);
+        assert_eq!(w.train.num_classes(), 3);
+        assert_eq!(w.field.num_classes(), 3);
+        assert_eq!(w.cell_op.len(), 4);
+        assert!((w.cell_op.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The model learned something.
+        let acc = w
+            .net
+            .accuracy(w.train.features(), w.train.labels())
+            .unwrap();
+        assert!(acc > 0.6, "train accuracy {acc}");
+        // Ground truth density is valid at a field point.
+        let (x, _) = w.field.sample(0).unwrap();
+        assert!(opad_opmodel::Density::log_density(&w.truth, x.as_slice())
+            .unwrap()
+            .is_finite());
+    }
+
+    #[test]
+    fn cluster_world_deterministic() {
+        let cfg = ClusterWorldConfig {
+            n_train: 60,
+            n_field: 60,
+            epochs: 2,
+            cells: 4,
+            ..Default::default()
+        };
+        let a = build_cluster_world(&cfg);
+        let b = build_cluster_world(&cfg);
+        assert_eq!(a.cell_op, b.cell_op);
+        assert_eq!(a.truth_class_probs, b.truth_class_probs);
+    }
+
+    #[test]
+    fn glyph_world_builds() {
+        let (mut net, train, field, partition, cell_op, probs) =
+            build_glyph_world(1, 4, 1.0, 150, 150);
+        assert_eq!(train.feature_dim(), 144);
+        assert_eq!(field.num_classes(), 4);
+        assert_eq!(cell_op.len(), partition.num_cells());
+        assert_eq!(probs.len(), 4);
+        let acc = net.accuracy(train.features(), train.labels()).unwrap();
+        assert!(acc > 0.7, "glyph accuracy {acc}");
+    }
+}

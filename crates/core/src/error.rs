@@ -1,0 +1,65 @@
+//! Error type for the testing pipeline.
+
+use thiserror::Error;
+
+/// Error produced by the operational testing pipeline.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A tensor operation failed.
+    #[error("tensor operation failed: {0}")]
+    Tensor(#[from] opad_tensor::TensorError),
+
+    /// A network operation failed.
+    #[error("network error: {0}")]
+    Network(#[from] opad_nn::NnError),
+
+    /// A dataset operation failed.
+    #[error("data error: {0}")]
+    Data(#[from] opad_data::DataError),
+
+    /// An operational-profile model failed.
+    #[error("op-model error: {0}")]
+    OpModel(#[from] opad_opmodel::OpModelError),
+
+    /// An attack failed.
+    #[error("attack error: {0}")]
+    Attack(#[from] opad_attack::AttackError),
+
+    /// A reliability-model operation failed.
+    #[error("reliability error: {0}")]
+    Reliability(#[from] opad_reliability::ReliabilityError),
+
+    /// Invalid pipeline configuration.
+    #[error("invalid pipeline configuration: {reason}")]
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+
+    /// The sampler was asked for more seeds than are available or had
+    /// degenerate weights.
+    #[error("cannot sample seeds: {reason}")]
+    CannotSample {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: PipelineError = opad_tensor::TensorError::Empty { op: "x" }.into();
+        assert!(matches!(e, PipelineError::Tensor(_)));
+        let e: PipelineError = opad_nn::NnError::EmptyNetwork.into();
+        assert!(matches!(e, PipelineError::Network(_)));
+        let e = PipelineError::CannotSample {
+            reason: "zero weights".into(),
+        };
+        assert!(e.to_string().contains("zero weights"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

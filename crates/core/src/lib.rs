@@ -1,0 +1,46 @@
+//! # opad-core
+//!
+//! The paper's primary contribution: a testing method for deep-learning
+//! classifiers that detects **operational adversarial examples** — AEs
+//! with a realistic chance of being met in the field — instead of wasting
+//! budget on "5,000-year bugs".
+//!
+//! The five-step iterative workflow of the paper's Figure 1 maps onto:
+//!
+//! 1. **Learn the OP** (RQ1) — `opad_opmodel::learn_op_gmm` /
+//!    `learn_op_kde` over field data;
+//! 2. **Sample seeds** (RQ2) — [`SeedSampler`] with auxiliary-information
+//!    weightings ([`SeedWeighting`]);
+//! 3. **Fuzz** (RQ3) — any `opad_attack::Attack`, canonically
+//!    `opad_attack::NaturalFuzz`;
+//! 4. **Retrain** (RQ4) — [`retrain_with_aes`], OP-weighted;
+//! 5. **Assess** (RQ5) — `opad_reliability::CellReliabilityModel`, whose
+//!    cell priorities feed back into step 2.
+//!
+//! [`TestingLoop`] wires the steps together and iterates until the
+//! reliability target is met.
+//!
+//! # Examples
+//!
+//! ```
+//! use opad_core::{LoopConfig, SeedSampler, SeedWeighting};
+//!
+//! let sampler = SeedSampler::new(SeedWeighting::OpTimesMargin);
+//! assert_eq!(sampler.weighting().name(), "op*margin");
+//! let config = LoopConfig::default();
+//! assert!(config.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod operational_ae;
+mod pipeline;
+mod retrain;
+mod seed_sampler;
+
+pub use error::PipelineError;
+pub use operational_ae::{classify_outcome, AeCorpus, DetectedAe};
+pub use pipeline::{LoopConfig, RoundReport, TestingLoop};
+pub use retrain::{retrain_with_aes, RetrainConfig};
+pub use seed_sampler::{SeedSampler, SeedWeighting};

@@ -1,0 +1,255 @@
+//! Operational adversarial examples — the paper's central definition —
+//! and the corpus of detected ones.
+
+use crate::PipelineError;
+use opad_opmodel::{Density, Partition};
+use opad_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A detected operational adversarial example.
+///
+/// Per the paper: an input `candidate` inside the perturbation ball around
+/// `seed` that the model misclassifies *and* that has non-negligible
+/// probability of being met in operation (quantified by
+/// `op_log_density` and the OP mass of its `cell`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectedAe {
+    /// Index of the seed in the operational dataset it was grown from.
+    pub seed_index: usize,
+    /// The unperturbed seed.
+    pub seed: Tensor,
+    /// The adversarial input.
+    pub candidate: Tensor,
+    /// Ground-truth label of the seed.
+    pub label: usize,
+    /// The (wrong) label the model assigned to `candidate`.
+    pub predicted: usize,
+    /// Log-density of `candidate` under the operational profile.
+    pub op_log_density: f64,
+    /// The OP cell containing `candidate`.
+    pub cell: usize,
+    /// Model queries spent finding it.
+    pub queries: usize,
+}
+
+/// A collection of detected AEs with operational summary statistics.
+///
+/// Detection effectiveness in this toolkit is measured in **OP mass
+/// covered** — the total operational probability of the distinct cells in
+/// which AEs were found — rather than raw AE counts, because fixing ten
+/// AEs in a cell users never visit buys no delivered reliability.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AeCorpus {
+    aes: Vec<DetectedAe>,
+}
+
+impl AeCorpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        AeCorpus::default()
+    }
+
+    /// Adds a detected AE.
+    pub fn push(&mut self, ae: DetectedAe) {
+        self.aes.push(ae);
+    }
+
+    /// All detected AEs.
+    pub fn aes(&self) -> &[DetectedAe] {
+        &self.aes
+    }
+
+    /// Number of detected AEs.
+    pub fn len(&self) -> usize {
+        self.aes.len()
+    }
+
+    /// Whether no AEs were detected.
+    pub fn is_empty(&self) -> bool {
+        self.aes.is_empty()
+    }
+
+    /// Merges another corpus into this one.
+    pub fn extend_from(&mut self, other: &AeCorpus) {
+        self.aes.extend(other.aes.iter().cloned());
+    }
+
+    /// The distinct OP cells in which AEs were found (ordered, so
+    /// summations over it are deterministic).
+    pub fn distinct_cells(&self) -> BTreeSet<usize> {
+        self.aes.iter().map(|ae| ae.cell).collect()
+    }
+
+    /// Total operational probability of the distinct cells hit.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a recorded cell exceeds `cell_op`'s length.
+    pub fn op_mass_detected(&self, cell_op: &[f64]) -> Result<f64, PipelineError> {
+        let mut mass = 0.0;
+        for cell in self.distinct_cells() {
+            let p = cell_op.get(cell).ok_or(PipelineError::InvalidConfig {
+                reason: format!("cell {cell} outside OP vector of length {}", cell_op.len()),
+            })?;
+            mass += p;
+        }
+        Ok(mass)
+    }
+
+    /// Mean log-density of the detected AEs under the OP (`None` when
+    /// empty) — the "operational-ness" of what the method found.
+    pub fn mean_op_log_density(&self) -> Option<f64> {
+        if self.aes.is_empty() {
+            return None;
+        }
+        Some(self.aes.iter().map(|ae| ae.op_log_density).sum::<f64>() / self.aes.len() as f64)
+    }
+
+    /// Total model queries spent across all recorded AEs.
+    pub fn total_queries(&self) -> usize {
+        self.aes.iter().map(|ae| ae.queries).sum()
+    }
+
+    /// Builds a `[n, d]` tensor of the AE inputs and their true labels —
+    /// the retraining payload (RQ4).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the corpus is empty or AEs disagree in dimensionality.
+    pub fn to_training_batch(&self) -> Result<(Tensor, Vec<usize>), PipelineError> {
+        if self.aes.is_empty() {
+            return Err(PipelineError::InvalidConfig {
+                reason: "cannot build a training batch from an empty corpus".into(),
+            });
+        }
+        let rows: Vec<Tensor> = self.aes.iter().map(|ae| ae.candidate.clone()).collect();
+        let x = Tensor::stack_rows(&rows)?;
+        let y = self.aes.iter().map(|ae| ae.label).collect();
+        Ok((x, y))
+    }
+}
+
+impl FromIterator<DetectedAe> for AeCorpus {
+    fn from_iter<I: IntoIterator<Item = DetectedAe>>(iter: I) -> Self {
+        AeCorpus {
+            aes: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Classifies an attack outcome into a [`DetectedAe`], scoring its
+/// operational weight with the given density and cell partition.
+///
+/// Returns `Ok(None)` when the outcome was not a successful attack.
+///
+/// # Errors
+///
+/// Fails when density or partition reject the candidate's dimensionality.
+pub fn classify_outcome<D: Density, P: Partition>(
+    seed_index: usize,
+    seed: &Tensor,
+    label: usize,
+    outcome: &opad_attack::AttackOutcome,
+    density: &D,
+    partition: &P,
+) -> Result<Option<DetectedAe>, PipelineError> {
+    if !outcome.success {
+        return Ok(None);
+    }
+    let x = outcome.candidate.as_slice();
+    let op_log_density = density.log_density(x)?;
+    let cell = partition.cell_of(x)?;
+    Ok(Some(DetectedAe {
+        seed_index,
+        seed: seed.clone(),
+        candidate: outcome.candidate.clone(),
+        label,
+        predicted: outcome.predicted,
+        op_log_density,
+        cell,
+        queries: outcome.queries,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_attack::AttackOutcome;
+    use opad_opmodel::{CentroidPartition, Gmm, GmmComponent};
+
+    fn ae(cell: usize, logd: f64) -> DetectedAe {
+        DetectedAe {
+            seed_index: 0,
+            seed: Tensor::from_slice(&[0.0, 0.0]),
+            candidate: Tensor::from_slice(&[0.1, 0.1]),
+            label: 0,
+            predicted: 1,
+            op_log_density: logd,
+            cell,
+            queries: 10,
+        }
+    }
+
+    #[test]
+    fn corpus_statistics() {
+        let corpus: AeCorpus = vec![ae(0, -1.0), ae(0, -2.0), ae(2, -3.0)].into_iter().collect();
+        assert_eq!(corpus.len(), 3);
+        assert!(!corpus.is_empty());
+        assert_eq!(corpus.distinct_cells().len(), 2);
+        let mass = corpus.op_mass_detected(&[0.5, 0.3, 0.2]).unwrap();
+        assert!((mass - 0.7).abs() < 1e-12);
+        assert!((corpus.mean_op_log_density().unwrap() + 2.0).abs() < 1e-12);
+        assert_eq!(corpus.total_queries(), 30);
+        assert!(corpus.op_mass_detected(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let corpus = AeCorpus::new();
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.op_mass_detected(&[1.0]).unwrap(), 0.0);
+        assert!(corpus.mean_op_log_density().is_none());
+        assert!(corpus.to_training_batch().is_err());
+    }
+
+    #[test]
+    fn merge_and_training_batch() {
+        let mut a: AeCorpus = vec![ae(0, -1.0)].into_iter().collect();
+        let b: AeCorpus = vec![ae(1, -1.5)].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        let (x, y) = a.to_training_batch().unwrap();
+        assert_eq!(x.dims(), &[2, 2]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn classify_scores_successful_outcomes() {
+        let density = Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0, 0.0],
+            std: 1.0,
+        }])
+        .unwrap();
+        let partition = CentroidPartition::from_centroids(
+            Tensor::from_vec(vec![-1.0, 0.0, 1.0, 0.0], &[2, 2]).unwrap(),
+        )
+        .unwrap();
+        let seed = Tensor::from_slice(&[0.9, 0.0]);
+        let success = AttackOutcome::from_candidate(&seed, Tensor::from_slice(&[1.1, 0.0]), 1, 0, 5)
+            .unwrap();
+        let detected = classify_outcome(3, &seed, 0, &success, &density, &partition)
+            .unwrap()
+            .unwrap();
+        assert_eq!(detected.seed_index, 3);
+        assert_eq!(detected.cell, 1);
+        assert!(detected.op_log_density.is_finite());
+
+        let failure =
+            AttackOutcome::from_candidate(&seed, seed.clone(), 0, 0, 5).unwrap();
+        assert!(classify_outcome(3, &seed, 0, &failure, &density, &partition)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -1,0 +1,631 @@
+//! The five-step iterative testing loop of the paper's Figure 1:
+//! learn OP → sample seeds → fuzz → retrain → assess, with assessment
+//! feeding the next round's sampling.
+
+use crate::{
+    classify_outcome, retrain_with_aes, AeCorpus, PipelineError, RetrainConfig, SeedSampler,
+    SeedWeighting,
+};
+use opad_attack::Attack;
+use opad_data::Dataset;
+use opad_nn::Network;
+use opad_opmodel::{CentroidPartition, Density, OperationalProfile, Partition};
+use opad_reliability::{Assessment, CellReliabilityModel, GrowthTimeline, ReliabilityTarget};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the testing loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopConfig {
+    /// Seeds attacked per round (the debug-testing budget).
+    pub seeds_per_round: usize,
+    /// Operational test cases evaluated per round for reliability
+    /// assessment (the statistical-testing budget).
+    pub eval_per_round: usize,
+    /// Seed weighting scheme (RQ2).
+    pub weighting: SeedWeighting,
+    /// Whether round `r+1`'s seed weights are boosted by round `r`'s
+    /// reliability-model cell priorities (the Fig. 1 feedback arrow).
+    pub priority_feedback: bool,
+    /// Retraining configuration (RQ4).
+    pub retrain: RetrainConfig,
+    /// Whether detected AEs are folded into the reliability evidence as
+    /// failed demands (conservative, ReAsDL-style robustness evidence).
+    /// Disable to assess *delivered* reliability from operational demands
+    /// only — AEs then influence the claim solely through retraining.
+    pub ae_evidence: bool,
+    /// Maximum rounds before giving up.
+    pub max_rounds: usize,
+    /// Monte-Carlo draws for the pfd upper bound.
+    pub mc_samples: usize,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig {
+            seeds_per_round: 30,
+            eval_per_round: 200,
+            weighting: SeedWeighting::OpTimesMargin,
+            priority_feedback: true,
+            retrain: RetrainConfig::default(),
+            ae_evidence: true,
+            max_rounds: 5,
+            mc_samples: 2000,
+        }
+    }
+}
+
+impl LoopConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on zero budgets or rounds.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.seeds_per_round == 0 || self.eval_per_round == 0 {
+            return Err(PipelineError::InvalidConfig {
+                reason: "per-round budgets must be nonzero".into(),
+            });
+        }
+        if self.max_rounds == 0 || self.mc_samples == 0 {
+            return Err(PipelineError::InvalidConfig {
+                reason: "max_rounds and mc_samples must be nonzero".into(),
+            });
+        }
+        self.retrain.validate()
+    }
+}
+
+/// Summary of one loop round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index.
+    pub round: usize,
+    /// Seeds attacked.
+    pub seeds_attacked: usize,
+    /// Operational AEs detected this round.
+    pub aes_found: usize,
+    /// OP mass of the distinct cells in which AEs were found (cumulative
+    /// corpus).
+    pub op_mass_detected: f64,
+    /// Posterior-mean pfd before retraining.
+    pub pfd_mean: f64,
+    /// 95% upper credible bound on the pfd before retraining.
+    pub pfd_upper: f64,
+    /// Accuracy on this round's operational evaluation sample.
+    pub op_accuracy: f64,
+    /// Whether the reliability target was met (testing stops).
+    pub target_met: bool,
+}
+
+/// The operational adversarial testing loop (the paper's contribution,
+/// Fig. 1).
+///
+/// Owns the model under test, the (learned) operational profile, the cell
+/// partition, and the reliability model; each [`TestingLoop::run_round`]
+/// performs steps 2–5 of the workflow and records an [`Assessment`].
+#[derive(Debug, Clone)]
+pub struct TestingLoop<D> {
+    net: Network,
+    op: OperationalProfile<D>,
+    partition: CentroidPartition,
+    cell_op: Vec<f64>,
+    reliability: CellReliabilityModel,
+    timeline: GrowthTimeline,
+    corpus: AeCorpus,
+    sampler: SeedSampler,
+    config: LoopConfig,
+    rounds_run: usize,
+}
+
+impl<D: Density> TestingLoop<D> {
+    /// Creates a loop.
+    ///
+    /// `field_data` (the operational dataset) defines the per-cell OP via
+    /// its empirical cell occupancy (Laplace-smoothed).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid config or degenerate field data.
+    pub fn new(
+        net: Network,
+        op: OperationalProfile<D>,
+        partition: CentroidPartition,
+        field_data: &Dataset,
+        target: ReliabilityTarget,
+        config: LoopConfig,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        if field_data.is_empty() {
+            return Err(PipelineError::InvalidConfig {
+                reason: "field data must be nonempty".into(),
+            });
+        }
+        let cell_op = partition.cell_distribution(field_data.features(), 0.5)?;
+        let reliability = CellReliabilityModel::new(cell_op.clone())?;
+        let sampler = SeedSampler::new(config.weighting);
+        Ok(TestingLoop {
+            net,
+            op,
+            partition,
+            cell_op,
+            reliability,
+            timeline: GrowthTimeline::new(target),
+            corpus: AeCorpus::new(),
+            sampler,
+            config,
+            rounds_run: 0,
+        })
+    }
+
+    /// The model under test (read-only).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Consumes the loop, returning the (retrained) model.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+
+    /// The cumulative corpus of detected operational AEs.
+    pub fn corpus(&self) -> &AeCorpus {
+        &self.corpus
+    }
+
+    /// The reliability-growth timeline.
+    pub fn timeline(&self) -> &GrowthTimeline {
+        &self.timeline
+    }
+
+    /// The discretised (per-cell) operational profile.
+    pub fn cell_op(&self) -> &[f64] {
+        &self.cell_op
+    }
+
+    /// The current reliability model.
+    pub fn reliability(&self) -> &CellReliabilityModel {
+        &self.reliability
+    }
+
+    /// Replaces the operational profile mid-loop (RQ1 re-learning after
+    /// drift): recomputes the per-cell OP from `fresh_field_data` and
+    /// resets the reliability evidence, since the old demands were drawn
+    /// from a profile that no longer holds. The AE corpus and the model
+    /// are kept — fixed bugs stay fixed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty data or a degenerate profile.
+    pub fn update_profile(
+        &mut self,
+        op: OperationalProfile<D>,
+        fresh_field_data: &Dataset,
+    ) -> Result<(), PipelineError> {
+        if fresh_field_data.is_empty() {
+            return Err(PipelineError::InvalidConfig {
+                reason: "fresh field data must be nonempty".into(),
+            });
+        }
+        self.cell_op = self
+            .partition
+            .cell_distribution(fresh_field_data.features(), 0.5)?;
+        self.reliability = CellReliabilityModel::new(self.cell_op.clone())?;
+        self.op = op;
+        Ok(())
+    }
+
+    /// Runs one round: sample seeds (RQ2) → attack (RQ3) → assess (RQ5)
+    /// → retrain (RQ4). Seeds are drawn from `field_data` itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling, attack, assessment and retraining failures.
+    pub fn run_round<A: Attack>(
+        &mut self,
+        field_data: &Dataset,
+        train_data: &Dataset,
+        attack: &A,
+        rng: &mut StdRng,
+    ) -> Result<RoundReport, PipelineError> {
+        self.run_round_with_pool(field_data, field_data, train_data, attack, rng)
+    }
+
+    /// Like [`TestingLoop::run_round`] but draws attack seeds from a
+    /// separate `seed_pool` (e.g. a balanced test set, to reproduce
+    /// OP-ignorant baselines) while reliability evaluation still uses the
+    /// operational `field_data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling, attack, assessment and retraining failures.
+    pub fn run_round_with_pool<A: Attack>(
+        &mut self,
+        seed_pool: &Dataset,
+        field_data: &Dataset,
+        train_data: &Dataset,
+        attack: &A,
+        rng: &mut StdRng,
+    ) -> Result<RoundReport, PipelineError> {
+        let round = self.rounds_run;
+        // ---- Step 2: weight-based seed sampling. ----
+        let mut weights = self
+            .sampler
+            .weights(&mut self.net, seed_pool, Some(self.op.density()))?;
+        if self.config.priority_feedback && round > 0 {
+            let priority = self.reliability.cell_priority();
+            self.sampler
+                .apply_cell_priority(&mut weights, seed_pool, &self.partition, &priority)?;
+        }
+        let k = self.config.seeds_per_round.min(seed_pool.len());
+        let seed_idx = self.sampler.sample(&weights, k, rng)?;
+
+        // ---- Step 3: naturalness-guided fuzzing around each seed. ----
+        let mut round_corpus = AeCorpus::new();
+        let d = seed_pool.feature_dim();
+        for &i in &seed_idx {
+            let (seed, label) = seed_pool.sample(i)?;
+            let outcome = attack.run(&mut self.net, &seed, label, rng)?;
+            // The seed itself is an operational demand.
+            let seed_cell = self
+                .partition
+                .cell_of(&seed_pool.features().as_slice()[i * d..(i + 1) * d])?;
+            let seed_pred = {
+                let batch = seed.reshape(&[1, d])?;
+                self.net.predict_labels(&batch)?[0]
+            };
+            self.reliability.observe(seed_cell, seed_pred != label)?;
+            if let Some(ae) =
+                classify_outcome(i, &seed, label, &outcome, self.op.density(), &self.partition)?
+            {
+                if self.config.ae_evidence {
+                    self.reliability.observe(ae.cell, true)?;
+                }
+                round_corpus.push(ae);
+            }
+        }
+        let aes_found = round_corpus.len();
+        self.corpus.extend_from(&round_corpus);
+
+        // ---- Step 5a: operational evaluation (statistical testing). ----
+        let mut correct = 0usize;
+        for _ in 0..self.config.eval_per_round {
+            let i = rng.gen_range(0..field_data.len());
+            let (x, label) = field_data.sample(i)?;
+            let cell = self.partition.cell_of(x.as_slice())?;
+            let pred = {
+                let batch = x.reshape(&[1, d])?;
+                self.net.predict_labels(&batch)?[0]
+            };
+            let failed = pred != label;
+            self.reliability.observe(cell, failed)?;
+            if !failed {
+                correct += 1;
+            }
+        }
+        let op_accuracy = correct as f64 / self.config.eval_per_round as f64;
+
+        // ---- Step 5b: reliability claim and stopping rule. ----
+        let pfd_mean = self.reliability.pfd_mean();
+        let pfd_upper = self
+            .reliability
+            .pfd_upper_bound(self.timeline.target().confidence, self.config.mc_samples, rng)?;
+        self.timeline.record(Assessment {
+            round,
+            pfd_mean,
+            pfd_upper,
+            tests_spent: k + self.config.eval_per_round,
+            aes_found,
+        })?;
+        let target_met = self.timeline.target_met();
+
+        // ---- Step 4: retrain on the cumulative corpus (skipped once the
+        // target is met — testing stops). ----
+        if !target_met {
+            retrain_with_aes(
+                &mut self.net,
+                train_data,
+                &self.corpus,
+                Some(self.op.density()),
+                &self.config.retrain,
+                rng,
+            )?;
+            // Evidence gathered against the old model no longer applies.
+            self.reliability = CellReliabilityModel::new(self.cell_op.clone())?;
+        }
+
+        self.rounds_run += 1;
+        Ok(RoundReport {
+            round,
+            seeds_attacked: k,
+            aes_found,
+            op_mass_detected: self.corpus.op_mass_detected(&self.cell_op)?,
+            pfd_mean,
+            pfd_upper,
+            op_accuracy,
+            target_met,
+        })
+    }
+
+    /// Runs rounds until the reliability target is met or `max_rounds` is
+    /// exhausted; returns one report per round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run<A: Attack>(
+        &mut self,
+        field_data: &Dataset,
+        train_data: &Dataset,
+        attack: &A,
+        rng: &mut StdRng,
+    ) -> Result<Vec<RoundReport>, PipelineError> {
+        let mut reports = Vec::new();
+        for _ in 0..self.config.max_rounds {
+            let report = self.run_round(field_data, train_data, attack, rng)?;
+            let done = report.target_met;
+            reports.push(report);
+            if done {
+                break;
+            }
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_attack::{NormBall, Pgd};
+    use opad_data::{gaussian_clusters, uniform_probs, zipf_probs, GaussianClustersConfig};
+    use opad_nn::{Activation, Optimizer, TrainConfig, Trainer};
+    use opad_opmodel::learn_op_gmm;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    struct Fixture {
+        net: Network,
+        train: Dataset,
+        field: Dataset,
+        op: OperationalProfile<opad_opmodel::Gmm>,
+        partition: CentroidPartition,
+    }
+
+    fn fixture() -> Fixture {
+        let mut r = rng();
+        let cfg = GaussianClustersConfig::default();
+        let train = gaussian_clusters(&cfg, 240, &uniform_probs(3), &mut r).unwrap();
+        let field = gaussian_clusters(&cfg, 400, &zipf_probs(3, 1.5), &mut r).unwrap();
+        let mut net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut r).unwrap();
+        let mut trainer = Trainer::new(TrainConfig::new(20, 32), Optimizer::adam(0.01));
+        trainer
+            .fit(&mut net, train.features(), train.labels(), None, &mut r)
+            .unwrap();
+        let op = learn_op_gmm(&field, 3, 15, &mut r).unwrap();
+        let partition = CentroidPartition::fit(field.features(), 8, 20, &mut r).unwrap();
+        Fixture {
+            net,
+            train,
+            field,
+            op,
+            partition,
+        }
+    }
+
+    fn small_config() -> LoopConfig {
+        LoopConfig {
+            seeds_per_round: 10,
+            eval_per_round: 50,
+            max_rounds: 2,
+            mc_samples: 500,
+            retrain: RetrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LoopConfig::default().validate().is_ok());
+        let bad = LoopConfig {
+            seeds_per_round: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = LoopConfig {
+            max_rounds: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn loop_construction_validates() {
+        let f = fixture();
+        let target = ReliabilityTarget::new(0.05, 0.95).unwrap();
+        let empty = Dataset::new(opad_tensor::Tensor::zeros(&[1, 2]), vec![0], 3).unwrap();
+        let sel = empty.select(&[0]).unwrap(); // 1-sample data is fine
+        assert!(TestingLoop::new(
+            f.net.clone(),
+            f.op.clone(),
+            f.partition.clone(),
+            &sel,
+            target,
+            small_config()
+        )
+        .is_ok());
+        let bad_cfg = LoopConfig {
+            eval_per_round: 0,
+            ..small_config()
+        };
+        assert!(TestingLoop::new(f.net, f.op, f.partition, &f.field, target, bad_cfg).is_err());
+    }
+
+    #[test]
+    fn one_round_produces_a_report() {
+        let f = fixture();
+        let target = ReliabilityTarget::new(1e-4, 0.95).unwrap(); // hard target: won't stop
+        let mut lp = TestingLoop::new(
+            f.net,
+            f.op,
+            f.partition,
+            &f.field,
+            target,
+            small_config(),
+        )
+        .unwrap();
+        let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap();
+        let mut r = rng();
+        let report = lp.run_round(&f.field, &f.train, &attack, &mut r).unwrap();
+        assert_eq!(report.round, 0);
+        assert_eq!(report.seeds_attacked, 10);
+        assert!(report.pfd_upper >= report.pfd_mean);
+        assert!(report.op_accuracy > 0.5, "accuracy {}", report.op_accuracy);
+        assert!(!report.target_met);
+        assert_eq!(lp.timeline().rounds().len(), 1);
+        // OP mass detected is a probability.
+        assert!((0.0..=1.0).contains(&report.op_mass_detected));
+    }
+
+    #[test]
+    fn full_run_respects_max_rounds_and_orders_reports() {
+        let f = fixture();
+        let target = ReliabilityTarget::new(1e-6, 0.99).unwrap(); // unreachable
+        let mut lp = TestingLoop::new(
+            f.net,
+            f.op,
+            f.partition,
+            &f.field,
+            target,
+            small_config(),
+        )
+        .unwrap();
+        let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 8, 0.08).unwrap();
+        let mut r = rng();
+        let reports = lp.run(&f.field, &f.train, &attack, &mut r).unwrap();
+        assert_eq!(reports.len(), 2); // max_rounds
+        assert_eq!(reports[0].round, 0);
+        assert_eq!(reports[1].round, 1);
+        assert_eq!(lp.timeline().total_tests(), 2 * (10 + 50));
+    }
+
+    #[test]
+    fn easy_target_stops_early() {
+        let f = fixture();
+        // A very lax target: pfd ≤ 0.9 — met in round 0 for a decent model.
+        let target = ReliabilityTarget::new(0.9, 0.9).unwrap();
+        let mut lp = TestingLoop::new(
+            f.net,
+            f.op,
+            f.partition,
+            &f.field,
+            target,
+            LoopConfig {
+                max_rounds: 5,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        let attack = Pgd::new(NormBall::linf(0.2).unwrap(), 5, 0.08).unwrap();
+        let mut r = rng();
+        let reports = lp.run(&f.field, &f.train, &attack, &mut r).unwrap();
+        assert_eq!(reports.len(), 1, "should stop after the first round");
+        assert!(reports[0].target_met);
+    }
+
+    #[test]
+    fn corpus_accumulates_across_rounds() {
+        let f = fixture();
+        let target = ReliabilityTarget::new(1e-6, 0.99).unwrap();
+        let mut lp = TestingLoop::new(
+            f.net,
+            f.op,
+            f.partition,
+            &f.field,
+            target,
+            LoopConfig {
+                max_rounds: 3,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        // A strong attack so AEs are plentiful.
+        let attack = Pgd::new(NormBall::linf(0.5).unwrap(), 15, 0.1).unwrap();
+        let mut r = rng();
+        let reports = lp.run(&f.field, &f.train, &attack, &mut r).unwrap();
+        let per_round: usize = reports.iter().map(|x| x.aes_found).sum();
+        assert_eq!(lp.corpus().len(), per_round);
+    }
+
+    #[test]
+    fn update_profile_resets_evidence_but_keeps_corpus() {
+        let f = fixture();
+        let target = ReliabilityTarget::new(1e-5, 0.95).unwrap();
+        let mut lp = TestingLoop::new(
+            f.net,
+            f.op.clone(),
+            f.partition,
+            &f.field,
+            target,
+            small_config(),
+        )
+        .unwrap();
+        let attack = Pgd::new(NormBall::linf(0.4).unwrap(), 12, 0.08).unwrap();
+        let mut r = rng();
+        lp.run_round(&f.field, &f.train, &attack, &mut r).unwrap();
+        let corpus_before = lp.corpus().len();
+        let old_cell_op = lp.cell_op().to_vec();
+
+        // Drifted field data: heavily skewed to another class.
+        let cfg = GaussianClustersConfig::default();
+        let mut r2 = StdRng::seed_from_u64(77);
+        let drifted =
+            gaussian_clusters(&cfg, 400, &[0.05, 0.15, 0.8], &mut r2).unwrap();
+        lp.update_profile(f.op, &drifted).unwrap();
+        assert_eq!(lp.corpus().len(), corpus_before, "corpus survives drift");
+        assert_ne!(lp.cell_op(), &old_cell_op[..], "cell OP refreshed");
+        assert_eq!(lp.reliability().total_demands(), 0, "evidence reset");
+        // The loop keeps running against the new profile.
+        let report = lp.run_round(&drifted, &f.train, &attack, &mut r).unwrap();
+        assert!(report.pfd_upper >= report.pfd_mean);
+
+        let empty = Dataset::new(opad_tensor::Tensor::zeros(&[1, 2]), vec![0], 3).unwrap();
+        let one = empty.select(&[0]).unwrap();
+        drop(one);
+        // Empty data rejected.
+        let bad = Dataset::new(opad_tensor::Tensor::zeros(&[0, 2]), vec![], 3).unwrap();
+        assert!(lp
+            .update_profile(
+                opad_opmodel::learn_op_gmm(&drifted, 3, 5, &mut r2).unwrap(),
+                &bad
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let f = fixture();
+            let target = ReliabilityTarget::new(1e-4, 0.95).unwrap();
+            let mut lp = TestingLoop::new(
+                f.net,
+                f.op,
+                f.partition,
+                &f.field,
+                target,
+                small_config(),
+            )
+            .unwrap();
+            let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap();
+            let mut r = rng();
+            lp.run_round(&f.field, &f.train, &attack, &mut r).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

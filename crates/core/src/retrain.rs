@@ -1,0 +1,325 @@
+//! OP-aware adversarial retraining (RQ4): fold the detected operational
+//! AEs back into training, weighting every sample by its operational
+//! likelihood.
+
+use crate::{AeCorpus, PipelineError};
+use opad_data::Dataset;
+use opad_nn::{Network, Optimizer, TrainConfig, TrainReport, Trainer};
+use opad_opmodel::Density;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`retrain_with_aes`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainConfig {
+    /// Retraining epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate (SGD).
+    pub learning_rate: f32,
+    /// Whether per-sample weights follow the OP density (the paper's
+    /// proposal); `false` gives standard adversarial training.
+    pub op_weighted: bool,
+    /// Extra multiplicative weight on AE samples relative to clean ones.
+    pub ae_boost: f32,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            learning_rate: 0.05,
+            op_weighted: true,
+            ae_boost: 2.0,
+        }
+    }
+}
+
+impl RetrainConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on zero epochs/batch, non-positive learning rate, or a
+    /// non-positive AE boost.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.epochs == 0 || self.batch_size == 0 {
+            return Err(PipelineError::InvalidConfig {
+                reason: "epochs and batch_size must be nonzero".into(),
+            });
+        }
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!("learning rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if self.ae_boost <= 0.0 || !self.ae_boost.is_finite() {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!("ae_boost must be positive, got {}", self.ae_boost),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Retrains `net` on the base training set augmented with the detected
+/// AEs (labelled with their ground-truth classes).
+///
+/// With `op_weighted`, each sample's loss weight is proportional to its
+/// density under the OP (normalised to mean 1), so the model spends its
+/// capacity where operation will exercise it; AE samples additionally get
+/// `ae_boost`. An empty corpus simply fine-tunes on the base data.
+///
+/// # Errors
+///
+/// Fails on invalid config, schema mismatches, or training errors.
+pub fn retrain_with_aes<D: Density>(
+    net: &mut Network,
+    base: &Dataset,
+    corpus: &AeCorpus,
+    op: Option<&D>,
+    cfg: &RetrainConfig,
+    rng: &mut StdRng,
+) -> Result<TrainReport, PipelineError> {
+    cfg.validate()?;
+    if cfg.op_weighted && op.is_none() {
+        return Err(PipelineError::InvalidConfig {
+            reason: "op_weighted retraining needs an OP density".into(),
+        });
+    }
+    // Assemble the augmented batch.
+    let d = base.feature_dim();
+    let mut data = base.features().as_slice().to_vec();
+    let mut labels = base.labels().to_vec();
+    let mut is_ae = vec![false; base.len()];
+    if !corpus.is_empty() {
+        let (ae_x, ae_y) = corpus.to_training_batch()?;
+        if ae_x.dims()[1] != d {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "AE dimensionality {} does not match training data {d}",
+                    ae_x.dims()[1]
+                ),
+            });
+        }
+        data.extend_from_slice(ae_x.as_slice());
+        labels.extend_from_slice(&ae_y);
+        is_ae.extend(std::iter::repeat_n(true, ae_y.len()));
+    }
+    let n = labels.len();
+    let x = opad_tensor::Tensor::from_vec(data, &[n, d])?;
+
+    // Per-sample weights.
+    let weights: Option<Vec<f32>> = if cfg.op_weighted {
+        let density = op.expect("checked above");
+        let mut logs = Vec::with_capacity(n);
+        for i in 0..n {
+            logs.push(density.log_density(&x.as_slice()[i * d..(i + 1) * d])?);
+        }
+        let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut w: Vec<f64> = logs.into_iter().map(|l| (l - m).exp()).collect();
+        for (wi, &ae) in w.iter_mut().zip(&is_ae) {
+            if ae {
+                *wi *= cfg.ae_boost as f64;
+            }
+        }
+        // Normalise to mean 1 so the learning rate keeps its meaning.
+        let mean = w.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            None
+        } else {
+            Some(w.into_iter().map(|v| (v / mean) as f32).collect())
+        }
+    } else if corpus.is_empty() {
+        None
+    } else {
+        Some(
+            is_ae
+                .iter()
+                .map(|&ae| if ae { cfg.ae_boost } else { 1.0 })
+                .collect(),
+        )
+    };
+
+    let mut trainer = Trainer::new(
+        TrainConfig::new(cfg.epochs, cfg.batch_size),
+        Optimizer::sgd(cfg.learning_rate),
+    );
+    Ok(trainer.fit(net, &x, &labels, weights.as_deref(), rng)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetectedAe;
+    use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
+    use opad_nn::Activation;
+    use opad_opmodel::{Gmm, GmmComponent};
+    use opad_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn origin_op() -> Gmm {
+        Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0, 0.0],
+            std: 3.0,
+        }])
+        .unwrap()
+    }
+
+    fn setup() -> (Network, Dataset) {
+        let mut r = rng();
+        let cfg = GaussianClustersConfig::default();
+        let data = gaussian_clusters(&cfg, 150, &uniform_probs(3), &mut r).unwrap();
+        let mut net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut r).unwrap();
+        let mut trainer = Trainer::new(TrainConfig::new(15, 32), Optimizer::adam(0.01));
+        trainer
+            .fit(
+                &mut net,
+                data.features(),
+                data.labels(),
+                None,
+                &mut r,
+            )
+            .unwrap();
+        (net, data)
+    }
+
+    fn fake_ae(x: &[f32], label: usize) -> DetectedAe {
+        DetectedAe {
+            seed_index: 0,
+            seed: Tensor::from_slice(x),
+            candidate: Tensor::from_slice(x),
+            label,
+            predicted: (label + 1) % 3,
+            op_log_density: -1.0,
+            cell: 0,
+            queries: 1,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RetrainConfig::default().validate().is_ok());
+        let bad = RetrainConfig {
+            epochs: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RetrainConfig {
+            learning_rate: -0.1,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RetrainConfig {
+            ae_boost: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn op_weighted_requires_density() {
+        let (mut net, data) = setup();
+        let cfg = RetrainConfig::default();
+        let mut r = rng();
+        assert!(matches!(
+            retrain_with_aes::<Gmm>(&mut net, &data, &AeCorpus::new(), None, &cfg, &mut r),
+            Err(PipelineError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn retraining_fixes_the_injected_aes() {
+        let (mut net, data) = setup();
+        // Manufacture "AEs": points the model currently gets wrong.
+        let mut r = rng();
+        let preds = net.predict_labels(data.features()).unwrap();
+        let mut corpus = AeCorpus::new();
+        for (i, (&p, &t)) in preds.iter().zip(data.labels()).enumerate() {
+            if p != t && corpus.len() < 10 {
+                let row = data.features().row(i).unwrap();
+                corpus.push(fake_ae(row.as_slice(), t));
+            }
+        }
+        // If the model is perfect already, inject learnable points just
+        // off the class-0 centre.
+        if corpus.is_empty() {
+            let c = opad_data::cluster_center(&GaussianClustersConfig::default(), 0);
+            corpus.push(fake_ae(&[c[0] + 0.2, c[1]], 0));
+            corpus.push(fake_ae(&[c[0] - 0.2, c[1]], 0));
+        }
+        let op = origin_op();
+        let cfg = RetrainConfig {
+            epochs: 30,
+            ae_boost: 25.0,
+            ..Default::default()
+        };
+        let report = retrain_with_aes(&mut net, &data, &corpus, Some(&op), &cfg, &mut r).unwrap();
+        assert_eq!(report.epoch_losses.len(), 30);
+        // The retrained model classifies the AE payload correctly.
+        let (ax, ay) = corpus.to_training_batch().unwrap();
+        let acc = net.accuracy(&ax, &ay).unwrap();
+        assert!(acc > 0.7, "post-retrain AE accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_corpus_is_plain_finetuning() {
+        let (mut net, data) = setup();
+        let mut r = rng();
+        let cfg = RetrainConfig {
+            op_weighted: false,
+            epochs: 2,
+            ..Default::default()
+        };
+        let report =
+            retrain_with_aes::<Gmm>(&mut net, &data, &AeCorpus::new(), None, &cfg, &mut r).unwrap();
+        assert_eq!(report.epoch_losses.len(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (mut net, data) = setup();
+        let mut r = rng();
+        let mut corpus = AeCorpus::new();
+        corpus.push(fake_ae(&[0.0, 0.0, 0.0], 0)); // 3-D AE on 2-D data
+        let cfg = RetrainConfig {
+            op_weighted: false,
+            ..Default::default()
+        };
+        assert!(retrain_with_aes::<Gmm>(&mut net, &data, &corpus, None, &cfg, &mut r).is_err());
+    }
+
+    #[test]
+    fn op_weighting_changes_the_outcome() {
+        let (net0, data) = setup();
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let op = origin_op();
+        let mut corpus = AeCorpus::new();
+        corpus.push(fake_ae(&[0.5, 0.5], 0));
+        let mut net_a = net0.clone();
+        let mut net_b = net0;
+        let cfg_w = RetrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        let cfg_u = RetrainConfig {
+            epochs: 5,
+            op_weighted: false,
+            ..Default::default()
+        };
+        retrain_with_aes(&mut net_a, &data, &corpus, Some(&op), &cfg_w, &mut r1).unwrap();
+        retrain_with_aes::<Gmm>(&mut net_b, &data, &corpus, None, &cfg_u, &mut r2).unwrap();
+        // Same seed, different weighting → different parameters.
+        let ja = serde_json::to_string(&net_a).unwrap();
+        let jb = serde_json::to_string(&net_b).unwrap();
+        assert_ne!(ja, jb);
+    }
+}

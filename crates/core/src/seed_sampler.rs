@@ -1,0 +1,402 @@
+//! Weight-based seed sampling (RQ2): pick test seeds that are both likely
+//! under the OP and likely to expose failures, following the
+//! auxiliary-information weighting idea of Guerriero et al. (ICSE'21).
+
+use crate::PipelineError;
+use opad_data::Dataset;
+use opad_nn::{prediction_entropy, prediction_margin, Network};
+use opad_opmodel::{Density, Partition};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The weighting scheme used to score candidate seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeedWeighting {
+    /// Uniform weights — plain operational testing on the field data.
+    Uniform,
+    /// Weight by OP density of the seed: test what operation will see.
+    OpDensity,
+    /// Weight by `1 − margin`: test where the model is least decisive
+    /// (auxiliary failure indicator).
+    Margin,
+    /// Weight by softmax entropy: test where the model is most uncertain.
+    Entropy,
+    /// OP density × (1 − margin): the paper's combination — likely inputs
+    /// in buggy regions.
+    OpTimesMargin,
+    /// OP density × entropy.
+    OpTimesEntropy,
+}
+
+impl SeedWeighting {
+    /// All supported weightings, for ablation sweeps (experiment E4).
+    pub fn all() -> [SeedWeighting; 6] {
+        [
+            SeedWeighting::Uniform,
+            SeedWeighting::OpDensity,
+            SeedWeighting::Margin,
+            SeedWeighting::Entropy,
+            SeedWeighting::OpTimesMargin,
+            SeedWeighting::OpTimesEntropy,
+        ]
+    }
+
+    /// A short identifier for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SeedWeighting::Uniform => "uniform",
+            SeedWeighting::OpDensity => "op",
+            SeedWeighting::Margin => "margin",
+            SeedWeighting::Entropy => "entropy",
+            SeedWeighting::OpTimesMargin => "op*margin",
+            SeedWeighting::OpTimesEntropy => "op*entropy",
+        }
+    }
+}
+
+/// Weight-based seed sampler over an operational dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedSampler {
+    weighting: SeedWeighting,
+}
+
+impl SeedSampler {
+    /// Creates a sampler with the given weighting scheme.
+    pub fn new(weighting: SeedWeighting) -> Self {
+        SeedSampler { weighting }
+    }
+
+    /// The weighting scheme.
+    pub fn weighting(&self) -> SeedWeighting {
+        self.weighting
+    }
+
+    /// Computes per-seed weights over `data`.
+    ///
+    /// `op` supplies the density for OP-aware weightings (mandatory for
+    /// those; ignored otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Fails when an OP-aware weighting lacks a density, or the model
+    /// rejects the batch.
+    pub fn weights<D: Density>(
+        &self,
+        net: &mut Network,
+        data: &Dataset,
+        op: Option<&D>,
+    ) -> Result<Vec<f64>, PipelineError> {
+        let n = data.len();
+        if n == 0 {
+            return Err(PipelineError::CannotSample {
+                reason: "empty operational dataset".into(),
+            });
+        }
+        let needs_op = matches!(
+            self.weighting,
+            SeedWeighting::OpDensity | SeedWeighting::OpTimesMargin | SeedWeighting::OpTimesEntropy
+        );
+        let needs_model = matches!(
+            self.weighting,
+            SeedWeighting::Margin
+                | SeedWeighting::Entropy
+                | SeedWeighting::OpTimesMargin
+                | SeedWeighting::OpTimesEntropy
+        );
+        let op_w: Option<Vec<f64>> = if needs_op {
+            let density = op.ok_or(PipelineError::InvalidConfig {
+                reason: format!("weighting {:?} needs an OP density", self.weighting),
+            })?;
+            let d = data.feature_dim();
+            let mut logs = Vec::with_capacity(n);
+            for i in 0..n {
+                logs.push(density.log_density(&data.features().as_slice()[i * d..(i + 1) * d])?);
+            }
+            // Normalise in log space to avoid underflow.
+            let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            Some(logs.into_iter().map(|l| (l - m).exp()).collect())
+        } else {
+            None
+        };
+        let model_w: Option<Vec<f64>> = if needs_model {
+            let logits = net.forward(data.features(), false)?;
+            let v: Vec<f64> = match self.weighting {
+                SeedWeighting::Margin | SeedWeighting::OpTimesMargin => prediction_margin(&logits)?
+                    .into_iter()
+                    .map(|m| (1.0 - m as f64).max(1e-9))
+                    .collect(),
+                _ => prediction_entropy(&logits)?
+                    .into_iter()
+                    .map(|h| (h as f64).max(1e-9))
+                    .collect(),
+            };
+            Some(v)
+        } else {
+            None
+        };
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let a = op_w.as_ref().map_or(1.0, |w| w[i]);
+                let b = model_w.as_ref().map_or(1.0, |w| w[i]);
+                a * b
+            })
+            .collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            // Degenerate: fall back to uniform rather than failing the run.
+            return Ok(vec![1.0; n]);
+        }
+        Ok(weights)
+    }
+
+    /// Multiplies `weights` by the reliability model's per-cell testing
+    /// priority — the RQ5 → RQ2 feedback arrow of Figure 1.
+    ///
+    /// # Errors
+    ///
+    /// Fails on length mismatches or partition errors.
+    pub fn apply_cell_priority<P: Partition>(
+        &self,
+        weights: &mut [f64],
+        data: &Dataset,
+        partition: &P,
+        priority: &[f64],
+    ) -> Result<(), PipelineError> {
+        if weights.len() != data.len() {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "{} weights for {} samples",
+                    weights.len(),
+                    data.len()
+                ),
+            });
+        }
+        if priority.len() != partition.num_cells() {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "{} priorities for {} cells",
+                    priority.len(),
+                    partition.num_cells()
+                ),
+            });
+        }
+        let d = data.feature_dim();
+        for (i, w) in weights.iter_mut().enumerate() {
+            let cell = partition.cell_of(&data.features().as_slice()[i * d..(i + 1) * d])?;
+            *w *= priority[cell].max(1e-12);
+        }
+        Ok(())
+    }
+
+    /// Samples `k` distinct indices with probability proportional to
+    /// `weights`, without replacement (Efraimidis–Spirakis keys).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `k` exceeds the population or all weights vanish.
+    pub fn sample(
+        &self,
+        weights: &[f64],
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<usize>, PipelineError> {
+        if k == 0 || k > weights.len() {
+            return Err(PipelineError::CannotSample {
+                reason: format!("cannot draw {k} seeds from {} candidates", weights.len()),
+            });
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err(PipelineError::CannotSample {
+                reason: "weights must be finite and nonnegative".into(),
+            });
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return Err(PipelineError::CannotSample {
+                reason: "all weights are zero".into(),
+            });
+        }
+        // key_i = u_i^(1/w_i); take the k largest keys (w=0 → key 0, never
+        // chosen while positive-weight candidates remain).
+        let mut keyed: Vec<(f64, usize)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let u: f64 = rng.gen::<f64>().max(1e-300);
+                let key = if w > 0.0 { u.powf(1.0 / w) } else { 0.0 };
+                (key, i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys"));
+        Ok(keyed.into_iter().take(k).map(|(_, i)| i).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_nn::{Activation, Network};
+    use opad_opmodel::{Gmm, GmmComponent};
+    use opad_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn toy_net() -> Network {
+        let mut r = rng();
+        Network::mlp(&[2, 8, 2], Activation::Tanh, &mut r).unwrap()
+    }
+
+    fn toy_data() -> Dataset {
+        // Four points: two near origin, two far away.
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.1, 0.1, 5.0, 5.0, 6.0, 5.0],
+            &[4, 2],
+        )
+        .unwrap();
+        Dataset::new(x, vec![0, 0, 1, 1], 2).unwrap()
+    }
+
+    fn origin_op() -> Gmm {
+        Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0, 0.0],
+            std: 1.0,
+        }])
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let mut net = toy_net();
+        let s = SeedSampler::new(SeedWeighting::Uniform);
+        let w = s.weights::<Gmm>(&mut net, &toy_data(), None).unwrap();
+        assert_eq!(w, vec![1.0; 4]);
+        assert_eq!(s.weighting(), SeedWeighting::Uniform);
+    }
+
+    #[test]
+    fn op_weights_favor_dense_regions() {
+        let mut net = toy_net();
+        let op = origin_op();
+        let s = SeedSampler::new(SeedWeighting::OpDensity);
+        let w = s.weights(&mut net, &toy_data(), Some(&op)).unwrap();
+        assert!(w[0] > w[2] * 100.0, "origin {} vs far {}", w[0], w[2]);
+        assert!(w[1] > w[3] * 100.0);
+    }
+
+    #[test]
+    fn op_weighting_requires_density() {
+        let mut net = toy_net();
+        let s = SeedSampler::new(SeedWeighting::OpDensity);
+        assert!(matches!(
+            s.weights::<Gmm>(&mut net, &toy_data(), None),
+            Err(PipelineError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn margin_and_entropy_weights_are_positive() {
+        let mut net = toy_net();
+        for weighting in [SeedWeighting::Margin, SeedWeighting::Entropy] {
+            let s = SeedSampler::new(weighting);
+            let w = s.weights::<Gmm>(&mut net, &toy_data(), None).unwrap();
+            assert_eq!(w.len(), 4);
+            assert!(w.iter().all(|&x| x > 0.0), "{weighting:?}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn combined_weights_multiply() {
+        let mut net = toy_net();
+        let op = origin_op();
+        let s_m = SeedSampler::new(SeedWeighting::Margin);
+        let s_o = SeedSampler::new(SeedWeighting::OpDensity);
+        let s_om = SeedSampler::new(SeedWeighting::OpTimesMargin);
+        let wm = s_m.weights(&mut net, &toy_data(), Some(&op)).unwrap();
+        let wo = s_o.weights(&mut net, &toy_data(), Some(&op)).unwrap();
+        let wom = s_om.weights(&mut net, &toy_data(), Some(&op)).unwrap();
+        for i in 0..4 {
+            assert!((wom[i] - wm[i] * wo[i]).abs() < 1e-9 * wm[i].max(1.0));
+        }
+    }
+
+    #[test]
+    fn sampling_without_replacement() {
+        let s = SeedSampler::new(SeedWeighting::Uniform);
+        let mut r = rng();
+        let w = vec![1.0; 10];
+        let idx = s.sample(&w, 10, &mut r).unwrap();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "indices must be distinct");
+        assert!(s.sample(&w, 0, &mut r).is_err());
+        assert!(s.sample(&w, 11, &mut r).is_err());
+        assert!(s.sample(&[0.0, 0.0], 1, &mut r).is_err());
+        assert!(s.sample(&[1.0, f64::NAN], 1, &mut r).is_err());
+        assert!(s.sample(&[1.0, -1.0], 1, &mut r).is_err());
+    }
+
+    #[test]
+    fn heavy_weights_win_more_often() {
+        let s = SeedSampler::new(SeedWeighting::Uniform);
+        let mut r = rng();
+        let w = vec![10.0, 1.0, 1.0, 1.0];
+        let mut hits = 0;
+        const TRIALS: usize = 2000;
+        for _ in 0..TRIALS {
+            let idx = s.sample(&w, 1, &mut r).unwrap();
+            if idx[0] == 0 {
+                hits += 1;
+            }
+        }
+        let f = hits as f64 / TRIALS as f64;
+        assert!((f - 10.0 / 13.0).abs() < 0.05, "heavy hit rate {f}");
+    }
+
+    #[test]
+    fn zero_weight_items_excluded_when_possible() {
+        let s = SeedSampler::new(SeedWeighting::Uniform);
+        let mut r = rng();
+        let w = vec![0.0, 1.0, 1.0];
+        for _ in 0..100 {
+            let idx = s.sample(&w, 2, &mut r).unwrap();
+            assert!(!idx.contains(&0), "zero-weight index drawn: {idx:?}");
+        }
+    }
+
+    #[test]
+    fn cell_priority_boost() {
+        let mut net = toy_net();
+        let s = SeedSampler::new(SeedWeighting::Uniform);
+        let data = toy_data();
+        let mut w = s.weights::<Gmm>(&mut net, &data, None).unwrap();
+        let partition = opad_opmodel::CentroidPartition::from_centroids(
+            Tensor::from_vec(vec![0.0, 0.0, 5.0, 5.0], &[2, 2]).unwrap(),
+        )
+        .unwrap();
+        // All priority on cell 0 (the origin).
+        s.apply_cell_priority(&mut w, &data, &partition, &[1.0, 0.0])
+            .unwrap();
+        assert!(w[0] > 0.0 && w[1] > 0.0);
+        assert!(w[2] < 1e-6 && w[3] < 1e-6);
+        // Validation.
+        let mut short = vec![1.0];
+        assert!(s
+            .apply_cell_priority(&mut short, &data, &partition, &[1.0, 0.0])
+            .is_err());
+        let mut w2 = vec![1.0; 4];
+        assert!(s
+            .apply_cell_priority(&mut w2, &data, &partition, &[1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn all_weightings_have_names() {
+        let names: std::collections::HashSet<_> =
+            SeedWeighting::all().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

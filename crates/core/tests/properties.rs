@@ -1,0 +1,126 @@
+//! Property-based tests for the pipeline primitives.
+
+use opad_core::{AeCorpus, DetectedAe, SeedSampler, SeedWeighting};
+use opad_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ae(cell: usize, logd: f64, queries: usize) -> DetectedAe {
+    DetectedAe {
+        seed_index: 0,
+        seed: Tensor::from_slice(&[0.0, 0.0]),
+        candidate: Tensor::from_slice(&[0.1, 0.1]),
+        label: 0,
+        predicted: 1,
+        op_log_density: logd,
+        cell,
+        queries,
+    }
+}
+
+proptest! {
+    #[test]
+    fn sampling_without_replacement_distinct_and_in_range(
+        weights in proptest::collection::vec(0.01f64..10.0, 3..30),
+        seed in 0u64..100,
+    ) {
+        let sampler = SeedSampler::new(SeedWeighting::Uniform);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = weights.len();
+        for k in [1usize, n / 2, n] {
+            if k == 0 {
+                continue;
+            }
+            let idx = sampler.sample(&weights, k, &mut rng).unwrap();
+            prop_assert_eq!(idx.len(), k);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), k, "duplicates drawn");
+            prop_assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sampling_full_population_is_a_permutation(
+        weights in proptest::collection::vec(0.5f64..2.0, 4..12),
+        seed in 0u64..100,
+    ) {
+        let sampler = SeedSampler::new(SeedWeighting::Uniform);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = weights.len();
+        let mut idx = sampler.sample(&weights, n, &mut rng).unwrap();
+        idx.sort_unstable();
+        prop_assert_eq!(idx, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corpus_op_mass_bounded_by_total(
+        cells in proptest::collection::vec(0usize..8, 1..20),
+        raw_op in proptest::collection::vec(0.05f64..1.0, 8),
+    ) {
+        let z: f64 = raw_op.iter().sum();
+        let cell_op: Vec<f64> = raw_op.iter().map(|p| p / z).collect();
+        let corpus: AeCorpus = cells.iter().map(|&c| ae(c, -1.0, 3)).collect();
+        let mass = corpus.op_mass_detected(&cell_op).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&mass));
+        // Mass counts distinct cells only: duplicates don't inflate it.
+        let mut once: Vec<usize> = cells.clone();
+        once.sort_unstable();
+        once.dedup();
+        let dedup_corpus: AeCorpus = once.iter().map(|&c| ae(c, -1.0, 3)).collect();
+        let mass2 = dedup_corpus.op_mass_detected(&cell_op).unwrap();
+        prop_assert!((mass - mass2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_statistics_consistent(
+        logds in proptest::collection::vec(-10.0f64..0.0, 1..15),
+        queries in proptest::collection::vec(1usize..50, 1..15),
+    ) {
+        let n = logds.len().min(queries.len());
+        let corpus: AeCorpus = (0..n).map(|i| ae(i % 4, logds[i], queries[i])).collect();
+        prop_assert_eq!(corpus.len(), n);
+        let mean = corpus.mean_op_log_density().unwrap();
+        let lo = logds[..n].iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = logds[..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert_eq!(corpus.total_queries(), queries[..n].iter().sum::<usize>());
+        // Training batch has one row per AE.
+        let (x, y) = corpus.to_training_batch().unwrap();
+        prop_assert_eq!(x.dims()[0], n);
+        prop_assert_eq!(y.len(), n);
+    }
+
+    #[test]
+    fn merged_corpus_mass_is_monotone(
+        cells_a in proptest::collection::vec(0usize..6, 1..10),
+        cells_b in proptest::collection::vec(0usize..6, 1..10),
+    ) {
+        let cell_op = vec![1.0 / 6.0; 6];
+        let a: AeCorpus = cells_a.iter().map(|&c| ae(c, -1.0, 1)).collect();
+        let b: AeCorpus = cells_b.iter().map(|&c| ae(c, -1.0, 1)).collect();
+        let mass_a = a.op_mass_detected(&cell_op).unwrap();
+        let mut merged = a.clone();
+        merged.extend_from(&b);
+        let mass_m = merged.op_mass_detected(&cell_op).unwrap();
+        prop_assert!(mass_m >= mass_a - 1e-12);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn zero_weight_exclusion(
+        positives in proptest::collection::vec(0.5f64..2.0, 2..8),
+        seed in 0u64..50,
+    ) {
+        // Prepend a zero-weight element; it must never be drawn while k ≤
+        // number of positive-weight elements.
+        let mut weights = vec![0.0f64];
+        weights.extend(&positives);
+        let sampler = SeedSampler::new(SeedWeighting::Uniform);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = sampler.sample(&weights, positives.len(), &mut rng).unwrap();
+        prop_assert!(!idx.contains(&0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Natural-environment corruptions.
+//!
+//! The paper (footnote 1) scopes operational AEs to *benign* perturbations
+//! "from natural environments" rather than malicious attack. These
+//! transforms are the synthetic stand-ins: pixel noise, global brightness
+//! shift, occlusion and sensor dropout for image-like data, and plain
+//! Gaussian jitter for feature-vector data.
+
+use crate::{DataError, Dataset};
+use opad_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A family of benign environmental corruptions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Corruption {
+    /// Additive i.i.d. Gaussian noise with the given standard deviation.
+    GaussianNoise {
+        /// Noise standard deviation.
+        std: f32,
+    },
+    /// A constant added to every feature (global illumination change for
+    /// images). Outputs are clamped to `[0, 1]` when `clamp_unit`.
+    Brightness {
+        /// The shift.
+        delta: f32,
+        /// Whether to clamp to the unit interval afterwards.
+        clamp_unit: bool,
+    },
+    /// Zeroes a random axis-aligned square patch of a `size×size` image
+    /// (dirt on the lens, partial occlusion).
+    Occlusion {
+        /// Image side length (features must be `size²`).
+        size: usize,
+        /// Patch side length.
+        patch: usize,
+    },
+    /// Independently zeroes each feature with the given probability
+    /// (dead pixels / dropped sensor readings).
+    Dropout {
+        /// Per-feature drop probability.
+        rate: f32,
+    },
+}
+
+impl Corruption {
+    /// A short identifier for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Corruption::GaussianNoise { .. } => "gaussian-noise",
+            Corruption::Brightness { .. } => "brightness",
+            Corruption::Occlusion { .. } => "occlusion",
+            Corruption::Dropout { .. } => "dropout",
+        }
+    }
+
+    /// Validates the corruption against a feature dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for non-finite parameters,
+    /// out-of-range rates, or occlusion geometry that does not match `dim`.
+    pub fn validate(&self, dim: usize) -> Result<(), DataError> {
+        match *self {
+            Corruption::GaussianNoise { std } => {
+                if std < 0.0 || !std.is_finite() {
+                    return Err(DataError::InvalidConfig {
+                        reason: format!("noise std must be finite and nonnegative, got {std}"),
+                    });
+                }
+            }
+            Corruption::Brightness { delta, .. } => {
+                if !delta.is_finite() {
+                    return Err(DataError::InvalidConfig {
+                        reason: "brightness delta must be finite".into(),
+                    });
+                }
+            }
+            Corruption::Occlusion { size, patch } => {
+                if size * size != dim {
+                    return Err(DataError::InvalidConfig {
+                        reason: format!("occlusion expects {size}×{size} images, got dim {dim}"),
+                    });
+                }
+                if patch == 0 || patch > size {
+                    return Err(DataError::InvalidConfig {
+                        reason: format!("patch {patch} out of range for size {size}"),
+                    });
+                }
+            }
+            Corruption::Dropout { rate } => {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(DataError::InvalidConfig {
+                        reason: format!("dropout rate must be in [0, 1], got {rate}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the corruption to one flat feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Corruption::validate`] failures.
+    pub fn apply_one(&self, x: &Tensor, rng: &mut impl Rng) -> Result<Tensor, DataError> {
+        self.validate(x.len())?;
+        let out = match *self {
+            Corruption::GaussianNoise { std } => {
+                if std == 0.0 {
+                    x.clone()
+                } else {
+                    let noise = Tensor::rand_normal(x.dims(), 0.0, std, rng);
+                    x.checked_add(&noise)?
+                }
+            }
+            Corruption::Brightness { delta, clamp_unit } => {
+                let shifted = x.add_scalar(delta);
+                if clamp_unit {
+                    shifted.clamp(0.0, 1.0)
+                } else {
+                    shifted
+                }
+            }
+            Corruption::Occlusion { size, patch } => {
+                let row0 = rng.gen_range(0..=(size - patch));
+                let col0 = rng.gen_range(0..=(size - patch));
+                let mut out = x.clone();
+                for r in row0..row0 + patch {
+                    for c in col0..col0 + patch {
+                        out.as_mut_slice()[r * size + c] = 0.0;
+                    }
+                }
+                out
+            }
+            Corruption::Dropout { rate } => x.map(|v| v).zip_with(
+                &Tensor::from_fn(x.dims(), |_| if rng.gen::<f32>() < rate { 0.0 } else { 1.0 }),
+                |v, m| v * m,
+            )?,
+        };
+        Ok(out)
+    }
+
+    /// Applies the corruption independently to every row of a dataset,
+    /// keeping labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures.
+    pub fn apply(&self, data: &Dataset, rng: &mut impl Rng) -> Result<Dataset, DataError> {
+        let d = data.feature_dim();
+        self.validate(d)?;
+        let mut rows = Vec::with_capacity(data.len());
+        for i in 0..data.len() {
+            let (x, _) = data.sample(i)?;
+            rows.push(self.apply_one(&x, rng)?);
+        }
+        Dataset::new(
+            Tensor::stack_rows(&rows)?,
+            data.labels().to_vec(),
+            data.num_classes(),
+        )
+    }
+}
+
+/// A severity ladder of mixed corruptions for robustness sweeps: level 0
+/// is the identity-ish (tiny noise), level 4 is harsh.
+pub fn severity_ladder(image_size: Option<usize>) -> Vec<Vec<Corruption>> {
+    let mut levels = Vec::new();
+    for (i, std) in [0.02f32, 0.05, 0.1, 0.2, 0.35].iter().enumerate() {
+        let mut level = vec![Corruption::GaussianNoise { std: *std }];
+        if i >= 2 {
+            level.push(Corruption::Brightness {
+                delta: 0.05 * i as f32,
+                clamp_unit: image_size.is_some(),
+            });
+        }
+        if let Some(size) = image_size {
+            if i >= 3 {
+                level.push(Corruption::Occlusion {
+                    size,
+                    patch: 1 + i / 2,
+                });
+            }
+        }
+        levels.push(level);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{glyphs, uniform_probs, GlyphConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn image_ds() -> Dataset {
+        let cfg = GlyphConfig {
+            num_classes: 3,
+            size: 8,
+            max_jitter: 1,
+            ..Default::default()
+        };
+        glyphs(&cfg, 20, &uniform_probs(3), &mut rng()).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Corruption::GaussianNoise { std: -1.0 }.validate(4).is_err());
+        assert!(Corruption::Brightness {
+            delta: f32::NAN,
+            clamp_unit: true
+        }
+        .validate(4)
+        .is_err());
+        assert!(Corruption::Occlusion { size: 3, patch: 1 }.validate(8).is_err());
+        assert!(Corruption::Occlusion { size: 3, patch: 4 }.validate(9).is_err());
+        assert!(Corruption::Occlusion { size: 3, patch: 0 }.validate(9).is_err());
+        assert!(Corruption::Dropout { rate: 1.5 }.validate(4).is_err());
+        assert!(Corruption::Dropout { rate: 0.5 }.validate(4).is_ok());
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_but_zero_std_is_identity() {
+        let mut r = rng();
+        let x = Tensor::ones(&[16]);
+        let y = Corruption::GaussianNoise { std: 0.1 }
+            .apply_one(&x, &mut r)
+            .unwrap();
+        assert_ne!(x, y);
+        assert!((y.mean() - 1.0).abs() < 0.2);
+        let z = Corruption::GaussianNoise { std: 0.0 }
+            .apply_one(&x, &mut r)
+            .unwrap();
+        assert_eq!(x, z);
+    }
+
+    #[test]
+    fn brightness_shift_and_clamp() {
+        let mut r = rng();
+        let x = Tensor::from_slice(&[0.0, 0.5, 0.9]);
+        let y = Corruption::Brightness {
+            delta: 0.2,
+            clamp_unit: true,
+        }
+        .apply_one(&x, &mut r)
+        .unwrap();
+        assert!(y.approx_eq(&Tensor::from_slice(&[0.2, 0.7, 1.0]), 1e-6));
+        let y = Corruption::Brightness {
+            delta: 0.2,
+            clamp_unit: false,
+        }
+        .apply_one(&x, &mut r)
+        .unwrap();
+        assert!((y.as_slice()[2] - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn occlusion_zeroes_exactly_a_patch() {
+        let mut r = rng();
+        let x = Tensor::ones(&[64]);
+        let y = Corruption::Occlusion { size: 8, patch: 3 }
+            .apply_one(&x, &mut r)
+            .unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 9);
+        // The zeros form a contiguous square: rows containing zeros are 3
+        // consecutive rows with exactly 3 zeros each.
+        let grid = y.reshape(&[8, 8]).unwrap();
+        let rows_with_zeros: Vec<usize> = (0..8)
+            .filter(|&i| grid.row(i).unwrap().as_slice().contains(&0.0))
+            .collect();
+        assert_eq!(rows_with_zeros.len(), 3);
+        assert_eq!(rows_with_zeros[2] - rows_with_zeros[0], 2);
+    }
+
+    #[test]
+    fn dropout_rate_zero_and_one() {
+        let mut r = rng();
+        let x = Tensor::ones(&[100]);
+        let y = Corruption::Dropout { rate: 0.0 }.apply_one(&x, &mut r).unwrap();
+        assert_eq!(x, y);
+        let y = Corruption::Dropout { rate: 1.0 }.apply_one(&x, &mut r).unwrap();
+        assert_eq!(y.sum(), 0.0);
+        let y = Corruption::Dropout { rate: 0.3 }.apply_one(&x, &mut r).unwrap();
+        let kept = y.sum() / 100.0;
+        assert!((kept - 0.7).abs() < 0.15, "kept fraction {kept}");
+    }
+
+    #[test]
+    fn dataset_application_keeps_labels_and_schema() {
+        let ds = image_ds();
+        let mut r = rng();
+        let corrupted = Corruption::GaussianNoise { std: 0.05 }
+            .apply(&ds, &mut r)
+            .unwrap();
+        assert_eq!(corrupted.labels(), ds.labels());
+        assert_eq!(corrupted.feature_dim(), ds.feature_dim());
+        assert_ne!(corrupted.features(), ds.features());
+        // Occlusion on image data.
+        let occluded = Corruption::Occlusion { size: 8, patch: 2 }
+            .apply(&ds, &mut r)
+            .unwrap();
+        assert_eq!(occluded.len(), ds.len());
+        // Bad geometry rejected at the dataset level too.
+        assert!(Corruption::Occlusion { size: 5, patch: 2 }.apply(&ds, &mut r).is_err());
+    }
+
+    #[test]
+    fn severity_ladder_shape() {
+        let ladder = severity_ladder(Some(8));
+        assert_eq!(ladder.len(), 5);
+        // Severity grows: later levels have more transforms and bigger noise.
+        assert_eq!(ladder[0].len(), 1);
+        assert!(ladder[4].len() >= 3);
+        let flat = severity_ladder(None);
+        assert!(flat.iter().all(|lvl| lvl
+            .iter()
+            .all(|c| !matches!(c, Corruption::Occlusion { .. }))));
+    }
+
+    #[test]
+    fn corruption_names() {
+        assert_eq!(Corruption::GaussianNoise { std: 0.1 }.name(), "gaussian-noise");
+        assert_eq!(Corruption::Dropout { rate: 0.1 }.name(), "dropout");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = image_ds();
+        let c = Corruption::Dropout { rate: 0.2 };
+        let a = c.apply(&ds, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = c.apply(&ds, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

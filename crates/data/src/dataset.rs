@@ -1,0 +1,428 @@
+//! Labelled datasets and their transforms.
+
+use crate::DataError;
+use opad_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled classification dataset: a `[n, d]` feature matrix with one
+/// integer label per row.
+///
+/// # Examples
+///
+/// ```
+/// use opad_data::Dataset;
+/// use opad_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[2, 2])?;
+/// let ds = Dataset::new(x, vec![0, 1], 2)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.feature_dim(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes and label ranges.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `features` is not rank-2, lengths disagree, or a label is
+    /// `≥ num_classes`.
+    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DataError> {
+        if features.rank() != 2 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("features must be rank 2, got rank {}", features.rank()),
+            });
+        }
+        if features.dims()[0] != labels.len() {
+            return Err(DataError::LengthMismatch {
+                rows: features.dims()[0],
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::LabelOutOfRange {
+                label: bad,
+                classes: num_classes,
+            });
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// The feature matrix, `[n, d]`.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// The labels, one per row.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Declared number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.dims()[1]
+    }
+
+    /// Row `i` as a 1-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `i` is out of range.
+    pub fn sample(&self, i: usize) -> Result<(Tensor, usize), DataError> {
+        Ok((self.features.row(i)?, self.labels[i]))
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Empirical class distribution (uniform zeros when empty).
+    pub fn class_distribution(&self) -> Vec<f64> {
+        let counts = self.class_counts();
+        let n = self.len();
+        if n == 0 {
+            return vec![0.0; self.num_classes];
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    /// Builds a new dataset from the rows at `indices` (repeats allowed —
+    /// this is also the resampling primitive).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any index is out of range or `indices` is empty.
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset, DataError> {
+        if indices.is_empty() {
+            return Err(DataError::InvalidConfig {
+                reason: "cannot select an empty subset".into(),
+            });
+        }
+        let d = self.feature_dim();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::InvalidConfig {
+                    reason: format!("index {i} out of range for {} samples", self.len()),
+                });
+            }
+            data.extend_from_slice(&self.features.as_slice()[i * d..(i + 1) * d]);
+            labels.push(self.labels[i]);
+        }
+        Dataset::new(
+            Tensor::from_vec(data, &[indices.len(), d])?,
+            labels,
+            self.num_classes,
+        )
+    }
+
+    /// Splits into `(train, test)` with `train_frac` of samples (after a
+    /// shuffle) in the train part.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `0 < train_frac < 1` yields nonempty parts.
+    pub fn split(&self, train_frac: f64, rng: &mut impl Rng) -> Result<(Dataset, Dataset), DataError> {
+        let n = self.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        if n_train == 0 || n_train >= n {
+            return Err(DataError::InvalidConfig {
+                reason: format!("split fraction {train_frac} leaves an empty part (n={n})"),
+            });
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let train = self.select(&order[..n_train])?;
+        let test = self.select(&order[n_train..])?;
+        Ok((train, test))
+    }
+
+    /// Returns the row indices belonging to `class`.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Concatenates two datasets with identical schema.
+    ///
+    /// # Errors
+    ///
+    /// Fails when feature dims or class counts differ.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
+        if self.feature_dim() != other.feature_dim() || self.num_classes != other.num_classes {
+            return Err(DataError::InvalidConfig {
+                reason: format!(
+                    "schema mismatch: {}d/{}c vs {}d/{}c",
+                    self.feature_dim(),
+                    self.num_classes,
+                    other.feature_dim(),
+                    other.num_classes
+                ),
+            });
+        }
+        let mut data = self.features.as_slice().to_vec();
+        data.extend_from_slice(other.features.as_slice());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset::new(
+            Tensor::from_vec(data, &[self.len() + other.len(), self.feature_dim()])?,
+            labels,
+            self.num_classes,
+        )
+    }
+
+    /// Per-feature `(min, max)` over the dataset.
+    pub fn feature_bounds(&self) -> Vec<(f32, f32)> {
+        let d = self.feature_dim();
+        let mut bounds = vec![(f32::INFINITY, f32::NEG_INFINITY); d];
+        for i in 0..self.len() {
+            for j in 0..d {
+                let v = self.features.as_slice()[i * d + j];
+                if v < bounds[j].0 {
+                    bounds[j].0 = v;
+                }
+                if v > bounds[j].1 {
+                    bounds[j].1 = v;
+                }
+            }
+        }
+        bounds
+    }
+
+    /// Min–max normalises every feature into `[0, 1]` (constant features
+    /// map to 0), returning the normalised dataset and the bounds used.
+    pub fn normalized(&self) -> (Dataset, Vec<(f32, f32)>) {
+        let bounds = self.feature_bounds();
+        let d = self.feature_dim();
+        let data: Vec<f32> = self
+            .features
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                let (lo, hi) = bounds[k % d];
+                if hi > lo {
+                    (v - lo) / (hi - lo)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let ds = Dataset::new(
+            Tensor::from_vec(data, &[self.len(), d]).expect("same shape"),
+            self.labels.clone(),
+            self.num_classes,
+        )
+        .expect("same schema");
+        (ds, bounds)
+    }
+}
+
+/// Samples a class index from a categorical distribution.
+///
+/// # Errors
+///
+/// Returns [`DataError::NotADistribution`] unless `probs` is nonnegative
+/// and sums to ≈1.
+pub fn sample_class(probs: &[f64], rng: &mut impl Rng) -> Result<usize, DataError> {
+    validate_distribution(probs)?;
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return Ok(i);
+        }
+    }
+    Ok(probs.len() - 1)
+}
+
+/// Validates that `probs` is a probability distribution.
+///
+/// # Errors
+///
+/// Returns [`DataError::NotADistribution`] on negative entries or a sum
+/// outside `1 ± 1e-6`, and [`DataError::InvalidConfig`] when empty.
+pub fn validate_distribution(probs: &[f64]) -> Result<(), DataError> {
+    if probs.is_empty() {
+        return Err(DataError::InvalidConfig {
+            reason: "empty probability vector".into(),
+        });
+    }
+    if probs.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+        return Err(DataError::NotADistribution {
+            sum: probs.iter().sum(),
+        });
+    }
+    let sum: f64 = probs.iter().sum();
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(DataError::NotADistribution { sum });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 5.0, 5.0],
+            &[6, 2],
+        )
+        .unwrap();
+        Dataset::new(x, vec![0, 0, 1, 1, 2, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let x = Tensor::zeros(&[2, 3]);
+        assert!(Dataset::new(x.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(x.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(Tensor::zeros(&[4]), vec![0, 0], 2).is_err());
+        assert!(Dataset::new(x, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 6);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.feature_dim(), 2);
+        assert_eq!(ds.num_classes(), 3);
+        let (x, y) = ds.sample(2).unwrap();
+        assert_eq!(x.as_slice(), &[2.0, 2.0]);
+        assert_eq!(y, 1);
+        assert!(ds.sample(10).is_err());
+    }
+
+    #[test]
+    fn class_statistics() {
+        let ds = toy();
+        assert_eq!(ds.class_counts(), vec![2, 2, 2]);
+        let dist = ds.class_distribution();
+        assert!(dist.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-12));
+        assert_eq!(ds.indices_of_class(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn select_with_repeats() {
+        let ds = toy();
+        let sel = ds.select(&[5, 5, 0]).unwrap();
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel.labels(), &[2, 2, 0]);
+        assert_eq!(sel.sample(0).unwrap().0.as_slice(), &[5.0, 5.0]);
+        assert!(ds.select(&[]).is_err());
+        assert!(ds.select(&[6]).is_err());
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (tr, te) = ds.split(0.5, &mut rng).unwrap();
+        assert_eq!(tr.len() + te.len(), 6);
+        assert_eq!(tr.len(), 3);
+        assert!(ds.split(0.0, &mut rng).is_err());
+        assert!(ds.split(1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn concat_checks_schema() {
+        let ds = toy();
+        let both = ds.concat(&ds).unwrap();
+        assert_eq!(both.len(), 12);
+        let other = Dataset::new(Tensor::zeros(&[1, 3]), vec![0], 3).unwrap();
+        assert!(ds.concat(&other).is_err());
+    }
+
+    #[test]
+    fn bounds_and_normalization() {
+        let ds = toy();
+        let bounds = ds.feature_bounds();
+        assert_eq!(bounds, vec![(0.0, 5.0), (0.0, 5.0)]);
+        let (norm, _) = ds.normalized();
+        let b = norm.feature_bounds();
+        assert_eq!(b, vec![(0.0, 1.0), (0.0, 1.0)]);
+        // Labels untouched.
+        assert_eq!(norm.labels(), ds.labels());
+    }
+
+    #[test]
+    fn normalization_handles_constant_features() {
+        let x = Tensor::from_vec(vec![3.0, 1.0, 3.0, 2.0], &[2, 2]).unwrap();
+        let ds = Dataset::new(x, vec![0, 1], 2).unwrap();
+        let (norm, _) = ds.normalized();
+        // Constant first feature maps to 0.
+        assert_eq!(norm.features().get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(norm.features().get(&[1, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sample_class_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = [0.8, 0.2];
+        let mut counts = [0usize; 2];
+        for _ in 0..10000 {
+            counts[sample_class(&probs, &mut rng).unwrap()] += 1;
+        }
+        let f0 = counts[0] as f64 / 10000.0;
+        assert!((f0 - 0.8).abs() < 0.03, "freq {f0}");
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(validate_distribution(&[]).is_err());
+        assert!(validate_distribution(&[0.5, 0.4]).is_err());
+        assert!(validate_distribution(&[-0.1, 1.1]).is_err());
+        assert!(validate_distribution(&[f64::NAN, 1.0]).is_err());
+        assert!(validate_distribution(&[0.25; 4]).is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ds = toy();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

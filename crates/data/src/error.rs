@@ -1,0 +1,59 @@
+//! Error types for dataset construction.
+
+use opad_tensor::TensorError;
+use thiserror::Error;
+
+/// Error produced while building or transforming datasets.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    #[error("tensor operation failed: {0}")]
+    Tensor(#[from] TensorError),
+
+    /// Features and labels disagree in length.
+    #[error("{rows} feature rows but {labels} labels")]
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+
+    /// A label exceeds the declared class count.
+    #[error("label {label} out of range for {classes} classes")]
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Declared number of classes.
+        classes: usize,
+    },
+
+    /// A generator or transform was configured with invalid parameters.
+    #[error("invalid configuration: {reason}")]
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+
+    /// A class-probability vector was not a distribution.
+    #[error("class probabilities must be nonnegative and sum to ~1, got sum {sum}")]
+    NotADistribution {
+        /// The offending sum.
+        sum: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = DataError::LengthMismatch { rows: 3, labels: 2 };
+        assert!(e.to_string().contains('3'));
+        let e = DataError::NotADistribution { sum: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,425 @@
+//! A procedural raster-image dataset: "glyphs".
+//!
+//! The stand-in for MNIST-style vision data. Each class is a simple stroke
+//! pattern (bar, cross, diagonal, box, …) rendered on an `s×s` grid with
+//! random translation, stroke intensity and pixel noise — enough variation
+//! that a classifier must generalise, and a perturbation budget of a few
+//! gray levels stays visually "natural".
+//!
+//! Pixels are `f32` in `[0, 1]`, flattened row-major into a feature vector
+//! of length `s·s`.
+
+use crate::{sample_class, validate_distribution, DataError, Dataset};
+use opad_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The maximum number of glyph classes available.
+pub const MAX_GLYPH_CLASSES: usize = 10;
+
+/// Configuration for the glyph renderer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlyphConfig {
+    /// Grid side length (images are `size×size`).
+    pub size: usize,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Maximum absolute translation (pixels) applied to the glyph.
+    pub max_jitter: usize,
+    /// Number of classes to use (`2..=10`).
+    pub num_classes: usize,
+}
+
+impl Default for GlyphConfig {
+    fn default() -> Self {
+        GlyphConfig {
+            size: 12,
+            noise_std: 0.05,
+            max_jitter: 2,
+            num_classes: 10,
+        }
+    }
+}
+
+impl GlyphConfig {
+    /// Feature dimensionality (`size²`).
+    pub fn feature_dim(&self) -> usize {
+        self.size * self.size
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] when the grid is too small for
+    /// the jitter, or the class count is out of range.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.size < 6 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("glyph grid must be at least 6×6, got {}", self.size),
+            });
+        }
+        if !(2..=MAX_GLYPH_CLASSES).contains(&self.num_classes) {
+            return Err(DataError::InvalidConfig {
+                reason: format!("glyph classes must be 2..=10, got {}", self.num_classes),
+            });
+        }
+        if self.max_jitter * 2 >= self.size / 2 {
+            return Err(DataError::InvalidConfig {
+                reason: format!(
+                    "jitter {} too large for grid {}",
+                    self.max_jitter, self.size
+                ),
+            });
+        }
+        if self.noise_std < 0.0 || !self.noise_std.is_finite() {
+            return Err(DataError::InvalidConfig {
+                reason: format!("noise_std must be finite and nonnegative, got {}", self.noise_std),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A mutable canvas for glyph strokes.
+struct Canvas {
+    size: usize,
+    px: Vec<f32>,
+}
+
+impl Canvas {
+    fn new(size: usize) -> Self {
+        Canvas {
+            size,
+            px: vec![0.0; size * size],
+        }
+    }
+
+    /// Paints pixel `(row, col)` at `v`, ignoring out-of-grid coordinates.
+    fn paint(&mut self, row: i64, col: i64, v: f32) {
+        if row >= 0 && col >= 0 && (row as usize) < self.size && (col as usize) < self.size {
+            let off = row as usize * self.size + col as usize;
+            self.px[off] = self.px[off].max(v);
+        }
+    }
+
+    fn hline(&mut self, row: i64, v: f32) {
+        for c in 0..self.size as i64 {
+            self.paint(row, c, v);
+        }
+    }
+
+    fn vline(&mut self, col: i64, v: f32) {
+        for r in 0..self.size as i64 {
+            self.paint(r, col, v);
+        }
+    }
+
+    fn diag(&mut self, v: f32, anti: bool, offset: i64) {
+        for i in 0..self.size as i64 {
+            let col = if anti { self.size as i64 - 1 - i } else { i };
+            self.paint(i + offset, col, v);
+        }
+    }
+}
+
+/// Renders one glyph of `class` as a flat `[size²]` tensor.
+///
+/// # Errors
+///
+/// Fails on an invalid config or `class ≥ num_classes`.
+pub fn render_glyph(cfg: &GlyphConfig, class: usize, rng: &mut impl Rng) -> Result<Tensor, DataError> {
+    cfg.validate()?;
+    if class >= cfg.num_classes {
+        return Err(DataError::LabelOutOfRange {
+            label: class,
+            classes: cfg.num_classes,
+        });
+    }
+    let s = cfg.size as i64;
+    let mid = s / 2;
+    let j = cfg.max_jitter as i64;
+    let dy: i64 = if j > 0 { rng.gen_range(-j..=j) } else { 0 };
+    let dx: i64 = if j > 0 { rng.gen_range(-j..=j) } else { 0 };
+    let v: f32 = rng.gen_range(0.7..1.0);
+
+    let mut canvas = Canvas::new(cfg.size);
+    match class {
+        // 0: horizontal bar
+        0 => {
+            canvas.hline(mid + dy, v);
+            canvas.hline(mid + dy + 1, v);
+        }
+        // 1: vertical bar
+        1 => {
+            canvas.vline(mid + dx, v);
+            canvas.vline(mid + dx + 1, v);
+        }
+        // 2: cross
+        2 => {
+            canvas.hline(mid + dy, v);
+            canvas.vline(mid + dx, v);
+        }
+        // 3: main diagonal
+        3 => {
+            canvas.diag(v, false, dy);
+            canvas.diag(v, false, dy + 1);
+        }
+        // 4: anti-diagonal
+        4 => {
+            canvas.diag(v, true, dy);
+            canvas.diag(v, true, dy + 1);
+        }
+        // 5: X (both diagonals)
+        5 => {
+            canvas.diag(v, false, dy);
+            canvas.diag(v, true, dy);
+        }
+        // 6: square outline
+        6 => {
+            let lo = 2 + dy.max(0);
+            let hi = s - 3 + dy.min(0);
+            for c in lo..=hi {
+                canvas.paint(lo, c, v);
+                canvas.paint(hi, c, v);
+                canvas.paint(c, lo, v);
+                canvas.paint(c, hi, v);
+            }
+        }
+        // 7: filled centre block
+        7 => {
+            for r in (mid - 2 + dy)..(mid + 2 + dy) {
+                for c in (mid - 2 + dx)..(mid + 2 + dx) {
+                    canvas.paint(r, c, v);
+                }
+            }
+        }
+        // 8: T (top bar + centre stem)
+        8 => {
+            canvas.hline(1 + dy.max(0), v);
+            canvas.vline(mid + dx, v);
+        }
+        // 9: L (left column + bottom bar)
+        _ => {
+            canvas.vline(1 + dx.max(0), v);
+            canvas.hline(s - 2 + dy.min(0), v);
+        }
+    }
+
+    // Additive pixel noise, clamped to the valid range.
+    let noisy: Vec<f32> = if cfg.noise_std > 0.0 {
+        let noise = Tensor::rand_normal(&[cfg.feature_dim()], 0.0, cfg.noise_std, rng);
+        canvas
+            .px
+            .iter()
+            .zip(noise.as_slice())
+            .map(|(&p, &n)| (p + n).clamp(0.0, 1.0))
+            .collect()
+    } else {
+        canvas.px
+    };
+    Ok(Tensor::from_vec(noisy, &[cfg.feature_dim()])?)
+}
+
+/// Generates a glyph dataset of `n` samples with classes drawn from
+/// `class_probs`.
+///
+/// # Errors
+///
+/// Fails on an invalid config, a non-distribution, or zero `n`.
+pub fn glyphs(
+    cfg: &GlyphConfig,
+    n: usize,
+    class_probs: &[f64],
+    rng: &mut impl Rng,
+) -> Result<Dataset, DataError> {
+    cfg.validate()?;
+    if class_probs.len() != cfg.num_classes {
+        return Err(DataError::InvalidConfig {
+            reason: format!(
+                "expected {} class probabilities, got {}",
+                cfg.num_classes,
+                class_probs.len()
+            ),
+        });
+    }
+    validate_distribution(class_probs)?;
+    if n == 0 {
+        return Err(DataError::InvalidConfig {
+            reason: "cannot generate zero samples".into(),
+        });
+    }
+    let d = cfg.feature_dim();
+    let mut data = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cls = sample_class(class_probs, rng)?;
+        let img = render_glyph(cfg, cls, rng)?;
+        data.extend_from_slice(img.as_slice());
+        labels.push(cls);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, d])?, labels, cfg.num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_probs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GlyphConfig::default().validate().is_ok());
+        assert!(GlyphConfig {
+            size: 4,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GlyphConfig {
+            num_classes: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GlyphConfig {
+            num_classes: 11,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GlyphConfig {
+            max_jitter: 6,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GlyphConfig {
+            noise_std: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn rendered_glyphs_are_valid_images() {
+        let cfg = GlyphConfig::default();
+        let mut r = rng();
+        for cls in 0..10 {
+            let img = render_glyph(&cfg, cls, &mut r).unwrap();
+            assert_eq!(img.len(), 144);
+            assert!(img.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // Each glyph paints a visible stroke.
+            assert!(img.sum() > 2.0, "class {cls} too faint: {}", img.sum());
+        }
+        assert!(render_glyph(&cfg, 10, &mut r).is_err());
+    }
+
+    #[test]
+    fn noiseless_centered_glyphs_are_distinct() {
+        let cfg = GlyphConfig {
+            noise_std: 0.0,
+            max_jitter: 0,
+            ..Default::default()
+        };
+        let mut r = rng();
+        let imgs: Vec<Tensor> = (0..10)
+            .map(|c| render_glyph(&cfg, c, &mut r).unwrap())
+            .collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let diff = imgs[i].checked_sub(&imgs[j]).unwrap().norm_l2();
+                assert!(diff > 0.5, "classes {i} and {j} overlap (diff {diff})");
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_bar_is_horizontal() {
+        let cfg = GlyphConfig {
+            noise_std: 0.0,
+            max_jitter: 0,
+            ..Default::default()
+        };
+        let mut r = rng();
+        let img = render_glyph(&cfg, 0, &mut r).unwrap();
+        let grid = img.reshape(&[12, 12]).unwrap();
+        // Middle rows lit, top row dark.
+        assert!(grid.get(&[6, 3]).unwrap() > 0.5);
+        assert!(grid.get(&[0, 3]).unwrap() < 0.1);
+        // Row-sum concentrated in two rows.
+        let row_sums = grid.sum_axis(1).unwrap();
+        let lit = row_sums.as_slice().iter().filter(|&&s| s > 1.0).count();
+        assert_eq!(lit, 2);
+    }
+
+    #[test]
+    fn dataset_generation() {
+        let cfg = GlyphConfig::default();
+        let mut r = rng();
+        let ds = glyphs(&cfg, 200, &uniform_probs(10), &mut r).unwrap();
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.feature_dim(), 144);
+        assert_eq!(ds.num_classes(), 10);
+        // All ten classes present with high probability at n=200.
+        assert!(ds.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn dataset_respects_skew() {
+        let cfg = GlyphConfig {
+            num_classes: 4,
+            ..Default::default()
+        };
+        let mut r = rng();
+        let ds = glyphs(&cfg, 2000, &[0.7, 0.2, 0.05, 0.05], &mut r).unwrap();
+        let dist = ds.class_distribution();
+        assert!((dist[0] - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn generation_validates() {
+        let cfg = GlyphConfig::default();
+        let mut r = rng();
+        assert!(glyphs(&cfg, 0, &uniform_probs(10), &mut r).is_err());
+        assert!(glyphs(&cfg, 5, &uniform_probs(9), &mut r).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GlyphConfig::default();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            glyphs(&cfg, 20, &uniform_probs(10), &mut a).unwrap(),
+            glyphs(&cfg, 20, &uniform_probs(10), &mut b).unwrap()
+        );
+    }
+
+    #[test]
+    fn jitter_moves_the_glyph() {
+        let cfg = GlyphConfig {
+            noise_std: 0.0,
+            max_jitter: 2,
+            ..Default::default()
+        };
+        let mut r = rng();
+        // Across many renders of the same class, images must differ.
+        let a = render_glyph(&cfg, 0, &mut r).unwrap();
+        let mut moved = false;
+        for _ in 0..20 {
+            let b = render_glyph(&cfg, 0, &mut r).unwrap();
+            if !a.approx_eq(&b, 1e-6) {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved);
+    }
+}

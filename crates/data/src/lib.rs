@@ -1,0 +1,48 @@
+//! # opad-data
+//!
+//! Procedural labelled datasets with *controllable class distributions* —
+//! the data substrate for operational-profile experiments.
+//!
+//! The paper's premise is that training data is collected **balanced**
+//! while operation is **skewed**; every generator here therefore takes an
+//! explicit class-probability vector, so the same generative process can
+//! produce a balanced training set and a skewed operational set:
+//!
+//! * [`gaussian_clusters`], [`two_moons`], [`rings`] — low-dimensional
+//!   benchmarks;
+//! * [`glyphs`] — a procedural raster-image set (the MNIST stand-in);
+//! * [`Dataset`] — splits, selection, concatenation, normalisation and
+//!   class statistics;
+//! * [`zipf_probs`] / [`uniform_probs`] — canonical operational skews.
+//!
+//! # Examples
+//!
+//! ```
+//! use opad_data::{gaussian_clusters, zipf_probs, GaussianClustersConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let cfg = GaussianClustersConfig::default();
+//! // Balanced training data, Zipf-skewed "operational" data.
+//! let train = gaussian_clusters(&cfg, 300, &opad_data::uniform_probs(3), &mut rng)?;
+//! let op = gaussian_clusters(&cfg, 300, &zipf_probs(3, 1.5), &mut rng)?;
+//! assert_eq!(train.num_classes(), op.num_classes());
+//! # Ok::<(), opad_data::DataError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod corruption;
+mod dataset;
+mod error;
+mod glyphs;
+mod synthetic;
+
+pub use corruption::{severity_ladder, Corruption};
+pub use dataset::{sample_class, validate_distribution, Dataset};
+pub use error::DataError;
+pub use glyphs::{glyphs, render_glyph, GlyphConfig, MAX_GLYPH_CLASSES};
+pub use synthetic::{
+    cluster_center, gaussian_clusters, rings, two_moons, uniform_probs, zipf_probs,
+    GaussianClustersConfig,
+};

@@ -1,0 +1,322 @@
+//! Low-dimensional procedural datasets with controllable class
+//! distributions.
+//!
+//! Every generator takes an explicit per-class probability vector, because
+//! the train/OP mismatch at the heart of the paper is *exactly* a mismatch
+//! between the balanced distribution used for training and the skewed
+//! distribution met in operation.
+
+use crate::{sample_class, validate_distribution, DataError, Dataset};
+use opad_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f32::consts::TAU;
+
+/// Configuration for [`gaussian_clusters`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianClustersConfig {
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Number of classes (one cluster per class).
+    pub num_classes: usize,
+    /// Distance of cluster centres from the origin.
+    pub separation: f32,
+    /// Per-cluster standard deviation.
+    pub std: f32,
+}
+
+impl Default for GaussianClustersConfig {
+    fn default() -> Self {
+        GaussianClustersConfig {
+            dim: 2,
+            num_classes: 3,
+            separation: 3.0,
+            std: 0.6,
+        }
+    }
+}
+
+/// Deterministic centre of cluster `class`: evenly spaced on a circle in
+/// the first two dimensions (zero elsewhere).
+pub fn cluster_center(cfg: &GaussianClustersConfig, class: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; cfg.dim];
+    let theta = TAU * class as f32 / cfg.num_classes as f32;
+    c[0] = cfg.separation * theta.cos();
+    if cfg.dim > 1 {
+        c[1] = cfg.separation * theta.sin();
+    }
+    c
+}
+
+/// `n` samples from isotropic Gaussian clusters, classes drawn from
+/// `class_probs`.
+///
+/// # Errors
+///
+/// Fails on a non-distribution, zero `n`, or a degenerate config.
+pub fn gaussian_clusters(
+    cfg: &GaussianClustersConfig,
+    n: usize,
+    class_probs: &[f64],
+    rng: &mut impl Rng,
+) -> Result<Dataset, DataError> {
+    if cfg.dim == 0 || cfg.num_classes == 0 {
+        return Err(DataError::InvalidConfig {
+            reason: "dim and num_classes must be nonzero".into(),
+        });
+    }
+    if class_probs.len() != cfg.num_classes {
+        return Err(DataError::InvalidConfig {
+            reason: format!(
+                "expected {} class probabilities, got {}",
+                cfg.num_classes,
+                class_probs.len()
+            ),
+        });
+    }
+    validate_distribution(class_probs)?;
+    if n == 0 {
+        return Err(DataError::InvalidConfig {
+            reason: "cannot generate zero samples".into(),
+        });
+    }
+    let mut data = Vec::with_capacity(n * cfg.dim);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cls = sample_class(class_probs, rng)?;
+        let center = cluster_center(cfg, cls);
+        let noise = Tensor::rand_normal(&[cfg.dim], 0.0, cfg.std, rng);
+        for (j, &c) in center.iter().enumerate() {
+            data.push(c + noise.as_slice()[j]);
+        }
+        labels.push(cls);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, cfg.dim])?, labels, cfg.num_classes)
+}
+
+/// Two interleaving half-moons (the classic nonlinear 2-class benchmark).
+///
+/// # Errors
+///
+/// Fails on a non-distribution over the two classes or zero `n`.
+pub fn two_moons(
+    n: usize,
+    noise: f32,
+    class_probs: &[f64],
+    rng: &mut impl Rng,
+) -> Result<Dataset, DataError> {
+    if class_probs.len() != 2 {
+        return Err(DataError::InvalidConfig {
+            reason: "two_moons has exactly two classes".into(),
+        });
+    }
+    validate_distribution(class_probs)?;
+    if n == 0 {
+        return Err(DataError::InvalidConfig {
+            reason: "cannot generate zero samples".into(),
+        });
+    }
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cls = sample_class(class_probs, rng)?;
+        let t: f32 = rng.gen_range(0.0..std::f32::consts::PI);
+        let (mut x, mut y) = if cls == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        x += noise * box_muller(rng);
+        y += noise * box_muller(rng);
+        data.push(x);
+        data.push(y);
+        labels.push(cls);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 2])?, labels, 2)
+}
+
+/// Concentric rings: class `k` lives on radius `k + 1` with angular
+/// uniformity and radial noise. Harder than clusters because no linear
+/// separator exists.
+///
+/// # Errors
+///
+/// Fails on a non-distribution or zero `n`.
+pub fn rings(
+    num_classes: usize,
+    n: usize,
+    noise: f32,
+    class_probs: &[f64],
+    rng: &mut impl Rng,
+) -> Result<Dataset, DataError> {
+    if class_probs.len() != num_classes || num_classes == 0 {
+        return Err(DataError::InvalidConfig {
+            reason: "class_probs length must equal num_classes (nonzero)".into(),
+        });
+    }
+    validate_distribution(class_probs)?;
+    if n == 0 {
+        return Err(DataError::InvalidConfig {
+            reason: "cannot generate zero samples".into(),
+        });
+    }
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cls = sample_class(class_probs, rng)?;
+        let r = (cls + 1) as f32 + noise * box_muller(rng);
+        let theta: f32 = rng.gen_range(0.0..TAU);
+        data.push(r * theta.cos());
+        data.push(r * theta.sin());
+        labels.push(cls);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 2])?, labels, num_classes)
+}
+
+/// A balanced (uniform) class-probability vector for `k` classes.
+pub fn uniform_probs(k: usize) -> Vec<f64> {
+    vec![1.0 / k as f64; k]
+}
+
+/// A Zipf-skewed class-probability vector: `p(k) ∝ 1/(k+1)^s`.
+///
+/// With `s = 0` this is uniform; larger `s` concentrates mass on early
+/// classes — the canonical "operation mostly sees a few categories" shape.
+pub fn zipf_probs(k: usize, s: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let z: f64 = raw.iter().sum();
+    raw.into_iter().map(|p| p / z).collect()
+}
+
+/// One standard normal draw via Box–Muller.
+fn box_muller(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn clusters_have_expected_geometry() {
+        let mut r = rng();
+        let cfg = GaussianClustersConfig::default();
+        let ds = gaussian_clusters(&cfg, 900, &uniform_probs(3), &mut r).unwrap();
+        assert_eq!(ds.len(), 900);
+        assert_eq!(ds.feature_dim(), 2);
+        // Per-class empirical mean should approximate the analytic centre.
+        for cls in 0..3 {
+            let idx = ds.indices_of_class(cls);
+            assert!(idx.len() > 200);
+            let sub = ds.select(&idx).unwrap();
+            let mean = sub.features().mean_axis(0).unwrap();
+            let center = cluster_center(&cfg, cls);
+            for j in 0..2 {
+                assert!(
+                    (mean.as_slice()[j] - center[j]).abs() < 0.2,
+                    "class {cls} dim {j}: {} vs {}",
+                    mean.as_slice()[j],
+                    center[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_respect_skewed_probs() {
+        let mut r = rng();
+        let cfg = GaussianClustersConfig::default();
+        let ds = gaussian_clusters(&cfg, 3000, &[0.8, 0.15, 0.05], &mut r).unwrap();
+        let dist = ds.class_distribution();
+        assert!((dist[0] - 0.8).abs() < 0.05);
+        assert!((dist[2] - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    fn clusters_validation() {
+        let mut r = rng();
+        let cfg = GaussianClustersConfig::default();
+        assert!(gaussian_clusters(&cfg, 0, &uniform_probs(3), &mut r).is_err());
+        assert!(gaussian_clusters(&cfg, 10, &uniform_probs(2), &mut r).is_err());
+        assert!(gaussian_clusters(&cfg, 10, &[0.5, 0.1, 0.1], &mut r).is_err());
+        let bad = GaussianClustersConfig { dim: 0, ..cfg };
+        assert!(gaussian_clusters(&bad, 10, &uniform_probs(3), &mut r).is_err());
+    }
+
+    #[test]
+    fn high_dim_clusters() {
+        let mut r = rng();
+        let cfg = GaussianClustersConfig {
+            dim: 16,
+            num_classes: 5,
+            ..Default::default()
+        };
+        let ds = gaussian_clusters(&cfg, 100, &uniform_probs(5), &mut r).unwrap();
+        assert_eq!(ds.feature_dim(), 16);
+        assert_eq!(ds.num_classes(), 5);
+    }
+
+    #[test]
+    fn moons_shape_and_validation() {
+        let mut r = rng();
+        let ds = two_moons(500, 0.05, &[0.5, 0.5], &mut r).unwrap();
+        assert_eq!(ds.feature_dim(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        // Class 0 moon lives in y ≥ −noise-ish territory.
+        let idx = ds.indices_of_class(0);
+        let sub = ds.select(&idx).unwrap();
+        let ymean = sub.features().mean_axis(0).unwrap().as_slice()[1];
+        assert!(ymean > 0.3, "upper moon mean y = {ymean}");
+        assert!(two_moons(10, 0.1, &[1.0], &mut r).is_err());
+        assert!(two_moons(0, 0.1, &[0.5, 0.5], &mut r).is_err());
+    }
+
+    #[test]
+    fn rings_radii() {
+        let mut r = rng();
+        let ds = rings(3, 600, 0.05, &uniform_probs(3), &mut r).unwrap();
+        for cls in 0..3 {
+            let idx = ds.indices_of_class(cls);
+            let sub = ds.select(&idx).unwrap();
+            let mean_r: f32 = (0..sub.len())
+                .map(|i| sub.features().row(i).unwrap().norm_l2())
+                .sum::<f32>()
+                / sub.len() as f32;
+            assert!(
+                (mean_r - (cls + 1) as f32).abs() < 0.1,
+                "ring {cls} mean radius {mean_r}"
+            );
+        }
+        assert!(rings(0, 10, 0.1, &[], &mut r).is_err());
+        assert!(rings(2, 0, 0.1, &uniform_probs(2), &mut r).is_err());
+    }
+
+    #[test]
+    fn zipf_shapes() {
+        let u = zipf_probs(4, 0.0);
+        assert!(u.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+        let z = zipf_probs(4, 1.5);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(z[0] > z[1] && z[1] > z[2] && z[2] > z[3]);
+        // s=2 concentrates harder than s=1.
+        assert!(zipf_probs(4, 2.0)[0] > zipf_probs(4, 1.0)[0]);
+    }
+
+    #[test]
+    fn generators_deterministic_from_seed() {
+        let cfg = GaussianClustersConfig::default();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let da = gaussian_clusters(&cfg, 50, &uniform_probs(3), &mut a).unwrap();
+        let db = gaussian_clusters(&cfg, 50, &uniform_probs(3), &mut b).unwrap();
+        assert_eq!(da, db);
+    }
+}

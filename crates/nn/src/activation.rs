@@ -1,0 +1,202 @@
+//! Pointwise activation functions and their layer wrapper.
+
+use opad_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A pointwise nonlinearity.
+///
+/// # Examples
+///
+/// ```
+/// use opad_nn::Activation;
+///
+/// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+/// assert_eq!(Activation::Relu.apply(3.0), 3.0);
+/// assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Leaky ReLU with slope 0.01 for negative inputs.
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (no-op); useful for testing and linear heads.
+    Identity,
+}
+
+impl Activation {
+    /// Evaluates the activation at `x`.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation, expressed in terms of the *input* `x`.
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// A layer applying an [`Activation`] elementwise, caching its input so the
+/// backward pass can form the pointwise Jacobian.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActivationLayer {
+    activation: Activation,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl ActivationLayer {
+    /// Creates a layer for the given activation.
+    pub fn new(activation: Activation) -> Self {
+        ActivationLayer {
+            activation,
+            cached_input: None,
+        }
+    }
+
+    /// The wrapped activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Forward pass; caches the input when `training` so `backward` works.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
+        if training {
+            self.cached_input = Some(x.clone());
+        }
+        let a = self.activation;
+        x.map(|v| a.apply(v))
+    }
+
+    /// Backward pass: `grad_in = grad_out ⊙ σ'(x)`.
+    ///
+    /// Returns `None` if `forward` has not cached an input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Option<Tensor> {
+        let x = self.cached_input.as_ref()?;
+        let a = self.activation;
+        x.zip_with(grad_out, |xi, g| a.derivative(xi) * g).ok()
+    }
+
+    /// Drops any cached activation (e.g. before serialization).
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_values() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+    }
+
+    #[test]
+    fn leaky_relu_keeps_small_negative_slope() {
+        assert!((Activation::LeakyRelu.apply(-2.0) + 0.02).abs() < 1e-7);
+        assert_eq!(Activation::LeakyRelu.derivative(-2.0), 0.01);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        for x in [-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let s = Activation::Sigmoid.apply(x);
+            assert!((0.0..=1.0).contains(&s));
+            let s_neg = Activation::Sigmoid.apply(-x);
+            assert!((s + s_neg - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Central finite differences agree with the analytic derivative.
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-3f32;
+        for act in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            for x in [-2.0f32, -0.5, 0.7, 1.9] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_forward_backward() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = layer.backward(&Tensor::ones(&[4])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_is_none() {
+        let mut layer = ActivationLayer::new(Activation::Tanh);
+        assert!(layer.backward(&Tensor::ones(&[2])).is_none());
+        // Inference-mode forward also does not cache.
+        layer.forward(&Tensor::ones(&[2]), false);
+        assert!(layer.backward(&Tensor::ones(&[2])).is_none());
+    }
+
+    #[test]
+    fn clear_cache_drops_state() {
+        let mut layer = ActivationLayer::new(Activation::Identity);
+        layer.forward(&Tensor::ones(&[2]), true);
+        layer.clear_cache();
+        assert!(layer.backward(&Tensor::ones(&[2])).is_none());
+    }
+}

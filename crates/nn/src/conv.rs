@@ -1,0 +1,506 @@
+//! 2-D convolution and max-pooling layers.
+//!
+//! Batches stay rank-2 (`[batch, features]`) throughout the network; conv
+//! layers carry their own `(channels, height, width)` interpretation of the
+//! feature axis. That keeps the rest of the stack (losses, attacks,
+//! optimizers) oblivious to spatial structure.
+
+use crate::NnError;
+use opad_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution with stride 1 and valid (no) padding.
+///
+/// Weight layout is `[out_c, in_c * k * k]`; input rows are
+/// `in_c * in_h * in_w` and output rows `out_c * out_h * out_w` with
+/// `out_h = in_h − k + 1`, `out_w = in_w − k + 1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_c: usize,
+    k: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-initialised kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when the kernel does not fit the
+    /// input plane or any extent is zero.
+    pub fn new(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_c: usize,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, NnError> {
+        if in_c == 0 || out_c == 0 || k == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "conv2d extents must be nonzero".into(),
+            });
+        }
+        if k > in_h || k > in_w {
+            return Err(NnError::InvalidConfig {
+                reason: format!("kernel {k}×{k} larger than input plane {in_h}×{in_w}"),
+            });
+        }
+        let fan_in = in_c * k * k;
+        Ok(Conv2d {
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            k,
+            weight: Tensor::rand_kaiming(&[out_c, fan_in], fan_in, rng),
+            bias: Tensor::zeros(&[out_c]),
+            grad_weight: Tensor::zeros(&[out_c, fan_in]),
+            grad_bias: Tensor::zeros(&[out_c]),
+            cached_input: None,
+        })
+    }
+
+    /// Output plane height.
+    pub fn out_h(&self) -> usize {
+        self.in_h - self.k + 1
+    }
+
+    /// Output plane width.
+    pub fn out_w(&self) -> usize {
+        self.in_w - self.k + 1
+    }
+
+    /// Input feature width (`in_c·in_h·in_w`).
+    pub fn in_dim(&self) -> usize {
+        self.in_c * self.in_h * self.in_w
+    }
+
+    /// Output feature width (`out_c·out_h·out_w`).
+    pub fn out_dim(&self) -> usize {
+        self.out_c * self.out_h() * self.out_w()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    #[inline]
+    fn x_off(&self, c: usize, y: usize, x: usize) -> usize {
+        (c * self.in_h + y) * self.in_w + x
+    }
+
+    #[inline]
+    fn w_off(&self, ic: usize, ky: usize, kx: usize) -> usize {
+        (ic * self.k + ky) * self.k + kx
+    }
+
+    /// Forward pass on a `[batch, in_dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        if x.rank() != 2 || x.dims()[1] != self.in_dim() {
+            return Err(NnError::InputWidthMismatch {
+                layer: "Conv2d",
+                expected: self.in_dim(),
+                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+            });
+        }
+        if training {
+            self.cached_input = Some(x.clone());
+        }
+        let batch = x.dims()[0];
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let fan_in = self.in_c * self.k * self.k;
+        let xs = x.as_slice();
+        let ws = self.weight.as_slice();
+        let bs = self.bias.as_slice();
+        let mut out = vec![0.0f32; batch * self.out_c * oh * ow];
+        for n in 0..batch {
+            let xrow = &xs[n * self.in_dim()..(n + 1) * self.in_dim()];
+            for oc in 0..self.out_c {
+                let wrow = &ws[oc * fan_in..(oc + 1) * fan_in];
+                let b = bs[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b;
+                        for ic in 0..self.in_c {
+                            for ky in 0..self.k {
+                                let xbase = self.x_off(ic, oy + ky, ox);
+                                let wbase = self.w_off(ic, ky, 0);
+                                for kx in 0..self.k {
+                                    acc += xrow[xbase + kx] * wrow[wbase + kx];
+                                }
+                            }
+                        }
+                        out[((n * self.out_c + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, self.out_dim()])?)
+    }
+
+    /// Backward pass: accumulates kernel/bias gradients, returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] when no input is cached.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?;
+        let batch = x.dims()[0];
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let fan_in = self.in_c * self.k * self.k;
+        let xs = x.as_slice();
+        let gs = grad_out.as_slice();
+        let ws = self.weight.as_slice();
+        let mut dw = vec![0.0f32; self.weight.len()];
+        let mut db = vec![0.0f32; self.out_c];
+        let mut dx = vec![0.0f32; xs.len()];
+        for n in 0..batch {
+            let xrow = &xs[n * self.in_dim()..(n + 1) * self.in_dim()];
+            let dxrow = &mut dx[n * self.in_dim()..(n + 1) * self.in_dim()];
+            for oc in 0..self.out_c {
+                let wrow = &ws[oc * fan_in..(oc + 1) * fan_in];
+                let dwrow = &mut dw[oc * fan_in..(oc + 1) * fan_in];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gs[((n * self.out_c + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        db[oc] += g;
+                        for ic in 0..self.in_c {
+                            for ky in 0..self.k {
+                                let xbase = self.x_off(ic, oy + ky, ox);
+                                let wbase = self.w_off(ic, ky, 0);
+                                for kx in 0..self.k {
+                                    dwrow[wbase + kx] += g * xrow[xbase + kx];
+                                    dxrow[xbase + kx] += g * wrow[wbase + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.grad_weight
+            .axpy(1.0, &Tensor::from_vec(dw, &[self.out_c, fan_in])?)?;
+        self.grad_bias
+            .axpy(1.0, &Tensor::from_vec(db, &[self.out_c])?)?;
+        Ok(Tensor::from_vec(dx, &[batch, self.in_dim()])?)
+    }
+
+    /// Zeroes accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+
+    /// Parameter/gradient pairs, for the optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.weight, &self.grad_weight),
+            (&mut self.bias, &self.grad_bias),
+        ]
+    }
+
+    /// Drops the cached activation.
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+/// Non-overlapping 2-D max pooling (window = stride = `p`).
+///
+/// Planes whose extent is not a multiple of `p` are truncated, matching the
+/// common "floor" convention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    c: usize,
+    in_h: usize,
+    in_w: usize,
+    p: usize,
+    #[serde(skip)]
+    cached_argmax: Option<(usize, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer over `c` planes of `in_h×in_w` with window `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the window is zero or larger
+    /// than the plane.
+    pub fn new(c: usize, in_h: usize, in_w: usize, p: usize) -> Result<Self, NnError> {
+        if p == 0 || p > in_h || p > in_w || c == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("invalid pool window {p} for plane {in_h}×{in_w}"),
+            });
+        }
+        Ok(MaxPool2d {
+            c,
+            in_h,
+            in_w,
+            p,
+            cached_argmax: None,
+        })
+    }
+
+    /// Output plane height.
+    pub fn out_h(&self) -> usize {
+        self.in_h / self.p
+    }
+
+    /// Output plane width.
+    pub fn out_w(&self) -> usize {
+        self.in_w / self.p
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.c * self.in_h * self.in_w
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.c * self.out_h() * self.out_w()
+    }
+
+    /// Forward pass on a `[batch, in_dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        if x.rank() != 2 || x.dims()[1] != self.in_dim() {
+            return Err(NnError::InputWidthMismatch {
+                layer: "MaxPool2d",
+                expected: self.in_dim(),
+                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+            });
+        }
+        let batch = x.dims()[0];
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let xs = x.as_slice();
+        let mut out = vec![0.0f32; batch * self.out_dim()];
+        let mut argmax = vec![0usize; batch * self.out_dim()];
+        for n in 0..batch {
+            let xrow = &xs[n * self.in_dim()..(n + 1) * self.in_dim()];
+            for c in 0..self.c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0usize;
+                        for dy in 0..self.p {
+                            for dx in 0..self.p {
+                                let off =
+                                    (c * self.in_h + oy * self.p + dy) * self.in_w + ox * self.p + dx;
+                                if xrow[off] > best {
+                                    best = xrow[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        let o = ((n * self.c + c) * oh + oy) * ow + ox;
+                        out[o] = best;
+                        argmax[o] = best_off;
+                    }
+                }
+            }
+        }
+        if training {
+            self.cached_argmax = Some((batch, argmax));
+        }
+        Ok(Tensor::from_vec(out, &[batch, self.out_dim()])?)
+    }
+
+    /// Backward pass: routes each output gradient to its argmax input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] when no argmax is cached.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let (batch, argmax) = self
+            .cached_argmax
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "MaxPool2d" })?;
+        let mut dx = vec![0.0f32; batch * self.in_dim()];
+        let gs = grad_out.as_slice();
+        for n in 0..*batch {
+            let dxrow = &mut dx[n * self.in_dim()..(n + 1) * self.in_dim()];
+            for o in 0..self.out_dim() {
+                let flat = n * self.out_dim() + o;
+                dxrow[argmax[flat]] += gs[flat];
+            }
+        }
+        Ok(Tensor::from_vec(dx, &[*batch, self.in_dim()])?)
+    }
+
+    /// Drops the cached argmax map.
+    pub fn clear_cache(&mut self) {
+        self.cached_argmax = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_config_validation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Conv2d::new(0, 4, 4, 1, 2, &mut rng).is_err());
+        assert!(Conv2d::new(1, 4, 4, 1, 5, &mut rng).is_err());
+        assert!(Conv2d::new(1, 4, 4, 2, 3, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 3, 3, 1, 1, &mut rng).unwrap();
+        // Set the 1×1 kernel to [1] and bias to 0: output == input.
+        conv.weight = Tensor::ones(&[1, 1]);
+        conv.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 9]).unwrap();
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_known_sum_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 3, 3, 1, 2, &mut rng).unwrap();
+        conv.weight = Tensor::ones(&[1, 4]);
+        conv.bias = Tensor::zeros(&[1]);
+        // Input plane 3×3 of ones: each 2×2 window sums to 4.
+        let x = Tensor::ones(&[1, 9]);
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 4]);
+        assert!(y.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn conv_forward_validates_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 4, 4, 1, 2, &mut rng).unwrap();
+        assert!(conv.forward(&Tensor::zeros(&[1, 15]), false).is_err());
+        assert!(conv.backward(&Tensor::zeros(&[1, 9])).is_err());
+    }
+
+    /// Finite-difference check of conv input gradients, L = sum(output).
+    #[test]
+    fn conv_input_gradient_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 4, 4, 3, 2, &mut rng).unwrap();
+        let x = Tensor::rand_normal(&[1, conv.in_dim()], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true).unwrap();
+        let dx = conv.backward(&Tensor::ones(&[1, y.dims()[1]])).unwrap();
+        let h = 1e-2f32;
+        for j in [0usize, 5, 13, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[j] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[j] -= h;
+            let num =
+                (conv.forward(&xp, false).unwrap().sum() - conv.forward(&xm, false).unwrap().sum())
+                    / (2.0 * h);
+            let ana = dx.as_slice()[j];
+            assert!((num - ana).abs() < 0.05, "j={j}: {num} vs {ana}");
+        }
+    }
+
+    /// Finite-difference check of conv weight gradients.
+    #[test]
+    fn conv_weight_gradient_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(1, 4, 4, 2, 3, &mut rng).unwrap();
+        let x = Tensor::rand_normal(&[2, conv.in_dim()], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true).unwrap();
+        conv.backward(&Tensor::ones(&[2, y.dims()[1]])).unwrap();
+        let analytic = conv.grad_weight.clone();
+        let h = 1e-2f32;
+        for j in [0usize, 4, 8, 17] {
+            let orig = conv.weight.as_slice()[j];
+            conv.weight.as_mut_slice()[j] = orig + h;
+            let lp = conv.forward(&x, false).unwrap().sum();
+            conv.weight.as_mut_slice()[j] = orig - h;
+            let lm = conv.forward(&x, false).unwrap().sum();
+            conv.weight.as_mut_slice()[j] = orig;
+            let num = (lp - lm) / (2.0 * h);
+            assert!(
+                (num - analytic.as_slice()[j]).abs() < 0.05,
+                "w[{j}]: {num} vs {}",
+                analytic.as_slice()[j]
+            );
+        }
+        // Bias gradient: dL/db = number of output positions per channel × batch.
+        let per_chan = (conv.out_h() * conv.out_w() * 2) as f32;
+        assert!(conv
+            .grad_bias
+            .as_slice()
+            .iter()
+            .all(|&g| (g - per_chan).abs() < 1e-3));
+    }
+
+    #[test]
+    fn pool_config_validation() {
+        assert!(MaxPool2d::new(1, 4, 4, 0).is_err());
+        assert!(MaxPool2d::new(1, 4, 4, 5).is_err());
+        assert!(MaxPool2d::new(0, 4, 4, 2).is_err());
+        assert!(MaxPool2d::new(1, 4, 4, 2).is_ok());
+    }
+
+    #[test]
+    fn pool_picks_maxima() {
+        let mut pool = MaxPool2d::new(1, 4, 4, 2).unwrap();
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 16]).unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(1, 2, 2, 2).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 2.0], &[1, 4]).unwrap();
+        pool.forward(&x, true).unwrap();
+        let dx = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1]).unwrap()).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+        pool.clear_cache();
+        assert!(pool.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn pool_truncates_odd_planes() {
+        let pool = MaxPool2d::new(1, 5, 5, 2).unwrap();
+        assert_eq!(pool.out_h(), 2);
+        assert_eq!(pool.out_dim(), 4);
+    }
+
+    #[test]
+    fn conv_dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 8, 8, 4, 3, &mut rng).unwrap();
+        assert_eq!(conv.in_dim(), 192);
+        assert_eq!(conv.out_h(), 6);
+        assert_eq!(conv.out_dim(), 4 * 36);
+        assert_eq!(conv.param_count(), 4 * 27 + 4);
+    }
+}

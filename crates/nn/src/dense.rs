@@ -1,0 +1,274 @@
+//! Fully-connected (dense) layers.
+
+use crate::NnError;
+use opad_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer computing `y = x·W + b` on batched inputs.
+///
+/// `x` is `[batch, in_dim]`, `W` is `[in_dim, out_dim]`, `b` is `[out_dim]`.
+/// Gradients with respect to the parameters are accumulated into the layer
+/// by [`Dense::backward`] and read by the optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-initialised weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Dense {
+            weight: Tensor::rand_kaiming(&[in_dim, out_dim], in_dim, rng),
+            bias: Tensor::zeros(&[out_dim]),
+            grad_weight: Tensor::zeros(&[in_dim, out_dim]),
+            grad_bias: Tensor::zeros(&[out_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a dense layer from explicit parameters (for tests and
+    /// deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when the weight is not rank-2 or
+    /// the bias width does not match the weight's output width.
+    pub fn from_params(weight: Tensor, bias: Tensor) -> Result<Self, NnError> {
+        if weight.rank() != 2 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("dense weight must be rank 2, got rank {}", weight.rank()),
+            });
+        }
+        if bias.rank() != 1 || bias.len() != weight.dims()[1] {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "dense bias shape {:?} does not match weight {:?}",
+                    bias.dims(),
+                    weight.dims()
+                ),
+            });
+        }
+        let (i, o) = (weight.dims()[0], weight.dims()[1]);
+        Ok(Dense {
+            weight,
+            bias,
+            grad_weight: Tensor::zeros(&[i, o]),
+            grad_bias: Tensor::zeros(&[o]),
+            cached_input: None,
+        })
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass on a `[batch, in_dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        if x.rank() != 2 || x.dims()[1] != self.in_dim() {
+            return Err(NnError::InputWidthMismatch {
+                layer: "Dense",
+                expected: self.in_dim(),
+                actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
+            });
+        }
+        if training {
+            self.cached_input = Some(x.clone());
+        }
+        let y = x.matmul(&self.weight)?;
+        Ok(y.checked_add(&self.bias)?)
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] when no input is cached.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Dense" })?;
+        // dW = xᵀ · g ; db = Σ_batch g ; dx = g · Wᵀ
+        let dw = x.transpose()?.matmul(grad_out)?;
+        self.grad_weight.axpy(1.0, &dw)?;
+        let db = grad_out.sum_axis(0)?;
+        self.grad_bias.axpy(1.0, &db)?;
+        Ok(grad_out.matmul(&self.weight.transpose()?)?)
+    }
+
+    /// Zeroes accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+
+    /// Parameter/gradient pairs, for the optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.weight, &self.grad_weight),
+            (&mut self.bias, &self.grad_bias),
+        ]
+    }
+
+    /// Drops the cached activation.
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple_layer() -> Dense {
+        // W = [[1, 2], [3, 4]], b = [0.5, -0.5]
+        Dense::from_params(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            Tensor::from_slice(&[0.5, -0.5]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut layer = simple_layer();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn forward_validates_width() {
+        let mut layer = simple_layer();
+        let bad = Tensor::zeros(&[1, 3]);
+        assert!(matches!(
+            layer.forward(&bad, false),
+            Err(NnError::InputWidthMismatch { expected: 2, actual: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut layer = simple_layer();
+        assert!(matches!(
+            layer.backward(&Tensor::zeros(&[1, 2])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_gradients_match_manual() {
+        let mut layer = simple_layer();
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        layer.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        let dx = layer.backward(&g).unwrap();
+        // dx = g · Wᵀ = [1*1 + 0*2, 1*3 + 0*4] = [1, 3]
+        assert_eq!(dx.as_slice(), &[1.0, 3.0]);
+        // dW = xᵀ·g = [[1],[2]]·[1,0] = [[1,0],[2,0]]
+        assert_eq!(layer.grad_weight.as_slice(), &[1.0, 0.0, 2.0, 0.0]);
+        assert_eq!(layer.grad_bias.as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut layer = simple_layer();
+        let x = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        layer.forward(&x, true).unwrap();
+        layer.backward(&g).unwrap();
+        layer.forward(&x, true).unwrap();
+        layer.backward(&g).unwrap();
+        assert_eq!(layer.grad_bias.as_slice(), &[2.0, 2.0]);
+        layer.zero_grad();
+        assert_eq!(layer.grad_bias.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_params_validates() {
+        assert!(Dense::from_params(Tensor::zeros(&[4]), Tensor::zeros(&[2])).is_err());
+        assert!(Dense::from_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[2])).is_err());
+        assert!(Dense::from_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3])).is_ok());
+    }
+
+    #[test]
+    fn batch_forward() {
+        let mut layer = simple_layer();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 2]);
+        assert_eq!(y.row(0).unwrap().as_slice(), &[1.5, 1.5]);
+        assert_eq!(y.row(1).unwrap().as_slice(), &[3.5, 3.5]);
+    }
+
+    #[test]
+    fn new_initialises_reasonably() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::new(64, 32, &mut rng);
+        assert_eq!(layer.in_dim(), 64);
+        assert_eq!(layer.out_dim(), 32);
+        assert_eq!(layer.param_count(), 64 * 32 + 32);
+        assert_eq!(layer.bias().sum(), 0.0);
+        assert!(layer.weight().std() > 0.0);
+    }
+
+    /// Finite-difference check of dL/dx through the layer, L = sum(y).
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Tensor::rand_normal(&[1, 3], 0.0, 1.0, &mut rng);
+        layer.forward(&x, true).unwrap();
+        let ones = Tensor::ones(&[1, 2]);
+        let dx = layer.backward(&ones).unwrap();
+
+        let h = 1e-3f32;
+        for j in 0..3 {
+            let mut xp = x.clone();
+            xp.set(&[0, j], x.get(&[0, j]).unwrap() + h).unwrap();
+            let mut xm = x.clone();
+            xm.set(&[0, j], x.get(&[0, j]).unwrap() - h).unwrap();
+            let yp = layer.forward(&xp, false).unwrap().sum();
+            let ym = layer.forward(&xm, false).unwrap().sum();
+            let numeric = (yp - ym) / (2.0 * h);
+            let analytic = dx.get(&[0, j]).unwrap();
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "component {j}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

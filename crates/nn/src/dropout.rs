@@ -1,0 +1,155 @@
+//! Inverted dropout.
+
+use crate::NnError;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+/// Inverted dropout: during training each unit is kept with probability
+/// `1 − rate` and scaled by `1/(1 − rate)`; at inference the layer is the
+/// identity.
+///
+/// The layer owns its RNG (seeded at construction) so training runs are
+/// reproducible without threading a generator through every forward call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    rate: f32,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+    #[serde(skip)]
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping each unit with probability `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] unless `0 ≤ rate < 1`.
+    pub fn new(rate: f32, seed: u64) -> Result<Self, NnError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("dropout rate must be in [0, 1), got {rate}"),
+            });
+        }
+        Ok(Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Forward pass; samples and caches a fresh mask when `training`.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
+        if !training || self.rate == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(x.dims(), |_| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let y = x.checked_mul(&mask).expect("mask matches x shape");
+        self.cached_mask = Some(mask);
+        y
+    }
+
+    /// Backward pass: multiplies by the cached mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] when no mask is cached.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "Dropout" })?;
+        Ok(grad_out.checked_mul(mask)?)
+    }
+
+    /// Drops the cached mask.
+    pub fn clear_cache(&mut self) {
+        self.cached_mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_validation() {
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(0.5, 0).is_ok());
+        assert_eq!(Dropout::new(0.3, 0).unwrap().rate(), 0.3);
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.9, 1).unwrap();
+        let x = Tensor::ones(&[4, 4]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_training() {
+        let mut d = Dropout::new(0.0, 1).unwrap();
+        let x = Tensor::ones(&[4]);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 7).unwrap();
+        let x = Tensor::ones(&[10000]);
+        let y = d.forward(&x, true);
+        // E[y] = 1; inverted dropout rescales survivors.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors are scaled by 2, dropped are 0.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[100])).unwrap();
+        // Gradient flows exactly where the forward survived.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        assert!(d.backward(&Tensor::ones(&[2])).is_err());
+        d.forward(&Tensor::ones(&[2]), true);
+        d.clear_cache();
+        assert!(d.backward(&Tensor::ones(&[2])).is_err());
+    }
+
+    #[test]
+    fn seeded_masks_are_deterministic() {
+        let mut d1 = Dropout::new(0.5, 42).unwrap();
+        let mut d2 = Dropout::new(0.5, 42).unwrap();
+        let x = Tensor::ones(&[64]);
+        assert_eq!(d1.forward(&x, true), d2.forward(&x, true));
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for network construction and training.
+
+use opad_tensor::TensorError;
+use thiserror::Error;
+
+/// Error produced while building, running or training a network.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor operation inside the network failed; usually means the
+    /// input batch shape does not match the network's expected input width.
+    #[error("tensor operation failed: {0}")]
+    Tensor(#[from] TensorError),
+
+    /// The input batch width does not match the layer's expected width.
+    #[error("layer `{layer}` expected input width {expected}, got {actual}")]
+    InputWidthMismatch {
+        /// Layer type name.
+        layer: &'static str,
+        /// Width the layer was built for.
+        expected: usize,
+        /// Width actually supplied.
+        actual: usize,
+    },
+
+    /// Labels and batch size disagree.
+    #[error("batch has {batch} rows but {labels} labels were supplied")]
+    LabelCountMismatch {
+        /// Number of rows in the input batch.
+        batch: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+
+    /// A label value exceeds the number of classes.
+    #[error("label {label} out of range for {classes} classes")]
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the network predicts.
+        classes: usize,
+    },
+
+    /// `backward` was called before `forward` cached activations.
+    #[error("backward called before forward on layer `{layer}`")]
+    BackwardBeforeForward {
+        /// Layer type name.
+        layer: &'static str,
+    },
+
+    /// A configuration value was invalid (e.g. zero-sized layer).
+    #[error("invalid configuration: {reason}")]
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+
+    /// The network has no layers.
+    #[error("network is empty")]
+    EmptyNetwork,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = NnError::InputWidthMismatch {
+            layer: "Dense",
+            expected: 4,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("Dense"));
+        assert!(e.to_string().contains('4'));
+
+        let e = NnError::LabelOutOfRange { label: 9, classes: 3 };
+        assert!(e.to_string().contains('9'));
+
+        let e: NnError = TensorError::Empty { op: "max" }.into();
+        assert!(matches!(e, NnError::Tensor(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

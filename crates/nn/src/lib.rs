@@ -1,0 +1,59 @@
+//! # opad-nn
+//!
+//! From-scratch neural networks for the *opad* toolkit: enough deep
+//! learning to train classifiers, query their softmax confidence, and —
+//! crucially for adversarial testing — differentiate the loss **with
+//! respect to the input** ([`Network::loss_and_input_grad`]).
+//!
+//! The stack is deliberately small and fully deterministic given a seed:
+//!
+//! * layers: [`Dense`], [`Conv2d`], [`MaxPool2d`], [`Dropout`],
+//!   activations ([`Activation`]);
+//! * losses: softmax [`cross_entropy`] (with per-sample weights, the hook
+//!   OP-aware retraining uses) and [`mse`];
+//! * optimizers: SGD / momentum / Adam ([`Optimizer`]);
+//! * a mini-batch [`Trainer`];
+//! * metrics and uncertainty statistics ([`ConfusionMatrix`],
+//!   [`prediction_margin`], [`prediction_entropy`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use opad_nn::{Activation, Network, Optimizer, TrainConfig, Trainer};
+//! use opad_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // Two separable clusters.
+//! let x = Tensor::from_vec(vec![-2.0, -2.0, 2.0, 2.0], &[2, 2])?;
+//! let y = vec![0usize, 1];
+//! let mut net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng)?;
+//! let mut trainer = Trainer::new(TrainConfig::new(50, 2), Optimizer::sgd(0.2));
+//! trainer.fit(&mut net, &x, &y, None, &mut rng)?;
+//! assert_eq!(net.accuracy(&x, &y)?, 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod error;
+mod loss;
+mod metrics;
+mod network;
+mod optimizer;
+mod train;
+
+pub use activation::{Activation, ActivationLayer};
+pub use conv::{Conv2d, MaxPool2d};
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use error::NnError;
+pub use loss::{cross_entropy, mse, softmax, LossOutput};
+pub use metrics::{prediction_entropy, prediction_margin, ConfusionMatrix};
+pub use network::{Layer, Network};
+pub use optimizer::Optimizer;
+pub use train::{TrainConfig, TrainReport, Trainer};

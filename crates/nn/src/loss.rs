@@ -1,0 +1,279 @@
+//! Loss functions: softmax cross-entropy (optionally per-sample weighted)
+//! and mean squared error.
+
+use crate::NnError;
+use opad_tensor::Tensor;
+
+/// Numerically-stable row-wise softmax of a `[batch, classes]` logit tensor.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input or zero classes.
+///
+/// # Examples
+///
+/// ```
+/// use opad_nn::softmax;
+/// use opad_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3])?;
+/// let p = softmax(&logits)?;
+/// assert!(p.as_slice().iter().all(|&v| (v - 1.0 / 3.0).abs() < 1e-6));
+/// # Ok::<(), opad_nn::NnError>(())
+/// ```
+pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
+    if logits.rank() != 2 {
+        return Err(NnError::Tensor(opad_tensor::TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+            op: "softmax",
+        }));
+    }
+    let (b, k) = (logits.dims()[0], logits.dims()[1]);
+    if k == 0 {
+        return Err(NnError::Tensor(opad_tensor::TensorError::Empty {
+            op: "softmax",
+        }));
+    }
+    let xs = logits.as_slice();
+    let mut out = vec![0.0f32; b * k];
+    for i in 0..b {
+        let row = &xs[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for j in 0..k {
+            let e = (row[j] - m).exp();
+            out[i * k + j] = e;
+            z += e;
+        }
+        for v in &mut out[i * k..(i + 1) * k] {
+            *v /= z;
+        }
+    }
+    Ok(Tensor::from_vec(out, &[b, k])?)
+}
+
+/// The value and logit-gradient of a loss on one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch (weighted mean when weights are supplied).
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits,
+    /// shape `[batch, classes]`.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy between logits and integer class labels.
+///
+/// When `weights` is supplied, sample `i` contributes `w_i · CE_i` and the
+/// total is normalised by `Σw` — the mechanism OP-aware retraining uses to
+/// emphasise operationally-likely samples.
+///
+/// # Errors
+///
+/// Fails on shape/label mismatches ([`NnError::LabelCountMismatch`],
+/// [`NnError::LabelOutOfRange`]) or non-matrix logits.
+pub fn cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+    weights: Option<&[f32]>,
+) -> Result<LossOutput, NnError> {
+    let probs = softmax(logits)?;
+    let (b, k) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != b {
+        return Err(NnError::LabelCountMismatch {
+            batch: b,
+            labels: labels.len(),
+        });
+    }
+    if let Some(w) = weights {
+        if w.len() != b {
+            return Err(NnError::LabelCountMismatch {
+                batch: b,
+                labels: w.len(),
+            });
+        }
+    }
+    let total_w: f32 = match weights {
+        Some(w) => w.iter().sum(),
+        None => b as f32,
+    };
+    // Degenerate all-zero weights: define loss 0 with zero gradient.
+    if total_w <= 0.0 {
+        return Ok(LossOutput {
+            loss: 0.0,
+            grad: Tensor::zeros(&[b, k]),
+        });
+    }
+    let ps = probs.as_slice();
+    let mut grad = ps.to_vec();
+    let mut loss = 0.0f32;
+    for (i, &y) in labels.iter().enumerate() {
+        if y >= k {
+            return Err(NnError::LabelOutOfRange { label: y, classes: k });
+        }
+        let w = weights.map_or(1.0, |w| w[i]);
+        let p = ps[i * k + y].max(1e-12);
+        loss += -w * p.ln();
+        // d(mean CE)/dlogits = w (p − onehot) / Σw
+        for j in 0..k {
+            let indicator = if j == y { 1.0 } else { 0.0 };
+            grad[i * k + j] = w * (ps[i * k + j] - indicator) / total_w;
+        }
+    }
+    Ok(LossOutput {
+        loss: loss / total_w,
+        grad: Tensor::from_vec(grad, &[b, k])?,
+    })
+}
+
+/// Mean squared error between predictions and targets of identical shape.
+///
+/// # Errors
+///
+/// Returns a shape error when the operands differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<LossOutput, NnError> {
+    let diff = pred.checked_sub(target)?;
+    let n = pred.len().max(1) as f32;
+    let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok(LossOutput { loss, grad })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.row(i).unwrap().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.as_slice().iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1001.0, 1002.0, 1003.0], &[1, 3]).unwrap();
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        assert!(pa.approx_eq(&pb, 1e-6));
+        assert!(!pb.has_non_finite());
+    }
+
+    #[test]
+    fn softmax_rejects_bad_rank() {
+        assert!(softmax(&Tensor::zeros(&[3])).is_err());
+        assert!(softmax(&Tensor::zeros(&[2, 0])).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]).unwrap();
+        let out = cross_entropy(&logits, &[0], None).unwrap();
+        assert!(out.loss < 1e-3);
+        assert!(out.grad.norm_linf() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = cross_entropy(&logits, &[2], None).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![0.3, -1.0, 2.0, 0.7, 0.1, -0.2], &[2, 3]).unwrap();
+        let out = cross_entropy(&logits, &[1, 0], None).unwrap();
+        for i in 0..2 {
+            let s = out.grad.row(i).unwrap().sum();
+            assert!(s.abs() < 1e-6, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 1.2, 0.1], &[1, 4]).unwrap();
+        let out = cross_entropy(&logits, &[2], None).unwrap();
+        let h = 1e-3f32;
+        for j in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[j] += h;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[j] -= h;
+            let fp = cross_entropy(&lp, &[2], None).unwrap().loss;
+            let fm = cross_entropy(&lm, &[2], None).unwrap().loss;
+            let num = (fp - fm) / (2.0 * h);
+            let ana = out.grad.as_slice()[j];
+            assert!((num - ana).abs() < 1e-3, "j={j}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn weighted_cross_entropy_emphasises_heavy_samples() {
+        let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2]).unwrap();
+        // Sample 0 predicted class 0 but labelled 1 (wrong); sample 1 correct.
+        let unweighted = cross_entropy(&logits, &[1, 1], None).unwrap();
+        let weighted = cross_entropy(&logits, &[1, 1], Some(&[10.0, 0.1])).unwrap();
+        // Up-weighting the wrong sample must increase the mean loss.
+        assert!(weighted.loss > unweighted.loss);
+    }
+
+    #[test]
+    fn weighted_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 1.2, 0.1], &[2, 2]).unwrap();
+        let w = [3.0f32, 0.5];
+        let out = cross_entropy(&logits, &[0, 1], Some(&w)).unwrap();
+        let h = 1e-3f32;
+        for j in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[j] += h;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[j] -= h;
+            let fp = cross_entropy(&lp, &[0, 1], Some(&w)).unwrap().loss;
+            let fm = cross_entropy(&lm, &[0, 1], Some(&w)).unwrap().loss;
+            let num = (fp - fm) / (2.0 * h);
+            assert!((num - out.grad.as_slice()[j]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            cross_entropy(&logits, &[0], None),
+            Err(NnError::LabelCountMismatch { .. })
+        ));
+        assert!(matches!(
+            cross_entropy(&logits, &[0, 3], None),
+            Err(NnError::LabelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cross_entropy(&logits, &[0, 1], Some(&[1.0])),
+            Err(NnError::LabelCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_zero_weights_degenerate_case() {
+        let logits = Tensor::zeros(&[2, 2]);
+        let out = cross_entropy(&logits, &[0, 1], Some(&[0.0, 0.0])).unwrap();
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.norm_linf(), 0.0);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 2.0]);
+        let out = mse(&p, &t).unwrap();
+        assert!((out.loss - 0.5).abs() < 1e-6);
+        assert_eq!(out.grad.as_slice(), &[1.0, 0.0]);
+        assert!(mse(&p, &Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Classification metrics and per-sample uncertainty statistics.
+//!
+//! The uncertainty statistics ([`prediction_margin`], [`prediction_entropy`])
+//! double as the *auxiliary information* the paper's RQ2 seed sampler uses
+//! to find inputs "likely to cause failure".
+
+use crate::loss::softmax;
+use crate::NnError;
+use opad_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix over `k` classes; rows are true labels, columns are
+/// predictions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel truth/prediction slices.
+    ///
+    /// # Errors
+    ///
+    /// Fails when lengths differ or any label/prediction `≥ k`.
+    pub fn from_predictions(truth: &[usize], pred: &[usize], k: usize) -> Result<Self, NnError> {
+        if truth.len() != pred.len() {
+            return Err(NnError::LabelCountMismatch {
+                batch: pred.len(),
+                labels: truth.len(),
+            });
+        }
+        let mut counts = vec![0u64; k * k];
+        for (&t, &p) in truth.iter().zip(pred) {
+            if t >= k {
+                return Err(NnError::LabelOutOfRange { label: t, classes: k });
+            }
+            if p >= k {
+                return Err(NnError::LabelOutOfRange { label: p, classes: k });
+            }
+            counts[t * k + p] += 1;
+        }
+        Ok(ConfusionMatrix { k, counts })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of samples with true label `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> u64 {
+        self.counts[t * self.k + p]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0.0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.k).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall: `None` for classes with no true samples.
+    pub fn per_class_recall(&self) -> Vec<Option<f64>> {
+        (0..self.k)
+            .map(|t| {
+                let row: u64 = (0..self.k).map(|p| self.count(t, p)).sum();
+                if row == 0 {
+                    None
+                } else {
+                    Some(self.count(t, t) as f64 / row as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Accuracy weighted by an external class distribution (the operational
+    /// profile), rather than by the empirical test distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when `class_probs` has the wrong
+    /// length.
+    pub fn weighted_accuracy(&self, class_probs: &[f64]) -> Result<f64, NnError> {
+        if class_probs.len() != self.k {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "expected {} class probabilities, got {}",
+                    self.k,
+                    class_probs.len()
+                ),
+            });
+        }
+        let mut acc = 0.0;
+        let mut mass = 0.0;
+        for (t, &p) in class_probs.iter().enumerate() {
+            if let Some(recall) = self.per_class_recall()[t] {
+                acc += p * recall;
+                mass += p;
+            }
+        }
+        Ok(if mass > 0.0 { acc / mass } else { 0.0 })
+    }
+}
+
+/// Per-row prediction margin: `p₍top1₎ − p₍top2₎` of the softmax
+/// distribution. Small margins flag inputs near the decision boundary —
+/// prime seed material for adversarial testing.
+///
+/// # Errors
+///
+/// Fails for non-matrix logits or fewer than two classes.
+pub fn prediction_margin(logits: &Tensor) -> Result<Vec<f32>, NnError> {
+    let p = softmax(logits)?;
+    let (b, k) = (p.dims()[0], p.dims()[1]);
+    if k < 2 {
+        return Err(NnError::InvalidConfig {
+            reason: "margin needs at least two classes".into(),
+        });
+    }
+    let ps = p.as_slice();
+    let mut out = Vec::with_capacity(b);
+    for i in 0..b {
+        let row = &ps[i * k..(i + 1) * k];
+        let mut top1 = f32::NEG_INFINITY;
+        let mut top2 = f32::NEG_INFINITY;
+        for &v in row {
+            if v > top1 {
+                top2 = top1;
+                top1 = v;
+            } else if v > top2 {
+                top2 = v;
+            }
+        }
+        out.push(top1 - top2);
+    }
+    Ok(out)
+}
+
+/// Per-row Shannon entropy (nats) of the softmax distribution. High entropy
+/// means the model is uncertain.
+///
+/// # Errors
+///
+/// Fails for non-matrix logits.
+pub fn prediction_entropy(logits: &Tensor) -> Result<Vec<f32>, NnError> {
+    let p = softmax(logits)?;
+    let (b, k) = (p.dims()[0], p.dims()[1]);
+    let ps = p.as_slice();
+    let mut out = Vec::with_capacity(b);
+    for i in 0..b {
+        let h: f32 = ps[i * k..(i + 1) * k]
+            .iter()
+            .map(|&v| if v > 0.0 { -v * v.ln() } else { 0.0 })
+            .sum();
+        out.push(h);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_basics() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [0, 1, 1, 1, 2, 0];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 3).unwrap();
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        let recalls = cm.per_class_recall();
+        assert_eq!(recalls[0], Some(0.5));
+        assert_eq!(recalls[1], Some(1.0));
+        assert_eq!(recalls[2], Some(0.5));
+    }
+
+    #[test]
+    fn confusion_matrix_validation() {
+        assert!(ConfusionMatrix::from_predictions(&[0], &[0, 1], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[5], &[0], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[0], &[5], 2).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        let cm = ConfusionMatrix::from_predictions(&[], &[], 3).unwrap();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert!(cm.per_class_recall().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn weighted_accuracy_reweights_classes() {
+        // Class 0: recall 1.0; class 1: recall 0.0.
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 0, 0, 0], 2).unwrap();
+        assert_eq!(cm.accuracy(), 0.5);
+        // OP that mostly sees class 1 → much worse delivered accuracy.
+        let acc = cm.weighted_accuracy(&[0.1, 0.9]).unwrap();
+        assert!((acc - 0.1).abs() < 1e-12);
+        assert!(cm.weighted_accuracy(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn weighted_accuracy_skips_unseen_classes() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 2).unwrap();
+        // Class 1 never appears: its recall is undefined and its OP mass is
+        // renormalised away.
+        let acc = cm.weighted_accuracy(&[0.5, 0.5]).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn margin_identifies_uncertain_rows() {
+        let logits = Tensor::from_vec(vec![5.0, -5.0, 0.1, 0.0], &[2, 2]).unwrap();
+        let m = prediction_margin(&logits).unwrap();
+        assert!(m[0] > 0.99);
+        assert!(m[1] < 0.1);
+        assert!(prediction_margin(&Tensor::zeros(&[2, 1])).is_err());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let h = prediction_entropy(&logits).unwrap();
+        assert!(h[0] < 0.01, "confident row should have ~0 entropy");
+        assert!((h[1] - (2.0f32).ln()).abs() < 1e-4, "uniform row = ln 2");
+    }
+
+    #[test]
+    fn margin_and_entropy_rank_consistently() {
+        // The more uncertain row has lower margin and higher entropy.
+        let logits = Tensor::from_vec(vec![2.0, 0.0, 0.2, 0.0], &[2, 2]).unwrap();
+        let m = prediction_margin(&logits).unwrap();
+        let h = prediction_entropy(&logits).unwrap();
+        assert!(m[0] > m[1]);
+        assert!(h[0] < h[1]);
+    }
+}

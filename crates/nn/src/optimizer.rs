@@ -1,0 +1,291 @@
+//! Gradient-descent optimizers.
+
+use crate::NnError;
+use opad_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer over a flat list of parameter tensors.
+///
+/// State (momentum/Adam moments) is keyed by parameter position, so the
+/// same optimizer instance must always be stepped with the same network.
+///
+/// # Examples
+///
+/// ```
+/// use opad_nn::Optimizer;
+///
+/// let opt = Optimizer::sgd(0.1);
+/// assert_eq!(opt.learning_rate(), 0.1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent with optional L2 weight decay.
+    Sgd {
+        /// Step size.
+        lr: f32,
+        /// L2 penalty coefficient applied as decoupled decay.
+        weight_decay: f32,
+    },
+    /// SGD with classical momentum.
+    Momentum {
+        /// Step size.
+        lr: f32,
+        /// Momentum coefficient (typically 0.9).
+        beta: f32,
+        /// Per-parameter velocity buffers.
+        velocity: Vec<Tensor>,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// Step size.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+        /// Step counter for bias correction.
+        t: u64,
+        /// First-moment buffers.
+        m: Vec<Tensor>,
+        /// Second-moment buffers.
+        v: Vec<Tensor>,
+    },
+}
+
+impl Optimizer {
+    /// Plain SGD without weight decay.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// SGD with decoupled L2 weight decay.
+    pub fn sgd_with_decay(lr: f32, weight_decay: f32) -> Self {
+        Optimizer::Sgd { lr, weight_decay }
+    }
+
+    /// Momentum SGD with coefficient `beta`.
+    pub fn momentum(lr: f32, beta: f32) -> Self {
+        Optimizer::Momentum {
+            lr,
+            beta,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adam with the customary defaults `β₁=0.9, β₂=0.999, ε=1e-8`.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => {
+                *lr
+            }
+        }
+    }
+
+    /// Overrides the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, new_lr: f32) {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => {
+                *lr = new_lr
+            }
+        }
+    }
+
+    /// Applies one update to every `(parameter, gradient)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the parameter list's shapes
+    /// changed between steps (state buffers no longer match).
+    pub fn step(&mut self, params: Vec<(&mut Tensor, &Tensor)>) -> Result<(), NnError> {
+        match self {
+            Optimizer::Sgd { lr, weight_decay } => {
+                for (p, g) in params {
+                    if *weight_decay > 0.0 {
+                        let decay = p.scale(*weight_decay);
+                        p.axpy(-*lr, &decay)?;
+                    }
+                    p.axpy(-*lr, g)?;
+                }
+            }
+            Optimizer::Momentum { lr, beta, velocity } => {
+                if velocity.is_empty() {
+                    *velocity = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+                }
+                if velocity.len() != params.len() {
+                    return Err(NnError::InvalidConfig {
+                        reason: "optimizer state does not match parameter count".into(),
+                    });
+                }
+                for ((p, g), vel) in params.into_iter().zip(velocity.iter_mut()) {
+                    if vel.shape() != p.shape() {
+                        return Err(NnError::InvalidConfig {
+                            reason: "optimizer state shape does not match parameter".into(),
+                        });
+                    }
+                    // v ← βv + g ; p ← p − lr·v
+                    *vel = vel.scale(*beta);
+                    vel.axpy(1.0, g)?;
+                    p.axpy(-*lr, vel)?;
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            } => {
+                if m.is_empty() {
+                    *m = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+                    *v = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+                }
+                if m.len() != params.len() {
+                    return Err(NnError::InvalidConfig {
+                        reason: "optimizer state does not match parameter count".into(),
+                    });
+                }
+                *t += 1;
+                let bc1 = 1.0 - beta1.powi(*t as i32);
+                let bc2 = 1.0 - beta2.powi(*t as i32);
+                for ((p, g), (mi, vi)) in params.into_iter().zip(m.iter_mut().zip(v.iter_mut())) {
+                    if mi.shape() != p.shape() {
+                        return Err(NnError::InvalidConfig {
+                            reason: "optimizer state shape does not match parameter".into(),
+                        });
+                    }
+                    *mi = mi.scale(*beta1);
+                    mi.axpy(1.0 - *beta1, g)?;
+                    *vi = vi.scale(*beta2);
+                    let g2 = g.map(|x| x * x);
+                    vi.axpy(1.0 - *beta2, &g2)?;
+                    let lr_t = *lr;
+                    let (eps_, bc1_, bc2_) = (*eps, bc1, bc2);
+                    let update = mi.zip_with(vi, move |mh, vh| {
+                        (mh / bc1_) / ((vh / bc2_).sqrt() + eps_)
+                    })?;
+                    p.axpy(-lr_t, &update)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(p) = ½‖p‖² (gradient = p) and check convergence.
+    fn run_to_convergence(mut opt: Optimizer, steps: usize) -> f32 {
+        let mut p = Tensor::from_slice(&[5.0, -3.0, 2.0]);
+        for _ in 0..steps {
+            let g = p.clone();
+            opt.step(vec![(&mut p, &g)]).unwrap();
+        }
+        p.norm_l2()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(run_to_convergence(Optimizer::sgd(0.1), 100) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        assert!(run_to_convergence(Optimizer::momentum(0.05, 0.9), 200) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(run_to_convergence(Optimizer::adam(0.2), 300) < 1e-2);
+    }
+
+    #[test]
+    fn sgd_single_step_is_exact() {
+        let mut opt = Optimizer::sgd(0.5);
+        let mut p = Tensor::from_slice(&[2.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        opt.step(vec![(&mut p, &g)]).unwrap();
+        assert_eq!(p.as_slice(), &[1.5]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut opt = Optimizer::sgd_with_decay(0.1, 0.5);
+        let mut p = Tensor::from_slice(&[1.0]);
+        let g = Tensor::zeros(&[1]);
+        opt.step(vec![(&mut p, &g)]).unwrap();
+        // p ← p − lr·wd·p = 1 − 0.05
+        assert!((p.as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Optimizer::adam(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    fn state_mismatch_detected() {
+        let mut opt = Optimizer::momentum(0.1, 0.9);
+        let mut p = Tensor::zeros(&[2]);
+        let g = Tensor::zeros(&[2]);
+        opt.step(vec![(&mut p, &g)]).unwrap();
+        // Now step with two params: state count mismatch.
+        let mut p2 = Tensor::zeros(&[2]);
+        let r = opt.step(vec![(&mut p, &g), (&mut p2, &g)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // With bias correction, the first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        for scale in [0.01f32, 1.0, 100.0] {
+            let mut opt = Optimizer::adam(0.1);
+            let mut p = Tensor::from_slice(&[0.0]);
+            let g = Tensor::from_slice(&[scale]);
+            opt.step(vec![(&mut p, &g)]).unwrap();
+            assert!(
+                (p.as_slice()[0].abs() - 0.1).abs() < 1e-3,
+                "scale {scale}: step {}",
+                p.as_slice()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let mut opt = Optimizer::momentum(0.1, 0.9);
+        let mut p = Tensor::from_slice(&[0.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        opt.step(vec![(&mut p, &g)]).unwrap();
+        let first = -p.as_slice()[0];
+        let before = p.as_slice()[0];
+        opt.step(vec![(&mut p, &g)]).unwrap();
+        let second = before - p.as_slice()[0];
+        assert!(second > first, "second step {second} should exceed {first}");
+    }
+}

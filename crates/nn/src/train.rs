@@ -1,0 +1,358 @@
+//! Mini-batch training loop with optional per-sample weights.
+
+use crate::loss::cross_entropy;
+use crate::{Network, NnError, Optimizer};
+use opad_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`Trainer`].
+///
+/// Construct with [`TrainConfig::new`] and refine with the builder-style
+/// setters.
+///
+/// # Examples
+///
+/// ```
+/// use opad_nn::TrainConfig;
+///
+/// let cfg = TrainConfig::new(10, 32).shuffle(false);
+/// assert_eq!(cfg.epochs(), 10);
+/// assert_eq!(cfg.batch_size(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    epochs: usize,
+    batch_size: usize,
+    shuffle: bool,
+    lr_decay: f32,
+}
+
+impl TrainConfig {
+    /// A config running `epochs` passes with the given batch size
+    /// (shuffling each epoch by default).
+    pub fn new(epochs: usize, batch_size: usize) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size: batch_size.max(1),
+            shuffle: true,
+            lr_decay: 1.0,
+        }
+    }
+
+    /// Enables or disables per-epoch shuffling.
+    pub fn shuffle(mut self, shuffle: bool) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Number of epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Mini-batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Multiplies the learning rate by `factor` after every epoch
+    /// (step-decay schedule). `1.0` (the default) disables decay.
+    ///
+    /// Values outside `(0, 1]` are clamped into it, so the schedule can
+    /// never diverge.
+    pub fn lr_decay(mut self, factor: f32) -> Self {
+        self.lr_decay = if factor.is_finite() {
+            factor.clamp(1e-6, 1.0)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// The per-epoch learning-rate decay factor.
+    pub fn lr_decay_factor(&self) -> f32 {
+        self.lr_decay
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Number of optimizer steps taken.
+    pub steps: usize,
+}
+
+impl TrainReport {
+    /// Loss after the final epoch (`None` when no epochs ran).
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
+    }
+}
+
+/// Drives mini-batch gradient descent on a [`Network`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    optimizer: Optimizer,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given schedule and optimizer.
+    pub fn new(config: TrainConfig, optimizer: Optimizer) -> Self {
+        Trainer { config, optimizer }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` on `(x, labels)`, optionally weighting each sample.
+    ///
+    /// Weights let operational retraining emphasise high-OP-density samples:
+    /// sample `i` contributes `w_i` times a uniform sample's gradient.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape/label mismatches or optimizer state errors.
+    pub fn fit(
+        &mut self,
+        net: &mut Network,
+        x: &Tensor,
+        labels: &[usize],
+        weights: Option<&[f32]>,
+        rng: &mut impl Rng,
+    ) -> Result<TrainReport, NnError> {
+        if x.rank() != 2 {
+            return Err(NnError::Tensor(opad_tensor::TensorError::RankMismatch {
+                expected: 2,
+                actual: x.rank(),
+                op: "fit",
+            }));
+        }
+        let n = x.dims()[0];
+        if labels.len() != n {
+            return Err(NnError::LabelCountMismatch {
+                batch: n,
+                labels: labels.len(),
+            });
+        }
+        if let Some(w) = weights {
+            if w.len() != n {
+                return Err(NnError::LabelCountMismatch {
+                    batch: n,
+                    labels: w.len(),
+                });
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut steps = 0usize;
+        for _ in 0..self.config.epochs {
+            if self.config.shuffle {
+                order.shuffle(rng);
+            }
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let (bx, by, bw) = gather_batch(x, labels, weights, chunk)?;
+                net.zero_grad();
+                let logits = net.forward(&bx, true)?;
+                let out = cross_entropy(&logits, &by, bw.as_deref())?;
+                net.backward(&out.grad)?;
+                self.optimizer.step(net.params_and_grads())?;
+                epoch_loss += out.loss;
+                batches += 1;
+                steps += 1;
+            }
+            epoch_losses.push(if batches > 0 {
+                epoch_loss / batches as f32
+            } else {
+                0.0
+            });
+            if self.config.lr_decay < 1.0 {
+                let lr = self.optimizer.learning_rate();
+                self.optimizer.set_learning_rate(lr * self.config.lr_decay);
+            }
+        }
+        net.zero_grad();
+        net.clear_cache();
+        Ok(TrainReport { epoch_losses, steps })
+    }
+}
+
+/// Gathers the rows of a batch by index.
+fn gather_batch(
+    x: &Tensor,
+    labels: &[usize],
+    weights: Option<&[f32]>,
+    idx: &[usize],
+) -> Result<(Tensor, Vec<usize>, Option<Vec<f32>>), NnError> {
+    let d = x.dims()[1];
+    let mut data = Vec::with_capacity(idx.len() * d);
+    let mut by = Vec::with_capacity(idx.len());
+    let mut bw = weights.map(|_| Vec::with_capacity(idx.len()));
+    for &i in idx {
+        data.extend_from_slice(&x.as_slice()[i * d..(i + 1) * d]);
+        by.push(labels[i]);
+        if let (Some(bw), Some(w)) = (bw.as_mut(), weights) {
+            bw.push(w[i]);
+        }
+    }
+    Ok((Tensor::from_vec(data, &[idx.len(), d])?, by, bw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A linearly-separable two-cluster problem.
+    fn toy_problem(rng: &mut StdRng, n_per: usize) -> (Tensor, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per * 2 {
+            let cls = i % 2;
+            let cx = if cls == 0 { -2.0 } else { 2.0 };
+            let x = Tensor::rand_normal(&[2], cx, 0.5, rng);
+            rows.push(x);
+            labels.push(cls);
+        }
+        (Tensor::stack_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, y) = toy_problem(&mut rng, 50);
+        let mut net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng).unwrap();
+        let before = net.accuracy(&x, &y).unwrap();
+        let mut trainer = Trainer::new(TrainConfig::new(30, 16), Optimizer::sgd(0.1));
+        let report = trainer.fit(&mut net, &x, &y, None, &mut rng).unwrap();
+        assert_eq!(report.epoch_losses.len(), 30);
+        assert!(report.final_loss().unwrap() < report.epoch_losses[0]);
+        let after = net.accuracy(&x, &y).unwrap();
+        assert!(after > 0.95, "accuracy {after} (was {before})");
+        assert!(report.steps >= 30 * (100 / 16));
+    }
+
+    #[test]
+    fn adam_trains_too() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = toy_problem(&mut rng, 40);
+        let mut net = Network::mlp(&[2, 8, 2], Activation::Tanh, &mut rng).unwrap();
+        let mut trainer = Trainer::new(TrainConfig::new(20, 16), Optimizer::adam(0.01));
+        trainer.fit(&mut net, &x, &y, None, &mut rng).unwrap();
+        assert!(net.accuracy(&x, &y).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn weighted_training_biases_the_decision() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Two overlapping clusters; upweight class 1 heavily and check the
+        // model trades class-0 accuracy for class-1 accuracy.
+        let (x, y) = {
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            for i in 0..200 {
+                let cls = i % 2;
+                let cx = if cls == 0 { -0.3 } else { 0.3 };
+                rows.push(Tensor::rand_normal(&[2], cx, 1.0, &mut rng));
+                labels.push(cls);
+            }
+            (Tensor::stack_rows(&rows).unwrap(), labels)
+        };
+        let heavy: Vec<f32> = y.iter().map(|&c| if c == 1 { 20.0 } else { 0.05 }).collect();
+
+        let mut net_u = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng).unwrap();
+        let mut net_w = net_u.clone();
+        let mut t1 = Trainer::new(TrainConfig::new(25, 32), Optimizer::sgd(0.1));
+        let mut t2 = Trainer::new(TrainConfig::new(25, 32), Optimizer::sgd(0.1));
+        t1.fit(&mut net_u, &x, &y, None, &mut rng).unwrap();
+        t2.fit(&mut net_w, &x, &y, Some(&heavy), &mut rng).unwrap();
+
+        let class1_acc = |net: &mut Network| {
+            let pred = net.predict_labels(&x).unwrap();
+            let (mut c, mut n) = (0, 0);
+            for (p, &t) in pred.iter().zip(&y) {
+                if t == 1 {
+                    n += 1;
+                    if *p == 1 {
+                        c += 1;
+                    }
+                }
+            }
+            c as f64 / n as f64
+        };
+        let u1 = class1_acc(&mut net_u);
+        let w1 = class1_acc(&mut net_w);
+        assert!(w1 >= u1, "weighted class-1 acc {w1} < unweighted {u1}");
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng).unwrap();
+        let x = Tensor::zeros(&[4, 2]);
+        let mut t = Trainer::new(TrainConfig::new(1, 2), Optimizer::sgd(0.1));
+        assert!(t.fit(&mut net, &x, &[0, 1], None, &mut rng).is_err());
+        assert!(t
+            .fit(&mut net, &x, &[0, 1, 0, 1], Some(&[1.0]), &mut rng)
+            .is_err());
+        assert!(t
+            .fit(&mut net, &Tensor::zeros(&[4]), &[0; 4], None, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let (x, y) = toy_problem(&mut rng, 20);
+            let mut net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng).unwrap();
+            let mut t = Trainer::new(TrainConfig::new(5, 8), Optimizer::sgd(0.1));
+            t.fit(&mut net, &x, &y, None, &mut rng).unwrap().epoch_losses
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lr_decay_schedule_applies_per_epoch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (x, y) = toy_problem(&mut rng, 10);
+        let mut net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng).unwrap();
+        let cfg = TrainConfig::new(3, 8).lr_decay(0.5);
+        assert_eq!(cfg.lr_decay_factor(), 0.5);
+        let mut t = Trainer::new(cfg, Optimizer::sgd(0.8));
+        t.fit(&mut net, &x, &y, None, &mut rng).unwrap();
+        // 0.8 → 0.4 → 0.2 → 0.1 after three epochs.
+        assert!((t.optimizer.learning_rate() - 0.1).abs() < 1e-6);
+        // Degenerate factors are clamped, not fatal.
+        assert_eq!(TrainConfig::new(1, 8).lr_decay(5.0).lr_decay_factor(), 1.0);
+        assert_eq!(
+            TrainConfig::new(1, 8).lr_decay(f32::NAN).lr_decay_factor(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn zero_epochs_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (x, y) = toy_problem(&mut rng, 10);
+        let mut net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng).unwrap();
+        let snapshot = net.clone();
+        let mut t = Trainer::new(TrainConfig::new(0, 8), Optimizer::sgd(0.1));
+        let report = t.fit(&mut net, &x, &y, None, &mut rng).unwrap();
+        assert!(report.epoch_losses.is_empty());
+        assert_eq!(report.steps, 0);
+        let before = serde_json::to_string(&snapshot).unwrap();
+        let after = serde_json::to_string(&net).unwrap();
+        assert_eq!(before, after);
+    }
+}

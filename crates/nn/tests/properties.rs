@@ -1,0 +1,116 @@
+//! Property-based tests for network invariants.
+
+use opad_nn::{
+    cross_entropy, prediction_entropy, prediction_margin, softmax, Activation, Network, Optimizer,
+};
+use opad_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn logits_strategy(rows: usize, k: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-20.0f32..20.0, rows * k)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, k]).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_are_distributions(logits in logits_strategy(4, 5)) {
+        let p = softmax(&logits).unwrap();
+        for i in 0..4 {
+            let row = p.row(i).unwrap();
+            prop_assert!((row.sum() - 1.0).abs() < 1e-4);
+            prop_assert!(row.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        prop_assert!(!p.has_non_finite());
+    }
+
+    #[test]
+    fn softmax_shift_invariance(logits in logits_strategy(2, 4), shift in -50.0f32..50.0) {
+        let shifted = logits.add_scalar(shift);
+        let a = softmax(&logits).unwrap();
+        let b = softmax(&shifted).unwrap();
+        prop_assert!(a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_finite(
+        logits in logits_strategy(3, 4),
+        labels in proptest::collection::vec(0usize..4, 3),
+    ) {
+        let out = cross_entropy(&logits, &labels, None).unwrap();
+        prop_assert!(out.loss >= -1e-6, "loss {}", out.loss);
+        prop_assert!(out.loss.is_finite());
+        prop_assert!(!out.grad.has_non_finite());
+        // Row gradients sum to ~0 (softmax simplex tangent).
+        for i in 0..3 {
+            prop_assert!(out.grad.row(i).unwrap().sum().abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn weighted_loss_interpolates(
+        logits in logits_strategy(2, 3),
+        labels in proptest::collection::vec(0usize..3, 2),
+        w in 0.1f32..10.0,
+    ) {
+        // Scaling all weights uniformly must not change the mean loss.
+        let base = cross_entropy(&logits, &labels, None).unwrap();
+        let scaled = cross_entropy(&logits, &labels, Some(&[w, w])).unwrap();
+        prop_assert!((base.loss - scaled.loss).abs() < 1e-4 * base.loss.max(1.0));
+    }
+
+    #[test]
+    fn margin_and_entropy_bounds(logits in logits_strategy(5, 4)) {
+        let m = prediction_margin(&logits).unwrap();
+        prop_assert!(m.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        let h = prediction_entropy(&logits).unwrap();
+        let hmax = (4.0f32).ln() + 1e-5;
+        prop_assert!(h.iter().all(|&v| (-1e-6..=hmax).contains(&v)));
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_inference(
+        data in proptest::collection::vec(-3.0f32..3.0, 8),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::mlp(&[4, 6, 3], Activation::Tanh, &mut rng).unwrap();
+        let x = Tensor::from_vec(data, &[2, 4]).unwrap();
+        let a = net.forward(&x, false).unwrap();
+        let b = net.forward(&x, false).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(
+        p0 in proptest::collection::vec(-5.0f32..5.0, 4),
+        g0 in proptest::collection::vec(-5.0f32..5.0, 4),
+        lr in 0.001f32..0.5,
+    ) {
+        let mut opt = Optimizer::sgd(lr);
+        let mut p = Tensor::from_slice(&p0);
+        let g = Tensor::from_slice(&g0);
+        let before = p.clone();
+        opt.step(vec![(&mut p, &g)]).unwrap();
+        // p_new = p_old − lr·g exactly.
+        let expected = before.checked_sub(&g.scale(lr)).unwrap();
+        prop_assert!(p.approx_eq(&expected, 1e-5));
+    }
+
+    #[test]
+    fn input_gradient_is_zero_where_loss_is_flat(
+        seed in 0u64..100,
+    ) {
+        // A network with all-zero weights has constant output: the input
+        // gradient must vanish.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::mlp(&[3, 4, 2], Activation::Relu, &mut rng).unwrap();
+        for (param, _) in net.params_and_grads() {
+            param.map_inplace(|_| 0.0);
+        }
+        let x = Tensor::rand_normal(&[1, 3], 0.0, 1.0, &mut rng);
+        let (_, gx) = net.loss_and_input_grad(&x, &[0]).unwrap();
+        prop_assert!(gx.norm_linf() < 1e-6);
+    }
+}

@@ -1,0 +1,104 @@
+//! The density-model abstraction.
+
+use crate::OpModelError;
+use rand::rngs::StdRng;
+
+/// A probability density over the input space — the continuous face of an
+/// operational profile.
+///
+/// The paper treats the OP as "a probability distribution defined over the
+/// whole input domain quantifying how the software will be operated"
+/// (Musa). Ground-truth generators, kernel estimates and mixture fits all
+/// implement this trait, so the testing pipeline can swap the *true* OP
+/// for a *learned* one and measure the difference (experiment E8).
+pub trait Density {
+    /// Dimensionality of the space the density lives on.
+    fn dim(&self) -> usize;
+
+    /// Natural-log density at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpModelError::DimensionMismatch`] when `x` has the wrong
+    /// length.
+    fn log_density(&self, x: &[f32]) -> Result<f64, OpModelError>;
+
+    /// Density at `x` (convenience wrapper over [`Density::log_density`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Density::log_density`].
+    fn density(&self, x: &[f32]) -> Result<f64, OpModelError> {
+        Ok(self.log_density(x)?.exp())
+    }
+
+    /// Draws one sample from the density.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail when the model is degenerate.
+    fn sample(&self, rng: &mut StdRng) -> Result<Vec<f32>, OpModelError>;
+
+    /// Gradient of the log-density at `x` (`∇ₓ log p(x)`, the score
+    /// function). Naturalness-guided test generation ascends this to keep
+    /// perturbed inputs in high-OP regions.
+    ///
+    /// The default implementation uses central finite differences with
+    /// step `1e-3` — correct but `2·dim` density evaluations per call;
+    /// mixture models override it with the analytic score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpModelError::DimensionMismatch`] when `x` has the wrong
+    /// length.
+    fn grad_log_density(&self, x: &[f32]) -> Result<Vec<f32>, OpModelError> {
+        let h = 1e-3f32;
+        let mut grad = vec![0.0f32; x.len()];
+        let mut probe = x.to_vec();
+        for j in 0..x.len() {
+            probe[j] = x[j] + h;
+            let fp = self.log_density(&probe)?;
+            probe[j] = x[j] - h;
+            let fm = self.log_density(&probe)?;
+            probe[j] = x[j];
+            grad[j] = ((fp - fm) / (2.0 * h as f64)) as f32;
+        }
+        Ok(grad)
+    }
+}
+
+/// Numerically-stable `log(Σ exp(xs))`.
+pub(crate) fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_stability() {
+        // Huge magnitudes must not overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        let v = log_sum_exp(&[-1000.0, -1000.0]);
+        assert!((v - (-1000.0 + 2.0f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_and_single() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert!((log_sum_exp(&[3.5]) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_in_safe_range() {
+        let xs = [0.1f64, -0.5, 1.2, 0.0];
+        let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Divergences between discrete distributions — used to quantify the
+//! train/OP mismatch and the quality of learned profiles.
+
+use crate::OpModelError;
+
+fn check_pair(p: &[f64], q: &[f64]) -> Result<(), OpModelError> {
+    if p.is_empty() || p.len() != q.len() {
+        return Err(OpModelError::InvalidDistribution {
+            reason: format!("length mismatch: {} vs {}", p.len(), q.len()),
+        });
+    }
+    for &v in p.iter().chain(q) {
+        if v < 0.0 || !v.is_finite() {
+            return Err(OpModelError::InvalidDistribution {
+                reason: "entries must be finite and nonnegative".into(),
+            });
+        }
+    }
+    for (name, dist) in [("p", p), ("q", q)] {
+        let s: f64 = dist.iter().sum();
+        if (s - 1.0).abs() > 1e-6 {
+            return Err(OpModelError::InvalidDistribution {
+                reason: format!("{name} sums to {s}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Kullback–Leibler divergence `KL(p‖q)` in nats.
+///
+/// Zero-probability `q` cells with nonzero `p` make the divergence
+/// infinite; both-zero cells contribute nothing.
+///
+/// # Errors
+///
+/// Fails when the inputs are not equal-length distributions.
+///
+/// # Examples
+///
+/// ```
+/// use opad_opmodel::kl_divergence;
+///
+/// let kl = kl_divergence(&[0.5, 0.5], &[0.5, 0.5])?;
+/// assert!(kl.abs() < 1e-12);
+/// # Ok::<(), opad_opmodel::OpModelError>(())
+/// ```
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, OpModelError> {
+    check_pair(p, q)?;
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        acc += pi * (pi / qi).ln();
+    }
+    Ok(acc)
+}
+
+/// Jensen–Shannon divergence (symmetric, bounded by `ln 2`).
+///
+/// # Errors
+///
+/// Fails when the inputs are not equal-length distributions.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> Result<f64, OpModelError> {
+    check_pair(p, q)?;
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    Ok(0.5 * kl_divergence(p, &m)? + 0.5 * kl_divergence(q, &m)?)
+}
+
+/// Total-variation distance `½ Σ|pᵢ − qᵢ|` (in `[0, 1]`).
+///
+/// # Errors
+///
+/// Fails when the inputs are not equal-length distributions.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> Result<f64, OpModelError> {
+    check_pair(p, q)?;
+    Ok(0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+        assert!(js_divergence(&p, &p).unwrap().abs() < 1e-12);
+        assert_eq!(tv_distance(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL([1,0] ‖ [0.5,0.5]) = ln 2.
+        let kl = kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).unwrap();
+        assert!((kl - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_asymmetric_and_infinite_on_missing_support() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        let ab = kl_divergence(&p, &q).unwrap();
+        let ba = kl_divergence(&q, &p).unwrap();
+        assert!((ab - ba).abs() < 1e-12 || ab != ba); // generally differ
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap().is_infinite());
+        // Zero-p cells are fine.
+        assert!(kl_divergence(&[1.0, 0.0], &[1.0, 0.0]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_bounded_and_symmetric() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let js = js_divergence(&p, &q).unwrap();
+        assert!((js - 2.0f64.ln()).abs() < 1e-12, "disjoint = ln 2, got {js}");
+        let a = js_divergence(&[0.7, 0.3], &[0.2, 0.8]).unwrap();
+        let b = js_divergence(&[0.2, 0.8], &[0.7, 0.3]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0 && a < 2.0f64.ln());
+    }
+
+    #[test]
+    fn tv_known_values() {
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]).unwrap(), 1.0);
+        let tv = tv_distance(&[0.6, 0.4], &[0.4, 0.6]).unwrap();
+        assert!((tv - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0]).is_err());
+        assert!(kl_divergence(&[], &[]).is_err());
+        assert!(kl_divergence(&[0.5, 0.6], &[0.5, 0.5]).is_err());
+        assert!(js_divergence(&[-0.5, 1.5], &[0.5, 0.5]).is_err());
+        assert!(tv_distance(&[f64::NAN, 1.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn skew_increases_divergence_monotonically() {
+        // Useful sanity for E1: stronger Zipf skew = larger divergence from
+        // uniform.
+        let uniform = [0.25; 4];
+        let mild = [0.4, 0.3, 0.2, 0.1];
+        let strong = [0.7, 0.2, 0.07, 0.03];
+        let d_mild = js_divergence(&uniform, &mild).unwrap();
+        let d_strong = js_divergence(&uniform, &strong).unwrap();
+        assert!(d_strong > d_mild);
+        assert!(tv_distance(&uniform, &strong).unwrap() > tv_distance(&uniform, &mild).unwrap());
+    }
+}

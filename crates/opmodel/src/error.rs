@@ -1,0 +1,57 @@
+//! Error types for operational-profile modelling.
+
+use thiserror::Error;
+
+/// Error produced while fitting or querying operational-profile models.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum OpModelError {
+    /// A tensor operation failed.
+    #[error("tensor operation failed: {0}")]
+    Tensor(#[from] opad_tensor::TensorError),
+
+    /// Data was unsuitable for fitting (too few points, wrong dims, …).
+    #[error("cannot fit model: {reason}")]
+    CannotFit {
+        /// Human-readable description.
+        reason: String,
+    },
+
+    /// A query point had the wrong dimensionality.
+    #[error("query has dimension {actual}, model expects {expected}")]
+    DimensionMismatch {
+        /// Dimensionality the model was fitted on.
+        expected: usize,
+        /// Dimensionality of the query.
+        actual: usize,
+    },
+
+    /// Invalid hyperparameter.
+    #[error("invalid parameter: {reason}")]
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+
+    /// Distribution vectors disagree in length or are not distributions.
+    #[error("invalid distribution: {reason}")]
+    InvalidDistribution {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = OpModelError::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('2'));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OpModelError>();
+    }
+}

@@ -1,0 +1,526 @@
+//! Isotropic Gaussian mixture models, fitted by EM or constructed from
+//! known parameters (ground-truth operational profiles).
+
+use crate::density::{log_sum_exp, Density};
+use crate::OpModelError;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// One isotropic Gaussian component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GmmComponent {
+    /// Mixing weight (components sum to 1).
+    pub weight: f64,
+    /// Component mean.
+    pub mean: Vec<f32>,
+    /// Isotropic standard deviation (shared across dimensions).
+    pub std: f64,
+}
+
+/// An isotropic Gaussian mixture: `p(x) = Σ wᵢ N(x; μᵢ, σᵢ²I)`.
+///
+/// Doubles as (a) the *ground-truth* OP of the Gaussian-cluster datasets
+/// (constructed from the generator's own parameters) and (b) a *learned*
+/// OP (fitted with [`Gmm::fit`], RQ1).
+///
+/// # Examples
+///
+/// ```
+/// use opad_opmodel::{Density, Gmm, GmmComponent};
+///
+/// let gmm = Gmm::from_components(vec![GmmComponent {
+///     weight: 1.0,
+///     mean: vec![0.0, 0.0],
+///     std: 1.0,
+/// }])?;
+/// // Standard normal at the origin: log p = −log(2π).
+/// let lp = gmm.log_density(&[0.0, 0.0])?;
+/// assert!((lp + (2.0 * std::f64::consts::PI).ln()).abs() < 1e-9);
+/// # Ok::<(), opad_opmodel::OpModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gmm {
+    components: Vec<GmmComponent>,
+    dim: usize,
+}
+
+impl Gmm {
+    /// Builds a mixture from explicit components.
+    ///
+    /// # Errors
+    ///
+    /// Fails when components are empty, weights don't sum to ≈1, dims
+    /// disagree, or any std is non-positive.
+    pub fn from_components(components: Vec<GmmComponent>) -> Result<Self, OpModelError> {
+        let first = components.first().ok_or(OpModelError::CannotFit {
+            reason: "mixture needs at least one component".into(),
+        })?;
+        let dim = first.mean.len();
+        if dim == 0 {
+            return Err(OpModelError::InvalidParameter {
+                reason: "component means must be nonempty".into(),
+            });
+        }
+        let wsum: f64 = components.iter().map(|c| c.weight).sum();
+        if (wsum - 1.0).abs() > 1e-6 {
+            return Err(OpModelError::InvalidDistribution {
+                reason: format!("weights sum to {wsum}"),
+            });
+        }
+        for c in &components {
+            if c.mean.len() != dim {
+                return Err(OpModelError::InvalidParameter {
+                    reason: "component dims disagree".into(),
+                });
+            }
+            if c.std <= 0.0 || !c.std.is_finite() || c.weight < 0.0 {
+                return Err(OpModelError::InvalidParameter {
+                    reason: "stds must be positive and weights nonnegative".into(),
+                });
+            }
+        }
+        Ok(Gmm { components, dim })
+    }
+
+    /// Fits a `k`-component mixture with expectation–maximisation,
+    /// initialised from `k` random data points.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the data is not a matrix with at least `k` rows.
+    pub fn fit(
+        data: &Tensor,
+        k: usize,
+        iterations: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self, OpModelError> {
+        if data.rank() != 2 {
+            return Err(OpModelError::CannotFit {
+                reason: "data must be a [n, d] matrix".into(),
+            });
+        }
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        if k == 0 || n < k {
+            return Err(OpModelError::CannotFit {
+                reason: format!("need at least k={k} points, got {n}"),
+            });
+        }
+        let xs = data.as_slice();
+        // Init: k distinct random rows as means, global std as scale.
+        let mut mean_idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            mean_idx.swap(i, j);
+        }
+        let global_std = (data.variance() as f64).sqrt().max(1e-3);
+        let mut comps: Vec<GmmComponent> = mean_idx[..k]
+            .iter()
+            .map(|&i| GmmComponent {
+                weight: 1.0 / k as f64,
+                mean: xs[i * d..(i + 1) * d].to_vec(),
+                std: global_std,
+            })
+            .collect();
+
+        let mut resp = vec![0.0f64; n * k];
+        for _ in 0..iterations {
+            // E step.
+            for i in 0..n {
+                let x = &xs[i * d..(i + 1) * d];
+                let logs: Vec<f64> = comps
+                    .iter()
+                    .map(|c| c.weight.max(1e-12).ln() + log_normal_iso(x, &c.mean, c.std))
+                    .collect();
+                let lse = log_sum_exp(&logs);
+                for (j, &l) in logs.iter().enumerate() {
+                    resp[i * k + j] = (l - lse).exp();
+                }
+            }
+            // M step.
+            for (j, comp) in comps.iter_mut().enumerate() {
+                let nj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+                if nj < 1e-9 {
+                    continue; // dead component: keep previous parameters
+                }
+                comp.weight = nj / n as f64;
+                let mut mean = vec![0.0f64; d];
+                for i in 0..n {
+                    let r = resp[i * k + j];
+                    for (m, &x) in mean.iter_mut().zip(&xs[i * d..(i + 1) * d]) {
+                        *m += r * x as f64;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= nj;
+                }
+                let mut var = 0.0f64;
+                for i in 0..n {
+                    let r = resp[i * k + j];
+                    let mut d2 = 0.0f64;
+                    for (m, &x) in mean.iter().zip(&xs[i * d..(i + 1) * d]) {
+                        let diff = x as f64 - m;
+                        d2 += diff * diff;
+                    }
+                    var += r * d2;
+                }
+                var /= nj * d as f64;
+                comp.std = var.sqrt().max(1e-4);
+                comp.mean = mean.into_iter().map(|m| m as f32).collect();
+            }
+            // Renormalise weights (guards dead components).
+            let wsum: f64 = comps.iter().map(|c| c.weight).sum();
+            for c in &mut comps {
+                c.weight /= wsum;
+            }
+        }
+        Gmm::from_components(comps)
+    }
+
+    /// The mixture components.
+    pub fn components(&self) -> &[GmmComponent] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Mean log-likelihood of a dataset under the mixture.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    pub fn mean_log_likelihood(&self, data: &Tensor) -> Result<f64, OpModelError> {
+        if data.rank() != 2 || data.dims()[0] == 0 {
+            return Err(OpModelError::CannotFit {
+                reason: "need a nonempty [n, d] matrix".into(),
+            });
+        }
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += self.log_density(&data.as_slice()[i * d..(i + 1) * d])?;
+        }
+        Ok(acc / n as f64)
+    }
+}
+
+/// Log-density of an isotropic Gaussian.
+fn log_normal_iso(x: &[f32], mean: &[f32], std: f64) -> f64 {
+    let d = x.len() as f64;
+    let mut sq = 0.0f64;
+    for (&xi, &mi) in x.iter().zip(mean) {
+        let diff = xi as f64 - mi as f64;
+        sq += diff * diff;
+    }
+    -0.5 * d * (TAU * std * std).ln() - sq / (2.0 * std * std)
+}
+
+impl Density for Gmm {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn log_density(&self, x: &[f32]) -> Result<f64, OpModelError> {
+        if x.len() != self.dim {
+            return Err(OpModelError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.max(1e-300).ln() + log_normal_iso(x, &c.mean, c.std))
+            .collect();
+        Ok(log_sum_exp(&logs))
+    }
+
+    /// Analytic score: `∇ log p(x) = Σᵢ rᵢ(x) (μᵢ − x)/σᵢ²` with
+    /// responsibilities `rᵢ`.
+    fn grad_log_density(&self, x: &[f32]) -> Result<Vec<f32>, OpModelError> {
+        if x.len() != self.dim {
+            return Err(OpModelError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.max(1e-300).ln() + log_normal_iso(x, &c.mean, c.std))
+            .collect();
+        let lse = log_sum_exp(&logs);
+        let mut grad = vec![0.0f32; self.dim];
+        for (c, &l) in self.components.iter().zip(&logs) {
+            let r = (l - lse).exp();
+            let inv_var = 1.0 / (c.std * c.std);
+            for (g, (&m, &xi)) in grad.iter_mut().zip(c.mean.iter().zip(x)) {
+                *g += (r * inv_var * (m as f64 - xi as f64)) as f32;
+            }
+        }
+        Ok(grad)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Result<Vec<f32>, OpModelError> {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = self.components.len() - 1;
+        for (i, c) in self.components.iter().enumerate() {
+            acc += c.weight;
+            if u < acc {
+                chosen = i;
+                break;
+            }
+        }
+        let c = &self.components[chosen];
+        let noise = Tensor::rand_normal(&[self.dim], 0.0, c.std as f32, rng);
+        Ok(c.mean
+            .iter()
+            .zip(noise.as_slice())
+            .map(|(&m, &n)| m + n)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn std_normal_2d() -> Gmm {
+        Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0, 0.0],
+            std: 1.0,
+        }])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Gmm::from_components(vec![]).is_err());
+        assert!(Gmm::from_components(vec![GmmComponent {
+            weight: 0.5,
+            mean: vec![0.0],
+            std: 1.0
+        }])
+        .is_err());
+        assert!(Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0],
+            std: 0.0
+        }])
+        .is_err());
+        assert!(Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![],
+            std: 1.0
+        }])
+        .is_err());
+        assert!(Gmm::from_components(vec![
+            GmmComponent {
+                weight: 0.5,
+                mean: vec![0.0],
+                std: 1.0
+            },
+            GmmComponent {
+                weight: 0.5,
+                mean: vec![0.0, 1.0],
+                std: 1.0
+            }
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn standard_normal_log_density() {
+        let g = std_normal_2d();
+        let lp0 = g.log_density(&[0.0, 0.0]).unwrap();
+        assert!((lp0 + TAU.ln()).abs() < 1e-9);
+        // Density decreases away from the mean.
+        let lp1 = g.log_density(&[1.0, 1.0]).unwrap();
+        assert!(lp1 < lp0);
+        assert!((lp0 - lp1 - 1.0).abs() < 1e-9); // difference = ‖x‖²/2 = 1
+        assert!(g.log_density(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn mixture_density_integrates_mass_between_modes() {
+        let g = Gmm::from_components(vec![
+            GmmComponent {
+                weight: 0.5,
+                mean: vec![-3.0],
+                std: 0.5,
+            },
+            GmmComponent {
+                weight: 0.5,
+                mean: vec![3.0],
+                std: 0.5,
+            },
+        ])
+        .unwrap();
+        let at_mode = g.density(&[3.0]).unwrap();
+        let between = g.density(&[0.0]).unwrap();
+        assert!(at_mode > 100.0 * between);
+    }
+
+    #[test]
+    fn sampling_matches_mixture_proportions() {
+        let g = Gmm::from_components(vec![
+            GmmComponent {
+                weight: 0.8,
+                mean: vec![-5.0],
+                std: 0.3,
+            },
+            GmmComponent {
+                weight: 0.2,
+                mean: vec![5.0],
+                std: 0.3,
+            },
+        ])
+        .unwrap();
+        let mut r = rng();
+        let mut left = 0usize;
+        const N: usize = 5000;
+        for _ in 0..N {
+            let x = g.sample(&mut r).unwrap();
+            if x[0] < 0.0 {
+                left += 1;
+            }
+        }
+        let f = left as f64 / N as f64;
+        assert!((f - 0.8).abs() < 0.03, "left fraction {f}");
+    }
+
+    #[test]
+    fn em_recovers_two_well_separated_clusters() {
+        let mut r = rng();
+        let truth = Gmm::from_components(vec![
+            GmmComponent {
+                weight: 0.5,
+                mean: vec![-4.0, 0.0],
+                std: 0.5,
+            },
+            GmmComponent {
+                weight: 0.5,
+                mean: vec![4.0, 0.0],
+                std: 0.5,
+            },
+        ])
+        .unwrap();
+        let rows: Vec<Tensor> = (0..400)
+            .map(|_| Tensor::from_slice(&truth.sample(&mut r).unwrap()))
+            .collect();
+        let data = Tensor::stack_rows(&rows).unwrap();
+        let fitted = Gmm::fit(&data, 2, 30, &mut r).unwrap();
+        // Means near ±4 on x.
+        let mut xs: Vec<f32> = fitted.components().iter().map(|c| c.mean[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] + 4.0).abs() < 0.5, "left mean {}", xs[0]);
+        assert!((xs[1] - 4.0).abs() < 0.5, "right mean {}", xs[1]);
+        for c in fitted.components() {
+            assert!((c.std - 0.5).abs() < 0.25, "std {}", c.std);
+            assert!((c.weight - 0.5).abs() < 0.15, "weight {}", c.weight);
+        }
+    }
+
+    #[test]
+    fn em_improves_likelihood() {
+        let mut r = rng();
+        let truth = std_normal_2d();
+        let rows: Vec<Tensor> = (0..200)
+            .map(|_| Tensor::from_slice(&truth.sample(&mut r).unwrap()))
+            .collect();
+        let data = Tensor::stack_rows(&rows).unwrap();
+        let mut r1 = StdRng::seed_from_u64(3);
+        let short = Gmm::fit(&data, 3, 1, &mut r1).unwrap();
+        let mut r2 = StdRng::seed_from_u64(3);
+        let long = Gmm::fit(&data, 3, 25, &mut r2).unwrap();
+        let ll_short = short.mean_log_likelihood(&data).unwrap();
+        let ll_long = long.mean_log_likelihood(&data).unwrap();
+        assert!(
+            ll_long >= ll_short - 1e-6,
+            "EM should not decrease likelihood: {ll_short} → {ll_long}"
+        );
+    }
+
+    #[test]
+    fn fit_validation() {
+        let mut r = rng();
+        assert!(Gmm::fit(&Tensor::zeros(&[5]), 2, 5, &mut r).is_err());
+        assert!(Gmm::fit(&Tensor::zeros(&[3, 2]), 4, 5, &mut r).is_err());
+        assert!(Gmm::fit(&Tensor::zeros(&[3, 2]), 0, 5, &mut r).is_err());
+    }
+
+    #[test]
+    fn mean_log_likelihood_validation() {
+        let g = std_normal_2d();
+        assert!(g.mean_log_likelihood(&Tensor::zeros(&[2])).is_err());
+        let data = Tensor::zeros(&[3, 2]);
+        let ll = g.mean_log_likelihood(&data).unwrap();
+        assert!((ll + TAU.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_matches_finite_difference() {
+        let g = Gmm::from_components(vec![
+            GmmComponent {
+                weight: 0.6,
+                mean: vec![-1.0, 0.5],
+                std: 0.8,
+            },
+            GmmComponent {
+                weight: 0.4,
+                mean: vec![2.0, -1.0],
+                std: 1.2,
+            },
+        ])
+        .unwrap();
+        let x = [0.3f32, 0.1];
+        let analytic = g.grad_log_density(&x).unwrap();
+        // Default-impl finite difference path through Density.
+        struct Fd<'a>(&'a Gmm);
+        impl Density for Fd<'_> {
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn log_density(&self, x: &[f32]) -> Result<f64, OpModelError> {
+                self.0.log_density(x)
+            }
+            fn sample(&self, rng: &mut StdRng) -> Result<Vec<f32>, OpModelError> {
+                self.0.sample(rng)
+            }
+        }
+        let numeric = Fd(&g).grad_log_density(&x).unwrap();
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!((a - n).abs() < 1e-2, "analytic {a} vs numeric {n}");
+        }
+        assert!(g.grad_log_density(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn score_points_toward_the_mode() {
+        let g = std_normal_2d();
+        let grad = g.grad_log_density(&[2.0, 0.0]).unwrap();
+        // For N(0, I): ∇log p = −x.
+        assert!((grad[0] + 2.0).abs() < 1e-5);
+        assert!(grad[1].abs() < 1e-5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = std_normal_2d();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Gmm = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,290 @@
+//! Gaussian kernel density estimation.
+
+use crate::density::{log_sum_exp, Density};
+use crate::OpModelError;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// A Gaussian kernel density estimate over a reference dataset.
+///
+/// `p(x) = (1/n) Σᵢ N(x; xᵢ, h²I)`. This is the toolkit's default
+/// *naturalness* oracle: the paper falls back on "quantified naturalness as
+/// an approximation to the local OP" (Sec. II-b), and density under a KDE
+/// fitted to operational data is precisely that quantity.
+///
+/// # Examples
+///
+/// ```
+/// use opad_opmodel::{Density, Kde};
+/// use opad_tensor::Tensor;
+///
+/// let data = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2])?;
+/// let kde = Kde::fit(&data, 0.5)?;
+/// // Density near the data beats density far away.
+/// assert!(kde.log_density(&[0.5, 0.5])? > kde.log_density(&[10.0, 10.0])?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kde {
+    points: Tensor,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fits a KDE on the rows of `data` with the given bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Fails for a non-matrix, empty data, or a non-positive bandwidth.
+    pub fn fit(data: &Tensor, bandwidth: f64) -> Result<Self, OpModelError> {
+        if data.rank() != 2 || data.dims()[0] == 0 || data.dims()[1] == 0 {
+            return Err(OpModelError::CannotFit {
+                reason: "KDE needs a nonempty [n, d] matrix".into(),
+            });
+        }
+        if bandwidth <= 0.0 || !bandwidth.is_finite() {
+            return Err(OpModelError::InvalidParameter {
+                reason: format!("bandwidth must be positive, got {bandwidth}"),
+            });
+        }
+        Ok(Kde {
+            points: data.clone(),
+            bandwidth,
+        })
+    }
+
+    /// Fits with Scott's rule-of-thumb bandwidth: `n^(−1/(d+4)) · σ̄`,
+    /// where `σ̄` is the mean per-feature standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Kde::fit`]; also fails when the data is constant.
+    pub fn fit_scott(data: &Tensor) -> Result<Self, OpModelError> {
+        if data.rank() != 2 || data.dims()[0] == 0 {
+            return Err(OpModelError::CannotFit {
+                reason: "KDE needs a nonempty [n, d] matrix".into(),
+            });
+        }
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        // Mean per-feature std.
+        let mut acc = 0.0f64;
+        for j in 0..d {
+            let mut col = Vec::with_capacity(n);
+            for i in 0..n {
+                col.push(data.as_slice()[i * d + j]);
+            }
+            let t = Tensor::from_slice(&col);
+            acc += t.std() as f64;
+        }
+        let sigma = acc / d as f64;
+        let h = sigma * (n as f64).powf(-1.0 / (d as f64 + 4.0));
+        Kde::fit(data, h.max(1e-6))
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of reference points.
+    pub fn num_points(&self) -> usize {
+        self.points.dims()[0]
+    }
+}
+
+impl Density for Kde {
+    fn dim(&self) -> usize {
+        self.points.dims()[1]
+    }
+
+    fn log_density(&self, x: &[f32]) -> Result<f64, OpModelError> {
+        let (n, d) = (self.points.dims()[0], self.points.dims()[1]);
+        if x.len() != d {
+            return Err(OpModelError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            });
+        }
+        let h2 = self.bandwidth * self.bandwidth;
+        let norm = -0.5 * d as f64 * (TAU * h2).ln();
+        let pts = self.points.as_slice();
+        let mut logs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut sq = 0.0f64;
+            for (j, &xj) in x.iter().enumerate() {
+                let diff = xj as f64 - pts[i * d + j] as f64;
+                sq += diff * diff;
+            }
+            logs.push(norm - sq / (2.0 * h2));
+        }
+        Ok(log_sum_exp(&logs) - (n as f64).ln())
+    }
+
+    /// Analytic score of the kernel mixture:
+    /// `∇ log p(x) = Σᵢ rᵢ(x) (xᵢ − x)/h²`.
+    fn grad_log_density(&self, x: &[f32]) -> Result<Vec<f32>, OpModelError> {
+        let (n, d) = (self.points.dims()[0], self.points.dims()[1]);
+        if x.len() != d {
+            return Err(OpModelError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            });
+        }
+        let h2 = self.bandwidth * self.bandwidth;
+        let pts = self.points.as_slice();
+        let mut logs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut sq = 0.0f64;
+            for (j, &xj) in x.iter().enumerate() {
+                let diff = xj as f64 - pts[i * d..][j] as f64;
+                sq += diff * diff;
+            }
+            logs.push(-sq / (2.0 * h2));
+        }
+        let lse = log_sum_exp(&logs);
+        let mut grad = vec![0.0f32; d];
+        for (i, &l) in logs.iter().enumerate() {
+            let r = (l - lse).exp();
+            for (j, g) in grad.iter_mut().enumerate() {
+                *g += (r * (pts[i * d + j] as f64 - x[j] as f64) / h2) as f32;
+            }
+        }
+        Ok(grad)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Result<Vec<f32>, OpModelError> {
+        let (n, d) = (self.points.dims()[0], self.points.dims()[1]);
+        let i = rng.gen_range(0..n);
+        let noise = Tensor::rand_normal(&[d], 0.0, self.bandwidth as f32, rng);
+        Ok(self.points.as_slice()[i * d..(i + 1) * d]
+            .iter()
+            .zip(noise.as_slice())
+            .map(|(&p, &e)| p + e)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fit_validation() {
+        let data = Tensor::zeros(&[3, 2]);
+        assert!(Kde::fit(&data, 0.0).is_err());
+        assert!(Kde::fit(&data, -1.0).is_err());
+        assert!(Kde::fit(&Tensor::zeros(&[3]), 1.0).is_err());
+        assert!(Kde::fit(&Tensor::zeros(&[0, 2]), 1.0).is_err());
+        let kde = Kde::fit(&data, 0.5).unwrap();
+        assert_eq!(kde.num_points(), 3);
+        assert_eq!(kde.dim(), 2);
+        assert_eq!(kde.bandwidth(), 0.5);
+    }
+
+    #[test]
+    fn single_point_kde_is_a_gaussian() {
+        let data = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+        let kde = Kde::fit(&data, 1.0).unwrap();
+        let lp = kde.log_density(&[0.0, 0.0]).unwrap();
+        assert!((lp + TAU.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_peaks_at_data() {
+        let data = Tensor::from_vec(vec![-2.0, 2.0], &[2, 1]).unwrap();
+        let kde = Kde::fit(&data, 0.3).unwrap();
+        let near = kde.log_density(&[-2.0]).unwrap();
+        let far = kde.log_density(&[0.0]).unwrap();
+        assert!(near > far);
+        assert!(kde.log_density(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn mixture_symmetry() {
+        let data = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1]).unwrap();
+        let kde = Kde::fit(&data, 0.5).unwrap();
+        let a = kde.log_density(&[-1.0]).unwrap();
+        let b = kde.log_density(&[1.0]).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scott_bandwidth_scales_down_with_n() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = Tensor::rand_normal(&[20, 2], 0.0, 1.0, &mut rng);
+        let large = Tensor::rand_normal(&[2000, 2], 0.0, 1.0, &mut rng);
+        let ks = Kde::fit_scott(&small).unwrap();
+        let kl = Kde::fit_scott(&large).unwrap();
+        assert!(kl.bandwidth() < ks.bandwidth());
+    }
+
+    #[test]
+    fn kde_approximates_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Tensor::rand_normal(&[2000, 1], 0.0, 1.0, &mut rng);
+        let kde = Kde::fit_scott(&data).unwrap();
+        // Compare to the analytic standard normal at a few points.
+        for x in [-1.0f32, 0.0, 1.0] {
+            let est = kde.density(&[x]).unwrap();
+            let truth = (-0.5 * (x as f64).powi(2)).exp() / TAU.sqrt();
+            assert!(
+                (est - truth).abs() < 0.05,
+                "at {x}: est {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_stays_near_data() {
+        let data = Tensor::from_vec(vec![5.0, 5.0], &[1, 2]).unwrap();
+        let kde = Kde::fit(&data, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = kde.sample(&mut rng).unwrap();
+            assert!((s[0] - 5.0).abs() < 1.0 && (s[1] - 5.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn score_points_toward_data() {
+        let data = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+        let kde = Kde::fit(&data, 1.0).unwrap();
+        // Single standard kernel: score = −x.
+        let g = kde.grad_log_density(&[1.5, -0.5]).unwrap();
+        assert!((g[0] + 1.5).abs() < 1e-5);
+        assert!((g[1] - 0.5).abs() < 1e-5);
+        assert!(kde.grad_log_density(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn score_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Tensor::rand_normal(&[30, 2], 0.0, 1.0, &mut rng);
+        let kde = Kde::fit(&data, 0.5).unwrap();
+        let x = [0.4f32, -0.2];
+        let analytic = kde.grad_log_density(&x).unwrap();
+        let h = 1e-3f32;
+        for j in 0..2 {
+            let mut xp = x;
+            xp[j] += h;
+            let mut xm = x;
+            xm[j] -= h;
+            let num = ((kde.log_density(&xp).unwrap() - kde.log_density(&xm).unwrap())
+                / (2.0 * h as f64)) as f32;
+            assert!((num - analytic[j]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
+        let kde = Kde::fit(&data, 0.7).unwrap();
+        let json = serde_json::to_string(&kde).unwrap();
+        let back: Kde = serde_json::from_str(&json).unwrap();
+        assert_eq!(kde, back);
+    }
+}

@@ -1,0 +1,48 @@
+//! # opad-opmodel
+//!
+//! Operational-profile modelling (the paper's RQ1): how will the deployed
+//! DL system actually be used, and how do we learn that from field data?
+//!
+//! * [`OperationalProfile`] — Musa-style class-usage probabilities paired
+//!   with an input-space [`Density`] ("local OP"/naturalness oracle);
+//! * densities: [`Gmm`] (EM-fitted or ground-truth) and [`Kde`];
+//! * [`Partition`]s of the input space into cells ([`CentroidPartition`],
+//!   [`GridPartition`]) for ReAsDL-style reliability assessment;
+//! * divergences ([`kl_divergence`], [`js_divergence`], [`tv_distance`])
+//!   quantifying train/OP mismatch;
+//! * [`LinearDrift`] for post-deployment profile change.
+//!
+//! # Examples
+//!
+//! ```
+//! use opad_data::{gaussian_clusters, zipf_probs, GaussianClustersConfig};
+//! use opad_opmodel::learn_op_gmm;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let cfg = GaussianClustersConfig::default();
+//! let field = gaussian_clusters(&cfg, 500, &zipf_probs(3, 1.0), &mut rng)?;
+//! let op = learn_op_gmm(&field, 3, 10, &mut rng)?;
+//! assert_eq!(op.num_classes(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod density;
+mod divergence;
+mod error;
+mod gmm;
+mod kde;
+mod partition;
+mod profile;
+
+pub use density::Density;
+pub use divergence::{js_divergence, kl_divergence, tv_distance};
+pub use error::OpModelError;
+pub use gmm::{Gmm, GmmComponent};
+pub use kde::Kde;
+pub use partition::{CentroidPartition, GridPartition, Partition};
+pub use profile::{
+    empirical_class_probs, learn_op_gmm, learn_op_kde, LinearDrift, OperationalProfile,
+};

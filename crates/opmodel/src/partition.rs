@@ -1,0 +1,414 @@
+//! Cell partitions of the input space.
+//!
+//! ReAsDL-style reliability assessment (RQ5) works on a *partition* of the
+//! input domain into cells, with an OP probability and a failure-probability
+//! estimate per cell. In low dimensions a regular grid works; in general we
+//! use a k-means (Lloyd) centroid partition, which follows the data
+//! manifold at any dimensionality.
+
+use crate::OpModelError;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A partition of the input space into finitely many indexed cells.
+pub trait Partition {
+    /// Number of cells.
+    fn num_cells(&self) -> usize;
+
+    /// The cell containing `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpModelError::DimensionMismatch`] when `x` has the wrong
+    /// length.
+    fn cell_of(&self, x: &[f32]) -> Result<usize, OpModelError>;
+
+    /// Empirical cell-occupancy distribution of a dataset (with Laplace
+    /// smoothing `alpha`), i.e. the discretised operational profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Partition::cell_of`] failures.
+    fn cell_distribution(&self, data: &Tensor, alpha: f64) -> Result<Vec<f64>, OpModelError> {
+        let k = self.num_cells();
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        let mut counts = vec![alpha; k];
+        for i in 0..n {
+            let c = self.cell_of(&data.as_slice()[i * d..(i + 1) * d])?;
+            counts[c] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        Ok(counts.into_iter().map(|c| c / total).collect())
+    }
+}
+
+/// A k-means centroid (Voronoi) partition: each cell is the set of points
+/// closest to one learned centroid.
+///
+/// # Examples
+///
+/// ```
+/// use opad_opmodel::{CentroidPartition, Partition};
+/// use opad_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let data = Tensor::from_vec(vec![-5.0, -5.0, -5.1, -4.9, 5.0, 5.0, 5.1, 4.9], &[4, 2])?;
+/// let part = CentroidPartition::fit(&data, 2, 10, &mut rng)?;
+/// // The two tight groups land in different cells.
+/// assert_ne!(part.cell_of(&[-5.0, -5.0])?, part.cell_of(&[5.0, 5.0])?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CentroidPartition {
+    centroids: Tensor, // [k, d]
+}
+
+impl CentroidPartition {
+    /// Fits `k` centroids with Lloyd's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the data is not a matrix with at least `k` rows.
+    pub fn fit(
+        data: &Tensor,
+        k: usize,
+        iterations: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self, OpModelError> {
+        if data.rank() != 2 {
+            return Err(OpModelError::CannotFit {
+                reason: "data must be a [n, d] matrix".into(),
+            });
+        }
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        if k == 0 || n < k {
+            return Err(OpModelError::CannotFit {
+                reason: format!("need at least k={k} points, got {n}"),
+            });
+        }
+        let xs = data.as_slice();
+        // Init from k distinct random rows.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut centroids: Vec<f32> = Vec::with_capacity(k * d);
+        for &i in &idx[..k] {
+            centroids.extend_from_slice(&xs[i * d..(i + 1) * d]);
+        }
+        let mut assignment = vec![0usize; n];
+        for _ in 0..iterations {
+            // Assign.
+            let mut changed = false;
+            for i in 0..n {
+                let x = &xs[i * d..(i + 1) * d];
+                let best = nearest(x, &centroids, k, d);
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Update.
+            let mut sums = vec![0.0f64; k * d];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let c = assignment[i];
+                counts[c] += 1;
+                for j in 0..d {
+                    sums[c * d + j] += xs[i * d + j] as f64;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    continue; // empty cell keeps its centroid
+                }
+                for j in 0..d {
+                    centroids[c * d + j] = (sums[c * d + j] / counts[c] as f64) as f32;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(CentroidPartition {
+            centroids: Tensor::from_vec(centroids, &[k, d])?,
+        })
+    }
+
+    /// Builds a partition from explicit centroids (for tests and known
+    /// ground truth).
+    ///
+    /// # Errors
+    ///
+    /// Fails for a non-matrix or empty centroid set.
+    pub fn from_centroids(centroids: Tensor) -> Result<Self, OpModelError> {
+        if centroids.rank() != 2 || centroids.dims()[0] == 0 || centroids.dims()[1] == 0 {
+            return Err(OpModelError::CannotFit {
+                reason: "centroids must be a nonempty [k, d] matrix".into(),
+            });
+        }
+        Ok(CentroidPartition { centroids })
+    }
+
+    /// The centroid matrix, `[k, d]`.
+    pub fn centroids(&self) -> &Tensor {
+        &self.centroids
+    }
+
+    /// Dimensionality of the partitioned space.
+    pub fn dim(&self) -> usize {
+        self.centroids.dims()[1]
+    }
+
+    /// Mean squared distance of data rows to their assigned centroid (the
+    /// k-means objective; useful for convergence tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    pub fn inertia(&self, data: &Tensor) -> Result<f64, OpModelError> {
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        if d != self.dim() {
+            return Err(OpModelError::DimensionMismatch {
+                expected: self.dim(),
+                actual: d,
+            });
+        }
+        let xs = data.as_slice();
+        let cs = self.centroids.as_slice();
+        let k = self.num_cells();
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            let x = &xs[i * d..(i + 1) * d];
+            let c = nearest(x, cs, k, d);
+            acc += sq_dist(x, &cs[c * d..(c + 1) * d]);
+        }
+        Ok(acc / n.max(1) as f64)
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+fn nearest(x: &[f32], centroids: &[f32], k: usize, d: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for c in 0..k {
+        let dist = sq_dist(x, &centroids[c * d..(c + 1) * d]);
+        if dist < best_d {
+            best_d = dist;
+            best = c;
+        }
+    }
+    best
+}
+
+impl Partition for CentroidPartition {
+    fn num_cells(&self) -> usize {
+        self.centroids.dims()[0]
+    }
+
+    fn cell_of(&self, x: &[f32]) -> Result<usize, OpModelError> {
+        let d = self.dim();
+        if x.len() != d {
+            return Err(OpModelError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            });
+        }
+        Ok(nearest(x, self.centroids.as_slice(), self.num_cells(), d))
+    }
+}
+
+/// A regular grid partition over a bounded box (suited to low dimensions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPartition {
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+    bins: usize,
+}
+
+impl GridPartition {
+    /// Creates a grid of `bins` intervals per dimension over `[lo, hi]`.
+    /// Out-of-box points clamp to the nearest edge cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty/mismatched bounds, zero bins, or inverted ranges.
+    pub fn new(lo: Vec<f32>, hi: Vec<f32>, bins: usize) -> Result<Self, OpModelError> {
+        if lo.is_empty() || lo.len() != hi.len() {
+            return Err(OpModelError::InvalidParameter {
+                reason: "bounds must be nonempty and matched".into(),
+            });
+        }
+        if bins == 0 {
+            return Err(OpModelError::InvalidParameter {
+                reason: "bins must be nonzero".into(),
+            });
+        }
+        if lo.iter().zip(&hi).any(|(&l, &h)| l >= h) {
+            return Err(OpModelError::InvalidParameter {
+                reason: "each lo must be strictly below hi".into(),
+            });
+        }
+        Ok(GridPartition { lo, hi, bins })
+    }
+
+    /// Dimensionality of the partitioned space.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Bins per dimension.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+}
+
+impl Partition for GridPartition {
+    fn num_cells(&self) -> usize {
+        self.bins.pow(self.dim() as u32)
+    }
+
+    fn cell_of(&self, x: &[f32]) -> Result<usize, OpModelError> {
+        if x.len() != self.dim() {
+            return Err(OpModelError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+            });
+        }
+        let mut idx = 0usize;
+        for (j, &xj) in x.iter().enumerate() {
+            let t = (xj - self.lo[j]) / (self.hi[j] - self.lo[j]);
+            let b = ((t * self.bins as f32) as i64).clamp(0, self.bins as i64 - 1) as usize;
+            idx = idx * self.bins + b;
+        }
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut r = rng();
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            let c = if i % 2 == 0 { -5.0 } else { 5.0 };
+            rows.push(Tensor::rand_normal(&[2], c, 0.3, &mut r));
+        }
+        let data = Tensor::stack_rows(&rows).unwrap();
+        let part = CentroidPartition::fit(&data, 2, 20, &mut r).unwrap();
+        assert_eq!(part.num_cells(), 2);
+        let a = part.cell_of(&[-5.0, -5.0]).unwrap();
+        let b = part.cell_of(&[5.0, 5.0]).unwrap();
+        assert_ne!(a, b);
+        // Centroids close to ±5 diagonal means.
+        let inertia = part.inertia(&data).unwrap();
+        assert!(inertia < 1.0, "inertia {inertia}");
+    }
+
+    #[test]
+    fn kmeans_more_cells_less_inertia() {
+        let mut r = rng();
+        let data = Tensor::rand_uniform(&[300, 2], -1.0, 1.0, &mut r);
+        let p2 = CentroidPartition::fit(&data, 2, 25, &mut r).unwrap();
+        let p16 = CentroidPartition::fit(&data, 16, 25, &mut r).unwrap();
+        assert!(p16.inertia(&data).unwrap() < p2.inertia(&data).unwrap());
+    }
+
+    #[test]
+    fn kmeans_validation() {
+        let mut r = rng();
+        assert!(CentroidPartition::fit(&Tensor::zeros(&[3]), 2, 5, &mut r).is_err());
+        assert!(CentroidPartition::fit(&Tensor::zeros(&[3, 2]), 5, 5, &mut r).is_err());
+        assert!(CentroidPartition::fit(&Tensor::zeros(&[3, 2]), 0, 5, &mut r).is_err());
+    }
+
+    #[test]
+    fn from_centroids_and_dimension_checks() {
+        let part =
+            CentroidPartition::from_centroids(Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]).unwrap())
+                .unwrap();
+        assert_eq!(part.dim(), 2);
+        assert!(part.cell_of(&[0.0]).is_err());
+        assert_eq!(part.cell_of(&[0.1, 0.1]).unwrap(), 0);
+        assert_eq!(part.cell_of(&[0.9, 0.9]).unwrap(), 1);
+        assert!(CentroidPartition::from_centroids(Tensor::zeros(&[0, 2])).is_err());
+        assert!(part.inertia(&Tensor::zeros(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn cell_distribution_sums_to_one() {
+        let mut r = rng();
+        let data = Tensor::rand_uniform(&[200, 2], -1.0, 1.0, &mut r);
+        let part = CentroidPartition::fit(&data, 8, 15, &mut r).unwrap();
+        let dist = part.cell_distribution(&data, 0.5).unwrap();
+        assert_eq!(dist.len(), 8);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(dist.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn grid_partition_basics() {
+        let grid = GridPartition::new(vec![0.0, 0.0], vec![1.0, 1.0], 2).unwrap();
+        assert_eq!(grid.num_cells(), 4);
+        assert_eq!(grid.dim(), 2);
+        assert_eq!(grid.bins(), 2);
+        assert_eq!(grid.cell_of(&[0.1, 0.1]).unwrap(), 0);
+        assert_eq!(grid.cell_of(&[0.1, 0.9]).unwrap(), 1);
+        assert_eq!(grid.cell_of(&[0.9, 0.1]).unwrap(), 2);
+        assert_eq!(grid.cell_of(&[0.9, 0.9]).unwrap(), 3);
+        // Out-of-box clamps.
+        assert_eq!(grid.cell_of(&[-5.0, -5.0]).unwrap(), 0);
+        assert_eq!(grid.cell_of(&[5.0, 5.0]).unwrap(), 3);
+        assert!(grid.cell_of(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn grid_validation() {
+        assert!(GridPartition::new(vec![], vec![], 2).is_err());
+        assert!(GridPartition::new(vec![0.0], vec![1.0, 2.0], 2).is_err());
+        assert!(GridPartition::new(vec![0.0], vec![1.0], 0).is_err());
+        assert!(GridPartition::new(vec![1.0], vec![0.0], 2).is_err());
+    }
+
+    #[test]
+    fn grid_distribution_of_uniform_data_is_roughly_uniform() {
+        let mut r = rng();
+        let data = Tensor::rand_uniform(&[4000, 2], 0.0, 1.0, &mut r);
+        let grid = GridPartition::new(vec![0.0, 0.0], vec![1.0, 1.0], 2).unwrap();
+        let dist = grid.cell_distribution(&data, 0.0).unwrap();
+        for &p in &dist {
+            assert!((p - 0.25).abs() < 0.03, "cell prob {p}");
+        }
+    }
+
+    #[test]
+    fn kmeans_deterministic_given_seed() {
+        let data = Tensor::from_fn(&[50, 2], |ix| ((ix[0] * 7 + ix[1] * 3) % 11) as f32);
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let pa = CentroidPartition::fit(&data, 4, 10, &mut a).unwrap();
+        let pb = CentroidPartition::fit(&data, 4, 10, &mut b).unwrap();
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,328 @@
+//! Operational profiles: class-level usage frequencies paired with an
+//! input-space density (RQ1).
+
+use crate::{Density, Gmm, Kde, OpModelError};
+use opad_data::Dataset;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// An operational profile: how the deployed system will be exercised.
+///
+/// Follows the paper's two-level view — a *coarse* categorical profile
+/// (Musa-style: probability of each usage category/class) plus a *fine*
+/// input-space density used as the "local OP"/naturalness oracle.
+///
+/// # Examples
+///
+/// ```
+/// use opad_opmodel::{Gmm, GmmComponent, OperationalProfile};
+///
+/// let density = Gmm::from_components(vec![GmmComponent {
+///     weight: 1.0,
+///     mean: vec![0.0, 0.0],
+///     std: 1.0,
+/// }])?;
+/// let op = OperationalProfile::new(vec![0.7, 0.3], density)?;
+/// assert_eq!(op.num_classes(), 2);
+/// assert!(op.log_density(&[0.0, 0.0])? > op.log_density(&[9.0, 9.0])?);
+/// # Ok::<(), opad_opmodel::OpModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationalProfile<D> {
+    class_probs: Vec<f64>,
+    density: D,
+}
+
+impl<D: Density> OperationalProfile<D> {
+    /// Creates a profile from class probabilities and a density model.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `class_probs` is not a distribution.
+    pub fn new(class_probs: Vec<f64>, density: D) -> Result<Self, OpModelError> {
+        let sum: f64 = class_probs.iter().sum();
+        if class_probs.is_empty()
+            || class_probs.iter().any(|&p| p < 0.0 || !p.is_finite())
+            || (sum - 1.0).abs() > 1e-6
+        {
+            return Err(OpModelError::InvalidDistribution {
+                reason: format!("class probabilities sum to {sum}"),
+            });
+        }
+        Ok(OperationalProfile {
+            class_probs,
+            density,
+        })
+    }
+
+    /// Per-class usage probabilities.
+    pub fn class_probs(&self) -> &[f64] {
+        &self.class_probs
+    }
+
+    /// Number of usage classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_probs.len()
+    }
+
+    /// The input-space density model.
+    pub fn density(&self) -> &D {
+        &self.density
+    }
+
+    /// Log-density of an input under the profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the density model's dimension check.
+    pub fn log_density(&self, x: &[f32]) -> Result<f64, OpModelError> {
+        self.density.log_density(x)
+    }
+
+    /// Draws an input from the profile's density.
+    ///
+    /// # Errors
+    ///
+    /// Propagates density-model sampling failures.
+    pub fn sample_input(&self, rng: &mut StdRng) -> Result<Vec<f32>, OpModelError> {
+        self.density.sample(rng)
+    }
+
+    /// Maps the density into the other density type (e.g. swapping the
+    /// ground truth for an estimate while keeping class probabilities).
+    pub fn with_density<E: Density>(&self, density: E) -> OperationalProfile<E> {
+        OperationalProfile {
+            class_probs: self.class_probs.clone(),
+            density,
+        }
+    }
+}
+
+/// Empirical class probabilities with Laplace smoothing `alpha`.
+///
+/// # Errors
+///
+/// Fails when `num_classes` is zero or a label is out of range.
+pub fn empirical_class_probs(
+    labels: &[usize],
+    num_classes: usize,
+    alpha: f64,
+) -> Result<Vec<f64>, OpModelError> {
+    if num_classes == 0 {
+        return Err(OpModelError::InvalidParameter {
+            reason: "num_classes must be nonzero".into(),
+        });
+    }
+    let mut counts = vec![alpha; num_classes];
+    for &l in labels {
+        if l >= num_classes {
+            return Err(OpModelError::InvalidParameter {
+                reason: format!("label {l} out of range for {num_classes} classes"),
+            });
+        }
+        counts[l] += 1.0;
+    }
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return Err(OpModelError::InvalidDistribution {
+            reason: "no observations and no smoothing".into(),
+        });
+    }
+    Ok(counts.into_iter().map(|c| c / total).collect())
+}
+
+/// Learns an operational profile from field data: empirical class
+/// frequencies plus a GMM density fitted by EM (RQ1).
+///
+/// # Errors
+///
+/// Fails when the dataset is smaller than `k` or EM cannot run.
+pub fn learn_op_gmm(
+    field_data: &Dataset,
+    k: usize,
+    em_iterations: usize,
+    rng: &mut StdRng,
+) -> Result<OperationalProfile<Gmm>, OpModelError> {
+    let probs = empirical_class_probs(field_data.labels(), field_data.num_classes(), 1.0)?;
+    let gmm = Gmm::fit(field_data.features(), k, em_iterations, rng)?;
+    OperationalProfile::new(probs, gmm)
+}
+
+/// Learns an operational profile from field data with a KDE density
+/// (Scott bandwidth).
+///
+/// # Errors
+///
+/// Fails on empty data.
+pub fn learn_op_kde(field_data: &Dataset) -> Result<OperationalProfile<Kde>, OpModelError> {
+    let probs = empirical_class_probs(field_data.labels(), field_data.num_classes(), 1.0)?;
+    let kde = Kde::fit_scott(field_data.features())?;
+    OperationalProfile::new(probs, kde)
+}
+
+/// A linear drift between two categorical profiles over a time horizon —
+/// the paper stresses the OP is "not constant after deployment".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearDrift {
+    from: Vec<f64>,
+    to: Vec<f64>,
+    horizon: usize,
+}
+
+impl LinearDrift {
+    /// Creates a drift from `from` to `to` over `horizon` steps.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatched lengths, non-distributions, or zero horizon.
+    pub fn new(from: Vec<f64>, to: Vec<f64>, horizon: usize) -> Result<Self, OpModelError> {
+        if from.len() != to.len() || from.is_empty() {
+            return Err(OpModelError::InvalidDistribution {
+                reason: "drift endpoints must be matched nonempty distributions".into(),
+            });
+        }
+        for dist in [&from, &to] {
+            let s: f64 = dist.iter().sum();
+            if (s - 1.0).abs() > 1e-6 || dist.iter().any(|&p| p < 0.0) {
+                return Err(OpModelError::InvalidDistribution {
+                    reason: format!("endpoint sums to {s}"),
+                });
+            }
+        }
+        if horizon == 0 {
+            return Err(OpModelError::InvalidParameter {
+                reason: "horizon must be nonzero".into(),
+            });
+        }
+        Ok(LinearDrift { from, to, horizon })
+    }
+
+    /// The profile at step `t` (clamped to the horizon).
+    pub fn probs_at(&self, t: usize) -> Vec<f64> {
+        let alpha = (t.min(self.horizon)) as f64 / self.horizon as f64;
+        self.from
+            .iter()
+            .zip(&self.to)
+            .map(|(&a, &b)| (1.0 - alpha) * a + alpha * b)
+            .collect()
+    }
+
+    /// The drift horizon in steps.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GmmComponent;
+    use opad_data::{gaussian_clusters, uniform_probs, zipf_probs, GaussianClustersConfig};
+    use rand::SeedableRng;
+
+    fn std_gmm() -> Gmm {
+        Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0, 0.0],
+            std: 1.0,
+        }])
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(OperationalProfile::new(vec![0.5, 0.6], std_gmm()).is_err());
+        assert!(OperationalProfile::new(vec![], std_gmm()).is_err());
+        assert!(OperationalProfile::new(vec![-0.5, 1.5], std_gmm()).is_err());
+        let op = OperationalProfile::new(vec![0.3, 0.7], std_gmm()).unwrap();
+        assert_eq!(op.num_classes(), 2);
+        assert_eq!(op.class_probs(), &[0.3, 0.7]);
+    }
+
+    #[test]
+    fn profile_sampling_and_density() {
+        let op = OperationalProfile::new(vec![1.0], std_gmm()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = op.sample_input(&mut rng).unwrap();
+        assert_eq!(x.len(), 2);
+        assert!(op.log_density(&x).unwrap().is_finite());
+    }
+
+    #[test]
+    fn with_density_swaps_model() {
+        let op = OperationalProfile::new(vec![0.5, 0.5], std_gmm()).unwrap();
+        let data = opad_tensor::Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+        let kde = Kde::fit(&data, 1.0).unwrap();
+        let op2 = op.with_density(kde);
+        assert_eq!(op2.class_probs(), op.class_probs());
+    }
+
+    #[test]
+    fn empirical_probs() {
+        let probs = empirical_class_probs(&[0, 0, 1], 2, 0.0).unwrap();
+        assert!((probs[0] - 2.0 / 3.0).abs() < 1e-12);
+        // Smoothing pulls toward uniform and covers unseen classes.
+        let probs = empirical_class_probs(&[0, 0], 3, 1.0).unwrap();
+        assert!(probs[2] > 0.0);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(empirical_class_probs(&[5], 2, 1.0).is_err());
+        assert!(empirical_class_probs(&[], 0, 1.0).is_err());
+        assert!(empirical_class_probs(&[], 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn learn_op_recovers_skew() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GaussianClustersConfig::default();
+        let field = gaussian_clusters(&cfg, 1500, &zipf_probs(3, 1.5), &mut rng).unwrap();
+        let op = learn_op_gmm(&field, 3, 15, &mut rng).unwrap();
+        let truth = zipf_probs(3, 1.5);
+        for (est, t) in op.class_probs().iter().zip(&truth) {
+            assert!((est - t).abs() < 0.05, "estimated {est} vs true {t}");
+        }
+        // Density is higher near a cluster centre than far away.
+        let c0 = opad_data::cluster_center(&cfg, 0);
+        assert!(op.log_density(&c0).unwrap() > op.log_density(&[50.0, 50.0]).unwrap());
+    }
+
+    #[test]
+    fn learn_op_kde_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = GaussianClustersConfig::default();
+        let field = gaussian_clusters(&cfg, 300, &uniform_probs(3), &mut rng).unwrap();
+        let op = learn_op_kde(&field).unwrap();
+        assert_eq!(op.num_classes(), 3);
+        let c0 = opad_data::cluster_center(&cfg, 0);
+        assert!(op.log_density(&c0).unwrap() > op.log_density(&[50.0, 50.0]).unwrap());
+    }
+
+    #[test]
+    fn drift_interpolates() {
+        let drift = LinearDrift::new(vec![1.0, 0.0], vec![0.0, 1.0], 10).unwrap();
+        assert_eq!(drift.probs_at(0), vec![1.0, 0.0]);
+        assert_eq!(drift.probs_at(10), vec![0.0, 1.0]);
+        let mid = drift.probs_at(5);
+        assert!((mid[0] - 0.5).abs() < 1e-12);
+        // Clamped beyond horizon.
+        assert_eq!(drift.probs_at(99), vec![0.0, 1.0]);
+        assert_eq!(drift.horizon(), 10);
+    }
+
+    #[test]
+    fn drift_validation() {
+        assert!(LinearDrift::new(vec![1.0], vec![0.5, 0.5], 5).is_err());
+        assert!(LinearDrift::new(vec![0.5, 0.6], vec![0.5, 0.5], 5).is_err());
+        assert!(LinearDrift::new(vec![0.5, 0.5], vec![0.5, 0.5], 0).is_err());
+        assert!(LinearDrift::new(vec![], vec![], 5).is_err());
+    }
+
+    #[test]
+    fn drift_stays_a_distribution() {
+        let drift = LinearDrift::new(vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8], 7).unwrap();
+        for t in 0..=7 {
+            let p = drift.probs_at(t);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for operational-profile models.
+
+use opad_opmodel::{
+    js_divergence, kl_divergence, tv_distance, CentroidPartition, Density, Gmm, GmmComponent,
+    GridPartition, Kde, LinearDrift, Partition,
+};
+use opad_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a normalised distribution of length `k`.
+fn distribution(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, k).prop_map(|v| {
+        let z: f64 = v.iter().sum();
+        v.into_iter().map(|p| p / z).collect()
+    })
+}
+
+fn gmm_2d(seed: u64) -> Gmm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = Tensor::rand_normal(&[60, 2], 0.0, 2.0, &mut rng);
+    Gmm::fit(&data, 3, 5, &mut rng).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn divergences_are_nonnegative_and_bounded(p in distribution(5), q in distribution(5)) {
+        let kl = kl_divergence(&p, &q).unwrap();
+        prop_assert!(kl >= -1e-12);
+        let js = js_divergence(&p, &q).unwrap();
+        prop_assert!((-1e-12..=2.0f64.ln() + 1e-12).contains(&js));
+        let tv = tv_distance(&p, &q).unwrap();
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&tv));
+        // Symmetry of JS and TV.
+        prop_assert!((js - js_divergence(&q, &p).unwrap()).abs() < 1e-12);
+        prop_assert!((tv - tv_distance(&q, &p).unwrap()).abs() < 1e-12);
+        // Self-divergence is zero.
+        prop_assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinsker_inequality(p in distribution(4), q in distribution(4)) {
+        // TV² ≤ KL/2 — a nontrivial relation the implementations must obey.
+        let kl = kl_divergence(&p, &q).unwrap();
+        let tv = tv_distance(&p, &q).unwrap();
+        prop_assert!(tv * tv <= kl / 2.0 + 1e-9, "tv {tv}, kl {kl}");
+    }
+
+    #[test]
+    fn gmm_density_finite_and_score_consistent(
+        x in proptest::collection::vec(-10.0f32..10.0, 2),
+        seed in 0u64..50,
+    ) {
+        let g = gmm_2d(seed);
+        let ld = g.log_density(&x).unwrap();
+        prop_assert!(ld.is_finite());
+        // Score matches finite differences.
+        let grad = g.grad_log_density(&x).unwrap();
+        let h = 1e-2f32;
+        for j in 0..2 {
+            let mut xp = x.clone();
+            xp[j] += h;
+            let mut xm = x.clone();
+            xm[j] -= h;
+            let num = ((g.log_density(&xp).unwrap() - g.log_density(&xm).unwrap())
+                / (2.0 * h as f64)) as f32;
+            prop_assert!((num - grad[j]).abs() < 0.3 + 0.05 * grad[j].abs(),
+                "dim {j}: numeric {num} vs analytic {}", grad[j]);
+        }
+    }
+
+    #[test]
+    fn gmm_samples_have_finite_density(seed in 0u64..50) {
+        let g = gmm_2d(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 999);
+        for _ in 0..20 {
+            let x = g.sample(&mut rng).unwrap();
+            prop_assert!(g.log_density(&x).unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn kde_density_below_kernel_peak(
+        bandwidth in 0.1f64..2.0,
+        data in proptest::collection::vec(-5.0f32..5.0, 10),
+    ) {
+        let pts = Tensor::from_vec(data.clone(), &[10, 1]).unwrap();
+        let kde = Kde::fit(&pts, bandwidth).unwrap();
+        // A 1-D KDE's density can never exceed the single-kernel peak
+        // 1/(√(2π)·h).
+        let peak = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * bandwidth);
+        for &x in &data {
+            let d = kde.density(&[x]).unwrap();
+            prop_assert!(d <= peak + 1e-9, "density {d} exceeds peak {peak}");
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn centroid_partition_total_and_membership(
+        data in proptest::collection::vec(-5.0f32..5.0, 40),
+        k in 1usize..6,
+        seed in 0u64..20,
+    ) {
+        let t = Tensor::from_vec(data, &[20, 2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = CentroidPartition::fit(&t, k, 5, &mut rng).unwrap();
+        prop_assert_eq!(part.num_cells(), k);
+        let dist = part.cell_distribution(&t, 0.1).unwrap();
+        prop_assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for i in 0..20 {
+            let row = t.row(i).unwrap();
+            let c = part.cell_of(row.as_slice()).unwrap();
+            prop_assert!(c < k);
+        }
+    }
+
+    #[test]
+    fn grid_cells_partition_the_box(
+        x in -2.0f32..2.0,
+        y in -2.0f32..2.0,
+        bins in 1usize..6,
+    ) {
+        let grid = GridPartition::new(vec![-2.0, -2.0], vec![2.0, 2.0], bins).unwrap();
+        let c = grid.cell_of(&[x, y]).unwrap();
+        prop_assert!(c < grid.num_cells());
+    }
+
+    #[test]
+    fn drift_endpoints_and_interior(p in distribution(3), q in distribution(3), t in 0usize..20) {
+        let drift = LinearDrift::new(p.clone(), q.clone(), 10).unwrap();
+        let at = drift.probs_at(t);
+        prop_assert!((at.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(at.iter().all(|&v| v >= -1e-12));
+        // Interior values bounded by the endpoints coordinate-wise envelope.
+        for i in 0..3 {
+            let lo = p[i].min(q[i]) - 1e-12;
+            let hi = p[i].max(q[i]) + 1e-12;
+            prop_assert!(at[i] >= lo && at[i] <= hi);
+        }
+    }
+
+    #[test]
+    fn mixture_of_gmms_density_monotone_toward_mode(
+        offset in 0.5f32..5.0,
+    ) {
+        let g = Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![0.0, 0.0],
+            std: 1.0,
+        }]).unwrap();
+        let near = g.log_density(&[offset / 2.0, 0.0]).unwrap();
+        let far = g.log_density(&[offset, 0.0]).unwrap();
+        prop_assert!(near >= far);
+    }
+}

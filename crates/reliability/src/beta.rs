@@ -1,0 +1,400 @@
+//! The Beta distribution, with a real regularized-incomplete-beta
+//! implementation (Lanczos log-gamma + Lentz continued fraction) so
+//! credible bounds are exact rather than normal approximations.
+
+use crate::ReliabilityError;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Beta(α, β) distribution — the conjugate posterior over a Bernoulli
+/// failure probability.
+///
+/// # Examples
+///
+/// ```
+/// use opad_reliability::Beta;
+///
+/// let mut posterior = Beta::jeffreys()?; // Beta(1/2, 1/2)
+/// // Observe 10 demands, one failure.
+/// for _ in 0..9 { posterior.observe(false); }
+/// posterior.observe(true);
+/// assert!(posterior.mean() < 0.2);
+/// # Ok::<(), opad_reliability::ReliabilityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates a Beta(α, β).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless both shapes are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ReliabilityError> {
+        if alpha <= 0.0 || beta <= 0.0 || !alpha.is_finite() || !beta.is_finite() {
+            return Err(ReliabilityError::InvalidParameter {
+                reason: format!("beta shapes must be positive and finite, got ({alpha}, {beta})"),
+            });
+        }
+        Ok(Beta { alpha, beta })
+    }
+
+    /// The uniform prior Beta(1, 1).
+    pub fn uniform() -> Self {
+        Beta {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+    }
+
+    /// The Jeffreys prior Beta(½, ½).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; returns `Result` for signature uniformity with
+    /// [`Beta::new`].
+    pub fn jeffreys() -> Result<Self, ReliabilityError> {
+        Beta::new(0.5, 0.5)
+    }
+
+    /// The α shape.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The β shape.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Posterior mean `α/(α+β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Posterior variance.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Posterior standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Bayesian update with one Bernoulli observation (`failed = true`
+    /// increments α, the failure count).
+    pub fn observe(&mut self, failed: bool) {
+        if failed {
+            self.alpha += 1.0;
+        } else {
+            self.beta += 1.0;
+        }
+    }
+
+    /// Batch update with `failures` failures out of `n` demands.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `failures > n`.
+    pub fn observe_counts(&mut self, failures: u64, n: u64) -> Result<(), ReliabilityError> {
+        if failures > n {
+            return Err(ReliabilityError::InvalidParameter {
+                reason: format!("{failures} failures out of {n} demands"),
+            });
+        }
+        self.alpha += failures as f64;
+        self.beta += (n - failures) as f64;
+        Ok(())
+    }
+
+    /// CDF at `x`: the regularized incomplete beta function `I_x(α, β)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        reg_inc_beta(self.alpha, self.beta, x.clamp(0.0, 1.0))
+    }
+
+    /// The `p`-quantile (inverse CDF), by bisection on the CDF.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, ReliabilityError> {
+        if !(0.0..1.0).contains(&p) || p == 0.0 {
+            return Err(ReliabilityError::InvalidParameter {
+                reason: format!("quantile probability must be in (0, 1), got {p}"),
+            });
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// One draw from the distribution, via the ratio-of-Gammas method
+    /// (Marsaglia–Tsang Gamma sampling).
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let x = sample_gamma(self.alpha, rng);
+        let y = sample_gamma(self.beta, rng);
+        if x + y == 0.0 {
+            return self.mean();
+        }
+        x / (x + y)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9 coefficients).
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Continued-fraction evaluation for the incomplete beta (Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub(crate) fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler (with Johnk boost for shape<1).
+fn sample_gamma(shape: f64, rng: &mut StdRng) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+        assert!(Beta::new(f64::NAN, 1.0).is_err());
+        let b = Beta::new(2.0, 3.0).unwrap();
+        assert_eq!(b.alpha(), 2.0);
+        assert_eq!(b.beta(), 3.0);
+    }
+
+    #[test]
+    fn moments() {
+        let b = Beta::new(2.0, 3.0).unwrap();
+        assert!((b.mean() - 0.4).abs() < 1e-12);
+        assert!((b.variance() - 0.04).abs() < 1e-12);
+        assert!((b.std() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_beta_cdf_is_identity() {
+        let b = Beta::uniform();
+        for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((b.cdf(x) - x).abs() < 1e-10, "cdf({x}) = {}", b.cdf(x));
+        }
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // Beta(2,2): CDF(x) = 3x² − 2x³.
+        let b = Beta::new(2.0, 2.0).unwrap();
+        for x in [0.1, 0.3, 0.5, 0.9] {
+            let expect = 3.0 * x * x - 2.0 * x * x * x;
+            assert!((b.cdf(x) - expect).abs() < 1e-9);
+        }
+        // Symmetry of Beta(a,a): CDF(1/2) = 1/2.
+        let b = Beta::new(7.3, 7.3).unwrap();
+        assert!((b.cdf(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let b = Beta::new(0.7, 3.2).unwrap();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let c = b.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert_eq!(b.cdf(-1.0), 0.0);
+        assert_eq!(b.cdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let b = Beta::new(3.0, 5.0).unwrap();
+        for p in [0.05, 0.5, 0.95, 0.99] {
+            let x = b.quantile(p).unwrap();
+            assert!((b.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+        assert!(b.quantile(0.0).is_err());
+        assert!(b.quantile(1.0).is_err());
+    }
+
+    #[test]
+    fn observation_updates() {
+        let mut b = Beta::uniform();
+        b.observe(true);
+        b.observe(false);
+        b.observe(false);
+        assert_eq!(b.alpha(), 2.0);
+        assert_eq!(b.beta(), 3.0);
+        let mut c = Beta::uniform();
+        c.observe_counts(1, 3).unwrap();
+        assert_eq!((c.alpha(), c.beta()), (2.0, 3.0));
+        assert!(c.observe_counts(4, 3).is_err());
+    }
+
+    #[test]
+    fn posterior_concentrates_on_truth() {
+        // 5 failures in 500 demands → mean ≈ 0.01, tight.
+        let mut b = Beta::uniform();
+        b.observe_counts(5, 500).unwrap();
+        assert!((b.mean() - 0.012).abs() < 0.005);
+        assert!(b.std() < 0.01);
+        // 95% upper credible bound is near 0.02.
+        let ub = b.quantile(0.95).unwrap();
+        assert!(ub > b.mean() && ub < 0.03, "upper bound {ub}");
+    }
+
+    #[test]
+    fn samples_match_moments() {
+        let b = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        const N: usize = 20000;
+        let xs: Vec<f64> = (0..N).map(|_| b.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+        assert!((mean - b.mean()).abs() < 0.01, "sample mean {mean}");
+        assert!((var - b.variance()).abs() < 0.005, "sample var {var}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn small_shape_sampling_works() {
+        let b = Beta::jeffreys().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..5000).map(|_| b.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.03, "jeffreys mean {mean}");
+    }
+}

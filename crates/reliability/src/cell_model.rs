@@ -1,0 +1,354 @@
+//! ReAsDL-style cell-based reliability model: the input space is split
+//! into cells, each carrying an OP probability and a Beta posterior over
+//! its failure probability; the system pfd (probability of failure per
+//! demand) is the OP-weighted aggregate.
+
+use crate::{Beta, ReliabilityError};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Cell-partitioned Bayesian reliability model.
+///
+/// # Examples
+///
+/// ```
+/// use opad_reliability::CellReliabilityModel;
+///
+/// let mut model = CellReliabilityModel::new(vec![0.9, 0.1])?;
+/// // Heavy cell is reliable, light cell always fails.
+/// for _ in 0..50 { model.observe(0, false)?; }
+/// for _ in 0..50 { model.observe(1, true)?; }
+/// let pfd = model.pfd_mean();
+/// // pfd ≈ 0.9·(small) + 0.1·(≈1).
+/// assert!(pfd > 0.08 && pfd < 0.2, "pfd {pfd}");
+/// # Ok::<(), opad_reliability::ReliabilityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReliabilityModel {
+    op: Vec<f64>,
+    posteriors: Vec<Beta>,
+    demands: Vec<u64>,
+    failures: Vec<u64>,
+}
+
+impl CellReliabilityModel {
+    /// Creates a model over cells with operational probabilities `op`,
+    /// uniform Beta(1, 1) priors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `op` is not a probability distribution.
+    pub fn new(op: Vec<f64>) -> Result<Self, ReliabilityError> {
+        Self::with_prior(op, Beta::uniform())
+    }
+
+    /// Creates a model with an explicit shared prior.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `op` is not a probability distribution.
+    pub fn with_prior(op: Vec<f64>, prior: Beta) -> Result<Self, ReliabilityError> {
+        let sum: f64 = op.iter().sum();
+        if op.is_empty() || op.iter().any(|&p| p < 0.0 || !p.is_finite()) || (sum - 1.0).abs() > 1e-6
+        {
+            return Err(ReliabilityError::InvalidDistribution {
+                reason: format!("cell probabilities sum to {sum}"),
+            });
+        }
+        let k = op.len();
+        Ok(CellReliabilityModel {
+            op,
+            posteriors: vec![prior; k],
+            demands: vec![0; k],
+            failures: vec![0; k],
+        })
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.op.len()
+    }
+
+    /// The operational probability of each cell.
+    pub fn op(&self) -> &[f64] {
+        &self.op
+    }
+
+    /// Replaces the OP weights (e.g. after profile drift), keeping the
+    /// accumulated evidence.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the new distribution has the wrong length or is not a
+    /// distribution.
+    pub fn set_op(&mut self, op: Vec<f64>) -> Result<(), ReliabilityError> {
+        if op.len() != self.op.len() {
+            return Err(ReliabilityError::InvalidDistribution {
+                reason: format!("expected {} cells, got {}", self.op.len(), op.len()),
+            });
+        }
+        let sum: f64 = op.iter().sum();
+        if op.iter().any(|&p| p < 0.0 || !p.is_finite()) || (sum - 1.0).abs() > 1e-6 {
+            return Err(ReliabilityError::InvalidDistribution {
+                reason: format!("cell probabilities sum to {sum}"),
+            });
+        }
+        self.op = op;
+        Ok(())
+    }
+
+    /// The posterior of one cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `cell` is out of range.
+    pub fn posterior(&self, cell: usize) -> Result<&Beta, ReliabilityError> {
+        self.posteriors
+            .get(cell)
+            .ok_or(ReliabilityError::CellOutOfRange {
+                cell,
+                cells: self.op.len(),
+            })
+    }
+
+    /// Records one demand on `cell` and whether it failed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `cell` is out of range.
+    pub fn observe(&mut self, cell: usize, failed: bool) -> Result<(), ReliabilityError> {
+        let k = self.op.len();
+        let post = self
+            .posteriors
+            .get_mut(cell)
+            .ok_or(ReliabilityError::CellOutOfRange { cell, cells: k })?;
+        post.observe(failed);
+        self.demands[cell] += 1;
+        if failed {
+            self.failures[cell] += 1;
+        }
+        Ok(())
+    }
+
+    /// Total demands observed.
+    pub fn total_demands(&self) -> u64 {
+        self.demands.iter().sum()
+    }
+
+    /// Total failures observed.
+    pub fn total_failures(&self) -> u64 {
+        self.failures.iter().sum()
+    }
+
+    /// Posterior-mean pfd: `Σᵢ opᵢ · E[θᵢ]`.
+    pub fn pfd_mean(&self) -> f64 {
+        self.op
+            .iter()
+            .zip(&self.posteriors)
+            .map(|(&p, b)| p * b.mean())
+            .sum()
+    }
+
+    /// Posterior standard deviation of the pfd (cells are independent, so
+    /// variances add with squared OP weights).
+    pub fn pfd_std(&self) -> f64 {
+        self.op
+            .iter()
+            .zip(&self.posteriors)
+            .map(|(&p, b)| p * p * b.variance())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Monte-Carlo draws from the pfd posterior (sample each cell's θ,
+    /// weight by OP).
+    pub fn pfd_samples(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                self.op
+                    .iter()
+                    .zip(&self.posteriors)
+                    .map(|(&p, b)| p * b.sample(rng))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// An upper credible bound on the pfd at the given confidence, by
+    /// Monte Carlo over the cell posteriors.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `0 < confidence < 1` and `samples > 0`.
+    pub fn pfd_upper_bound(
+        &self,
+        confidence: f64,
+        samples: usize,
+        rng: &mut StdRng,
+    ) -> Result<f64, ReliabilityError> {
+        if !(0.0..1.0).contains(&confidence) || confidence == 0.0 {
+            return Err(ReliabilityError::InvalidParameter {
+                reason: format!("confidence must be in (0, 1), got {confidence}"),
+            });
+        }
+        if samples == 0 {
+            return Err(ReliabilityError::InvalidParameter {
+                reason: "samples must be nonzero".into(),
+            });
+        }
+        let mut draws = self.pfd_samples(samples, rng);
+        draws.sort_by(|a, b| a.partial_cmp(b).expect("finite pfd draws"));
+        let idx = ((confidence * samples as f64).ceil() as usize).min(samples) - 1;
+        Ok(draws[idx])
+    }
+
+    /// Testing priority per cell: OP mass × posterior uncertainty,
+    /// normalised to sum to 1. This is the RQ5→RQ2 feedback signal — the
+    /// next round of seed sampling should spend its budget where the OP
+    /// is heavy *and* the failure probability is still uncertain.
+    pub fn cell_priority(&self) -> Vec<f64> {
+        let raw: Vec<f64> = self
+            .op
+            .iter()
+            .zip(&self.posteriors)
+            .map(|(&p, b)| p * b.std())
+            .collect();
+        let z: f64 = raw.iter().sum();
+        if z <= 0.0 {
+            vec![1.0 / self.op.len() as f64; self.op.len()]
+        } else {
+            raw.into_iter().map(|r| r / z).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CellReliabilityModel::new(vec![]).is_err());
+        assert!(CellReliabilityModel::new(vec![0.5, 0.6]).is_err());
+        assert!(CellReliabilityModel::new(vec![-0.5, 1.5]).is_err());
+        let m = CellReliabilityModel::new(vec![0.25; 4]).unwrap();
+        assert_eq!(m.num_cells(), 4);
+        assert_eq!(m.total_demands(), 0);
+    }
+
+    #[test]
+    fn prior_pfd_is_prior_mean() {
+        let m = CellReliabilityModel::new(vec![0.5, 0.5]).unwrap();
+        // Uniform prior mean is 0.5 everywhere.
+        assert!((m.pfd_mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observations_move_the_posterior() {
+        let mut m = CellReliabilityModel::new(vec![0.7, 0.3]).unwrap();
+        for _ in 0..100 {
+            m.observe(0, false).unwrap();
+        }
+        for _ in 0..10 {
+            m.observe(1, true).unwrap();
+        }
+        assert_eq!(m.total_demands(), 110);
+        assert_eq!(m.total_failures(), 10);
+        // Cell 0 near-zero failure prob, cell 1 near one.
+        assert!(m.posterior(0).unwrap().mean() < 0.05);
+        assert!(m.posterior(1).unwrap().mean() > 0.8);
+        let pfd = m.pfd_mean();
+        assert!(pfd > 0.2 && pfd < 0.35, "pfd {pfd}");
+        assert!(m.observe(5, false).is_err());
+        assert!(m.posterior(5).is_err());
+    }
+
+    #[test]
+    fn op_weighting_matters() {
+        // Same evidence, different OP → different delivered pfd.
+        let mut heavy_bad = CellReliabilityModel::new(vec![0.1, 0.9]).unwrap();
+        let mut light_bad = CellReliabilityModel::new(vec![0.9, 0.1]).unwrap();
+        for m in [&mut heavy_bad, &mut light_bad] {
+            for _ in 0..50 {
+                m.observe(0, false).unwrap();
+                m.observe(1, true).unwrap();
+            }
+        }
+        assert!(heavy_bad.pfd_mean() > 5.0 * light_bad.pfd_mean());
+    }
+
+    #[test]
+    fn upper_bound_exceeds_mean_and_tightens() {
+        let mut m = CellReliabilityModel::new(vec![1.0]).unwrap();
+        m.observe_counts_helper(2, 100);
+        let mut r = rng();
+        let ub = m.pfd_upper_bound(0.95, 4000, &mut r).unwrap();
+        assert!(ub > m.pfd_mean());
+        // More evidence tightens the bound.
+        m.observe_counts_helper(2, 900);
+        let ub2 = m.pfd_upper_bound(0.95, 4000, &mut r).unwrap();
+        assert!(ub2 < ub, "bound should tighten: {ub} → {ub2}");
+        assert!(m.pfd_upper_bound(0.0, 10, &mut r).is_err());
+        assert!(m.pfd_upper_bound(0.95, 0, &mut r).is_err());
+    }
+
+    #[test]
+    fn mc_bound_matches_analytic_single_cell() {
+        // With one cell, the MC bound must match the Beta quantile.
+        let mut m = CellReliabilityModel::new(vec![1.0]).unwrap();
+        m.observe_counts_helper(3, 200);
+        let mut r = rng();
+        let mc = m.pfd_upper_bound(0.9, 20000, &mut r).unwrap();
+        let analytic = m.posterior(0).unwrap().quantile(0.9).unwrap();
+        assert!((mc - analytic).abs() < 0.005, "mc {mc} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn pfd_std_decreases_with_evidence() {
+        let mut m = CellReliabilityModel::new(vec![0.5, 0.5]).unwrap();
+        let before = m.pfd_std();
+        for _ in 0..200 {
+            m.observe(0, false).unwrap();
+            m.observe(1, false).unwrap();
+        }
+        assert!(m.pfd_std() < before / 3.0);
+    }
+
+    #[test]
+    fn priority_prefers_heavy_uncertain_cells() {
+        let mut m = CellReliabilityModel::new(vec![0.6, 0.3, 0.1]).unwrap();
+        // Pin down cell 0 with lots of evidence; cells 1, 2 stay uncertain.
+        for _ in 0..500 {
+            m.observe(0, false).unwrap();
+        }
+        let pri = m.cell_priority();
+        assert!((pri.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Uncertain cell 1 outranks pinned-down heavy cell 0.
+        assert!(pri[1] > pri[0], "priority {pri:?}");
+        // Heavier uncertain cell outranks lighter uncertain cell.
+        assert!(pri[1] > pri[2]);
+    }
+
+    #[test]
+    fn set_op_revalidates() {
+        let mut m = CellReliabilityModel::new(vec![0.5, 0.5]).unwrap();
+        assert!(m.set_op(vec![0.3, 0.7]).is_ok());
+        assert!(m.set_op(vec![0.3, 0.3]).is_err());
+        assert!(m.set_op(vec![1.0]).is_err());
+        assert_eq!(m.op(), &[0.3, 0.7]);
+    }
+
+    impl CellReliabilityModel {
+        /// Test helper: bulk observations on cell 0.
+        fn observe_counts_helper(&mut self, failures: usize, n: usize) {
+            for i in 0..n {
+                self.observe(0, i < failures).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for reliability assessment.
+
+use thiserror::Error;
+
+/// Error produced while building or querying reliability models.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum ReliabilityError {
+    /// Invalid parameter (non-positive Beta shape, bad confidence, …).
+    #[error("invalid parameter: {reason}")]
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+
+    /// Cell index out of range.
+    #[error("cell {cell} out of range for {cells} cells")]
+    CellOutOfRange {
+        /// The offending cell index.
+        cell: usize,
+        /// Number of cells in the model.
+        cells: usize,
+    },
+
+    /// Operational-profile weights were not a distribution.
+    #[error("invalid cell distribution: {reason}")]
+    InvalidDistribution {
+        /// Human-readable description.
+        reason: String,
+    },
+
+    /// An operational-profile model error.
+    #[error("op-model error: {0}")]
+    OpModel(#[from] opad_opmodel::OpModelError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = ReliabilityError::CellOutOfRange { cell: 9, cells: 4 };
+        assert!(e.to_string().contains('9'));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReliabilityError>();
+    }
+}

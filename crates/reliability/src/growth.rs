@@ -1,0 +1,169 @@
+//! Reliability-growth tracking across retraining rounds.
+
+use crate::{ReliabilityError, ReliabilityTarget};
+use serde::{Deserialize, Serialize};
+
+/// One round's reliability assessment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// Testing round index (0 = before any retraining).
+    pub round: usize,
+    /// Posterior-mean pfd.
+    pub pfd_mean: f64,
+    /// Upper credible bound on the pfd.
+    pub pfd_upper: f64,
+    /// Test cases spent this round.
+    pub tests_spent: usize,
+    /// Operational AEs detected this round.
+    pub aes_found: usize,
+}
+
+/// The reliability trajectory of the five-step loop: one [`Assessment`]
+/// per round, plus the stopping rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowthTimeline {
+    target: ReliabilityTarget,
+    rounds: Vec<Assessment>,
+}
+
+impl GrowthTimeline {
+    /// Creates an empty timeline for the given target.
+    pub fn new(target: ReliabilityTarget) -> Self {
+        GrowthTimeline {
+            target,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// The reliability target.
+    pub fn target(&self) -> ReliabilityTarget {
+        self.target
+    }
+
+    /// Records a round.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the round index is not the next in sequence.
+    pub fn record(&mut self, assessment: Assessment) -> Result<(), ReliabilityError> {
+        if assessment.round != self.rounds.len() {
+            return Err(ReliabilityError::InvalidParameter {
+                reason: format!(
+                    "expected round {}, got {}",
+                    self.rounds.len(),
+                    assessment.round
+                ),
+            });
+        }
+        self.rounds.push(assessment);
+        Ok(())
+    }
+
+    /// All recorded rounds.
+    pub fn rounds(&self) -> &[Assessment] {
+        &self.rounds
+    }
+
+    /// The most recent assessment.
+    pub fn latest(&self) -> Option<&Assessment> {
+        self.rounds.last()
+    }
+
+    /// Whether the stopping rule fired: the latest upper bound meets the
+    /// target.
+    pub fn target_met(&self) -> bool {
+        self.latest()
+            .map(|a| self.target.met_by(a.pfd_upper))
+            .unwrap_or(false)
+    }
+
+    /// Total test cases spent so far.
+    pub fn total_tests(&self) -> usize {
+        self.rounds.iter().map(|a| a.tests_spent).sum()
+    }
+
+    /// Total operational AEs found so far.
+    pub fn total_aes(&self) -> usize {
+        self.rounds.iter().map(|a| a.aes_found).sum()
+    }
+
+    /// Relative pfd improvement from the first to the latest round
+    /// (`None` with fewer than two rounds or a zero baseline).
+    pub fn improvement(&self) -> Option<f64> {
+        if self.rounds.len() < 2 {
+            return None;
+        }
+        let first = self.rounds.first()?.pfd_mean;
+        let last = self.latest()?.pfd_mean;
+        if first <= 0.0 {
+            return None;
+        }
+        Some((first - last) / first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> ReliabilityTarget {
+        ReliabilityTarget::new(0.01, 0.95).unwrap()
+    }
+
+    fn assessment(round: usize, mean: f64, upper: f64) -> Assessment {
+        Assessment {
+            round,
+            pfd_mean: mean,
+            pfd_upper: upper,
+            tests_spent: 100,
+            aes_found: 5,
+        }
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = GrowthTimeline::new(target());
+        assert!(t.latest().is_none());
+        assert!(!t.target_met());
+        assert_eq!(t.total_tests(), 0);
+        assert!(t.improvement().is_none());
+    }
+
+    #[test]
+    fn records_in_sequence() {
+        let mut t = GrowthTimeline::new(target());
+        t.record(assessment(0, 0.1, 0.15)).unwrap();
+        t.record(assessment(1, 0.05, 0.08)).unwrap();
+        assert_eq!(t.rounds().len(), 2);
+        assert!(t.record(assessment(5, 0.01, 0.02)).is_err());
+        assert_eq!(t.total_tests(), 200);
+        assert_eq!(t.total_aes(), 10);
+    }
+
+    #[test]
+    fn stopping_rule() {
+        let mut t = GrowthTimeline::new(target());
+        t.record(assessment(0, 0.1, 0.15)).unwrap();
+        assert!(!t.target_met());
+        t.record(assessment(1, 0.004, 0.009)).unwrap();
+        assert!(t.target_met());
+    }
+
+    #[test]
+    fn improvement_metric() {
+        let mut t = GrowthTimeline::new(target());
+        t.record(assessment(0, 0.2, 0.3)).unwrap();
+        assert!(t.improvement().is_none());
+        t.record(assessment(1, 0.05, 0.1)).unwrap();
+        let imp = t.improvement().unwrap();
+        assert!((imp - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_improvement_is_none() {
+        let mut t = GrowthTimeline::new(target());
+        t.record(assessment(0, 0.0, 0.01)).unwrap();
+        t.record(assessment(1, 0.0, 0.005)).unwrap();
+        assert!(t.improvement().is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! # opad-reliability
+//!
+//! Reliability assessment for DL classifiers under an operational profile
+//! (the paper's RQ5, in the style of its ReAsDL project [12, 13]).
+//!
+//! * [`Beta`] — conjugate posteriors over failure probabilities, with an
+//!   exact regularized-incomplete-beta CDF and quantiles;
+//! * [`CellReliabilityModel`] — per-cell Beta posteriors weighted by the
+//!   OP; posterior-mean pfd, Monte-Carlo upper credible bounds, and the
+//!   [`CellReliabilityModel::cell_priority`] feedback signal that steers
+//!   the next testing round (the RQ5 → RQ2 arrow in the paper's Fig. 1);
+//! * classical operational testing: [`clopper_pearson_upper`],
+//!   [`demands_for_target`];
+//! * [`GrowthTimeline`] — per-round assessments and the stopping rule
+//!   ([`ReliabilityTarget`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use opad_reliability::{CellReliabilityModel, ReliabilityTarget};
+//! use rand::SeedableRng;
+//!
+//! let mut model = CellReliabilityModel::new(vec![0.8, 0.2])?;
+//! for _ in 0..200 {
+//!     model.observe(0, false)?;
+//!     model.observe(1, false)?;
+//! }
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let ub = model.pfd_upper_bound(0.95, 2000, &mut rng)?;
+//! let target = ReliabilityTarget::new(0.05, 0.95)?;
+//! assert!(target.met_by(ub));
+//! # Ok::<(), opad_reliability::ReliabilityError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod beta;
+mod cell_model;
+mod error;
+mod growth;
+mod operational;
+
+pub use beta::Beta;
+pub use cell_model::CellReliabilityModel;
+pub use error::ReliabilityError;
+pub use growth::{Assessment, GrowthTimeline};
+pub use operational::{
+    binomial_cdf, clopper_pearson_interval, clopper_pearson_upper, demands_for_target,
+    pfd_point_estimate, prob_no_failures, ReliabilityTarget,
+};

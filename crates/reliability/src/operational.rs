@@ -1,0 +1,266 @@
+//! Classical operational-testing estimators and the Clopper–Pearson
+//! bound — the frequentist yardstick the Bayesian cell model is compared
+//! against.
+
+use crate::beta::reg_inc_beta;
+use crate::{Beta, ReliabilityError};
+use serde::{Deserialize, Serialize};
+
+/// Point estimate of the probability of failure per demand.
+///
+/// # Errors
+///
+/// Fails when `failures > demands` or `demands == 0`.
+pub fn pfd_point_estimate(failures: u64, demands: u64) -> Result<f64, ReliabilityError> {
+    if demands == 0 {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: "demands must be nonzero".into(),
+        });
+    }
+    if failures > demands {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: format!("{failures} failures out of {demands} demands"),
+        });
+    }
+    Ok(failures as f64 / demands as f64)
+}
+
+/// Exact Clopper–Pearson upper confidence bound on the pfd.
+///
+/// For `k` failures in `n` demands, the bound is the `confidence`-quantile
+/// of `Beta(k+1, n−k)` (1.0 when every demand failed).
+///
+/// # Errors
+///
+/// Fails on invalid counts or a confidence outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use opad_reliability::clopper_pearson_upper;
+///
+/// // Zero failures in 100 demands, 95% confidence: the classic ≈ 3/n rule.
+/// let ub = clopper_pearson_upper(0, 100, 0.95)?;
+/// assert!((ub - 0.0295).abs() < 0.001);
+/// # Ok::<(), opad_reliability::ReliabilityError>(())
+/// ```
+pub fn clopper_pearson_upper(
+    failures: u64,
+    demands: u64,
+    confidence: f64,
+) -> Result<f64, ReliabilityError> {
+    if demands == 0 || failures > demands {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: format!("{failures} failures out of {demands} demands"),
+        });
+    }
+    if !(0.0..1.0).contains(&confidence) || confidence == 0.0 {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: format!("confidence must be in (0, 1), got {confidence}"),
+        });
+    }
+    if failures == demands {
+        return Ok(1.0);
+    }
+    Beta::new((failures + 1) as f64, (demands - failures) as f64)?.quantile(confidence)
+}
+
+/// Demands that must be observed failure-free to claim `pfd ≤ bound` at
+/// the given confidence (the classic `n ≈ ln(1−c)/ln(1−bound)` rule).
+///
+/// # Errors
+///
+/// Fails when `bound` or `confidence` are outside `(0, 1)`.
+pub fn demands_for_target(bound: f64, confidence: f64) -> Result<u64, ReliabilityError> {
+    if !(0.0..1.0).contains(&bound) || bound == 0.0 {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: format!("bound must be in (0, 1), got {bound}"),
+        });
+    }
+    if !(0.0..1.0).contains(&confidence) || confidence == 0.0 {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: format!("confidence must be in (0, 1), got {confidence}"),
+        });
+    }
+    Ok(((1.0 - confidence).ln() / (1.0 - bound).ln()).ceil() as u64)
+}
+
+/// A reliability requirement: claim `pfd ≤ target` with the given
+/// confidence. The paper's stopping rule — testing ends when the claim is
+/// supported.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityTarget {
+    /// The pfd bound to demonstrate.
+    pub target_pfd: f64,
+    /// The confidence level of the claim.
+    pub confidence: f64,
+}
+
+impl ReliabilityTarget {
+    /// Creates a target.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either value is outside `(0, 1)`.
+    pub fn new(target_pfd: f64, confidence: f64) -> Result<Self, ReliabilityError> {
+        for (name, v) in [("target_pfd", target_pfd), ("confidence", confidence)] {
+            if !(0.0..1.0).contains(&v) || v == 0.0 {
+                return Err(ReliabilityError::InvalidParameter {
+                    reason: format!("{name} must be in (0, 1), got {v}"),
+                });
+            }
+        }
+        Ok(ReliabilityTarget {
+            target_pfd,
+            confidence,
+        })
+    }
+
+    /// Whether an observed upper bound meets the target.
+    pub fn met_by(&self, upper_bound: f64) -> bool {
+        upper_bound <= self.target_pfd
+    }
+}
+
+/// Probability that `n` failure-free demands occur if the true pfd is
+/// exactly `pfd` — useful for power analysis in the experiments.
+pub fn prob_no_failures(pfd: f64, n: u64) -> f64 {
+    (1.0 - pfd).powi(n as i32)
+}
+
+/// Two-sided Clopper–Pearson interval `(lower, upper)`.
+///
+/// # Errors
+///
+/// Fails on invalid counts or confidence.
+pub fn clopper_pearson_interval(
+    failures: u64,
+    demands: u64,
+    confidence: f64,
+) -> Result<(f64, f64), ReliabilityError> {
+    if demands == 0 || failures > demands {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: format!("{failures} failures out of {demands} demands"),
+        });
+    }
+    if !(0.0..1.0).contains(&confidence) || confidence == 0.0 {
+        return Err(ReliabilityError::InvalidParameter {
+            reason: format!("confidence must be in (0, 1), got {confidence}"),
+        });
+    }
+    let alpha = 1.0 - confidence;
+    let lower = if failures == 0 {
+        0.0
+    } else {
+        Beta::new(failures as f64, (demands - failures + 1) as f64)?.quantile(alpha / 2.0)?
+    };
+    let upper = if failures == demands {
+        1.0
+    } else {
+        Beta::new((failures + 1) as f64, (demands - failures) as f64)?
+            .quantile(1.0 - alpha / 2.0)?
+    };
+    Ok((lower, upper))
+}
+
+/// Coverage check helper: regularized incomplete beta exposed for tests
+/// and downstream estimators.
+pub fn binomial_cdf(k: u64, n: u64, p: f64) -> f64 {
+    // P(X ≤ k) = I_{1−p}(n−k, k+1).
+    if k >= n {
+        return 1.0;
+    }
+    reg_inc_beta((n - k) as f64, (k + 1) as f64, 1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate() {
+        assert_eq!(pfd_point_estimate(5, 100).unwrap(), 0.05);
+        assert!(pfd_point_estimate(5, 0).is_err());
+        assert!(pfd_point_estimate(5, 4).is_err());
+    }
+
+    #[test]
+    fn clopper_pearson_known_values() {
+        // 0/100 at 95%: ≈ 0.0295 (the "rule of three" gives 3/100).
+        let ub = clopper_pearson_upper(0, 100, 0.95).unwrap();
+        assert!((ub - 0.0295).abs() < 0.001, "ub {ub}");
+        // 0/3000 at 90% ≈ ln(10)/3000.
+        let ub = clopper_pearson_upper(0, 3000, 0.9).unwrap();
+        assert!((ub - 10f64.ln() / 3000.0).abs() < 1e-4);
+        // All failures → bound 1.
+        assert_eq!(clopper_pearson_upper(10, 10, 0.95).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_validation() {
+        assert!(clopper_pearson_upper(0, 0, 0.95).is_err());
+        assert!(clopper_pearson_upper(5, 4, 0.95).is_err());
+        assert!(clopper_pearson_upper(0, 10, 0.0).is_err());
+        assert!(clopper_pearson_upper(0, 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn upper_bound_decreases_with_more_demands() {
+        let mut prev = 1.0;
+        for n in [10u64, 100, 1000, 10000] {
+            let ub = clopper_pearson_upper(0, n, 0.95).unwrap();
+            assert!(ub < prev);
+            prev = ub;
+        }
+    }
+
+    #[test]
+    fn demands_for_target_matches_inverse() {
+        // Classic: pfd ≤ 1e-3 at 95% needs ~2995 failure-free demands.
+        let n = demands_for_target(1e-3, 0.95).unwrap();
+        assert!((n as i64 - 2994).abs() <= 2, "n = {n}");
+        // Check consistency: that many demands yield a CP bound ≤ target.
+        let ub = clopper_pearson_upper(0, n, 0.95).unwrap();
+        assert!(ub <= 1e-3 * 1.01);
+        assert!(demands_for_target(0.0, 0.95).is_err());
+        assert!(demands_for_target(0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn target_met_logic() {
+        let t = ReliabilityTarget::new(0.01, 0.95).unwrap();
+        assert!(t.met_by(0.009));
+        assert!(!t.met_by(0.011));
+        assert!(ReliabilityTarget::new(0.0, 0.95).is_err());
+        assert!(ReliabilityTarget::new(0.01, 0.0).is_err());
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let (lo, hi) = clopper_pearson_interval(5, 100, 0.95).unwrap();
+        assert!(lo < 0.05 && 0.05 < hi);
+        assert!(lo > 0.0 && hi < 0.2);
+        // Zero failures: lower bound is exactly 0.
+        let (lo, _) = clopper_pearson_interval(0, 50, 0.95).unwrap();
+        assert_eq!(lo, 0.0);
+        let (_, hi) = clopper_pearson_interval(50, 50, 0.95).unwrap();
+        assert_eq!(hi, 1.0);
+        assert!(clopper_pearson_interval(0, 0, 0.95).is_err());
+    }
+
+    #[test]
+    fn prob_no_failures_sane() {
+        assert!((prob_no_failures(0.01, 100) - 0.99f64.powi(100)).abs() < 1e-12);
+        assert_eq!(prob_no_failures(0.0, 1000), 1.0);
+    }
+
+    #[test]
+    fn binomial_cdf_known() {
+        // Fair coin, 10 flips: P(X ≤ 5) ≈ 0.623.
+        let p = binomial_cdf(5, 10, 0.5);
+        assert!((p - 0.623).abs() < 0.001, "cdf {p}");
+        assert_eq!(binomial_cdf(10, 10, 0.5), 1.0);
+        // Monotone in k.
+        assert!(binomial_cdf(3, 10, 0.5) < binomial_cdf(6, 10, 0.5));
+    }
+}

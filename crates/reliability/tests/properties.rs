@@ -1,0 +1,138 @@
+//! Property-based tests for reliability-assessment invariants.
+
+use opad_reliability::{
+    binomial_cdf, clopper_pearson_interval, clopper_pearson_upper, demands_for_target, Beta,
+    CellReliabilityModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn beta_cdf_monotone_bounded(a in 0.2f64..20.0, b in 0.2f64..20.0) {
+        let beta = Beta::new(a, b).unwrap();
+        let mut prev = -1e-12;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let c = beta.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-9, "cdf not monotone at {x}");
+            prev = c;
+        }
+        prop_assert!(beta.cdf(0.0).abs() < 1e-12);
+        prop_assert!((beta.cdf(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_quantile_inverts_cdf(a in 0.3f64..15.0, b in 0.3f64..15.0, p in 0.01f64..0.99) {
+        let beta = Beta::new(a, b).unwrap();
+        let x = beta.quantile(p).unwrap();
+        prop_assert!((beta.cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_mean_between_quantiles(a in 0.5f64..10.0, b in 0.5f64..10.0) {
+        let beta = Beta::new(a, b).unwrap();
+        let lo = beta.quantile(0.01).unwrap();
+        let hi = beta.quantile(0.99).unwrap();
+        prop_assert!(lo <= beta.mean() && beta.mean() <= hi);
+        prop_assert!(beta.variance() >= 0.0);
+    }
+
+    #[test]
+    fn posterior_concentrates(a0 in 0.5f64..3.0, b0 in 0.5f64..3.0, n in 10u64..500) {
+        let mut prior = Beta::new(a0, b0).unwrap();
+        let before = prior.std();
+        prior.observe_counts(n / 10, n).unwrap();
+        prop_assert!(prior.std() < before, "evidence must shrink uncertainty");
+    }
+
+    #[test]
+    fn cp_upper_monotonicity(n in 10u64..2000, k in 0u64..10) {
+        let k = k.min(n);
+        let ub = clopper_pearson_upper(k, n, 0.95).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ub));
+        // More demands with same failures → tighter bound.
+        let ub_more = clopper_pearson_upper(k, n * 2, 0.95).unwrap();
+        prop_assert!(ub_more <= ub + 1e-12);
+        // More failures with same demands → looser bound.
+        if k < n {
+            let ub_worse = clopper_pearson_upper(k + 1, n, 0.95).unwrap();
+            prop_assert!(ub_worse >= ub - 1e-12);
+        }
+        // Bound exceeds the point estimate.
+        prop_assert!(ub >= k as f64 / n as f64 - 1e-12);
+    }
+
+    #[test]
+    fn cp_interval_contains_point_estimate(n in 5u64..1000, kf in 0.0f64..1.0, conf in 0.5f64..0.99) {
+        let k = (kf * n as f64) as u64;
+        let (lo, hi) = clopper_pearson_interval(k, n, conf).unwrap();
+        let point = k as f64 / n as f64;
+        prop_assert!(lo <= point + 1e-12 && point <= hi + 1e-12);
+        prop_assert!(lo >= 0.0 && hi <= 1.0);
+        // Wider confidence → wider interval.
+        let (lo2, hi2) = clopper_pearson_interval(k, n, (conf + 1.0) / 2.0).unwrap();
+        prop_assert!(lo2 <= lo + 1e-9 && hi2 >= hi - 1e-9);
+    }
+
+    #[test]
+    fn demands_for_target_is_sufficient(bound in 0.001f64..0.2, conf in 0.5f64..0.99) {
+        let n = demands_for_target(bound, conf).unwrap();
+        // The CP bound after n failure-free demands meets the target.
+        let ub = clopper_pearson_upper(0, n.max(1), conf).unwrap();
+        prop_assert!(ub <= bound * 1.01, "n = {n}: ub {ub} vs bound {bound}");
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_in_k(n in 1u64..100, p in 0.05f64..0.95) {
+        let mut prev = 0.0;
+        for k in 0..=n.min(20) {
+            let c = binomial_cdf(k, n, p);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            prop_assert!(c >= prev - 1e-9);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn cell_model_pfd_is_op_convex_combination(
+        raw_op in proptest::collection::vec(0.05f64..1.0, 2..6),
+        seed in 0u64..50,
+    ) {
+        let z: f64 = raw_op.iter().sum();
+        let op: Vec<f64> = raw_op.iter().map(|p| p / z).collect();
+        let mut model = CellReliabilityModel::new(op).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        for _ in 0..200 {
+            let cell = rng.gen_range(0..model.num_cells());
+            model.observe(cell, rng.gen_bool(0.2)).unwrap();
+        }
+        let pfd = model.pfd_mean();
+        prop_assert!((0.0..=1.0).contains(&pfd));
+        // pfd is within the min/max of the per-cell posterior means.
+        let means: Vec<f64> = (0..model.num_cells())
+            .map(|c| model.posterior(c).unwrap().mean())
+            .collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(pfd >= lo - 1e-12 && pfd <= hi + 1e-12);
+        // Upper bound ≥ mean.
+        let ub = model.pfd_upper_bound(0.9, 500, &mut rng).unwrap();
+        prop_assert!(ub >= pfd - 0.02);
+    }
+
+    #[test]
+    fn cell_priorities_are_a_distribution(
+        raw_op in proptest::collection::vec(0.05f64..1.0, 2..6),
+    ) {
+        let z: f64 = raw_op.iter().sum();
+        let op: Vec<f64> = raw_op.iter().map(|p| p / z).collect();
+        let model = CellReliabilityModel::new(op).unwrap();
+        let pri = model.cell_priority();
+        prop_assert!((pri.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(pri.iter().all(|&p| p >= 0.0));
+    }
+}

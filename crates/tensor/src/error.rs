@@ -1,0 +1,156 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Error produced by tensor operations whose operands have incompatible
+/// shapes or whose arguments are otherwise invalid.
+///
+/// # Examples
+///
+/// ```
+/// use opad_tensor::{Tensor, TensorError};
+///
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[4, 5]);
+/// let err = a.checked_add(&b).unwrap_err();
+/// assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had shapes that cannot be combined (even with
+    /// broadcasting, where the operation supports it).
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A reshape requested a total element count different from the
+    /// tensor's current element count.
+    InvalidReshape {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// An axis argument was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An index was out of bounds along some axis.
+    IndexOutOfBounds {
+        /// The offending index (one entry per axis supplied).
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank actually supplied.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A data buffer's length did not match the shape it was paired with.
+    DataLengthMismatch {
+        /// Length of the supplied buffer.
+        data_len: usize,
+        /// Element count implied by the shape.
+        shape_len: usize,
+    },
+    /// The operation is undefined on an empty tensor.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in `{op}`: {left:?} vs {right:?}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "`{op}` requires rank {expected}, got rank {actual}")
+            }
+            TensorError::DataLengthMismatch { data_len, shape_len } => {
+                write!(
+                    f,
+                    "data length {data_len} does not match shape element count {shape_len}"
+                )
+            }
+            TensorError::Empty { op } => write!(f, "`{op}` is undefined on an empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+            op: "add",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.starts_with(char::is_lowercase));
+
+        let e = TensorError::InvalidReshape { from: 6, to: 8 };
+        assert!(e.to_string().contains('6'));
+
+        let e = TensorError::AxisOutOfRange { axis: 3, rank: 2 };
+        assert!(e.to_string().contains("axis 3"));
+
+        let e = TensorError::IndexOutOfBounds {
+            index: vec![9],
+            shape: vec![4],
+        };
+        assert!(e.to_string().contains("[9]"));
+
+        let e = TensorError::RankMismatch {
+            expected: 2,
+            actual: 1,
+            op: "matmul",
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::DataLengthMismatch {
+            data_len: 5,
+            shape_len: 6,
+        };
+        assert!(e.to_string().contains('5'));
+
+        let e = TensorError::Empty { op: "argmax" };
+        assert!(e.to_string().contains("argmax"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

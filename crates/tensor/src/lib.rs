@@ -1,0 +1,40 @@
+//! # opad-tensor
+//!
+//! Dense, row-major `f32` tensors: the numeric substrate of the *opad*
+//! (operational adversarial example detection) toolkit.
+//!
+//! The design goal is a small, auditable kernel set — exactly what the
+//! from-scratch neural networks, attacks and density estimators in the other
+//! `opad` crates need, and nothing more:
+//!
+//! * shapes, strides and NumPy-style broadcasting ([`Shape`]);
+//! * elementwise arithmetic, `matmul`/`matvec`/`transpose`, reductions and
+//!   norms on [`Tensor`];
+//! * seeded random constructors (uniform, normal, Kaiming, Xavier) so every
+//!   experiment is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use opad_tensor::Tensor;
+//!
+//! let w = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0], &[2, 2])?;
+//! let x = Tensor::from_slice(&[1.0, 2.0]);
+//! let y = w.matvec(&x)?;
+//! assert_eq!(y.as_slice(), &[-1.0, 4.5]);
+//! # Ok::<(), opad_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod linalg;
+mod ops;
+mod random;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::{Indices, Shape};
+pub use tensor::Tensor;

@@ -1,0 +1,273 @@
+//! Matrix products and related linear algebra.
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `(m×k) · (k×n) → (m×n)`.
+    ///
+    /// A straightforward ikj-ordered triple loop — cache-friendly enough for
+    /// the network sizes this toolkit trains (hundreds of units), and easy
+    /// to audit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix operands and
+    /// [`TensorError::ShapeMismatch`] when inner dimensions disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use opad_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let i = Tensor::eye(2);
+    /// assert_eq!(a.matmul(&i)?, a);
+    /// # Ok::<(), opad_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.rank(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op: "matmul",
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product of a rank-2 tensor with a 1-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank or shape error as for [`Tensor::matmul`].
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matvec",
+            });
+        }
+        if v.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: v.rank(),
+                op: "matvec",
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if v.len() != k {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: v.dims().to_vec(),
+                op: "matvec",
+            });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix input.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose",
+            });
+        }
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Dot product of two 1-D tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank or shape error when operands are not equal-length
+    /// vectors.
+    pub fn dot(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.rank() != 1 || other.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: self.rank().max(other.rank()),
+                op: "dot",
+            });
+        }
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Outer product of two 1-D tensors: `(m) ⊗ (n) → (m×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when either operand is not 1-D.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 1 || other.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: self.rank().max(other.rank()),
+                op: "outer",
+            });
+        }
+        let (m, n) = (self.len(), other.len());
+        let mut out = Vec::with_capacity(m * n);
+        for &a in self.as_slice() {
+            for &b in other.as_slice() {
+                out.push(a * b);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&Tensor::zeros(&[2, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+        assert!(Tensor::zeros(&[3]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let v = t(&[1.0, 0.5, 2.0], &[3]);
+        let got = a.matvec(&v).unwrap();
+        let expect = a.matmul(&v.reshape(&[3, 1]).unwrap()).unwrap();
+        assert_eq!(got.as_slice(), expect.as_slice());
+        assert!(a.matvec(&Tensor::zeros(&[2])).is_err());
+        assert!(Tensor::zeros(&[3]).matvec(&v).is_err());
+        assert!(a.matvec(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = a.transpose().unwrap();
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(at.get(&[2, 1]).unwrap(), 6.0);
+        assert_eq!(at.transpose().unwrap(), a);
+        assert!(Tensor::zeros(&[3]).transpose().is_err());
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&Tensor::zeros(&[2])).is_err());
+        assert!(a.dot(&Tensor::zeros(&[2, 2])).is_err());
+
+        let o = a.outer(&b).unwrap();
+        assert_eq!(o.dims(), &[3, 3]);
+        assert_eq!(o.get(&[1, 2]).unwrap(), 12.0);
+        assert!(a.outer(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_identity_property() {
+        // (AB)^T == B^T A^T
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b
+            .transpose()
+            .unwrap()
+            .matmul(&a.transpose().unwrap())
+            .unwrap();
+        assert!(lhs.approx_eq(&rhs, 1e-6));
+    }
+}

@@ -1,0 +1,308 @@
+//! Elementwise arithmetic with broadcasting, plus operator overloads.
+
+use crate::{Shape, Tensor, TensorError};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Applies a binary op over two tensors with NumPy-style broadcasting.
+fn broadcast_op(
+    a: &Tensor,
+    b: &Tensor,
+    op_name: &'static str,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor, TensorError> {
+    // Fast path: identical shapes.
+    if a.shape() == b.shape() {
+        return a.zip_with(b, f);
+    }
+    // Fast path: scalar on either side.
+    if b.len() == 1 {
+        let s = b.as_slice()[0];
+        return Ok(a.map(|x| f(x, s)));
+    }
+    if a.len() == 1 {
+        let s = a.as_slice()[0];
+        return Ok(b.map(|x| f(s, x)));
+    }
+    // Fast path: `b` is a row vector matching `a`'s trailing axis (the
+    // bias-add pattern on every dense layer).
+    if b.rank() == 1 && a.rank() >= 1 && a.dims()[a.rank() - 1] == b.len() {
+        let w = b.len();
+        let bs = b.as_slice();
+        let data = a
+            .as_slice()
+            .chunks_exact(w)
+            .flat_map(|row| row.iter().zip(bs).map(|(&x, &y)| f(x, y)))
+            .collect();
+        return Ok(Tensor::from_vec(data, a.dims()).expect("same shape as a"));
+    }
+    let out_shape = a.shape().broadcast(b.shape()).map_err(|_| TensorError::ShapeMismatch {
+        left: a.dims().to_vec(),
+        right: b.dims().to_vec(),
+        op: op_name,
+    })?;
+    let rank = out_shape.rank();
+    let a_dims = pad_dims(a.shape(), rank);
+    let b_dims = pad_dims(b.shape(), rank);
+    let a_strides = padded_strides(a.shape(), rank);
+    let b_strides = padded_strides(b.shape(), rank);
+    let out_strides = out_shape.strides();
+    let out_dims = out_shape.dims().to_vec();
+
+    // Decompose the flat output offset axis by axis — no per-element
+    // allocation.
+    let n = out_shape.len();
+    let mut data = Vec::with_capacity(n);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    for flat in 0..n {
+        let mut rem = flat;
+        let mut ao = 0usize;
+        let mut bo = 0usize;
+        for axis in 0..rank {
+            let i = rem / out_strides[axis];
+            rem %= out_strides[axis];
+            debug_assert!(i < out_dims[axis]);
+            if a_dims[axis] != 1 {
+                ao += i * a_strides[axis];
+            }
+            if b_dims[axis] != 1 {
+                bo += i * b_strides[axis];
+            }
+        }
+        data.push(f(av[ao], bv[bo]));
+    }
+    Ok(Tensor::from_vec(data, out_shape.dims()).expect("broadcast output shape consistent"))
+}
+
+/// Left-pads `shape`'s dims with 1s to the given rank.
+fn pad_dims(shape: &Shape, rank: usize) -> Vec<usize> {
+    let mut dims = vec![1usize; rank];
+    let off = rank - shape.rank();
+    dims[off..].copy_from_slice(shape.dims());
+    dims
+}
+
+/// Row-major strides of `shape`, left-padded with 0s to the given rank.
+fn padded_strides(shape: &Shape, rank: usize) -> Vec<usize> {
+    let mut strides = vec![0usize; rank];
+    let off = rank - shape.rank();
+    strides[off..].copy_from_slice(&shape.strides());
+    strides
+}
+
+impl Tensor {
+    /// Elementwise addition with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes are incompatible.
+    pub fn checked_add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        broadcast_op(self, other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes are incompatible.
+    pub fn checked_sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        broadcast_op(self, other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes are incompatible.
+    pub fn checked_mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        broadcast_op(self, other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes are incompatible.
+    pub fn checked_div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        broadcast_op(self, other, "div", |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += other * alpha` for same-shaped tensors (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ exactly.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op: "axpy",
+            });
+        }
+        for (x, &y) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $checked:ident) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            /// # Panics
+            ///
+            /// Panics on incompatible shapes; use the `checked_*` method for
+            /// a fallible variant.
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.$checked(rhs).unwrap_or_else(|e| panic!("{e}"))
+            }
+        }
+        impl $trait<Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<f32> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                self.$checked(&Tensor::scalar(rhs)).expect("scalar broadcast")
+            }
+        }
+        impl $trait<f32> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, checked_add);
+impl_binop!(Sub, sub, checked_sub);
+impl_binop!(Mul, mul, checked_mul);
+impl_binop!(Div, div, checked_div);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Neg for Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        -&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn same_shape_arithmetic() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[10.0, 20.0, 30.0], &[3]);
+        assert_eq!((&a + &b).as_slice(), &[11.0, 22.0, 33.0]);
+        assert_eq!((&b - &a).as_slice(), &[9.0, 18.0, 27.0]);
+        assert_eq!((&a * &b).as_slice(), &[10.0, 40.0, 90.0]);
+        assert_eq!((&b / &a).as_slice(), &[10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let a = t(&[1.0, 2.0], &[2]);
+        assert_eq!((&a + 1.0).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!(a.add_scalar(-1.0).as_slice(), &[0.0, 1.0]);
+        assert_eq!(a.scale(0.5).as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn row_vector_broadcast_over_matrix() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let v = t(&[10.0, 20.0, 30.0], &[3]);
+        let r = m.checked_add(&v).unwrap();
+        assert_eq!(r.dims(), &[2, 3]);
+        assert_eq!(r.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn column_broadcast() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let col = t(&[10.0, 100.0], &[2, 1]);
+        let r = m.checked_mul(&col).unwrap();
+        assert_eq!(r.as_slice(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn two_sided_broadcast() {
+        let a = t(&[1.0, 2.0], &[2, 1]);
+        let b = t(&[10.0, 20.0, 30.0], &[1, 3]);
+        let r = a.checked_add(&b).unwrap();
+        assert_eq!(r.dims(), &[2, 3]);
+        assert_eq!(r.as_slice(), &[11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(a.checked_add(&b).is_err());
+        assert!(a.checked_sub(&b).is_err());
+        assert!(a.checked_mul(&b).is_err());
+        assert!(a.checked_div(&b).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn operator_panics_on_mismatch() {
+        let _ = Tensor::zeros(&[2]) + Tensor::zeros(&[3]);
+    }
+
+    #[test]
+    fn negation() {
+        let a = t(&[1.0, -2.0], &[2]);
+        assert_eq!((-&a).as_slice(), &[-1.0, 2.0]);
+        assert_eq!((-a).as_slice(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let g = t(&[2.0, 4.0], &[2]);
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0.0, -1.0]);
+        assert!(a.axpy(1.0, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn broadcast_addition_commutes() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let v = t(&[1.0, 2.0, 3.0], &[3]);
+        assert_eq!(a.checked_add(&v).unwrap(), v.checked_add(&a).unwrap());
+    }
+}

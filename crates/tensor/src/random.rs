@@ -1,0 +1,123 @@
+//! Random tensor constructors.
+//!
+//! Every constructor takes the RNG explicitly so that experiments are
+//! reproducible bit-for-bit from a seed.
+
+use crate::Tensor;
+use rand::Rng;
+
+impl Tensor {
+    /// Tensor with elements drawn i.i.d. from `U[lo, hi)`.
+    ///
+    /// ```
+    /// use opad_tensor::Tensor;
+    /// use rand::SeedableRng;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let t = Tensor::rand_uniform(&[3, 3], -1.0, 1.0, &mut rng);
+    /// assert!(t.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    /// ```
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, dims).expect("length matches by construction")
+    }
+
+    /// Tensor with elements drawn i.i.d. from `N(mean, std²)`.
+    ///
+    /// Uses the Box–Muller transform so the only dependency is a uniform
+    /// source.
+    pub fn rand_normal(dims: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let (z0, z1) = box_muller(rng);
+            data.push(mean + std * z0);
+            if data.len() < n {
+                data.push(mean + std * z1);
+            }
+        }
+        Tensor::from_vec(data, dims).expect("length matches by construction")
+    }
+
+    /// Kaiming/He-style initialisation for a weight matrix feeding `fan_in`
+    /// inputs: `N(0, sqrt(2 / fan_in)²)`.
+    pub fn rand_kaiming(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::rand_normal(dims, 0.0, std, rng)
+    }
+
+    /// Xavier/Glorot uniform initialisation: `U[-a, a]` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn rand_xavier(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+        let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+        Tensor::rand_uniform(dims, -a, a, rng)
+    }
+}
+
+/// One draw of the Box–Muller transform: two independent standard normals.
+fn box_muller(rng: &mut impl Rng) -> (f32, f32) {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform(&[1000], 2.0, 3.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (2.0..3.0).contains(&x)));
+        assert!((t.mean() - 2.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::rand_normal(&[20000], 1.0, 2.0, &mut rng);
+        assert!((t.mean() - 1.0).abs() < 0.1, "mean {}", t.mean());
+        assert!((t.std() - 2.0).abs() < 0.1, "std {}", t.std());
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = Tensor::rand_normal(&[32], 0.0, 1.0, &mut r1);
+        let b = Tensor::rand_normal(&[32], 0.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+        let c = Tensor::rand_normal(&[32], 0.0, 1.0, &mut r1);
+        assert_ne!(a, c, "stream should advance");
+    }
+
+    #[test]
+    fn odd_length_normal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_normal(&[7], 0.0, 1.0, &mut rng);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let wide = Tensor::rand_kaiming(&[100, 100], 10000, &mut rng);
+        let narrow = Tensor::rand_kaiming(&[100, 100], 4, &mut rng);
+        assert!(wide.std() < narrow.std());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = (6.0f32 / 20.0).sqrt();
+        let t = Tensor::rand_xavier(&[1000], 10, 10, &mut rng);
+        assert!(t.norm_linf() <= a);
+    }
+}

@@ -1,0 +1,281 @@
+//! Reductions: sums, means, extrema, norms and axis-wise variants.
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements (0.0 for an empty tensor).
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    ///
+    /// Returns 0.0 for an empty tensor rather than NaN, since downstream
+    /// statistics treat "no data" as a zero contribution.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn max(&self) -> Result<f32, TensorError> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |m| m.max(x))))
+            .ok_or(TensorError::Empty { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn min(&self) -> Result<f32, TensorError> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |m| m.min(x))))
+            .ok_or(TensorError::Empty { op: "min" })
+    }
+
+    /// Index of the maximum element in the flat buffer (first on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "argmax" });
+        }
+        let mut best = 0usize;
+        let mut best_v = self.as_slice()[0];
+        for (i, &v) in self.as_slice().iter().enumerate().skip(1) {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Sum along `axis`, reducing rank by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for a bad axis.
+    ///
+    /// ```
+    /// use opad_tensor::Tensor;
+    /// let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// assert_eq!(m.sum_axis(0)?.as_slice(), &[4.0, 6.0]);
+    /// assert_eq!(m.sum_axis(1)?.as_slice(), &[3.0, 7.0]);
+    /// # Ok::<(), opad_tensor::TensorError>(())
+    /// ```
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor, TensorError> {
+        let out_shape = self.shape().without_axis(axis)?;
+        let mut out = Tensor::zeros(out_shape.dims());
+        let strides = self.shape().strides();
+        let axis_len = self.shape().dim(axis);
+        let axis_stride = strides[axis];
+        let out_data = out.as_mut_slice();
+        // Walk the output indices; for each, sum over the reduced axis.
+        for (oi, idx) in out_shape.indices().enumerate() {
+            // Rebuild the input offset with a 0 in the reduced axis.
+            let mut base = 0usize;
+            let mut k = 0usize;
+            for a in 0..self.rank() {
+                if a == axis {
+                    continue;
+                }
+                base += idx[k] * strides[a];
+                k += 1;
+            }
+            let mut s = 0.0f32;
+            for j in 0..axis_len {
+                s += self.as_slice()[base + j * axis_stride];
+            }
+            out_data[oi] = s;
+        }
+        Ok(out)
+    }
+
+    /// Mean along `axis`, reducing rank by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for a bad axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor, TensorError> {
+        let n = if axis < self.rank() {
+            self.shape().dim(axis).max(1) as f32
+        } else {
+            1.0
+        };
+        Ok(self.sum_axis(axis)?.scale(1.0 / n))
+    }
+
+    /// Row-wise argmax of a rank-2 tensor: one index per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/empty errors for non-matrix or zero-column input.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "argmax_rows",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        if c == 0 {
+            return Err(TensorError::Empty { op: "argmax_rows" });
+        }
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &self.as_slice()[i * c..(i + 1) * c];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// L1 norm: sum of absolute values.
+    pub fn norm_l1(&self) -> f32 {
+        self.as_slice().iter().map(|x| x.abs()).sum()
+    }
+
+    /// L2 (Euclidean) norm.
+    pub fn norm_l2(&self) -> f32 {
+        self.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// L∞ norm: maximum absolute value (0.0 for an empty tensor).
+    pub fn norm_linf(&self) -> f32 {
+        self.as_slice().iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// Population variance of all elements (0.0 for an empty tensor).
+    pub fn variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.as_slice().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
+    }
+
+    /// Population standard deviation of all elements.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn scalar_reductions() {
+        let x = t(&[1.0, -2.0, 3.0, -4.0], &[4]);
+        assert_eq!(x.sum(), -2.0);
+        assert_eq!(x.mean(), -0.5);
+        assert_eq!(x.max().unwrap(), 3.0);
+        assert_eq!(x.min().unwrap(), -4.0);
+        assert_eq!(x.argmax().unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_tensor_behaviour() {
+        let e = Tensor::default();
+        assert_eq!(e.sum(), 0.0);
+        assert_eq!(e.mean(), 0.0);
+        assert!(e.max().is_err());
+        assert!(e.min().is_err());
+        assert!(e.argmax().is_err());
+        assert_eq!(e.norm_linf(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let x = t(&[1.0, 3.0, 3.0], &[3]);
+        assert_eq!(x.argmax().unwrap(), 1);
+    }
+
+    #[test]
+    fn sum_axis_matrix() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(m.sum_axis(0).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(m.sum_axis(1).unwrap().as_slice(), &[6.0, 15.0]);
+        assert!(m.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn sum_axis_rank3() {
+        let x = Tensor::from_fn(&[2, 3, 4], |ix| (ix[0] * 12 + ix[1] * 4 + ix[2]) as f32);
+        let s = x.sum_axis(1).unwrap();
+        assert_eq!(s.dims(), &[2, 4]);
+        // Sum over middle axis: elements (0, j, 0) = 0, 4, 8 → 12.
+        assert_eq!(s.get(&[0, 0]).unwrap(), 12.0);
+        assert_eq!(s.get(&[1, 3]).unwrap(), (15 + 19 + 23) as f32);
+        // Total is preserved whichever axis we reduce over.
+        assert_eq!(x.sum_axis(0).unwrap().sum(), x.sum());
+        assert_eq!(x.sum_axis(2).unwrap().sum(), x.sum());
+    }
+
+    #[test]
+    fn mean_axis() {
+        let m = t(&[2.0, 4.0, 6.0, 8.0], &[2, 2]);
+        assert_eq!(m.mean_axis(0).unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(m.mean_axis(1).unwrap().as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let m = t(&[0.1, 0.9, 0.5, 0.2, 0.3, 0.1], &[2, 3]);
+        assert_eq!(m.argmax_rows().unwrap(), vec![1, 1]);
+        assert!(t(&[1.0], &[1]).argmax_rows().is_err());
+        assert!(Tensor::zeros(&[2, 0]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let x = t(&[3.0, -4.0], &[2]);
+        assert_eq!(x.norm_l1(), 7.0);
+        assert_eq!(x.norm_l2(), 5.0);
+        assert_eq!(x.norm_linf(), 4.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let x = t(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0], &[8]);
+        assert!((x.variance() - 4.0).abs() < 1e-6);
+        assert!((x.std() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn norm_triangle_inequality() {
+        let a = t(&[1.0, -2.0, 0.5], &[3]);
+        let b = t(&[0.3, 0.7, -1.5], &[3]);
+        let s = &a + &b;
+        assert!(s.norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-6);
+        assert!(s.norm_l1() <= a.norm_l1() + b.norm_l1() + 1e-6);
+        assert!(s.norm_linf() <= a.norm_linf() + b.norm_linf() + 1e-6);
+    }
+}

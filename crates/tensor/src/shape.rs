@@ -1,0 +1,384 @@
+//! Shapes, strides and broadcasting rules.
+
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a tensor: its extent along each axis.
+///
+/// Shapes are small (rank ≤ 4 in practice for this toolkit) so they are
+/// stored as an owned `Vec<usize>` and cloned freely.
+///
+/// # Examples
+///
+/// ```
+/// use opad_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.dims(), &[2, 3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its per-axis extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Creates a rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all extents; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The per-axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major (C-order) strides for this shape, in elements.
+    ///
+    /// The last axis is contiguous. A scalar has no strides.
+    ///
+    /// ```
+    /// use opad_tensor::Shape;
+    /// assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
+    /// rank or any component exceeds its extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.rank() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.rank()).rev() {
+            let i = index[axis];
+            let d = self.dims[axis];
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.dims.clone(),
+                });
+            }
+            off += i * stride;
+            stride *= d;
+        }
+        Ok(off)
+    }
+
+    /// Computes the broadcast shape of `self` and `other` under NumPy
+    /// rules: align trailing axes; each pair must be equal or one of them 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when some axis pair is
+    /// incompatible.
+    ///
+    /// ```
+    /// use opad_tensor::Shape;
+    /// let a = Shape::new(vec![4, 1, 3]);
+    /// let b = Shape::new(vec![5, 3]);
+    /// assert_eq!(a.broadcast(&b).unwrap().dims(), &[4, 5, 3]);
+    /// ```
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0usize; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.dims[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.dims[i - (rank - other.rank())]
+            };
+            dims[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    left: self.dims.clone(),
+                    right: other.dims.clone(),
+                    op: "broadcast",
+                });
+            };
+        }
+        Ok(Shape::new(dims))
+    }
+
+    /// Whether a tensor of shape `self` can be broadcast to exactly `target`.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        match self.broadcast(target) {
+            Ok(b) => b == *target,
+            Err(_) => false,
+        }
+    }
+
+    /// Removes the given axis, reducing rank by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn without_axis(&self, axis: usize) -> Result<Shape, TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let mut dims = self.dims.clone();
+        dims.remove(axis);
+        Ok(Shape::new(dims))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Iterates over all multi-indices of a shape in row-major order.
+///
+/// Produced by [`Shape::indices`] — useful for exhaustive traversal in tests
+/// and reference implementations.
+#[derive(Debug, Clone)]
+pub struct Indices {
+    shape: Shape,
+    next: Option<Vec<usize>>,
+}
+
+impl Shape {
+    /// Returns an iterator over every multi-index in row-major order.
+    ///
+    /// ```
+    /// use opad_tensor::Shape;
+    /// let idx: Vec<_> = Shape::new(vec![2, 2]).indices().collect();
+    /// assert_eq!(idx, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    /// ```
+    pub fn indices(&self) -> Indices {
+        let next = if self.is_empty() {
+            None
+        } else {
+            Some(vec![0; self.rank()])
+        };
+        Indices {
+            shape: self.clone(),
+            next,
+        }
+    }
+}
+
+impl Iterator for Indices {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance like an odometer, last axis fastest.
+        let mut idx = current.clone();
+        let mut axis = self.shape.rank();
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < self.shape.dim(axis) {
+                self.next = Some(idx);
+                break;
+            }
+            idx[axis] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(vec![3, 4, 5]);
+        let mut seen = std::collections::HashSet::new();
+        for idx in s.indices() {
+            let off = s.offset(&idx).unwrap();
+            assert!(off < s.len());
+            assert!(seen.insert(off), "offset {off} repeated");
+        }
+        assert_eq!(seen.len(), s.len());
+    }
+
+    #[test]
+    fn offset_rejects_bad_index() {
+        let s = Shape::new(vec![2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(vec![4, 1, 3]);
+        let b = Shape::new(vec![5, 3]);
+        assert_eq!(a.broadcast(&b).unwrap().dims(), &[4, 5, 3]);
+
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::scalar();
+        assert_eq!(a.broadcast(&b).unwrap().dims(), &[2, 3]);
+
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![3, 2]);
+        assert!(a.broadcast(&b).is_err());
+    }
+
+    #[test]
+    fn broadcast_is_symmetric() {
+        let a = Shape::new(vec![1, 7]);
+        let b = Shape::new(vec![6, 1]);
+        assert_eq!(a.broadcast(&b).unwrap(), b.broadcast(&a).unwrap());
+    }
+
+    #[test]
+    fn broadcasts_to_checks_exact_target() {
+        let a = Shape::new(vec![1, 3]);
+        assert!(a.broadcasts_to(&Shape::new(vec![5, 3])));
+        assert!(!a.broadcasts_to(&Shape::new(vec![5, 4])));
+        // Broadcasting never shrinks.
+        let big = Shape::new(vec![5, 3]);
+        assert!(!big.broadcasts_to(&Shape::new(vec![1, 3])));
+    }
+
+    #[test]
+    fn without_axis() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.without_axis(1).unwrap().dims(), &[2, 4]);
+        assert!(s.without_axis(3).is_err());
+    }
+
+    #[test]
+    fn indices_row_major_order() {
+        let s = Shape::new(vec![2, 3]);
+        let all: Vec<_> = s.indices().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![0, 1]);
+        assert_eq!(all[3], vec![1, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn indices_of_empty_shape_is_empty() {
+        let s = Shape::new(vec![0, 3]);
+        assert_eq!(s.indices().count(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "(2×3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Shape = [2usize, 3].into();
+        assert_eq!(s.dims(), &[2, 3]);
+        let s: Shape = vec![4usize].into();
+        assert_eq!(s.dims(), &[4]);
+        let s: Shape = (&[5usize, 6][..]).into();
+        assert_eq!(s.dims(), &[5, 6]);
+    }
+}

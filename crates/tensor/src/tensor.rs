@@ -1,0 +1,504 @@
+//! The dense tensor type.
+
+use crate::{Shape, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the numeric workhorse of the toolkit: datasets, network
+/// activations, gradients and adversarial perturbations are all `Tensor`s.
+/// Storage is always contiguous row-major; views are not supported — slicing
+/// copies. That trade keeps the implementation small and the cache behaviour
+/// predictable, which is what the benchmark harness cares about.
+///
+/// # Examples
+///
+/// ```
+/// use opad_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// assert_eq!(t.get(&[1, 0]).unwrap(), 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::from(dims);
+        let data = vec![0.0; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::from(dims);
+        let data = vec![value; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a tensor from a flat row-major buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLengthMismatch`] if `data.len()` does not
+    /// equal the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::from(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::DataLengthMismatch {
+                data_len: data.len(),
+                shape_len: shape.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::from(&[data.len()][..]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-index.
+    ///
+    /// ```
+    /// use opad_tensor::Tensor;
+    /// let eye = Tensor::from_fn(&[3, 3], |ix| if ix[0] == ix[1] { 1.0 } else { 0.0 });
+    /// assert_eq!(eye.get(&[1, 1]).unwrap(), 1.0);
+    /// assert_eq!(eye.get(&[1, 2]).unwrap(), 0.0);
+    /// ```
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let shape = Shape::from(dims);
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in shape.indices() {
+            data.push(f(&idx));
+        }
+        Tensor { shape, data }
+    }
+
+    /// The 2-D identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        Tensor::from_fn(&[n, n], |ix| if ix[0] == ix[1] { 1.0 } else { 0.0 })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The per-axis extents, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for a bad index.
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for a bad index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// The single value of a rank-0 or single-element tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the tensor has more than
+    /// one element.
+    pub fn item(&self) -> Result<f32, TensorError> {
+        if self.len() == 1 {
+            Ok(self.data[0])
+        } else {
+            Err(TensorError::RankMismatch {
+                expected: 0,
+                actual: self.rank(),
+                op: "item",
+            })
+        }
+    }
+
+    /// Returns a copy with a new shape holding the same elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        let shape = Shape::from(dims);
+        if shape.len() != self.len() {
+            return Err(TensorError::InvalidReshape {
+                from: self.len(),
+                to: shape.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Copies row `i` of a rank-2 tensor into a new 1-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix input and
+    /// [`TensorError::IndexOutOfBounds`] for a bad row.
+    pub fn row(&self, i: usize) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "row",
+            });
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        if i >= r {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: Shape::from(&[c][..]),
+            data: self.data[i * c..(i + 1) * c].to_vec(),
+        })
+    }
+
+    /// Overwrites row `i` of a rank-2 tensor from a 1-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on rank or length mismatch, or a bad row index.
+    pub fn set_row(&mut self, i: usize, row: &Tensor) -> Result<(), TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "set_row",
+            });
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        if i >= r {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.dims().to_vec(),
+            });
+        }
+        if row.len() != c {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![c],
+                right: row.dims().to_vec(),
+                op: "set_row",
+            });
+        }
+        self.data[i * c..(i + 1) * c].copy_from_slice(row.as_slice());
+        Ok(())
+    }
+
+    /// Stacks 1-D tensors of equal length into a rank-2 tensor (one row per
+    /// input).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `rows` is empty or lengths are inconsistent.
+    pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = rows.first().ok_or(TensorError::Empty { op: "stack_rows" })?;
+        let c = first.len();
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(TensorError::ShapeMismatch {
+                    left: vec![c],
+                    right: row.dims().to_vec(),
+                    op: "stack_rows",
+                });
+            }
+            data.extend_from_slice(row.as_slice());
+        }
+        Tensor::from_vec(data, &[rows.len(), c])
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ (no
+    /// broadcasting; use the arithmetic ops for broadcast semantics).
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op: "zip_with",
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// True when shapes match and all elements differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    /// An empty 1-D tensor.
+    fn default() -> Self {
+        Tensor {
+            shape: Shape::from(&[0usize][..]),
+            data: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        const MAX: usize = 8;
+        write!(f, "[")?;
+        for (i, v) in self.data.iter().take(MAX).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > MAX {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<f32> for Tensor {
+    /// Collects into a 1-D tensor.
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let data: Vec<f32> = iter.into_iter().collect();
+        let n = data.len();
+        Tensor {
+            shape: Shape::from(&[n][..]),
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 3]).len(), 6);
+        assert_eq!(Tensor::ones(&[4]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[2], 7.0).as_slice(), &[7.0, 7.0]);
+        assert_eq!(Tensor::scalar(3.0).item().unwrap(), 3.0);
+        assert_eq!(Tensor::eye(3).sum(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(t.as_slice()[5], 5.0);
+        assert!(t.get(&[2, 0]).is_err());
+        assert!(t.set(&[0, 3], 1.0).is_err());
+    }
+
+    #[test]
+    fn item_requires_single_element() {
+        assert!(Tensor::zeros(&[2]).item().is_err());
+        assert_eq!(Tensor::from_slice(&[9.0]).item().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn rows() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.row(1).unwrap().as_slice(), &[3.0, 4.0]);
+        assert!(t.row(2).is_err());
+        assert!(Tensor::from_slice(&[1.0]).row(0).is_err());
+
+        let mut t = t;
+        t.set_row(0, &Tensor::from_slice(&[9.0, 8.0])).unwrap();
+        assert_eq!(t.row(0).unwrap().as_slice(), &[9.0, 8.0]);
+        assert!(t.set_row(0, &Tensor::from_slice(&[1.0])).is_err());
+        assert!(t.set_row(5, &Tensor::from_slice(&[1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let rows = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[3.0, 4.0])];
+        let m = Tensor::stack_rows(&rows).unwrap();
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(Tensor::stack_rows(&[]).is_err());
+        let bad = vec![Tensor::from_slice(&[1.0]), Tensor::from_slice(&[1.0, 2.0])];
+        assert!(Tensor::stack_rows(&bad).is_err());
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let t = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(t.map(f32::abs).as_slice(), &[1.0, 2.0]);
+        let u = Tensor::from_slice(&[10.0, 20.0]);
+        assert_eq!(t.zip_with(&u, |a, b| a + b).unwrap().as_slice(), &[11.0, 18.0]);
+        assert!(t.zip_with(&Tensor::zeros(&[3]), |a, _| a).is_err());
+        let mut t = t;
+        t.map_inplace(|x| x * 2.0);
+        assert_eq!(t.as_slice(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn clamp_and_finite() {
+        let t = Tensor::from_slice(&[-2.0, 0.5, 3.0]);
+        assert_eq!(t.clamp(0.0, 1.0).as_slice(), &[0.0, 0.5, 1.0]);
+        assert!(!t.has_non_finite());
+        let t = Tensor::from_slice(&[f32::NAN]);
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[1.0 + 1e-7, 2.0 - 1e-7]);
+        assert!(a.approx_eq(&b, 1e-6));
+        assert!(!a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&Tensor::zeros(&[3]), 1.0));
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.contains("(100)"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Tensor = (0..4).map(|i| i as f32).collect();
+        assert_eq!(t.dims(), &[4]);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn serde_round_trip_shape() {
+        // Serde derives compile; exercise via Debug equality after clone.
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let u = t.clone();
+        assert_eq!(t, u);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for tensor algebra laws.
+
+use opad_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a 1-D tensor of the given length with bounded finite floats.
+fn vec_tensor(len: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-100.0f32..100.0, len).prop_map(|v| Tensor::from_slice(&v))
+}
+
+/// Strategy: a matrix of the given dims.
+fn mat_tensor(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, r * c)
+        .prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in vec_tensor(16), b in vec_tensor(16)) {
+        prop_assert!((&a + &b).approx_eq(&(&b + &a), 1e-4));
+    }
+
+    #[test]
+    fn add_associates(a in vec_tensor(8), b in vec_tensor(8), c in vec_tensor(8)) {
+        let lhs = &(&a + &b) + &c;
+        let rhs = &a + &(&b + &c);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn zero_is_additive_identity(a in vec_tensor(16)) {
+        let z = Tensor::zeros(&[16]);
+        prop_assert_eq!(&a + &z, a);
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in vec_tensor(16), b in vec_tensor(16)) {
+        let r = &(&a - &b) + &b;
+        prop_assert!(r.approx_eq(&a, 1e-3));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in vec_tensor(8), b in vec_tensor(8), s in -5.0f32..5.0) {
+        let lhs = (&a + &b).scale(s);
+        let rhs = &a.scale(s) + &b.scale(s);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(m in mat_tensor(4, 4)) {
+        prop_assert!(m.matmul(&Tensor::eye(4)).unwrap().approx_eq(&m, 1e-5));
+        prop_assert!(Tensor::eye(4).matmul(&m).unwrap().approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn matmul_associates(a in mat_tensor(3, 4), b in mat_tensor(4, 2), c in mat_tensor(2, 5)) {
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-1), "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn matmul_distributes(a in mat_tensor(3, 3), b in mat_tensor(3, 3), c in mat_tensor(3, 3)) {
+        let lhs = a.matmul(&b.checked_add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().checked_add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_is_involution(m in mat_tensor(3, 5)) {
+        prop_assert_eq!(m.transpose().unwrap().transpose().unwrap(), m);
+    }
+
+    #[test]
+    fn dot_matches_matvec(m in mat_tensor(1, 6), v in vec_tensor(6)) {
+        let row = m.row(0).unwrap();
+        let d = row.dot(&v).unwrap();
+        let mv = m.matvec(&v).unwrap();
+        prop_assert!((d - mv.as_slice()[0]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn norms_are_nonnegative_and_ordered(a in vec_tensor(16)) {
+        let l1 = a.norm_l1();
+        let l2 = a.norm_l2();
+        let li = a.norm_linf();
+        prop_assert!(l1 >= 0.0 && l2 >= 0.0 && li >= 0.0);
+        // For any vector: linf <= l2 <= l1.
+        prop_assert!(li <= l2 + 1e-3);
+        prop_assert!(l2 <= l1 + 1e-3);
+    }
+
+    #[test]
+    fn norm_scales_homogeneously(a in vec_tensor(8), s in -4.0f32..4.0) {
+        let scaled = a.scale(s);
+        prop_assert!((scaled.norm_l2() - s.abs() * a.norm_l2()).abs() < 1e-2);
+        prop_assert!((scaled.norm_linf() - s.abs() * a.norm_linf()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn clamp_bounds_hold(a in vec_tensor(16), lo in -10.0f32..0.0, hi in 0.0f32..10.0) {
+        let c = a.clamp(lo, hi);
+        prop_assert!(c.as_slice().iter().all(|&x| x >= lo && x <= hi));
+        // Idempotent.
+        prop_assert_eq!(c.clamp(lo, hi), c);
+    }
+
+    #[test]
+    fn sum_axis_preserves_total(v in proptest::collection::vec(-10.0f32..10.0, 24)) {
+        let t = Tensor::from_vec(v, &[2, 3, 4]).unwrap();
+        for axis in 0..3 {
+            let reduced = t.sum_axis(axis).unwrap();
+            prop_assert!((reduced.sum() - t.sum()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(v in proptest::collection::vec(-10.0f32..10.0, 12)) {
+        let t = Tensor::from_vec(v, &[3, 4]).unwrap();
+        prop_assert_eq!(t.reshape(&[2, 6]).unwrap().sum(), t.sum());
+        prop_assert_eq!(t.reshape(&[12]).unwrap().sum(), t.sum());
+    }
+
+    #[test]
+    fn broadcast_shape_symmetric(
+        a in proptest::collection::vec(1usize..4, 1..4),
+        b in proptest::collection::vec(1usize..4, 1..4),
+    ) {
+        let sa = Shape::new(a);
+        let sb = Shape::new(b);
+        match (sa.broadcast(&sb), sb.broadcast(&sa)) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast not symmetric"),
+        }
+    }
+
+    #[test]
+    fn offset_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let s = Shape::new(dims);
+        let mut seen = std::collections::HashSet::new();
+        for idx in s.indices() {
+            let off = s.offset(&idx).unwrap();
+            prop_assert!(off < s.len());
+            prop_assert!(seen.insert(off));
+        }
+        prop_assert_eq!(seen.len(), s.len());
+    }
+}

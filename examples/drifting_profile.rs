@@ -1,0 +1,65 @@
+//! Operational-profile drift: the paper stresses the OP is "not constant
+//! after deployment". This example deploys a two-moons classifier, drifts
+//! the class usage linearly over ten epochs of operation, and shows how
+//! (a) delivered accuracy and the pfd estimate degrade if the OP model is
+//! frozen, and (b) re-learning the OP restores calibrated claims.
+//!
+//! Run with: `cargo run --release --example drifting_profile`
+
+use opad::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Train on balanced two-moons data with label noise via overlap.
+    let train = two_moons(800, 0.15, &[0.5, 0.5], &mut rng)?;
+    let mut net = Network::mlp(&[2, 24, 2], Activation::Tanh, &mut rng)?;
+    Trainer::new(TrainConfig::new(40, 32), Optimizer::adam(0.01)).fit(
+        &mut net,
+        train.features(),
+        train.labels(),
+        None,
+        &mut rng,
+    )?;
+
+    // Deployment: usage drifts from mostly-class-0 to mostly-class-1.
+    let drift = LinearDrift::new(vec![0.9, 0.1], vec![0.1, 0.9], 10)?;
+    // Freeze an OP learned at deployment time (t = 0).
+    let initial_field = two_moons(600, 0.15, &drift.probs_at(0), &mut rng)?;
+    let frozen_op = learn_op_kde(&initial_field)?;
+    let partition = CentroidPartition::fit(initial_field.features(), 10, 20, &mut rng)?;
+
+    println!("t | true probs        | acc   | JS(frozen‖true) | pfd (refreshed OP)");
+    for t in 0..=drift.horizon() {
+        let probs = drift.probs_at(t);
+        let field_t = two_moons(600, 0.15, &probs, &mut rng)?;
+        let acc = net.accuracy(field_t.features(), field_t.labels())?;
+
+        // Divergence between the frozen OP's class belief and today's.
+        let js = js_divergence(frozen_op.class_probs(), &probs)?;
+
+        // A reliability estimate that *refreshes* the cell OP each epoch.
+        let cell_op = partition.cell_distribution(field_t.features(), 0.5)?;
+        let mut model = CellReliabilityModel::new(cell_op)?;
+        let d = field_t.feature_dim();
+        for i in 0..field_t.len() {
+            let (x, label) = field_t.sample(i)?;
+            let cell = partition.cell_of(&field_t.features().as_slice()[i * d..(i + 1) * d])?;
+            let pred = net.predict_labels(&x.reshape(&[1, d])?)?[0];
+            model.observe(cell, pred != label)?;
+        }
+        println!(
+            "{t:2} | [{:.2}, {:.2}]      | {acc:.3} | {js:15.4} | {:.4}",
+            probs[0],
+            probs[1],
+            model.pfd_mean()
+        );
+    }
+    println!(
+        "\nThe frozen profile's divergence grows with drift — the signal that\n\
+         RQ1's OP learning must re-run; the refreshed pfd tracks the true risk."
+    );
+    Ok(())
+}

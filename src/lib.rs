@@ -1,0 +1,77 @@
+//! # opad — Operational Adversarial Example Detection
+//!
+//! A Rust reproduction of *"Detecting Operational Adversarial Examples
+//! for Reliable Deep Learning"* (Zhao, Huang, Schewe, Dong & Huang,
+//! DSN 2021): a testing method for DL classifiers that spends its budget
+//! detecting adversarial examples the *operational profile* says will
+//! actually be met in the field.
+//!
+//! This meta-crate re-exports the whole toolkit:
+//!
+//! * [`tensor`] — dense tensors (the numeric substrate);
+//! * [`nn`] — from-scratch neural networks with input gradients;
+//! * [`data`] — procedural datasets with controllable class skew;
+//! * [`opmodel`] — operational profiles: densities, partitions, drift;
+//! * [`attack`] — FGSM/PGD baselines and the naturalness-guided fuzzer;
+//! * [`reliability`] — ReAsDL-style Bayesian reliability assessment;
+//! * [`core`] — the five-step testing loop tying it all together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use opad::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // Balanced training data, skewed operational data.
+//! let cfg = GaussianClustersConfig::default();
+//! let train = gaussian_clusters(&cfg, 200, &uniform_probs(3), &mut rng)?;
+//! let field = gaussian_clusters(&cfg, 200, &zipf_probs(3, 1.5), &mut rng)?;
+//! // Train a model and learn the OP.
+//! let mut net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut rng)?;
+//! Trainer::new(TrainConfig::new(10, 32), Optimizer::adam(0.01))
+//!     .fit(&mut net, train.features(), train.labels(), None, &mut rng)?;
+//! let op = learn_op_gmm(&field, 3, 10, &mut rng)?;
+//! assert_eq!(op.num_classes(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use opad_attack as attack;
+pub use opad_core as core;
+pub use opad_data as data;
+pub use opad_nn as nn;
+pub use opad_opmodel as opmodel;
+pub use opad_reliability as reliability;
+pub use opad_tensor as tensor;
+
+/// One-stop imports for examples and downstream binaries.
+pub mod prelude {
+    pub use opad_attack::{
+        Attack, AttackOutcome, DensityNaturalness, Fgsm, NaturalFuzz, Naturalness, NormBall,
+        PcaNaturalness, Pgd, RandomFuzz,
+    };
+    pub use opad_core::{
+        classify_outcome, retrain_with_aes, AeCorpus, DetectedAe, LoopConfig, PipelineError,
+        RetrainConfig, RoundReport, SeedSampler, SeedWeighting, TestingLoop,
+    };
+    pub use opad_data::{
+        gaussian_clusters, glyphs, rings, two_moons, uniform_probs, zipf_probs, Dataset,
+        GaussianClustersConfig, GlyphConfig,
+    };
+    pub use opad_nn::{
+        cross_entropy, prediction_entropy, prediction_margin, Activation, ConfusionMatrix,
+        Network, Optimizer, TrainConfig, Trainer,
+    };
+    pub use opad_opmodel::{
+        js_divergence, kl_divergence, learn_op_gmm, learn_op_kde, tv_distance, CentroidPartition,
+        Density, Gmm, GmmComponent, GridPartition, Kde, LinearDrift, OperationalProfile,
+        Partition,
+    };
+    pub use opad_reliability::{
+        clopper_pearson_upper, demands_for_target, Assessment, Beta, CellReliabilityModel,
+        GrowthTimeline, ReliabilityTarget,
+    };
+    pub use opad_tensor::{Shape, Tensor, TensorError};
+}
