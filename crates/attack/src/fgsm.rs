@@ -122,7 +122,10 @@ mod tests {
         let mut net = linear_victim();
         let seed = Tensor::from_slice(&[5.0, 0.0]);
         let mut r = rng();
-        let out = Fgsm::new(0.1).unwrap().run(&mut net, &seed, 1, &mut r).unwrap();
+        let out = Fgsm::new(0.1)
+            .unwrap()
+            .run(&mut net, &seed, 1, &mut r)
+            .unwrap();
         assert!(!out.success);
         assert_eq!(out.predicted, 1);
     }

@@ -55,7 +55,9 @@ pub use random_fuzz::RandomFuzz;
 pub(crate) mod tests_support {
     //! Shared victims for attack tests.
 
-    use opad_nn::{Activation, ActivationLayer, Dense, Layer, Network, Optimizer, TrainConfig, Trainer};
+    use opad_nn::{
+        Activation, ActivationLayer, Dense, Layer, Network, Optimizer, TrainConfig, Trainer,
+    };
     use opad_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -5,6 +5,7 @@
 use crate::outcome::{check_seed, grad_one, predict_one};
 use crate::{Attack, AttackError, AttackOutcome, Naturalness, NormBall};
 use opad_nn::Network;
+use opad_telemetry as telemetry;
 use opad_tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -119,7 +120,13 @@ impl<'a, N: Naturalness> NaturalFuzz<'a, N> {
     fn accepts(&self, x: &Tensor) -> Result<bool, AttackError> {
         match self.tau {
             None => Ok(true),
-            Some(tau) => Ok(self.naturalness.score(x.as_slice())? >= tau),
+            Some(tau) => {
+                let score = self.naturalness.score(x.as_slice())?;
+                // Naturalness scores are log-densities, i.e. usually
+                // negative — the telemetry histogram handles both signs.
+                telemetry::histogram_record("attack.fuzz.naturalness", score);
+                Ok(score >= tau)
+            }
         }
     }
 
@@ -133,6 +140,7 @@ impl<'a, N: Naturalness> NaturalFuzz<'a, N> {
         let mut x = start;
         let mut queries = 0usize;
         for _ in 0..self.steps {
+            telemetry::counter_add("attack.fuzz.proposals", 1);
             let (_, g_loss) = grad_one(net, &x, label)?;
             queries += 1;
             let combined = if self.lambda > 0.0 {
@@ -149,13 +157,20 @@ impl<'a, N: Naturalness> NaturalFuzz<'a, N> {
             }
             let pred = predict_one(net, &x)?;
             queries += 1;
-            if pred != label && self.accepts(&x)? {
-                return Ok((x, pred, queries, true));
+            if pred != label {
+                if self.accepts(&x)? {
+                    telemetry::counter_add("attack.fuzz.accepted", 1);
+                    return Ok((x, pred, queries, true));
+                }
+                telemetry::counter_add("attack.fuzz.rejected_unnatural", 1);
             }
         }
         let pred = predict_one(net, &x)?;
         queries += 1;
         let ok = pred != label && self.accepts(&x)?;
+        if ok {
+            telemetry::counter_add("attack.fuzz.accepted", 1);
+        }
         Ok((x, pred, queries, ok))
     }
 }

@@ -165,7 +165,11 @@ impl PcaNaturalness {
                 reason: format!("expected dimension {d}, got {}", x.len()),
             });
         }
-        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(&a, &m)| (a - m) as f64).collect();
+        let centered: Vec<f64> = x
+            .iter()
+            .zip(&self.mean)
+            .map(|(&a, &m)| (a - m) as f64)
+            .collect();
         let k = self.num_components();
         let comps = self.components.as_slice();
         // ‖c‖² − Σ (vᵀc)²  (Pythagoras in the orthonormal basis).
@@ -197,7 +201,11 @@ impl Naturalness for PcaNaturalness {
                 reason: format!("expected dimension {d}, got {}", x.len()),
             });
         }
-        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(&a, &m)| (a - m) as f64).collect();
+        let centered: Vec<f64> = x
+            .iter()
+            .zip(&self.mean)
+            .map(|(&a, &m)| (a - m) as f64)
+            .collect();
         let k = self.num_components();
         let comps = self.components.as_slice();
         // residual = c − V Vᵀ c

@@ -131,9 +131,7 @@ impl NormBall {
                 let n = dir.norm_l2().max(1e-12);
                 let d = center.len() as f32;
                 let r = epsilon * rng.gen::<f32>().powf(1.0 / d);
-                center
-                    .checked_add(&dir.scale(r / n))
-                    .expect("same shape")
+                center.checked_add(&dir.scale(r / n)).expect("same shape")
             }
         }
     }
@@ -203,7 +201,9 @@ mod tests {
         assert!((l2.norm_l2() - 1.0).abs() < 1e-6);
         assert!((l2.as_slice()[0] - 0.6).abs() < 1e-6);
         // Zero gradient → zero step.
-        let z = NormBall::l2(1.0).unwrap().steepest_step(&Tensor::zeros(&[3]));
+        let z = NormBall::l2(1.0)
+            .unwrap()
+            .steepest_step(&Tensor::zeros(&[3]));
         assert_eq!(z.norm_l2(), 0.0);
     }
 

@@ -4,6 +4,7 @@
 use crate::outcome::{check_seed, grad_one, predict_one};
 use crate::{Attack, AttackError, AttackOutcome, NormBall};
 use opad_nn::Network;
+use opad_telemetry as telemetry;
 use opad_tensor::Tensor;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -260,7 +261,16 @@ impl Attack for Pgd {
             }
         }
         let (cand, pred) = last.expect("at least one restart");
-        AttackOutcome::from_candidate(seed, cand, pred, label, total_queries)
+        let outcome = AttackOutcome::from_candidate(seed, cand, pred, label, total_queries)?;
+        if outcome.success {
+            telemetry::counter_add("attack.pgd.success", 1);
+            // Each iteration costs two queries (gradient + prediction), so
+            // queries/2 is the iterations spent to find this AE.
+            telemetry::histogram_record("attack.pgd.iters_to_success", (total_queries / 2) as f64);
+        } else {
+            telemetry::counter_add("attack.pgd.failure", 1);
+        }
+        Ok(outcome)
     }
 }
 
@@ -274,7 +284,10 @@ mod tests {
         let ball = NormBall::linf(0.1).unwrap();
         assert!(Pgd::new(ball, 0, 0.1).is_err());
         assert!(Pgd::new(ball, 5, 0.0).is_err());
-        assert!(Pgd::new(ball, 5, 0.1).unwrap().with_clip(1.0, -1.0).is_err());
+        assert!(Pgd::new(ball, 5, 0.1)
+            .unwrap()
+            .with_clip(1.0, -1.0)
+            .is_err());
         let pgd = Pgd::new(ball, 5, 0.1).unwrap().with_restarts(0);
         assert_eq!(pgd.restarts, 1, "restarts clamp to 1");
     }
@@ -330,14 +343,20 @@ mod tests {
     #[test]
     fn momentum_validation_and_attack() {
         let ball = NormBall::linf(0.2).unwrap();
-        assert!(Pgd::new(ball, 5, 0.05).unwrap().with_momentum(-1.0).is_err());
+        assert!(Pgd::new(ball, 5, 0.05)
+            .unwrap()
+            .with_momentum(-1.0)
+            .is_err());
         assert!(Pgd::new(ball, 5, 0.05)
             .unwrap()
             .with_momentum(f32::NAN)
             .is_err());
         let mut net = trained_victim();
         let mut r = rng();
-        let mi = Pgd::new(ball, 15, 0.04).unwrap().with_momentum(0.9).unwrap();
+        let mi = Pgd::new(ball, 15, 0.04)
+            .unwrap()
+            .with_momentum(0.9)
+            .unwrap();
         let seed = Tensor::from_slice(&[0.1, 0.05]);
         let label = crate::outcome::predict_one(&mut net, &seed).unwrap();
         let out = mi.run(&mut net, &seed, label, &mut r).unwrap();
@@ -367,7 +386,9 @@ mod tests {
             .with_random_start(false);
         let out = small.run_targeted(&mut net, &far, 0, &mut r).unwrap();
         assert!(!out.success);
-        assert!(small.run_targeted(&mut net, &Tensor::zeros(&[2, 2]), 0, &mut r).is_err());
+        assert!(small
+            .run_targeted(&mut net, &Tensor::zeros(&[2, 2]), 0, &mut r)
+            .is_err());
     }
 
     #[test]

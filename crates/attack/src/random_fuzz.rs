@@ -102,7 +102,10 @@ mod tests {
     fn config_validation() {
         let ball = NormBall::linf(0.1).unwrap();
         assert!(RandomFuzz::new(ball, 0).is_err());
-        assert!(RandomFuzz::new(ball, 5).unwrap().with_clip(2.0, 1.0).is_err());
+        assert!(RandomFuzz::new(ball, 5)
+            .unwrap()
+            .with_clip(2.0, 1.0)
+            .is_err());
         assert_eq!(RandomFuzz::new(ball, 5).unwrap().trials(), 5);
     }
 

@@ -8,11 +8,13 @@
 //!
 //! Run with: `cargo run --release -p opad-bench --bin exp1_op_mismatch`
 
-use opad_bench::{build_cluster_world, build_glyph_world, dump_json, print_header, print_row, ClusterWorldConfig};
+use opad_bench::{
+    build_cluster_world, build_glyph_world, print_header, print_row, ClusterWorldConfig, ExpRun,
+};
 use opad_data::{uniform_probs, Corruption};
-use rand::SeedableRng;
 use opad_nn::ConfusionMatrix;
 use opad_opmodel::js_divergence;
+use rand::SeedableRng;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,9 +28,24 @@ struct Row {
 }
 
 fn main() {
+    let run = ExpRun::begin(
+        "exp1_op_mismatch",
+        &serde_json::json!({
+            "cluster_skews": [0.0, 0.5, 1.0, 1.5, 2.0],
+            "glyph_skews": [0.0, 1.0, 2.0],
+            "seed": 11,
+        }),
+    );
     let mut rows = Vec::new();
     println!("## E1 — delivered accuracy under operational skew\n");
-    print_header(&["dataset", "zipf s", "balanced acc", "operational acc", "gap", "JS(train‖op)"]);
+    print_header(&[
+        "dataset",
+        "zipf s",
+        "balanced acc",
+        "operational acc",
+        "gap",
+        "JS(train‖op)",
+    ]);
 
     for &s in &[0.0, 0.5, 1.0, 1.5, 2.0] {
         // Clusters (harder geometry: overlapping classes).
@@ -105,5 +122,5 @@ fn main() {
          delivered (OP-weighted) accuracy decouples from the balanced figure —\n\
          the mismatch the paper's testing method is built around."
     );
-    dump_json("exp1_op_mismatch", &rows);
+    run.finish(&rows);
 }

@@ -9,7 +9,10 @@
 
 use opad_bench::campaign::CampaignParams;
 use opad_bench::density_percentile;
-use opad_bench::{attack_campaign, build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig, Method};
+use opad_bench::{
+    attack_campaign, build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun,
+    Method,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -34,12 +37,19 @@ fn main() {
     };
     let base = build_cluster_world(&cfg);
     let tau = density_percentile(&base.truth, &base.field, 0.1);
+    let budgets = [50usize, 100, 200, 400];
+    let run = ExpRun::begin(
+        "exp2_detection_efficiency",
+        &serde_json::json!({ "world": cfg, "tau": tau, "budgets": budgets }),
+    );
     println!("## E2 — operational-AE detection efficiency (clusters, ε=0.3 L∞, τ = {tau:.2})\n");
-    print_header(&["budget", "method", "AEs", "op-AEs", "Σp(AE)", "cells", "op-mass", "queries"]);
+    print_header(&[
+        "budget", "method", "AEs", "op-AEs", "Σp(AE)", "cells", "op-mass", "queries",
+    ]);
 
     // Every (budget, method) job owns a cloned model and a fixed-seed RNG,
     // so the parallel sweep is bit-identical to a sequential one.
-    let jobs: Vec<_> = [50usize, 100, 200, 400]
+    let jobs: Vec<_> = budgets
         .iter()
         .flat_map(|&budget| Method::all().into_iter().map(move |m| (budget, m)))
         .map(|(budget, method)| {
@@ -103,5 +113,5 @@ fn main() {
          cells) and the baselines' extra cells are precisely the\n\
          '5,000-year bugs' the paper warns budgets are wasted on."
     );
-    dump_json("exp2_detection_efficiency", &rows);
+    run.finish(&rows);
 }

@@ -9,7 +9,10 @@
 
 use opad_attack::{Attack, DensityNaturalness, NaturalFuzz, NormBall};
 use opad_bench::campaign::CampaignParams;
-use opad_bench::{attack_campaign, build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig, Method};
+use opad_bench::{
+    attack_campaign, build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun,
+    Method,
+};
 use opad_core::{classify_outcome, AeCorpus, SeedSampler, SeedWeighting};
 use opad_opmodel::Density;
 use rand::rngs::StdRng;
@@ -44,6 +47,15 @@ fn main() {
         .collect();
     densities.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let tau = densities[base.field.len() / 10];
+    let run = ExpRun::begin(
+        "exp3_naturalness",
+        &serde_json::json!({
+            "world": cfg,
+            "tau": tau,
+            "budget": 150,
+            "lambda_sweep": [0.0, 0.5, 1.0, 2.0, 4.0],
+        }),
+    );
     println!("## E3 — naturalness of detected AEs (τ = {tau:.2}, 10th pct of field density)\n");
 
     let natural_fraction = |corpus: &AeCorpus| -> f64 {
@@ -149,5 +161,5 @@ fn main() {
          ground-truth log-density and natural fraction should rise with λ while\n\
          the count falls. Operational AEs ⊂ natural AEs ⊂ all AEs (Sec. I)."
     );
-    dump_json("exp3_naturalness", &rows);
+    run.finish(&rows);
 }

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p opad-bench --bin exp4_seed_weights`
 
 use opad_attack::{Attack, NormBall, Pgd};
-use opad_bench::{build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig};
+use opad_bench::{build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun};
 use opad_core::{classify_outcome, AeCorpus, SeedSampler, SeedWeighting};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +32,10 @@ fn main() {
     let base = build_cluster_world(&cfg);
     let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 15, 0.06).unwrap();
     const BUDGET: usize = 120;
+    let run = ExpRun::begin(
+        "exp4_seed_weights",
+        &serde_json::json!({ "world": cfg, "budget": BUDGET, "attack": "pgd" }),
+    );
 
     println!("## E4 — seed-weighting ablation (PGD, {BUDGET} seeds)\n");
     print_header(&["weighting", "AEs", "hit rate", "cells", "op-mass"]);
@@ -50,8 +54,7 @@ fn main() {
             let (seed, label) = base.field.sample(i).unwrap();
             let out = attack.run(&mut net, &seed, label, &mut rng).unwrap();
             if let Some(ae) =
-                classify_outcome(i, &seed, label, &out, base.op.density(), &base.partition)
-                    .unwrap()
+                classify_outcome(i, &seed, label, &out, base.op.density(), &base.partition).unwrap()
             {
                 corpus.push(ae);
             }
@@ -80,5 +83,5 @@ fn main() {
          the combined op×margin / op×entropy schemes should lead on op-mass —\n\
          the paper's 'high OP density AND buggy area' requirement (RQ2)."
     );
-    dump_json("exp4_seed_weights", &rows);
+    run.finish(&rows);
 }

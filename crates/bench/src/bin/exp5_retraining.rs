@@ -9,8 +9,10 @@
 //! Run with: `cargo run --release -p opad-bench --bin exp5_retraining`
 
 use opad_attack::{Attack, NormBall, Pgd};
-use opad_bench::{build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig};
-use opad_core::{classify_outcome, retrain_with_aes, AeCorpus, RetrainConfig, SeedSampler, SeedWeighting};
+use opad_bench::{build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun};
+use opad_core::{
+    classify_outcome, retrain_with_aes, AeCorpus, RetrainConfig, SeedSampler, SeedWeighting,
+};
 use opad_nn::Network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,13 +37,27 @@ fn main() {
     let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 15, 0.06).unwrap();
     const SEEDS: usize = 80;
     const ROUNDS: usize = 4;
+    let run = ExpRun::begin(
+        "exp5_retraining",
+        &serde_json::json!({ "world": cfg, "seeds_per_round": SEEDS, "rounds": ROUNDS }),
+    );
 
     println!("## E5 — OP-aware vs standard adversarial retraining\n");
-    print_header(&["arm", "round", "op accuracy", "re-attack success", "AEs found"]);
+    print_header(&[
+        "arm",
+        "round",
+        "op accuracy",
+        "re-attack success",
+        "AEs found",
+    ]);
     let mut rows = Vec::new();
 
     for op_weighted in [false, true] {
-        let arm = if op_weighted { "op-weighted" } else { "standard" };
+        let arm = if op_weighted {
+            "op-weighted"
+        } else {
+            "standard"
+        };
         let mut net = base.net.clone();
         let mut rng = StdRng::seed_from_u64(88);
         let sampler = SeedSampler::new(SeedWeighting::OpTimesMargin);
@@ -105,7 +121,7 @@ fn main() {
          the op-weighted arm should hold operational accuracy at least as high\n\
          (it never sacrifices the heavy classes to harden rare ones)."
     );
-    dump_json("exp5_retraining", &rows);
+    run.finish(&rows);
 }
 
 fn operational_accuracy(net: &mut Network, field: &opad_data::Dataset) -> f64 {

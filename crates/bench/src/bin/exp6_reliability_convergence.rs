@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p opad-bench --bin exp6_reliability_convergence`
 
-use opad_bench::{dump_json, print_header, print_row};
+use opad_bench::{print_header, print_row, ExpRun};
 use opad_reliability::{clopper_pearson_upper, CellReliabilityModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,9 +39,23 @@ fn make_truth(cells: usize) -> (Vec<f64>, Vec<f64>) {
 }
 
 fn main() {
+    let run = ExpRun::begin(
+        "exp6_reliability_convergence",
+        &serde_json::json!({
+            "cell_counts": [4, 16, 64],
+            "demand_counts": [100, 400, 1600, 6400],
+            "mc_samples": 3000,
+        }),
+    );
     println!("## E6 — reliability-estimator convergence on a planted ground truth\n");
     print_header(&[
-        "cells", "demands", "true pfd", "est pfd", "|err|", "95% UB", "CP 95% UB",
+        "cells",
+        "demands",
+        "true pfd",
+        "est pfd",
+        "|err|",
+        "95% UB",
+        "CP 95% UB",
     ]);
     let mut rows = Vec::new();
 
@@ -101,5 +115,5 @@ fn main() {
          demands the uniform priors dominate (visible over-estimate at n=100,\n\
          cells=64) — the cost of fine partitions the paper's RQ5 must balance."
     );
-    dump_json("exp6_reliability_convergence", &rows);
+    run.finish(&rows);
 }

@@ -14,7 +14,7 @@
 //! Run with: `cargo run --release -p opad-bench --bin exp7_budget_to_target`
 
 use opad_attack::{Attack, DensityNaturalness, NaturalFuzz, NormBall, Pgd};
-use opad_bench::{build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig};
+use opad_bench::{build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun};
 use opad_core::{LoopConfig, RetrainConfig, SeedWeighting, TestingLoop};
 use opad_data::{gaussian_clusters, GaussianClustersConfig};
 use opad_nn::Network;
@@ -79,12 +79,28 @@ fn main() {
         .unwrap()
         .with_restarts(2);
 
+    let run = ExpRun::begin(
+        "exp7_budget_to_target",
+        &serde_json::json!({
+            "world": cfg,
+            "rounds": ROUNDS,
+            "seeds_per_round": SEEDS_PER_ROUND,
+            "eval_per_round": EVAL_PER_ROUND,
+            "natural_noise": NATURAL_NOISE,
+        }),
+    );
     println!("## E7 — true delivered pfd vs cumulative test budget\n");
     print_header(&["method", "round", "tests so far", "true delivered pfd"]);
     // (name, weighting, attack, feedback, seeds-from-balanced-test-set)
     let arms: [(&str, SeedWeighting, &dyn Attack, bool, bool); 3] = [
         ("uniform+pgd", SeedWeighting::Uniform, &pgd, false, true),
-        ("op-seeds+pgd", SeedWeighting::OpTimesMargin, &pgd, true, false),
+        (
+            "op-seeds+pgd",
+            SeedWeighting::OpTimesMargin,
+            &pgd,
+            true,
+            false,
+        ),
         ("opad", SeedWeighting::OpTimesMargin, &natural, true, false),
     ];
 
@@ -133,12 +149,15 @@ fn main() {
         ]);
         pfds.push(pfd0);
         for round in 0..ROUNDS {
-            let pool = if balanced_seeds { &base.test } else { &base.field };
+            let pool = if balanced_seeds {
+                &base.test
+            } else {
+                &base.field
+            };
             lp.run_round_with_pool(pool, &base.field, &base.train, &attack, &mut rng)
                 .unwrap();
             let mut net = lp.network().clone();
-            let pfd =
-                true_delivered_pfd(&mut net, &gcfg, &base.truth_class_probs, &mut truth_rng);
+            let pfd = true_delivered_pfd(&mut net, &gcfg, &base.truth_class_probs, &mut truth_rng);
             pfds.push(pfd);
             print_row(&[
                 name.into(),
@@ -160,7 +179,12 @@ fn main() {
     print_header(&["target", "uniform+pgd", "op-seeds+pgd", "opad"]);
     let best_pfds: Vec<f64> = trajectories
         .iter()
-        .map(|t| t.true_pfd_per_round.iter().cloned().fold(f64::INFINITY, f64::min))
+        .map(|t| {
+            t.true_pfd_per_round
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+        })
         .collect();
     let start = trajectories[0].true_pfd_per_round[0];
     let reachable = best_pfds.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -185,5 +209,5 @@ fn main() {
          detections (and retraining weights) concentrate on the demands the\n\
          OP will actually issue — the paper's headline claim."
     );
-    dump_json("exp7_budget_to_target", &trajectories);
+    run.finish(&trajectories);
 }

@@ -10,7 +10,10 @@
 //! Run with: `cargo run --release -p opad-bench --bin exp8_op_learning`
 
 use opad_bench::campaign::CampaignParams;
-use opad_bench::{attack_campaign, build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig, Method};
+use opad_bench::{
+    attack_campaign, build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun,
+    Method,
+};
 use opad_data::{gaussian_clusters, GaussianClustersConfig};
 use opad_opmodel::{learn_op_gmm, learn_op_kde, tv_distance, Density};
 use rand::rngs::StdRng;
@@ -49,10 +52,22 @@ fn main() {
     };
     let mut rng = StdRng::seed_from_u64(800);
     let holdout = gaussian_clusters(&gcfg, 600, &base.truth_class_probs, &mut rng).unwrap();
+    let mut run = ExpRun::begin(
+        "exp8_op_learning",
+        &serde_json::json!({
+            "world": cfg,
+            "sample_sweep": [50, 150, 500, 1500],
+            "downstream_budget": 120,
+        }),
+    );
 
     println!("## E8a — OP estimation quality vs field-sample size\n");
     print_header(&[
-        "samples", "TV(class)", "GMM holdout ll", "KDE holdout ll", "truth ll",
+        "samples",
+        "TV(class)",
+        "GMM holdout ll",
+        "KDE holdout ll",
+        "truth ll",
     ]);
     let truth_ll = mean_ll(&base.truth, &holdout);
     let mut rows_a = Vec::new();
@@ -79,18 +94,26 @@ fn main() {
             truth_holdout_ll: truth_ll,
         });
     }
-    dump_json("exp8a_op_quality", &rows_a);
+    run.section("op_quality", &rows_a);
 
     println!("\n## E8b — downstream detection with learned vs true OP (opad, 120 seeds)\n");
     print_header(&["OP source", "samples", "AEs", "op-mass"]);
     let mut rows_b = Vec::new();
-    for (label, n) in [("learned", 50usize), ("learned", 150), ("learned", 1500), ("truth", 0)] {
+    for (label, n) in [
+        ("learned", 50usize),
+        ("learned", 150),
+        ("learned", 1500),
+        ("truth", 0),
+    ] {
         let density = if label == "truth" {
             base.truth.clone()
         } else {
             let idx: Vec<usize> = (0..n).collect();
             let sub = base.field.select(&idx).unwrap();
-            learn_op_gmm(&sub, 3, 20, &mut rng).unwrap().density().clone()
+            learn_op_gmm(&sub, 3, 20, &mut rng)
+                .unwrap()
+                .density()
+                .clone()
         };
         let mut net = base.net.clone();
         let mut run_rng = StdRng::seed_from_u64(801);
@@ -130,7 +153,8 @@ fn main() {
          OP approaches the ground-truth ceiling once a few hundred field samples\n\
          are available — RQ1 is learnable at modest cost."
     );
-    dump_json("exp8b_downstream", &rows_b);
+    run.section("downstream", &rows_b);
+    run.finish_sections();
 }
 
 fn mean_ll<D: Density>(d: &D, data: &opad_data::Dataset) -> f64 {

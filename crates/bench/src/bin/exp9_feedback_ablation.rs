@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release -p opad-bench --bin exp9_feedback_ablation`
 
 use opad_attack::{NormBall, Pgd};
-use opad_bench::{build_cluster_world, dump_json, print_header, print_row, ClusterWorldConfig};
+use opad_bench::{build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun};
 use opad_core::{LoopConfig, RetrainConfig, SeedWeighting, TestingLoop};
 use opad_reliability::ReliabilityTarget;
 use rand::rngs::StdRng;
@@ -34,6 +34,10 @@ fn main() {
     };
     let base = build_cluster_world(&cfg);
     let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 12, 0.06).unwrap();
+    let run = ExpRun::begin(
+        "exp9_feedback_ablation",
+        &serde_json::json!({ "world": cfg, "rounds": 4, "seeds_per_round": 40 }),
+    );
     let mut rows = Vec::new();
 
     println!("## E9 — ablations of the loop's design choices\n");
@@ -98,5 +102,5 @@ fn main() {
          design (a conservative, robustness-aware claim); turning it off\n\
          reveals the operational-demand-only estimate."
     );
-    dump_json("exp9_feedback_ablation", &rows);
+    run.finish(&rows);
 }

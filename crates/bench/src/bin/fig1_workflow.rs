@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release -p opad-bench --bin fig1_workflow`
 
 use opad_attack::{DensityNaturalness, NaturalFuzz, NormBall};
-use opad_bench::{build_cluster_world, ClusterWorldConfig};
+use opad_bench::{build_cluster_world, ClusterWorldConfig, ExpRun};
 use opad_core::{LoopConfig, RetrainConfig, SeedWeighting, TestingLoop};
 use opad_reliability::ReliabilityTarget;
 use rand::rngs::StdRng;
@@ -19,6 +19,10 @@ fn main() {
         n_field: 800,
         ..Default::default()
     };
+    let run = ExpRun::begin(
+        "fig1_workflow",
+        &serde_json::json!({ "world": cfg, "max_rounds": 6, "target_pfd": 0.10 }),
+    );
     println!("┌─ Step 1 (RQ1): learn the operational profile ─────────────────┐");
     let base = build_cluster_world(&cfg);
     println!(
@@ -78,15 +82,23 @@ fn main() {
             break;
         }
         println!("\n═══ loop iteration {round} ═══");
-        println!("┌─ Step 2 (RQ2): weight-based seed sampling (op×margin{}) ─┐",
-            if round > 0 { " × cell-priority feedback" } else { "" });
+        println!(
+            "┌─ Step 2 (RQ2): weight-based seed sampling (op×margin{}) ─┐",
+            if round > 0 {
+                " × cell-priority feedback"
+            } else {
+                ""
+            }
+        );
         let report = lp
             .run_round(&base.field, &base.train, &attack, &mut rng)
             .unwrap();
         println!("│ attacked {} seeds", report.seeds_attacked);
         println!("└─ Step 3 (RQ3): naturalness-guided fuzzing ──────────────────┘");
-        println!("   detected {} operational AEs (cumulative op-mass {:.3})",
-            report.aes_found, report.op_mass_detected);
+        println!(
+            "   detected {} operational AEs (cumulative op-mass {:.3})",
+            report.aes_found, report.op_mass_detected
+        );
         println!("┌─ Step 5 (RQ5): reliability assessment ──────────────────────┐");
         println!(
             "│ pfd mean {:.4}, 90% upper bound {:.4}, operational accuracy {:.3}",
@@ -112,4 +124,5 @@ fn main() {
     if let Some(imp) = lp.timeline().improvement() {
         println!("pfd improvement first→last round: {:.1}%", imp * 100.0);
     }
+    run.finish(lp.timeline().rounds());
 }

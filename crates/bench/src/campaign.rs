@@ -1,9 +1,7 @@
 //! Attack campaigns: run one test-generation method over a seed budget
 //! and score what it found on the operational yardsticks.
 
-use opad_attack::{
-    Attack, DensityNaturalness, Fgsm, NaturalFuzz, NormBall, Pgd, RandomFuzz,
-};
+use opad_attack::{Attack, DensityNaturalness, Fgsm, NaturalFuzz, NormBall, Pgd, RandomFuzz};
 use opad_core::{classify_outcome, AeCorpus, SeedSampler, SeedWeighting};
 use opad_data::Dataset;
 use opad_nn::Network;
@@ -90,7 +88,7 @@ pub struct CampaignResult {
 }
 
 /// Shared attack hyperparameters for a campaign sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct CampaignParams {
     /// Perturbation radius (L∞).
     pub epsilon: f32,
@@ -172,17 +170,21 @@ pub fn attack_campaign(
     let seeds = sampler.sample(&weights, budget, rng).unwrap();
 
     let attack: Box<dyn Attack> = match method {
-        Method::UniformRandom => {
-            Box::new(RandomFuzz::new(ball, params.steps * 2).unwrap())
-        }
+        Method::UniformRandom => Box::new(RandomFuzz::new(ball, params.steps * 2).unwrap()),
         Method::UniformFgsm => Box::new(Fgsm::new(params.epsilon).unwrap()),
         Method::UniformPgd | Method::OpPgd => {
             Box::new(Pgd::new(ball, params.steps, params.step_size).unwrap())
         }
         Method::Opad => Box::new(
-            NaturalFuzz::new(&naturalness, ball, params.steps, params.step_size, params.lambda)
-                .unwrap()
-                .with_restarts(2),
+            NaturalFuzz::new(
+                &naturalness,
+                ball,
+                params.steps,
+                params.step_size,
+                params.lambda,
+            )
+            .unwrap()
+            .with_restarts(2),
         ),
     };
 
@@ -234,8 +236,7 @@ mod tests {
 
     #[test]
     fn methods_have_distinct_names_and_expected_weightings() {
-        let names: std::collections::HashSet<_> =
-            Method::all().iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> = Method::all().iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 5);
         assert_eq!(Method::UniformPgd.weighting(), SeedWeighting::Uniform);
         assert_eq!(Method::Opad.weighting(), SeedWeighting::OpTimesMargin);

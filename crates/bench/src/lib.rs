@@ -11,9 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod report;
 pub mod world;
 
 pub use campaign::{attack_campaign, density_percentile, CampaignResult, Method};
+pub use report::{run_id, ExpRun, REPORT_SCHEMA_VERSION};
 pub use world::{build_cluster_world, build_glyph_world, ClusterWorldConfig, World};
 
 use parking_lot::Mutex;
@@ -70,7 +72,10 @@ pub fn print_row(cells: &[String]) {
 /// Prints a table header plus separator.
 pub fn print_header(cols: &[&str]) {
     print_row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Serialises an experiment's result payload to `results/<name>.json`

@@ -1,0 +1,150 @@
+//! Uniform result envelopes for the experiment binaries.
+//!
+//! Every `exp*` binary wraps its run in an [`ExpRun`]: `begin` installs a
+//! telemetry recorder streaming span events to
+//! `results/<experiment>_trace.jsonl`, and `finish` writes
+//! `results/<experiment>.json` as a schema-versioned envelope carrying the
+//! run id, the full experiment config, the telemetry summary (wall-clock
+//! per stage, events/sec) and the result rows — so every artefact is
+//! self-describing and reproducible.
+
+use opad_telemetry::{self as telemetry, JsonlSink, MetricsRecorder, Summary};
+use serde::Serialize;
+use serde_json::{json, Value};
+use std::path::Path;
+use std::process::Command;
+use std::sync::Arc;
+
+/// Version of the `results/<exp>.json` envelope layout, bumped on any
+/// breaking change to the envelope fields.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// A `git describe --always --dirty` style identifier of the working tree
+/// that produced a result, or `"unknown"` outside a git checkout.
+pub fn run_id() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One experiment run: telemetry wiring plus the result envelope.
+///
+/// ```no_run
+/// use opad_bench::ExpRun;
+///
+/// let run = ExpRun::begin("exp0_demo", &serde_json::json!({"budget": 100}));
+/// let rows = vec![1, 2, 3];
+/// run.finish(&rows); // writes results/exp0_demo.json + _trace.jsonl
+/// ```
+pub struct ExpRun {
+    experiment: String,
+    recorder: Arc<MetricsRecorder>,
+    config: Value,
+    sections: Vec<(String, Value)>,
+}
+
+impl ExpRun {
+    /// Starts an experiment: installs a global telemetry recorder whose
+    /// span events stream to `results/<experiment>_trace.jsonl` (best
+    /// effort — aggregation still works when the file cannot be created),
+    /// and stamps `config` into the final envelope.
+    pub fn begin<C: Serialize>(experiment: &str, config: &C) -> ExpRun {
+        let trace = Path::new("results").join(format!("{experiment}_trace.jsonl"));
+        let recorder = match JsonlSink::create(&trace) {
+            Ok(sink) => Arc::new(MetricsRecorder::with_sink(Arc::new(sink))),
+            Err(e) => {
+                eprintln!("warning: no trace file for {experiment}: {e}");
+                Arc::new(MetricsRecorder::new())
+            }
+        };
+        telemetry::install(recorder.clone());
+        ExpRun {
+            experiment: experiment.to_string(),
+            recorder,
+            config: serde_json::to_value(config).unwrap_or(Value::Null),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a named result section to the envelope (for experiments that
+    /// produce more than one table, e.g. exp8's `op_quality` and
+    /// `downstream`).
+    pub fn section<T: Serialize + ?Sized>(&mut self, name: &str, rows: &T) {
+        self.sections.push((
+            name.to_string(),
+            serde_json::to_value(rows).unwrap_or(Value::Null),
+        ));
+    }
+
+    /// Finishes a single-table experiment: the common case. Equivalent to
+    /// `section("rows", rows)` + [`ExpRun::finish_sections`].
+    pub fn finish<T: Serialize + ?Sized>(mut self, rows: &T) {
+        self.section("rows", rows);
+        self.finish_sections();
+    }
+
+    /// Uninstalls telemetry, flushes the trace (aggregates become the
+    /// trailing summary events), writes the envelope to
+    /// `results/<experiment>.json` and prints the per-stage wall-clock
+    /// summary.
+    pub fn finish_sections(self) {
+        telemetry::uninstall();
+        self.recorder.flush_summary();
+        let summary = self.recorder.summary();
+        let telemetry_json: Value = serde_json::from_str(&summary.to_json()).unwrap_or(Value::Null);
+        let mut envelope = json!({
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "run_id": run_id(),
+            "config": self.config,
+            "telemetry": telemetry_json,
+        });
+        if let Value::Object(map) = &mut envelope {
+            for (name, rows) in self.sections {
+                map.insert(name, rows);
+            }
+        }
+        crate::dump_json(&self.experiment, &envelope);
+        print_summary(&summary);
+    }
+}
+
+/// Prints the run's stage timing: one line per span name plus the
+/// whole-run throughput.
+fn print_summary(s: &Summary) {
+    println!(
+        "\ntelemetry: {:.0} ms wall, {} events ({:.0} events/s)",
+        s.wall_ms,
+        s.events,
+        s.events_per_sec()
+    );
+    for r in &s.spans {
+        println!(
+            "  {:<14} x{:<6} total {:>10.1} ms   p50 {:>8.2} ms   p99 {:>8.2} ms",
+            r.name, r.count, r.total_ms, r.p50_ms, r.p99_ms
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_id_is_nonempty() {
+        assert!(!run_id().is_empty());
+    }
+
+    #[test]
+    fn schema_version_is_stamped_into_the_envelope_shape() {
+        // The envelope layout is exercised end-to-end by the binaries; here
+        // just pin the version constant so bumps are deliberate.
+        assert_eq!(REPORT_SCHEMA_VERSION, 1);
+    }
+}

@@ -12,9 +12,10 @@ use opad_opmodel::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
 
 /// Configuration of a Gaussian-clusters experiment world.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ClusterWorldConfig {
     /// RNG seed.
     pub seed: u64,
@@ -93,10 +94,20 @@ pub fn build_cluster_world(cfg: &ClusterWorldConfig) -> World {
         std: cfg.std,
     };
     let truth_class_probs = zipf_probs(cfg.num_classes, cfg.zipf_s);
-    let train =
-        gaussian_clusters(&gcfg, cfg.n_train, &uniform_probs(cfg.num_classes), &mut rng).unwrap();
-    let test =
-        gaussian_clusters(&gcfg, cfg.n_field, &uniform_probs(cfg.num_classes), &mut rng).unwrap();
+    let train = gaussian_clusters(
+        &gcfg,
+        cfg.n_train,
+        &uniform_probs(cfg.num_classes),
+        &mut rng,
+    )
+    .unwrap();
+    let test = gaussian_clusters(
+        &gcfg,
+        cfg.n_field,
+        &uniform_probs(cfg.num_classes),
+        &mut rng,
+    )
+    .unwrap();
     let field = gaussian_clusters(&gcfg, cfg.n_field, &truth_class_probs, &mut rng).unwrap();
     let mut net = Network::mlp(&[2, 24, cfg.num_classes], Activation::Relu, &mut rng).unwrap();
     Trainer::new(TrainConfig::new(cfg.epochs, 32), Optimizer::adam(0.01))
@@ -142,7 +153,14 @@ pub fn build_glyph_world(
     zipf_s: f64,
     n_train: usize,
     n_field: usize,
-) -> (Network, Dataset, Dataset, CentroidPartition, Vec<f64>, Vec<f64>) {
+) -> (
+    Network,
+    Dataset,
+    Dataset,
+    CentroidPartition,
+    Vec<f64>,
+    Vec<f64>,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let gcfg = GlyphConfig {
         num_classes,

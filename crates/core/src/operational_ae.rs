@@ -193,7 +193,9 @@ mod tests {
 
     #[test]
     fn corpus_statistics() {
-        let corpus: AeCorpus = vec![ae(0, -1.0), ae(0, -2.0), ae(2, -3.0)].into_iter().collect();
+        let corpus: AeCorpus = vec![ae(0, -1.0), ae(0, -2.0), ae(2, -3.0)]
+            .into_iter()
+            .collect();
         assert_eq!(corpus.len(), 3);
         assert!(!corpus.is_empty());
         assert_eq!(corpus.distinct_cells().len(), 2);
@@ -237,8 +239,8 @@ mod tests {
         )
         .unwrap();
         let seed = Tensor::from_slice(&[0.9, 0.0]);
-        let success = AttackOutcome::from_candidate(&seed, Tensor::from_slice(&[1.1, 0.0]), 1, 0, 5)
-            .unwrap();
+        let success =
+            AttackOutcome::from_candidate(&seed, Tensor::from_slice(&[1.1, 0.0]), 1, 0, 5).unwrap();
         let detected = classify_outcome(3, &seed, 0, &success, &density, &partition)
             .unwrap()
             .unwrap();
@@ -246,10 +248,11 @@ mod tests {
         assert_eq!(detected.cell, 1);
         assert!(detected.op_log_density.is_finite());
 
-        let failure =
-            AttackOutcome::from_candidate(&seed, seed.clone(), 0, 0, 5).unwrap();
-        assert!(classify_outcome(3, &seed, 0, &failure, &density, &partition)
-            .unwrap()
-            .is_none());
+        let failure = AttackOutcome::from_candidate(&seed, seed.clone(), 0, 0, 5).unwrap();
+        assert!(
+            classify_outcome(3, &seed, 0, &failure, &density, &partition)
+                .unwrap()
+                .is_none()
+        );
     }
 }

@@ -11,9 +11,11 @@ use opad_data::Dataset;
 use opad_nn::Network;
 use opad_opmodel::{CentroidPartition, Density, OperationalProfile, Partition};
 use opad_reliability::{Assessment, CellReliabilityModel, GrowthTimeline, ReliabilityTarget};
+use opad_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Configuration of the testing loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,8 +79,32 @@ impl LoopConfig {
     }
 }
 
+/// Wall-clock cost of one round, broken down by Fig. 1 step (all in
+/// milliseconds). Carried on [`RoundReport`] so experiment outputs show
+/// where each round's budget went.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StepDurations {
+    /// Step 2: weight computation + seed sampling.
+    pub sample_seeds_ms: f64,
+    /// Step 3: per-seed attacks / fuzzing.
+    pub fuzz_ms: f64,
+    /// Step 5a: operational evaluation (statistical testing).
+    pub evaluate_ms: f64,
+    /// Step 5b: reliability claim (posterior + MC upper bound).
+    pub assess_ms: f64,
+    /// Step 4: retraining on the cumulative corpus (0 when skipped).
+    pub retrain_ms: f64,
+}
+
+impl StepDurations {
+    /// Sum of the per-step durations.
+    pub fn total_ms(&self) -> f64 {
+        self.sample_seeds_ms + self.fuzz_ms + self.evaluate_ms + self.assess_ms + self.retrain_ms
+    }
+}
+
 /// Summary of one loop round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Round index.
     pub round: usize,
@@ -97,6 +123,28 @@ pub struct RoundReport {
     pub op_accuracy: f64,
     /// Whether the reliability target was met (testing stops).
     pub target_met: bool,
+    /// Wall-clock duration of the whole round in milliseconds.
+    #[serde(default)]
+    pub wall_ms: f64,
+    /// Per-step wall-clock breakdown.
+    #[serde(default)]
+    pub step_ms: StepDurations,
+}
+
+/// Equality ignores the timing fields (`wall_ms`, `step_ms`): two reports
+/// are equal when the *testing outcome* matches, so determinism checks
+/// stay meaningful across machines and runs.
+impl PartialEq for RoundReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round
+            && self.seeds_attacked == other.seeds_attacked
+            && self.aes_found == other.aes_found
+            && self.op_mass_detected == other.op_mass_detected
+            && self.pfd_mean == other.pfd_mean
+            && self.pfd_upper == other.pfd_upper
+            && self.op_accuracy == other.op_accuracy
+            && self.target_met == other.target_met
+    }
 }
 
 /// The operational adversarial testing loop (the paper's contribution,
@@ -249,80 +297,126 @@ impl<D: Density> TestingLoop<D> {
         rng: &mut StdRng,
     ) -> Result<RoundReport, PipelineError> {
         let round = self.rounds_run;
+        let round_start = Instant::now();
+        let _round_span = telemetry::span("round");
+        let mut step_ms = StepDurations::default();
+
         // ---- Step 2: weight-based seed sampling. ----
-        let mut weights = self
-            .sampler
-            .weights(&mut self.net, seed_pool, Some(self.op.density()))?;
-        if self.config.priority_feedback && round > 0 {
-            let priority = self.reliability.cell_priority();
-            self.sampler
-                .apply_cell_priority(&mut weights, seed_pool, &self.partition, &priority)?;
-        }
-        let k = self.config.seeds_per_round.min(seed_pool.len());
-        let seed_idx = self.sampler.sample(&weights, k, rng)?;
+        let step_start = Instant::now();
+        let seed_idx = {
+            let _span = telemetry::span("sample_seeds");
+            let mut weights =
+                self.sampler
+                    .weights(&mut self.net, seed_pool, Some(self.op.density()))?;
+            if self.config.priority_feedback && round > 0 {
+                let priority = self.reliability.cell_priority();
+                self.sampler.apply_cell_priority(
+                    &mut weights,
+                    seed_pool,
+                    &self.partition,
+                    &priority,
+                )?;
+            }
+            let k = self.config.seeds_per_round.min(seed_pool.len());
+            self.sampler.sample(&weights, k, rng)?
+        };
+        let k = seed_idx.len();
+        step_ms.sample_seeds_ms = telemetry::ms_since(step_start);
 
         // ---- Step 3: naturalness-guided fuzzing around each seed. ----
+        let step_start = Instant::now();
         let mut round_corpus = AeCorpus::new();
         let d = seed_pool.feature_dim();
-        for &i in &seed_idx {
-            let (seed, label) = seed_pool.sample(i)?;
-            let outcome = attack.run(&mut self.net, &seed, label, rng)?;
-            // The seed itself is an operational demand.
-            let seed_cell = self
-                .partition
-                .cell_of(&seed_pool.features().as_slice()[i * d..(i + 1) * d])?;
-            let seed_pred = {
-                let batch = seed.reshape(&[1, d])?;
-                self.net.predict_labels(&batch)?[0]
-            };
-            self.reliability.observe(seed_cell, seed_pred != label)?;
-            if let Some(ae) =
-                classify_outcome(i, &seed, label, &outcome, self.op.density(), &self.partition)?
-            {
-                if self.config.ae_evidence {
-                    self.reliability.observe(ae.cell, true)?;
+        {
+            let _span = telemetry::span("fuzz");
+            for &i in &seed_idx {
+                let (seed, label) = seed_pool.sample(i)?;
+                let outcome = attack.run(&mut self.net, &seed, label, rng)?;
+                // The seed itself is an operational demand.
+                let seed_cell = self
+                    .partition
+                    .cell_of(&seed_pool.features().as_slice()[i * d..(i + 1) * d])?;
+                let seed_pred = {
+                    let batch = seed.reshape(&[1, d])?;
+                    self.net.predict_labels(&batch)?[0]
+                };
+                self.reliability.observe(seed_cell, seed_pred != label)?;
+                if let Some(ae) = classify_outcome(
+                    i,
+                    &seed,
+                    label,
+                    &outcome,
+                    self.op.density(),
+                    &self.partition,
+                )? {
+                    if self.config.ae_evidence {
+                        self.reliability.observe(ae.cell, true)?;
+                    }
+                    round_corpus.push(ae);
                 }
-                round_corpus.push(ae);
             }
         }
+        step_ms.fuzz_ms = telemetry::ms_since(step_start);
         let aes_found = round_corpus.len();
+        telemetry::counter_add("pipeline.seeds_attacked", k as u64);
+        telemetry::counter_add("pipeline.aes_found", aes_found as u64);
+        telemetry::counter_add(
+            "pipeline.cells_hit",
+            round_corpus.distinct_cells().len() as u64,
+        );
         self.corpus.extend_from(&round_corpus);
 
         // ---- Step 5a: operational evaluation (statistical testing). ----
-        let mut correct = 0usize;
-        for _ in 0..self.config.eval_per_round {
-            let i = rng.gen_range(0..field_data.len());
-            let (x, label) = field_data.sample(i)?;
-            let cell = self.partition.cell_of(x.as_slice())?;
-            let pred = {
-                let batch = x.reshape(&[1, d])?;
-                self.net.predict_labels(&batch)?[0]
-            };
-            let failed = pred != label;
-            self.reliability.observe(cell, failed)?;
-            if !failed {
-                correct += 1;
+        let step_start = Instant::now();
+        let op_accuracy = {
+            let _span = telemetry::span("evaluate");
+            let mut correct = 0usize;
+            for _ in 0..self.config.eval_per_round {
+                let i = rng.gen_range(0..field_data.len());
+                let (x, label) = field_data.sample(i)?;
+                let cell = self.partition.cell_of(x.as_slice())?;
+                let pred = {
+                    let batch = x.reshape(&[1, d])?;
+                    self.net.predict_labels(&batch)?[0]
+                };
+                let failed = pred != label;
+                self.reliability.observe(cell, failed)?;
+                if !failed {
+                    correct += 1;
+                }
             }
-        }
-        let op_accuracy = correct as f64 / self.config.eval_per_round as f64;
+            correct as f64 / self.config.eval_per_round as f64
+        };
+        step_ms.evaluate_ms = telemetry::ms_since(step_start);
 
         // ---- Step 5b: reliability claim and stopping rule. ----
-        let pfd_mean = self.reliability.pfd_mean();
-        let pfd_upper = self
-            .reliability
-            .pfd_upper_bound(self.timeline.target().confidence, self.config.mc_samples, rng)?;
-        self.timeline.record(Assessment {
-            round,
-            pfd_mean,
-            pfd_upper,
-            tests_spent: k + self.config.eval_per_round,
-            aes_found,
-        })?;
-        let target_met = self.timeline.target_met();
+        let step_start = Instant::now();
+        let (pfd_mean, pfd_upper, target_met) = {
+            let _span = telemetry::span("assess");
+            let pfd_mean = self.reliability.pfd_mean();
+            let pfd_upper = self.reliability.pfd_upper_bound(
+                self.timeline.target().confidence,
+                self.config.mc_samples,
+                rng,
+            )?;
+            self.timeline.record(Assessment {
+                round,
+                pfd_mean,
+                pfd_upper,
+                tests_spent: k + self.config.eval_per_round,
+                aes_found,
+            })?;
+            (pfd_mean, pfd_upper, self.timeline.target_met())
+        };
+        step_ms.assess_ms = telemetry::ms_since(step_start);
+        telemetry::gauge_set("pipeline.pfd_mean", pfd_mean);
+        telemetry::gauge_set("pipeline.pfd_upper", pfd_upper);
 
         // ---- Step 4: retrain on the cumulative corpus (skipped once the
         // target is met — testing stops). ----
+        let step_start = Instant::now();
         if !target_met {
+            let _span = telemetry::span("retrain");
             retrain_with_aes(
                 &mut self.net,
                 train_data,
@@ -333,6 +427,7 @@ impl<D: Density> TestingLoop<D> {
             )?;
             // Evidence gathered against the old model no longer applies.
             self.reliability = CellReliabilityModel::new(self.cell_op.clone())?;
+            step_ms.retrain_ms = telemetry::ms_since(step_start);
         }
 
         self.rounds_run += 1;
@@ -345,6 +440,8 @@ impl<D: Density> TestingLoop<D> {
             pfd_upper,
             op_accuracy,
             target_met,
+            wall_ms: telemetry::ms_since(round_start),
+            step_ms,
         })
     }
 
@@ -471,15 +568,8 @@ mod tests {
     fn one_round_produces_a_report() {
         let f = fixture();
         let target = ReliabilityTarget::new(1e-4, 0.95).unwrap(); // hard target: won't stop
-        let mut lp = TestingLoop::new(
-            f.net,
-            f.op,
-            f.partition,
-            &f.field,
-            target,
-            small_config(),
-        )
-        .unwrap();
+        let mut lp =
+            TestingLoop::new(f.net, f.op, f.partition, &f.field, target, small_config()).unwrap();
         let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap();
         let mut r = rng();
         let report = lp.run_round(&f.field, &f.train, &attack, &mut r).unwrap();
@@ -491,21 +581,19 @@ mod tests {
         assert_eq!(lp.timeline().rounds().len(), 1);
         // OP mass detected is a probability.
         assert!((0.0..=1.0).contains(&report.op_mass_detected));
+        // Timing is populated and self-consistent: the steps make up the
+        // round, so their sum cannot exceed its wall time.
+        assert!(report.wall_ms > 0.0);
+        assert!(report.step_ms.fuzz_ms > 0.0);
+        assert!(report.step_ms.total_ms() <= report.wall_ms);
     }
 
     #[test]
     fn full_run_respects_max_rounds_and_orders_reports() {
         let f = fixture();
         let target = ReliabilityTarget::new(1e-6, 0.99).unwrap(); // unreachable
-        let mut lp = TestingLoop::new(
-            f.net,
-            f.op,
-            f.partition,
-            &f.field,
-            target,
-            small_config(),
-        )
-        .unwrap();
+        let mut lp =
+            TestingLoop::new(f.net, f.op, f.partition, &f.field, target, small_config()).unwrap();
         let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 8, 0.08).unwrap();
         let mut r = rng();
         let reports = lp.run(&f.field, &f.train, &attack, &mut r).unwrap();
@@ -585,8 +673,7 @@ mod tests {
         // Drifted field data: heavily skewed to another class.
         let cfg = GaussianClustersConfig::default();
         let mut r2 = StdRng::seed_from_u64(77);
-        let drifted =
-            gaussian_clusters(&cfg, 400, &[0.05, 0.15, 0.8], &mut r2).unwrap();
+        let drifted = gaussian_clusters(&cfg, 400, &[0.05, 0.15, 0.8], &mut r2).unwrap();
         lp.update_profile(f.op, &drifted).unwrap();
         assert_eq!(lp.corpus().len(), corpus_before, "corpus survives drift");
         assert_ne!(lp.cell_op(), &old_cell_op[..], "cell OP refreshed");
@@ -613,15 +700,9 @@ mod tests {
         let run = || {
             let f = fixture();
             let target = ReliabilityTarget::new(1e-4, 0.95).unwrap();
-            let mut lp = TestingLoop::new(
-                f.net,
-                f.op,
-                f.partition,
-                &f.field,
-                target,
-                small_config(),
-            )
-            .unwrap();
+            let mut lp =
+                TestingLoop::new(f.net, f.op, f.partition, &f.field, target, small_config())
+                    .unwrap();
             let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap();
             let mut r = rng();
             lp.run_round(&f.field, &f.train, &attack, &mut r).unwrap()

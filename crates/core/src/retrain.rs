@@ -180,13 +180,7 @@ mod tests {
         let mut net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut r).unwrap();
         let mut trainer = Trainer::new(TrainConfig::new(15, 32), Optimizer::adam(0.01));
         trainer
-            .fit(
-                &mut net,
-                data.features(),
-                data.labels(),
-                None,
-                &mut r,
-            )
+            .fit(&mut net, data.features(), data.labels(), None, &mut r)
             .unwrap();
         (net, data)
     }

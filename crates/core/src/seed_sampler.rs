@@ -164,11 +164,7 @@ impl SeedSampler {
     ) -> Result<(), PipelineError> {
         if weights.len() != data.len() {
             return Err(PipelineError::InvalidConfig {
-                reason: format!(
-                    "{} weights for {} samples",
-                    weights.len(),
-                    data.len()
-                ),
+                reason: format!("{} weights for {} samples", weights.len(), data.len()),
             });
         }
         if priority.len() != partition.num_cells() {
@@ -250,11 +246,7 @@ mod tests {
 
     fn toy_data() -> Dataset {
         // Four points: two near origin, two far away.
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.1, 0.1, 5.0, 5.0, 6.0, 5.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.1, 0.1, 5.0, 5.0, 6.0, 5.0], &[4, 2]).unwrap();
         Dataset::new(x, vec![0, 0, 1, 1], 2).unwrap()
     }
 

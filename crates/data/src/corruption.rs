@@ -135,7 +135,10 @@ impl Corruption {
                 out
             }
             Corruption::Dropout { rate } => x.map(|v| v).zip_with(
-                &Tensor::from_fn(x.dims(), |_| if rng.gen::<f32>() < rate { 0.0 } else { 1.0 }),
+                &Tensor::from_fn(
+                    x.dims(),
+                    |_| if rng.gen::<f32>() < rate { 0.0 } else { 1.0 },
+                ),
                 |v, m| v * m,
             )?,
         };
@@ -219,9 +222,15 @@ mod tests {
         }
         .validate(4)
         .is_err());
-        assert!(Corruption::Occlusion { size: 3, patch: 1 }.validate(8).is_err());
-        assert!(Corruption::Occlusion { size: 3, patch: 4 }.validate(9).is_err());
-        assert!(Corruption::Occlusion { size: 3, patch: 0 }.validate(9).is_err());
+        assert!(Corruption::Occlusion { size: 3, patch: 1 }
+            .validate(8)
+            .is_err());
+        assert!(Corruption::Occlusion { size: 3, patch: 4 }
+            .validate(9)
+            .is_err());
+        assert!(Corruption::Occlusion { size: 3, patch: 0 }
+            .validate(9)
+            .is_err());
         assert!(Corruption::Dropout { rate: 1.5 }.validate(4).is_err());
         assert!(Corruption::Dropout { rate: 0.5 }.validate(4).is_ok());
     }
@@ -284,11 +293,17 @@ mod tests {
     fn dropout_rate_zero_and_one() {
         let mut r = rng();
         let x = Tensor::ones(&[100]);
-        let y = Corruption::Dropout { rate: 0.0 }.apply_one(&x, &mut r).unwrap();
+        let y = Corruption::Dropout { rate: 0.0 }
+            .apply_one(&x, &mut r)
+            .unwrap();
         assert_eq!(x, y);
-        let y = Corruption::Dropout { rate: 1.0 }.apply_one(&x, &mut r).unwrap();
+        let y = Corruption::Dropout { rate: 1.0 }
+            .apply_one(&x, &mut r)
+            .unwrap();
         assert_eq!(y.sum(), 0.0);
-        let y = Corruption::Dropout { rate: 0.3 }.apply_one(&x, &mut r).unwrap();
+        let y = Corruption::Dropout { rate: 0.3 }
+            .apply_one(&x, &mut r)
+            .unwrap();
         let kept = y.sum() / 100.0;
         assert!((kept - 0.7).abs() < 0.15, "kept fraction {kept}");
     }
@@ -309,7 +324,9 @@ mod tests {
             .unwrap();
         assert_eq!(occluded.len(), ds.len());
         // Bad geometry rejected at the dataset level too.
-        assert!(Corruption::Occlusion { size: 5, patch: 2 }.apply(&ds, &mut r).is_err());
+        assert!(Corruption::Occlusion { size: 5, patch: 2 }
+            .apply(&ds, &mut r)
+            .is_err());
     }
 
     #[test]
@@ -327,7 +344,10 @@ mod tests {
 
     #[test]
     fn corruption_names() {
-        assert_eq!(Corruption::GaussianNoise { std: 0.1 }.name(), "gaussian-noise");
+        assert_eq!(
+            Corruption::GaussianNoise { std: 0.1 }.name(),
+            "gaussian-noise"
+        );
         assert_eq!(Corruption::Dropout { rate: 0.1 }.name(), "dropout");
     }
 

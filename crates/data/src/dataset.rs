@@ -35,7 +35,11 @@ impl Dataset {
     ///
     /// Fails when `features` is not rank-2, lengths disagree, or a label is
     /// `≥ num_classes`.
-    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DataError> {
+    pub fn new(
+        features: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DataError> {
         if features.rank() != 2 {
             return Err(DataError::InvalidConfig {
                 reason: format!("features must be rank 2, got rank {}", features.rank()),
@@ -155,7 +159,11 @@ impl Dataset {
     /// # Errors
     ///
     /// Fails unless `0 < train_frac < 1` yields nonempty parts.
-    pub fn split(&self, train_frac: f64, rng: &mut impl Rng) -> Result<(Dataset, Dataset), DataError> {
+    pub fn split(
+        &self,
+        train_frac: f64,
+        rng: &mut impl Rng,
+    ) -> Result<(Dataset, Dataset), DataError> {
         let n = self.len();
         let n_train = (n as f64 * train_frac).round() as usize;
         if n_train == 0 || n_train >= n {

@@ -74,7 +74,10 @@ impl GlyphConfig {
         }
         if self.noise_std < 0.0 || !self.noise_std.is_finite() {
             return Err(DataError::InvalidConfig {
-                reason: format!("noise_std must be finite and nonnegative, got {}", self.noise_std),
+                reason: format!(
+                    "noise_std must be finite and nonnegative, got {}",
+                    self.noise_std
+                ),
             });
         }
         Ok(())
@@ -128,7 +131,11 @@ impl Canvas {
 /// # Errors
 ///
 /// Fails on an invalid config or `class ≥ num_classes`.
-pub fn render_glyph(cfg: &GlyphConfig, class: usize, rng: &mut impl Rng) -> Result<Tensor, DataError> {
+pub fn render_glyph(
+    cfg: &GlyphConfig,
+    class: usize,
+    rng: &mut impl Rng,
+) -> Result<Tensor, DataError> {
     cfg.validate()?;
     if class >= cfg.num_classes {
         return Err(DataError::LabelOutOfRange {

@@ -91,7 +91,11 @@ pub fn gaussian_clusters(
         }
         labels.push(cls);
     }
-    Dataset::new(Tensor::from_vec(data, &[n, cfg.dim])?, labels, cfg.num_classes)
+    Dataset::new(
+        Tensor::from_vec(data, &[n, cfg.dim])?,
+        labels,
+        cfg.num_classes,
+    )
 }
 
 /// Two interleaving half-moons (the classic nonlinear 2-class benchmark).

@@ -121,6 +121,8 @@ impl Conv2d {
         if training {
             self.cached_input = Some(x.clone());
         }
+        // One relaxed atomic load when telemetry is off.
+        let _timer = opad_telemetry::timer("nn.conv.forward_ms");
         let batch = x.dims()[0];
         let (oh, ow) = (self.out_h(), self.out_w());
         let fan_in = self.in_c * self.k * self.k;
@@ -309,8 +311,9 @@ impl MaxPool2d {
                         let mut best_off = 0usize;
                         for dy in 0..self.p {
                             for dx in 0..self.p {
-                                let off =
-                                    (c * self.in_h + oy * self.p + dy) * self.in_w + ox * self.p + dx;
+                                let off = (c * self.in_h + oy * self.p + dy) * self.in_w
+                                    + ox * self.p
+                                    + dx;
                                 if xrow[off] > best {
                                     best = xrow[off];
                                     best_off = off;
@@ -419,9 +422,9 @@ mod tests {
             xp.as_mut_slice()[j] += h;
             let mut xm = x.clone();
             xm.as_mut_slice()[j] -= h;
-            let num =
-                (conv.forward(&xp, false).unwrap().sum() - conv.forward(&xm, false).unwrap().sum())
-                    / (2.0 * h);
+            let num = (conv.forward(&xp, false).unwrap().sum()
+                - conv.forward(&xm, false).unwrap().sum())
+                / (2.0 * h);
             let ana = dx.as_slice()[j];
             assert!((num - ana).abs() < 0.05, "j={j}: {num} vs {ana}");
         }
@@ -481,7 +484,9 @@ mod tests {
         let mut pool = MaxPool2d::new(1, 2, 2, 2).unwrap();
         let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 2.0], &[1, 4]).unwrap();
         pool.forward(&x, true).unwrap();
-        let dx = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1]).unwrap()).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![5.0], &[1, 1]).unwrap())
+            .unwrap();
         assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
         pool.clear_cache();
         assert!(pool.backward(&Tensor::zeros(&[1, 1])).is_err());

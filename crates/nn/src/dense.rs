@@ -176,7 +176,11 @@ mod tests {
         let bad = Tensor::zeros(&[1, 3]);
         assert!(matches!(
             layer.forward(&bad, false),
-            Err(NnError::InputWidthMismatch { expected: 2, actual: 3, .. })
+            Err(NnError::InputWidthMismatch {
+                expected: 2,
+                actual: 3,
+                ..
+            })
         ));
     }
 

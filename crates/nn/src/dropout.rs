@@ -121,7 +121,10 @@ mod tests {
         // E[y] = 1; inverted dropout rescales survivors.
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Survivors are scaled by 2, dropped are 0.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

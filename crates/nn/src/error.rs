@@ -73,7 +73,10 @@ mod tests {
         assert!(e.to_string().contains("Dense"));
         assert!(e.to_string().contains('4'));
 
-        let e = NnError::LabelOutOfRange { label: 9, classes: 3 };
+        let e = NnError::LabelOutOfRange {
+            label: 9,
+            classes: 3,
+        };
         assert!(e.to_string().contains('9'));
 
         let e: NnError = TensorError::Empty { op: "max" }.into();

@@ -110,7 +110,10 @@ pub fn cross_entropy(
     let mut loss = 0.0f32;
     for (i, &y) in labels.iter().enumerate() {
         if y >= k {
-            return Err(NnError::LabelOutOfRange { label: y, classes: k });
+            return Err(NnError::LabelOutOfRange {
+                label: y,
+                classes: k,
+            });
         }
         let w = weights.map_or(1.0, |w| w[i]);
         let p = ps[i * k + y].max(1e-12);

@@ -33,10 +33,16 @@ impl ConfusionMatrix {
         let mut counts = vec![0u64; k * k];
         for (&t, &p) in truth.iter().zip(pred) {
             if t >= k {
-                return Err(NnError::LabelOutOfRange { label: t, classes: k });
+                return Err(NnError::LabelOutOfRange {
+                    label: t,
+                    classes: k,
+                });
             }
             if p >= k {
-                return Err(NnError::LabelOutOfRange { label: p, classes: k });
+                return Err(NnError::LabelOutOfRange {
+                    label: p,
+                    classes: k,
+                });
             }
             counts[t * k + p] += 1;
         }

@@ -1,7 +1,7 @@
 //! Sequential networks over an enum of layers.
 
-use crate::{ActivationLayer, Activation, Conv2d, Dense, Dropout, MaxPool2d, NnError};
 use crate::loss::{cross_entropy, softmax};
+use crate::{Activation, ActivationLayer, Conv2d, Dense, Dropout, MaxPool2d, NnError};
 use opad_tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -51,9 +51,9 @@ impl Layer {
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
         match self {
             Layer::Dense(l) => l.backward(grad_out),
-            Layer::Activation(l) => l
-                .backward(grad_out)
-                .ok_or(NnError::BackwardBeforeForward { layer: "Activation" }),
+            Layer::Activation(l) => l.backward(grad_out).ok_or(NnError::BackwardBeforeForward {
+                layer: "Activation",
+            }),
             Layer::Conv2d(l) => l.backward(grad_out),
             Layer::MaxPool2d(l) => l.backward(grad_out),
             Layer::Dropout(l) => l.backward(grad_out),
@@ -143,7 +143,11 @@ impl Network {
     ///
     /// Returns [`NnError::InvalidConfig`] when fewer than two dims are given
     /// or any dim is zero.
-    pub fn mlp(dims: &[usize], activation: Activation, rng: &mut impl Rng) -> Result<Self, NnError> {
+    pub fn mlp(
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Result<Self, NnError> {
         if dims.len() < 2 {
             return Err(NnError::InvalidConfig {
                 reason: "mlp needs at least input and output dims".into(),
@@ -416,11 +420,15 @@ mod tests {
             xm.as_mut_slice()[j] -= h;
             let lp = {
                 let logits = net.forward(&xp, false).unwrap();
-                crate::loss::cross_entropy(&logits, &labels, None).unwrap().loss
+                crate::loss::cross_entropy(&logits, &labels, None)
+                    .unwrap()
+                    .loss
             };
             let lm = {
                 let logits = net.forward(&xm, false).unwrap();
-                crate::loss::cross_entropy(&logits, &labels, None).unwrap().loss
+                crate::loss::cross_entropy(&logits, &labels, None)
+                    .unwrap()
+                    .loss
             };
             let num = (lp - lm) / (2.0 * h);
             let ana = gx.as_slice()[j];

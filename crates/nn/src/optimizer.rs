@@ -93,18 +93,18 @@ impl Optimizer {
     /// The current learning rate.
     pub fn learning_rate(&self) -> f32 {
         match self {
-            Optimizer::Sgd { lr, .. } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => {
-                *lr
-            }
+            Optimizer::Sgd { lr, .. }
+            | Optimizer::Momentum { lr, .. }
+            | Optimizer::Adam { lr, .. } => *lr,
         }
     }
 
     /// Overrides the learning rate (for schedules).
     pub fn set_learning_rate(&mut self, new_lr: f32) {
         match self {
-            Optimizer::Sgd { lr, .. } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => {
-                *lr = new_lr
-            }
+            Optimizer::Sgd { lr, .. }
+            | Optimizer::Momentum { lr, .. }
+            | Optimizer::Adam { lr, .. } => *lr = new_lr,
         }
     }
 
@@ -127,7 +127,10 @@ impl Optimizer {
             }
             Optimizer::Momentum { lr, beta, velocity } => {
                 if velocity.is_empty() {
-                    *velocity = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+                    *velocity = params
+                        .iter()
+                        .map(|(p, _)| Tensor::zeros(p.dims()))
+                        .collect();
                 }
                 if velocity.len() != params.len() {
                     return Err(NnError::InvalidConfig {
@@ -156,8 +159,14 @@ impl Optimizer {
                 v,
             } => {
                 if m.is_empty() {
-                    *m = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
-                    *v = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+                    *m = params
+                        .iter()
+                        .map(|(p, _)| Tensor::zeros(p.dims()))
+                        .collect();
+                    *v = params
+                        .iter()
+                        .map(|(p, _)| Tensor::zeros(p.dims()))
+                        .collect();
                 }
                 if m.len() != params.len() {
                     return Err(NnError::InvalidConfig {
@@ -180,9 +189,8 @@ impl Optimizer {
                     vi.axpy(1.0 - *beta2, &g2)?;
                     let lr_t = *lr;
                     let (eps_, bc1_, bc2_) = (*eps, bc1, bc2);
-                    let update = mi.zip_with(vi, move |mh, vh| {
-                        (mh / bc1_) / ((vh / bc2_).sqrt() + eps_)
-                    })?;
+                    let update =
+                        mi.zip_with(vi, move |mh, vh| (mh / bc1_) / ((vh / bc2_).sqrt() + eps_))?;
                     p.axpy(-lr_t, &update)?;
                 }
             }

@@ -2,6 +2,7 @@
 
 use crate::loss::cross_entropy;
 use crate::{Network, NnError, Optimizer};
+use opad_telemetry as telemetry;
 use opad_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -153,6 +154,7 @@ impl Trainer {
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut steps = 0usize;
         for _ in 0..self.config.epochs {
+            let _epoch_timer = telemetry::timer("nn.train.epoch_ms");
             if self.config.shuffle {
                 order.shuffle(rng);
             }
@@ -169,11 +171,13 @@ impl Trainer {
                 batches += 1;
                 steps += 1;
             }
-            epoch_losses.push(if batches > 0 {
+            let mean_loss = if batches > 0 {
                 epoch_loss / batches as f32
             } else {
                 0.0
-            });
+            };
+            telemetry::gauge_set("nn.train.loss", f64::from(mean_loss));
+            epoch_losses.push(mean_loss);
             if self.config.lr_decay < 1.0 {
                 let lr = self.optimizer.learning_rate();
                 self.optimizer.set_learning_rate(lr * self.config.lr_decay);
@@ -181,7 +185,10 @@ impl Trainer {
         }
         net.zero_grad();
         net.clear_cache();
-        Ok(TrainReport { epoch_losses, steps })
+        Ok(TrainReport {
+            epoch_losses,
+            steps,
+        })
     }
 }
 
@@ -268,7 +275,10 @@ mod tests {
             }
             (Tensor::stack_rows(&rows).unwrap(), labels)
         };
-        let heavy: Vec<f32> = y.iter().map(|&c| if c == 1 { 20.0 } else { 0.05 }).collect();
+        let heavy: Vec<f32> = y
+            .iter()
+            .map(|&c| if c == 1 { 20.0 } else { 0.05 })
+            .collect();
 
         let mut net_u = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng).unwrap();
         let mut net_w = net_u.clone();
@@ -317,7 +327,9 @@ mod tests {
             let (x, y) = toy_problem(&mut rng, 20);
             let mut net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng).unwrap();
             let mut t = Trainer::new(TrainConfig::new(5, 8), Optimizer::sgd(0.1));
-            t.fit(&mut net, &x, &y, None, &mut rng).unwrap().epoch_losses
+            t.fit(&mut net, &x, &y, None, &mut rng)
+                .unwrap()
+                .epoch_losses
         };
         assert_eq!(run(), run());
     }

@@ -107,7 +107,9 @@ mod tests {
         let ab = kl_divergence(&p, &q).unwrap();
         let ba = kl_divergence(&q, &p).unwrap();
         assert!((ab - ba).abs() < 1e-12 || ab != ba); // generally differ
-        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap().is_infinite());
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0])
+            .unwrap()
+            .is_infinite());
         // Zero-p cells are fine.
         assert!(kl_divergence(&[1.0, 0.0], &[1.0, 0.0]).unwrap().abs() < 1e-12);
     }
@@ -117,7 +119,10 @@ mod tests {
         let p = [1.0, 0.0];
         let q = [0.0, 1.0];
         let js = js_divergence(&p, &q).unwrap();
-        assert!((js - 2.0f64.ln()).abs() < 1e-12, "disjoint = ln 2, got {js}");
+        assert!(
+            (js - 2.0f64.ln()).abs() < 1e-12,
+            "disjoint = ln 2, got {js}"
+        );
         let a = js_divergence(&[0.7, 0.3], &[0.2, 0.8]).unwrap();
         let b = js_divergence(&[0.2, 0.8], &[0.7, 0.3]).unwrap();
         assert!((a - b).abs() < 1e-12);

@@ -345,9 +345,10 @@ mod tests {
 
     #[test]
     fn from_centroids_and_dimension_checks() {
-        let part =
-            CentroidPartition::from_centroids(Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]).unwrap())
-                .unwrap();
+        let part = CentroidPartition::from_centroids(
+            Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]).unwrap(),
+        )
+        .unwrap();
         assert_eq!(part.dim(), 2);
         assert!(part.cell_of(&[0.0]).is_err());
         assert_eq!(part.cell_of(&[0.1, 0.1]).unwrap(), 0);

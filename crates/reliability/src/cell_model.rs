@@ -4,6 +4,7 @@
 //! demand) is the OP-weighted aggregate.
 
 use crate::{Beta, ReliabilityError};
+use opad_telemetry as telemetry;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -49,7 +50,9 @@ impl CellReliabilityModel {
     /// Fails when `op` is not a probability distribution.
     pub fn with_prior(op: Vec<f64>, prior: Beta) -> Result<Self, ReliabilityError> {
         let sum: f64 = op.iter().sum();
-        if op.is_empty() || op.iter().any(|&p| p < 0.0 || !p.is_finite()) || (sum - 1.0).abs() > 1e-6
+        if op.is_empty()
+            || op.iter().any(|&p| p < 0.0 || !p.is_finite())
+            || (sum - 1.0).abs() > 1e-6
         {
             return Err(ReliabilityError::InvalidDistribution {
                 reason: format!("cell probabilities sum to {sum}"),
@@ -127,6 +130,7 @@ impl CellReliabilityModel {
         if failed {
             self.failures[cell] += 1;
         }
+        telemetry::counter_add("reliability.observations", 1);
         Ok(())
     }
 
@@ -196,6 +200,8 @@ impl CellReliabilityModel {
                 reason: "samples must be nonzero".into(),
             });
         }
+        let _timer = telemetry::timer("reliability.pfd_upper_ms");
+        telemetry::counter_add("reliability.mc_samples", samples as u64);
         let mut draws = self.pfd_samples(samples, rng);
         draws.sort_by(|a, b| a.partial_cmp(b).expect("finite pfd draws"));
         let idx = ((confidence * samples as f64).ceil() as usize).min(samples) - 1;
@@ -305,7 +311,10 @@ mod tests {
         let mut r = rng();
         let mc = m.pfd_upper_bound(0.9, 20000, &mut r).unwrap();
         let analytic = m.posterior(0).unwrap().quantile(0.9).unwrap();
-        assert!((mc - analytic).abs() < 0.005, "mc {mc} vs analytic {analytic}");
+        assert!(
+            (mc - analytic).abs() < 0.005,
+            "mc {mc} vs analytic {analytic}"
+        );
     }
 
     #[test]

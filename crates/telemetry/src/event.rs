@@ -1,0 +1,308 @@
+//! The wire-level event model: everything a sink can receive, plus its
+//! hand-rolled (std-only) JSON encoding.
+
+/// Version stamped into every serialised event line (`"v"` field), bumped
+/// on any breaking change to the JSONL schema.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One telemetry event.
+///
+/// Span events stream to sinks as they happen; metric events are emitted
+/// by [`crate::MetricsRecorder::flush_summary`] as end-of-run aggregates
+/// (hot-path counter increments never touch a sink).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened. `t_ms` is milliseconds since the recorder started.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name.
+        name: String,
+        /// Start time, ms since the recorder was created.
+        t_ms: f64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id issued by the matching [`Event::SpanStart`].
+        id: u64,
+        /// Parent recorded at start.
+        parent: Option<u64>,
+        /// Span name.
+        name: String,
+        /// End time, ms since the recorder was created.
+        t_ms: f64,
+        /// Wall-clock duration of the span in milliseconds.
+        wall_ms: f64,
+    },
+    /// Final value of a monotonic counter.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Accumulated total.
+        total: u64,
+    },
+    /// Last value written to a gauge.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Most recent value.
+        value: f64,
+    },
+    /// Aggregated histogram statistics.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// Number of recorded samples.
+        count: u64,
+        /// Smallest recorded sample.
+        min: f64,
+        /// Largest recorded sample.
+        max: f64,
+        /// Arithmetic mean of samples.
+        mean: f64,
+        /// Median estimate.
+        p50: f64,
+        /// 90th-percentile estimate.
+        p90: f64,
+        /// 99th-percentile estimate.
+        p99: f64,
+    },
+    /// Whole-run roll-up, the last line of a trace.
+    RunSummary {
+        /// Wall-clock lifetime of the recorder in milliseconds.
+        wall_ms: f64,
+        /// Total recorded operations (counter/gauge/histogram/span calls).
+        events: u64,
+        /// `events / wall seconds`.
+        events_per_sec: f64,
+    },
+}
+
+impl Event {
+    /// The event's `kind` tag as serialised.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Histogram { .. } => "histogram",
+            Event::RunSummary { .. } => "run_summary",
+        }
+    }
+
+    /// Serialises the event as a single-line JSON object with a `"v"`
+    /// schema-version field.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"v\":");
+        push_u64(&mut out, u64::from(SCHEMA_VERSION));
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                t_ms,
+            } => {
+                field_u64(&mut out, "id", *id);
+                if let Some(p) = parent {
+                    field_u64(&mut out, "parent", *p);
+                }
+                field_str(&mut out, "name", name);
+                field_f64(&mut out, "t_ms", *t_ms);
+            }
+            Event::SpanEnd {
+                id,
+                parent,
+                name,
+                t_ms,
+                wall_ms,
+            } => {
+                field_u64(&mut out, "id", *id);
+                if let Some(p) = parent {
+                    field_u64(&mut out, "parent", *p);
+                }
+                field_str(&mut out, "name", name);
+                field_f64(&mut out, "t_ms", *t_ms);
+                field_f64(&mut out, "wall_ms", *wall_ms);
+            }
+            Event::Counter { name, total } => {
+                field_str(&mut out, "name", name);
+                field_u64(&mut out, "total", *total);
+            }
+            Event::Gauge { name, value } => {
+                field_str(&mut out, "name", name);
+                field_f64(&mut out, "value", *value);
+            }
+            Event::Histogram {
+                name,
+                count,
+                min,
+                max,
+                mean,
+                p50,
+                p90,
+                p99,
+            } => {
+                field_str(&mut out, "name", name);
+                field_u64(&mut out, "count", *count);
+                field_f64(&mut out, "min", *min);
+                field_f64(&mut out, "max", *max);
+                field_f64(&mut out, "mean", *mean);
+                field_f64(&mut out, "p50", *p50);
+                field_f64(&mut out, "p90", *p90);
+                field_f64(&mut out, "p99", *p99);
+            }
+            Event::RunSummary {
+                wall_ms,
+                events,
+                events_per_sec,
+            } => {
+                field_f64(&mut out, "wall_ms", *wall_ms);
+                field_u64(&mut out, "events", *events);
+                field_f64(&mut out, "events_per_sec", *events_per_sec);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+fn field_u64(out: &mut String, key: &str, v: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    push_u64(out, v);
+}
+
+fn field_f64(out: &mut String, key: &str, v: f64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&json_f64(v));
+}
+
+fn field_str(out: &mut String, key: &str, v: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    push_escaped(out, v);
+    out.push('"');
+}
+
+/// Finite floats print via `{:?}` (shortest round-trip); non-finite values
+/// have no JSON literal, so they serialise as `null`.
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialise_to_one_json_line_each() {
+        let cases = vec![
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                name: "round".into(),
+                t_ms: 0.5,
+            },
+            Event::SpanEnd {
+                id: 1,
+                parent: Some(7),
+                name: "round".into(),
+                t_ms: 2.0,
+                wall_ms: 1.5,
+            },
+            Event::Counter {
+                name: "aes_found".into(),
+                total: 12,
+            },
+            Event::Gauge {
+                name: "loss".into(),
+                value: 0.25,
+            },
+            Event::Histogram {
+                name: "lat".into(),
+                count: 3,
+                min: 1.0,
+                max: 9.0,
+                mean: 4.0,
+                p50: 3.0,
+                p90: 8.0,
+                p99: 9.0,
+            },
+            Event::RunSummary {
+                wall_ms: 100.0,
+                events: 50,
+                events_per_sec: 500.0,
+            },
+        ];
+        for e in cases {
+            let line = e.to_json();
+            assert!(line.starts_with("{\"v\":1,\"kind\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'), "{line}");
+            assert!(line.contains(e.kind()), "{line}");
+            // Balanced braces / quotes as a cheap well-formedness check.
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::Counter {
+            name: "we\"ird\\na\nme".into(),
+            total: 1,
+        };
+        let line = e.to_json();
+        assert!(line.contains("we\\\"ird\\\\na\\nme"), "{line}");
+        let mut s = String::new();
+        push_escaped(&mut s, "\t\u{1}");
+        assert_eq!(s, "\\t\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+        let e = Event::Gauge {
+            name: "g".into(),
+            value: f64::NEG_INFINITY,
+        };
+        assert!(e.to_json().contains("\"value\":null"));
+    }
+}

@@ -1,0 +1,297 @@
+//! # opad-telemetry
+//!
+//! Std-only observability for the opad testing loop: structured spans,
+//! counters, gauges and fixed-bucket histograms, behind a process-global
+//! [`Recorder`] whose *uninstalled* state costs exactly one relaxed atomic
+//! load per call site.
+//!
+//! The paper's workflow (learn OP → sample seeds → fuzz → retrain →
+//! assess) is an iterative budget-spending loop; this crate is the
+//! measurement substrate that shows where a round's budget actually goes.
+//! Every event can be streamed to a [`JsonlSink`] (one schema-versioned
+//! JSON object per line) for machine-readable run traces, or captured by a
+//! [`TestSink`] for assertions.
+//!
+//! Design constraints:
+//!
+//! * **Zero dependencies.** The build environment is offline; JSON is
+//!   hand-rolled, locks are `std::sync`, time is `std::time::Instant`
+//!   (monotonic).
+//! * **Cheap when off.** With no recorder installed, [`enabled`] is a
+//!   single relaxed [`AtomicBool`] load and every helper returns
+//!   immediately — safe to leave in tensor kernels.
+//! * **Aggregated metrics, streamed spans.** Counters/gauges/histograms
+//!   aggregate in memory (hot paths never touch the sink); spans stream to
+//!   the sink as they happen; [`MetricsRecorder::flush_summary`] emits the
+//!   aggregates as summary events at the end of a run.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use opad_telemetry::{self as telemetry, MetricsRecorder, TestSink};
+//!
+//! let sink = Arc::new(TestSink::new());
+//! let recorder = Arc::new(MetricsRecorder::with_sink(sink.clone()));
+//! telemetry::install(recorder.clone());
+//! {
+//!     let _round = telemetry::span("round");
+//!     telemetry::counter_add("seeds_attacked", 30);
+//!     telemetry::histogram_record("iters_to_success", 4.0);
+//! }
+//! telemetry::uninstall();
+//! let summary = recorder.summary();
+//! assert_eq!(summary.counter("seeds_attacked"), Some(30));
+//! assert_eq!(sink.span_names(), vec!["round"]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+mod recorder;
+mod sink;
+mod span;
+
+pub use event::{Event, SCHEMA_VERSION};
+pub use hist::{FixedHistogram, HistogramSummary};
+pub use recorder::{MetricsRecorder, NoopRecorder, Recorder, SpanRollup, Summary};
+pub use sink::{JsonlSink, Sink, TestSink};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Whether a recorder is currently installed.
+///
+/// This is the one-branch check hot paths (tensor kernels) gate on: a
+/// relaxed atomic load, no locks.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `recorder` as the process-global recorder, replacing any
+/// previous one. All telemetry helpers route to it until [`uninstall`].
+pub fn install(recorder: Arc<dyn Recorder>) {
+    *RECORDER.write().expect("telemetry lock poisoned") = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the global recorder (back to the free no-op state), returning
+/// it so callers can take a final [`MetricsRecorder::summary`].
+pub fn uninstall() -> Option<Arc<dyn Recorder>> {
+    ENABLED.store(false, Ordering::Release);
+    RECORDER.write().expect("telemetry lock poisoned").take()
+}
+
+/// The currently installed recorder, if any.
+pub fn current() -> Option<Arc<dyn Recorder>> {
+    if !enabled() {
+        return None;
+    }
+    RECORDER.read().expect("telemetry lock poisoned").clone()
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = current() {
+        r.counter_add(name, delta);
+    }
+}
+
+/// Sets the named gauge to `value`. No-op when disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = current() {
+        r.gauge_set(name, value);
+    }
+}
+
+/// Records `value` into the named histogram. No-op when disabled.
+#[inline]
+pub fn histogram_record(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = current() {
+        r.histogram_record(name, value);
+    }
+}
+
+/// Starts a named span. The returned [`Span`] ends (and reports its wall
+/// time) when dropped; spans nest per thread, so a span opened while
+/// another is live becomes its child. When disabled this returns an inert
+/// span and costs one branch.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    match current() {
+        Some(r) => Span::start(name, r),
+        None => Span::disabled(),
+    }
+}
+
+/// A scope timer that records elapsed milliseconds into the named
+/// histogram on drop. `None` (free) when telemetry is disabled; bind it
+/// to a named variable (`let _t = ...;`), not `_`, or it drops instantly.
+pub struct HistTimer {
+    name: &'static str,
+    start: Instant,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        let ms = self.start.elapsed().as_secs_f64() * 1e3;
+        self.recorder.histogram_record(self.name, ms);
+    }
+}
+
+/// Starts a [`HistTimer`] for `name` when telemetry is enabled.
+#[inline]
+pub fn timer(name: &'static str) -> Option<HistTimer> {
+    if !enabled() {
+        return None;
+    }
+    current().map(|recorder| HistTimer {
+        name,
+        start: Instant::now(),
+        recorder,
+    })
+}
+
+/// Milliseconds elapsed since `start` — shared convention for wall-time
+/// fields across the workspace.
+#[inline]
+pub fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The global recorder is process state; tests touching it serialize
+    // through this lock.
+    static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_and_helpers_are_noops() {
+        let _g = GLOBAL_GUARD.lock().unwrap();
+        uninstall();
+        assert!(!enabled());
+        assert!(current().is_none());
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        histogram_record("h", 1.0);
+        assert!(timer("t").is_none());
+        let s = span("s");
+        assert!(!s.is_recording());
+        drop(s);
+    }
+
+    #[test]
+    fn install_routes_and_uninstall_stops() {
+        let _g = GLOBAL_GUARD.lock().unwrap();
+        let rec = Arc::new(MetricsRecorder::new());
+        install(rec.clone());
+        assert!(enabled());
+        counter_add("hits", 2);
+        counter_add("hits", 3);
+        gauge_set("level", 7.5);
+        histogram_record("lat", 1.25);
+        {
+            let _t = timer("timed_ms");
+        }
+        uninstall();
+        counter_add("hits", 100); // must not land
+        let s = rec.summary();
+        assert_eq!(s.counter("hits"), Some(5));
+        assert_eq!(s.gauge("level"), Some(7.5));
+        assert_eq!(s.histogram("lat").map(|h| h.count), Some(1));
+        assert_eq!(s.histogram("timed_ms").map(|h| h.count), Some(1));
+        assert!(s.counter("missing").is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_stream_to_sink() {
+        let _g = GLOBAL_GUARD.lock().unwrap();
+        let sink = Arc::new(TestSink::new());
+        let rec = Arc::new(MetricsRecorder::with_sink(sink.clone()));
+        install(rec.clone());
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        uninstall();
+        let events = sink.events();
+        // start(outer), start(inner), end(inner), end(outer)
+        assert_eq!(events.len(), 4);
+        match (&events[0], &events[1]) {
+            (
+                Event::SpanStart {
+                    id: outer_id,
+                    parent: None,
+                    name: outer_name,
+                    ..
+                },
+                Event::SpanStart {
+                    id: inner_id,
+                    parent: Some(p),
+                    name: inner_name,
+                    ..
+                },
+            ) => {
+                assert_eq!(outer_name, "outer");
+                assert_eq!(inner_name, "inner");
+                assert_eq!(p, outer_id);
+                assert_ne!(outer_id, inner_id);
+            }
+            other => panic!("unexpected prefix {other:?}"),
+        }
+        match (&events[2], &events[3]) {
+            (
+                Event::SpanEnd {
+                    name: first,
+                    wall_ms: w1,
+                    ..
+                },
+                Event::SpanEnd {
+                    name: second,
+                    wall_ms: w2,
+                    ..
+                },
+            ) => {
+                assert_eq!(first, "inner");
+                assert_eq!(second, "outer");
+                assert!(*w1 >= 0.0 && *w2 >= *w1);
+            }
+            other => panic!("unexpected suffix {other:?}"),
+        }
+        // Span wall times also aggregate into the summary rollup.
+        let s = rec.summary();
+        assert_eq!(s.spans.len(), 2);
+        assert!(s.spans.iter().any(|r| r.name == "outer" && r.count == 1));
+    }
+
+    #[test]
+    fn ms_since_is_nonnegative() {
+        let t = Instant::now();
+        assert!(ms_since(t) >= 0.0);
+    }
+}

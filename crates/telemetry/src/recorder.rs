@@ -1,0 +1,499 @@
+//! The [`Recorder`] trait and its two stock implementations: a free
+//! no-op and the aggregating [`MetricsRecorder`].
+
+use crate::event::{json_f64, push_escaped, Event};
+use crate::hist::{FixedHistogram, HistogramSummary};
+use crate::sink::Sink;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Receives every telemetry operation. Implementations must be cheap and
+/// thread-safe: counters and histograms are hit from tensor kernels and
+/// parallel experiment sweeps.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Sets the named gauge.
+    fn gauge_set(&self, name: &'static str, value: f64);
+    /// Records a histogram sample.
+    fn histogram_record(&self, name: &'static str, value: f64);
+    /// A span opened (`parent` is the enclosing span on the same thread).
+    fn span_start(&self, name: &'static str, id: u64, parent: Option<u64>);
+    /// A span closed after `wall_ms` milliseconds.
+    fn span_end(&self, name: &'static str, id: u64, parent: Option<u64>, wall_ms: f64);
+    /// Flushes any buffered output (e.g. a sink's file buffer).
+    fn flush(&self) {}
+}
+
+/// Discards everything. Installing it is equivalent to (but slightly more
+/// expensive than) installing nothing; it exists so recorder-typed slots
+/// always have a value to hold.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    fn gauge_set(&self, _name: &'static str, _value: f64) {}
+    fn histogram_record(&self, _name: &'static str, _value: f64) {}
+    fn span_start(&self, _name: &'static str, _id: u64, _parent: Option<u64>) {}
+    fn span_end(&self, _name: &'static str, _id: u64, _parent: Option<u64>, _wall_ms: f64) {}
+}
+
+/// Aggregates counters, gauges and histograms in memory, rolls up span
+/// wall times per name, and (optionally) streams span events to a
+/// [`Sink`]. Metric aggregates reach the sink only via
+/// [`MetricsRecorder::flush_summary`], so hot-path increments never pay
+/// for I/O.
+pub struct MetricsRecorder {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, FixedHistogram>>,
+    spans: Mutex<BTreeMap<&'static str, FixedHistogram>>,
+    sink: Option<Arc<dyn Sink>>,
+    start: Instant,
+    ops: AtomicU64,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// An aggregate-only recorder (no sink).
+    pub fn new() -> Self {
+        MetricsRecorder {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            sink: None,
+            start: Instant::now(),
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// A recorder that additionally streams span events to `sink`.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
+        MetricsRecorder {
+            sink: Some(sink),
+            ..Self::new()
+        }
+    }
+
+    fn tick(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
+    }
+
+    /// Milliseconds since this recorder was created (the trace clock).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// A point-in-time snapshot of every aggregate.
+    pub fn summary(&self) -> Summary {
+        let wall_ms = self.elapsed_ms();
+        let events = self.ops.load(Ordering::Relaxed);
+        let counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .expect("telemetry lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        let gauges: Vec<(String, f64)> = self
+            .gauges
+            .lock()
+            .expect("telemetry lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        let histograms: Vec<HistogramSummary> = self
+            .histograms
+            .lock()
+            .expect("telemetry lock poisoned")
+            .iter()
+            .map(|(k, h)| h.summary(k))
+            .collect();
+        let spans: Vec<SpanRollup> = self
+            .spans
+            .lock()
+            .expect("telemetry lock poisoned")
+            .iter()
+            .map(|(k, h)| SpanRollup {
+                name: k.to_string(),
+                count: h.count(),
+                total_ms: h.sum(),
+                min_ms: h.min().unwrap_or(0.0),
+                p50_ms: h.quantile(0.5).unwrap_or(0.0),
+                p90_ms: h.quantile(0.9).unwrap_or(0.0),
+                p99_ms: h.quantile(0.99).unwrap_or(0.0),
+                max_ms: h.max().unwrap_or(0.0),
+            })
+            .collect();
+        Summary {
+            wall_ms,
+            events,
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+
+    /// Emits every aggregate (counters, gauges, histogram summaries and a
+    /// final [`Event::RunSummary`]) to the sink, then flushes it. The
+    /// canonical end-of-run call; a no-op without a sink.
+    pub fn flush_summary(&self) {
+        let s = self.summary();
+        if self.sink.is_some() {
+            for (name, total) in &s.counters {
+                self.emit(Event::Counter {
+                    name: name.clone(),
+                    total: *total,
+                });
+            }
+            for (name, value) in &s.gauges {
+                self.emit(Event::Gauge {
+                    name: name.clone(),
+                    value: *value,
+                });
+            }
+            for h in &s.histograms {
+                self.emit(Event::Histogram {
+                    name: h.name.clone(),
+                    count: h.count,
+                    min: h.min,
+                    max: h.max,
+                    mean: h.mean,
+                    p50: h.p50,
+                    p90: h.p90,
+                    p99: h.p99,
+                });
+            }
+            for r in &s.spans {
+                self.emit(Event::Histogram {
+                    name: format!("span:{}", r.name),
+                    count: r.count,
+                    min: r.min_ms,
+                    max: r.max_ms,
+                    mean: if r.count > 0 {
+                        r.total_ms / r.count as f64
+                    } else {
+                        0.0
+                    },
+                    p50: r.p50_ms,
+                    p90: r.p90_ms,
+                    p99: r.p99_ms,
+                });
+            }
+            self.emit(Event::RunSummary {
+                wall_ms: s.wall_ms,
+                events: s.events,
+                events_per_sec: s.events_per_sec(),
+            });
+        }
+        self.flush();
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.tick();
+        *self
+            .counters
+            .lock()
+            .expect("telemetry lock poisoned")
+            .entry(name)
+            .or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.tick();
+        self.gauges
+            .lock()
+            .expect("telemetry lock poisoned")
+            .insert(name, value);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        self.tick();
+        self.histograms
+            .lock()
+            .expect("telemetry lock poisoned")
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    fn span_start(&self, name: &'static str, id: u64, parent: Option<u64>) {
+        self.tick();
+        let t_ms = self.elapsed_ms();
+        self.emit(Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms,
+        });
+    }
+
+    fn span_end(&self, name: &'static str, id: u64, parent: Option<u64>, wall_ms: f64) {
+        self.tick();
+        self.spans
+            .lock()
+            .expect("telemetry lock poisoned")
+            .entry(name)
+            .or_default()
+            .record(wall_ms);
+        let t_ms = self.elapsed_ms();
+        self.emit(Event::SpanEnd {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms,
+            wall_ms,
+        });
+    }
+
+    fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+}
+
+/// Wall-time roll-up of all spans sharing a name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRollup {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of wall times (ms) — the stage's total cost.
+    pub total_ms: f64,
+    /// Shortest span (ms).
+    pub min_ms: f64,
+    /// Median span duration (ms).
+    pub p50_ms: f64,
+    /// 90th-percentile span duration (ms).
+    pub p90_ms: f64,
+    /// 99th-percentile span duration (ms).
+    pub p99_ms: f64,
+    /// Longest span (ms).
+    pub max_ms: f64,
+}
+
+/// Snapshot of a [`MetricsRecorder`]: the run report embedded into
+/// experiment JSON outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Recorder lifetime at snapshot, in milliseconds.
+    pub wall_ms: f64,
+    /// Total recorded operations.
+    pub events: u64,
+    /// Counter totals, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Last gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, name-sorted.
+    pub histograms: Vec<HistogramSummary>,
+    /// Per-name span roll-ups, name-sorted.
+    pub spans: Vec<SpanRollup>,
+}
+
+impl Summary {
+    /// Recorded operations per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.events as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up a span roll-up by name.
+    pub fn span(&self, name: &str) -> Option<&SpanRollup> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Serialises the whole summary as one JSON object (hand-rolled;
+    /// parseable by any JSON reader).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"wall_ms\":");
+        s.push_str(&json_f64(self.wall_ms));
+        s.push_str(",\"events\":");
+        s.push_str(&self.events.to_string());
+        s.push_str(",\"events_per_sec\":");
+        s.push_str(&json_f64(self.events_per_sec()));
+        s.push_str(",\"counters\":{");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            push_escaped(&mut s, name);
+            s.push_str("\":");
+            s.push_str(&total.to_string());
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            push_escaped(&mut s, name);
+            s.push_str("\":");
+            s.push_str(&json_f64(*value));
+        }
+        s.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&h.to_json());
+        }
+        s.push_str("],\"spans\":[");
+        for (i, r) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":\"");
+            push_escaped(&mut s, &r.name);
+            s.push_str("\",\"count\":");
+            s.push_str(&r.count.to_string());
+            for (k, v) in [
+                ("total_ms", r.total_ms),
+                ("min_ms", r.min_ms),
+                ("p50_ms", r.p50_ms),
+                ("p90_ms", r.p90_ms),
+                ("p99_ms", r.p99_ms),
+                ("max_ms", r.max_ms),
+            ] {
+                s.push_str(",\"");
+                s.push_str(k);
+                s.push_str("\":");
+                s.push_str(&json_f64(v));
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TestSink;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let r = NoopRecorder;
+        r.counter_add("c", 1);
+        r.gauge_set("g", 1.0);
+        r.histogram_record("h", 1.0);
+        r.span_start("s", 1, None);
+        r.span_end("s", 1, None, 0.5);
+        r.flush();
+    }
+
+    #[test]
+    fn aggregates_and_summary_lookups() {
+        let r = MetricsRecorder::new();
+        r.counter_add("seeds", 10);
+        r.counter_add("seeds", 5);
+        r.gauge_set("loss", 0.9);
+        r.gauge_set("loss", 0.4);
+        for v in [1.0, 2.0, 3.0] {
+            r.histogram_record("lat", v);
+        }
+        r.span_start("round", 1, None);
+        r.span_end("round", 1, None, 12.5);
+        let s = r.summary();
+        assert_eq!(s.counter("seeds"), Some(15));
+        assert_eq!(s.gauge("loss"), Some(0.4));
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        let round = s.span("round").unwrap();
+        assert_eq!(round.count, 1);
+        assert!((round.total_ms - 12.5).abs() < 1e-9);
+        // 2 counter adds + 2 gauge sets + 3 histogram records + span start/end.
+        assert_eq!(s.events, 9);
+        assert!(s.wall_ms >= 0.0);
+        assert!(s.events_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn flush_summary_emits_aggregate_events_and_run_summary() {
+        let sink = Arc::new(TestSink::new());
+        let r = MetricsRecorder::with_sink(sink.clone());
+        r.counter_add("c", 2);
+        r.gauge_set("g", 1.0);
+        r.histogram_record("h", 3.0);
+        r.span_start("s", 1, None);
+        r.span_end("s", 1, None, 1.0);
+        r.flush_summary();
+        let events = sink.events();
+        // span start/end streamed live + counter + gauge + 2 histograms
+        // (h and span:s) + run summary.
+        assert_eq!(events.len(), 7);
+        assert!(matches!(events.last(), Some(Event::RunSummary { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Histogram { name, .. } if name == "span:s")));
+        assert_eq!(sink.flushes(), 1);
+    }
+
+    #[test]
+    fn summary_json_is_balanced_and_contains_sections() {
+        let r = MetricsRecorder::new();
+        r.counter_add("c", 1);
+        r.gauge_set("g", -2.5);
+        r.histogram_record("h", 4.0);
+        r.span_start("s", 9, None);
+        r.span_end("s", 9, None, 0.25);
+        let j = r.summary().to_json();
+        for key in [
+            "wall_ms",
+            "events_per_sec",
+            "counters",
+            "gauges",
+            "histograms",
+            "spans",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

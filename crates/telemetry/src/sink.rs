@@ -1,0 +1,166 @@
+//! Event sinks: where streamed telemetry events go.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Receives serialisable telemetry events. Implementations must be
+/// thread-safe; `emit` is called from whichever thread closes a span.
+pub trait Sink: Send + Sync {
+    /// Delivers one event.
+    fn emit(&self, event: &Event);
+    /// Flushes buffered output.
+    fn flush(&self) {}
+}
+
+/// Appends one JSON object per line (JSONL) to a file.
+///
+/// Writes are buffered and best-effort: an I/O error mid-run drops the
+/// remaining trace rather than panicking inside instrumentation. The
+/// resulting file is readable with any line-oriented JSON tooling
+/// (`jq -c . results/exp2_trace.jsonl`).
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`, creating parent
+    /// directories as needed.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut w = self.writer.lock().expect("telemetry lock poisoned");
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("telemetry lock poisoned").flush();
+    }
+}
+
+/// Captures events in memory for test assertions.
+#[derive(Default)]
+pub struct TestSink {
+    events: Mutex<Vec<Event>>,
+    flushes: AtomicU64,
+}
+
+impl TestSink {
+    /// An empty sink.
+    pub fn new() -> TestSink {
+        TestSink::default()
+    }
+
+    /// All events received so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("telemetry lock poisoned").clone()
+    }
+
+    /// Names of completed spans, in completion order.
+    pub fn span_names(&self) -> Vec<String> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::SpanEnd { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// How many times `flush` has been called.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+}
+
+impl Sink for TestSink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("telemetry lock poisoned")
+            .push(event.clone());
+    }
+
+    fn flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_sink_captures_in_order() {
+        let sink = TestSink::new();
+        sink.emit(&Event::Counter {
+            name: "a".into(),
+            total: 1,
+        });
+        sink.emit(&Event::SpanEnd {
+            id: 1,
+            parent: None,
+            name: "round".into(),
+            t_ms: 1.0,
+            wall_ms: 1.0,
+        });
+        sink.flush();
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.span_names(), vec!["round"]);
+        assert_eq!(sink.flushes(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("opad_telemetry_sink_test");
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Event::Counter {
+            name: "c".into(),
+            total: 7,
+        });
+        sink.emit(&Event::Gauge {
+            name: "g".into(),
+            value: 0.5,
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"v\":1,"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"total\":7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_sink_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("opad_telemetry_nested_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep").join("trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.flush();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,217 @@
+//! RAII span timers with per-thread parent/child nesting.
+
+use crate::recorder::Recorder;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// Process-wide span id source; ids are unique across threads.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    // Stack of live span ids on this thread; the top is the parent of the
+    // next span opened here.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scope timer reported to the [`Recorder`] when dropped.
+///
+/// Obtained via [`crate::span`]; holds a monotonic start instant, so the
+/// reported `wall_ms` is immune to wall-clock adjustments. Spans opened
+/// while another span is live on the same thread record that span as their
+/// parent, which is how per-round traces become trees.
+///
+/// Bind spans to a named variable (`let _round = span("round");`); binding
+/// to `_` drops — and therefore ends — the span immediately.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl Span {
+    /// Opens a span against `recorder`, pushing it on this thread's stack.
+    pub(crate) fn start(name: &'static str, recorder: Arc<dyn Recorder>) -> Span {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        recorder.span_start(name, id, parent);
+        Span {
+            inner: Some(SpanInner {
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                recorder,
+            }),
+        }
+    }
+
+    /// An inert span: no id, no recorder calls, drop is free.
+    pub(crate) fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Whether this span is live (i.e. telemetry was enabled when it was
+    /// opened) and will report on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's process-unique id, `None` when inert.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let wall_ms = inner.start.elapsed().as_secs_f64() * 1e3;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Usually the top of the stack, but tolerate out-of-order drops
+            // (e.g. spans moved across scopes) by removing wherever it is.
+            if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                stack.remove(pos);
+            }
+        });
+        inner
+            .recorder
+            .span_end(inner.name, inner.id, inner.parent, wall_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct LogRecorder {
+        log: Mutex<Vec<(String, u64, Option<u64>, bool)>>,
+    }
+
+    impl Recorder for LogRecorder {
+        fn counter_add(&self, _name: &'static str, _delta: u64) {}
+        fn gauge_set(&self, _name: &'static str, _value: f64) {}
+        fn histogram_record(&self, _name: &'static str, _value: f64) {}
+        fn span_start(&self, name: &'static str, id: u64, parent: Option<u64>) {
+            self.log
+                .lock()
+                .unwrap()
+                .push((name.to_string(), id, parent, false));
+        }
+        fn span_end(&self, name: &'static str, id: u64, parent: Option<u64>, wall_ms: f64) {
+            assert!(wall_ms >= 0.0);
+            self.log
+                .lock()
+                .unwrap()
+                .push((name.to_string(), id, parent, true));
+        }
+    }
+
+    #[test]
+    fn nesting_assigns_parents_and_unwinds_in_order() {
+        let rec = Arc::new(LogRecorder::default());
+        {
+            let a = Span::start("a", rec.clone());
+            let b = Span::start("b", rec.clone());
+            assert!(a.is_recording() && b.is_recording());
+            assert_ne!(a.id(), b.id());
+        }
+        let log = rec.log.lock().unwrap();
+        assert_eq!(log.len(), 4);
+        let (a_id, b_id) = (log[0].1, log[1].1);
+        assert_eq!(log[0], ("a".to_string(), a_id, None, false));
+        assert_eq!(log[1], ("b".to_string(), b_id, Some(a_id), false));
+        // b (declared later) drops first.
+        assert_eq!(log[2], ("b".to_string(), b_id, Some(a_id), true));
+        assert_eq!(log[3], ("a".to_string(), a_id, None, true));
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let rec = Arc::new(LogRecorder::default());
+        {
+            let _p = Span::start("parent", rec.clone());
+            {
+                let _c1 = Span::start("c1", rec.clone());
+            }
+            {
+                let _c2 = Span::start("c2", rec.clone());
+            }
+        }
+        let log = rec.log.lock().unwrap();
+        let parent_id = log[0].1;
+        let starts: Vec<_> = log.iter().filter(|e| !e.3).collect();
+        assert_eq!(starts.len(), 3);
+        assert_eq!(starts[1].2, Some(parent_id));
+        assert_eq!(starts[2].2, Some(parent_id));
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_the_stack() {
+        let rec = Arc::new(LogRecorder::default());
+        let a = Span::start("a", rec.clone());
+        let b = Span::start("b", rec.clone());
+        drop(a); // drop parent before child
+        {
+            // b is now the top of the stack again, so c parents to b.
+            let c = Span::start("c", rec.clone());
+            let c_parent = {
+                let log = rec.log.lock().unwrap();
+                log.iter().find(|e| e.0 == "c").unwrap().2
+            };
+            assert_eq!(c_parent, b.id());
+            drop(c);
+        }
+        drop(b);
+        // After everything dropped the thread-local stack is empty again.
+        let next = Span::start("fresh", rec.clone());
+        let fresh_parent = {
+            let log = rec.log.lock().unwrap();
+            log.iter().find(|e| e.0 == "fresh").unwrap().2
+        };
+        assert_eq!(fresh_parent, None);
+        drop(next);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let s = Span::disabled();
+        assert!(!s.is_recording());
+        assert_eq!(s.id(), None);
+        drop(s);
+        SPAN_STACK.with(|stack| assert!(stack.borrow().is_empty()));
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let rec = Arc::new(LogRecorder::default());
+        let _outer = Span::start("outer", rec.clone());
+        let rec2 = rec.clone();
+        std::thread::spawn(move || {
+            // No parent: the spawning thread's stack is not inherited.
+            let _inner = Span::start("worker", rec2);
+        })
+        .join()
+        .unwrap();
+        let log = rec.log.lock().unwrap();
+        let worker = log.iter().find(|e| e.0 == "worker").unwrap();
+        assert_eq!(worker.2, None);
+    }
+}

@@ -87,10 +87,17 @@ impl fmt::Display for TensorError {
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
-            TensorError::RankMismatch { expected, actual, op } => {
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
                 write!(f, "`{op}` requires rank {expected}, got rank {actual}")
             }
-            TensorError::DataLengthMismatch { data_len, shape_len } => {
+            TensorError::DataLengthMismatch {
+                data_len,
+                shape_len,
+            } => {
                 write!(
                     f,
                     "data length {data_len} does not match shape element count {shape_len}"

@@ -47,6 +47,8 @@ impl Tensor {
                 op: "matmul",
             });
         }
+        // One relaxed atomic load when telemetry is off.
+        let _timer = opad_telemetry::timer("tensor.matmul_ms");
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];

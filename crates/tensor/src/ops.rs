@@ -35,11 +35,14 @@ fn broadcast_op(
             .collect();
         return Ok(Tensor::from_vec(data, a.dims()).expect("same shape as a"));
     }
-    let out_shape = a.shape().broadcast(b.shape()).map_err(|_| TensorError::ShapeMismatch {
-        left: a.dims().to_vec(),
-        right: b.dims().to_vec(),
-        op: op_name,
-    })?;
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .map_err(|_| TensorError::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+            op: op_name,
+        })?;
     let rank = out_shape.rank();
     let a_dims = pad_dims(a.shape(), rank);
     let b_dims = pad_dims(b.shape(), rank);
@@ -183,7 +186,8 @@ macro_rules! impl_binop {
         impl $trait<f32> for &Tensor {
             type Output = Tensor;
             fn $method(self, rhs: f32) -> Tensor {
-                self.$checked(&Tensor::scalar(rhs)).expect("scalar broadcast")
+                self.$checked(&Tensor::scalar(rhs))
+                    .expect("scalar broadcast")
             }
         }
         impl $trait<f32> for Tensor {

@@ -48,7 +48,12 @@ impl Tensor {
 
     /// Xavier/Glorot uniform initialisation: `U[-a, a]` with
     /// `a = sqrt(6 / (fan_in + fan_out))`.
-    pub fn rand_xavier(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    pub fn rand_xavier(
+        dims: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
         let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
         Tensor::rand_uniform(dims, -a, a, rng)
     }

@@ -29,7 +29,9 @@ impl Tensor {
         self.as_slice()
             .iter()
             .copied()
-            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |m| m.max(x))))
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |m| m.max(x)))
+            })
             .ok_or(TensorError::Empty { op: "max" })
     }
 
@@ -42,7 +44,9 @@ impl Tensor {
         self.as_slice()
             .iter()
             .copied()
-            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |m| m.min(x))))
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |m| m.min(x)))
+            })
             .ok_or(TensorError::Empty { op: "min" })
     }
 
@@ -173,7 +177,11 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
-        self.as_slice().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
+        self.as_slice()
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f32>()
+            / self.len() as f32
     }
 
     /// Population standard deviation of all elements.

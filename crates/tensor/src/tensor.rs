@@ -264,7 +264,9 @@ impl Tensor {
     ///
     /// Fails if `rows` is empty or lengths are inconsistent.
     pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor, TensorError> {
-        let first = rows.first().ok_or(TensorError::Empty { op: "stack_rows" })?;
+        let first = rows
+            .first()
+            .ok_or(TensorError::Empty { op: "stack_rows" })?;
         let c = first.len();
         let mut data = Vec::with_capacity(rows.len() * c);
         for row in rows {
@@ -301,7 +303,11 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ (no
     /// broadcasting; use the arithmetic ops for broadcast semantics).
-    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+    pub fn zip_with(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 left: self.dims().to_vec(),
@@ -440,7 +446,10 @@ mod tests {
 
     #[test]
     fn stack_rows_builds_matrix() {
-        let rows = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::from_slice(&[3.0, 4.0])];
+        let rows = vec![
+            Tensor::from_slice(&[1.0, 2.0]),
+            Tensor::from_slice(&[3.0, 4.0]),
+        ];
         let m = Tensor::stack_rows(&rows).unwrap();
         assert_eq!(m.dims(), &[2, 2]);
         assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
@@ -454,7 +463,10 @@ mod tests {
         let t = Tensor::from_slice(&[1.0, -2.0]);
         assert_eq!(t.map(f32::abs).as_slice(), &[1.0, 2.0]);
         let u = Tensor::from_slice(&[10.0, 20.0]);
-        assert_eq!(t.zip_with(&u, |a, b| a + b).unwrap().as_slice(), &[11.0, 18.0]);
+        assert_eq!(
+            t.zip_with(&u, |a, b| a + b).unwrap().as_slice(),
+            &[11.0, 18.0]
+        );
         assert!(t.zip_with(&Tensor::zeros(&[3]), |a, _| a).is_err());
         let mut t = t;
         t.map_inplace(|x| x * 2.0);

@@ -8,9 +8,17 @@
 use opad::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(5);
+
+    // Observability: record attack counters and layer timings, streaming
+    // span events to a JSONL trace alongside the printed table.
+    let recorder = Arc::new(MetricsRecorder::with_sink(Arc::new(JsonlSink::create(
+        "results/method_comparison_trace.jsonl",
+    )?)));
+    opad::telemetry::install(recorder.clone());
 
     // Rings: a nonlinear problem with real boundary structure.
     let train = rings(3, 900, 0.15, &uniform_probs(3), &mut rng)?;
@@ -73,16 +81,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("\nmethod                 | budget    | found    | operational value");
-    run("uniform + random", &rand_fuzz, SeedWeighting::Uniform, &mut net, &mut rng)?;
-    run("uniform + fgsm", &fgsm, SeedWeighting::Uniform, &mut net, &mut rng)?;
-    run("uniform + pgd", &pgd, SeedWeighting::Uniform, &mut net, &mut rng)?;
-    run("op-seeds + pgd", &pgd, SeedWeighting::OpTimesMargin, &mut net, &mut rng)?;
-    run("opad (op + natural)", &nat_fuzz, SeedWeighting::OpTimesMargin, &mut net, &mut rng)?;
+    run(
+        "uniform + random",
+        &rand_fuzz,
+        SeedWeighting::Uniform,
+        &mut net,
+        &mut rng,
+    )?;
+    run(
+        "uniform + fgsm",
+        &fgsm,
+        SeedWeighting::Uniform,
+        &mut net,
+        &mut rng,
+    )?;
+    run(
+        "uniform + pgd",
+        &pgd,
+        SeedWeighting::Uniform,
+        &mut net,
+        &mut rng,
+    )?;
+    run(
+        "op-seeds + pgd",
+        &pgd,
+        SeedWeighting::OpTimesMargin,
+        &mut net,
+        &mut rng,
+    )?;
+    run(
+        "opad (op + natural)",
+        &nat_fuzz,
+        SeedWeighting::OpTimesMargin,
+        &mut net,
+        &mut rng,
+    )?;
 
     println!(
         "\nRead `op-mass` as \"how much of real operation is covered by the bugs\n\
          this method found\" — the paper's argument is that the bottom rows\n\
          dominate the top ones on that column, even when raw AE counts tie."
+    );
+
+    opad::telemetry::uninstall();
+    recorder.flush_summary();
+    let s = recorder.summary();
+    println!(
+        "\ntelemetry: {:.0} ms wall, pgd successes {}, fuzz proposals {} — trace in \
+         results/method_comparison_trace.jsonl",
+        s.wall_ms,
+        s.counter("attack.pgd.success").unwrap_or(0),
+        s.counter("attack.fuzz.proposals").unwrap_or(0),
     );
     Ok(())
 }

@@ -7,9 +7,18 @@
 use opad::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
+
+    // 0. Observability: stream span/timing events to a JSONL trace. Every
+    //    instrumented call below (training epochs, reliability updates,
+    //    matmuls) lands in this file; the recorder aggregates the rest.
+    let recorder = Arc::new(MetricsRecorder::with_sink(Arc::new(JsonlSink::create(
+        "results/quickstart_trace.jsonl",
+    )?)));
+    opad::telemetry::install(recorder.clone());
 
     // 1. Data: training is collected *balanced*; operation is Zipf-skewed
     //    toward class 0 — the mismatch at the heart of the paper.
@@ -95,6 +104,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "posterior pfd: {:.4} (95% upper bound {:.4})",
         model.pfd_mean(),
         upper
+    );
+
+    // 8. Flush the trace and print what the run cost.
+    opad::telemetry::uninstall();
+    recorder.flush_summary();
+    let s = recorder.summary();
+    println!(
+        "telemetry: {:.0} ms wall, {} events — trace in results/quickstart_trace.jsonl",
+        s.wall_ms, s.events
     );
     Ok(())
 }

@@ -21,13 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let op_probs = zipf_probs(6, 1.5);
 
     let mut net = Network::mlp(&[gcfg.feature_dim(), 64, 6], Activation::Relu, &mut rng)?;
-    Trainer::new(TrainConfig::new(15, 32).lr_decay(0.9), Optimizer::adam(0.005)).fit(
-        &mut net,
-        train.features(),
-        train.labels(),
-        None,
-        &mut rng,
-    )?;
+    Trainer::new(
+        TrainConfig::new(15, 32).lr_decay(0.9),
+        Optimizer::adam(0.005),
+    )
+    .fit(&mut net, train.features(), train.labels(), None, &mut rng)?;
 
     // Persist and reload — what a deployment pipeline would do.
     let artefact = net.to_json()?;
@@ -43,12 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Fresh evaluation data per level, lab-balanced and OP-skewed.
         let lab = glyphs(&gcfg, 600, &uniform_probs(6), &mut rng)?;
         let field = glyphs(&gcfg, 600, &op_probs, &mut rng)?;
-        let corrupt = |mut ds: Dataset, rng: &mut StdRng| -> Result<Dataset, opad::data::DataError> {
-            for c in &corruptions {
-                ds = c.apply(&ds, rng)?;
-            }
-            Ok(ds)
-        };
+        let corrupt =
+            |mut ds: Dataset, rng: &mut StdRng| -> Result<Dataset, opad::data::DataError> {
+                for c in &corruptions {
+                    ds = c.apply(&ds, rng)?;
+                }
+                Ok(ds)
+            };
         let lab = corrupt(lab, &mut rng)?;
         let field = corrupt(field, &mut rng)?;
         let lab_acc = deployed.accuracy(lab.features(), lab.labels())?;

@@ -14,7 +14,8 @@
 //! * [`opmodel`] — operational profiles: densities, partitions, drift;
 //! * [`attack`] — FGSM/PGD baselines and the naturalness-guided fuzzer;
 //! * [`reliability`] — ReAsDL-style Bayesian reliability assessment;
-//! * [`core`] — the five-step testing loop tying it all together.
+//! * [`core`] — the five-step testing loop tying it all together;
+//! * [`telemetry`] — std-only spans, counters and run traces.
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use opad_data as data;
 pub use opad_nn as nn;
 pub use opad_opmodel as opmodel;
 pub use opad_reliability as reliability;
+pub use opad_telemetry as telemetry;
 pub use opad_tensor as tensor;
 
 /// One-stop imports for examples and downstream binaries.
@@ -61,17 +63,17 @@ pub mod prelude {
         GaussianClustersConfig, GlyphConfig,
     };
     pub use opad_nn::{
-        cross_entropy, prediction_entropy, prediction_margin, Activation, ConfusionMatrix,
-        Network, Optimizer, TrainConfig, Trainer,
+        cross_entropy, prediction_entropy, prediction_margin, Activation, ConfusionMatrix, Network,
+        Optimizer, TrainConfig, Trainer,
     };
     pub use opad_opmodel::{
         js_divergence, kl_divergence, learn_op_gmm, learn_op_kde, tv_distance, CentroidPartition,
-        Density, Gmm, GmmComponent, GridPartition, Kde, LinearDrift, OperationalProfile,
-        Partition,
+        Density, Gmm, GmmComponent, GridPartition, Kde, LinearDrift, OperationalProfile, Partition,
     };
     pub use opad_reliability::{
         clopper_pearson_upper, demands_for_target, Assessment, Beta, CellReliabilityModel,
         GrowthTimeline, ReliabilityTarget,
     };
+    pub use opad_telemetry::{JsonlSink, MetricsRecorder, Recorder, Sink, TestSink};
     pub use opad_tensor::{Shape, Tensor, TensorError};
 }

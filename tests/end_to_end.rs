@@ -184,8 +184,7 @@ fn loop_is_deterministic_across_identical_runs() {
             },
             ..Default::default()
         };
-        let mut lp =
-            TestingLoop::new(w.net, w.op, w.partition, &w.field, target, config).unwrap();
+        let mut lp = TestingLoop::new(w.net, w.op, w.partition, &w.field, target, config).unwrap();
         let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 8, 0.08).unwrap();
         let mut rng = StdRng::seed_from_u64(1234);
         lp.run(&w.field, &w.train, &attack, &mut rng).unwrap()
@@ -212,10 +211,7 @@ fn operational_mismatch_shows_up_in_weighted_accuracy() {
     assert!((0.0..=1.0).contains(&balanced));
     assert!((0.0..=1.0).contains(&operational));
     let recalls: Vec<f64> = cm.per_class_recall().into_iter().flatten().collect();
-    let spread = recalls
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = recalls.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - recalls.iter().cloned().fold(f64::INFINITY, f64::min);
     if spread > 1e-6 {
         assert!(
