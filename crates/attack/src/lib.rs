@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+mod bench;
 mod error;
 mod fgsm;
 mod natural_fuzz;
@@ -42,6 +43,7 @@ mod outcome;
 mod pgd;
 mod random_fuzz;
 
+pub use bench::AttackBenches;
 pub use error::AttackError;
 pub use fgsm::Fgsm;
 pub use natural_fuzz::NaturalFuzz;

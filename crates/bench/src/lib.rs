@@ -11,10 +11,12 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod registry;
 pub mod report;
 pub mod world;
 
 pub use campaign::{attack_campaign, density_percentile, CampaignResult, Method};
+pub use registry::all_bench_kernels;
 pub use report::{run_id, ExpRun, REPORT_SCHEMA_VERSION};
 pub use world::{build_cluster_world, build_glyph_world, ClusterWorldConfig, World};
 

@@ -1,0 +1,43 @@
+//! The workspace-wide micro-benchmark registry.
+//!
+//! Aggregates every crate's [`Benchmarkable`] kernels into one list for
+//! `obsctl bench`. New kernel crates plug in here — nothing else needs to
+//! know they exist.
+
+use opad_telemetry::{BenchKernel, Benchmarkable};
+
+/// Every registered kernel across the workspace, in a stable order
+/// (tensor → nn → attack → opmodel → reliability, each crate's own order
+/// within).
+pub fn all_bench_kernels() -> Vec<BenchKernel> {
+    let mut kernels = Vec::new();
+    kernels.extend(opad_tensor::TensorBenches::bench_kernels());
+    kernels.extend(opad_nn::NnBenches::bench_kernels());
+    kernels.extend(opad_attack::AttackBenches::bench_kernels());
+    kernels.extend(opad_opmodel::OpModelBenches::bench_kernels());
+    kernels.extend(opad_reliability::ReliabilityBenches::bench_kernels());
+    kernels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_is_nonempty_with_unique_crate_prefixed_names() {
+        let kernels = all_bench_kernels();
+        assert!(kernels.len() >= 5, "expected at least one kernel per crate");
+        let names: HashSet<&str> = kernels.iter().map(|k| k.name).collect();
+        assert_eq!(names.len(), kernels.len(), "kernel names must be unique");
+        for k in &kernels {
+            assert!(
+                k.name
+                    .split_once('/')
+                    .is_some_and(|(c, rest)| !c.is_empty() && !rest.is_empty()),
+                "kernel name {:?} is not <crate>/<kernel>",
+                k.name
+            );
+        }
+    }
+}

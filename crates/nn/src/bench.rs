@@ -1,0 +1,56 @@
+//! Micro-benchmark registry for the network kernels (`obsctl bench`).
+
+use crate::{Activation, Conv2d, Network};
+use opad_telemetry::{BenchKernel, Benchmarkable};
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The crate's [`Benchmarkable`] registry: the forward/backward paths
+/// whose cost bounds how much testing a wall-clock budget buys.
+pub struct NnBenches;
+
+impl Benchmarkable for NnBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp =
+            Network::mlp(&[144, 48, 10], Activation::Relu, &mut rng).expect("layer sizes chain");
+        let x = Tensor::rand_uniform(&[32, 144], 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+        let mut mlp_grad = mlp.clone();
+        let x_grad = x.clone();
+        let mut conv = Conv2d::new(1, 12, 12, 8, 3, &mut rng).expect("3x3 kernel fits 12x12");
+        let imgs = Tensor::rand_uniform(&[16, 144], 0.0, 1.0, &mut rng);
+        vec![
+            BenchKernel::new("nn/forward_b32_mlp144", move || {
+                black_box(mlp.forward(&x, false).expect("input dim matches mlp"));
+            }),
+            BenchKernel::new("nn/input_grad_b32_mlp144", move || {
+                black_box(
+                    mlp_grad
+                        .loss_and_input_grad(&x_grad, &labels)
+                        .expect("batch and labels agree"),
+                );
+            }),
+            BenchKernel::new("nn/conv2d_forward_16x12x12", move || {
+                black_box(conv.forward(&imgs, false).expect("image dims match conv"));
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = NnBenches::bench_kernels();
+        assert!(kernels.len() >= 3);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("nn/"), "{}", k.name);
+            (k.run)();
+        }
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod bench;
 mod conv;
 mod dense;
 mod dropout;
@@ -48,6 +49,7 @@ mod optimizer;
 mod train;
 
 pub use activation::{Activation, ActivationLayer};
+pub use bench::NnBenches;
 pub use conv::{Conv2d, MaxPool2d};
 pub use dense::Dense;
 pub use dropout::Dropout;

@@ -1,0 +1,316 @@
+//! The `obsctl bench` micro-benchmark harness.
+//!
+//! Drives warmup + N individually-timed iterations over every registered
+//! [`BenchKernel`] and snapshots the timings into a schema-versioned
+//! `BENCH_<seq>.json` at the repository root — a series the trajectory
+//! gate (`obsctl diff`-style eyeballing across commits) can follow.
+
+use opad_telemetry::{parse_json, BenchKernel, JsonValue};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version of the `BENCH_<seq>.json` layout.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Untimed iterations before measurement (cache/branch warmup).
+    pub warmup_iters: u32,
+    /// Timed iterations per kernel.
+    pub iters: u32,
+    /// Only run kernels whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup_iters: 3,
+            iters: 30,
+            filter: None,
+        }
+    }
+}
+
+/// Timing statistics for one kernel, all in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name (`<crate>/<kernel>`).
+    pub name: String,
+    /// Timed iterations behind the quantiles.
+    pub iters: u32,
+    /// Mean iteration time.
+    pub mean_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Median iteration.
+    pub p50_ns: f64,
+    /// 90th percentile iteration.
+    pub p90_ns: f64,
+    /// 99th percentile iteration.
+    pub p99_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+}
+
+/// Runs every (filter-matching) kernel: `warmup_iters` untimed rounds,
+/// then `iters` individually timed ones, reduced to quantiles.
+pub fn run_benchmarks(kernels: Vec<BenchKernel>, cfg: &BenchConfig) -> Vec<KernelStats> {
+    let mut out = Vec::new();
+    for mut k in kernels {
+        if let Some(f) = &cfg.filter {
+            if !k.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        for _ in 0..cfg.warmup_iters {
+            (k.run)();
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(cfg.iters as usize);
+        for _ in 0..cfg.iters.max(1) {
+            let t = Instant::now();
+            (k.run)();
+            samples_ns.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let n = samples_ns.len();
+        let q = |p: f64| samples_ns[((p * n as f64).ceil() as usize).clamp(1, n) - 1];
+        out.push(KernelStats {
+            name: k.name.to_string(),
+            iters: n as u32,
+            mean_ns: samples_ns.iter().sum::<f64>() / n as f64,
+            min_ns: samples_ns[0],
+            p50_ns: q(0.50),
+            p90_ns: q(0.90),
+            p99_ns: q(0.99),
+            max_ns: samples_ns[n - 1],
+        });
+    }
+    out
+}
+
+/// Next unused sequence number for `BENCH_<seq>.json` in `dir`.
+pub fn next_bench_seq(dir: &Path) -> u32 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(Result::ok)
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u32>()
+                .ok()
+        })
+        .map(|seq| seq + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Writes `BENCH_<seq>.json` into `dir` and returns its path.
+///
+/// # Errors
+///
+/// Propagates the underlying file write failure.
+pub fn write_bench_report(
+    dir: &Path,
+    seq: u32,
+    run_id: &str,
+    cfg: &BenchConfig,
+    stats: &[KernelStats],
+) -> std::io::Result<PathBuf> {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"seq\": {seq},");
+    let _ = writeln!(s, "  \"run_id\": {},", json_str(run_id));
+    let _ = writeln!(s, "  \"warmup_iters\": {},", cfg.warmup_iters);
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in stats.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": {}, \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \"max_ns\": {:.1}}}",
+            json_str(&k.name),
+            k.iters,
+            k.mean_ns,
+            k.min_ns,
+            k.p50_ns,
+            k.p90_ns,
+            k.p99_ns,
+            k.max_ns
+        );
+        s.push_str(if i + 1 < stats.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{seq}.json"));
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
+/// Reads a `BENCH_<seq>.json` back into kernel statistics.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failure, malformed JSON, a
+/// too-new `schema_version`, or rows missing required fields.
+pub fn read_bench_report(path: &Path) -> Result<(String, Vec<KernelStats>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing schema_version")?;
+    if version > u64::from(BENCH_SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {version} is newer than supported {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    let run_id = doc
+        .get("run_id")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing run_id")?
+        .to_string();
+    let kernels = doc
+        .get("kernels")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing kernels array")?;
+    let mut out = Vec::with_capacity(kernels.len());
+    for (i, k) in kernels.iter().enumerate() {
+        let f = |key: &str| {
+            k.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("kernel {i}: missing {key}"))
+        };
+        out.push(KernelStats {
+            name: k
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("kernel {i}: missing name"))?
+                .to_string(),
+            iters: k
+                .get("iters")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("kernel {i}: missing iters"))? as u32,
+            mean_ns: f("mean_ns")?,
+            min_ns: f("min_ns")?,
+            p50_ns: f("p50_ns")?,
+            p90_ns: f("p90_ns")?,
+            p99_ns: f("p99_ns")?,
+            max_ns: f("max_ns")?,
+        });
+    }
+    Ok((run_id, out))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_kernels() -> Vec<BenchKernel> {
+        vec![
+            BenchKernel::new("test/spin", || {
+                std::hint::black_box((0..100).sum::<u64>());
+            }),
+            BenchKernel::new("test/noop", || {}),
+            BenchKernel::new("other/skip_me", || {}),
+        ]
+    }
+
+    #[test]
+    fn harness_times_and_orders_quantiles() {
+        let cfg = BenchConfig {
+            warmup_iters: 1,
+            iters: 20,
+            filter: None,
+        };
+        let stats = run_benchmarks(fake_kernels(), &cfg);
+        assert_eq!(stats.len(), 3);
+        for k in &stats {
+            assert_eq!(k.iters, 20);
+            assert!(k.min_ns <= k.p50_ns, "{k:?}");
+            assert!(k.p50_ns <= k.p90_ns, "{k:?}");
+            assert!(k.p90_ns <= k.p99_ns, "{k:?}");
+            assert!(k.p99_ns <= k.max_ns, "{k:?}");
+            assert!(k.mean_ns >= k.min_ns && k.mean_ns <= k.max_ns, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn the_filter_selects_by_substring() {
+        let cfg = BenchConfig {
+            warmup_iters: 0,
+            iters: 2,
+            filter: Some("test/".into()),
+        };
+        let stats = run_benchmarks(fake_kernels(), &cfg);
+        let names: Vec<&str> = stats.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, ["test/spin", "test/noop"]);
+    }
+
+    #[test]
+    fn reports_round_trip_and_the_sequence_advances() {
+        let dir = std::env::temp_dir().join("opad_obs_bench_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        assert_eq!(next_bench_seq(&dir), 0);
+        let cfg = BenchConfig::default();
+        let stats = run_benchmarks(fake_kernels(), &cfg);
+        let path = write_bench_report(&dir, 0, "abc-dirty", &cfg, &stats).expect("report writes");
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some("BENCH_0.json")
+        );
+        assert_eq!(next_bench_seq(&dir), 1);
+        let (run_id, back) = read_bench_report(&path).expect("report parses back");
+        assert_eq!(run_id, "abc-dirty");
+        assert_eq!(back.len(), stats.len());
+        for (a, b) in back.iter().zip(&stats) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.iters, b.iters);
+            // Values were rounded to 0.1 ns on write.
+            assert!((a.p99_ns - b.p99_ns).abs() <= 0.05 + 1e-9);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_newer_bench_schema_is_rejected() {
+        let dir = std::env::temp_dir().join("opad_obs_bench_ver_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        let path = dir.join("BENCH_9.json");
+        std::fs::write(
+            &path,
+            "{\"schema_version\": 99, \"run_id\": \"x\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+        let err = read_bench_report(&path).expect_err("version 99 must be rejected");
+        assert!(err.contains("newer than supported"), "{err}");
+        assert_eq!(next_bench_seq(&dir), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,15 @@
+//! `obsctl` — trace analytics, run diffing and micro-benchmarks over the
+//! artefacts in `results/`. All logic lives in `opad_obs`; this binary
+//! only wires in the workspace kernel registry and the git run id.
+
+use opad_obs::CliEnv;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let env = CliEnv {
+        kernels: Box::new(opad_bench::all_bench_kernels),
+        run_id: Box::new(opad_bench::run_id),
+    };
+    let code = opad_obs::run(&args, env, &mut std::io::stdout());
+    std::process::exit(code);
+}

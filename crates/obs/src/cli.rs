@@ -1,0 +1,413 @@
+//! The `obsctl` command-line front end, as a testable library function.
+//!
+//! `run` takes the argument vector, an environment handle (how to reach
+//! the kernel registry and the run id — injected so tests can use
+//! synthetic kernels), and an output writer. It returns the process exit
+//! code: `0` clean, `1` gate failure (regression or selfcheck error),
+//! `2` usage or I/O error.
+
+use crate::bench::{next_bench_seq, run_benchmarks, write_bench_report, BenchConfig};
+use crate::diff::{diff_runs, DiffConfig};
+use crate::envelope::{read_envelope, Envelope};
+use crate::metrics::metrics_from_run;
+use crate::selfcheck::selfcheck_dir;
+use crate::tree::{aggregate_spans, critical_path, SpanTree};
+use opad_telemetry::{parse_trace, BenchKernel, Trace};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// What the CLI needs from the outside world.
+pub struct CliEnv {
+    /// Builds the workspace kernel registry (linked in by the binary;
+    /// tests inject synthetic kernels).
+    pub kernels: Box<dyn FnOnce() -> Vec<BenchKernel>>,
+    /// Produces the run id stamped into bench snapshots (the binary
+    /// passes `opad_bench::run_id`, reusing the envelope convention).
+    pub run_id: Box<dyn Fn() -> String>,
+}
+
+const USAGE: &str = "\
+obsctl — trace analytics over opad run artefacts
+
+usage:
+  obsctl summary <results/EXP.json>         per-run span tree + budget breakdown
+  obsctl diff <a.json> <b.json> [--threshold 0.2]
+                                            regression gate (non-zero exit on regression)
+  obsctl bench [--iters N] [--warmup N] [--filter SUBSTR] [--out DIR]
+                                            run kernel micro-benchmarks, write BENCH_<seq>.json
+  obsctl list [results_dir]                 discover every run envelope
+  obsctl selfcheck [results_dir] [bench_dir]
+                                            validate all artefacts against their schema versions
+  obsctl help                               this text";
+
+/// Entry point shared by the binary and the tests.
+pub fn run(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "summary" => cmd_summary(rest, out),
+        "diff" => cmd_diff(rest, out),
+        "bench" => cmd_bench(rest, env, out),
+        "list" => cmd_list(rest, out),
+        "selfcheck" => cmd_selfcheck(rest, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            0
+        }
+        other => {
+            let _ = writeln!(out, "unknown command {other:?}\n{USAGE}");
+            2
+        }
+    }
+}
+
+/// `<exp>.json` → sibling `<exp>_trace.jsonl`.
+fn trace_path_for(envelope_path: &Path) -> PathBuf {
+    let stem = envelope_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    envelope_path.with_file_name(format!("{stem}_trace.jsonl"))
+}
+
+fn load_run(path: &Path, out: &mut dyn Write) -> Option<(Envelope, Option<Trace>)> {
+    let envelope = match read_envelope(path) {
+        Ok(e) => e,
+        Err(e) => {
+            let _ = writeln!(out, "error: {}: {e}", path.display());
+            return None;
+        }
+    };
+    let trace = std::fs::read_to_string(trace_path_for(path))
+        .ok()
+        .map(|text| parse_trace(&text));
+    Some((envelope, trace))
+}
+
+fn cmd_summary(args: &[String], out: &mut dyn Write) -> i32 {
+    let Some(path) = args.first() else {
+        let _ = writeln!(out, "usage: obsctl summary <results/EXP.json>");
+        return 2;
+    };
+    let Some((env, trace)) = load_run(Path::new(path), out) else {
+        return 2;
+    };
+    let _ = writeln!(
+        out,
+        "run {} — experiment {} (envelope v{})",
+        env.run_id, env.experiment, env.schema_version
+    );
+    for (name, rows) in &env.sections {
+        let size = rows
+            .as_arr()
+            .map(|a| format!("{} rows", a.len()))
+            .unwrap_or_else(|| "1 value".to_string());
+        let _ = writeln!(out, "  section {name}: {size}");
+    }
+    if let Some(t) = &env.telemetry {
+        let _ = writeln!(
+            out,
+            "  telemetry: {:.0} ms wall, {} events ({:.0} events/s)",
+            t.wall_ms, t.events, t.events_per_sec
+        );
+        for (name, total) in &t.counters {
+            let _ = writeln!(out, "    counter {name:<32} {total}");
+        }
+        for (name, value) in &t.gauges {
+            let _ = writeln!(out, "    gauge   {name:<32} {value:.6}");
+        }
+        for h in &t.histograms {
+            let _ = writeln!(
+                out,
+                "    hist    {:<32} n={} p50={:.2} p90={:.2} p99={:.2}",
+                h.name, h.count, h.p50, h.p90, h.p99
+            );
+        }
+    } else {
+        let _ = writeln!(out, "  telemetry: none recorded (legacy envelope?)");
+    }
+    match trace {
+        Some(trace) => {
+            if trace.truncated {
+                let _ = writeln!(out, "  note: trace ends mid-line (crashed run?)");
+            }
+            for (line, err) in &trace.errors {
+                let _ = writeln!(out, "  note: trace line {line}: {err}");
+            }
+            let tree = aggregate_spans(&trace.events);
+            print_tree(&tree, out);
+            print_budget(&tree, out);
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  trace: no {} found",
+                trace_path_for(Path::new(path)).display()
+            );
+        }
+    }
+    0
+}
+
+/// Renders the aggregated wall-time tree with self/total attribution and
+/// the critical path.
+fn print_tree(tree: &SpanTree, out: &mut dyn Write) {
+    if tree.children.is_empty() {
+        let _ = writeln!(out, "  spans: none completed in trace");
+        return;
+    }
+    let run_total: f64 = tree.children.iter().map(|c| c.total_ms).sum();
+    let _ = writeln!(out, "  span tree (total / self, % of run):");
+    tree.walk(&mut |depth, node| {
+        let pct = if run_total > 0.0 {
+            100.0 * node.total_ms / run_total
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "    {:indent$}{:<20} x{:<5} {:>10.1} ms / {:>9.1} ms  {:>5.1}%",
+            "",
+            node.name,
+            node.count,
+            node.total_ms,
+            node.self_ms,
+            pct,
+            indent = depth * 2
+        );
+    });
+    let path = critical_path(tree);
+    let rendered: Vec<String> = path
+        .iter()
+        .map(|(n, ms)| format!("{n} ({ms:.1} ms)"))
+        .collect();
+    let _ = writeln!(out, "  critical path: {}", rendered.join(" > "));
+}
+
+/// Per-step budget breakdown of the testing loop: how the `round` wall
+/// time splits over the Fig. 1 steps.
+fn print_budget(tree: &SpanTree, out: &mut dyn Write) {
+    let Some(round) = tree.child("round") else {
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "  budget breakdown over {} round(s), {:.1} ms total:",
+        round.count, round.total_ms
+    );
+    let mut rows: Vec<(&str, f64)> = round
+        .children
+        .iter()
+        .map(|c| (c.name.as_str(), c.total_ms))
+        .collect();
+    rows.push(("(round overhead)", round.self_ms));
+    for (name, ms) in rows {
+        let pct = if round.total_ms > 0.0 {
+            100.0 * ms / round.total_ms
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "    {name:<20} {ms:>10.1} ms  {pct:>5.1}%");
+    }
+}
+
+fn cmd_diff(args: &[String], out: &mut dyn Write) -> i32 {
+    let mut paths = Vec::new();
+    let mut cfg = DiffConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => cfg.threshold = t,
+                _ => {
+                    let _ = writeln!(out, "error: --threshold needs a positive number");
+                    return 2;
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [a, b] = paths.as_slice() else {
+        let _ = writeln!(
+            out,
+            "usage: obsctl diff <a.json> <b.json> [--threshold 0.2]"
+        );
+        return 2;
+    };
+    let Some((env_a, trace_a)) = load_run(Path::new(a), out) else {
+        return 2;
+    };
+    let Some((env_b, trace_b)) = load_run(Path::new(b), out) else {
+        return 2;
+    };
+    let tree = |t: Option<Trace>| aggregate_spans(&t.map(|t| t.events).unwrap_or_default());
+    let ma = metrics_from_run(&env_a, &tree(trace_a));
+    let mb = metrics_from_run(&env_b, &tree(trace_b));
+    let report = diff_runs(&ma, &mb, &cfg);
+    let _ = writeln!(out, "{report}");
+    i32::from(report.any_regression())
+}
+
+fn cmd_bench(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
+    let mut cfg = BenchConfig::default();
+    let mut out_dir = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n > 0 => cfg.iters = n,
+                _ => {
+                    let _ = writeln!(out, "error: --iters needs a positive integer");
+                    return 2;
+                }
+            },
+            "--warmup" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => cfg.warmup_iters = n,
+                None => {
+                    let _ = writeln!(out, "error: --warmup needs a non-negative integer");
+                    return 2;
+                }
+            },
+            "--filter" => match it.next() {
+                Some(f) => cfg.filter = Some(f.clone()),
+                None => {
+                    let _ = writeln!(out, "error: --filter needs a substring");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    let _ = writeln!(out, "error: --out needs a directory");
+                    return 2;
+                }
+            },
+            other => {
+                let _ = writeln!(out, "error: unknown bench flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    let kernels = (env.kernels)();
+    let _ = writeln!(
+        out,
+        "benchmarking {} kernel(s): warmup {}, iters {}",
+        kernels.len(),
+        cfg.warmup_iters,
+        cfg.iters
+    );
+    let stats = run_benchmarks(kernels, &cfg);
+    for k in &stats {
+        let _ = writeln!(
+            out,
+            "  {:<32} p50 {:>12.0} ns   p90 {:>12.0} ns   p99 {:>12.0} ns",
+            k.name, k.p50_ns, k.p90_ns, k.p99_ns
+        );
+    }
+    let seq = next_bench_seq(&out_dir);
+    match write_bench_report(&out_dir, seq, &(env.run_id)(), &cfg, &stats) {
+        Ok(path) => {
+            let _ = writeln!(out, "wrote {}", path.display());
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot write bench report: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_list(args: &[String], out: &mut dyn Write) -> i32 {
+    let dir = PathBuf::from(args.first().map(String::as_str).unwrap_or("results"));
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .into_iter()
+        .flatten()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().and_then(|e| e.to_str()) == Some("json")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| !n.starts_with("BENCH_"))
+        })
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        let _ = writeln!(out, "no run envelopes under {}", dir.display());
+        return 0;
+    }
+    let _ = writeln!(
+        out,
+        "{:<28} {:<16} {:>9} {:>9}  sections",
+        "experiment", "run_id", "wall_ms", "trace"
+    );
+    for path in entries {
+        match read_envelope(&path) {
+            Ok(env) => {
+                let wall = env
+                    .telemetry
+                    .as_ref()
+                    .map(|t| format!("{:.0}", t.wall_ms))
+                    .unwrap_or_else(|| "-".to_string());
+                let trace = if trace_path_for(&path).exists() {
+                    "yes"
+                } else {
+                    "-"
+                };
+                let sections: Vec<&str> = env.sections.iter().map(|(k, _)| k.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:<16} {:>9} {:>9}  {}",
+                    env.experiment,
+                    env.run_id,
+                    wall,
+                    trace,
+                    sections.join(", ")
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    out,
+                    "{:<28} ! {e}",
+                    path.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+                );
+            }
+        }
+    }
+    0
+}
+
+fn cmd_selfcheck(args: &[String], out: &mut dyn Write) -> i32 {
+    let results = PathBuf::from(args.first().map(String::as_str).unwrap_or("results"));
+    let bench = PathBuf::from(args.get(1).map(String::as_str).unwrap_or("."));
+    let outcome = selfcheck_dir(&results, &bench);
+    let _ = writeln!(out, "{}", outcome.render());
+    i32::from(!outcome.passed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_is_printed_for_no_or_unknown_commands() {
+        let env = || CliEnv {
+            kernels: Box::new(Vec::new),
+            run_id: Box::new(|| "test".to_string()),
+        };
+        let mut out = Vec::new();
+        assert_eq!(run(&[], env(), &mut out), 0);
+        assert!(String::from_utf8(out).expect("utf8").contains("usage:"));
+        let mut out = Vec::new();
+        assert_eq!(run(&["frobnicate".to_string()], env(), &mut out), 2);
+    }
+
+    #[test]
+    fn trace_paths_derive_from_the_envelope_name() {
+        assert_eq!(
+            trace_path_for(Path::new("results/exp2_detection_efficiency.json")),
+            Path::new("results/exp2_detection_efficiency_trace.jsonl")
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Two-run regression comparison — the `obsctl diff` trajectory gate.
+
+use crate::metrics::RunMetrics;
+use std::fmt;
+
+/// Thresholds for calling a metric change a regression.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Maximum tolerated relative change in the *bad* direction
+    /// (e.g. `0.2` = a 20% slowdown fails).
+    pub threshold: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig { threshold: 0.2 }
+    }
+}
+
+/// How a metric's sign maps to quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Larger values are slower/worse (wall clock, iterations, rounds).
+    HigherIsWorse,
+    /// Larger values are better (throughput).
+    HigherIsBetter,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name as printed.
+    pub name: &'static str,
+    /// Value in the baseline run.
+    pub a: f64,
+    /// Value in the candidate run.
+    pub b: f64,
+    /// Relative change in the *bad* direction (positive = worse), or
+    /// `NaN` when either side is missing.
+    pub badness: f64,
+    /// Whether `badness` exceeds the configured threshold.
+    pub regressed: bool,
+}
+
+/// A full regression report between a baseline and a candidate run.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Baseline run id.
+    pub run_a: String,
+    /// Candidate run id.
+    pub run_b: String,
+    /// Threshold the verdicts used.
+    pub threshold: f64,
+    /// Every compared metric, in a stable order.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl DiffReport {
+    /// True when any metric regressed past the threshold — the condition
+    /// under which `obsctl diff` exits non-zero.
+    pub fn any_regression(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "regression report: {} (baseline) vs {} (candidate), threshold {:.0}%",
+            self.run_a,
+            self.run_b,
+            self.threshold * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>12} {:>12} {:>9}  verdict",
+            "metric", "baseline", "candidate", "change"
+        )?;
+        for d in &self.deltas {
+            let verdict = if d.badness.is_nan() {
+                "n/a"
+            } else if d.regressed {
+                "REGRESSED"
+            } else if d.badness < 0.0 {
+                "improved"
+            } else {
+                "ok"
+            };
+            let change = if d.badness.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:+.1}%", d.badness * 100.0)
+            };
+            writeln!(
+                f,
+                "  {:<22} {:>12} {:>12} {:>9}  {verdict}",
+                d.name,
+                fmt_value(d.a),
+                fmt_value(d.b),
+                change
+            )?;
+        }
+        let verdict = if self.any_regression() {
+            "REGRESSION"
+        } else {
+            "clean"
+        };
+        write!(f, "  overall: {verdict}")
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Compares two runs' metrics. Metrics missing on either side are
+/// reported but never count as regressions (a run that simply didn't
+/// record PGD histograms shouldn't fail the gate).
+pub fn diff_runs(a: &RunMetrics, b: &RunMetrics, cfg: &DiffConfig) -> DiffReport {
+    use Direction::{HigherIsBetter, HigherIsWorse};
+    let rows: [(&'static str, f64, f64, Direction); 7] = [
+        ("wall_ms", a.wall_ms, b.wall_ms, HigherIsWorse),
+        (
+            "iters_to_success_p50",
+            a.iters_p50,
+            b.iters_p50,
+            HigherIsWorse,
+        ),
+        (
+            "iters_to_success_p90",
+            a.iters_p90,
+            b.iters_p90,
+            HigherIsWorse,
+        ),
+        (
+            "iters_to_success_p99",
+            a.iters_p99,
+            b.iters_p99,
+            HigherIsWorse,
+        ),
+        (
+            "seeds_per_sec",
+            a.seeds_per_sec,
+            b.seeds_per_sec,
+            HigherIsBetter,
+        ),
+        ("aes_per_sec", a.aes_per_sec, b.aes_per_sec, HigherIsBetter),
+        ("rounds", a.rounds, b.rounds, HigherIsWorse),
+    ];
+    let deltas = rows
+        .into_iter()
+        .map(|(name, va, vb, dir)| {
+            let badness = if !va.is_finite() || !vb.is_finite() || va == 0.0 {
+                f64::NAN
+            } else {
+                match dir {
+                    HigherIsWorse => (vb - va) / va,
+                    HigherIsBetter => (va - vb) / va,
+                }
+            };
+            MetricDelta {
+                name,
+                a: va,
+                b: vb,
+                badness,
+                regressed: badness.is_finite() && badness > cfg.threshold,
+            }
+        })
+        .collect();
+    DiffReport {
+        run_a: a.run_id.clone(),
+        run_b: b.run_id.clone(),
+        threshold: cfg.threshold,
+        deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(wall: f64, p50: f64, seeds: f64) -> RunMetrics {
+        RunMetrics {
+            run_id: "r".into(),
+            wall_ms: wall,
+            iters_p50: p50,
+            iters_p90: p50 * 2.0,
+            iters_p99: p50 * 3.0,
+            seeds_per_sec: seeds,
+            aes_per_sec: seeds / 4.0,
+            rounds: 5.0,
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let a = metrics(1000.0, 5.0, 40.0);
+        let report = diff_runs(&a, &a.clone(), &DiffConfig::default());
+        assert!(!report.any_regression());
+        assert!(report.deltas.iter().all(|d| d.badness == 0.0));
+    }
+
+    #[test]
+    fn a_25_percent_slowdown_trips_the_20_percent_gate() {
+        let a = metrics(1000.0, 5.0, 40.0);
+        let b = metrics(1250.0, 5.0, 40.0);
+        let report = diff_runs(&a, &b, &DiffConfig::default());
+        assert!(report.any_regression());
+        let wall = &report.deltas[0];
+        assert!(wall.regressed);
+        assert!((wall.badness - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_drops_count_as_regressions_and_gains_do_not() {
+        let a = metrics(1000.0, 5.0, 40.0);
+        let mut worse = metrics(1000.0, 5.0, 28.0); // -30% seeds/s
+        worse.aes_per_sec = a.aes_per_sec * 2.0; // better is never worse
+        let report = diff_runs(&a, &worse, &DiffConfig::default());
+        let seeds = report
+            .deltas
+            .iter()
+            .find(|d| d.name == "seeds_per_sec")
+            .expect("metric present");
+        assert!(seeds.regressed);
+        let aes = report
+            .deltas
+            .iter()
+            .find(|d| d.name == "aes_per_sec")
+            .expect("metric present");
+        assert!(!aes.regressed && aes.badness < 0.0);
+    }
+
+    #[test]
+    fn missing_metrics_never_regress() {
+        let a = metrics(1000.0, f64::NAN, 40.0);
+        let b = metrics(1100.0, 9.0, f64::NAN);
+        let report = diff_runs(&a, &b, &DiffConfig { threshold: 0.5 });
+        assert!(!report.any_regression());
+        assert!(report
+            .deltas
+            .iter()
+            .filter(|d| d.name.starts_with("iters") || d.name.ends_with("per_sec"))
+            .all(|d| d.badness.is_nan()));
+    }
+
+    #[test]
+    fn the_threshold_is_configurable() {
+        let a = metrics(1000.0, 5.0, 40.0);
+        let b = metrics(1100.0, 5.0, 40.0); // +10%
+        assert!(!diff_runs(&a, &b, &DiffConfig::default()).any_regression());
+        assert!(diff_runs(&a, &b, &DiffConfig { threshold: 0.05 }).any_regression());
+    }
+
+    #[test]
+    fn display_renders_a_table_with_the_verdict() {
+        let a = metrics(1000.0, 5.0, 40.0);
+        let b = metrics(1500.0, 5.0, 40.0);
+        let text = diff_runs(&a, &b, &DiffConfig::default()).to_string();
+        assert!(text.contains("wall_ms"));
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("overall: REGRESSION"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Typed view of the `results/<exp>.json` envelope written by
+//! `opad_bench::ExpRun`.
+//!
+//! Parsing is forward-compatible: unknown fields anywhere are skipped
+//! (they become result sections at the top level, and are ignored inside
+//! the telemetry summary), while a `schema_version` above the supported
+//! one is rejected — the same policy the trace reader applies per line.
+
+use opad_telemetry::{parse_json, JsonError, JsonValue};
+use std::fmt;
+use std::path::Path;
+
+/// Highest `results/<exp>.json` envelope version this reader understands
+/// (mirrors `opad_bench::REPORT_SCHEMA_VERSION`).
+pub const SUPPORTED_ENVELOPE_VERSION: u32 = 1;
+
+/// Envelope keys that are metadata rather than result sections.
+const META_KEYS: [&str; 6] = [
+    "schema_version",
+    "experiment",
+    "run_id",
+    "config",
+    "telemetry",
+    "note",
+];
+
+/// Why an envelope could not be read.
+#[derive(Debug)]
+pub enum EnvelopeError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Json(JsonError),
+    /// The document is not a JSON object.
+    NotAnObject,
+    /// A required metadata field is missing or has the wrong type.
+    MissingField(&'static str),
+    /// The envelope was written by a newer layout than this reader.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u64,
+        /// Highest version this reader supports.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::Io(e) => write!(f, "cannot read envelope: {e}"),
+            EnvelopeError::Json(e) => write!(f, "envelope is not valid JSON: {e}"),
+            EnvelopeError::NotAnObject => write!(f, "envelope is not a JSON object"),
+            EnvelopeError::MissingField(name) => {
+                write!(f, "envelope is missing required field {name:?}")
+            }
+            EnvelopeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "envelope schema_version {found} is newer than supported {supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Aggregate telemetry embedded in an envelope (the JSON form of
+/// `opad_telemetry::Summary`). Absent (`None` fields empty) in legacy
+/// envelopes converted from the pre-envelope layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Whole-run wall clock in milliseconds.
+    pub wall_ms: f64,
+    /// Number of telemetry operations recorded.
+    pub events: u64,
+    /// Recording throughput.
+    pub events_per_sec: f64,
+    /// Final counter totals, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Last-written gauge values, in name order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries: `(name, count, min, max, mean, p50, p90, p99)`.
+    pub histograms: Vec<HistStat>,
+    /// Per-span-name rollups.
+    pub spans: Vec<SpanStat>,
+}
+
+/// One histogram summary row from the envelope telemetry block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistStat {
+    /// Histogram name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// One per-span-name rollup row from the envelope telemetry block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Completed instances.
+    pub count: u64,
+    /// Sum of wall times, ms.
+    pub total_ms: f64,
+    /// Fastest instance, ms.
+    pub min_ms: f64,
+    /// Median instance, ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Slowest instance, ms.
+    pub max_ms: f64,
+}
+
+/// A parsed `results/<exp>.json` envelope.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Envelope layout version (≤ [`SUPPORTED_ENVELOPE_VERSION`]).
+    pub schema_version: u64,
+    /// Experiment name (also the file stem).
+    pub experiment: String,
+    /// `git describe` style id of the tree that produced the run.
+    pub run_id: String,
+    /// Full experiment configuration, as written.
+    pub config: JsonValue,
+    /// Aggregate telemetry, when the run recorded any.
+    pub telemetry: Option<TelemetrySummary>,
+    /// Result sections: every non-metadata top-level key, in file order
+    /// (`rows` for single-table experiments; e.g. `op_quality` and
+    /// `downstream` for exp8).
+    pub sections: Vec<(String, JsonValue)>,
+}
+
+impl Envelope {
+    /// Parses an envelope from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnvelopeError`] on malformed JSON, a missing required
+    /// field, or a too-new `schema_version`.
+    pub fn from_json(text: &str) -> Result<Envelope, EnvelopeError> {
+        let doc = parse_json(text).map_err(EnvelopeError::Json)?;
+        let obj = doc.as_obj().ok_or(EnvelopeError::NotAnObject)?;
+        let field = |name: &'static str| {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or(EnvelopeError::MissingField(name))
+        };
+        let schema_version = field("schema_version")?
+            .as_u64()
+            .ok_or(EnvelopeError::MissingField("schema_version"))?;
+        if schema_version > u64::from(SUPPORTED_ENVELOPE_VERSION) {
+            return Err(EnvelopeError::UnsupportedVersion {
+                found: schema_version,
+                supported: SUPPORTED_ENVELOPE_VERSION,
+            });
+        }
+        let experiment = field("experiment")?
+            .as_str()
+            .ok_or(EnvelopeError::MissingField("experiment"))?
+            .to_string();
+        let run_id = field("run_id")?
+            .as_str()
+            .ok_or(EnvelopeError::MissingField("run_id"))?
+            .to_string();
+        let config = field("config").cloned().unwrap_or(JsonValue::Null);
+        let telemetry = match obj.iter().find(|(k, _)| k == "telemetry") {
+            Some((_, JsonValue::Obj(_))) => Some(parse_telemetry(
+                field("telemetry").expect("key just matched"),
+            )),
+            _ => None,
+        };
+        let sections = obj
+            .iter()
+            .filter(|(k, _)| !META_KEYS.contains(&k.as_str()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Ok(Envelope {
+            schema_version,
+            experiment,
+            run_id,
+            config,
+            telemetry,
+            sections,
+        })
+    }
+}
+
+/// Reads and parses an envelope file.
+///
+/// # Errors
+///
+/// I/O failures plus everything [`Envelope::from_json`] rejects.
+pub fn read_envelope(path: &Path) -> Result<Envelope, EnvelopeError> {
+    let text = std::fs::read_to_string(path).map_err(EnvelopeError::Io)?;
+    Envelope::from_json(&text)
+}
+
+/// Pulls the typed summary out of the `telemetry` object, skipping any
+/// field a newer writer may have added and defaulting anything missing —
+/// metadata losses degrade the report, they don't kill it.
+fn parse_telemetry(v: &JsonValue) -> TelemetrySummary {
+    let mut s = TelemetrySummary {
+        wall_ms: num(v, "wall_ms"),
+        events: int(v, "events"),
+        events_per_sec: num(v, "events_per_sec"),
+        ..TelemetrySummary::default()
+    };
+    if let Some(obj) = v.get("counters").and_then(JsonValue::as_obj) {
+        s.counters = obj
+            .iter()
+            .filter_map(|(k, t)| t.as_u64().map(|t| (k.clone(), t)))
+            .collect();
+    }
+    if let Some(obj) = v.get("gauges").and_then(JsonValue::as_obj) {
+        s.gauges = obj
+            .iter()
+            .filter_map(|(k, g)| g.as_f64().map(|g| (k.clone(), g)))
+            .collect();
+    }
+    if let Some(arr) = v.get("histograms").and_then(JsonValue::as_arr) {
+        s.histograms = arr
+            .iter()
+            .filter_map(|h| {
+                Some(HistStat {
+                    name: h.get("name")?.as_str()?.to_string(),
+                    count: int(h, "count"),
+                    min: num(h, "min"),
+                    max: num(h, "max"),
+                    mean: num(h, "mean"),
+                    p50: num(h, "p50"),
+                    p90: num(h, "p90"),
+                    p99: num(h, "p99"),
+                })
+            })
+            .collect();
+    }
+    if let Some(arr) = v.get("spans").and_then(JsonValue::as_arr) {
+        s.spans = arr
+            .iter()
+            .filter_map(|r| {
+                Some(SpanStat {
+                    name: r.get("name")?.as_str()?.to_string(),
+                    count: int(r, "count"),
+                    total_ms: num(r, "total_ms"),
+                    min_ms: num(r, "min_ms"),
+                    p50_ms: num(r, "p50_ms"),
+                    p90_ms: num(r, "p90_ms"),
+                    p99_ms: num(r, "p99_ms"),
+                    max_ms: num(r, "max_ms"),
+                })
+            })
+            .collect();
+    }
+    s
+}
+
+fn num(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(JsonValue::as_f64).unwrap_or(f64::NAN)
+}
+
+fn int(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"{
+        "schema_version": 1,
+        "experiment": "exp_test",
+        "run_id": "abc1234",
+        "config": {"budget": 100},
+        "telemetry": {
+            "wall_ms": 1200.5, "events": 42, "events_per_sec": 35.0,
+            "counters": {"pipeline.seeds_attacked": 400, "pipeline.aes_found": 90},
+            "gauges": {"pipeline.pfd_mean": 0.01},
+            "histograms": [{"name": "attack.pgd.iters_to_success",
+                "count": 90, "min": 1.0, "max": 15.0, "mean": 6.0,
+                "p50": 5.0, "p90": 12.0, "p99": 15.0}],
+            "spans": [{"name": "round", "count": 4, "total_ms": 1100.0,
+                "min_ms": 250.0, "p50_ms": 270.0, "p90_ms": 300.0,
+                "p99_ms": 300.0, "max_ms": 300.0}]
+        },
+        "rows": [1, 2, 3]
+    }"#;
+
+    #[test]
+    fn parses_the_full_envelope() {
+        let e = Envelope::from_json(MINIMAL).expect("well-formed envelope parses");
+        assert_eq!(e.schema_version, 1);
+        assert_eq!(e.experiment, "exp_test");
+        assert_eq!(e.run_id, "abc1234");
+        let t = e.telemetry.expect("telemetry block present");
+        assert_eq!(t.events, 42);
+        assert_eq!(t.counters[0], ("pipeline.seeds_attacked".into(), 400));
+        assert_eq!(t.histograms[0].p90, 12.0);
+        assert_eq!(t.spans[0].count, 4);
+        assert_eq!(e.sections.len(), 1);
+        assert_eq!(e.sections[0].0, "rows");
+        assert_eq!(e.sections[0].1.as_arr().map(<[JsonValue]>::len), Some(3));
+    }
+
+    #[test]
+    fn unknown_fields_everywhere_are_tolerated() {
+        let doc = MINIMAL
+            .replace("\"events\": 42,", "\"events\": 42, \"new_metric\": [1,2],")
+            .replace(
+                "\"rows\": [1, 2, 3]",
+                "\"rows\": [], \"extra_table\": {\"a\": 1}",
+            );
+        let e = Envelope::from_json(&doc).expect("unknown fields are skipped");
+        assert_eq!(e.telemetry.expect("still parsed").events, 42);
+        let names: Vec<&str> = e.sections.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["rows", "extra_table"]);
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected() {
+        let doc = MINIMAL.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        match Envelope::from_json(&doc) {
+            Err(EnvelopeError::UnsupportedVersion {
+                found: 2,
+                supported: 1,
+            }) => {}
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_telemetry_reads_as_absent() {
+        let start = MINIMAL
+            .find("\"telemetry\"")
+            .expect("fixture has telemetry");
+        let end = MINIMAL.find("\"rows\"").expect("fixture has rows");
+        let doc = format!(
+            "{}\"telemetry\": null,\n        {}",
+            &MINIMAL[..start],
+            &MINIMAL[end..]
+        );
+        let e = Envelope::from_json(&doc).expect("null telemetry is legal");
+        assert!(e.telemetry.is_none());
+    }
+
+    #[test]
+    fn missing_run_id_is_named_in_the_error() {
+        let doc = MINIMAL.replace("\"run_id\": \"abc1234\",", "");
+        match Envelope::from_json(&doc) {
+            Err(EnvelopeError::MissingField("run_id")) => {}
+            other => panic!("expected missing run_id, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # opad-obs
+//!
+//! Trace analytics and performance-regression tooling over the artefacts
+//! the experiment binaries leave behind (`results/<exp>.json` envelopes
+//! and `results/<exp>_trace.jsonl` span streams).
+//!
+//! The `obsctl` binary is the front door:
+//!
+//! * `obsctl summary <envelope.json>` — per-run rollup: wall-time tree
+//!   with self/child attribution, the critical path, the per-step budget
+//!   breakdown of the paper's Fig. 1 loop (sample/fuzz/evaluate/assess/
+//!   retrain), and counter/gauge/histogram summaries;
+//! * `obsctl diff <a.json> <b.json>` — regression report between two runs
+//!   (wall clock, iterations-to-success quantiles, seeds and AEs per
+//!   second, rounds), exiting non-zero when any metric regresses past the
+//!   threshold — the CI trajectory gate;
+//! * `obsctl bench` — micro-benchmark harness over every crate's
+//!   [`opad_telemetry::Benchmarkable`] registry, writing a
+//!   schema-versioned `BENCH_<seq>.json` snapshot;
+//! * `obsctl list` / `obsctl selfcheck` — uniform discovery of every run
+//!   envelope and schema validation of every artefact in `results/`.
+//!
+//! Everything here reads the wire formats owned by `opad-telemetry`
+//! (trace lines) and `opad-bench` (envelopes) through the hand-rolled,
+//! std-only JSON reader, with forward-compatible unknown-field skipping:
+//! an artefact from a newer writer with extra fields still parses, while
+//! a bumped `schema_version` is rejected loudly.
+
+#![warn(missing_docs)]
+
+mod bench;
+mod cli;
+mod diff;
+mod envelope;
+mod metrics;
+mod selfcheck;
+mod tree;
+
+pub use bench::{next_bench_seq, run_benchmarks, write_bench_report, BenchConfig, KernelStats};
+pub use bench::{read_bench_report, BENCH_SCHEMA_VERSION};
+pub use cli::{run, CliEnv};
+pub use diff::{diff_runs, DiffConfig, DiffReport, MetricDelta};
+pub use envelope::{
+    read_envelope, Envelope, EnvelopeError, TelemetrySummary, SUPPORTED_ENVELOPE_VERSION,
+};
+pub use metrics::{metrics_from_run, RunMetrics};
+pub use selfcheck::{selfcheck_dir, CheckOutcome};
+pub use tree::{aggregate_spans, critical_path, SpanTree};

@@ -1,0 +1,148 @@
+//! The run-level metrics `obsctl diff` compares.
+
+use crate::envelope::{Envelope, TelemetrySummary};
+use crate::tree::SpanTree;
+
+/// Performance metrics of one run, extracted from its envelope telemetry
+/// (preferred) with the aggregated trace tree as a fallback for wall
+/// time. `NaN` marks a metric the run did not record; diffs skip those.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Run id the metrics came from.
+    pub run_id: String,
+    /// Whole-run wall clock, ms.
+    pub wall_ms: f64,
+    /// Median PGD iterations to success.
+    pub iters_p50: f64,
+    /// 90th percentile PGD iterations to success.
+    pub iters_p90: f64,
+    /// 99th percentile PGD iterations to success.
+    pub iters_p99: f64,
+    /// Attacked seeds per wall-clock second.
+    pub seeds_per_sec: f64,
+    /// Adversarial examples found per wall-clock second.
+    pub aes_per_sec: f64,
+    /// Testing-loop rounds until the run stopped (pfd-convergence
+    /// rounds for target-driven experiments).
+    pub rounds: f64,
+}
+
+/// Extracts comparable metrics from a run's envelope and aggregated span
+/// tree (pass the tree from [`crate::aggregate_spans`] when a trace file
+/// exists, or an empty tree otherwise).
+pub fn metrics_from_run(envelope: &Envelope, tree: &SpanTree) -> RunMetrics {
+    let t = envelope.telemetry.clone().unwrap_or_default();
+    let wall_ms = if t.wall_ms > 0.0 {
+        t.wall_ms
+    } else {
+        tree.children.iter().map(|c| c.total_ms).sum::<f64>()
+    };
+    let iters = histogram(&t, "attack.pgd.iters_to_success");
+    let rounds = span_count(&t, "round")
+        .or_else(|| tree.child("round").map(|n| n.count))
+        .map_or(f64::NAN, |c| c as f64);
+    RunMetrics {
+        run_id: envelope.run_id.clone(),
+        wall_ms: if wall_ms > 0.0 { wall_ms } else { f64::NAN },
+        iters_p50: iters.map_or(f64::NAN, |h| h.0),
+        iters_p90: iters.map_or(f64::NAN, |h| h.1),
+        iters_p99: iters.map_or(f64::NAN, |h| h.2),
+        seeds_per_sec: per_sec(&t, "pipeline.seeds_attacked", wall_ms),
+        aes_per_sec: per_sec(&t, "pipeline.aes_found", wall_ms),
+        rounds,
+    }
+}
+
+fn histogram(t: &TelemetrySummary, name: &str) -> Option<(f64, f64, f64)> {
+    t.histograms
+        .iter()
+        .find(|h| h.name == name)
+        .map(|h| (h.p50, h.p90, h.p99))
+}
+
+fn span_count(t: &TelemetrySummary, name: &str) -> Option<u64> {
+    t.spans.iter().find(|s| s.name == name).map(|s| s.count)
+}
+
+fn per_sec(t: &TelemetrySummary, counter: &str, wall_ms: f64) -> f64 {
+    let total = t
+        .counters
+        .iter()
+        .find(|(n, _)| n == counter)
+        .map(|(_, v)| *v);
+    match total {
+        Some(v) if wall_ms > 0.0 => v as f64 / (wall_ms / 1000.0),
+        _ => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::HistStat;
+    use crate::tree::aggregate_spans;
+    use opad_telemetry::JsonValue;
+
+    fn envelope_with(t: Option<TelemetrySummary>) -> Envelope {
+        Envelope {
+            schema_version: 1,
+            experiment: "exp_test".into(),
+            run_id: "abc".into(),
+            config: JsonValue::Null,
+            telemetry: t,
+            sections: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derives_rates_and_quantiles_from_the_summary() {
+        let t = TelemetrySummary {
+            wall_ms: 2000.0,
+            counters: vec![
+                ("pipeline.aes_found".into(), 30),
+                ("pipeline.seeds_attacked".into(), 100),
+            ],
+            histograms: vec![HistStat {
+                name: "attack.pgd.iters_to_success".into(),
+                count: 30,
+                min: 1.0,
+                max: 15.0,
+                mean: 6.0,
+                p50: 5.0,
+                p90: 11.0,
+                p99: 14.0,
+            }],
+            ..TelemetrySummary::default()
+        };
+        let m = metrics_from_run(&envelope_with(Some(t)), &aggregate_spans(&[]));
+        assert_eq!(m.wall_ms, 2000.0);
+        assert_eq!(m.seeds_per_sec, 50.0);
+        assert_eq!(m.aes_per_sec, 15.0);
+        assert_eq!((m.iters_p50, m.iters_p90, m.iters_p99), (5.0, 11.0, 14.0));
+        assert!(m.rounds.is_nan(), "no round spans recorded anywhere");
+    }
+
+    #[test]
+    fn falls_back_to_the_trace_tree_when_telemetry_is_absent() {
+        let events = vec![
+            opad_telemetry::Event::SpanEnd {
+                id: 1,
+                parent: None,
+                name: "round".into(),
+                t_ms: 0.0,
+                wall_ms: 500.0,
+            },
+            opad_telemetry::Event::SpanEnd {
+                id: 2,
+                parent: None,
+                name: "round".into(),
+                t_ms: 0.0,
+                wall_ms: 700.0,
+            },
+        ];
+        let m = metrics_from_run(&envelope_with(None), &aggregate_spans(&events));
+        assert_eq!(m.wall_ms, 1200.0);
+        assert_eq!(m.rounds, 2.0);
+        assert!(m.seeds_per_sec.is_nan());
+    }
+}

@@ -1,0 +1,224 @@
+//! `obsctl selfcheck` — validate every artefact against its declared
+//! schema version.
+//!
+//! Covers the three artefact families: `results/*.json` run envelopes,
+//! `results/*_trace.jsonl` span streams, and `BENCH_*.json` benchmark
+//! snapshots. A truncated trace tail is reported as a warning (a crashed
+//! run is a fact, not a malformed file); everything else unparseable is
+//! an error.
+
+use crate::bench::read_bench_report;
+use crate::envelope::read_envelope;
+use opad_telemetry::parse_trace;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Result of checking one directory tree.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Files that validated cleanly.
+    pub ok: Vec<String>,
+    /// `(file, message)` warnings (still usable artefacts).
+    pub warnings: Vec<(String, String)>,
+    /// `(file, message)` validation failures.
+    pub errors: Vec<(String, String)>,
+}
+
+impl CheckOutcome {
+    /// True when no file failed validation.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for f in &self.ok {
+            let _ = writeln!(s, "ok      {f}");
+        }
+        for (f, m) in &self.warnings {
+            let _ = writeln!(s, "warn    {f}: {m}");
+        }
+        for (f, m) in &self.errors {
+            let _ = writeln!(s, "ERROR   {f}: {m}");
+        }
+        let _ = write!(
+            s,
+            "selfcheck: {} ok, {} warnings, {} errors",
+            self.ok.len(),
+            self.warnings.len(),
+            self.errors.len()
+        );
+        s
+    }
+}
+
+/// Validates every recognised artefact under `results_dir` (envelopes and
+/// traces) and `bench_dir` (`BENCH_*.json`).
+pub fn selfcheck_dir(results_dir: &Path, bench_dir: &Path) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    for path in sorted_files(results_dir) {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if name.ends_with("_trace.jsonl") {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                out.errors.push((name, "unreadable".into()));
+                continue;
+            };
+            let trace = parse_trace(&text);
+            if let Some((line, err)) = trace.errors.first() {
+                out.errors.push((name, format!("line {line}: {err}")));
+            } else if trace.truncated {
+                out.warnings
+                    .push((name, "truncated final line (crashed run?)".into()));
+            } else {
+                out.ok.push(name);
+            }
+        } else if name.ends_with(".json") && !name.starts_with("BENCH_") {
+            // Bench snapshots are validated by the bench pass below, even
+            // when `bench_dir` happens to be the same directory.
+            match read_envelope(&path) {
+                Ok(env) => {
+                    let stem = name.trim_end_matches(".json");
+                    if env.experiment == stem {
+                        out.ok.push(name);
+                    } else {
+                        out.warnings.push((
+                            name,
+                            format!("experiment {:?} does not match file name", env.experiment),
+                        ));
+                    }
+                }
+                Err(e) => out.errors.push((name, e.to_string())),
+            }
+        }
+    }
+    for path in sorted_files(bench_dir) {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        match read_bench_report(&path) {
+            Ok(_) => out.ok.push(name),
+            Err(e) => out.errors.push((name, e)),
+        }
+    }
+    out
+}
+
+fn sorted_files(dir: &Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_telemetry::Event;
+
+    fn fixture_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("opad_obs_selfcheck_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("results")).expect("temp dir is creatable");
+        dir
+    }
+
+    fn write_envelope(dir: &Path, exp: &str) {
+        let doc = format!(
+            "{{\"schema_version\": 1, \"experiment\": \"{exp}\", \"run_id\": \"t\", \
+             \"config\": null, \"telemetry\": null, \"rows\": []}}"
+        );
+        std::fs::write(dir.join("results").join(format!("{exp}.json")), doc)
+            .expect("fixture writes");
+    }
+
+    #[test]
+    fn clean_artefacts_pass_and_violations_are_split_by_severity() {
+        let dir = fixture_dir("main");
+        write_envelope(&dir, "exp_alpha");
+        // A clean trace...
+        let line = Event::Counter {
+            name: "c".into(),
+            total: 1,
+        }
+        .to_json();
+        std::fs::write(
+            dir.join("results/exp_alpha_trace.jsonl"),
+            format!("{line}\n"),
+        )
+        .expect("fixture writes");
+        // ...a truncated trace (warning)...
+        std::fs::write(
+            dir.join("results/exp_beta_trace.jsonl"),
+            format!("{line}\n{}", &line[..line.len() / 2]),
+        )
+        .expect("fixture writes");
+        // ...an envelope from the future (error)...
+        std::fs::write(
+            dir.join("results/exp_future.json"),
+            "{\"schema_version\": 9, \"experiment\": \"exp_future\", \"run_id\": \"t\", \
+             \"config\": null}",
+        )
+        .expect("fixture writes");
+        // ...and a bench snapshot.
+        std::fs::write(
+            dir.join("BENCH_0.json"),
+            "{\"schema_version\": 1, \"run_id\": \"t\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+
+        let outcome = selfcheck_dir(&dir.join("results"), &dir);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.ok.len(), 3, "{outcome:?}"); // envelope + clean trace + bench
+        assert_eq!(outcome.warnings.len(), 1);
+        assert!(outcome.warnings[0].1.contains("truncated"));
+        assert_eq!(outcome.errors.len(), 1);
+        assert!(outcome.errors[0].1.contains("newer than supported"));
+        let report = outcome.render();
+        assert!(report.contains("selfcheck: 3 ok, 1 warnings, 1 errors"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_bench_snapshot_next_to_the_envelopes_is_not_parsed_as_one() {
+        let dir = fixture_dir("samedir");
+        write_envelope(&dir, "exp_delta");
+        let results = dir.join("results");
+        std::fs::write(
+            results.join("BENCH_0.json"),
+            "{\"schema_version\": 1, \"run_id\": \"t\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+        // results dir and bench dir are the same directory here.
+        let outcome = selfcheck_dir(&results, &results);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.ok.len(), 2, "{outcome:?}"); // envelope + bench, once each
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_name_mismatch_is_a_warning_not_an_error() {
+        let dir = fixture_dir("mismatch");
+        let doc = "{\"schema_version\": 1, \"experiment\": \"something_else\", \
+                   \"run_id\": \"t\", \"config\": null, \"rows\": []}";
+        std::fs::write(dir.join("results/exp_gamma.json"), doc).expect("fixture writes");
+        let outcome = selfcheck_dir(&dir.join("results"), &dir);
+        assert!(outcome.passed());
+        assert_eq!(outcome.warnings.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,252 @@
+//! Wall-time span trees over a parsed trace.
+//!
+//! Trace lines carry flat `span_start`/`span_end` events with parent ids;
+//! this module rebuilds the hierarchy and aggregates it **by name path**
+//! (all `round > fuzz` instances fold into one node), attributing to each
+//! node its total wall time and the *self* share not covered by child
+//! spans — which is what makes a budget breakdown readable.
+
+use opad_telemetry::Event;
+
+/// One aggregated node of the span tree, keyed by its name path from the
+/// root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    /// Span name (one path segment).
+    pub name: String,
+    /// Completed instances folded into this node.
+    pub count: u64,
+    /// Sum of instance wall times, ms.
+    pub total_ms: f64,
+    /// Portion of `total_ms` not attributed to any child span, ms.
+    pub self_ms: f64,
+    /// Child nodes in first-seen order.
+    pub children: Vec<SpanTree>,
+}
+
+impl SpanTree {
+    fn new(name: &str) -> SpanTree {
+        SpanTree {
+            name: name.to_string(),
+            count: 0,
+            total_ms: 0.0,
+            self_ms: 0.0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut SpanTree {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(SpanTree::new(name));
+        self.children.last_mut().expect("just pushed")
+    }
+
+    /// Looks up a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanTree> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Depth-first walk: `visit(depth, node)` on every node below the
+    /// (synthetic) root.
+    pub fn walk(&self, visit: &mut impl FnMut(usize, &SpanTree)) {
+        fn go(node: &SpanTree, depth: usize, visit: &mut impl FnMut(usize, &SpanTree)) {
+            visit(depth, node);
+            for c in &node.children {
+                go(c, depth + 1, visit);
+            }
+        }
+        for c in &self.children {
+            go(c, 0, visit);
+        }
+    }
+}
+
+/// Folds a trace's completed spans into an aggregated tree.
+///
+/// The returned node is a synthetic root (`name` empty, zero times) whose
+/// children are the top-level spans. Only `span_end` events contribute —
+/// a span still open when the run died (truncated trace) has no wall time
+/// to attribute. Parent links that point at a span with no recorded end
+/// fall back to the root rather than vanishing.
+pub fn aggregate_spans(events: &[Event]) -> SpanTree {
+    // id → name-path (as indices would be fragile across aggregation,
+    // store the resolved path of each *ended* span).
+    let mut paths: std::collections::HashMap<u64, Vec<String>> = std::collections::HashMap::new();
+    let mut root = SpanTree::new("");
+    // Ends arrive child-before-parent (RAII drop order), so resolve each
+    // span's path lazily from start events instead: collect starts first.
+    let mut start_info: std::collections::HashMap<u64, (Option<u64>, &str)> =
+        std::collections::HashMap::new();
+    for e in events {
+        if let Event::SpanStart {
+            id, parent, name, ..
+        } = e
+        {
+            start_info.insert(*id, (*parent, name));
+        }
+    }
+    fn path_of<'a>(
+        id: u64,
+        start_info: &std::collections::HashMap<u64, (Option<u64>, &'a str)>,
+        cache: &mut std::collections::HashMap<u64, Vec<String>>,
+    ) -> Vec<String> {
+        if let Some(p) = cache.get(&id) {
+            return p.clone();
+        }
+        let path = match start_info.get(&id) {
+            Some((Some(parent), name)) => {
+                let mut p = path_of(*parent, start_info, cache);
+                p.push((*name).to_string());
+                p
+            }
+            Some((None, name)) => vec![(*name).to_string()],
+            None => Vec::new(),
+        };
+        cache.insert(id, path.clone());
+        path
+    }
+    for e in events {
+        if let Event::SpanEnd {
+            id,
+            parent,
+            name,
+            wall_ms,
+            ..
+        } = e
+        {
+            // Prefer the start-event chain; a trace that lost its starts
+            // (filtered or truncated head) still places the span under
+            // its parent when that parent also ended.
+            let mut path = path_of(*id, &start_info, &mut paths);
+            if path.is_empty() {
+                if let Some(pid) = parent {
+                    path = path_of(*pid, &start_info, &mut paths);
+                }
+                path.push(name.clone());
+            }
+            let mut node = &mut root;
+            for seg in &path {
+                node = node.child_mut(seg);
+            }
+            node.count += 1;
+            node.total_ms += wall_ms;
+        }
+    }
+    fn finish(node: &mut SpanTree) {
+        let child_total: f64 = node.children.iter().map(|c| c.total_ms).sum();
+        node.self_ms = (node.total_ms - child_total).max(0.0);
+        for c in &mut node.children {
+            finish(c);
+        }
+    }
+    finish(&mut root);
+    root.self_ms = 0.0;
+    root
+}
+
+/// The critical path through an aggregated tree: from the root, follow
+/// the child with the largest `total_ms` until a leaf. Returns the
+/// `(name, total_ms)` chain.
+pub fn critical_path(root: &SpanTree) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut node = root;
+    loop {
+        let Some(next) = node
+            .children
+            .iter()
+            .max_by(|a, b| a.total_ms.total_cmp(&b.total_ms))
+        else {
+            break;
+        };
+        out.push((next.name.clone(), next.total_ms));
+        node = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(id: u64, parent: Option<u64>, name: &str) -> Event {
+        Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms: 0.0,
+        }
+    }
+
+    fn end(id: u64, parent: Option<u64>, name: &str, wall_ms: f64) -> Event {
+        Event::SpanEnd {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms: 0.0,
+            wall_ms,
+        }
+    }
+
+    /// Two rounds, each with fuzz + assess children; one nested span.
+    fn sample_events() -> Vec<Event> {
+        vec![
+            start(1, None, "round"),
+            start(2, Some(1), "fuzz"),
+            end(2, Some(1), "fuzz", 60.0),
+            start(3, Some(1), "assess"),
+            start(4, Some(3), "mc"),
+            end(4, Some(3), "mc", 10.0),
+            end(3, Some(1), "assess", 30.0),
+            end(1, None, "round", 100.0),
+            start(5, None, "round"),
+            start(6, Some(5), "fuzz"),
+            end(6, Some(5), "fuzz", 80.0),
+            end(5, None, "round", 90.0),
+        ]
+    }
+
+    #[test]
+    fn aggregates_by_name_path_with_self_attribution() {
+        let root = aggregate_spans(&sample_events());
+        assert_eq!(root.children.len(), 1);
+        let round = root.child("round").expect("round aggregated");
+        assert_eq!(round.count, 2);
+        assert_eq!(round.total_ms, 190.0);
+        let fuzz = round.child("fuzz").expect("fuzz under round");
+        assert_eq!((fuzz.count, fuzz.total_ms), (2, 140.0));
+        let assess = round.child("assess").expect("assess under round");
+        assert_eq!(assess.total_ms, 30.0);
+        assert_eq!(assess.child("mc").expect("nested").total_ms, 10.0);
+        // self = 190 - (140 + 30)
+        assert!((round.self_ms - 20.0).abs() < 1e-9);
+        assert!((assess.self_ms - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_spans_do_not_contribute() {
+        let mut events = sample_events();
+        events.push(start(7, None, "round")); // crashed mid-round
+        let root = aggregate_spans(&events);
+        assert_eq!(root.child("round").expect("round").count, 2);
+    }
+
+    #[test]
+    fn critical_path_follows_the_heaviest_chain() {
+        let root = aggregate_spans(&sample_events());
+        let path = critical_path(&root);
+        let names: Vec<&str> = path.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["round", "fuzz"]);
+        assert_eq!(path[1].1, 140.0);
+    }
+
+    #[test]
+    fn walk_visits_depth_first() {
+        let root = aggregate_spans(&sample_events());
+        let mut seen = Vec::new();
+        root.walk(&mut |d, n| seen.push((d, n.name.clone())));
+        assert_eq!(seen[0], (0, "round".to_string()));
+        assert!(seen.contains(&(2, "mc".to_string())));
+    }
+}

@@ -1,0 +1,277 @@
+//! End-to-end tests of the `obsctl` CLI over fixture artefacts.
+//!
+//! The trace fixture is captured through the real telemetry machinery
+//! (spans recorded into a `TestSink`, then serialised line by line) so
+//! the reader is exercised against exactly what the writer produces; the
+//! envelope fixtures handcraft the numbers the regression gate compares.
+
+use opad_obs::{run, CliEnv};
+use opad_telemetry::{self as telemetry, BenchKernel, Event, MetricsRecorder, TestSink};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn test_env() -> CliEnv {
+    CliEnv {
+        kernels: Box::new(|| {
+            vec![
+                BenchKernel::new("fixture/spin", || {
+                    std::hint::black_box((0..64).product::<u128>());
+                }),
+                BenchKernel::new("fixture/noop", || {}),
+            ]
+        }),
+        run_id: Box::new(|| "fixture-run".to_string()),
+    }
+}
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+    let mut out = Vec::new();
+    let code = run(&args, test_env(), &mut out);
+    (code, String::from_utf8(out).expect("CLI output is UTF-8"))
+}
+
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("opad_obsctl_test_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// Serialises access to the process-global telemetry recorder across
+/// parallel tests.
+static RECORDER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs two rounds of nested spans through the real recorder + TestSink
+/// and returns the captured events.
+fn captured_round_events() -> Vec<Event> {
+    let _guard = RECORDER_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let sink = Arc::new(TestSink::new());
+    let recorder = Arc::new(MetricsRecorder::with_sink(sink.clone()));
+    telemetry::install(recorder);
+    for _ in 0..2 {
+        let _round = telemetry::span("round");
+        for step in ["sample_seeds", "fuzz", "evaluate", "assess", "retrain"] {
+            let _step = match step {
+                "sample_seeds" => telemetry::span("sample_seeds"),
+                "fuzz" => telemetry::span("fuzz"),
+                "evaluate" => telemetry::span("evaluate"),
+                "assess" => telemetry::span("assess"),
+                _ => telemetry::span("retrain"),
+            };
+            std::hint::black_box((0..500).sum::<u64>());
+        }
+    }
+    telemetry::uninstall();
+    sink.events()
+}
+
+fn write_run(dir: &Path, exp: &str, wall_ms: f64, seeds: u64, p50: f64, with_trace: bool) {
+    let doc = format!(
+        r#"{{
+  "schema_version": 1,
+  "experiment": "{exp}",
+  "run_id": "{exp}-id",
+  "config": {{"budget": 100}},
+  "telemetry": {{
+    "wall_ms": {wall_ms},
+    "events": 120,
+    "events_per_sec": 100.0,
+    "counters": {{"pipeline.aes_found": {aes}, "pipeline.seeds_attacked": {seeds}}},
+    "gauges": {{"pipeline.pfd_mean": 0.012}},
+    "histograms": [{{"name": "attack.pgd.iters_to_success", "count": {aes},
+      "min": 1.0, "max": 15.0, "mean": {p50}, "p50": {p50},
+      "p90": {p90}, "p99": {p99}}}],
+    "spans": [{{"name": "round", "count": 2, "total_ms": {wall_ms},
+      "min_ms": 1.0, "p50_ms": 2.0, "p90_ms": 3.0, "p99_ms": 3.0, "max_ms": 3.0}}]
+  }},
+  "rows": [1, 2, 3]
+}}
+"#,
+        aes = seeds / 4,
+        p90 = p50 * 2.0,
+        p99 = p50 * 3.0,
+    );
+    std::fs::write(dir.join(format!("{exp}.json")), doc).expect("envelope fixture writes");
+    if with_trace {
+        let mut text = String::new();
+        for e in captured_round_events() {
+            text.push_str(&e.to_json());
+            text.push('\n');
+        }
+        std::fs::write(dir.join(format!("{exp}_trace.jsonl")), text).expect("trace fixture writes");
+    }
+}
+
+#[test]
+fn summary_prints_the_span_tree_budget_and_sections() {
+    let dir = fixture_dir("summary");
+    write_run(&dir, "exp_sum", 800.0, 400, 5.0, true);
+    let path = dir.join("exp_sum.json");
+    let (code, out) = run_cli(&["summary", path.to_str().expect("utf8 path")]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("experiment exp_sum"), "{out}");
+    assert!(out.contains("section rows: 3 rows"), "{out}");
+    assert!(out.contains("span tree"), "{out}");
+    for step in [
+        "round",
+        "sample_seeds",
+        "fuzz",
+        "evaluate",
+        "assess",
+        "retrain",
+    ] {
+        assert!(out.contains(step), "missing {step} in:\n{out}");
+    }
+    assert!(out.contains("critical path: round ("), "{out}");
+    assert!(out.contains("budget breakdown over 2 round(s)"), "{out}");
+    assert!(out.contains("(round overhead)"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn summary_still_works_without_a_trace_file() {
+    let dir = fixture_dir("summary_notrace");
+    write_run(&dir, "exp_plain", 800.0, 400, 5.0, false);
+    let (code, out) = run_cli(&[
+        "summary",
+        dir.join("exp_plain.json").to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("no "), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_exits_nonzero_on_an_injected_wall_regression() {
+    let dir = fixture_dir("diff");
+    // Candidate is 50% slower on the wall — far past the 20% default.
+    write_run(&dir, "exp_base", 1000.0, 400, 5.0, false);
+    write_run(&dir, "exp_slow", 1500.0, 400, 5.0, false);
+    let base = dir.join("exp_base.json");
+    let slow = dir.join("exp_slow.json");
+    let (code, out) = run_cli(&[
+        "diff",
+        base.to_str().expect("utf8"),
+        slow.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 1, "a 50% slowdown must trip the gate:\n{out}");
+    assert!(out.contains("overall: REGRESSION"), "{out}");
+    assert!(out.contains("wall_ms"), "{out}");
+
+    // Identical runs pass...
+    let (code, out) = run_cli(&[
+        "diff",
+        base.to_str().expect("utf8"),
+        base.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("overall: clean"), "{out}");
+
+    // ...and a loosened threshold lets the slow run through too.
+    let (code, out) = run_cli(&[
+        "diff",
+        base.to_str().expect("utf8"),
+        slow.to_str().expect("utf8"),
+        "--threshold",
+        "0.6",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_also_catches_throughput_regressions() {
+    let dir = fixture_dir("diff_thru");
+    // Same wall clock, but the candidate attacks 40% fewer seeds/s.
+    write_run(&dir, "exp_fast", 1000.0, 500, 5.0, false);
+    write_run(&dir, "exp_lame", 1000.0, 300, 5.0, false);
+    let (code, out) = run_cli(&[
+        "diff",
+        dir.join("exp_fast.json").to_str().expect("utf8"),
+        dir.join("exp_lame.json").to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("seeds_per_sec"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_writes_a_sequenced_snapshot_and_selfcheck_validates_everything() {
+    let dir = fixture_dir("bench");
+    let results = dir.join("results");
+    std::fs::create_dir_all(&results).expect("results dir is creatable");
+    write_run(&results, "exp_ok", 500.0, 100, 4.0, true);
+
+    let (code, out) = run_cli(&[
+        "bench",
+        "--iters",
+        "10",
+        "--warmup",
+        "1",
+        "--out",
+        dir.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("fixture/spin"), "{out}");
+    assert!(dir.join("BENCH_0.json").exists());
+
+    // Second run advances the sequence.
+    let (code, _) = run_cli(&[
+        "bench",
+        "--iters",
+        "5",
+        "--out",
+        dir.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 0);
+    assert!(dir.join("BENCH_1.json").exists());
+
+    // Filtering trims the kernel set.
+    let (code, out) = run_cli(&[
+        "bench",
+        "--iters",
+        "5",
+        "--filter",
+        "noop",
+        "--out",
+        dir.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 0);
+    assert!(!out.contains("fixture/spin"), "{out}");
+
+    let (code, out) = run_cli(&[
+        "selfcheck",
+        results.to_str().expect("utf8"),
+        dir.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("0 errors"), "{out}");
+
+    // Corrupt one envelope: selfcheck must now fail.
+    std::fs::write(results.join("exp_bad.json"), "{\"schema_version\": 99}")
+        .expect("fixture writes");
+    let (code, out) = run_cli(&[
+        "selfcheck",
+        results.to_str().expect("utf8"),
+        dir.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("exp_bad.json"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn list_discovers_every_envelope_uniformly() {
+    let dir = fixture_dir("list");
+    write_run(&dir, "exp_one", 100.0, 40, 3.0, true);
+    write_run(&dir, "exp_two", 200.0, 80, 4.0, false);
+    let (code, out) = run_cli(&["list", dir.to_str().expect("utf8")]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("exp_one"), "{out}");
+    assert!(out.contains("exp_two"), "{out}");
+    assert!(out.contains("rows"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

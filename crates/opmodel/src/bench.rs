@@ -1,0 +1,60 @@
+//! Micro-benchmark registry for the OP-model kernels (`obsctl bench`).
+
+use crate::{CentroidPartition, Density, Gmm, Kde, Partition};
+use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
+use opad_telemetry::{BenchKernel, Benchmarkable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The crate's [`Benchmarkable`] registry: the density queries and cell
+/// assignment every naturalness check and reliability observation pays.
+pub struct OpModelBenches;
+
+impl Benchmarkable for OpModelBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = GaussianClustersConfig::default();
+        let data = gaussian_clusters(&cfg, 500, &uniform_probs(3), &mut rng)
+            .expect("default cluster config synthesises");
+        let kde = Kde::fit_scott(data.features()).expect("nonempty data fits a KDE");
+        let kde_score = kde.clone();
+        let gmm = Gmm::fit(data.features(), 3, 10, &mut rng).expect("500 points fit 3 components");
+        let partition = CentroidPartition::fit(data.features(), 16, 20, &mut rng)
+            .expect("500 points fit 16 cells");
+        let q = [0.5f32, -0.5];
+        vec![
+            BenchKernel::new("opmodel/kde_log_density_n500", move || {
+                black_box(kde.log_density(&q).expect("query dim matches fit"));
+            }),
+            BenchKernel::new("opmodel/kde_score_n500", move || {
+                black_box(
+                    kde_score
+                        .grad_log_density(&q)
+                        .expect("query dim matches fit"),
+                );
+            }),
+            BenchKernel::new("opmodel/gmm_log_density_k3", move || {
+                black_box(gmm.log_density(&q).expect("query dim matches fit"));
+            }),
+            BenchKernel::new("opmodel/kmeans_assign_k16", move || {
+                black_box(partition.cell_of(&q).expect("query dim matches fit"));
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = OpModelBenches::bench_kernels();
+        assert!(kernels.len() >= 4);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("opmodel/"), "{}", k.name);
+            (k.run)();
+        }
+    }
+}

@@ -88,15 +88,29 @@ mod tests {
     #[test]
     fn identical_distributions_have_zero_divergence() {
         let p = [0.2, 0.3, 0.5];
-        assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
-        assert!(js_divergence(&p, &p).unwrap().abs() < 1e-12);
-        assert_eq!(tv_distance(&p, &p).unwrap(), 0.0);
+        assert!(
+            kl_divergence(&p, &p)
+                .expect("both distributions have the same support size")
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            js_divergence(&p, &p)
+                .expect("both distributions have the same support size")
+                .abs()
+                < 1e-12
+        );
+        assert_eq!(
+            tv_distance(&p, &p).expect("both distributions have the same support size"),
+            0.0
+        );
     }
 
     #[test]
     fn kl_known_value() {
         // KL([1,0] ‖ [0.5,0.5]) = ln 2.
-        let kl = kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).unwrap();
+        let kl = kl_divergence(&[1.0, 0.0], &[0.5, 0.5])
+            .expect("both distributions have the same support size");
         assert!((kl - 2.0f64.ln()).abs() < 1e-12);
     }
 
@@ -104,35 +118,47 @@ mod tests {
     fn kl_is_asymmetric_and_infinite_on_missing_support() {
         let p = [0.9, 0.1];
         let q = [0.1, 0.9];
-        let ab = kl_divergence(&p, &q).unwrap();
-        let ba = kl_divergence(&q, &p).unwrap();
+        let ab = kl_divergence(&p, &q).expect("both distributions have the same support size");
+        let ba = kl_divergence(&q, &p).expect("both distributions have the same support size");
         assert!((ab - ba).abs() < 1e-12 || ab != ba); // generally differ
         assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0])
-            .unwrap()
+            .expect("both distributions have the same support size")
             .is_infinite());
         // Zero-p cells are fine.
-        assert!(kl_divergence(&[1.0, 0.0], &[1.0, 0.0]).unwrap().abs() < 1e-12);
+        assert!(
+            kl_divergence(&[1.0, 0.0], &[1.0, 0.0])
+                .expect("both distributions have the same support size")
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn js_bounded_and_symmetric() {
         let p = [1.0, 0.0];
         let q = [0.0, 1.0];
-        let js = js_divergence(&p, &q).unwrap();
+        let js = js_divergence(&p, &q).expect("both distributions have the same support size");
         assert!(
             (js - 2.0f64.ln()).abs() < 1e-12,
             "disjoint = ln 2, got {js}"
         );
-        let a = js_divergence(&[0.7, 0.3], &[0.2, 0.8]).unwrap();
-        let b = js_divergence(&[0.2, 0.8], &[0.7, 0.3]).unwrap();
+        let a = js_divergence(&[0.7, 0.3], &[0.2, 0.8])
+            .expect("both distributions have the same support size");
+        let b = js_divergence(&[0.2, 0.8], &[0.7, 0.3])
+            .expect("both distributions have the same support size");
         assert!((a - b).abs() < 1e-12);
         assert!(a > 0.0 && a < 2.0f64.ln());
     }
 
     #[test]
     fn tv_known_values() {
-        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]).unwrap(), 1.0);
-        let tv = tv_distance(&[0.6, 0.4], &[0.4, 0.6]).unwrap();
+        assert_eq!(
+            tv_distance(&[1.0, 0.0], &[0.0, 1.0])
+                .expect("both distributions have the same support size"),
+            1.0
+        );
+        let tv = tv_distance(&[0.6, 0.4], &[0.4, 0.6])
+            .expect("both distributions have the same support size");
         assert!((tv - 0.2).abs() < 1e-12);
     }
 
@@ -152,9 +178,15 @@ mod tests {
         let uniform = [0.25; 4];
         let mild = [0.4, 0.3, 0.2, 0.1];
         let strong = [0.7, 0.2, 0.07, 0.03];
-        let d_mild = js_divergence(&uniform, &mild).unwrap();
-        let d_strong = js_divergence(&uniform, &strong).unwrap();
+        let d_mild =
+            js_divergence(&uniform, &mild).expect("both distributions have the same support size");
+        let d_strong = js_divergence(&uniform, &strong)
+            .expect("both distributions have the same support size");
         assert!(d_strong > d_mild);
-        assert!(tv_distance(&uniform, &strong).unwrap() > tv_distance(&uniform, &mild).unwrap());
+        assert!(
+            tv_distance(&uniform, &strong).expect("both distributions have the same support size")
+                > tv_distance(&uniform, &mild)
+                    .expect("both distributions have the same support size")
+        );
     }
 }

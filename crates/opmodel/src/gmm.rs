@@ -302,7 +302,7 @@ mod tests {
             mean: vec![0.0, 0.0],
             std: 1.0,
         }])
-        .unwrap()
+        .expect("the components form a valid mixture")
     }
 
     #[test]
@@ -344,10 +344,14 @@ mod tests {
     #[test]
     fn standard_normal_log_density() {
         let g = std_normal_2d();
-        let lp0 = g.log_density(&[0.0, 0.0]).unwrap();
+        let lp0 = g
+            .log_density(&[0.0, 0.0])
+            .expect("query dim matches the density");
         assert!((lp0 + TAU.ln()).abs() < 1e-9);
         // Density decreases away from the mean.
-        let lp1 = g.log_density(&[1.0, 1.0]).unwrap();
+        let lp1 = g
+            .log_density(&[1.0, 1.0])
+            .expect("query dim matches the density");
         assert!(lp1 < lp0);
         assert!((lp0 - lp1 - 1.0).abs() < 1e-9); // difference = ‖x‖²/2 = 1
         assert!(g.log_density(&[0.0]).is_err());
@@ -367,9 +371,9 @@ mod tests {
                 std: 0.5,
             },
         ])
-        .unwrap();
-        let at_mode = g.density(&[3.0]).unwrap();
-        let between = g.density(&[0.0]).unwrap();
+        .expect("the components form a valid mixture");
+        let at_mode = g.density(&[3.0]).expect("query dim matches the density");
+        let between = g.density(&[0.0]).expect("query dim matches the density");
         assert!(at_mode > 100.0 * between);
     }
 
@@ -387,12 +391,12 @@ mod tests {
                 std: 0.3,
             },
         ])
-        .unwrap();
+        .expect("the components form a valid mixture");
         let mut r = rng();
         let mut left = 0usize;
         const N: usize = 5000;
         for _ in 0..N {
-            let x = g.sample(&mut r).unwrap();
+            let x = g.sample(&mut r).expect("a valid density always samples");
             if x[0] < 0.0 {
                 left += 1;
             }
@@ -416,15 +420,21 @@ mod tests {
                 std: 0.5,
             },
         ])
-        .unwrap();
+        .expect("the components form a valid mixture");
         let rows: Vec<Tensor> = (0..400)
-            .map(|_| Tensor::from_slice(&truth.sample(&mut r).unwrap()))
+            .map(|_| {
+                Tensor::from_slice(
+                    &truth
+                        .sample(&mut r)
+                        .expect("a valid density always samples"),
+                )
+            })
             .collect();
-        let data = Tensor::stack_rows(&rows).unwrap();
-        let fitted = Gmm::fit(&data, 2, 30, &mut r).unwrap();
+        let data = Tensor::stack_rows(&rows).expect("rows share one width");
+        let fitted = Gmm::fit(&data, 2, 30, &mut r).expect("rows share one width");
         // Means near ±4 on x.
         let mut xs: Vec<f32> = fitted.components().iter().map(|c| c.mean[0]).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("rows share one width"));
         assert!((xs[0] + 4.0).abs() < 0.5, "left mean {}", xs[0]);
         assert!((xs[1] - 4.0).abs() < 0.5, "right mean {}", xs[1]);
         for c in fitted.components() {
@@ -438,15 +448,25 @@ mod tests {
         let mut r = rng();
         let truth = std_normal_2d();
         let rows: Vec<Tensor> = (0..200)
-            .map(|_| Tensor::from_slice(&truth.sample(&mut r).unwrap()))
+            .map(|_| {
+                Tensor::from_slice(
+                    &truth
+                        .sample(&mut r)
+                        .expect("a valid density always samples"),
+                )
+            })
             .collect();
-        let data = Tensor::stack_rows(&rows).unwrap();
+        let data = Tensor::stack_rows(&rows).expect("rows share one width");
         let mut r1 = StdRng::seed_from_u64(3);
-        let short = Gmm::fit(&data, 3, 1, &mut r1).unwrap();
+        let short = Gmm::fit(&data, 3, 1, &mut r1).expect("rows share one width");
         let mut r2 = StdRng::seed_from_u64(3);
-        let long = Gmm::fit(&data, 3, 25, &mut r2).unwrap();
-        let ll_short = short.mean_log_likelihood(&data).unwrap();
-        let ll_long = long.mean_log_likelihood(&data).unwrap();
+        let long = Gmm::fit(&data, 3, 25, &mut r2).expect("rows share one width");
+        let ll_short = short
+            .mean_log_likelihood(&data)
+            .expect("rows share one width");
+        let ll_long = long
+            .mean_log_likelihood(&data)
+            .expect("rows share one width");
         assert!(
             ll_long >= ll_short - 1e-6,
             "EM should not decrease likelihood: {ll_short} → {ll_long}"
@@ -466,7 +486,9 @@ mod tests {
         let g = std_normal_2d();
         assert!(g.mean_log_likelihood(&Tensor::zeros(&[2])).is_err());
         let data = Tensor::zeros(&[3, 2]);
-        let ll = g.mean_log_likelihood(&data).unwrap();
+        let ll = g
+            .mean_log_likelihood(&data)
+            .expect("data dim matches the mixture");
         assert!((ll + TAU.ln()).abs() < 1e-9);
     }
 
@@ -484,9 +506,11 @@ mod tests {
                 std: 1.2,
             },
         ])
-        .unwrap();
+        .expect("the components form a valid mixture");
         let x = [0.3f32, 0.1];
-        let analytic = g.grad_log_density(&x).unwrap();
+        let analytic = g
+            .grad_log_density(&x)
+            .expect("query dim matches the density");
         // Default-impl finite difference path through Density.
         struct Fd<'a>(&'a Gmm);
         impl Density for Fd<'_> {
@@ -500,7 +524,9 @@ mod tests {
                 self.0.sample(rng)
             }
         }
-        let numeric = Fd(&g).grad_log_density(&x).unwrap();
+        let numeric = Fd(&g)
+            .grad_log_density(&x)
+            .expect("query dim matches the density");
         for (a, n) in analytic.iter().zip(&numeric) {
             assert!((a - n).abs() < 1e-2, "analytic {a} vs numeric {n}");
         }
@@ -510,7 +536,9 @@ mod tests {
     #[test]
     fn score_points_toward_the_mode() {
         let g = std_normal_2d();
-        let grad = g.grad_log_density(&[2.0, 0.0]).unwrap();
+        let grad = g
+            .grad_log_density(&[2.0, 0.0])
+            .expect("query dim matches the density");
         // For N(0, I): ∇log p = −x.
         assert!((grad[0] + 2.0).abs() < 1e-5);
         assert!(grad[1].abs() < 1e-5);
@@ -519,8 +547,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let g = std_normal_2d();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: Gmm = serde_json::from_str(&json).unwrap();
+        let json = serde_json::to_string(&g).expect("densities serialise to JSON");
+        let back: Gmm = serde_json::from_str(&json).expect("densities serialise to JSON");
         assert_eq!(g, back);
     }
 }

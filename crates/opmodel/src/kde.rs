@@ -179,7 +179,7 @@ mod tests {
         assert!(Kde::fit(&data, -1.0).is_err());
         assert!(Kde::fit(&Tensor::zeros(&[3]), 1.0).is_err());
         assert!(Kde::fit(&Tensor::zeros(&[0, 2]), 1.0).is_err());
-        let kde = Kde::fit(&data, 0.5).unwrap();
+        let kde = Kde::fit(&data, 0.5).expect("nonempty data and a positive bandwidth fit a KDE");
         assert_eq!(kde.num_points(), 3);
         assert_eq!(kde.dim(), 2);
         assert_eq!(kde.bandwidth(), 0.5);
@@ -187,28 +187,41 @@ mod tests {
 
     #[test]
     fn single_point_kde_is_a_gaussian() {
-        let data = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
-        let kde = Kde::fit(&data, 1.0).unwrap();
-        let lp = kde.log_density(&[0.0, 0.0]).unwrap();
+        let data =
+            Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).expect("element count matches the shape");
+        let kde = Kde::fit(&data, 1.0).expect("element count matches the shape");
+        let lp = kde
+            .log_density(&[0.0, 0.0])
+            .expect("query dim matches the density");
         assert!((lp + TAU.ln()).abs() < 1e-9);
     }
 
     #[test]
     fn density_peaks_at_data() {
-        let data = Tensor::from_vec(vec![-2.0, 2.0], &[2, 1]).unwrap();
-        let kde = Kde::fit(&data, 0.3).unwrap();
-        let near = kde.log_density(&[-2.0]).unwrap();
-        let far = kde.log_density(&[0.0]).unwrap();
+        let data =
+            Tensor::from_vec(vec![-2.0, 2.0], &[2, 1]).expect("query dim matches the density");
+        let kde = Kde::fit(&data, 0.3).expect("element count matches the shape");
+        let near = kde
+            .log_density(&[-2.0])
+            .expect("query dim matches the density");
+        let far = kde
+            .log_density(&[0.0])
+            .expect("query dim matches the density");
         assert!(near > far);
         assert!(kde.log_density(&[0.0, 0.0]).is_err());
     }
 
     #[test]
     fn mixture_symmetry() {
-        let data = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1]).unwrap();
-        let kde = Kde::fit(&data, 0.5).unwrap();
-        let a = kde.log_density(&[-1.0]).unwrap();
-        let b = kde.log_density(&[1.0]).unwrap();
+        let data =
+            Tensor::from_vec(vec![-1.0, 1.0], &[2, 1]).expect("query dim matches the density");
+        let kde = Kde::fit(&data, 0.5).expect("query dim matches the density");
+        let a = kde
+            .log_density(&[-1.0])
+            .expect("query dim matches the density");
+        let b = kde
+            .log_density(&[1.0])
+            .expect("query dim matches the density");
         assert!((a - b).abs() < 1e-9);
     }
 
@@ -217,8 +230,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let small = Tensor::rand_normal(&[20, 2], 0.0, 1.0, &mut rng);
         let large = Tensor::rand_normal(&[2000, 2], 0.0, 1.0, &mut rng);
-        let ks = Kde::fit_scott(&small).unwrap();
-        let kl = Kde::fit_scott(&large).unwrap();
+        let ks = Kde::fit_scott(&small).expect("nonempty data fits a KDE");
+        let kl = Kde::fit_scott(&large).expect("nonempty data fits a KDE");
         assert!(kl.bandwidth() < ks.bandwidth());
     }
 
@@ -226,10 +239,10 @@ mod tests {
     fn kde_approximates_standard_normal() {
         let mut rng = StdRng::seed_from_u64(1);
         let data = Tensor::rand_normal(&[2000, 1], 0.0, 1.0, &mut rng);
-        let kde = Kde::fit_scott(&data).unwrap();
+        let kde = Kde::fit_scott(&data).expect("nonempty data fits a KDE");
         // Compare to the analytic standard normal at a few points.
         for x in [-1.0f32, 0.0, 1.0] {
-            let est = kde.density(&[x]).unwrap();
+            let est = kde.density(&[x]).expect("query dim matches the density");
             let truth = (-0.5 * (x as f64).powi(2)).exp() / TAU.sqrt();
             assert!(
                 (est - truth).abs() < 0.05,
@@ -240,21 +253,27 @@ mod tests {
 
     #[test]
     fn sampling_stays_near_data() {
-        let data = Tensor::from_vec(vec![5.0, 5.0], &[1, 2]).unwrap();
-        let kde = Kde::fit(&data, 0.1).unwrap();
+        let data =
+            Tensor::from_vec(vec![5.0, 5.0], &[1, 2]).expect("element count matches the shape");
+        let kde = Kde::fit(&data, 0.1).expect("element count matches the shape");
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..100 {
-            let s = kde.sample(&mut rng).unwrap();
+            let s = kde
+                .sample(&mut rng)
+                .expect("element count matches the shape");
             assert!((s[0] - 5.0).abs() < 1.0 && (s[1] - 5.0).abs() < 1.0);
         }
     }
 
     #[test]
     fn score_points_toward_data() {
-        let data = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
-        let kde = Kde::fit(&data, 1.0).unwrap();
+        let data =
+            Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).expect("element count matches the shape");
+        let kde = Kde::fit(&data, 1.0).expect("element count matches the shape");
         // Single standard kernel: score = −x.
-        let g = kde.grad_log_density(&[1.5, -0.5]).unwrap();
+        let g = kde
+            .grad_log_density(&[1.5, -0.5])
+            .expect("query dim matches the density");
         assert!((g[0] + 1.5).abs() < 1e-5);
         assert!((g[1] - 0.5).abs() < 1e-5);
         assert!(kde.grad_log_density(&[0.0]).is_err());
@@ -264,16 +283,19 @@ mod tests {
     fn score_matches_finite_difference() {
         let mut rng = StdRng::seed_from_u64(3);
         let data = Tensor::rand_normal(&[30, 2], 0.0, 1.0, &mut rng);
-        let kde = Kde::fit(&data, 0.5).unwrap();
+        let kde = Kde::fit(&data, 0.5).expect("nonempty data and a positive bandwidth fit a KDE");
         let x = [0.4f32, -0.2];
-        let analytic = kde.grad_log_density(&x).unwrap();
+        let analytic = kde
+            .grad_log_density(&x)
+            .expect("query dim matches the density");
         let h = 1e-3f32;
         for j in 0..2 {
             let mut xp = x;
             xp[j] += h;
             let mut xm = x;
             xm[j] -= h;
-            let num = ((kde.log_density(&xp).unwrap() - kde.log_density(&xm).unwrap())
+            let num = ((kde.log_density(&xp).expect("query dim matches the density")
+                - kde.log_density(&xm).expect("query dim matches the density"))
                 / (2.0 * h as f64)) as f32;
             assert!((num - analytic[j]).abs() < 1e-2);
         }
@@ -281,10 +303,11 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let data = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
-        let kde = Kde::fit(&data, 0.7).unwrap();
-        let json = serde_json::to_string(&kde).unwrap();
-        let back: Kde = serde_json::from_str(&json).unwrap();
+        let data =
+            Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).expect("element count matches the shape");
+        let kde = Kde::fit(&data, 0.7).expect("element count matches the shape");
+        let json = serde_json::to_string(&kde).expect("element count matches the shape");
+        let back: Kde = serde_json::from_str(&json).expect("element count matches the shape");
         assert_eq!(kde, back);
     }
 }

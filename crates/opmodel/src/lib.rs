@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+mod bench;
 mod density;
 mod divergence;
 mod error;
@@ -37,6 +38,7 @@ mod kde;
 mod partition;
 mod profile;
 
+pub use bench::OpModelBenches;
 pub use density::Density;
 pub use divergence::{js_divergence, kl_divergence, tv_distance};
 pub use error::OpModelError;

@@ -315,14 +315,16 @@ mod tests {
             let c = if i % 2 == 0 { -5.0 } else { 5.0 };
             rows.push(Tensor::rand_normal(&[2], c, 0.3, &mut r));
         }
-        let data = Tensor::stack_rows(&rows).unwrap();
-        let part = CentroidPartition::fit(&data, 2, 20, &mut r).unwrap();
+        let data = Tensor::stack_rows(&rows).expect("rows share one width");
+        let part = CentroidPartition::fit(&data, 2, 20, &mut r).expect("rows share one width");
         assert_eq!(part.num_cells(), 2);
-        let a = part.cell_of(&[-5.0, -5.0]).unwrap();
-        let b = part.cell_of(&[5.0, 5.0]).unwrap();
+        let a = part.cell_of(&[-5.0, -5.0]).expect("rows share one width");
+        let b = part.cell_of(&[5.0, 5.0]).expect("rows share one width");
         assert_ne!(a, b);
         // Centroids close to ±5 diagonal means.
-        let inertia = part.inertia(&data).unwrap();
+        let inertia = part
+            .inertia(&data)
+            .expect("at least k rows fit k centroids");
         assert!(inertia < 1.0, "inertia {inertia}");
     }
 
@@ -330,9 +332,14 @@ mod tests {
     fn kmeans_more_cells_less_inertia() {
         let mut r = rng();
         let data = Tensor::rand_uniform(&[300, 2], -1.0, 1.0, &mut r);
-        let p2 = CentroidPartition::fit(&data, 2, 25, &mut r).unwrap();
-        let p16 = CentroidPartition::fit(&data, 16, 25, &mut r).unwrap();
-        assert!(p16.inertia(&data).unwrap() < p2.inertia(&data).unwrap());
+        let p2 =
+            CentroidPartition::fit(&data, 2, 25, &mut r).expect("at least k rows fit k centroids");
+        let p16 =
+            CentroidPartition::fit(&data, 16, 25, &mut r).expect("at least k rows fit k centroids");
+        assert!(
+            p16.inertia(&data).expect("at least k rows fit k centroids")
+                < p2.inertia(&data).expect("at least k rows fit k centroids")
+        );
     }
 
     #[test]
@@ -346,13 +353,22 @@ mod tests {
     #[test]
     fn from_centroids_and_dimension_checks() {
         let part = CentroidPartition::from_centroids(
-            Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]).unwrap(),
+            Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2])
+                .expect("element count matches the shape"),
         )
-        .unwrap();
+        .expect("element count matches the shape");
         assert_eq!(part.dim(), 2);
         assert!(part.cell_of(&[0.0]).is_err());
-        assert_eq!(part.cell_of(&[0.1, 0.1]).unwrap(), 0);
-        assert_eq!(part.cell_of(&[0.9, 0.9]).unwrap(), 1);
+        assert_eq!(
+            part.cell_of(&[0.1, 0.1])
+                .expect("element count matches the shape"),
+            0
+        );
+        assert_eq!(
+            part.cell_of(&[0.9, 0.9])
+                .expect("element count matches the shape"),
+            1
+        );
         assert!(CentroidPartition::from_centroids(Tensor::zeros(&[0, 2])).is_err());
         assert!(part.inertia(&Tensor::zeros(&[2, 3])).is_err());
     }
@@ -361,8 +377,11 @@ mod tests {
     fn cell_distribution_sums_to_one() {
         let mut r = rng();
         let data = Tensor::rand_uniform(&[200, 2], -1.0, 1.0, &mut r);
-        let part = CentroidPartition::fit(&data, 8, 15, &mut r).unwrap();
-        let dist = part.cell_distribution(&data, 0.5).unwrap();
+        let part =
+            CentroidPartition::fit(&data, 8, 15, &mut r).expect("at least k rows fit k centroids");
+        let dist = part
+            .cell_distribution(&data, 0.5)
+            .expect("at least k rows fit k centroids");
         assert_eq!(dist.len(), 8);
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(dist.iter().all(|&p| p > 0.0));
@@ -370,17 +389,42 @@ mod tests {
 
     #[test]
     fn grid_partition_basics() {
-        let grid = GridPartition::new(vec![0.0, 0.0], vec![1.0, 1.0], 2).unwrap();
+        let grid = GridPartition::new(vec![0.0, 0.0], vec![1.0, 1.0], 2)
+            .expect("ordered bounds with nonzero cells are valid");
         assert_eq!(grid.num_cells(), 4);
         assert_eq!(grid.dim(), 2);
         assert_eq!(grid.bins(), 2);
-        assert_eq!(grid.cell_of(&[0.1, 0.1]).unwrap(), 0);
-        assert_eq!(grid.cell_of(&[0.1, 0.9]).unwrap(), 1);
-        assert_eq!(grid.cell_of(&[0.9, 0.1]).unwrap(), 2);
-        assert_eq!(grid.cell_of(&[0.9, 0.9]).unwrap(), 3);
+        assert_eq!(
+            grid.cell_of(&[0.1, 0.1])
+                .expect("ordered bounds with nonzero cells are valid"),
+            0
+        );
+        assert_eq!(
+            grid.cell_of(&[0.1, 0.9])
+                .expect("ordered bounds with nonzero cells are valid"),
+            1
+        );
+        assert_eq!(
+            grid.cell_of(&[0.9, 0.1])
+                .expect("ordered bounds with nonzero cells are valid"),
+            2
+        );
+        assert_eq!(
+            grid.cell_of(&[0.9, 0.9])
+                .expect("query dim matches the partition"),
+            3
+        );
         // Out-of-box clamps.
-        assert_eq!(grid.cell_of(&[-5.0, -5.0]).unwrap(), 0);
-        assert_eq!(grid.cell_of(&[5.0, 5.0]).unwrap(), 3);
+        assert_eq!(
+            grid.cell_of(&[-5.0, -5.0])
+                .expect("query dim matches the partition"),
+            0
+        );
+        assert_eq!(
+            grid.cell_of(&[5.0, 5.0])
+                .expect("query dim matches the partition"),
+            3
+        );
         assert!(grid.cell_of(&[0.5]).is_err());
     }
 
@@ -396,8 +440,11 @@ mod tests {
     fn grid_distribution_of_uniform_data_is_roughly_uniform() {
         let mut r = rng();
         let data = Tensor::rand_uniform(&[4000, 2], 0.0, 1.0, &mut r);
-        let grid = GridPartition::new(vec![0.0, 0.0], vec![1.0, 1.0], 2).unwrap();
-        let dist = grid.cell_distribution(&data, 0.0).unwrap();
+        let grid = GridPartition::new(vec![0.0, 0.0], vec![1.0, 1.0], 2)
+            .expect("ordered bounds with nonzero cells are valid");
+        let dist = grid
+            .cell_distribution(&data, 0.0)
+            .expect("ordered bounds with nonzero cells are valid");
         for &p in &dist {
             assert!((p - 0.25).abs() < 0.03, "cell prob {p}");
         }
@@ -408,8 +455,10 @@ mod tests {
         let data = Tensor::from_fn(&[50, 2], |ix| ((ix[0] * 7 + ix[1] * 3) % 11) as f32);
         let mut a = StdRng::seed_from_u64(4);
         let mut b = StdRng::seed_from_u64(4);
-        let pa = CentroidPartition::fit(&data, 4, 10, &mut a).unwrap();
-        let pb = CentroidPartition::fit(&data, 4, 10, &mut b).unwrap();
+        let pa =
+            CentroidPartition::fit(&data, 4, 10, &mut a).expect("at least k rows fit k centroids");
+        let pb =
+            CentroidPartition::fit(&data, 4, 10, &mut b).expect("at least k rows fit k centroids");
         assert_eq!(pa, pb);
     }
 }

@@ -226,7 +226,7 @@ mod tests {
             mean: vec![0.0, 0.0],
             std: 1.0,
         }])
-        .unwrap()
+        .expect("the components form a valid mixture")
     }
 
     #[test]
@@ -234,35 +234,46 @@ mod tests {
         assert!(OperationalProfile::new(vec![0.5, 0.6], std_gmm()).is_err());
         assert!(OperationalProfile::new(vec![], std_gmm()).is_err());
         assert!(OperationalProfile::new(vec![-0.5, 1.5], std_gmm()).is_err());
-        let op = OperationalProfile::new(vec![0.3, 0.7], std_gmm()).unwrap();
+        let op = OperationalProfile::new(vec![0.3, 0.7], std_gmm())
+            .expect("a distribution over classes builds a profile");
         assert_eq!(op.num_classes(), 2);
         assert_eq!(op.class_probs(), &[0.3, 0.7]);
     }
 
     #[test]
     fn profile_sampling_and_density() {
-        let op = OperationalProfile::new(vec![1.0], std_gmm()).unwrap();
+        let op = OperationalProfile::new(vec![1.0], std_gmm())
+            .expect("a distribution over classes builds a profile");
         let mut rng = StdRng::seed_from_u64(0);
-        let x = op.sample_input(&mut rng).unwrap();
+        let x = op
+            .sample_input(&mut rng)
+            .expect("a distribution over classes builds a profile");
         assert_eq!(x.len(), 2);
-        assert!(op.log_density(&x).unwrap().is_finite());
+        assert!(op
+            .log_density(&x)
+            .expect("a distribution over classes builds a profile")
+            .is_finite());
     }
 
     #[test]
     fn with_density_swaps_model() {
-        let op = OperationalProfile::new(vec![0.5, 0.5], std_gmm()).unwrap();
-        let data = opad_tensor::Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
-        let kde = Kde::fit(&data, 1.0).unwrap();
+        let op = OperationalProfile::new(vec![0.5, 0.5], std_gmm())
+            .expect("a distribution over classes builds a profile");
+        let data = opad_tensor::Tensor::from_vec(vec![0.0, 0.0], &[1, 2])
+            .expect("a distribution over classes builds a profile");
+        let kde = Kde::fit(&data, 1.0).expect("a distribution over classes builds a profile");
         let op2 = op.with_density(kde);
         assert_eq!(op2.class_probs(), op.class_probs());
     }
 
     #[test]
     fn empirical_probs() {
-        let probs = empirical_class_probs(&[0, 0, 1], 2, 0.0).unwrap();
+        let probs =
+            empirical_class_probs(&[0, 0, 1], 2, 0.0).expect("labels fall inside the class range");
         assert!((probs[0] - 2.0 / 3.0).abs() < 1e-12);
         // Smoothing pulls toward uniform and covers unseen classes.
-        let probs = empirical_class_probs(&[0, 0], 3, 1.0).unwrap();
+        let probs =
+            empirical_class_probs(&[0, 0], 3, 1.0).expect("labels fall inside the class range");
         assert!(probs[2] > 0.0);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(empirical_class_probs(&[5], 2, 1.0).is_err());
@@ -274,31 +285,43 @@ mod tests {
     fn learn_op_recovers_skew() {
         let mut rng = StdRng::seed_from_u64(1);
         let cfg = GaussianClustersConfig::default();
-        let field = gaussian_clusters(&cfg, 1500, &zipf_probs(3, 1.5), &mut rng).unwrap();
-        let op = learn_op_gmm(&field, 3, 15, &mut rng).unwrap();
+        let field = gaussian_clusters(&cfg, 1500, &zipf_probs(3, 1.5), &mut rng)
+            .expect("a valid generator config synthesises");
+        let op =
+            learn_op_gmm(&field, 3, 15, &mut rng).expect("a valid generator config synthesises");
         let truth = zipf_probs(3, 1.5);
         for (est, t) in op.class_probs().iter().zip(&truth) {
             assert!((est - t).abs() < 0.05, "estimated {est} vs true {t}");
         }
         // Density is higher near a cluster centre than far away.
         let c0 = opad_data::cluster_center(&cfg, 0);
-        assert!(op.log_density(&c0).unwrap() > op.log_density(&[50.0, 50.0]).unwrap());
+        assert!(
+            op.log_density(&c0).expect("query dim matches the density")
+                > op.log_density(&[50.0, 50.0])
+                    .expect("query dim matches the density")
+        );
     }
 
     #[test]
     fn learn_op_kde_works() {
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = GaussianClustersConfig::default();
-        let field = gaussian_clusters(&cfg, 300, &uniform_probs(3), &mut rng).unwrap();
-        let op = learn_op_kde(&field).unwrap();
+        let field = gaussian_clusters(&cfg, 300, &uniform_probs(3), &mut rng)
+            .expect("a valid generator config synthesises");
+        let op = learn_op_kde(&field).expect("a valid generator config synthesises");
         assert_eq!(op.num_classes(), 3);
         let c0 = opad_data::cluster_center(&cfg, 0);
-        assert!(op.log_density(&c0).unwrap() > op.log_density(&[50.0, 50.0]).unwrap());
+        assert!(
+            op.log_density(&c0).expect("query dim matches the density")
+                > op.log_density(&[50.0, 50.0])
+                    .expect("query dim matches the density")
+        );
     }
 
     #[test]
     fn drift_interpolates() {
-        let drift = LinearDrift::new(vec![1.0, 0.0], vec![0.0, 1.0], 10).unwrap();
+        let drift = LinearDrift::new(vec![1.0, 0.0], vec![0.0, 1.0], 10)
+            .expect("query dim matches the density");
         assert_eq!(drift.probs_at(0), vec![1.0, 0.0]);
         assert_eq!(drift.probs_at(10), vec![0.0, 1.0]);
         let mid = drift.probs_at(5);
@@ -318,7 +341,8 @@ mod tests {
 
     #[test]
     fn drift_stays_a_distribution() {
-        let drift = LinearDrift::new(vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8], 7).unwrap();
+        let drift = LinearDrift::new(vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8], 7)
+            .expect("both endpoints are distributions of one length");
         for t in 0..=7 {
             let p = drift.probs_at(t);
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);

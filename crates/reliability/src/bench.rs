@@ -1,0 +1,64 @@
+//! Micro-benchmark registry for the reliability kernels (`obsctl bench`).
+
+use crate::{Beta, CellReliabilityModel};
+use opad_telemetry::{BenchKernel, Benchmarkable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The crate's [`Benchmarkable`] registry: the posterior update paid per
+/// test verdict and the Monte-Carlo bound paid per assessment round.
+pub struct ReliabilityBenches;
+
+impl Benchmarkable for ReliabilityBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        let op: Vec<f64> = vec![1.0 / 16.0; 16];
+        let mut observe_model =
+            CellReliabilityModel::new(op.clone()).expect("uniform op is a distribution");
+        let mut mc_model = CellReliabilityModel::new(op).expect("uniform op is a distribution");
+        for cell in 0..16 {
+            for i in 0..50 {
+                mc_model
+                    .observe(cell, i % 25 == 0)
+                    .expect("cell index in range");
+            }
+        }
+        let mut mc_rng = StdRng::seed_from_u64(0);
+        let beta = Beta::new(3.0, 500.0).expect("positive shape parameters");
+        let mut obs_cell = 0usize;
+        vec![
+            BenchKernel::new("reliability/cell_observe", move || {
+                obs_cell = (obs_cell + 1) % 16;
+                observe_model
+                    .observe(obs_cell, false)
+                    .expect("cell index in range");
+                black_box(observe_model.pfd_mean());
+            }),
+            BenchKernel::new("reliability/pfd_upper_mc1000", move || {
+                black_box(
+                    mc_model
+                        .pfd_upper_bound(0.95, 1000, &mut mc_rng)
+                        .expect("valid confidence and sample count"),
+                );
+            }),
+            BenchKernel::new("reliability/beta_quantile_q95", move || {
+                black_box(beta.quantile(0.95).expect("quantile level in (0, 1)"));
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = ReliabilityBenches::bench_kernels();
+        assert!(kernels.len() >= 3);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("reliability/"), "{}", k.name);
+            (k.run)();
+        }
+    }
+}

@@ -34,12 +34,14 @@
 
 #![warn(missing_docs)]
 
+mod bench;
 mod beta;
 mod cell_model;
 mod error;
 mod growth;
 mod operational;
 
+pub use bench::ReliabilityBenches;
 pub use beta::Beta;
 pub use cell_model::CellReliabilityModel;
 pub use error::ReliabilityError;

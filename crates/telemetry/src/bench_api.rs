@@ -1,0 +1,65 @@
+//! The micro-benchmark registry contract.
+//!
+//! Each workspace crate that owns a hot kernel (tensor matmul, conv
+//! forward, PGD step, KDE/GMM scoring, posterior update, …) exposes a
+//! [`Benchmarkable`] implementation returning self-contained
+//! [`BenchKernel`]s: setup happens when the kernel list is built, so the
+//! boxed closure measures only the kernel itself. `obsctl bench` collects
+//! every registry, drives warmup + timed iterations, and writes a
+//! schema-versioned `BENCH_<seq>.json` snapshot.
+//!
+//! The contract lives here (and not in the harness) because this is the
+//! one std-only crate every kernel crate already depends on.
+
+/// One registered micro-benchmark: a stable name and a closure running a
+/// single iteration of the kernel on pre-built inputs.
+pub struct BenchKernel {
+    /// Stable identifier, `"<crate>/<kernel>"` (e.g. `"tensor/matmul_64"`).
+    /// Renaming a kernel breaks trajectory comparisons, so don't.
+    pub name: &'static str,
+    /// Runs one iteration. Must keep its result observable (e.g. via
+    /// `std::hint::black_box`) so the optimiser cannot delete the work.
+    pub run: Box<dyn FnMut()>,
+}
+
+impl BenchKernel {
+    /// Wraps a closure as a named kernel.
+    pub fn new(name: &'static str, run: impl FnMut() + 'static) -> Self {
+        BenchKernel {
+            name,
+            run: Box::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for BenchKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchKernel")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A crate's micro-benchmark registry.
+pub trait Benchmarkable {
+    /// Builds the crate's kernels with their inputs ready to run.
+    fn bench_kernels() -> Vec<BenchKernel>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn kernels_run_and_debug_prints_the_name() {
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let mut k = BenchKernel::new("test/counting", move || h.set(h.get() + 1));
+        (k.run)();
+        (k.run)();
+        assert_eq!(hits.get(), 2);
+        assert!(format!("{k:?}").contains("test/counting"));
+    }
+}

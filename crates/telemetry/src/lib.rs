@@ -47,14 +47,20 @@
 
 #![warn(missing_docs)]
 
+mod bench_api;
 mod event;
 mod hist;
+mod json;
+mod parse;
 mod recorder;
 mod sink;
 mod span;
 
+pub use bench_api::{BenchKernel, Benchmarkable};
 pub use event::{Event, SCHEMA_VERSION};
 pub use hist::{FixedHistogram, HistogramSummary};
+pub use json::{parse_json, JsonError, JsonValue};
+pub use parse::{parse_event_line, parse_trace, ParsedLine, Trace, TraceError};
 pub use recorder::{MetricsRecorder, NoopRecorder, Recorder, SpanRollup, Summary};
 pub use sink::{JsonlSink, Sink, TestSink};
 pub use span::Span;

@@ -1,0 +1,352 @@
+//! Reader-side parsing of the JSONL traces written by
+//! [`crate::JsonlSink`] — kept next to the writer so the wire format has
+//! exactly one owner.
+//!
+//! The reader is deliberately forgiving in the two ways runs actually go
+//! wrong: unknown fields are skipped (forward compatibility with newer
+//! writers of the same major schema), and a syntactically broken *last*
+//! line is treated as a crashed-run truncation rather than a corrupt
+//! trace.
+
+use crate::event::{Event, SCHEMA_VERSION};
+use crate::json::{parse_json, JsonError, JsonValue};
+use std::fmt;
+
+/// One successfully parsed trace line: the schema version it declared and
+/// the decoded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLine {
+    /// The `"v"` field of the line.
+    pub version: u32,
+    /// The decoded event.
+    pub event: Event,
+}
+
+/// Why a trace line could not be decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The line is not syntactically valid JSON (truncation shows up
+    /// here: a crashed run cuts the final line mid-object).
+    Json(JsonError),
+    /// The line parsed but is not a JSON object.
+    NotAnObject,
+    /// The line declares a schema version this reader does not support.
+    UnsupportedVersion {
+        /// Version found on the line.
+        found: u32,
+        /// Latest version this reader understands.
+        supported: u32,
+    },
+    /// The `kind` tag is missing or not one the schema defines.
+    UnknownKind(String),
+    /// A field the event kind requires is missing or mistyped.
+    MissingField {
+        /// The event kind being decoded.
+        kind: String,
+        /// The absent/mistyped field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "{e}"),
+            TraceError::NotAnObject => write!(f, "trace line is not a JSON object"),
+            TraceError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "schema version {found} is newer than supported version {supported}"
+            ),
+            TraceError::UnknownKind(k) => write!(f, "unknown event kind {k:?}"),
+            TraceError::MissingField { kind, field } => {
+                write!(f, "event kind {kind:?} is missing field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<JsonError> for TraceError {
+    fn from(e: JsonError) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+fn req_u64(obj: &JsonValue, kind: &str, field: &'static str) -> Result<u64, TraceError> {
+    obj.get(field)
+        .and_then(JsonValue::as_u64)
+        .ok_or(TraceError::MissingField {
+            kind: kind.to_string(),
+            field,
+        })
+}
+
+fn req_f64(obj: &JsonValue, kind: &str, field: &'static str) -> Result<f64, TraceError> {
+    obj.get(field)
+        .and_then(JsonValue::as_f64)
+        .ok_or(TraceError::MissingField {
+            kind: kind.to_string(),
+            field,
+        })
+}
+
+fn req_str(obj: &JsonValue, kind: &str, field: &'static str) -> Result<String, TraceError> {
+    obj.get(field)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or(TraceError::MissingField {
+            kind: kind.to_string(),
+            field,
+        })
+}
+
+/// Decodes one trace line. Unknown fields on the line are ignored; the
+/// declared schema version is returned alongside the event.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, a schema version newer than
+/// [`SCHEMA_VERSION`], an unknown `kind`, or a missing required field.
+pub fn parse_event_line(line: &str) -> Result<ParsedLine, TraceError> {
+    let value = parse_json(line)?;
+    if value.as_obj().is_none() {
+        return Err(TraceError::NotAnObject);
+    }
+    let version = req_u64(&value, "<line>", "v")? as u32;
+    if version > SCHEMA_VERSION {
+        return Err(TraceError::UnsupportedVersion {
+            found: version,
+            supported: SCHEMA_VERSION,
+        });
+    }
+    let kind = req_str(&value, "<line>", "kind")?;
+    // `parent` is optional on the wire (absent means a root span).
+    let parent = value.get("parent").and_then(JsonValue::as_u64);
+    let event = match kind.as_str() {
+        "span_start" => Event::SpanStart {
+            id: req_u64(&value, &kind, "id")?,
+            parent,
+            name: req_str(&value, &kind, "name")?,
+            t_ms: req_f64(&value, &kind, "t_ms")?,
+        },
+        "span_end" => Event::SpanEnd {
+            id: req_u64(&value, &kind, "id")?,
+            parent,
+            name: req_str(&value, &kind, "name")?,
+            t_ms: req_f64(&value, &kind, "t_ms")?,
+            wall_ms: req_f64(&value, &kind, "wall_ms")?,
+        },
+        "counter" => Event::Counter {
+            name: req_str(&value, &kind, "name")?,
+            total: req_u64(&value, &kind, "total")?,
+        },
+        "gauge" => Event::Gauge {
+            name: req_str(&value, &kind, "name")?,
+            value: req_f64(&value, &kind, "value")?,
+        },
+        "histogram" => Event::Histogram {
+            name: req_str(&value, &kind, "name")?,
+            count: req_u64(&value, &kind, "count")?,
+            min: req_f64(&value, &kind, "min")?,
+            max: req_f64(&value, &kind, "max")?,
+            mean: req_f64(&value, &kind, "mean")?,
+            p50: req_f64(&value, &kind, "p50")?,
+            p90: req_f64(&value, &kind, "p90")?,
+            p99: req_f64(&value, &kind, "p99")?,
+        },
+        "run_summary" => Event::RunSummary {
+            wall_ms: req_f64(&value, &kind, "wall_ms")?,
+            events: req_u64(&value, &kind, "events")?,
+            events_per_sec: req_f64(&value, &kind, "events_per_sec")?,
+        },
+        _ => return Err(TraceError::UnknownKind(kind)),
+    };
+    Ok(ParsedLine { version, event })
+}
+
+/// A whole parsed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The decoded events, in file order.
+    pub events: Vec<Event>,
+    /// Highest schema version seen on any line (0 for an empty trace).
+    pub version: u32,
+    /// Whether the final line was cut mid-object — the signature of a
+    /// crashed run. The preceding events are still returned.
+    pub truncated: bool,
+    /// Non-final lines that failed to decode, as `(1-based line, error)`.
+    pub errors: Vec<(usize, TraceError)>,
+}
+
+impl Trace {
+    /// Whether every line decoded and the file was complete.
+    pub fn is_clean(&self) -> bool {
+        !self.truncated && self.errors.is_empty()
+    }
+}
+
+/// Parses a whole JSONL trace.
+///
+/// A JSON syntax error on the *last* non-empty line marks the trace
+/// [`Trace::truncated`] instead of failing — a crashed run tears the
+/// final line, and everything before it is still good evidence. Any other
+/// undecodable line is reported in [`Trace::errors`] with its line number.
+pub fn parse_trace(text: &str) -> Trace {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut trace = Trace {
+        events: Vec::with_capacity(lines.len()),
+        version: 0,
+        truncated: false,
+        errors: Vec::new(),
+    };
+    let last_idx = lines.len().saturating_sub(1);
+    for (i, (lineno, line)) in lines.iter().enumerate() {
+        match parse_event_line(line) {
+            Ok(parsed) => {
+                trace.version = trace.version.max(parsed.version);
+                trace.events.push(parsed.event);
+            }
+            Err(TraceError::Json(_)) if i == last_idx => {
+                trace.truncated = true;
+            }
+            Err(e) => trace.errors.push((*lineno, e)),
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_event_kind_round_trips() {
+        let events = vec![
+            Event::SpanStart {
+                id: 3,
+                parent: None,
+                name: "round".into(),
+                t_ms: 0.25,
+            },
+            Event::SpanEnd {
+                id: 3,
+                parent: Some(1),
+                name: "round".into(),
+                t_ms: 9.75,
+                wall_ms: 9.5,
+            },
+            Event::Counter {
+                name: "pipeline.aes_found".into(),
+                total: 17,
+            },
+            Event::Gauge {
+                name: "nn.train.loss".into(),
+                value: -0.125,
+            },
+            Event::Histogram {
+                name: "attack.pgd.iters_to_success".into(),
+                count: 9,
+                min: 1.0,
+                max: 15.0,
+                mean: 4.5,
+                p50: 4.0,
+                p90: 11.0,
+                p99: 15.0,
+            },
+            Event::RunSummary {
+                wall_ms: 1234.5,
+                events: 999,
+                events_per_sec: 808.8,
+            },
+        ];
+        for e in events {
+            let parsed = parse_event_line(&e.to_json()).unwrap();
+            assert_eq!(parsed.version, SCHEMA_VERSION);
+            assert_eq!(parsed.event, e);
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let line = r#"{"v":1,"kind":"counter","name":"c","total":4,"future_field":{"x":[1,2]}}"#;
+        let parsed = parse_event_line(line).unwrap();
+        assert_eq!(
+            parsed.event,
+            Event::Counter {
+                name: "c".into(),
+                total: 4
+            }
+        );
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected() {
+        let line = format!(
+            r#"{{"v":{},"kind":"counter","name":"c","total":1}}"#,
+            SCHEMA_VERSION + 1
+        );
+        match parse_event_line(&line) {
+            Err(TraceError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, SCHEMA_VERSION + 1);
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_name_the_kind_and_field() {
+        let line = r#"{"v":1,"kind":"gauge","name":"g"}"#;
+        match parse_event_line(line) {
+            Err(TraceError::MissingField { kind, field }) => {
+                assert_eq!(kind, "gauge");
+                assert_eq!(field, "value");
+            }
+            other => panic!("expected missing-field error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_last_line_is_tolerated() {
+        let good = Event::Counter {
+            name: "c".into(),
+            total: 2,
+        }
+        .to_json();
+        let text = format!("{good}\n{good}\n{{\"v\":1,\"kind\":\"coun");
+        let trace = parse_trace(&text);
+        assert_eq!(trace.events.len(), 2);
+        assert!(trace.truncated);
+        assert!(trace.errors.is_empty());
+        assert!(!trace.is_clean());
+    }
+
+    #[test]
+    fn broken_middle_line_is_an_error_not_truncation() {
+        let good = Event::Counter {
+            name: "c".into(),
+            total: 2,
+        }
+        .to_json();
+        let text = format!("{good}\nnot json at all\n{good}\n");
+        let trace = parse_trace(&text);
+        assert_eq!(trace.events.len(), 2);
+        assert!(!trace.truncated);
+        assert_eq!(trace.errors.len(), 1);
+        assert_eq!(trace.errors[0].0, 2);
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let t = parse_trace("");
+        assert!(t.is_clean());
+        assert!(t.events.is_empty());
+        assert_eq!(t.version, 0);
+    }
+}

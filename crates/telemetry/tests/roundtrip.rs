@@ -1,0 +1,183 @@
+//! Property tests for the write→read trace cycle: every event the
+//! [`JsonlSink`] can emit must be parsed back identically by the reader,
+//! and the reader must degrade gracefully on the two realistic failure
+//! modes — a newer schema version and a truncated final line (crashed
+//! run). Driven by a small LCG so no property-testing crate is needed.
+
+use opad_telemetry::{
+    parse_event_line, parse_trace, Event, JsonlSink, Sink, TraceError, SCHEMA_VERSION,
+};
+
+/// Minimal LCG (Numerical Recipes constants) — deterministic, no deps.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Mixed-sign, mixed-magnitude finite sample (non-finite floats do
+    /// not round-trip by design: the writer emits `null`).
+    fn sample(&mut self) -> f64 {
+        let mag = 10f64.powf(self.next_f64() * 12.0 - 6.0);
+        if self.next_u64() % 2 == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A name exercising every escape class the writer knows about.
+    fn name(&mut self) -> String {
+        const PIECES: [&str; 8] = [
+            "pipeline.seeds",
+            "attack.pgd",
+            "we\"ird",
+            "back\\slash",
+            "new\nline",
+            "tab\there",
+            "ctl\u{1}char",
+            "unicode·π",
+        ];
+        let mut s = String::new();
+        for _ in 0..1 + self.range(3) {
+            s.push_str(PIECES[self.range(PIECES.len() as u64) as usize]);
+        }
+        s
+    }
+
+    fn event(&mut self) -> Event {
+        match self.range(6) {
+            0 => Event::SpanStart {
+                id: self.next_u64() >> 20,
+                parent: (self.range(2) == 0).then(|| self.next_u64() >> 20),
+                name: self.name(),
+                t_ms: self.sample().abs(),
+            },
+            1 => Event::SpanEnd {
+                id: self.next_u64() >> 20,
+                parent: (self.range(2) == 0).then(|| self.next_u64() >> 20),
+                name: self.name(),
+                t_ms: self.sample().abs(),
+                wall_ms: self.sample().abs(),
+            },
+            2 => Event::Counter {
+                name: self.name(),
+                total: self.next_u64() >> 12,
+            },
+            3 => Event::Gauge {
+                name: self.name(),
+                value: self.sample(),
+            },
+            4 => Event::Histogram {
+                name: self.name(),
+                count: self.range(1 << 40),
+                min: self.sample(),
+                max: self.sample(),
+                mean: self.sample(),
+                p50: self.sample(),
+                p90: self.sample(),
+                p99: self.sample(),
+            },
+            _ => Event::RunSummary {
+                wall_ms: self.sample().abs(),
+                events: self.next_u64() >> 12,
+                events_per_sec: self.sample().abs(),
+            },
+        }
+    }
+}
+
+#[test]
+fn every_event_variant_round_trips_through_a_jsonl_file() {
+    let mut rng = Lcg(0x0BADC0DE);
+    let dir = std::env::temp_dir().join("opad_telemetry_roundtrip_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("trace.jsonl");
+
+    let events: Vec<Event> = (0..500).map(|_| rng.event()).collect();
+    {
+        let sink = JsonlSink::create(&path).expect("temp trace file is creatable");
+        for e in &events {
+            sink.emit(e);
+        }
+        sink.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("trace file written by the sink is readable");
+    let trace = parse_trace(&text);
+    assert!(trace.is_clean(), "errors: {:?}", trace.errors);
+    assert_eq!(trace.version, SCHEMA_VERSION);
+    assert_eq!(trace.events, events, "read-back differs from written");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_lines_round_trip_without_io() {
+    let mut rng = Lcg(0xFEEDFACE);
+    for case in 0..2000 {
+        let e = rng.event();
+        let line = e.to_json();
+        let parsed = parse_event_line(&line)
+            .unwrap_or_else(|err| panic!("case {case}: {err} for line {line}"));
+        assert_eq!(parsed.version, SCHEMA_VERSION, "case {case}");
+        assert_eq!(parsed.event, e, "case {case}: {line}");
+    }
+}
+
+#[test]
+fn schema_version_bump_is_rejected_per_line_but_preserves_the_rest() {
+    let mut rng = Lcg(0xDEFACED);
+    let good: Vec<Event> = (0..10).map(|_| rng.event()).collect();
+    let mut lines: Vec<String> = good.iter().map(Event::to_json).collect();
+    // A line from a hypothetical newer writer, spliced into the middle.
+    let future = lines[4].replacen(
+        &format!("{{\"v\":{SCHEMA_VERSION},"),
+        &format!("{{\"v\":{},", SCHEMA_VERSION + 7),
+        1,
+    );
+    lines.insert(5, future);
+    let trace = parse_trace(&lines.join("\n"));
+    assert_eq!(trace.events, good, "good lines all survive");
+    assert_eq!(trace.errors.len(), 1);
+    assert_eq!(trace.errors[0].0, 6, "1-based line number of the bad line");
+    assert!(matches!(
+        trace.errors[0].1,
+        TraceError::UnsupportedVersion { found, supported }
+            if found == SCHEMA_VERSION + 7 && supported == SCHEMA_VERSION
+    ));
+}
+
+#[test]
+fn truncating_the_last_line_at_any_byte_keeps_the_prefix() {
+    let mut rng = Lcg(0xCAFE);
+    let events: Vec<Event> = (0..5).map(|_| rng.event()).collect();
+    let mut text = String::new();
+    for e in &events {
+        text.push_str(&e.to_json());
+        text.push('\n');
+    }
+    let last = events[4].to_json();
+    let tail_start = text.len() - last.len() - 1;
+    // Cut the final line at every char boundary short of completeness.
+    for cut in (0..last.len()).filter(|&c| last.is_char_boundary(c)) {
+        let truncated_text = &text[..tail_start + cut];
+        let trace = parse_trace(truncated_text);
+        assert_eq!(trace.events, events[..4], "cut at {cut}");
+        if cut > 0 {
+            assert!(trace.truncated, "cut at {cut} must read as truncation");
+        }
+        assert!(trace.errors.is_empty(), "cut at {cut}: {:?}", trace.errors);
+    }
+}

@@ -1,0 +1,55 @@
+//! Micro-benchmark registry for the tensor kernels (`obsctl bench`).
+
+use crate::Tensor;
+use opad_telemetry::{BenchKernel, Benchmarkable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The crate's [`Benchmarkable`] registry: matmul at two sizes plus the
+/// broadcast/reduction kernels the training loop leans on.
+pub struct TensorBenches;
+
+impl Benchmarkable for TensorBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a32 = Tensor::rand_normal(&[32, 32], 0.0, 1.0, &mut rng);
+        let b32 = Tensor::rand_normal(&[32, 32], 0.0, 1.0, &mut rng);
+        let a128 = Tensor::rand_normal(&[128, 128], 0.0, 1.0, &mut rng);
+        let b128 = Tensor::rand_normal(&[128, 128], 0.0, 1.0, &mut rng);
+        let wide = Tensor::rand_normal(&[64, 256], 0.0, 1.0, &mut rng);
+        let row = Tensor::rand_normal(&[256], 0.0, 1.0, &mut rng);
+        vec![
+            BenchKernel::new("tensor/matmul_32", move || {
+                black_box(a32.matmul(&b32).expect("square shapes multiply"));
+            }),
+            BenchKernel::new("tensor/matmul_128", move || {
+                black_box(a128.matmul(&b128).expect("square shapes multiply"));
+            }),
+            BenchKernel::new("tensor/broadcast_add_64x256", {
+                let wide = wide.clone();
+                move || {
+                    black_box(wide.checked_add(&row).expect("row broadcasts over matrix"));
+                }
+            }),
+            BenchKernel::new("tensor/sum_axis0_64x256", move || {
+                black_box(wide.sum_axis(0).expect("axis 0 exists"));
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = TensorBenches::bench_kernels();
+        assert!(kernels.len() >= 4);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("tensor/"), "{}", k.name);
+            (k.run)();
+        }
+    }
+}

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+mod bench;
 mod error;
 mod linalg;
 mod ops;
@@ -35,6 +36,7 @@ mod reduce;
 mod shape;
 mod tensor;
 
+pub use bench::TensorBenches;
 pub use error::TensorError;
 pub use shape::{Indices, Shape};
 pub use tensor::Tensor;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Micro-benchmark snapshot: runs every crate's Benchmarkable registry via
+# `obsctl bench` and writes the next BENCH_<seq>.json at the repo root.
+# Compare snapshots across commits to track kernel-level performance.
+#
+# Usage: scripts/bench.sh [extra obsctl bench flags]
+#   e.g. scripts/bench.sh --iters 100 --filter tensor/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q --bin obsctl -- bench --out . "$@"
+
+latest=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
+echo "snapshot: ${latest}"

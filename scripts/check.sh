@@ -16,4 +16,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> obsctl selfcheck (results/ + BENCH_*.json schema validation)"
+cargo run --release -q --bin obsctl -- selfcheck results .
+
 echo "All checks passed."
