@@ -92,7 +92,9 @@ fn main() {
     println!("## E7 — true delivered pfd vs cumulative test budget\n");
     print_header(&["method", "round", "tests so far", "true delivered pfd"]);
     // (name, weighting, attack, feedback, seeds-from-balanced-test-set)
-    let arms: [(&str, SeedWeighting, &dyn Attack, bool, bool); 3] = [
+    // `+ Sync` because the loop's fuzz step fans the attack out across
+    // the opad-par worker pool.
+    let arms: [(&str, SeedWeighting, &(dyn Attack + Sync), bool, bool); 3] = [
         ("uniform+pgd", SeedWeighting::Uniform, &pgd, false, true),
         (
             "op-seeds+pgd",

@@ -7,8 +7,8 @@
 use opad_telemetry::{BenchKernel, Benchmarkable};
 
 /// Every registered kernel across the workspace, in a stable order
-/// (tensor → nn → attack → opmodel → reliability, each crate's own order
-/// within).
+/// (tensor → nn → attack → opmodel → reliability → core, each crate's
+/// own order within).
 pub fn all_bench_kernels() -> Vec<BenchKernel> {
     let mut kernels = Vec::new();
     kernels.extend(opad_tensor::TensorBenches::bench_kernels());
@@ -16,6 +16,7 @@ pub fn all_bench_kernels() -> Vec<BenchKernel> {
     kernels.extend(opad_attack::AttackBenches::bench_kernels());
     kernels.extend(opad_opmodel::OpModelBenches::bench_kernels());
     kernels.extend(opad_reliability::ReliabilityBenches::bench_kernels());
+    kernels.extend(opad_core::CoreBenches::bench_kernels());
     kernels
 }
 

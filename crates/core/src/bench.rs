@@ -1,0 +1,73 @@
+//! Micro-benchmark registry for the core pipeline kernels (`obsctl bench`).
+
+use opad_attack::{Attack, NormBall, Pgd};
+use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
+use opad_nn::{Activation, Network};
+use opad_telemetry::{BenchKernel, Benchmarkable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The crate's [`Benchmarkable`] registry: the per-seed attack fan-out —
+/// the testing loop's dominant cost — measured with the worker pool
+/// pinned to 1 and 4 threads so `obsctl bench` snapshots capture the
+/// serial-vs-parallel throughput side by side.
+pub struct CoreBenches;
+
+impl Benchmarkable for CoreBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = gaussian_clusters(
+            &GaussianClustersConfig::default(),
+            64,
+            &uniform_probs(3),
+            &mut rng,
+        )
+        .expect("default cluster config is valid");
+        let net = Network::mlp(&[2, 32, 3], Activation::Relu, &mut rng).expect("layer sizes chain");
+        let pgd = Pgd::new(NormBall::linf(0.3).expect("positive radius"), 15, 0.05)
+            .expect("nonzero steps");
+        const SEEDS: usize = 32;
+        // Mirrors the fuzz step of `TestingLoop::run_round`: clone the net
+        // per seed, derive a per-seed RNG stream keyed by seed index, and
+        // collect outcomes in seed order.
+        let round_at = |name: &'static str, threads: usize| {
+            let data = data.clone();
+            let net = net.clone();
+            let pgd = pgd.clone();
+            BenchKernel::new(name, move || {
+                let _pin = opad_par::override_threads(threads);
+                let idx: Vec<usize> = (0..SEEDS).collect();
+                let outcomes = opad_par::par_map(&idx, |_, i| {
+                    let i = *i;
+                    let mut seed_net = net.clone();
+                    let mut seed_rng =
+                        StdRng::seed_from_u64(opad_par::stream_seed(42, i as u64));
+                    let seed = data.features().row(i).expect("seed index in range");
+                    pgd.run(&mut seed_net, &seed, data.labels()[i], &mut seed_rng)
+                        .expect("seed dim matches net")
+                });
+                black_box(outcomes);
+            })
+        };
+        vec![
+            round_at("core/attack_round32_t1", 1),
+            round_at("core/attack_round32_t4", 4),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = CoreBenches::bench_kernels();
+        assert!(kernels.len() >= 2);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("core/"), "{}", k.name);
+            (k.run)();
+        }
+    }
+}

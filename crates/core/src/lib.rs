@@ -33,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+mod bench;
 mod error;
 mod operational_ae;
 mod pipeline;
 mod retrain;
 mod seed_sampler;
 
+pub use bench::CoreBenches;
 pub use error::PipelineError;
 pub use operational_ae::{classify_outcome, AeCorpus, DetectedAe};
 pub use pipeline::{LoopConfig, RoundReport, TestingLoop};

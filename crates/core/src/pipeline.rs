@@ -3,8 +3,8 @@
 //! feeding the next round's sampling.
 
 use crate::{
-    classify_outcome, retrain_with_aes, AeCorpus, PipelineError, RetrainConfig, SeedSampler,
-    SeedWeighting,
+    classify_outcome, retrain_with_aes, AeCorpus, DetectedAe, PipelineError, RetrainConfig,
+    SeedSampler, SeedWeighting,
 };
 use opad_attack::Attack;
 use opad_data::Dataset;
@@ -13,9 +13,26 @@ use opad_opmodel::{CentroidPartition, Density, OperationalProfile, Partition};
 use opad_reliability::{Assessment, CellReliabilityModel, GrowthTimeline, ReliabilityTarget};
 use opad_telemetry as telemetry;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+// Stream indices of the per-purpose generators inside one round (see
+// `purpose_rng`). Distinct constants, not positions in a sequence: adding
+// a purpose never renumbers the existing ones.
+const PURPOSE_SAMPLE: u64 = 0;
+const PURPOSE_FUZZ: u64 = 1;
+const PURPOSE_EVAL: u64 = 2;
+const PURPOSE_ASSESS: u64 = 3;
+const PURPOSE_RETRAIN: u64 = 4;
+
+/// One independent generator per round step, derived from a single draw on
+/// the caller's generator. Because each step owns its stream, the number
+/// of draws one step makes can never shift what another step sees — which
+/// is also what makes the parallel fuzz fan-out order-independent.
+fn purpose_rng(round_seed: u64, purpose: u64) -> StdRng {
+    StdRng::seed_from_u64(opad_par::stream_seed(round_seed, purpose))
+}
 
 /// Configuration of the testing loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -270,13 +287,16 @@ impl<D: Density> TestingLoop<D> {
     /// # Errors
     ///
     /// Propagates sampling, attack, assessment and retraining failures.
-    pub fn run_round<A: Attack>(
+    pub fn run_round<A: Attack + Sync>(
         &mut self,
         field_data: &Dataset,
         train_data: &Dataset,
         attack: &A,
         rng: &mut StdRng,
-    ) -> Result<RoundReport, PipelineError> {
+    ) -> Result<RoundReport, PipelineError>
+    where
+        D: Sync,
+    {
         self.run_round_with_pool(field_data, field_data, train_data, attack, rng)
     }
 
@@ -285,21 +305,37 @@ impl<D: Density> TestingLoop<D> {
     /// OP-ignorant baselines) while reliability evaluation still uses the
     /// operational `field_data`.
     ///
+    /// The round is deterministic at any `OPAD_THREADS`: every step owns
+    /// an RNG stream derived (via [`opad_par::stream_seed`]) from a single
+    /// draw on `rng`, the per-seed attacks in step 3 each run on their own
+    /// stream keyed by seed index, and their reliability evidence is
+    /// replayed serially in seed order after the parallel fan-out.
+    ///
     /// # Errors
     ///
     /// Propagates sampling, attack, assessment and retraining failures.
-    pub fn run_round_with_pool<A: Attack>(
+    pub fn run_round_with_pool<A: Attack + Sync>(
         &mut self,
         seed_pool: &Dataset,
         field_data: &Dataset,
         train_data: &Dataset,
         attack: &A,
         rng: &mut StdRng,
-    ) -> Result<RoundReport, PipelineError> {
+    ) -> Result<RoundReport, PipelineError>
+    where
+        D: Sync,
+    {
         let round = self.rounds_run;
         let round_start = Instant::now();
         let _round_span = telemetry::span("round");
         let mut step_ms = StepDurations::default();
+
+        let round_seed: u64 = rng.gen();
+        let mut sample_rng = purpose_rng(round_seed, PURPOSE_SAMPLE);
+        let fuzz_base = opad_par::stream_seed(round_seed, PURPOSE_FUZZ);
+        let mut eval_rng = purpose_rng(round_seed, PURPOSE_EVAL);
+        let mut assess_rng = purpose_rng(round_seed, PURPOSE_ASSESS);
+        let mut retrain_rng = purpose_rng(round_seed, PURPOSE_RETRAIN);
 
         // ---- Step 2: weight-based seed sampling. ----
         let step_start = Instant::now();
@@ -318,7 +354,7 @@ impl<D: Density> TestingLoop<D> {
                 )?;
             }
             let k = self.config.seeds_per_round.min(seed_pool.len());
-            self.sampler.sample(&weights, k, rng)?
+            self.sampler.sample(&weights, k, &mut sample_rng)?
         };
         let k = seed_idx.len();
         step_ms.sample_seeds_ms = telemetry::ms_since(step_start);
@@ -329,26 +365,41 @@ impl<D: Density> TestingLoop<D> {
         let d = seed_pool.feature_dim();
         {
             let _span = telemetry::span("fuzz");
-            for &i in &seed_idx {
-                let (seed, label) = seed_pool.sample(i)?;
-                let outcome = attack.run(&mut self.net, &seed, label, rng)?;
-                // The seed itself is an operational demand.
-                let seed_cell = self
-                    .partition
-                    .cell_of(&seed_pool.features().as_slice()[i * d..(i + 1) * d])?;
-                let seed_pred = {
-                    let batch = seed.reshape(&[1, d])?;
-                    self.net.predict_labels(&batch)?[0]
-                };
-                self.reliability.observe(seed_cell, seed_pred != label)?;
-                if let Some(ae) = classify_outcome(
-                    i,
-                    &seed,
-                    label,
-                    &outcome,
-                    self.op.density(),
-                    &self.partition,
-                )? {
+            let net = &self.net;
+            let partition = &self.partition;
+            let density = self.op.density();
+            // Each seed attacks its own clone of the model on its own RNG
+            // stream keyed by seed index, so outcomes depend on neither
+            // iteration order nor thread count. Attacks only touch forward
+            // caches, never weights, so the clones predict identically.
+            type SeedVerdict = (usize, bool, Option<DetectedAe>);
+            let results = opad_par::par_map(
+                &seed_idx,
+                |_, i: &usize| -> Result<SeedVerdict, PipelineError> {
+                    let i = *i;
+                    let mut seed_net = net.clone();
+                    let mut seed_rng =
+                        StdRng::seed_from_u64(opad_par::stream_seed(fuzz_base, i as u64));
+                    let (seed, label) = seed_pool.sample(i)?;
+                    let outcome = attack.run(&mut seed_net, &seed, label, &mut seed_rng)?;
+                    // The seed itself is an operational demand.
+                    let seed_cell =
+                        partition.cell_of(&seed_pool.features().as_slice()[i * d..(i + 1) * d])?;
+                    let seed_pred = {
+                        let batch = seed.reshape(&[1, d])?;
+                        seed_net.predict_labels(&batch)?[0]
+                    };
+                    let ae = classify_outcome(i, &seed, label, &outcome, density, partition)?;
+                    Ok((seed_cell, seed_pred != label, ae))
+                },
+            );
+            // Evidence is replayed serially in seed order — observation
+            // order is part of the deterministic contract, and the first
+            // error (by seed order) is the one that surfaces.
+            for result in results {
+                let (seed_cell, seed_failed, ae) = result?;
+                self.reliability.observe(seed_cell, seed_failed)?;
+                if let Some(ae) = ae {
                     if self.config.ae_evidence {
                         self.reliability.observe(ae.cell, true)?;
                     }
@@ -372,7 +423,7 @@ impl<D: Density> TestingLoop<D> {
             let _span = telemetry::span("evaluate");
             let mut correct = 0usize;
             for _ in 0..self.config.eval_per_round {
-                let i = rng.gen_range(0..field_data.len());
+                let i = eval_rng.gen_range(0..field_data.len());
                 let (x, label) = field_data.sample(i)?;
                 let cell = self.partition.cell_of(x.as_slice())?;
                 let pred = {
@@ -397,7 +448,7 @@ impl<D: Density> TestingLoop<D> {
             let pfd_upper = self.reliability.pfd_upper_bound(
                 self.timeline.target().confidence,
                 self.config.mc_samples,
-                rng,
+                &mut assess_rng,
             )?;
             self.timeline.record(Assessment {
                 round,
@@ -423,7 +474,7 @@ impl<D: Density> TestingLoop<D> {
                 &self.corpus,
                 Some(self.op.density()),
                 &self.config.retrain,
-                rng,
+                &mut retrain_rng,
             )?;
             // Evidence gathered against the old model no longer applies.
             self.reliability = CellReliabilityModel::new(self.cell_op.clone())?;
@@ -451,13 +502,16 @@ impl<D: Density> TestingLoop<D> {
     /// # Errors
     ///
     /// Propagates round failures.
-    pub fn run<A: Attack>(
+    pub fn run<A: Attack + Sync>(
         &mut self,
         field_data: &Dataset,
         train_data: &Dataset,
         attack: &A,
         rng: &mut StdRng,
-    ) -> Result<Vec<RoundReport>, PipelineError> {
+    ) -> Result<Vec<RoundReport>, PipelineError>
+    where
+        D: Sync,
+    {
         let mut reports = Vec::new();
         for _ in 0..self.config.max_rounds {
             let report = self.run_round(field_data, train_data, attack, rng)?;
@@ -708,5 +762,26 @@ mod tests {
             lp.run_round(&f.field, &f.train, &attack, &mut r).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn round_report_is_thread_count_invariant() {
+        // The headline guarantee: same config + seed ⇒ the same report at
+        // any thread count (report equality ignores only wall times).
+        let run_at = |threads: usize| {
+            let _pin = opad_par::override_threads(threads);
+            let f = fixture();
+            let target = ReliabilityTarget::new(1e-4, 0.95).unwrap();
+            let mut lp =
+                TestingLoop::new(f.net, f.op, f.partition, &f.field, target, small_config())
+                    .unwrap();
+            let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap();
+            let mut r = rng();
+            lp.run_round(&f.field, &f.train, &attack, &mut r).unwrap()
+        };
+        let serial = run_at(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run_at(threads), serial, "round differs at {threads} threads");
+        }
     }
 }

@@ -5,7 +5,7 @@
 use crate::{AeCorpus, PipelineError};
 use opad_data::Dataset;
 use opad_nn::{Network, Optimizer, TrainConfig, TrainReport, Trainer};
-use opad_opmodel::Density;
+use opad_opmodel::{log_density_batch, Density};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -75,7 +75,7 @@ impl RetrainConfig {
 /// # Errors
 ///
 /// Fails on invalid config, schema mismatches, or training errors.
-pub fn retrain_with_aes<D: Density>(
+pub fn retrain_with_aes<D: Density + Sync>(
     net: &mut Network,
     base: &Dataset,
     corpus: &AeCorpus,
@@ -114,10 +114,7 @@ pub fn retrain_with_aes<D: Density>(
     // Per-sample weights.
     let weights: Option<Vec<f32>> = if cfg.op_weighted {
         let density = op.expect("checked above");
-        let mut logs = Vec::with_capacity(n);
-        for i in 0..n {
-            logs.push(density.log_density(&x.as_slice()[i * d..(i + 1) * d])?);
-        }
+        let logs = log_density_batch(density, &x)?;
         let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut w: Vec<f64> = logs.into_iter().map(|l| (l - m).exp()).collect();
         for (wi, &ae) in w.iter_mut().zip(&is_ae) {

@@ -5,7 +5,7 @@
 use crate::PipelineError;
 use opad_data::Dataset;
 use opad_nn::{prediction_entropy, prediction_margin, Network};
-use opad_opmodel::{Density, Partition};
+use opad_opmodel::{log_density_batch, Density, Partition};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -81,7 +81,7 @@ impl SeedSampler {
     ///
     /// Fails when an OP-aware weighting lacks a density, or the model
     /// rejects the batch.
-    pub fn weights<D: Density>(
+    pub fn weights<D: Density + Sync>(
         &self,
         net: &mut Network,
         data: &Dataset,
@@ -108,11 +108,7 @@ impl SeedSampler {
             let density = op.ok_or(PipelineError::InvalidConfig {
                 reason: format!("weighting {:?} needs an OP density", self.weighting),
             })?;
-            let d = data.feature_dim();
-            let mut logs = Vec::with_capacity(n);
-            for i in 0..n {
-                logs.push(density.log_density(&data.features().as_slice()[i * d..(i + 1) * d])?);
-            }
+            let logs = log_density_batch(density, data.features())?;
             // Normalise in log space to avoid underflow.
             let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             Some(logs.into_iter().map(|l| (l - m).exp()).collect())

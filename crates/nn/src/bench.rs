@@ -22,7 +22,22 @@ impl Benchmarkable for NnBenches {
         let x_grad = x.clone();
         let mut conv = Conv2d::new(1, 12, 12, 8, 3, &mut rng).expect("3x3 kernel fits 12x12");
         let imgs = Tensor::rand_uniform(&[16, 144], 0.0, 1.0, &mut rng);
+        // Serial-vs-parallel pair for the batch-banded conv forward: a
+        // larger conv (3→16 channels, batch 32) run with the pool pinned
+        // to 1 and 4 threads, so one snapshot shows both timings.
+        let conv_par = Conv2d::new(3, 16, 16, 16, 5, &mut rng).expect("5x5 kernel fits 16x16");
+        let imgs_par = Tensor::rand_uniform(&[32, conv_par.in_dim()], 0.0, 1.0, &mut rng);
+        let conv_at = |name: &'static str, threads: usize| {
+            let mut conv = conv_par.clone();
+            let imgs = imgs_par.clone();
+            BenchKernel::new(name, move || {
+                let _pin = opad_par::override_threads(threads);
+                black_box(conv.forward(&imgs, false).expect("image dims match conv"));
+            })
+        };
         vec![
+            conv_at("nn/conv2d_forward_32x16x16_t1", 1),
+            conv_at("nn/conv2d_forward_32x16x16_t4", 4),
             BenchKernel::new("nn/forward_b32_mlp144", move || {
                 black_box(mlp.forward(&x, false).expect("input dim matches mlp"));
             }),

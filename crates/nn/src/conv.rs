@@ -126,33 +126,60 @@ impl Conv2d {
         let batch = x.dims()[0];
         let (oh, ow) = (self.out_h(), self.out_w());
         let fan_in = self.in_c * self.k * self.k;
+        let in_dim = self.in_dim();
+        let out_dim = self.out_dim();
         let xs = x.as_slice();
-        let ws = self.weight.as_slice();
-        let bs = self.bias.as_slice();
-        let mut out = vec![0.0f32; batch * self.out_c * oh * ow];
-        for n in 0..batch {
-            let xrow = &xs[n * self.in_dim()..(n + 1) * self.in_dim()];
-            for oc in 0..self.out_c {
-                let wrow = &ws[oc * fan_in..(oc + 1) * fan_in];
-                let b = bs[oc];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = b;
-                        for ic in 0..self.in_c {
-                            for ky in 0..self.k {
-                                let xbase = self.x_off(ic, oy + ky, ox);
-                                let wbase = self.w_off(ic, ky, 0);
-                                for kx in 0..self.k {
-                                    acc += xrow[xbase + kx] * wrow[wbase + kx];
+        // Shared reborrow: nothing below mutates the layer, and the band
+        // closure must be `Fn` to cross the worker pool.
+        let this = &*self;
+        let ws = this.weight.as_slice();
+        let bs = this.bias.as_slice();
+        // Both execution paths run this same per-image kernel over a band
+        // of batch rows; bands concatenate in batch order, so the parallel
+        // output is bit-identical to the serial one.
+        let band = |rows: std::ops::Range<usize>| {
+            let mut out = vec![0.0f32; rows.len() * out_dim];
+            for (bn, n) in rows.enumerate() {
+                let xrow = &xs[n * in_dim..(n + 1) * in_dim];
+                for oc in 0..this.out_c {
+                    let wrow = &ws[oc * fan_in..(oc + 1) * fan_in];
+                    let b = bs[oc];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = b;
+                            for ic in 0..this.in_c {
+                                for ky in 0..this.k {
+                                    let xbase = this.x_off(ic, oy + ky, ox);
+                                    let wbase = this.w_off(ic, ky, 0);
+                                    for kx in 0..this.k {
+                                        acc += xrow[xbase + kx] * wrow[wbase + kx];
+                                    }
                                 }
                             }
+                            out[((bn * this.out_c + oc) * oh + oy) * ow + ox] = acc;
                         }
-                        out[((n * self.out_c + oc) * oh + oy) * ow + ox] = acc;
                     }
                 }
             }
+            out
+        };
+        // Fan out over batch rows only when there is enough arithmetic to
+        // amortise dispatch; single images and tiny batches stay serial.
+        const PAR_BAND_ROWS: usize = 4;
+        const PAR_MIN_MACS: usize = 1 << 16;
+        let bands = if batch > 1
+            && batch * out_dim * fan_in >= PAR_MIN_MACS
+            && opad_par::threads() > 1
+        {
+            opad_par::par_ranges(batch, PAR_BAND_ROWS, |_, rows| band(rows))
+        } else {
+            vec![band(0..batch)]
+        };
+        let mut out = Vec::with_capacity(batch * out_dim);
+        for b in bands {
+            out.extend_from_slice(&b);
         }
-        Ok(Tensor::from_vec(out, &[batch, self.out_dim()])?)
+        Ok(Tensor::from_vec(out, &[batch, out_dim])?)
     }
 
     /// Backward pass: accumulates kernel/bias gradients, returns `dL/dx`.
@@ -461,6 +488,29 @@ mod tests {
             .as_slice()
             .iter()
             .all(|&g| (g - per_chan).abs() < 1e-3));
+    }
+
+    #[test]
+    fn conv_forward_is_bitwise_thread_count_invariant() {
+        // 16 images of 3×12×12 through a 3→8 5×5 conv crosses the parallel
+        // work threshold; the output must not depend on the thread count.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(3, 12, 12, 8, 5, &mut rng).unwrap();
+        let x = Tensor::rand_normal(&[16, conv.in_dim()], 0.0, 1.0, &mut rng);
+        let serial = {
+            let _pin = opad_par::override_threads(1);
+            conv.forward(&x, false).unwrap()
+        };
+        for threads in [2usize, 4, 8] {
+            let _pin = opad_par::override_threads(threads);
+            let par = conv.forward(&x, false).unwrap();
+            let same_bits = serial
+                .as_slice()
+                .iter()
+                .zip(par.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "conv forward differs at {threads} threads");
+        }
     }
 
     #[test]

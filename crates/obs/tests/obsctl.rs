@@ -264,6 +264,109 @@ fn bench_writes_a_sequenced_snapshot_and_selfcheck_validates_everything() {
 }
 
 #[test]
+fn summary_handles_an_empty_trace_without_panicking() {
+    let dir = fixture_dir("summary_empty_trace");
+    write_run(&dir, "exp_empty", 800.0, 400, 5.0, false);
+    // A trace file that exists but recorded nothing (run died before the
+    // first event flushed).
+    std::fs::write(dir.join("exp_empty_trace.jsonl"), "").expect("trace fixture writes");
+    let (code, out) = run_cli(&[
+        "summary",
+        dir.join("exp_empty.json").to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("spans: none completed in trace"), "{out}");
+    assert!(
+        !out.contains("budget breakdown"),
+        "no rounds to break down:\n{out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn summary_handles_a_root_span_that_never_closes() {
+    let dir = fixture_dir("summary_open_root");
+    write_run(&dir, "exp_open", 800.0, 400, 5.0, false);
+    // Truncated trace: the root `round` span opened (and a child closed)
+    // but the run died before the root's end event. The child must still
+    // be attributed under its parent and nothing may panic.
+    let events = vec![
+        Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "round".to_string(),
+            t_ms: 0.0,
+        },
+        Event::SpanStart {
+            id: 2,
+            parent: Some(1),
+            name: "fuzz".to_string(),
+            t_ms: 1.0,
+        },
+        Event::SpanEnd {
+            id: 2,
+            parent: Some(1),
+            name: "fuzz".to_string(),
+            t_ms: 61.0,
+            wall_ms: 60.0,
+        },
+    ];
+    let mut text = String::new();
+    for e in &events {
+        text.push_str(&e.to_json());
+        text.push('\n');
+    }
+    std::fs::write(dir.join("exp_open_trace.jsonl"), text).expect("trace fixture writes");
+    let (code, out) = run_cli(&[
+        "summary",
+        dir.join("exp_open.json").to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("span tree"), "{out}");
+    assert!(out.contains("fuzz"), "{out}");
+    // The unclosed root contributes no wall time but still anchors its
+    // children; zero completed rounds must not divide by zero.
+    assert!(out.contains("budget breakdown over 0 round(s)"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_reports_missing_metrics_as_na_instead_of_panicking() {
+    let dir = fixture_dir("diff_missing_metric");
+    write_run(&dir, "exp_full", 1000.0, 400, 5.0, false);
+    // A legal envelope whose telemetry recorded no histograms, counters
+    // or spans — every derived metric on this side is missing.
+    let bare = r#"{
+  "schema_version": 1,
+  "experiment": "exp_bare",
+  "run_id": "exp_bare-id",
+  "config": {"budget": 100},
+  "telemetry": {
+    "wall_ms": 1000.0,
+    "events": 2,
+    "events_per_sec": 2.0,
+    "counters": {},
+    "gauges": {},
+    "histograms": [],
+    "spans": []
+  }
+}
+"#;
+    std::fs::write(dir.join("exp_bare.json"), bare).expect("envelope fixture writes");
+    let (code, out) = run_cli(&[
+        "diff",
+        dir.join("exp_full.json").to_str().expect("utf8"),
+        dir.join("exp_bare.json").to_str().expect("utf8"),
+    ]);
+    // Missing metrics are marked n/a and never count as regressions.
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("n/a"), "{out}");
+    assert!(out.contains("iters_to_success_p50"), "{out}");
+    assert!(out.contains("overall: clean"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn list_discovers_every_envelope_uniformly() {
     let dir = fixture_dir("list");
     write_run(&dir, "exp_one", 100.0, 40, 3.0, true);

@@ -1,6 +1,6 @@
 //! Micro-benchmark registry for the OP-model kernels (`obsctl bench`).
 
-use crate::{CentroidPartition, Density, Gmm, Kde, Partition};
+use crate::{log_density_batch, CentroidPartition, Density, Gmm, Kde, Partition};
 use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
 use opad_telemetry::{BenchKernel, Benchmarkable};
 use rand::rngs::StdRng;
@@ -23,7 +23,21 @@ impl Benchmarkable for OpModelBenches {
         let partition = CentroidPartition::fit(data.features(), 16, 20, &mut rng)
             .expect("500 points fit 16 cells");
         let q = [0.5f32, -0.5];
+        // Serial-vs-parallel pair for the batch density evaluator: all 500
+        // training points scored against the n=500 KDE (250k kernel
+        // evaluations) with the pool pinned to 1 and 4 threads.
+        let batch = data.features().clone();
+        let kde_batch = kde.clone();
+        let batch_at = |name: &'static str, threads: usize| {
+            let (kde, batch) = (kde_batch.clone(), batch.clone());
+            BenchKernel::new(name, move || {
+                let _pin = opad_par::override_threads(threads);
+                black_box(log_density_batch(&kde, &batch).expect("batch dim matches fit"));
+            })
+        };
         vec![
+            batch_at("opmodel/kde_batch_n500_t1", 1),
+            batch_at("opmodel/kde_batch_n500_t4", 4),
             BenchKernel::new("opmodel/kde_log_density_n500", move || {
                 black_box(kde.log_density(&q).expect("query dim matches fit"));
             }),

@@ -1,6 +1,7 @@
 //! The density-model abstraction.
 
 use crate::OpModelError;
+use opad_tensor::Tensor;
 use rand::rngs::StdRng;
 
 /// A probability density over the input space — the continuous face of an
@@ -67,6 +68,51 @@ pub trait Density {
     }
 }
 
+/// Evaluates `density.log_density` on every row of a `[n, d]` matrix,
+/// fanning out over fixed 64-row chunks of query points.
+///
+/// Determinism: chunk boundaries depend only on `n`, each row is evaluated
+/// exactly as in the serial loop, and chunk results (including errors) are
+/// combined in row order — so the output, and which error surfaces when
+/// several rows fail, are identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`OpModelError::DimensionMismatch`] when `data` is not a matrix
+/// of `density.dim()`-wide rows, and propagates the first (by row order)
+/// [`Density::log_density`] failure.
+pub fn log_density_batch<D>(density: &D, data: &Tensor) -> Result<Vec<f64>, OpModelError>
+where
+    D: Density + Sync + ?Sized,
+{
+    let d = density.dim();
+    if data.rank() != 2 || data.dims()[1] != d {
+        return Err(OpModelError::DimensionMismatch {
+            expected: d,
+            actual: if data.rank() == 2 {
+                data.dims()[1]
+            } else {
+                data.len()
+            },
+        });
+    }
+    let n = data.dims()[0];
+    let xs = data.as_slice();
+    const CHUNK_ROWS: usize = 64;
+    let chunks = opad_par::par_ranges(n, CHUNK_ROWS, |_, rows| {
+        let mut part = Vec::with_capacity(rows.len());
+        for i in rows {
+            part.push(density.log_density(&xs[i * d..(i + 1) * d])?);
+        }
+        Ok::<Vec<f64>, OpModelError>(part)
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
 /// Numerically-stable `log(Σ exp(xs))`.
 pub(crate) fn log_sum_exp(xs: &[f64]) -> f64 {
     let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -100,5 +146,64 @@ mod tests {
         let xs = [0.1f64, -0.5, 1.2, 0.0];
         let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
         assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    /// A deterministic toy density for exercising the batch evaluator.
+    struct Quadratic {
+        d: usize,
+    }
+
+    impl Density for Quadratic {
+        fn dim(&self) -> usize {
+            self.d
+        }
+
+        fn log_density(&self, x: &[f32]) -> Result<f64, OpModelError> {
+            if x.len() != self.d {
+                return Err(OpModelError::DimensionMismatch {
+                    expected: self.d,
+                    actual: x.len(),
+                });
+            }
+            Ok(-x.iter().map(|&v| v as f64 * v as f64).sum::<f64>())
+        }
+
+        fn sample(&self, _rng: &mut StdRng) -> Result<Vec<f32>, OpModelError> {
+            Ok(vec![0.0; self.d])
+        }
+    }
+
+    #[test]
+    fn log_density_batch_matches_serial_loop_at_any_thread_count() {
+        let q = Quadratic { d: 3 };
+        // 130 rows: two full 64-row chunks plus a ragged tail.
+        let data = Tensor::from_fn(&[130, 3], |ix| (ix[0] * 3 + ix[1]) as f32 * 0.01 - 1.0);
+        let want: Vec<f64> = (0..130)
+            .map(|i| {
+                q.log_density(&data.as_slice()[i * 3..(i + 1) * 3])
+                    .expect("row width matches the density")
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let _pin = opad_par::override_threads(threads);
+            let got = log_density_batch(&q, &data).expect("row width matches the density");
+            let same_bits = want
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "batch differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn log_density_batch_rejects_bad_shapes() {
+        let q = Quadratic { d: 3 };
+        assert!(log_density_batch(&q, &Tensor::zeros(&[4, 2])).is_err());
+        assert!(log_density_batch(&q, &Tensor::zeros(&[6])).is_err());
+        // Empty batch is fine.
+        assert_eq!(
+            log_density_batch(&q, &Tensor::zeros(&[0, 3])).expect("empty batch is valid"),
+            Vec::<f64>::new()
+        );
     }
 }

@@ -39,7 +39,7 @@ mod partition;
 mod profile;
 
 pub use bench::OpModelBenches;
-pub use density::Density;
+pub use density::{log_density_batch, Density};
 pub use divergence::{js_divergence, kl_divergence, tv_distance};
 pub use error::OpModelError;
 pub use gmm::{Gmm, GmmComponent};

@@ -229,6 +229,33 @@ impl Partition for CentroidPartition {
         }
         Ok(nearest(x, self.centroids.as_slice(), self.num_cells(), d))
     }
+
+    // Parallel override of the cell-occupancy count: each fixed 256-row
+    // chunk of data produces an integer count vector, and the chunks are
+    // merged in order. Integer partials make the merge exact, so the
+    // result matches the serial default at every thread count (for counts
+    // below 2^53, where f64 addition of unit increments is exact).
+    fn cell_distribution(&self, data: &Tensor, alpha: f64) -> Result<Vec<f64>, OpModelError> {
+        let k = self.num_cells();
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        let xs = data.as_slice();
+        const CHUNK_ROWS: usize = 256;
+        let partials = opad_par::par_ranges(n, CHUNK_ROWS, |_, rows| {
+            let mut counts = vec![0u64; k];
+            for i in rows {
+                counts[self.cell_of(&xs[i * d..(i + 1) * d])?] += 1;
+            }
+            Ok::<Vec<u64>, OpModelError>(counts)
+        });
+        let mut counts = vec![alpha; k];
+        for partial in partials {
+            for (acc, add) in counts.iter_mut().zip(partial?) {
+                *acc += add as f64;
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        Ok(counts.into_iter().map(|c| c / total).collect())
+    }
 }
 
 /// A regular grid partition over a bounded box (suited to low dimensions).
@@ -385,6 +412,36 @@ mod tests {
         assert_eq!(dist.len(), 8);
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(dist.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn centroid_cell_distribution_is_bitwise_thread_count_invariant() {
+        let mut r = rng();
+        // 700 rows: two full 256-row chunks plus a ragged tail.
+        let data = Tensor::rand_uniform(&[700, 2], -1.0, 1.0, &mut r);
+        let part =
+            CentroidPartition::fit(&data, 8, 10, &mut r).expect("at least k rows fit k centroids");
+        // The trait's serial formula, written out by hand.
+        let xs = data.as_slice();
+        let mut counts = vec![0.25f64; 8];
+        for i in 0..700 {
+            counts[part
+                .cell_of(&xs[i * 2..(i + 1) * 2])
+                .expect("query dim matches the partition")] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        let want: Vec<f64> = counts.into_iter().map(|c| c / total).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let _pin = opad_par::override_threads(threads);
+            let got = part
+                .cell_distribution(&data, 0.25)
+                .expect("query dim matches the partition");
+            let same_bits = want
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "distribution differs at {threads} threads");
+        }
     }
 
     #[test]

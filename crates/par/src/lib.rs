@@ -1,0 +1,384 @@
+//! # opad-par
+//!
+//! A deterministic scoped worker pool for the opad kernels: `par_map`,
+//! `par_chunks` / `par_ranges`, and an ordered `par_reduce`, built on
+//! `std::thread::scope` with no third-party dependencies.
+//!
+//! The contract that makes this crate worth having is **determinism**:
+//! for the same inputs, every function here returns byte-identical output
+//! at any thread count. Three rules deliver that:
+//!
+//! 1. **Indexed output slots.** Each task writes its result into its own
+//!    slot; results are collected in task order, never completion order.
+//! 2. **Fixed work geometry.** Chunk boundaries are a function of the
+//!    input size and the caller's chunk size only — never of the thread
+//!    count — so floating-point partials are always combined over the
+//!    same element ranges.
+//! 3. **Ordered reduction.** [`par_reduce`] folds per-task partials
+//!    serially in task order after the parallel map phase.
+//!
+//! Thread count comes from the `OPAD_THREADS` environment variable
+//! (read once per process; unset or invalid means
+//! `std::thread::available_parallelism`). `OPAD_THREADS=1` runs the same
+//! task-drain code path on the calling thread — the serial fallback is
+//! not a separate implementation. Tests and benchmarks pin the count
+//! with [`override_threads`], which also serialises them against each
+//! other (the override is process state).
+//!
+//! Every executed task increments the `par.tasks` counter, records its
+//! duration in the `par.task_us` histogram, and runs inside a `par.task`
+//! telemetry span attributed to the span that was live on the
+//! *dispatching* thread (via [`opad_telemetry::span_with_parent`]), so
+//! traces stay a single tree across the pool.
+//!
+//! The crate also hosts the RNG-splitting helpers ([`splitmix64`],
+//! [`stream_seed`]) the pipeline uses to give each purpose / seed / chunk
+//! its own independent random stream instead of interleaved draws on one
+//! shared generator.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = opad_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Ordered reduction: partial sums fold in task order.
+//! let total = opad_par::par_reduce(4, |i| i as u64, 0u64, |acc, p| acc + p);
+//! assert_eq!(total, 0 + 1 + 2 + 3);
+//! ```
+
+#![warn(missing_docs)]
+
+use opad_telemetry as telemetry;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+// 0 = no override; tests/benches write the pinned count here.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+// Serialises override holders so two tests cannot fight over the count.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+// OPAD_THREADS resolution, cached once per process (kernels consult the
+// thread count on every call; re-reading the environment there would put
+// a lock acquisition into hot loops).
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The worker count the pool will use: the active [`override_threads`]
+/// value if one is held, else `OPAD_THREADS` (read once per process),
+/// else `std::thread::available_parallelism`. Never zero.
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Acquire);
+    if o > 0 {
+        return o;
+    }
+    *ENV_THREADS.get_or_init(|| match std::env::var("OPAD_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// RAII guard pinning the pool's thread count, overriding `OPAD_THREADS`.
+///
+/// Obtained from [`override_threads`]; restores the previous state on
+/// drop. Holding it owns a process-global lock, so concurrent holders
+/// (e.g. `cargo test` threads) serialise instead of racing — this is the
+/// supported way to vary the thread count inside one process, since
+/// mutating the environment mid-run is racy.
+pub struct ThreadsOverride {
+    prev: usize,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ThreadsOverride {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::Release);
+    }
+}
+
+/// Pins the pool to exactly `n` worker threads until the guard drops.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn override_threads(n: usize) -> ThreadsOverride {
+    assert!(n > 0, "thread count must be nonzero");
+    // A poisoned lock only means another override holder panicked; the
+    // override state itself is restored by its Drop, so continue.
+    let lock = OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let prev = THREAD_OVERRIDE.swap(n, Ordering::AcqRel);
+    ThreadsOverride { prev, _lock: lock }
+}
+
+/// SplitMix64: a full-period bijective mixer over `u64`. The standard
+/// tool for deriving many independent RNG seeds from one base seed —
+/// nearby inputs map to statistically unrelated outputs.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An RNG seed for stream `idx` derived from `base`: seed the per-seed /
+/// per-chunk generator with `stream_seed(base, i)` and every stream is
+/// independent of its neighbours and of how many there are. Different
+/// *purposes* should use different `base` values (e.g. successive
+/// [`splitmix64`] iterates of a round seed).
+pub fn stream_seed(base: u64, idx: u64) -> u64 {
+    splitmix64(base ^ splitmix64(idx.wrapping_add(1)))
+}
+
+/// Runs `tasks` index-addressed jobs on the pool and returns their
+/// results in task order. The building block under everything else.
+fn run_tasks<U, F>(tasks: usize, run: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let workers = threads().min(tasks);
+    // Worker-side spans attribute to whatever span is live here on the
+    // dispatching thread.
+    let parent = telemetry::current_span_id();
+    let slots: Vec<Mutex<Option<U>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let drain = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= tasks {
+            break;
+        }
+        let _task_span = telemetry::span_with_parent("par.task", parent);
+        let started = Instant::now();
+        let value = run(i);
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+        telemetry::counter_add("par.tasks", 1);
+        telemetry::histogram_record("par.task_us", started.elapsed().as_secs_f64() * 1e6);
+    };
+    if workers <= 1 {
+        // Serial fallback: the identical drain loop, on this thread.
+        drain();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(&drain);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every task index below `tasks` ran")
+        })
+        .collect()
+}
+
+/// Applies `f` to every item (with its index) in parallel, preserving
+/// order and length. One task per item — use for coarse work units like
+/// per-seed attacks; for fine-grained numeric loops prefer
+/// [`par_ranges`] so each task amortises dispatch overhead.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    run_tasks(items.len(), |i| f(i, &items[i]))
+}
+
+/// Splits `items` into consecutive chunks of `chunk_size` (the last may
+/// be short) and applies `f` to each, returning one result per chunk in
+/// chunk order. Chunk boundaries depend only on the input length and
+/// `chunk_size`, never on the thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn par_chunks<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    par_ranges(items.len(), chunk_size, |chunk_idx, range| {
+        f(chunk_idx, &items[range])
+    })
+}
+
+/// Like [`par_chunks`] but over an index space instead of a slice: the
+/// range `0..n` is cut into consecutive `chunk_size`-wide ranges and `f`
+/// runs once per range. This is the right shape for kernels that index
+/// several buffers at once (matmul rows, conv batch entries, MC chunks).
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero while `n` is not.
+pub fn par_ranges<U, F>(n: usize, chunk_size: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, Range<usize>) -> U + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(chunk_size > 0, "chunk size must be nonzero");
+    let tasks = n.div_ceil(chunk_size);
+    run_tasks(tasks, |chunk_idx| {
+        let start = chunk_idx * chunk_size;
+        let end = (start + chunk_size).min(n);
+        f(chunk_idx, start..end)
+    })
+}
+
+/// Deterministic ordered reduction: runs `tasks` jobs in parallel, then
+/// folds their results into `init` serially **in task order**. Because
+/// the fold order is fixed, non-associative accumulations (floating
+/// point, error short-circuiting) give the same answer at every thread
+/// count.
+pub fn par_reduce<U, A, M, F>(tasks: usize, map: M, init: A, fold: F) -> A
+where
+    U: Send,
+    M: Fn(usize) -> U + Sync,
+    F: FnMut(A, U) -> A,
+{
+    run_tasks(tasks, map).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        // Consecutive inputs land far apart.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8);
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_per_index_and_base() {
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 7, 123456789] {
+            for idx in 0..64 {
+                assert!(seen.insert(stream_seed(base, idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn threads_is_positive_and_override_pins() {
+        assert!(threads() >= 1);
+        {
+            let _g = override_threads(3);
+            assert_eq!(threads(), 3);
+            // The same drain path must work under an override.
+            let out = par_map(&[1, 2, 3, 4, 5], |_, &x| x * 2);
+            assert_eq!(out, vec![2, 4, 6, 8, 10]);
+        }
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_override_rejected() {
+        let _ = override_threads(0);
+    }
+
+    #[test]
+    fn par_reduce_folds_in_task_order() {
+        let _g = override_threads(4);
+        let order = par_reduce(
+            16,
+            |i| i,
+            Vec::new(),
+            |mut acc: Vec<usize>, i| {
+                acc.push(i);
+                acc
+            },
+        );
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        let _g = override_threads(4);
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            for chunk in [1usize, 3, 8, 200] {
+                let ranges = par_ranges(n, chunk, |_, r| r);
+                let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_identically_across_thread_counts() {
+        use opad_telemetry::MetricsRecorder;
+        use std::sync::Arc;
+
+        let mut counts = Vec::new();
+        for t in [1usize, 4] {
+            let _g = override_threads(t);
+            let rec = Arc::new(MetricsRecorder::new());
+            telemetry::install(rec.clone());
+            let _ = par_ranges(100, 16, |_, r| r.len());
+            telemetry::uninstall();
+            let s = rec.summary();
+            counts.push((
+                s.counter("par.tasks"),
+                s.histogram("par.task_us").map(|h| h.count),
+            ));
+        }
+        assert_eq!(counts[0], (Some(7), Some(7)), "ceil(100/16) tasks");
+        assert_eq!(counts[0], counts[1], "task geometry ignores thread count");
+    }
+
+    #[test]
+    fn worker_spans_attribute_to_dispatching_span() {
+        use opad_telemetry::{Event, MetricsRecorder, TestSink};
+        use std::sync::Arc;
+
+        let _g = override_threads(2);
+        let sink = Arc::new(TestSink::new());
+        let rec = Arc::new(MetricsRecorder::with_sink(sink.clone()));
+        telemetry::install(rec);
+        {
+            let _outer = telemetry::span("fanout");
+            let _ = par_map(&[1, 2, 3], |_, &x| x + 1);
+        }
+        telemetry::uninstall();
+        let events = sink.events();
+        let fanout_id = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart { id, name, .. } if *name == "fanout" => Some(*id),
+                _ => None,
+            })
+            .expect("fanout span recorded");
+        let task_parents: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { parent, name, .. } if *name == "par.task" => Some(*parent),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(task_parents.len(), 3);
+        assert!(task_parents.iter().all(|p| *p == Some(fanout_id)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property and edge-case tests for the worker pool: the guarantees the
+//! rest of the workspace leans on (order preservation, panic propagation,
+//! degenerate inputs, nesting) hold at every thread count.
+
+use opad_par::{override_threads, par_chunks, par_map, par_ranges, par_reduce};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_map_preserves_order_and_length(
+        items in proptest::collection::vec(any::<i64>(), 0..200),
+        threads in 1usize..9,
+    ) {
+        let _g = override_threads(threads);
+        let out = par_map(&items, |i, &x| (i, x.wrapping_mul(3)));
+        prop_assert_eq!(out.len(), items.len());
+        for (i, (idx, v)) in out.into_iter().enumerate() {
+            prop_assert_eq!(idx, i);
+            prop_assert_eq!(v, items[i].wrapping_mul(3));
+        }
+    }
+
+    #[test]
+    fn par_chunks_agrees_with_serial_chunking(
+        items in proptest::collection::vec(any::<i32>(), 0..150),
+        chunk in 1usize..40,
+        threads in 1usize..9,
+    ) {
+        let _g = override_threads(threads);
+        let got = par_chunks(&items, chunk, |_, c| c.iter().map(|&x| x as i64).sum::<i64>());
+        let want: Vec<i64> = items
+            .chunks(chunk)
+            .map(|c| c.iter().map(|&x| x as i64).sum())
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_reduce_is_thread_count_invariant(
+        values in proptest::collection::vec(any::<u32>(), 1..100),
+    ) {
+        // Concatenation is non-commutative: any out-of-order fold shows up.
+        let reduce_at = |threads: usize| {
+            let _g = override_threads(threads);
+            par_reduce(
+                values.len(),
+                |i| format!("{}:{};", i, values[i]),
+                String::new(),
+                |acc, s| acc + &s,
+            )
+        };
+        let serial = reduce_at(1);
+        for t in [2, 4, 8] {
+            prop_assert_eq!(&reduce_at(t), &serial);
+        }
+    }
+}
+
+#[test]
+fn empty_input_yields_empty_output() {
+    let _g = override_threads(4);
+    assert!(par_map(&[] as &[u8], |_, &x| x).is_empty());
+    assert!(par_chunks(&[] as &[u8], 5, |_, c| c.len()).is_empty());
+    assert!(par_ranges(0, 3, |_, r| r).is_empty());
+    assert_eq!(par_reduce(0, |i| i, 42usize, |a, b| a + b), 42);
+}
+
+#[test]
+fn chunk_size_larger_than_len_is_one_chunk() {
+    let _g = override_threads(4);
+    let items = [1u8, 2, 3];
+    let out = par_chunks(&items, 64, |idx, c| (idx, c.to_vec()));
+    assert_eq!(out, vec![(0, vec![1, 2, 3])]);
+}
+
+#[test]
+fn single_thread_runs_the_same_code_path() {
+    // OPAD_THREADS=1 (here pinned via the override) must give identical
+    // results to any parallel run — it drains the same task queue.
+    let items: Vec<u64> = (0..37).collect();
+    let serial = {
+        let _g = override_threads(1);
+        par_map(&items, |i, &x| x * x + i as u64)
+    };
+    let parallel = {
+        let _g = override_threads(8);
+        par_map(&items, |i, &x| x * x + i as u64)
+    };
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn worker_panic_propagates_to_the_caller() {
+    for threads in [1usize, 4] {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = override_threads(threads);
+            par_map(&[1u32, 2, 3, 4, 5, 6, 7, 8], |_, &x| {
+                if x == 5 {
+                    panic!("task blew up");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must surface at {threads} threads");
+    }
+}
+
+#[test]
+fn nested_par_map_does_not_deadlock() {
+    // Scoped threads are spawned per call, not drawn from a fixed-size
+    // pool, so inner fan-outs can never starve waiting for outer workers.
+    let _g = override_threads(4);
+    let outer: Vec<Vec<usize>> = par_map(&[10usize, 20, 30], |_, &n| {
+        let inner: Vec<usize> = (0..8).collect();
+        par_map(&inner, |_, &j| n + j)
+    });
+    assert_eq!(outer.len(), 3);
+    assert_eq!(outer[0], (10..18).collect::<Vec<_>>());
+    assert_eq!(outer[2], (30..38).collect::<Vec<_>>());
+}

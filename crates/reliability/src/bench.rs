@@ -26,7 +26,24 @@ impl Benchmarkable for ReliabilityBenches {
         let mut mc_rng = StdRng::seed_from_u64(0);
         let beta = Beta::new(3.0, 500.0).expect("positive shape parameters");
         let mut obs_cell = 0usize;
+        // Serial-vs-parallel pair for the chunked MC sampler: the same
+        // 4096-draw posterior bound with the pool pinned to 1 and 4
+        // threads.
+        let mc_at = |name: &'static str, threads: usize| {
+            let model = mc_model.clone();
+            let mut rng = StdRng::seed_from_u64(1);
+            BenchKernel::new(name, move || {
+                let _pin = opad_par::override_threads(threads);
+                black_box(
+                    model
+                        .pfd_upper_bound(0.95, 4096, &mut rng)
+                        .expect("valid confidence and sample count"),
+                );
+            })
+        };
         vec![
+            mc_at("reliability/pfd_upper_mc4096_t1", 1),
+            mc_at("reliability/pfd_upper_mc4096_t4", 4),
             BenchKernel::new("reliability/cell_observe", move || {
                 obs_cell = (obs_cell + 1) % 16;
                 observe_model

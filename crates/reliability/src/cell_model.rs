@@ -6,6 +6,7 @@
 use crate::{Beta, ReliabilityError};
 use opad_telemetry as telemetry;
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Cell-partitioned Bayesian reliability model.
@@ -166,16 +167,32 @@ impl CellReliabilityModel {
 
     /// Monte-Carlo draws from the pfd posterior (sample each cell's θ,
     /// weight by OP).
+    ///
+    /// The caller's generator contributes exactly one `u64` draw; each
+    /// fixed 256-draw chunk then runs on its own generator seeded by
+    /// [`opad_par::stream_seed`] of that base and the chunk index, and the
+    /// chunks concatenate in order. The returned draws are therefore
+    /// identical at every thread count.
     pub fn pfd_samples(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
-        (0..n)
-            .map(|_| {
-                self.op
-                    .iter()
-                    .zip(&self.posteriors)
-                    .map(|(&p, b)| p * b.sample(rng))
-                    .sum()
-            })
-            .collect()
+        const CHUNK_DRAWS: usize = 256;
+        let base: u64 = rng.gen();
+        let chunks = opad_par::par_ranges(n, CHUNK_DRAWS, |chunk_idx, draws| {
+            let mut chunk_rng = StdRng::seed_from_u64(opad_par::stream_seed(base, chunk_idx as u64));
+            draws
+                .map(|_| {
+                    self.op
+                        .iter()
+                        .zip(&self.posteriors)
+                        .map(|(&p, b)| p * b.sample(&mut chunk_rng))
+                        .sum()
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
     }
 
     /// An upper credible bound on the pfd at the given confidence, by
@@ -315,6 +332,46 @@ mod tests {
             (mc - analytic).abs() < 0.005,
             "mc {mc} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn pfd_samples_are_thread_count_invariant() {
+        let mut m = CellReliabilityModel::new(vec![0.25; 4]).unwrap();
+        for cell in 0..4 {
+            for i in 0..40 {
+                m.observe(cell, i % 13 == 0).unwrap();
+            }
+        }
+        // 700 draws: two full 256-draw chunks plus a ragged tail.
+        let draws_at = |threads: usize| {
+            let _pin = opad_par::override_threads(threads);
+            let mut r = rng();
+            m.pfd_samples(700, &mut r)
+        };
+        let serial = draws_at(1);
+        assert_eq!(serial.len(), 700);
+        for threads in [2usize, 4, 8] {
+            let par = draws_at(threads);
+            let same_bits = serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "MC draws differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn pfd_samples_consume_one_caller_draw() {
+        // The sampler must advance the caller's generator by exactly one
+        // u64 regardless of n, so surrounding code sees a stable stream.
+        let m = CellReliabilityModel::new(vec![1.0]).unwrap();
+        let mut a = rng();
+        let _ = m.pfd_samples(10, &mut a);
+        let after_small: u64 = a.gen();
+        let mut b = rng();
+        let _ = m.pfd_samples(1000, &mut b);
+        let after_large: u64 = b.gen();
+        assert_eq!(after_small, after_large);
     }
 
     #[test]

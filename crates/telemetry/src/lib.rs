@@ -151,6 +151,35 @@ pub fn span(name: &'static str) -> Span {
     }
 }
 
+/// Starts a named span whose parent is `parent` (a span id captured via
+/// [`current_span_id`]) instead of the innermost span on this thread.
+///
+/// Worker pools use this to keep traces attributed: the dispatching
+/// thread captures its current span id, and each worker opens its spans
+/// with that id as the explicit parent, so per-task spans hang off the
+/// span that spawned them rather than floating as parentless roots.
+#[inline]
+pub fn span_with_parent(name: &'static str, parent: Option<u64>) -> Span {
+    if !enabled() {
+        return Span::disabled();
+    }
+    match current() {
+        Some(r) => Span::start_with_parent(name, parent, r),
+        None => Span::disabled(),
+    }
+}
+
+/// The id of the innermost live span on the current thread — the value to
+/// capture before handing work to another thread and replay through
+/// [`span_with_parent`]. `None` when no span is live or telemetry is off.
+#[inline]
+pub fn current_span_id() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    span::current_thread_span_id()
+}
+
 /// A scope timer that records elapsed milliseconds into the named
 /// histogram on drop. `None` (free) when telemetry is disabled; bind it
 /// to a named variable (`let _t = ...;`), not `_`, or it drops instantly.
@@ -293,6 +322,42 @@ mod tests {
         let s = rec.summary();
         assert_eq!(s.spans.len(), 2);
         assert!(s.spans.iter().any(|r| r.name == "outer" && r.count == 1));
+    }
+
+    #[test]
+    fn span_with_parent_attributes_worker_spans() {
+        let _g = GLOBAL_GUARD.lock().unwrap();
+        let sink = Arc::new(TestSink::new());
+        let rec = Arc::new(MetricsRecorder::with_sink(sink.clone()));
+        install(rec);
+        {
+            let outer = span("dispatch");
+            let parent = current_span_id();
+            assert_eq!(parent, outer.id());
+            std::thread::spawn(move || {
+                let _task = span_with_parent("task", parent);
+            })
+            .join()
+            .unwrap();
+        }
+        uninstall();
+        assert_eq!(current_span_id(), None);
+        let events = sink.events();
+        let dispatch_id = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart { id, name, .. } if *name == "dispatch" => Some(*id),
+                _ => None,
+            })
+            .unwrap();
+        let task_parent = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart { parent, name, .. } if *name == "task" => Some(*parent),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(task_parent, Some(dispatch_id));
     }
 
     #[test]

@@ -39,13 +39,27 @@ struct SpanInner {
 impl Span {
     /// Opens a span against `recorder`, pushing it on this thread's stack.
     pub(crate) fn start(name: &'static str, recorder: Arc<dyn Recorder>) -> Span {
+        let parent = current_thread_span_id();
+        Span::start_inner(name, parent, recorder)
+    }
+
+    /// Opens a span whose parent is given explicitly instead of being read
+    /// off this thread's stack. This is how worker threads attribute their
+    /// spans to the span that spawned the work: capture
+    /// [`crate::current_span_id`] before handing off, pass it here on the
+    /// worker. The new span still pushes onto the *worker's* stack, so
+    /// spans opened inside it nest normally.
+    pub(crate) fn start_with_parent(
+        name: &'static str,
+        parent: Option<u64>,
+        recorder: Arc<dyn Recorder>,
+    ) -> Span {
+        Span::start_inner(name, parent, recorder)
+    }
+
+    fn start_inner(name: &'static str, parent: Option<u64>, recorder: Arc<dyn Recorder>) -> Span {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-        let parent = SPAN_STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
-            let parent = stack.last().copied();
-            stack.push(id);
-            parent
-        });
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
         recorder.span_start(name, id, parent);
         Span {
             inner: Some(SpanInner {
@@ -73,6 +87,11 @@ impl Span {
     pub fn id(&self) -> Option<u64> {
         self.inner.as_ref().map(|i| i.id)
     }
+}
+
+/// The id of the innermost live span on the current thread, if any.
+pub(crate) fn current_thread_span_id() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied())
 }
 
 impl Drop for Span {
@@ -213,5 +232,29 @@ mod tests {
         let log = rec.log.lock().unwrap();
         let worker = log.iter().find(|e| e.0 == "worker").unwrap();
         assert_eq!(worker.2, None);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads_and_nests_locally() {
+        let rec = Arc::new(LogRecorder::default());
+        let outer = Span::start("outer", rec.clone());
+        let outer_id = outer.id();
+        assert_eq!(current_thread_span_id(), outer_id);
+        let rec2 = rec.clone();
+        std::thread::spawn(move || {
+            let task = Span::start_with_parent("task", outer_id, rec2.clone());
+            assert_eq!(current_thread_span_id(), task.id());
+            // A span opened inside the task nests under it as usual.
+            let _child = Span::start("child", rec2);
+        })
+        .join()
+        .unwrap();
+        drop(outer);
+        let log = rec.log.lock().unwrap();
+        let task = log.iter().find(|e| e.0 == "task" && !e.3).unwrap();
+        assert_eq!(task.2, outer_id, "task attributes to the spawning span");
+        let child = log.iter().find(|e| e.0 == "child" && !e.3).unwrap();
+        assert_eq!(child.2, Some(task.1), "child nests under the task");
+        assert_eq!(current_thread_span_id(), None);
     }
 }

@@ -19,6 +19,18 @@ impl Benchmarkable for TensorBenches {
         let b128 = Tensor::rand_normal(&[128, 128], 0.0, 1.0, &mut rng);
         let wide = Tensor::rand_normal(&[64, 256], 0.0, 1.0, &mut rng);
         let row = Tensor::rand_normal(&[256], 0.0, 1.0, &mut rng);
+        // Serial-vs-parallel pair for the banded matmul path: same
+        // operands, thread count pinned to 1 and 4 respectively, so one
+        // `obsctl bench` snapshot shows the speedup side by side.
+        let a192 = Tensor::rand_normal(&[192, 192], 0.0, 1.0, &mut rng);
+        let b192 = Tensor::rand_normal(&[192, 192], 0.0, 1.0, &mut rng);
+        let matmul_at = |name: &'static str, threads: usize| {
+            let (a, b) = (a192.clone(), b192.clone());
+            BenchKernel::new(name, move || {
+                let _pin = opad_par::override_threads(threads);
+                black_box(a.matmul(&b).expect("square shapes multiply"));
+            })
+        };
         vec![
             BenchKernel::new("tensor/matmul_32", move || {
                 black_box(a32.matmul(&b32).expect("square shapes multiply"));
@@ -26,6 +38,8 @@ impl Benchmarkable for TensorBenches {
             BenchKernel::new("tensor/matmul_128", move || {
                 black_box(a128.matmul(&b128).expect("square shapes multiply"));
             }),
+            matmul_at("tensor/matmul_192_t1", 1),
+            matmul_at("tensor/matmul_192_t4", 4),
             BenchKernel::new("tensor/broadcast_add_64x256", {
                 let wide = wide.clone();
                 move || {

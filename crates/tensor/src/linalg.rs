@@ -51,19 +51,40 @@ impl Tensor {
         let _timer = opad_telemetry::timer("tensor.matmul_ms");
         let a = self.as_slice();
         let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let aip = a[i * k + p];
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += aip * bv;
+        // Both execution paths run this same row-band kernel, so the
+        // parallel product is bit-identical to the serial one: each output
+        // row is produced by one task, in the ikj order below, and the
+        // bands are concatenated in row order.
+        let band = |rows: std::ops::Range<usize>| {
+            let mut out = vec![0.0f32; rows.len() * n];
+            for (bi, i) in rows.enumerate() {
+                for p in 0..k {
+                    let aip = a[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    let orow = &mut out[bi * n..(bi + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += aip * bv;
+                    }
                 }
             }
+            out
+        };
+        // Fan out only when the product is big enough to amortise thread
+        // dispatch; small matrices (the common case in unit tests and the
+        // 2-D pipelines) stay on the calling thread.
+        const PAR_BAND_ROWS: usize = 8;
+        const PAR_MIN_MULS: usize = 1 << 16;
+        let bands = if m > 1 && m * k * n >= PAR_MIN_MULS && opad_par::threads() > 1 {
+            opad_par::par_ranges(m, PAR_BAND_ROWS, |_, rows| band(rows))
+        } else {
+            vec![band(0..m)]
+        };
+        let mut out = Vec::with_capacity(m * n);
+        for b in bands {
+            out.extend_from_slice(&b);
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -257,6 +278,31 @@ mod tests {
         assert_eq!(o.dims(), &[3, 3]);
         assert_eq!(o.get(&[1, 2]).unwrap(), 12.0);
         assert!(a.outer(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn matmul_is_bitwise_thread_count_invariant() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Big enough to cross the parallel threshold (96·64·80 > 2^16),
+        // with dimensions that exercise a ragged final row band.
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_normal(&[96, 64], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[64, 80], 0.0, 1.0, &mut rng);
+        let serial = {
+            let _pin = opad_par::override_threads(1);
+            a.matmul(&b).unwrap()
+        };
+        for threads in [2usize, 4, 8] {
+            let _pin = opad_par::override_threads(threads);
+            let par = a.matmul(&b).unwrap();
+            let same_bits = serial
+                .as_slice()
+                .iter()
+                .zip(par.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same_bits, "matmul differs at {threads} threads");
+        }
     }
 
     #[test]

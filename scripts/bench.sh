@@ -3,6 +3,12 @@
 # `obsctl bench` and writes the next BENCH_<seq>.json at the repo root.
 # Compare snapshots across commits to track kernel-level performance.
 #
+# Parallel kernels register serial-vs-parallel pairs (`..._t1` / `..._t4`
+# suffixes) that pin the opad-par pool width from inside the kernel, so a
+# single snapshot records both timings side by side — no need to re-run
+# under different OPAD_THREADS values. The speedup is only meaningful on
+# a machine with >= 4 physical cores.
+#
 # Usage: scripts/bench.sh [extra obsctl bench flags]
 #   e.g. scripts/bench.sh --iters 100 --filter tensor/
 set -euo pipefail

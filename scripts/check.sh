@@ -7,8 +7,15 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# The suite runs twice: once serial, once on a 4-wide worker pool. The
+# par_equivalence harness pins thread counts per test, but running the
+# whole tree under both OPAD_THREADS values also exercises every kernel's
+# default (un-pinned) dispatch path in each mode.
+echo "==> cargo test -q (OPAD_THREADS=1, serial fallback)"
+OPAD_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (OPAD_THREADS=4, parallel pool)"
+OPAD_THREADS=4 cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

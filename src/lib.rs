@@ -15,6 +15,8 @@
 //! * [`attack`] — FGSM/PGD baselines and the naturalness-guided fuzzer;
 //! * [`reliability`] — ReAsDL-style Bayesian reliability assessment;
 //! * [`core`] — the five-step testing loop tying it all together;
+//! * [`par`] — the deterministic scoped worker pool behind the parallel
+//!   kernels (`OPAD_THREADS` controls width, results never change);
 //! * [`telemetry`] — std-only spans, counters and run traces.
 //!
 //! # Quickstart
@@ -44,6 +46,7 @@ pub use opad_core as core;
 pub use opad_data as data;
 pub use opad_nn as nn;
 pub use opad_opmodel as opmodel;
+pub use opad_par as par;
 pub use opad_reliability as reliability;
 pub use opad_telemetry as telemetry;
 pub use opad_tensor as tensor;
