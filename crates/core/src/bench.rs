@@ -41,8 +41,7 @@ impl Benchmarkable for CoreBenches {
                 let outcomes = opad_par::par_map(&idx, |_, i| {
                     let i = *i;
                     let mut seed_net = net.clone();
-                    let mut seed_rng =
-                        StdRng::seed_from_u64(opad_par::stream_seed(42, i as u64));
+                    let mut seed_rng = StdRng::seed_from_u64(opad_par::stream_seed(42, i as u64));
                     let seed = data.features().row(i).expect("seed index in range");
                     pgd.run(&mut seed_net, &seed, data.labels()[i], &mut seed_rng)
                         .expect("seed dim matches net")

@@ -328,6 +328,9 @@ impl<D: Density> TestingLoop<D> {
         let round = self.rounds_run;
         let round_start = Instant::now();
         let _round_span = telemetry::span("round");
+        // Live observers (opad-serve `/healthz`, `/metrics`) read these
+        // gauges to report where the run currently is.
+        telemetry::phase::set_round(round);
         let mut step_ms = StepDurations::default();
 
         let round_seed: u64 = rng.gen();
@@ -339,6 +342,7 @@ impl<D: Density> TestingLoop<D> {
 
         // ---- Step 2: weight-based seed sampling. ----
         let step_start = Instant::now();
+        telemetry::phase::set(telemetry::phase::SAMPLE_SEEDS);
         let seed_idx = {
             let _span = telemetry::span("sample_seeds");
             let mut weights =
@@ -363,6 +367,7 @@ impl<D: Density> TestingLoop<D> {
         let step_start = Instant::now();
         let mut round_corpus = AeCorpus::new();
         let d = seed_pool.feature_dim();
+        telemetry::phase::set(telemetry::phase::FUZZ);
         {
             let _span = telemetry::span("fuzz");
             let net = &self.net;
@@ -419,6 +424,7 @@ impl<D: Density> TestingLoop<D> {
 
         // ---- Step 5a: operational evaluation (statistical testing). ----
         let step_start = Instant::now();
+        telemetry::phase::set(telemetry::phase::EVALUATE);
         let op_accuracy = {
             let _span = telemetry::span("evaluate");
             let mut correct = 0usize;
@@ -442,6 +448,7 @@ impl<D: Density> TestingLoop<D> {
 
         // ---- Step 5b: reliability claim and stopping rule. ----
         let step_start = Instant::now();
+        telemetry::phase::set(telemetry::phase::ASSESS);
         let (pfd_mean, pfd_upper, target_met) = {
             let _span = telemetry::span("assess");
             let pfd_mean = self.reliability.pfd_mean();
@@ -462,11 +469,15 @@ impl<D: Density> TestingLoop<D> {
         step_ms.assess_ms = telemetry::ms_since(step_start);
         telemetry::gauge_set("pipeline.pfd_mean", pfd_mean);
         telemetry::gauge_set("pipeline.pfd_upper", pfd_upper);
+        // The reliability claim under its own namespace, so dashboards
+        // watching the paper's convergence criterion need only this one.
+        telemetry::gauge_set("reliability.pfd_mean", pfd_mean);
 
         // ---- Step 4: retrain on the cumulative corpus (skipped once the
         // target is met — testing stops). ----
         let step_start = Instant::now();
         if !target_met {
+            telemetry::phase::set(telemetry::phase::RETRAIN);
             let _span = telemetry::span("retrain");
             retrain_with_aes(
                 &mut self.net,
@@ -482,6 +493,7 @@ impl<D: Density> TestingLoop<D> {
         }
 
         self.rounds_run += 1;
+        telemetry::phase::set(telemetry::phase::IDLE);
         Ok(RoundReport {
             round,
             seeds_attacked: k,
@@ -521,6 +533,7 @@ impl<D: Density> TestingLoop<D> {
                 break;
             }
         }
+        telemetry::phase::set(telemetry::phase::DONE);
         Ok(reports)
     }
 }
@@ -781,7 +794,11 @@ mod tests {
         };
         let serial = run_at(1);
         for threads in [2usize, 4, 8] {
-            assert_eq!(run_at(threads), serial, "round differs at {threads} threads");
+            assert_eq!(
+                run_at(threads),
+                serial,
+                "round differs at {threads} threads"
+            );
         }
     }
 }

@@ -167,14 +167,12 @@ impl Conv2d {
         // amortise dispatch; single images and tiny batches stay serial.
         const PAR_BAND_ROWS: usize = 4;
         const PAR_MIN_MACS: usize = 1 << 16;
-        let bands = if batch > 1
-            && batch * out_dim * fan_in >= PAR_MIN_MACS
-            && opad_par::threads() > 1
-        {
-            opad_par::par_ranges(batch, PAR_BAND_ROWS, |_, rows| band(rows))
-        } else {
-            vec![band(0..batch)]
-        };
+        let bands =
+            if batch > 1 && batch * out_dim * fan_in >= PAR_MIN_MACS && opad_par::threads() > 1 {
+                opad_par::par_ranges(batch, PAR_BAND_ROWS, |_, rows| band(rows))
+            } else {
+                vec![band(0..batch)]
+            };
         let mut out = Vec::with_capacity(batch * out_dim);
         for b in bands {
             out.extend_from_slice(&b);

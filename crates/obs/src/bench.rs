@@ -206,7 +206,7 @@ pub fn read_bench_report(path: &Path) -> Result<(String, Vec<KernelStats>), Stri
     Ok((run_id, out))
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

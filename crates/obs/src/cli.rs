@@ -6,9 +6,10 @@
 //! code: `0` clean, `1` gate failure (regression or selfcheck error),
 //! `2` usage or I/O error.
 
-use crate::bench::{next_bench_seq, run_benchmarks, write_bench_report, BenchConfig};
+use crate::bench::{json_str, next_bench_seq, run_benchmarks, write_bench_report, BenchConfig};
 use crate::diff::{diff_runs, DiffConfig};
 use crate::envelope::{read_envelope, Envelope};
+use crate::flame::{collapsed_stacks, FlameMode};
 use crate::metrics::metrics_from_run;
 use crate::selfcheck::selfcheck_dir;
 use crate::tree::{aggregate_spans, critical_path, SpanTree};
@@ -30,7 +31,11 @@ const USAGE: &str = "\
 obsctl — trace analytics over opad run artefacts
 
 usage:
-  obsctl summary <results/EXP.json>         per-run span tree + budget breakdown
+  obsctl summary <results/EXP.json> [--json]
+                                            per-run span tree + budget breakdown
+                                            (--json: machine-readable rollup)
+  obsctl flame <results/EXP.json|trace.jsonl> [--self|--total]
+                                            collapsed stacks (µs) for flamegraph renderers
   obsctl diff <a.json> <b.json> [--threshold 0.2]
                                             regression gate (non-zero exit on regression)
   obsctl bench [--iters N] [--warmup N] [--filter SUBSTR] [--out DIR]
@@ -46,6 +51,7 @@ pub fn run(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
     let rest = &args[1.min(args.len())..];
     match cmd {
         "summary" => cmd_summary(rest, out),
+        "flame" => cmd_flame(rest, out),
         "diff" => cmd_diff(rest, out),
         "bench" => cmd_bench(rest, env, out),
         "list" => cmd_list(rest, out),
@@ -85,13 +91,22 @@ fn load_run(path: &Path, out: &mut dyn Write) -> Option<(Envelope, Option<Trace>
 }
 
 fn cmd_summary(args: &[String], out: &mut dyn Write) -> i32 {
-    let Some(path) = args.first() else {
-        let _ = writeln!(out, "usage: obsctl summary <results/EXP.json>");
+    let json = args.iter().any(|a| a == "--json");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        let _ = writeln!(out, "usage: obsctl summary <results/EXP.json> [--json]");
         return 2;
     };
     let Some((env, trace)) = load_run(Path::new(path), out) else {
         return 2;
     };
+    if json {
+        let tree = trace
+            .as_ref()
+            .map(|t| aggregate_spans(&t.events))
+            .unwrap_or_else(|| aggregate_spans(&[]));
+        let _ = writeln!(out, "{}", summary_json(&env, &tree));
+        return 0;
+    }
     let _ = writeln!(
         out,
         "run {} — experiment {} (envelope v{})",
@@ -209,6 +224,97 @@ fn print_budget(tree: &SpanTree, out: &mut dyn Write) {
         };
         let _ = writeln!(out, "    {name:<20} {ms:>10.1} ms  {pct:>5.1}%");
     }
+}
+
+/// Machine-readable span-tree rollup (`summary --json`): flat span list
+/// keyed by `;`-joined name path, plus the critical path — the same
+/// numbers the human-readable tree prints, for CI and `opad-serve`.
+fn summary_json(env: &Envelope, tree: &SpanTree) -> String {
+    let mut spans = Vec::new();
+    let mut prefix: Vec<String> = Vec::new();
+    fn walk_paths(node: &SpanTree, prefix: &mut Vec<String>, spans: &mut Vec<String>) {
+        prefix.push(node.name.clone());
+        spans.push(format!(
+            "{{\"path\":{},\"count\":{},\"total_ms\":{},\"self_ms\":{}}}",
+            json_str(&prefix.join(";")),
+            node.count,
+            node.total_ms,
+            node.self_ms
+        ));
+        for c in &node.children {
+            walk_paths(c, prefix, spans);
+        }
+        prefix.pop();
+    }
+    for c in &tree.children {
+        walk_paths(c, &mut prefix, &mut spans);
+    }
+    let path: Vec<String> = critical_path(tree)
+        .iter()
+        .map(|(n, ms)| format!("{{\"name\":{},\"total_ms\":{ms}}}", json_str(n)))
+        .collect();
+    let wall = env
+        .telemetry
+        .as_ref()
+        .map(|t| t.wall_ms.to_string())
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"run_id\":{},\"experiment\":{},\"schema_version\":{},\"wall_ms\":{},\"spans\":[{}],\"critical_path\":[{}]}}",
+        json_str(&env.run_id),
+        json_str(&env.experiment),
+        env.schema_version,
+        wall,
+        spans.join(","),
+        path.join(",")
+    )
+}
+
+fn cmd_flame(args: &[String], out: &mut dyn Write) -> i32 {
+    let mut mode = FlameMode::SelfTime;
+    let mut path: Option<&str> = None;
+    for a in args {
+        match a.as_str() {
+            "--self" => mode = FlameMode::SelfTime,
+            "--total" => mode = FlameMode::TotalTime,
+            other if !other.starts_with("--") => path = Some(other),
+            other => {
+                let _ = writeln!(out, "error: unknown flame flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = path else {
+        let _ = writeln!(
+            out,
+            "usage: obsctl flame <results/EXP.json|trace.jsonl> [--self|--total]"
+        );
+        return 2;
+    };
+    let path = Path::new(path);
+    // Accept a trace directly, or an envelope whose sibling trace we find.
+    let trace_path = if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+        path.to_path_buf()
+    } else {
+        trace_path_for(path)
+    };
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            let _ = writeln!(out, "error: {}: {e}", trace_path.display());
+            return 2;
+        }
+    };
+    let trace = parse_trace(&text);
+    let tree = aggregate_spans(&trace.events);
+    let lines = collapsed_stacks(&tree, mode);
+    if lines.is_empty() {
+        let _ = writeln!(out, "no completed spans in {}", trace_path.display());
+        return 1;
+    }
+    for line in lines {
+        let _ = writeln!(out, "{line}");
+    }
+    0
 }
 
 fn cmd_diff(args: &[String], out: &mut dyn Write) -> i32 {

@@ -1,0 +1,175 @@
+//! Collapsed-stack export of an aggregated span tree.
+//!
+//! The collapsed-stack format is the lingua franca of flamegraph
+//! renderers (Brendan Gregg's `flamegraph.pl`, speedscope, inferno):
+//! one line per unique stack, frames joined by `;`, followed by a space
+//! and an integer sample value — here microseconds of wall time:
+//!
+//! ```text
+//! round;fuzz;attack/pgd 1234
+//! ```
+//!
+//! Two attribution modes:
+//!
+//! * [`FlameMode::SelfTime`] (default): each stack carries the node's
+//!   *self* time — the share of its wall time not covered by child
+//!   spans. Values are disjoint, so the sum over all lines equals the
+//!   root spans' total duration (within per-line rounding), which is the
+//!   invariant flamegraph renderers assume.
+//! * [`FlameMode::TotalTime`]: each stack carries the node's *total*
+//!   time, children included. Lines overlap ancestors; useful for
+//!   reading absolute per-path cost directly, not for rendering.
+
+use crate::tree::SpanTree;
+
+/// How wall time is attributed to each stack line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlameMode {
+    /// Self time per node (disjoint; sums to the run total).
+    #[default]
+    SelfTime,
+    /// Total time per node (inclusive of children).
+    TotalTime,
+}
+
+/// One collapsed stack: the `;`-joined frame path and its value in
+/// integer microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackLine {
+    /// Frames from root to leaf, joined by `;`.
+    pub stack: String,
+    /// Wall time in microseconds (self or total, per [`FlameMode`]).
+    pub value_us: u64,
+}
+
+impl std::fmt::Display for StackLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.stack, self.value_us)
+    }
+}
+
+fn sanitize_frame(name: &str) -> String {
+    // `;` separates frames and a space separates stack from value, so
+    // neither may appear inside a frame name.
+    name.chars()
+        .map(|c| if c == ';' || c == ' ' { '_' } else { c })
+        .collect()
+}
+
+/// Flattens an aggregated span tree (the synthetic root returned by
+/// [`crate::aggregate_spans`]) into collapsed-stack lines, depth-first in
+/// first-seen order. Zero-valued lines are skipped — renderers ignore
+/// them and they bloat output for trees with many instant spans.
+pub fn collapsed_stacks(root: &SpanTree, mode: FlameMode) -> Vec<StackLine> {
+    fn go(node: &SpanTree, prefix: &str, mode: FlameMode, out: &mut Vec<StackLine>) {
+        let frame = sanitize_frame(&node.name);
+        let stack = if prefix.is_empty() {
+            frame
+        } else {
+            format!("{prefix};{frame}")
+        };
+        let ms = match mode {
+            FlameMode::SelfTime => node.self_ms,
+            FlameMode::TotalTime => node.total_ms,
+        };
+        let value_us = (ms * 1e3).round() as u64;
+        if value_us > 0 {
+            out.push(StackLine {
+                stack: stack.clone(),
+                value_us,
+            });
+        }
+        for c in &node.children {
+            go(c, &stack, mode, out);
+        }
+    }
+    let mut out = Vec::new();
+    for c in &root.children {
+        go(c, "", mode, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::aggregate_spans;
+    use opad_telemetry::Event;
+
+    fn start(id: u64, parent: Option<u64>, name: &str) -> Event {
+        Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms: 0.0,
+        }
+    }
+
+    fn end(id: u64, parent: Option<u64>, name: &str, wall_ms: f64) -> Event {
+        Event::SpanEnd {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms: 0.0,
+            wall_ms,
+        }
+    }
+
+    fn sample_tree() -> SpanTree {
+        aggregate_spans(&[
+            start(1, None, "round"),
+            start(2, Some(1), "fuzz"),
+            start(3, Some(2), "attack/pgd"),
+            end(3, Some(2), "attack/pgd", 40.0),
+            end(2, Some(1), "fuzz", 60.0),
+            start(4, Some(1), "assess"),
+            end(4, Some(1), "assess", 30.0),
+            end(1, None, "round", 100.0),
+        ])
+    }
+
+    #[test]
+    fn self_mode_sums_to_the_root_duration() {
+        let tree = sample_tree();
+        let lines = collapsed_stacks(&tree, FlameMode::SelfTime);
+        assert!(!lines.is_empty());
+        let total: u64 = lines.iter().map(|l| l.value_us).sum();
+        assert_eq!(total, 100_000, "self times partition the root's 100 ms");
+        let pgd = lines
+            .iter()
+            .find(|l| l.stack == "round;fuzz;attack/pgd")
+            .expect("leaf stack present");
+        assert_eq!(pgd.value_us, 40_000);
+        assert_eq!(pgd.to_string(), "round;fuzz;attack/pgd 40000");
+    }
+
+    #[test]
+    fn total_mode_reports_inclusive_times() {
+        let tree = sample_tree();
+        let lines = collapsed_stacks(&tree, FlameMode::TotalTime);
+        let round = lines.iter().find(|l| l.stack == "round").expect("root");
+        assert_eq!(round.value_us, 100_000);
+        let fuzz = lines.iter().find(|l| l.stack == "round;fuzz").expect("mid");
+        assert_eq!(fuzz.value_us, 60_000);
+    }
+
+    #[test]
+    fn frame_names_are_sanitized_and_zero_lines_skipped() {
+        let tree = aggregate_spans(&[
+            start(1, None, "odd name;x"),
+            start(2, Some(1), "instant"),
+            end(2, Some(1), "instant", 0.0),
+            end(1, None, "odd name;x", 5.0),
+        ]);
+        let lines = collapsed_stacks(&tree, FlameMode::SelfTime);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].stack, "odd_name_x");
+        assert_eq!(lines[0].value_us, 5_000);
+    }
+
+    #[test]
+    fn empty_tree_yields_no_lines() {
+        let tree = aggregate_spans(&[]);
+        assert!(collapsed_stacks(&tree, FlameMode::SelfTime).is_empty());
+    }
+}

@@ -9,7 +9,11 @@
 //! * `obsctl summary <envelope.json>` — per-run rollup: wall-time tree
 //!   with self/child attribution, the critical path, the per-step budget
 //!   breakdown of the paper's Fig. 1 loop (sample/fuzz/evaluate/assess/
-//!   retrain), and counter/gauge/histogram summaries;
+//!   retrain), and counter/gauge/histogram summaries; `--json` emits the
+//!   same rollup machine-readably for CI and `opad-serve`;
+//! * `obsctl flame <envelope.json|trace.jsonl>` — collapsed-stack export
+//!   of the span tree (`round;fuzz;attack/pgd 40000`, values in µs) for
+//!   any flamegraph renderer, with `--self`/`--total` attribution;
 //! * `obsctl diff <a.json> <b.json>` — regression report between two runs
 //!   (wall clock, iterations-to-success quantiles, seeds and AEs per
 //!   second, rounds), exiting non-zero when any metric regresses past the
@@ -32,6 +36,7 @@ mod bench;
 mod cli;
 mod diff;
 mod envelope;
+mod flame;
 mod metrics;
 mod selfcheck;
 mod tree;
@@ -43,6 +48,7 @@ pub use diff::{diff_runs, DiffConfig, DiffReport, MetricDelta};
 pub use envelope::{
     read_envelope, Envelope, EnvelopeError, TelemetrySummary, SUPPORTED_ENVELOPE_VERSION,
 };
+pub use flame::{collapsed_stacks, FlameMode, StackLine};
 pub use metrics::{metrics_from_run, RunMetrics};
 pub use selfcheck::{selfcheck_dir, CheckOutcome};
 pub use tree::{aggregate_spans, critical_path, SpanTree};

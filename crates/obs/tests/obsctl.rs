@@ -367,6 +367,101 @@ fn diff_reports_missing_metrics_as_na_instead_of_panicking() {
 }
 
 #[test]
+fn summary_json_emits_a_parseable_rollup() {
+    let dir = fixture_dir("summary_json");
+    write_run(&dir, "exp_json", 800.0, 400, 5.0, true);
+    let (code, out) = run_cli(&[
+        "summary",
+        dir.join("exp_json.json").to_str().expect("utf8 path"),
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let doc = opad_telemetry::parse_json(out.trim()).expect("summary --json is valid JSON");
+    assert_eq!(
+        doc.get("experiment").and_then(|v| v.as_str()),
+        Some("exp_json")
+    );
+    assert_eq!(
+        doc.get("run_id").and_then(|v| v.as_str()),
+        Some("exp_json-id")
+    );
+    let spans = doc
+        .get("spans")
+        .and_then(|v| v.as_arr())
+        .expect("spans array");
+    let round = spans
+        .iter()
+        .find(|s| s.get("path").and_then(|v| v.as_str()) == Some("round"))
+        .expect("round span present");
+    assert_eq!(round.get("count").and_then(|v| v.as_u64()), Some(2));
+    assert!(spans
+        .iter()
+        .any(|s| s.get("path").and_then(|v| v.as_str()) == Some("round;fuzz")));
+    let cp = doc
+        .get("critical_path")
+        .and_then(|v| v.as_arr())
+        .expect("critical path array");
+    assert_eq!(cp[0].get("name").and_then(|v| v.as_str()), Some("round"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parses `stack value` collapsed lines into (stack, µs) pairs.
+fn parse_collapsed(out: &str) -> Vec<(String, u64)> {
+    out.lines()
+        .map(|l| {
+            let (stack, v) = l.rsplit_once(' ').expect("stack SPACE value");
+            (stack.to_string(), v.parse().expect("integer µs"))
+        })
+        .collect()
+}
+
+#[test]
+fn flame_self_stacks_sum_to_the_root_duration() {
+    let dir = fixture_dir("flame");
+    write_run(&dir, "exp_flame", 800.0, 400, 5.0, true);
+    let envelope = dir.join("exp_flame.json");
+    let (code, out) = run_cli(&["flame", envelope.to_str().expect("utf8 path")]);
+    assert_eq!(code, 0, "{out}");
+    let lines = parse_collapsed(&out);
+    assert!(!lines.is_empty(), "{out}");
+    assert!(
+        lines.iter().any(|(s, _)| s == "round;fuzz"),
+        "nested stack missing:\n{out}"
+    );
+    let self_total: u64 = lines.iter().map(|(_, v)| v).sum();
+    // --total on the same trace reports the root's inclusive duration;
+    // the disjoint self times must partition it within per-line rounding.
+    let (code, out_total) = run_cli(&["flame", envelope.to_str().expect("utf8 path"), "--total"]);
+    assert_eq!(code, 0, "{out_total}");
+    let totals = parse_collapsed(&out_total);
+    let root_total: u64 = totals
+        .iter()
+        .filter(|(s, _)| s == "round")
+        .map(|(_, v)| *v)
+        .sum();
+    let tolerance = lines.len() as u64 + 1;
+    assert!(
+        self_total.abs_diff(root_total) <= tolerance,
+        "self sum {self_total} µs vs root total {root_total} µs (tolerance {tolerance})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flame_accepts_a_raw_trace_path_and_rejects_missing_files() {
+    let dir = fixture_dir("flame_raw");
+    write_run(&dir, "exp_raw", 800.0, 400, 5.0, true);
+    let trace = dir.join("exp_raw_trace.jsonl");
+    let (code, out) = run_cli(&["flame", trace.to_str().expect("utf8 path"), "--self"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(!out.trim().is_empty());
+    let (code, out) = run_cli(&["flame", dir.join("nope.jsonl").to_str().expect("utf8")]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("error"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn list_discovers_every_envelope_uniformly() {
     let dir = fixture_dir("list");
     write_run(&dir, "exp_one", 100.0, 40, 3.0, true);

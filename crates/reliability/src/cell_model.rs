@@ -177,7 +177,8 @@ impl CellReliabilityModel {
         const CHUNK_DRAWS: usize = 256;
         let base: u64 = rng.gen();
         let chunks = opad_par::par_ranges(n, CHUNK_DRAWS, |chunk_idx, draws| {
-            let mut chunk_rng = StdRng::seed_from_u64(opad_par::stream_seed(base, chunk_idx as u64));
+            let mut chunk_rng =
+                StdRng::seed_from_u64(opad_par::stream_seed(base, chunk_idx as u64));
             draws
                 .map(|_| {
                     self.op

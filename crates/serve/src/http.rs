@@ -1,0 +1,123 @@
+//! Minimal HTTP/1.1 request reading and response writing.
+//!
+//! Only what a metrics endpoint needs: parse the request line and drain
+//! the headers of a bodyless request, then write one `Connection: close`
+//! response. Anything outside that envelope (bodies, chunked encoding,
+//! keep-alive) is out of scope by design — scrapers send plain GETs.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on request head size; a scraper's GET fits in a fraction of
+/// this, so anything larger is garbage or abuse.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line. Headers are read off the wire (to leave the
+/// stream positioned past the request) but not retained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, e.g. `GET`.
+    pub method: String,
+    /// The request target, e.g. `/metrics`.
+    pub target: String,
+}
+
+/// Reads one request head (request line + headers, through the blank
+/// line) and parses the request line.
+///
+/// Errors on malformed request lines, a head exceeding
+/// [`MAX_HEAD_BYTES`], or a connection that closes mid-head.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time is fine here: requests are tiny and the stream is
+    // already buffered by the kernel socket.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            }
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(target), Some(version)) if version.starts_with("HTTP/1") => {
+            Ok(Request {
+                method: method.to_string(),
+                target: target.to_string(),
+            })
+        }
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed request line {request_line:?}"),
+        )),
+    }
+}
+
+/// Writes one complete `Connection: close` response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plain_get() {
+        let mut wire: &[u8] = b"GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        let req = read_request(&mut wire).expect("well-formed request parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/metrics");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let mut wire: &[u8] = b"not http at all\r\n\r\n";
+        assert!(read_request(&mut wire).is_err());
+        let mut wire: &[u8] = b"GET /metrics HTTP/1.1\r\nHost:";
+        let err = read_request(&mut wire).expect_err("truncated head errors");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_an_oversized_head() {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        wire.extend(std::iter::repeat(b'a').take(MAX_HEAD_BYTES + 1));
+        let err = read_request(&mut wire.as_slice()).expect_err("oversized head errors");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "text/plain", "hello\n").expect("write to Vec");
+        let text = String::from_utf8(out).expect("ascii response");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 6\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhello\n"), "{text}");
+    }
+}

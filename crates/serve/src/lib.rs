@@ -1,0 +1,57 @@
+//! # opad-serve
+//!
+//! The pull side of the live observability plane: a std-only HTTP/1.1
+//! server over [`std::net::TcpListener`] that exposes a
+//! [`LiveRecorder`](opad_telemetry::LiveRecorder)'s metrics while the
+//! testing loop is still running.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition format v0.0.4:
+//!   counters as `opad_*_total`, gauges as `opad_*`, histograms and
+//!   per-span wall-time rollups as `_bucket`/`_sum`/`_count` families,
+//!   with metric-name sanitization and label-value escaping per the
+//!   exposition spec;
+//! * `GET /healthz` — liveness JSON including the pipeline's current
+//!   round and phase (read off the `pipeline.round` / `pipeline.phase`
+//!   gauges published by `opad-core`);
+//! * `GET /runs` — JSON list of the run envelopes discovered under the
+//!   configured `results/` directory, so a dashboard can pair the live
+//!   metrics with finished-run artefacts.
+//!
+//! The accept loop is bounded: one handler services connections
+//! sequentially off a non-blocking accept with a short poll sleep, so a
+//! scrape storm degrades to queueing in the kernel backlog instead of a
+//! thread-per-connection pileup. Shutdown is graceful: the handle flips
+//! a flag and joins the loop, which finishes any in-flight response
+//! first. Scrapes are read-only over the recorder's lock-free snapshot —
+//! they never block the recording hot path.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use opad_telemetry::LiveRecorder;
+//! use opad_serve::{MetricsServer, ServerConfig};
+//!
+//! let recorder = Arc::new(LiveRecorder::new());
+//! opad_telemetry::install(recorder.clone());
+//! let handle = MetricsServer::new(recorder, ServerConfig::default())
+//!     .spawn()
+//!     .expect("bind");
+//! println!("metrics at http://{}/metrics", handle.addr());
+//! // ... run the experiment ...
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod http;
+mod prom;
+mod runs;
+mod server;
+
+pub use http::{read_request, write_response, Request};
+pub use prom::{escape_label_value, render_metrics, sanitize_metric_name, CONTENT_TYPE};
+pub use runs::runs_json;
+pub use server::{MetricsServer, ServerConfig, ServerHandle};

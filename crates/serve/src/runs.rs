@@ -1,0 +1,150 @@
+//! `/runs`: a JSON listing of the run envelopes under `results/`.
+//!
+//! This is a deliberately shallow scan — filename, `experiment`,
+//! `run_id`, `schema_version`, telemetry wall time and whether a sibling
+//! trace exists — so the endpoint stays dependency-free (the full
+//! envelope reader lives in `opad-obs`). Envelopes that fail to parse
+//! are listed with an `error` field instead of being hidden: a dashboard
+//! should see that an artefact is broken, not wonder where it went.
+
+use opad_telemetry::parse_json;
+use std::fmt::Write;
+use std::path::Path;
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the `/runs` JSON array for every `*.json` run envelope under
+/// `dir` (skipping `BENCH_*` snapshots), filename-sorted. A missing or
+/// unreadable directory renders as an empty array — the server may start
+/// before the first round has written anything.
+pub fn runs_json(dir: &Path) -> String {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().and_then(|e| e.to_str()) == Some("json")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| !n.starts_with("BENCH_"))
+        })
+        .collect();
+    paths.sort();
+    let mut rows = Vec::with_capacity(paths.len());
+    for path in paths {
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        let has_trace = path.with_file_name(format!("{stem}_trace.jsonl")).exists();
+        let row = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_json(&text).map_err(|e| e.to_string()))
+            .map(|doc| {
+                let experiment = doc
+                    .get("experiment")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                let run_id = doc
+                    .get("run_id")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                let version = doc
+                    .get("schema_version")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                let wall = doc
+                    .get("telemetry")
+                    .and_then(|t| t.get("wall_ms"))
+                    .and_then(|v| v.as_f64())
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "null".to_string());
+                format!(
+                    "{{\"file\":{},\"experiment\":{},\"run_id\":{},\"schema_version\":{version},\"wall_ms\":{wall},\"has_trace\":{has_trace}}}",
+                    json_str(&file),
+                    json_str(&experiment),
+                    json_str(&run_id)
+                )
+            });
+        rows.push(match row {
+            Ok(row) => row,
+            Err(e) => format!(
+                "{{\"file\":{},\"error\":{}}}",
+                json_str(&file),
+                json_str(&e)
+            ),
+        });
+    }
+    format!("[{}]", rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("opad_serve_runs_test_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        dir
+    }
+
+    #[test]
+    fn lists_envelopes_with_trace_flags_and_surfaces_parse_errors() {
+        let dir = fixture_dir("list");
+        std::fs::write(
+            dir.join("exp_a.json"),
+            r#"{"schema_version":1,"experiment":"exp_a","run_id":"a-1",
+               "telemetry":{"wall_ms":120.5}}"#,
+        )
+        .expect("fixture writes");
+        std::fs::write(dir.join("exp_a_trace.jsonl"), "").expect("fixture writes");
+        std::fs::write(dir.join("exp_b.json"), "{not json").expect("fixture writes");
+        std::fs::write(dir.join("BENCH_0.json"), "{}").expect("fixture writes");
+        let out = runs_json(&dir);
+        let doc = parse_json(&out).expect("runs output is valid JSON");
+        let rows = doc.as_arr().expect("array");
+        assert_eq!(rows.len(), 2, "BENCH_ snapshots are skipped: {out}");
+        assert_eq!(
+            rows[0].get("experiment").and_then(|v| v.as_str()),
+            Some("exp_a")
+        );
+        assert_eq!(rows[0].get("wall_ms").and_then(|v| v.as_f64()), Some(120.5));
+        assert_eq!(
+            rows[0].get("has_trace").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert!(rows[1].get("error").is_some(), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_missing_directory_is_an_empty_list() {
+        let dir = std::env::temp_dir().join("opad_serve_runs_test_absent");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(runs_json(&dir), "[]");
+    }
+}

@@ -1,0 +1,198 @@
+//! The accept loop: bind, serve, shut down gracefully.
+
+use crate::http::{read_request, write_response, Request};
+use crate::prom::{render_metrics, CONTENT_TYPE};
+use crate::runs::runs_json;
+use opad_telemetry::{phase, LiveRecorder};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending. Also
+/// bounds shutdown latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How long a connected client gets to deliver its request before the
+/// handler gives up on it (a stalled scraper must not wedge the loop).
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Where and what to serve.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address
+    /// is on the returned handle).
+    pub addr: String,
+    /// Directory `/runs` scans for run envelopes.
+    pub results_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:9184".to_string(),
+            results_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// A not-yet-started metrics server: a [`LiveRecorder`] to expose and a
+/// [`ServerConfig`] saying where. [`MetricsServer::spawn`] binds and
+/// starts the background accept loop.
+pub struct MetricsServer {
+    recorder: Arc<LiveRecorder>,
+    config: ServerConfig,
+}
+
+impl MetricsServer {
+    /// Pairs `recorder` with `config`; nothing is bound yet.
+    pub fn new(recorder: Arc<LiveRecorder>, config: ServerConfig) -> MetricsServer {
+        MetricsServer { recorder, config }
+    }
+
+    /// Binds the listener and starts the accept loop on a background
+    /// thread. Fails only on bind errors (port in use, bad address).
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.config.addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept + poll sleep: the loop re-checks the stop
+        // flag between connections, so shutdown never waits on a client.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("opad-serve".to_string())
+            .spawn(move || accept_loop(listener, self.recorder, self.config, loop_stop))
+            .expect("spawning the server thread");
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a running server: its bound address and the graceful stop.
+/// Dropping the handle also shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Any in-flight
+    /// response finishes first; returns once the listener is closed.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    recorder: Arc<LiveRecorder>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    // One connection at a time, by design: exposition responses are
+    // small and cheap, so sequential handling bounds resource use at
+    // exactly one handler regardless of how many scrapers connect —
+    // excess connections queue in the kernel backlog.
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_connection(stream, &recorder, &config);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Transient accept errors (e.g. a client that reset before
+            // we got to it) don't kill the server.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    recorder: &LiveRecorder,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(_) => {
+            return write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "bad request\n",
+            )
+        }
+    };
+    respond(&mut stream, &request, recorder, config)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    request: &Request,
+    recorder: &LiveRecorder,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    if request.method != "GET" {
+        return write_response(
+            stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    // Ignore any query string: scrapers sometimes append cache busters.
+    let path = request.target.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => {
+            let body = render_metrics(&recorder.snapshot());
+            write_response(stream, 200, "OK", CONTENT_TYPE, &body)
+        }
+        "/healthz" => {
+            let round = recorder.gauge(phase::ROUND_GAUGE).unwrap_or(0.0) as u64;
+            let code = recorder.gauge(phase::PHASE_GAUGE).unwrap_or(0.0) as u8;
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_ms\":{:.0},\"round\":{round},\"phase\":\"{}\"}}\n",
+                recorder.elapsed_ms(),
+                phase::name(code)
+            );
+            write_response(stream, 200, "OK", "application/json", &body)
+        }
+        "/runs" => {
+            let body = runs_json(&config.results_dir);
+            write_response(stream, 200, "OK", "application/json", &body)
+        }
+        _ => write_response(stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end smoke test: bind on an ephemeral port, scrape the
+//! endpoints over a real `TcpStream`, and verify graceful shutdown.
+//! `scripts/check.sh` runs this test by name as the serve smoke gate.
+
+use opad_serve::{MetricsServer, ServerConfig};
+use opad_telemetry::{parse_json, LiveRecorder, Recorder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("opad_serve_smoke_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// One plain HTTP GET; returns (status line, body).
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("server accepts connections");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout is settable");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("server closes the connection after responding");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
+    let results = fixture_dir("endpoints");
+    std::fs::write(
+        results.join("exp_live.json"),
+        r#"{"schema_version":1,"experiment":"exp_live","run_id":"live-1",
+           "telemetry":{"wall_ms":77.0}}"#,
+    )
+    .expect("fixture writes");
+
+    let recorder = Arc::new(LiveRecorder::new());
+    recorder.counter_add("pipeline.seeds_attacked", 30);
+    recorder.gauge_set("reliability.pfd_mean", 0.0125);
+    recorder.gauge_set("pipeline.round", 3.0);
+    recorder.gauge_set("pipeline.phase", opad_telemetry::phase::FUZZ as f64);
+    recorder.histogram_record("attack.iters", 4.0);
+    recorder.span_start("round", 1, None);
+    recorder.span_end("round", 1, None, 12.0);
+
+    let handle = MetricsServer::new(
+        recorder,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            results_dir: results.clone(),
+        },
+    )
+    .spawn()
+    .expect("ephemeral port binds");
+    let addr = handle.addr();
+    assert_ne!(addr.port(), 0, "the handle reports the real port");
+
+    let (status, body) = get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        body.contains("opad_pipeline_seeds_attacked_total 30"),
+        "{body}"
+    );
+    assert!(body.contains("opad_reliability_pfd_mean 0.0125"), "{body}");
+    assert!(
+        body.contains("opad_span_wall_ms_count{span=\"round\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("opad_attack_iters_bucket{le=\"+Inf\"} 1"),
+        "{body}"
+    );
+
+    let (status, body) = get(addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    let health = parse_json(body.trim()).expect("healthz is valid JSON");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert_eq!(health.get("round").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(health.get("phase").and_then(|v| v.as_str()), Some("fuzz"));
+
+    let (status, body) = get(addr, "/runs");
+    assert!(status.contains("200"), "{status}");
+    let runs = parse_json(body.trim()).expect("runs is valid JSON");
+    let rows = runs.as_arr().expect("array");
+    assert_eq!(rows.len(), 1, "{body}");
+    assert_eq!(
+        rows[0].get("experiment").and_then(|v| v.as_str()),
+        Some("exp_live")
+    );
+
+    let (status, _) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    // Graceful shutdown: the call returns (the loop joined) and the
+    // port stops accepting.
+    handle.shutdown();
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener must be closed after shutdown"
+    );
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn malformed_requests_get_400_and_do_not_wedge_the_loop() {
+    let recorder = Arc::new(LiveRecorder::new());
+    let handle = MetricsServer::new(
+        recorder,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            results_dir: fixture_dir("bad_requests"),
+        },
+    )
+    .spawn()
+    .expect("ephemeral port binds");
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    write!(stream, "garbage\r\n\r\n").expect("writes");
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout is settable");
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.contains("400"), "{response}");
+
+    // POST is rejected but the server keeps serving afterwards.
+    let mut stream = TcpStream::connect(addr).expect("still accepting");
+    write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").expect("writes");
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout is settable");
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.contains("405"), "{response}");
+
+    let (status, _) = get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    handle.shutdown();
+}

@@ -1,0 +1,152 @@
+//! Golden-file tests of the Prometheus exposition renderer, plus a
+//! structural parse of everything it emits — the acceptance gate that
+//! `/metrics` output is actually scrapeable.
+
+use opad_serve::render_metrics;
+use opad_telemetry::{FixedHistogram, LiveRecorder, LiveSnapshot, Recorder};
+use std::sync::Arc;
+
+/// A fully deterministic snapshot: fixed wall clock, fixed values, and
+/// names chosen to exercise sanitization (dots) and label escaping
+/// (quote, backslash, newline in a span name).
+fn fixture_snapshot() -> LiveSnapshot {
+    let mut lat = FixedHistogram::new();
+    for v in [0.05, 0.5, 2.0, 7.0, 400.0] {
+        lat.record(v);
+    }
+    let mut round = FixedHistogram::new();
+    round.record(12.0);
+    round.record(30.0);
+    let mut weird = FixedHistogram::new();
+    weird.record(1.5);
+    LiveSnapshot {
+        wall_ms: 1234.5,
+        events: 42,
+        counters: vec![
+            ("pipeline.aes_found".to_string(), 7),
+            ("pipeline.seeds_attacked".to_string(), 30),
+        ],
+        gauges: vec![
+            ("pipeline.phase".to_string(), 2.0),
+            ("reliability.pfd_mean".to_string(), 0.0125),
+        ],
+        histograms: vec![("attack.pgd.iters_ms".to_string(), lat)],
+        spans: vec![
+            ("round".to_string(), round),
+            ("odd\"name\\with\nnasties".to_string(), weird),
+        ],
+    }
+}
+
+/// Structural validation of one exposition document: every non-comment
+/// line is `name{labels} value` with a legal metric name and a
+/// parseable value, and every `_bucket` series is cumulative.
+fn assert_parses(text: &str) {
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut bucket_track: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            let mut parts = line.split_whitespace();
+            assert_eq!(parts.next(), Some("#"), "{line}");
+            assert_eq!(parts.next(), Some("TYPE"), "{line}");
+            let family = parts.next().expect("TYPE line names a family");
+            assert!(name_ok(family), "bad family name in {line:?}");
+            assert!(
+                matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                "{line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("SERIES SPACE VALUE");
+        assert!(
+            value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        let name = series.split('{').next().expect("name prefix");
+        assert!(name_ok(name), "bad metric name in {line:?}");
+        if let Some(labels) = series
+            .strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix('{'))
+            .and_then(|rest| rest.strip_suffix('}'))
+        {
+            // Escapes must leave no bare quote inside a label value: the
+            // body between the outer quotes, unescaped, re-escapes to
+            // itself (round-trip check is overkill; check pairing).
+            let quotes = labels.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(
+                quotes.matches('"').count() % 2,
+                0,
+                "unbalanced quotes in {line:?}"
+            );
+            assert!(!quotes.contains('\n'), "raw newline in {line:?}");
+        }
+        if name.ends_with("_bucket") {
+            let count: u64 = value.parse().expect("bucket counts are integers");
+            let key = series
+                .replace(|c: char| c == ' ', "")
+                .split("le=")
+                .next()
+                .expect("le label present")
+                .to_string();
+            match &mut bucket_track {
+                Some((prev_key, prev)) if *prev_key == key => {
+                    assert!(*prev <= count, "non-cumulative buckets at {line:?}");
+                    *prev = count;
+                }
+                _ => bucket_track = Some((key, count)),
+            }
+        }
+    }
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let rendered = render_metrics(&fixture_snapshot());
+    let golden = include_str!("golden/metrics.txt");
+    assert_eq!(
+        rendered, golden,
+        "exposition drifted from tests/golden/metrics.txt — if the change \
+         is intentional, regenerate the golden file from this output"
+    );
+}
+
+#[test]
+fn golden_exposition_parses_structurally() {
+    assert_parses(&render_metrics(&fixture_snapshot()));
+}
+
+#[test]
+fn a_live_recorder_driven_snapshot_parses_too() {
+    let rec = Arc::new(LiveRecorder::new());
+    rec.counter_add("pipeline.seeds_attacked", 3);
+    rec.gauge_set("pipeline.pfd_mean", 1.25e-3);
+    for v in [0.2, 3.0, 900.0, -1.0] {
+        rec.histogram_record("attack.linf.dist", v);
+    }
+    rec.span_start("round", 1, None);
+    rec.span_end("round", 1, None, 40.0);
+    let text = render_metrics(&rec.snapshot());
+    assert!(
+        text.contains("opad_pipeline_seeds_attacked_total 3"),
+        "{text}"
+    );
+    assert_parses(&text);
+}
+
+#[test]
+fn escaped_span_labels_round_trip_the_nasty_characters() {
+    let rendered = render_metrics(&fixture_snapshot());
+    assert!(
+        rendered.contains(r#"span="odd\"name\\with\nnasties""#),
+        "{rendered}"
+    );
+}

@@ -119,6 +119,44 @@ impl FixedHistogram {
         Some(self.max)
     }
 
+    /// Folds `other` into `self`: bucket occupancies, counts and sums add;
+    /// min/max widen. Used to merge the per-stripe histograms of the live
+    /// recorder into one read-side view. The merged `sum` depends on the
+    /// order samples were striped (floating-point addition), but counts and
+    /// bucket occupancies are exact regardless of striping.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The raw bucket occupancies (fixed layout: negatives below, the zero
+    /// bucket in the middle, positives above — geometric in `|v|`).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Number of samples whose bucket representative (geometric midpoint)
+    /// is `≤ bound` — the cumulative count behind a Prometheus
+    /// `_bucket{le="bound"}` line. Approximate at bucket granularity
+    /// (≤ ~12% relative error on the boundary bucket), monotone in
+    /// `bound`, and exact for `bound = +∞` (the total count).
+    pub fn cumulative_le(&self, bound: f64) -> u64 {
+        if bound.is_infinite() && bound > 0.0 {
+            return self.count;
+        }
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bucket_mid(*i) <= bound)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
     /// A point-in-time summary of this histogram.
     pub fn summary(&self, name: &str) -> HistogramSummary {
         HistogramSummary {
@@ -307,6 +345,49 @@ mod tests {
             let v = h.quantile(q).unwrap();
             assert!((-1e300..=1e300).contains(&v));
         }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_widens_bounds() {
+        let mut a = FixedHistogram::new();
+        let mut b = FixedHistogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            a.record(v);
+        }
+        for v in [-5.0, 10.0] {
+            b.record(v);
+        }
+        let mut whole = FixedHistogram::new();
+        for v in [1.0, 2.0, 3.0, -5.0, 10.0] {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), Some(-5.0));
+        assert_eq!(a.max(), Some(10.0));
+        assert_eq!(a.bucket_counts(), whole.bucket_counts());
+        assert!((a.sum() - whole.sum()).abs() < 1e-12);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&FixedHistogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn cumulative_le_is_monotone_and_exact_at_infinity() {
+        let mut h = FixedHistogram::new();
+        for v in [0.5, 1.5, 20.0, 300.0] {
+            h.record(v);
+        }
+        assert_eq!(h.cumulative_le(f64::INFINITY), 4);
+        assert_eq!(h.cumulative_le(f64::NEG_INFINITY), 0);
+        let bounds = [0.1, 1.0, 10.0, 100.0, 1000.0];
+        let cum: Vec<u64> = bounds.iter().map(|&b| h.cumulative_le(b)).collect();
+        for w in cum.windows(2) {
+            assert!(w[0] <= w[1], "cumulative counts must be monotone: {cum:?}");
+        }
+        // Everything is ≤ 1000 up to bucket granularity.
+        assert_eq!(*cum.last().expect("nonempty"), 4);
     }
 
     #[test]

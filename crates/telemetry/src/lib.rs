@@ -18,8 +18,11 @@
 //!   hand-rolled, locks are `std::sync`, time is `std::time::Instant`
 //!   (monotonic).
 //! * **Cheap when off.** With no recorder installed, [`enabled`] is a
-//!   single relaxed [`AtomicBool`] load and every helper returns
-//!   immediately — safe to leave in tensor kernels.
+//!   single relaxed [`AtomicBool`] load and the metric helpers return
+//!   immediately — safe to leave in tensor kernels. Spans and timers
+//!   additionally note their start instant (one clock read) so that a
+//!   recorder installed *while they are open* still receives their wall
+//!   time when they drop.
 //! * **Aggregated metrics, streamed spans.** Counters/gauges/histograms
 //!   aggregate in memory (hot paths never touch the sink); spans stream to
 //!   the sink as they happen; [`MetricsRecorder::flush_summary`] emits the
@@ -51,7 +54,9 @@ mod bench_api;
 mod event;
 mod hist;
 mod json;
+mod live;
 mod parse;
+pub mod phase;
 mod recorder;
 mod sink;
 mod span;
@@ -60,6 +65,7 @@ pub use bench_api::{BenchKernel, Benchmarkable};
 pub use event::{Event, SCHEMA_VERSION};
 pub use hist::{FixedHistogram, HistogramSummary};
 pub use json::{parse_json, JsonError, JsonValue};
+pub use live::{LiveRecorder, LiveSnapshot, COUNTER_SHARDS, HIST_STRIPES};
 pub use parse::{parse_event_line, parse_trace, ParsedLine, Trace, TraceError};
 pub use recorder::{MetricsRecorder, NoopRecorder, Recorder, SpanRollup, Summary};
 pub use sink::{JsonlSink, Sink, TestSink};
@@ -138,16 +144,20 @@ pub fn histogram_record(name: &'static str, value: f64) {
 
 /// Starts a named span. The returned [`Span`] ends (and reports its wall
 /// time) when dropped; spans nest per thread, so a span opened while
-/// another is live becomes its child. When disabled this returns an inert
-/// span and costs one branch.
+/// another is live becomes its child.
+///
+/// With no recorder installed the span starts *pending*: it notes its
+/// start instant (one clock read, no locks) and re-checks the global
+/// recorder when dropped, so a recorder installed mid-span still receives
+/// the span's full wall time instead of silently losing it.
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span::disabled();
+        return Span::pending(name);
     }
     match current() {
         Some(r) => Span::start(name, r),
-        None => Span::disabled(),
+        None => Span::pending(name),
     }
 }
 
@@ -181,32 +191,48 @@ pub fn current_span_id() -> Option<u64> {
 }
 
 /// A scope timer that records elapsed milliseconds into the named
-/// histogram on drop. `None` (free) when telemetry is disabled; bind it
-/// to a named variable (`let _t = ...;`), not `_`, or it drops instantly.
+/// histogram on drop. Bind it to a named variable (`let _t = ...;`), not
+/// `_`, or it drops instantly.
+///
+/// The recorder is captured at creation when one is installed; otherwise
+/// the timer re-checks the global recorder at drop time, so a timer
+/// opened just before [`install`] still lands its measurement instead of
+/// silently dropping it.
 pub struct HistTimer {
     name: &'static str,
     start: Instant,
-    recorder: Arc<dyn Recorder>,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl HistTimer {
+    /// Whether a recorder was already attached at creation. A `false`
+    /// here can still record at drop if [`install`] runs in between.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
 }
 
 impl Drop for HistTimer {
     fn drop(&mut self) {
+        let Some(recorder) = self.recorder.take().or_else(current) else {
+            return;
+        };
         let ms = self.start.elapsed().as_secs_f64() * 1e3;
-        self.recorder.histogram_record(self.name, ms);
+        recorder.histogram_record(self.name, ms);
     }
 }
 
-/// Starts a [`HistTimer`] for `name` when telemetry is enabled.
+/// Starts a [`HistTimer`] for `name`. Always returns a timer: when
+/// telemetry is disabled it costs one clock read now and one relaxed
+/// atomic load at drop (where it re-checks for a recorder installed in
+/// the meantime).
 #[inline]
-pub fn timer(name: &'static str) -> Option<HistTimer> {
-    if !enabled() {
-        return None;
-    }
-    current().map(|recorder| HistTimer {
+pub fn timer(name: &'static str) -> HistTimer {
+    HistTimer {
         name,
         start: Instant::now(),
-        recorder,
-    })
+        recorder: current(),
+    }
 }
 
 /// Milliseconds elapsed since `start` — shared convention for wall-time
@@ -234,10 +260,36 @@ mod tests {
         counter_add("c", 1);
         gauge_set("g", 1.0);
         histogram_record("h", 1.0);
-        assert!(timer("t").is_none());
+        assert!(!timer("t").is_recording());
         let s = span("s");
         assert!(!s.is_recording());
         drop(s);
+    }
+
+    #[test]
+    fn spans_and_timers_opened_before_install_record_at_drop() {
+        let _g = GLOBAL_GUARD.lock().unwrap();
+        uninstall();
+        // Opened while telemetry is off…
+        let early_span = span("early_round");
+        let early_timer = timer("early_ms");
+        assert!(!early_span.is_recording());
+        assert!(!early_timer.is_recording());
+        // …then a recorder arrives mid-flight.
+        let rec = Arc::new(MetricsRecorder::new());
+        install(rec.clone());
+        drop(early_timer);
+        drop(early_span);
+        uninstall();
+        let s = rec.summary();
+        assert_eq!(
+            s.histogram("early_ms").map(|h| h.count),
+            Some(1),
+            "timer wall time must not be silently dropped"
+        );
+        let round = s.span("early_round").expect("span rollup recorded");
+        assert_eq!(round.count, 1);
+        assert!(round.total_ms >= 0.0);
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! The live half of the observability plane: a [`LiveRecorder`] whose
+//! metrics can be *read while the run is in flight* (by the `opad-serve`
+//! `/metrics` endpoint) without making the recording hot path contend on
+//! a single mutex.
+//!
+//! Layout, per metric kind:
+//!
+//! * **Counters** are sharded: each counter owns [`COUNTER_SHARDS`]
+//!   cache-line-padded `AtomicU64` cells and a recording thread bumps the
+//!   cell picked by its thread shard with one relaxed `fetch_add` — the
+//!   value path is wait-free and two `par` workers never write the same
+//!   cache line. Reads sum the shards (monotone, may be mid-update by at
+//!   most the in-flight deltas).
+//! * **Gauges** are one `AtomicU64` holding the `f64` bit pattern;
+//!   last-writer-wins by a relaxed store.
+//! * **Histograms** (and per-name span rollups) are lock-striped: each
+//!   name owns [`HIST_STRIPES`] `Mutex<FixedHistogram>` stripes and a
+//!   recording thread locks only its own stripe, so workers serialise
+//!   per stripe, not per histogram. Reads merge the stripes.
+//!
+//! Name → slot resolution goes through a read-mostly `RwLock<HashMap>`:
+//! the write lock is taken once per metric name per process (first
+//! touch); every later call takes the shared read lock and lands on the
+//! atomics. See DESIGN.md ("Live observability plane") for the memory
+//! ordering argument.
+//!
+//! Span events additionally tee to the wrapped [`Sink`] exactly like
+//! [`MetricsRecorder`](crate::MetricsRecorder), so a `LiveRecorder` run
+//! still leaves the JSONL trace the offline `obsctl` workflows consume.
+
+use crate::event::Event;
+use crate::hist::FixedHistogram;
+use crate::recorder::{emit_summary, Recorder, SpanRollup, Summary};
+use crate::sink::Sink;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Atomic cells per counter. More shards than a machine has cores buys
+/// nothing; fewer re-introduces cache-line ping-pong between workers.
+pub const COUNTER_SHARDS: usize = 16;
+
+/// Mutex stripes per histogram.
+pub const HIST_STRIPES: usize = 8;
+
+// Each thread gets a stable small integer on first use; shard and stripe
+// selection hash off it so a worker keeps hitting the same cells (cache
+// warm) while distinct workers spread out.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+/// One cache line per shard so concurrent `fetch_add`s on neighbouring
+/// shards do not false-share.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+struct ShardedCounter {
+    shards: Vec<PaddedU64>,
+}
+
+impl ShardedCounter {
+    fn new() -> ShardedCounter {
+        ShardedCounter {
+            shards: (0..COUNTER_SHARDS)
+                .map(|_| PaddedU64(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn add(&self, delta: u64) {
+        let shard = thread_slot() % COUNTER_SHARDS;
+        self.shards[shard].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+struct StripedHistogram {
+    stripes: Vec<Mutex<FixedHistogram>>,
+}
+
+impl StripedHistogram {
+    fn new() -> StripedHistogram {
+        StripedHistogram {
+            stripes: (0..HIST_STRIPES)
+                .map(|_| Mutex::new(FixedHistogram::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: f64) {
+        let stripe = thread_slot() % HIST_STRIPES;
+        self.stripes[stripe]
+            .lock()
+            .expect("telemetry lock poisoned")
+            .record(value);
+    }
+
+    /// All stripes folded into one histogram. Bucket occupancies and
+    /// counts are exact; only `sum` carries stripe-order floating error.
+    fn merged(&self) -> FixedHistogram {
+        let mut out = FixedHistogram::new();
+        for stripe in &self.stripes {
+            out.merge(&stripe.lock().expect("telemetry lock poisoned"));
+        }
+        out
+    }
+}
+
+/// Read-mostly name registry: shared lock on every hit, exclusive lock
+/// once per name per process.
+struct Registry<T> {
+    map: RwLock<HashMap<&'static str, Arc<T>>>,
+}
+
+impl<T> Registry<T> {
+    fn new() -> Registry<T> {
+        Registry {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &'static str, init: impl FnOnce() -> T) -> Arc<T> {
+        if let Some(v) = self.map.read().expect("telemetry lock poisoned").get(name) {
+            return v.clone();
+        }
+        self.map
+            .write()
+            .expect("telemetry lock poisoned")
+            .entry(name)
+            .or_insert_with(|| Arc::new(init()))
+            .clone()
+    }
+
+    fn get(&self, name: &str) -> Option<Arc<T>> {
+        self.map
+            .read()
+            .expect("telemetry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Name-sorted snapshot of every registered slot.
+    fn entries(&self) -> Vec<(&'static str, Arc<T>)> {
+        let mut v: Vec<(&'static str, Arc<T>)> = self
+            .map
+            .read()
+            .expect("telemetry lock poisoned")
+            .iter()
+            .map(|(k, s)| (*k, s.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+}
+
+/// A point-in-time view of everything a [`LiveRecorder`] holds, with the
+/// *raw* merged histograms (not just their quantile summaries) so the
+/// Prometheus exposition can render exact `_bucket`/`_sum`/`_count`
+/// series.
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    /// Milliseconds since the recorder was created.
+    pub wall_ms: f64,
+    /// Total recorded operations.
+    pub events: u64,
+    /// Counter totals, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Last gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Merged histograms, name-sorted.
+    pub histograms: Vec<(String, FixedHistogram)>,
+    /// Merged per-span-name wall-time histograms (ms), name-sorted.
+    pub spans: Vec<(String, FixedHistogram)>,
+}
+
+/// The contention-free live recorder (see the module docs for layout).
+///
+/// Drop-in wherever a [`MetricsRecorder`](crate::MetricsRecorder) is
+/// used: it implements [`Recorder`], produces the same [`Summary`] /
+/// [`flush_summary`](LiveRecorder::flush_summary) artefacts, and tees
+/// span events to its sink — plus [`LiveRecorder::snapshot`] for live
+/// exposition.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use opad_telemetry::{self as telemetry, LiveRecorder};
+///
+/// let recorder = Arc::new(LiveRecorder::new());
+/// telemetry::install(recorder.clone());
+/// telemetry::counter_add("requests", 3);
+/// telemetry::gauge_set("phase", 2.0);
+/// telemetry::uninstall();
+/// assert_eq!(recorder.counter("requests"), Some(3));
+/// assert_eq!(recorder.gauge("phase"), Some(2.0));
+/// ```
+pub struct LiveRecorder {
+    counters: Registry<ShardedCounter>,
+    gauges: Registry<AtomicU64>,
+    histograms: Registry<StripedHistogram>,
+    spans: Registry<StripedHistogram>,
+    ops: ShardedCounter,
+    sink: Option<Arc<dyn Sink>>,
+    start: Instant,
+}
+
+impl Default for LiveRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveRecorder {
+    /// A live recorder with no sink (metrics only, no streamed trace).
+    pub fn new() -> LiveRecorder {
+        LiveRecorder {
+            counters: Registry::new(),
+            gauges: Registry::new(),
+            histograms: Registry::new(),
+            spans: Registry::new(),
+            ops: ShardedCounter::new(),
+            sink: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// A live recorder that additionally tees span events to `sink`, so
+    /// offline `obsctl` analysis of the JSONL trace keeps working.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> LiveRecorder {
+        LiveRecorder {
+            sink: Some(sink),
+            ..Self::new()
+        }
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
+    }
+
+    /// Milliseconds since this recorder was created (the trace clock).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Current total of one counter, `None` if it was never touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).map(|c| c.total())
+    }
+
+    /// Last value written to one gauge, `None` if it was never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    /// A live view of every metric, with raw merged histograms.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        LiveSnapshot {
+            wall_ms: self.elapsed_ms(),
+            events: self.ops.total(),
+            counters: self
+                .counters
+                .entries()
+                .into_iter()
+                .map(|(k, c)| (k.to_string(), c.total()))
+                .collect(),
+            gauges: self
+                .gauges
+                .entries()
+                .into_iter()
+                .map(|(k, g)| (k.to_string(), f64::from_bits(g.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .entries()
+                .into_iter()
+                .map(|(k, h)| (k.to_string(), h.merged()))
+                .collect(),
+            spans: self
+                .spans
+                .entries()
+                .into_iter()
+                .map(|(k, h)| (k.to_string(), h.merged()))
+                .collect(),
+        }
+    }
+
+    /// The same aggregate [`Summary`] a
+    /// [`MetricsRecorder`](crate::MetricsRecorder) produces, so run
+    /// envelopes embed identically whichever recorder was installed.
+    pub fn summary(&self) -> Summary {
+        let snap = self.snapshot();
+        Summary {
+            wall_ms: snap.wall_ms,
+            events: snap.events,
+            counters: snap.counters,
+            gauges: snap.gauges,
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(name, h)| h.summary(name))
+                .collect(),
+            spans: snap
+                .spans
+                .iter()
+                .map(|(name, h)| SpanRollup {
+                    name: name.clone(),
+                    count: h.count(),
+                    total_ms: h.sum(),
+                    min_ms: h.min().unwrap_or(0.0),
+                    p50_ms: h.quantile(0.5).unwrap_or(0.0),
+                    p90_ms: h.quantile(0.9).unwrap_or(0.0),
+                    p99_ms: h.quantile(0.99).unwrap_or(0.0),
+                    max_ms: h.max().unwrap_or(0.0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Emits every aggregate to the sink and flushes it — the canonical
+    /// end-of-run call, byte-compatible with
+    /// [`MetricsRecorder::flush_summary`](crate::MetricsRecorder::flush_summary).
+    pub fn flush_summary(&self) {
+        if let Some(sink) = &self.sink {
+            emit_summary(sink.as_ref(), &self.summary());
+        }
+        self.flush();
+    }
+}
+
+impl Recorder for LiveRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.ops.add(1);
+        self.counters
+            .get_or_insert(name, ShardedCounter::new)
+            .add(delta);
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.ops.add(1);
+        self.gauges
+            .get_or_insert(name, || AtomicU64::new(value.to_bits()))
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        self.ops.add(1);
+        self.histograms
+            .get_or_insert(name, StripedHistogram::new)
+            .record(value);
+    }
+
+    fn span_start(&self, name: &'static str, id: u64, parent: Option<u64>) {
+        self.ops.add(1);
+        let t_ms = self.elapsed_ms();
+        self.emit(Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms,
+        });
+    }
+
+    fn span_end(&self, name: &'static str, id: u64, parent: Option<u64>, wall_ms: f64) {
+        self.ops.add(1);
+        self.spans
+            .get_or_insert(name, StripedHistogram::new)
+            .record(wall_ms);
+        let t_ms = self.elapsed_ms();
+        self.emit(Event::SpanEnd {
+            id,
+            parent,
+            name: name.to_string(),
+            t_ms,
+            wall_ms,
+        });
+    }
+
+    fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TestSink;
+
+    #[test]
+    fn counters_sum_across_threads_exactly() {
+        let rec = Arc::new(LiveRecorder::new());
+        let threads = 8;
+        let per_thread = 1000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        rec.counter_add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter("hits"), Some(threads * per_thread));
+        assert_eq!(rec.counter("missing"), None);
+    }
+
+    #[test]
+    fn histograms_keep_exact_counts_and_bounds_under_concurrency() {
+        let rec = Arc::new(LiveRecorder::new());
+        let threads = 8usize;
+        let per_thread = 500usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        rec.histogram_record("lat", (t * per_thread + i + 1) as f64);
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "lat")
+            .expect("histogram registered");
+        assert_eq!(h.count() as usize, threads * per_thread);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some((threads * per_thread) as f64));
+        // Sum of 1..=n is exact in f64 at this size regardless of order.
+        let n = (threads * per_thread) as f64;
+        assert!((h.sum() - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gauges_are_last_writer_wins_and_readable_live() {
+        let rec = LiveRecorder::new();
+        rec.gauge_set("phase", 1.0);
+        rec.gauge_set("phase", 4.0);
+        assert_eq!(rec.gauge("phase"), Some(4.0));
+        assert_eq!(rec.gauge("never"), None);
+        rec.gauge_set("negative", -2.5);
+        assert_eq!(rec.gauge("negative"), Some(-2.5));
+    }
+
+    #[test]
+    fn spans_tee_to_the_sink_and_aggregate() {
+        let sink = Arc::new(TestSink::new());
+        let rec = LiveRecorder::with_sink(sink.clone());
+        rec.span_start("round", 1, None);
+        rec.span_end("round", 1, None, 12.5);
+        rec.span_start("round", 2, None);
+        rec.span_end("round", 2, None, 7.5);
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(sink.span_names(), vec!["round", "round"]);
+        let snap = rec.snapshot();
+        let (_, h) = snap
+            .spans
+            .iter()
+            .find(|(n, _)| n == "round")
+            .expect("span rollup registered");
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_matches_the_metrics_recorder_shape() {
+        let drive = |rec: &dyn Recorder| {
+            rec.counter_add("c", 2);
+            rec.counter_add("c", 3);
+            rec.gauge_set("g", 0.5);
+            for v in [1.0, 2.0, 4.0] {
+                rec.histogram_record("h", v);
+            }
+            rec.span_start("s", 1, None);
+            rec.span_end("s", 1, None, 3.0);
+        };
+        let live = LiveRecorder::new();
+        let classic = crate::MetricsRecorder::new();
+        drive(&live);
+        drive(&classic);
+        let (a, b) = (live.summary(), classic.summary());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.gauges, b.gauges);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.histograms, b.histograms);
+        assert_eq!(a.spans.len(), b.spans.len());
+        assert_eq!(a.spans[0].name, b.spans[0].name);
+        assert_eq!(a.spans[0].count, b.spans[0].count);
+        assert!((a.spans[0].total_ms - b.spans[0].total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flush_summary_emits_the_same_trace_tail_as_metrics_recorder() {
+        let live_sink = Arc::new(TestSink::new());
+        let live = LiveRecorder::with_sink(live_sink.clone());
+        let classic_sink = Arc::new(TestSink::new());
+        let classic = crate::MetricsRecorder::with_sink(classic_sink.clone());
+        for rec in [&live as &dyn Recorder, &classic as &dyn Recorder] {
+            rec.counter_add("c", 1);
+            rec.gauge_set("g", 2.0);
+            rec.histogram_record("h", 3.0);
+            rec.span_start("s", 1, None);
+            rec.span_end("s", 1, None, 1.0);
+        }
+        live.flush_summary();
+        classic.flush_summary();
+        let kinds =
+            |events: Vec<Event>| -> Vec<&'static str> { events.iter().map(Event::kind).collect() };
+        assert_eq!(kinds(live_sink.events()), kinds(classic_sink.events()));
+        assert_eq!(live_sink.flushes(), 1);
+    }
+}

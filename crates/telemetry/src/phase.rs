@@ -1,0 +1,70 @@
+//! Shared vocabulary for the `pipeline.phase` gauge.
+//!
+//! The core pipeline publishes its current phase as a numeric gauge so the
+//! live recorder (and anything scraping it, e.g. `opad-serve`'s `/healthz`)
+//! can report *where* a round currently is without parsing span streams.
+//! Writers use the `set` helper; readers map the code back to a name with
+//! [`name`]. Codes are stable: new phases append, existing codes never
+//! change meaning.
+
+/// Gauge name the pipeline publishes its current phase under.
+pub const PHASE_GAUGE: &str = "pipeline.phase";
+
+/// Gauge name the pipeline publishes its current round index under.
+pub const ROUND_GAUGE: &str = "pipeline.round";
+
+/// Not inside a round.
+pub const IDLE: u8 = 0;
+/// Sampling seeds from the operational profile.
+pub const SAMPLE_SEEDS: u8 = 1;
+/// Fuzzing / attacking the sampled seeds.
+pub const FUZZ: u8 = 2;
+/// Evaluating candidate adversarial examples.
+pub const EVALUATE: u8 = 3;
+/// Cell-based reliability assessment.
+pub const ASSESS: u8 = 4;
+/// Retraining on the discovered adversarial examples.
+pub const RETRAIN: u8 = 5;
+/// The run has finished all rounds.
+pub const DONE: u8 = 6;
+
+/// Human-readable name for a phase code; unknown codes map to `"unknown"`.
+pub fn name(code: u8) -> &'static str {
+    match code {
+        IDLE => "idle",
+        SAMPLE_SEEDS => "sample_seeds",
+        FUZZ => "fuzz",
+        EVALUATE => "evaluate",
+        ASSESS => "assess",
+        RETRAIN => "retrain",
+        DONE => "done",
+        _ => "unknown",
+    }
+}
+
+/// Publishes `code` on the [`PHASE_GAUGE`] via the global recorder.
+#[inline]
+pub fn set(code: u8) {
+    crate::gauge_set(PHASE_GAUGE, code as f64);
+}
+
+/// Publishes the current round index on the [`ROUND_GAUGE`].
+#[inline]
+pub fn set_round(round: usize) {
+    crate::gauge_set(ROUND_GAUGE, round as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_to_distinct_names() {
+        let codes = [IDLE, SAMPLE_SEEDS, FUZZ, EVALUATE, ASSESS, RETRAIN, DONE];
+        let mut names: Vec<&str> = codes.iter().map(|&c| name(c)).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), codes.len(), "phase names must be distinct");
+        assert_eq!(name(200), "unknown");
+    }
+}

@@ -154,56 +154,64 @@ impl MetricsRecorder {
     /// final [`Event::RunSummary`]) to the sink, then flushes it. The
     /// canonical end-of-run call; a no-op without a sink.
     pub fn flush_summary(&self) {
-        let s = self.summary();
-        if self.sink.is_some() {
-            for (name, total) in &s.counters {
-                self.emit(Event::Counter {
-                    name: name.clone(),
-                    total: *total,
-                });
-            }
-            for (name, value) in &s.gauges {
-                self.emit(Event::Gauge {
-                    name: name.clone(),
-                    value: *value,
-                });
-            }
-            for h in &s.histograms {
-                self.emit(Event::Histogram {
-                    name: h.name.clone(),
-                    count: h.count,
-                    min: h.min,
-                    max: h.max,
-                    mean: h.mean,
-                    p50: h.p50,
-                    p90: h.p90,
-                    p99: h.p99,
-                });
-            }
-            for r in &s.spans {
-                self.emit(Event::Histogram {
-                    name: format!("span:{}", r.name),
-                    count: r.count,
-                    min: r.min_ms,
-                    max: r.max_ms,
-                    mean: if r.count > 0 {
-                        r.total_ms / r.count as f64
-                    } else {
-                        0.0
-                    },
-                    p50: r.p50_ms,
-                    p90: r.p90_ms,
-                    p99: r.p99_ms,
-                });
-            }
-            self.emit(Event::RunSummary {
-                wall_ms: s.wall_ms,
-                events: s.events,
-                events_per_sec: s.events_per_sec(),
-            });
+        if let Some(sink) = &self.sink {
+            emit_summary(sink.as_ref(), &self.summary());
         }
         self.flush();
     }
+}
+
+/// Streams a [`Summary`]'s aggregates to `sink` as counter / gauge /
+/// histogram events plus the closing [`Event::RunSummary`] — the shared
+/// end-of-run trace tail of [`MetricsRecorder`] and
+/// [`LiveRecorder`](crate::LiveRecorder), so every recorder writes the
+/// same wire format.
+pub(crate) fn emit_summary(sink: &dyn Sink, s: &Summary) {
+    for (name, total) in &s.counters {
+        sink.emit(&Event::Counter {
+            name: name.clone(),
+            total: *total,
+        });
+    }
+    for (name, value) in &s.gauges {
+        sink.emit(&Event::Gauge {
+            name: name.clone(),
+            value: *value,
+        });
+    }
+    for h in &s.histograms {
+        sink.emit(&Event::Histogram {
+            name: h.name.clone(),
+            count: h.count,
+            min: h.min,
+            max: h.max,
+            mean: h.mean,
+            p50: h.p50,
+            p90: h.p90,
+            p99: h.p99,
+        });
+    }
+    for r in &s.spans {
+        sink.emit(&Event::Histogram {
+            name: format!("span:{}", r.name),
+            count: r.count,
+            min: r.min_ms,
+            max: r.max_ms,
+            mean: if r.count > 0 {
+                r.total_ms / r.count as f64
+            } else {
+                0.0
+            },
+            p50: r.p50_ms,
+            p90: r.p90_ms,
+            p99: r.p99_ms,
+        });
+    }
+    sink.emit(&Event::RunSummary {
+        wall_ms: s.wall_ms,
+        events: s.events,
+        events_per_sec: s.events_per_sec(),
+    });
 }
 
 impl Recorder for MetricsRecorder {

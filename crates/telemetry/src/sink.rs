@@ -43,6 +43,18 @@ impl JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    // BufWriter flushes on drop, but silently swallows short writes if the
+    // inner write fails partway; flushing explicitly here makes "drop the
+    // sink" leave a complete final line under normal operation, so traces
+    // from runs that never call `flush` still parse line-for-line.
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
         let mut line = event.to_json();
@@ -150,6 +162,33 @@ mod tests {
             assert!(line.ends_with('}'), "{line}");
         }
         assert!(lines[0].contains("\"total\":7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_sink_leaves_no_truncated_final_line() {
+        let dir = std::env::temp_dir().join("opad_telemetry_drop_flush_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("trace.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            // Enough small lines to stay inside BufWriter's buffer so that
+            // nothing reaches the file before the drop-flush.
+            for i in 0..64 {
+                sink.emit(&Event::Counter {
+                    name: format!("c{i}"),
+                    total: i,
+                });
+            }
+            // No explicit flush: the sink drops here.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "final line must be complete");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 64);
+        for line in &lines {
+            crate::parse_json(line).expect("every line is complete JSON");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -26,6 +26,12 @@ thread_local! {
 /// to `_` drops — and therefore ends — the span immediately.
 pub struct Span {
     inner: Option<SpanInner>,
+    // Set when the span was opened with telemetry off: name + start instant
+    // only. Drop re-checks the global recorder so a recorder installed while
+    // the span was open still receives its wall time (as a retroactive
+    // start/end pair). Pending spans never join the thread stack, so spans
+    // opened inside them do not parent to them.
+    pending: Option<(&'static str, Instant)>,
 }
 
 struct SpanInner {
@@ -69,12 +75,27 @@ impl Span {
                 start: Instant::now(),
                 recorder,
             }),
+            pending: None,
         }
     }
 
     /// An inert span: no id, no recorder calls, drop is free.
     pub(crate) fn disabled() -> Span {
-        Span { inner: None }
+        Span {
+            inner: None,
+            pending: None,
+        }
+    }
+
+    /// A span opened while telemetry is off. It records nothing now but
+    /// notes its start instant; if a recorder has been installed by the time
+    /// it drops, the drop emits a retroactive start/end pair covering the
+    /// span's full lifetime.
+    pub(crate) fn pending(name: &'static str) -> Span {
+        Span {
+            inner: None,
+            pending: Some((name, Instant::now())),
+        }
     }
 
     /// Whether this span is live (i.e. telemetry was enabled when it was
@@ -97,6 +118,17 @@ pub(crate) fn current_thread_span_id() -> Option<u64> {
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(inner) = self.inner.take() else {
+            // A span opened before `install` still attributes its wall time
+            // if a recorder exists by now.
+            if let Some((name, start)) = self.pending.take() {
+                if let Some(recorder) = crate::current() {
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+                    let parent = current_thread_span_id();
+                    recorder.span_start(name, id, parent);
+                    recorder.span_end(name, id, parent, wall_ms);
+                }
+            }
             return;
         };
         let wall_ms = inner.start.elapsed().as_secs_f64() * 1e3;

@@ -1,0 +1,115 @@
+//! The exp2-style testing loop with the live observability plane
+//! attached: a `LiveRecorder` (teeing the usual JSONL trace) plus the
+//! `opad-serve` HTTP server, so `/metrics`, `/healthz` and `/runs` can
+//! be scraped while the rounds are in flight.
+//!
+//! Run with: `cargo run --release --example serve_monitor`
+//!
+//! While it runs (and for `OPAD_SERVE_HOLD_SECS` seconds afterwards,
+//! default 0):
+//!
+//! ```text
+//! curl http://127.0.0.1:9184/metrics   # Prometheus text exposition
+//! curl http://127.0.0.1:9184/healthz   # current round + phase
+//! curl http://127.0.0.1:9184/runs      # finished-run envelopes
+//! ```
+//!
+//! Set `OPAD_SERVE_ADDR` to change the bind address (e.g.
+//! `127.0.0.1:0` for an ephemeral port — the chosen one is printed).
+
+use opad::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Observability: the live recorder aggregates contention-free and
+    // tees span events to the same JSONL trace the offline obsctl
+    // workflows (summary/flame/diff) consume.
+    let sink = Arc::new(JsonlSink::create("results/serve_monitor_trace.jsonl")?);
+    let recorder = Arc::new(LiveRecorder::with_sink(sink));
+    opad::telemetry::install(recorder.clone());
+
+    let addr = std::env::var("OPAD_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:9184".to_string());
+    let server = opad::serve::MetricsServer::new(
+        recorder.clone(),
+        ServerConfig {
+            addr,
+            results_dir: "results".into(),
+        },
+    )
+    .spawn()?;
+    println!("live metrics: http://{}/metrics", server.addr());
+    println!("health:       http://{}/healthz", server.addr());
+    println!("run index:    http://{}/runs", server.addr());
+
+    // The detection-efficiency setup: balanced training data, a
+    // Zipf-skewed operational profile, and the full Fig. 1 loop.
+    let cfg = GaussianClustersConfig {
+        separation: 2.0,
+        std: 1.0,
+        ..Default::default()
+    };
+    let train = gaussian_clusters(&cfg, 600, &uniform_probs(3), &mut rng)?;
+    let field = gaussian_clusters(&cfg, 800, &zipf_probs(3, 1.5), &mut rng)?;
+    let mut net = Network::mlp(&[2, 32, 3], Activation::Relu, &mut rng)?;
+    Trainer::new(TrainConfig::new(30, 32), Optimizer::adam(0.01)).fit(
+        &mut net,
+        train.features(),
+        train.labels(),
+        None,
+        &mut rng,
+    )?;
+
+    let op = learn_op_gmm(&field, 3, 20, &mut rng)?;
+    let partition = CentroidPartition::fit(field.features(), 12, 25, &mut rng)?;
+    let target = ReliabilityTarget::new(0.05, 0.90)?;
+    let config = LoopConfig {
+        seeds_per_round: 30,
+        eval_per_round: 300,
+        max_rounds: 5,
+        ..Default::default()
+    };
+    let mut testing = TestingLoop::new(net, op, partition, &field, target, config)?;
+    let attack = Pgd::new(NormBall::linf(0.4)?, 15, 0.08)?;
+
+    println!("\nround | seeds | AEs | pfd-mean | pfd-90%UB | stop");
+    let reports = testing.run(&field, &train, &attack, &mut rng)?;
+    for r in &reports {
+        println!(
+            "{:5} | {:5} | {:3} | {:8.4} | {:9.4} | {}",
+            r.round,
+            r.seeds_attacked,
+            r.aes_found,
+            r.pfd_mean,
+            r.pfd_upper,
+            if r.target_met { "yes" } else { "no" }
+        );
+    }
+
+    // Keep serving after the loop so a human (or a scrape job) can look
+    // at the final state; CI leaves the default of 0.
+    let hold: u64 = std::env::var("OPAD_SERVE_HOLD_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if hold > 0 {
+        println!("\nholding the server for {hold}s (OPAD_SERVE_HOLD_SECS)…");
+        std::thread::sleep(std::time::Duration::from_secs(hold));
+    }
+
+    opad::telemetry::uninstall();
+    recorder.flush_summary();
+    server.shutdown();
+    let s = recorder.summary();
+    println!(
+        "\ntelemetry: {:.0} ms wall, {} events — trace in results/serve_monitor_trace.jsonl",
+        s.wall_ms, s.events
+    );
+    println!(
+        "flamegraph: cargo run -p opad-obs --bin obsctl -- flame results/serve_monitor_trace.jsonl"
+    );
+    Ok(())
+}

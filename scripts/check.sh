@@ -23,7 +23,16 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> obsctl selfcheck (results/ + BENCH_*.json schema validation)"
+echo "==> serve smoke test (ephemeral port, /metrics + /healthz over TcpStream, graceful shutdown)"
+cargo test -q -p opad-serve --test http_smoke
+
+echo "==> serve_monitor example (live exp2-style run with the server attached)"
+OPAD_SERVE_ADDR=127.0.0.1:0 cargo run --release -q --example serve_monitor
+
+echo "==> obsctl flame over the freshly produced trace"
+cargo run --release -q --bin obsctl -- flame results/serve_monitor_trace.jsonl | head -5
+
+echo "==> obsctl selfcheck (results/ + BENCH_*.json schema validation, incl. the fresh trace)"
 cargo run --release -q --bin obsctl -- selfcheck results .
 
 echo "All checks passed."

@@ -17,7 +17,9 @@
 //! * [`core`] — the five-step testing loop tying it all together;
 //! * [`par`] — the deterministic scoped worker pool behind the parallel
 //!   kernels (`OPAD_THREADS` controls width, results never change);
-//! * [`telemetry`] — std-only spans, counters and run traces.
+//! * [`telemetry`] — std-only spans, counters and run traces;
+//! * [`serve`] — the live observability server: Prometheus `/metrics`,
+//!   `/healthz` and `/runs` over a `LiveRecorder`.
 //!
 //! # Quickstart
 //!
@@ -48,6 +50,7 @@ pub use opad_nn as nn;
 pub use opad_opmodel as opmodel;
 pub use opad_par as par;
 pub use opad_reliability as reliability;
+pub use opad_serve as serve;
 pub use opad_telemetry as telemetry;
 pub use opad_tensor as tensor;
 
@@ -77,6 +80,7 @@ pub mod prelude {
         clopper_pearson_upper, demands_for_target, Assessment, Beta, CellReliabilityModel,
         GrowthTimeline, ReliabilityTarget,
     };
-    pub use opad_telemetry::{JsonlSink, MetricsRecorder, Recorder, Sink, TestSink};
+    pub use opad_serve::{MetricsServer, ServerConfig};
+    pub use opad_telemetry::{JsonlSink, LiveRecorder, MetricsRecorder, Recorder, Sink, TestSink};
     pub use opad_tensor::{Shape, Tensor, TensorError};
 }

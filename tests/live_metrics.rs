@@ -1,0 +1,132 @@
+//! Thread-count equivalence of the live observability plane.
+//!
+//! The acceptance contract for `LiveRecorder`: driving the same
+//! instrumented workload under `OPAD_THREADS` 1 and 4 produces identical
+//! counter totals and identical histogram shape (count, bucket
+//! occupancies, min/max — the integer state; only the floating `sum`
+//! may carry merge-order error), and the teed JSONL trace stays
+//! parseable by `opad_telemetry::parse_trace` either way.
+
+use opad::prelude::*;
+use opad::telemetry::{self, parse_trace, FixedHistogram, LiveRecorder};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The global recorder is process state; tests in this binary serialize
+/// through this lock.
+static GLOBAL_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn trace_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("opad_live_metrics_test");
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir.join(format!("{tag}_trace.jsonl"))
+}
+
+/// A fixed instrumented workload fanned out over the worker pool:
+/// deterministic per-item values, so any cross-thread loss would show up
+/// as a changed total.
+fn drive_workload() {
+    let items: Vec<u64> = (1..=200).collect();
+    let _span = telemetry::span("workload");
+    let results = opad::par::par_map(&items, |_, &v: &u64| {
+        telemetry::counter_add("work.items", 1);
+        telemetry::counter_add("work.weight", v);
+        telemetry::histogram_record("work.value", v as f64);
+        let _inner = telemetry::span("work_item");
+        v * v
+    });
+    telemetry::gauge_set("work.last_total", results.iter().sum::<u64>() as f64);
+}
+
+/// Runs the workload at `threads` with a fresh recorder teeing to a
+/// JSONL file; returns the recorder and the trace text.
+fn run_at(threads: usize, tag: &str) -> (Arc<LiveRecorder>, String) {
+    let path = trace_path(tag);
+    let _ = std::fs::remove_file(&path);
+    let recorder = Arc::new(LiveRecorder::with_sink(Arc::new(
+        JsonlSink::create(&path).expect("trace file is creatable"),
+    )));
+    telemetry::install(recorder.clone());
+    {
+        let _pin = opad::par::override_threads(threads);
+        drive_workload();
+    }
+    telemetry::uninstall();
+    recorder.flush_summary();
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let _ = std::fs::remove_file(&path);
+    (recorder, text)
+}
+
+fn histogram<'s>(snap: &'s opad::telemetry::LiveSnapshot, name: &str) -> &'s FixedHistogram {
+    &snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("histogram {name} registered"))
+        .1
+}
+
+#[test]
+fn totals_are_identical_at_one_and_four_threads() {
+    let _g = GLOBAL_GUARD.lock().unwrap();
+    let (serial, _) = run_at(1, "serial");
+    let (par, _) = run_at(4, "par");
+    // Counters: exact equality, including the value-weighted one.
+    assert_eq!(serial.counter("work.items"), Some(200));
+    assert_eq!(serial.counter("work.items"), par.counter("work.items"));
+    assert_eq!(serial.counter("work.weight"), Some((1..=200).sum()));
+    assert_eq!(serial.counter("work.weight"), par.counter("work.weight"));
+    // The gauge is a deterministic function of the (deterministic)
+    // par_map result, so it must agree bit-for-bit too.
+    assert_eq!(
+        serial.gauge("work.last_total"),
+        par.gauge("work.last_total")
+    );
+    // Histograms: integer state is exact across thread counts.
+    let (s_snap, p_snap) = (serial.snapshot(), par.snapshot());
+    let (hs, hp) = (
+        histogram(&s_snap, "work.value"),
+        histogram(&p_snap, "work.value"),
+    );
+    assert_eq!(hs.count(), 200);
+    assert_eq!(hs.count(), hp.count());
+    assert_eq!(hs.bucket_counts(), hp.bucket_counts());
+    assert_eq!(hs.min(), hp.min());
+    assert_eq!(hs.max(), hp.max());
+    // Only the merged `sum` may differ by stripe fold order — and for
+    // these integer-valued samples not even that.
+    assert!((hs.sum() - hp.sum()).abs() < 1e-9);
+    // Span rollups: every work_item span landed, under both widths.
+    let spans = |snap: &opad::telemetry::LiveSnapshot| {
+        snap.spans
+            .iter()
+            .find(|(n, _)| n == "work_item")
+            .map(|(_, h)| h.count())
+    };
+    assert_eq!(spans(&s_snap), Some(200));
+    assert_eq!(spans(&s_snap), spans(&p_snap));
+}
+
+#[test]
+fn teed_traces_parse_at_both_thread_counts() {
+    let _g = GLOBAL_GUARD.lock().unwrap();
+    for (threads, tag) in [(1, "parse_serial"), (4, "parse_par")] {
+        let (_, text) = run_at(threads, tag);
+        let trace = parse_trace(&text);
+        assert!(!trace.truncated, "trace truncated at {threads} threads");
+        assert!(
+            trace.errors.is_empty(),
+            "unparseable lines at {threads} threads: {:?}",
+            trace.errors
+        );
+        // 201 spans opened and closed (workload + 200 items), plus the
+        // flush_summary tail.
+        let ends = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, opad::telemetry::Event::SpanEnd { .. }))
+            .count();
+        assert_eq!(ends, 201, "at {threads} threads");
+    }
+}
