@@ -2,16 +2,23 @@
 //!
 //! Drives warmup + N individually-timed iterations over every registered
 //! [`BenchKernel`] and snapshots the timings into a schema-versioned
-//! `BENCH_<seq>.json` at the repository root — a series the trajectory
-//! gate (`obsctl diff`-style eyeballing across commits) can follow.
+//! `BENCH_<seq>.json` at the repository root — the series the perf
+//! trajectory tooling (`obsctl perf history` / `gate` / `report`)
+//! analyses across commits.
+//!
+//! Snapshot format (schema v2): a top-level provenance block (git commit,
+//! core count, `OPAD_THREADS`), the harness configuration (`warmup_iters`,
+//! `iters`), a monotonic `seq`, and one row per kernel carrying the raw
+//! sample count alongside the quantiles — so downstream gates can scale
+//! their thresholds with how much data backs each number. v1 snapshots
+//! (unpadded filenames, no provenance, no sample counts) stay readable.
 
-use opad_telemetry::{parse_json, BenchKernel, JsonValue};
+use opad_telemetry::{bench_files, parse_json, BenchKernel, BenchProvenance, JsonValue};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// Version of the `BENCH_<seq>.json` layout.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+pub use opad_telemetry::BENCH_SCHEMA_VERSION;
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +48,9 @@ pub struct KernelStats {
     pub name: String,
     /// Timed iterations behind the quantiles.
     pub iters: u32,
+    /// Raw samples backing the quantiles (equals `iters` for snapshots
+    /// this harness wrote; v1 snapshots fall back to `iters` on read).
+    pub samples: u32,
     /// Mean iteration time.
     pub mean_ns: f64,
     /// Fastest iteration.
@@ -53,6 +63,26 @@ pub struct KernelStats {
     pub p99_ns: f64,
     /// Slowest iteration.
     pub max_ns: f64,
+}
+
+/// One parsed `BENCH_<seq>.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version the file declared.
+    pub schema_version: u32,
+    /// Monotonic sequence number (`BENCH_0001.json` → 1).
+    pub seq: u32,
+    /// Run id of the recording working tree.
+    pub run_id: String,
+    /// Warmup iterations the harness ran before timing.
+    pub warmup_iters: u32,
+    /// Configured timed iterations per kernel (`None` in v1 snapshots,
+    /// which only persisted `warmup_iters` at the top level).
+    pub iters: Option<u32>,
+    /// Recording-machine context (`None` in v1 snapshots).
+    pub provenance: Option<BenchProvenance>,
+    /// Per-kernel timing rows.
+    pub kernels: Vec<KernelStats>,
 }
 
 /// Runs every (filter-matching) kernel: `warmup_iters` untimed rounds,
@@ -80,6 +110,7 @@ pub fn run_benchmarks(kernels: Vec<BenchKernel>, cfg: &BenchConfig) -> Vec<Kerne
         out.push(KernelStats {
             name: k.name.to_string(),
             iters: n as u32,
+            samples: n as u32,
             mean_ns: samples_ns.iter().sum::<f64>() / n as f64,
             min_ns: samples_ns[0],
             p50_ns: q(0.50),
@@ -91,26 +122,19 @@ pub fn run_benchmarks(kernels: Vec<BenchKernel>, cfg: &BenchConfig) -> Vec<Kerne
     out
 }
 
-/// Next unused sequence number for `BENCH_<seq>.json` in `dir`.
+/// Next unused sequence number for `BENCH_<seq>.json` in `dir`. The
+/// series is 1-based (`BENCH_0001.json` is the committed baseline);
+/// both padded and historical unpadded names count.
 pub fn next_bench_seq(dir: &Path) -> u32 {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return 0;
-    };
-    entries
-        .filter_map(Result::ok)
-        .filter_map(|e| {
-            let name = e.file_name().into_string().ok()?;
-            name.strip_prefix("BENCH_")?
-                .strip_suffix(".json")?
-                .parse::<u32>()
-                .ok()
-        })
-        .map(|seq| seq + 1)
-        .max()
-        .unwrap_or(0)
+    bench_files(dir)
+        .last()
+        .map(|(seq, _)| seq + 1)
+        .unwrap_or(1)
+        .max(1)
 }
 
-/// Writes `BENCH_<seq>.json` into `dir` and returns its path.
+/// Writes `BENCH_<seq>.json` (sequence zero-padded to 4 digits) into
+/// `dir` and returns its path.
 ///
 /// # Errors
 ///
@@ -120,6 +144,7 @@ pub fn write_bench_report(
     seq: u32,
     run_id: &str,
     cfg: &BenchConfig,
+    provenance: &BenchProvenance,
     stats: &[KernelStats],
 ) -> std::io::Result<PathBuf> {
     let mut s = String::with_capacity(1024);
@@ -128,14 +153,33 @@ pub fn write_bench_report(
     let _ = writeln!(s, "  \"seq\": {seq},");
     let _ = writeln!(s, "  \"run_id\": {},", json_str(run_id));
     let _ = writeln!(s, "  \"warmup_iters\": {},", cfg.warmup_iters);
+    let _ = writeln!(s, "  \"iters\": {},", cfg.iters);
+    let _ = writeln!(s, "  \"provenance\": {{");
+    let _ = writeln!(
+        s,
+        "    \"git_commit\": {},",
+        json_str(&provenance.git_commit)
+    );
+    let _ = writeln!(s, "    \"cores\": {},", provenance.cores);
+    match provenance.opad_threads {
+        Some(n) => {
+            let _ = writeln!(s, "    \"opad_threads\": {n}");
+        }
+        None => {
+            let _ = writeln!(s, "    \"opad_threads\": null");
+        }
+    }
+    s.push_str("  },\n");
     s.push_str("  \"kernels\": [\n");
     for (i, k) in stats.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"name\": {}, \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
-             \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \"max_ns\": {:.1}}}",
+            "    {{\"name\": {}, \"iters\": {}, \"samples\": {}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \
+             \"max_ns\": {:.1}}}",
             json_str(&k.name),
             k.iters,
+            k.samples,
             k.mean_ns,
             k.min_ns,
             k.p50_ns,
@@ -146,18 +190,19 @@ pub fn write_bench_report(
         s.push_str(if i + 1 < stats.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
-    let path = dir.join(format!("BENCH_{seq}.json"));
+    let path = dir.join(format!("BENCH_{seq:04}.json"));
     std::fs::write(&path, s)?;
     Ok(path)
 }
 
-/// Reads a `BENCH_<seq>.json` back into kernel statistics.
+/// Reads a `BENCH_<seq>.json` (schema v1 or v2) back into a
+/// [`BenchReport`].
 ///
 /// # Errors
 ///
 /// Returns a human-readable message on I/O failure, malformed JSON, a
 /// too-new `schema_version`, or rows missing required fields.
-pub fn read_bench_report(path: &Path) -> Result<(String, Vec<KernelStats>), String> {
+pub fn read_bench_report(path: &Path) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let doc = parse_json(&text).map_err(|e| format!("not valid JSON: {e}"))?;
     let version = doc
@@ -174,6 +219,36 @@ pub fn read_bench_report(path: &Path) -> Result<(String, Vec<KernelStats>), Stri
         .and_then(JsonValue::as_str)
         .ok_or("missing run_id")?
         .to_string();
+    // `seq` was always written but tolerate its absence (hand-made
+    // fixtures): fall back to the filename convention, then 0.
+    let seq = doc
+        .get("seq")
+        .and_then(JsonValue::as_u64)
+        .map(|s| s as u32)
+        .or_else(|| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(opad_telemetry::bench_seq)
+        })
+        .unwrap_or(0);
+    let warmup_iters = doc
+        .get("warmup_iters")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0) as u32;
+    let iters = doc
+        .get("iters")
+        .and_then(JsonValue::as_u64)
+        .map(|n| n as u32);
+    let provenance = doc.get("provenance").and_then(|p| {
+        Some(BenchProvenance {
+            git_commit: p.get("git_commit")?.as_str()?.to_string(),
+            cores: p.get("cores").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+            opad_threads: p
+                .get("opad_threads")
+                .and_then(JsonValue::as_u64)
+                .map(|n| n as u32),
+        })
+    });
     let kernels = doc
         .get("kernels")
         .and_then(JsonValue::as_arr)
@@ -185,16 +260,23 @@ pub fn read_bench_report(path: &Path) -> Result<(String, Vec<KernelStats>), Stri
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| format!("kernel {i}: missing {key}"))
         };
+        let iters = k
+            .get("iters")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("kernel {i}: missing iters"))? as u32;
         out.push(KernelStats {
             name: k
                 .get("name")
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| format!("kernel {i}: missing name"))?
                 .to_string(),
-            iters: k
-                .get("iters")
+            iters,
+            // v1 rows have no samples field; iters is the honest fallback.
+            samples: k
+                .get("samples")
                 .and_then(JsonValue::as_u64)
-                .ok_or_else(|| format!("kernel {i}: missing iters"))? as u32,
+                .map(|n| n as u32)
+                .unwrap_or(iters),
             mean_ns: f("mean_ns")?,
             min_ns: f("min_ns")?,
             p50_ns: f("p50_ns")?,
@@ -203,7 +285,15 @@ pub fn read_bench_report(path: &Path) -> Result<(String, Vec<KernelStats>), Stri
             max_ns: f("max_ns")?,
         });
     }
-    Ok((run_id, out))
+    Ok(BenchReport {
+        schema_version: version as u32,
+        seq,
+        run_id,
+        warmup_iters,
+        iters,
+        provenance,
+        kernels: out,
+    })
 }
 
 pub(crate) fn json_str(s: &str) -> String {
@@ -240,6 +330,14 @@ mod tests {
         ]
     }
 
+    fn provenance() -> BenchProvenance {
+        BenchProvenance {
+            git_commit: "abc1234-dirty".to_string(),
+            cores: 8,
+            opad_threads: Some(4),
+        }
+    }
+
     #[test]
     fn harness_times_and_orders_quantiles() {
         let cfg = BenchConfig {
@@ -251,6 +349,7 @@ mod tests {
         assert_eq!(stats.len(), 3);
         for k in &stats {
             assert_eq!(k.iters, 20);
+            assert_eq!(k.samples, 20);
             assert!(k.min_ns <= k.p50_ns, "{k:?}");
             assert!(k.p50_ns <= k.p90_ns, "{k:?}");
             assert!(k.p90_ns <= k.p99_ns, "{k:?}");
@@ -276,24 +375,62 @@ mod tests {
         let dir = std::env::temp_dir().join("opad_obs_bench_test");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("temp dir is creatable");
-        assert_eq!(next_bench_seq(&dir), 0);
+        // The series is 1-based: the first snapshot is BENCH_0001.json.
+        assert_eq!(next_bench_seq(&dir), 1);
         let cfg = BenchConfig::default();
         let stats = run_benchmarks(fake_kernels(), &cfg);
-        let path = write_bench_report(&dir, 0, "abc-dirty", &cfg, &stats).expect("report writes");
+        let path = write_bench_report(&dir, 1, "abc-dirty", &cfg, &provenance(), &stats)
+            .expect("report writes");
         assert_eq!(
             path.file_name().and_then(|n| n.to_str()),
-            Some("BENCH_0.json")
+            Some("BENCH_0001.json")
         );
-        assert_eq!(next_bench_seq(&dir), 1);
-        let (run_id, back) = read_bench_report(&path).expect("report parses back");
-        assert_eq!(run_id, "abc-dirty");
-        assert_eq!(back.len(), stats.len());
-        for (a, b) in back.iter().zip(&stats) {
+        assert_eq!(next_bench_seq(&dir), 2);
+        let report = read_bench_report(&path).expect("report parses back");
+        assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(report.seq, 1);
+        assert_eq!(report.run_id, "abc-dirty");
+        assert_eq!(report.warmup_iters, cfg.warmup_iters);
+        assert_eq!(report.iters, Some(cfg.iters));
+        assert_eq!(report.provenance.as_ref(), Some(&provenance()));
+        assert_eq!(report.kernels.len(), stats.len());
+        for (a, b) in report.kernels.iter().zip(&stats) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.iters, b.iters);
+            assert_eq!(a.samples, b.samples);
             // Values were rounded to 0.1 ns on write.
             assert!((a.p99_ns - b.p99_ns).abs() <= 0.05 + 1e-9);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_v1_snapshot_with_an_unpadded_name_still_reads() {
+        let dir = std::env::temp_dir().join("opad_obs_bench_v1_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        // Byte-for-byte what the v1 writer produced: unpadded filename,
+        // warmup only at the top level, no samples, no provenance.
+        let path = dir.join("BENCH_0.json");
+        std::fs::write(
+            &path,
+            "{\n  \"schema_version\": 1,\n  \"seq\": 0,\n  \"run_id\": \"legacy\",\n  \
+             \"warmup_iters\": 3,\n  \"kernels\": [\n    {\"name\": \"tensor/matmul_32\", \
+             \"iters\": 30, \"mean_ns\": 1000.0, \"min_ns\": 900.0, \"p50_ns\": 990.0, \
+             \"p90_ns\": 1100.0, \"p99_ns\": 1200.0, \"max_ns\": 1300.0}\n  ]\n}\n",
+        )
+        .expect("fixture writes");
+        let report = read_bench_report(&path).expect("v1 snapshot parses");
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.seq, 0);
+        assert_eq!(report.run_id, "legacy");
+        assert_eq!(report.iters, None);
+        assert!(report.provenance.is_none());
+        assert_eq!(report.kernels.len(), 1);
+        // samples falls back to the per-kernel iters count.
+        assert_eq!(report.kernels[0].samples, 30);
+        // The unpadded name counts toward sequence discovery.
+        assert_eq!(next_bench_seq(&dir), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -311,6 +448,22 @@ mod tests {
         let err = read_bench_report(&path).expect_err("version 99 must be rejected");
         assert!(err.contains("newer than supported"), "{err}");
         assert_eq!(next_bench_seq(&dir), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_missing_seq_falls_back_to_the_filename() {
+        let dir = std::env::temp_dir().join("opad_obs_bench_noseq_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        let path = dir.join("BENCH_0042.json");
+        std::fs::write(
+            &path,
+            "{\"schema_version\": 2, \"run_id\": \"x\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+        let report = read_bench_report(&path).expect("parses");
+        assert_eq!(report.seq, 42);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,14 +1,56 @@
 //! `obsctl` — trace analytics, run diffing and micro-benchmarks over the
 //! artefacts in `results/`. All logic lives in `opad_obs`; this binary
-//! only wires in the workspace kernel registry and the git run id.
+//! only wires in a kernel registry and the git run id.
+//!
+//! With the default `bench-registry` feature the registry is the whole
+//! workspace (`opad_bench::all_bench_kernels`). Built with
+//! `--no-default-features` — e.g. in minimal environments where the
+//! rand/serde-dependent kernel crates cannot compile — the binary still
+//! works end to end, benchmarking the std-only `opad-par` and
+//! `opad-telemetry` registries only.
 
 use opad_obs::CliEnv;
+use opad_telemetry::BenchKernel;
+
+#[cfg(feature = "bench-registry")]
+fn kernels() -> Vec<BenchKernel> {
+    opad_bench::all_bench_kernels()
+}
+
+#[cfg(not(feature = "bench-registry"))]
+fn kernels() -> Vec<BenchKernel> {
+    use opad_telemetry::{Benchmarkable, TelemetryBenches};
+    let mut kernels = opad_par::ParBenches::bench_kernels();
+    kernels.extend(TelemetryBenches::bench_kernels());
+    kernels
+}
+
+#[cfg(feature = "bench-registry")]
+fn run_id() -> String {
+    opad_bench::run_id()
+}
+
+/// The same `git describe --always --dirty` convention as
+/// `opad_bench::run_id`, inlined so the std-only build needs no extra
+/// crate.
+#[cfg(not(feature = "bench-registry"))]
+fn run_id() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let env = CliEnv {
-        kernels: Box::new(opad_bench::all_bench_kernels),
-        run_id: Box::new(opad_bench::run_id),
+        kernels: Box::new(kernels),
+        run_id: Box::new(run_id),
     };
     let code = opad_obs::run(&args, env, &mut std::io::stdout());
     std::process::exit(code);

@@ -6,14 +6,17 @@
 //! code: `0` clean, `1` gate failure (regression or selfcheck error),
 //! `2` usage or I/O error.
 
-use crate::bench::{json_str, next_bench_seq, run_benchmarks, write_bench_report, BenchConfig};
+use crate::bench::{
+    json_str, next_bench_seq, read_bench_report, run_benchmarks, write_bench_report, BenchConfig,
+};
 use crate::diff::{diff_runs, DiffConfig};
 use crate::envelope::{read_envelope, Envelope};
 use crate::flame::{collapsed_stacks, FlameMode};
 use crate::metrics::metrics_from_run;
+use crate::perf::{gate, history, load_series, report_json, report_md, GateConfig};
 use crate::selfcheck::selfcheck_dir;
 use crate::tree::{aggregate_spans, critical_path, SpanTree};
-use opad_telemetry::{parse_trace, BenchKernel, Trace};
+use opad_telemetry::{parse_trace, BenchKernel, BenchProvenance, Trace};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -40,6 +43,13 @@ usage:
                                             regression gate (non-zero exit on regression)
   obsctl bench [--iters N] [--warmup N] [--filter SUBSTR] [--out DIR]
                                             run kernel micro-benchmarks, write BENCH_<seq>.json
+  obsctl perf history [bench_dir]           per-kernel trend across all BENCH snapshots
+  obsctl perf gate [bench_dir | <base.json> <cand.json>] [--rel 0.25] [--abs-ns 10000]
+                                            variance-aware bench regression gate
+                                            (non-zero exit on regression; skips with
+                                            notice when fewer than two snapshots exist)
+  obsctl perf report [bench_dir] [--json|--md]
+                                            trajectory report for CI / PR comments
   obsctl list [results_dir]                 discover every run envelope
   obsctl selfcheck [results_dir] [bench_dir]
                                             validate all artefacts against their schema versions
@@ -54,6 +64,7 @@ pub fn run(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
         "flame" => cmd_flame(rest, out),
         "diff" => cmd_diff(rest, out),
         "bench" => cmd_bench(rest, env, out),
+        "perf" => cmd_perf(rest, out),
         "list" => cmd_list(rest, out),
         "selfcheck" => cmd_selfcheck(rest, out),
         "help" | "--help" | "-h" => {
@@ -412,7 +423,11 @@ fn cmd_bench(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
         );
     }
     let seq = next_bench_seq(&out_dir);
-    match write_bench_report(&out_dir, seq, &(env.run_id)(), &cfg, &stats) {
+    let run_id = (env.run_id)();
+    // The run id is already the git-describe identifier of the working
+    // tree, so it doubles as the provenance commit.
+    let provenance = BenchProvenance::capture(&run_id);
+    match write_bench_report(&out_dir, seq, &run_id, &cfg, &provenance, &stats) {
         Ok(path) => {
             let _ = writeln!(out, "wrote {}", path.display());
             0
@@ -422,6 +437,201 @@ fn cmd_bench(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
             2
         }
     }
+}
+
+const PERF_USAGE: &str = "\
+usage:
+  obsctl perf history [bench_dir]
+  obsctl perf gate [bench_dir | <base.json> <cand.json>] [--rel 0.25] [--abs-ns 10000]
+  obsctl perf report [bench_dir] [--json|--md]";
+
+fn cmd_perf(args: &[String], out: &mut dyn Write) -> i32 {
+    let Some(sub) = args.first().map(String::as_str) else {
+        let _ = writeln!(out, "{PERF_USAGE}");
+        return 2;
+    };
+    let rest = &args[1..];
+    match sub {
+        "history" => cmd_perf_history(rest, out),
+        "gate" => cmd_perf_gate(rest, out),
+        "report" => cmd_perf_report(rest, out),
+        other => {
+            let _ = writeln!(out, "unknown perf command {other:?}\n{PERF_USAGE}");
+            2
+        }
+    }
+}
+
+fn warn_skipped(skipped: &[(String, String)], out: &mut dyn Write) {
+    for (file, why) in skipped {
+        let _ = writeln!(out, "warn: skipping {file}: {why}");
+    }
+}
+
+fn cmd_perf_history(args: &[String], out: &mut dyn Write) -> i32 {
+    let dir = PathBuf::from(args.first().map(String::as_str).unwrap_or("."));
+    let series = load_series(&dir);
+    warn_skipped(&series.skipped, out);
+    if series.snapshots.is_empty() {
+        let _ = writeln!(out, "no BENCH_<seq>.json snapshots under {}", dir.display());
+        return 0;
+    }
+    let _ = writeln!(out, "perf history: {} snapshot(s)", series.snapshots.len());
+    for s in &series.snapshots {
+        let prov = s
+            .provenance
+            .as_ref()
+            .map(|p| {
+                format!(
+                    "commit {}, {} core(s), OPAD_THREADS={}",
+                    p.git_commit,
+                    p.cores,
+                    p.opad_threads
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "unset".to_string())
+                )
+            })
+            .unwrap_or_else(|| "no provenance (v1 snapshot)".to_string());
+        let _ = writeln!(
+            out,
+            "  BENCH_{:04}  run {:<16} {} kernel(s)  [{prov}]",
+            s.seq,
+            s.run_id,
+            s.kernels.len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<32} {:>14} {:>14} {:>9} {:>7}",
+        "kernel", "base min_ns", "latest min_ns", "change", "points"
+    );
+    for t in history(&series) {
+        let (Some(first), Some(last)) = (t.points.first(), t.points.last()) else {
+            continue;
+        };
+        let change = if t.points.len() < 2 {
+            "-".to_string()
+        } else {
+            format!("{:+.1}%", t.rel_change() * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>14.0} {:>14.0} {:>9} {:>7}",
+            t.name,
+            first.min_ns,
+            last.min_ns,
+            change,
+            t.points.len()
+        );
+    }
+    0
+}
+
+fn cmd_perf_gate(args: &[String], out: &mut dyn Write) -> i32 {
+    let mut cfg = GateConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rel" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => cfg.rel_threshold = t,
+                _ => {
+                    let _ = writeln!(out, "error: --rel needs a positive number");
+                    return 2;
+                }
+            },
+            "--abs-ns" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => cfg.abs_floor_ns = t,
+                _ => {
+                    let _ = writeln!(out, "error: --abs-ns needs a non-negative number");
+                    return 2;
+                }
+            },
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => {
+                let _ = writeln!(out, "error: unknown perf gate flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    let (base, cand) = match paths.as_slice() {
+        // Two explicit snapshot files: gate exactly those.
+        [a, b] => {
+            let base = match read_bench_report(Path::new(a)) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = writeln!(out, "error: {a}: {e}");
+                    return 2;
+                }
+            };
+            let cand = match read_bench_report(Path::new(b)) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = writeln!(out, "error: {b}: {e}");
+                    return 2;
+                }
+            };
+            (base, cand)
+        }
+        // A directory (or nothing): baseline = lowest seq, candidate =
+        // highest. Fewer than two snapshots is not a failure — fresh
+        // clones have only the committed baseline.
+        [] | [_] => {
+            let dir = PathBuf::from(paths.first().map(String::as_str).unwrap_or("."));
+            let series = load_series(&dir);
+            warn_skipped(&series.skipped, out);
+            if series.snapshots.len() < 2 {
+                let _ = writeln!(
+                    out,
+                    "perf gate: skipped — need at least 2 snapshots under {}, found {}",
+                    dir.display(),
+                    series.snapshots.len()
+                );
+                return 0;
+            }
+            let base = series.snapshots.first().expect("len >= 2").clone();
+            let cand = series.snapshots.last().expect("len >= 2").clone();
+            (base, cand)
+        }
+        _ => {
+            let _ = writeln!(out, "{PERF_USAGE}");
+            return 2;
+        }
+    };
+    let report = gate(&base, &cand, &cfg);
+    let _ = writeln!(out, "{report}");
+    i32::from(report.any_regression())
+}
+
+fn cmd_perf_report(args: &[String], out: &mut dyn Write) -> i32 {
+    let mut json = false;
+    let mut dir = PathBuf::from(".");
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--md" => json = false,
+            other if !other.starts_with("--") => dir = PathBuf::from(other),
+            other => {
+                let _ = writeln!(out, "error: unknown perf report flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    let series = load_series(&dir);
+    if !json {
+        warn_skipped(&series.skipped, out);
+    }
+    if series.snapshots.is_empty() && !json {
+        let _ = writeln!(out, "no BENCH_<seq>.json snapshots under {}", dir.display());
+        return 0;
+    }
+    let rendered = if json {
+        report_json(&series)
+    } else {
+        report_md(&series)
+    };
+    let _ = writeln!(out, "{}", rendered.trim_end());
+    0
 }
 
 fn cmd_list(args: &[String], out: &mut dyn Write) -> i32 {

@@ -20,7 +20,14 @@
 //!   threshold — the CI trajectory gate;
 //! * `obsctl bench` — micro-benchmark harness over every crate's
 //!   [`opad_telemetry::Benchmarkable`] registry, writing a
-//!   schema-versioned `BENCH_<seq>.json` snapshot;
+//!   schema-versioned `BENCH_<seq>.json` snapshot with provenance (git
+//!   commit, core count, `OPAD_THREADS`);
+//! * `obsctl perf history` / `gate` / `report` — the perf-trajectory
+//!   subsystem over the whole `BENCH_<seq>.json` series: per-kernel
+//!   trends, a variance-aware regression gate (robust min-of-N compared
+//!   under a relative threshold plus an absolute-ns floor, sample-size
+//!   scaled; non-zero exit on regression), and JSON/markdown trajectory
+//!   reports for CI;
 //! * `obsctl list` / `obsctl selfcheck` — uniform discovery of every run
 //!   envelope and schema validation of every artefact in `results/`.
 //!
@@ -38,11 +45,12 @@ mod diff;
 mod envelope;
 mod flame;
 mod metrics;
+mod perf;
 mod selfcheck;
 mod tree;
 
 pub use bench::{next_bench_seq, run_benchmarks, write_bench_report, BenchConfig, KernelStats};
-pub use bench::{read_bench_report, BENCH_SCHEMA_VERSION};
+pub use bench::{read_bench_report, BenchReport, BENCH_SCHEMA_VERSION};
 pub use cli::{run, CliEnv};
 pub use diff::{diff_runs, DiffConfig, DiffReport, MetricDelta};
 pub use envelope::{
@@ -50,5 +58,9 @@ pub use envelope::{
 };
 pub use flame::{collapsed_stacks, FlameMode, StackLine};
 pub use metrics::{metrics_from_run, RunMetrics};
+pub use perf::{
+    gate, history, load_series, report_json, report_md, BenchSeries, GateConfig, GateReport,
+    GateRow, GateVerdict, KernelTrend, TrendPoint,
+};
 pub use selfcheck::{selfcheck_dir, CheckOutcome};
 pub use tree::{aggregate_spans, critical_path, SpanTree};

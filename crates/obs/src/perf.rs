@@ -1,0 +1,631 @@
+//! The perf-trajectory subsystem behind `obsctl perf`.
+//!
+//! Loads the whole `BENCH_<seq>.json` series into per-kernel time series
+//! and answers the three questions a perf PR needs answered:
+//!
+//! * `history` — how has each kernel trended across snapshots?
+//! * `gate` — is the candidate snapshot a regression against the
+//!   baseline, judged by a **variance-aware rule**: the robust min-of-N
+//!   statistic compared under a relative threshold *and* an absolute
+//!   nanosecond floor, with the relative threshold loosened when either
+//!   side has few samples. Min-of-N because the minimum of repeated
+//!   timings estimates the true cost with noise that only *adds* time
+//!   (scheduler preemption, cache pollution) — the mean drags all of
+//!   that noise into the comparison. The absolute floor keeps
+//!   sub-microsecond kernels from flapping: a 30% swing on a 300 ns
+//!   kernel is timer jitter, not a regression.
+//! * `report` — the same trajectory as machine-readable JSON or a
+//!   PR-comment-friendly markdown table.
+
+use crate::bench::json_str;
+use crate::bench::{read_bench_report, BenchReport, KernelStats};
+use opad_telemetry::bench_files;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The `BENCH_<seq>.json` series found in one directory.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSeries {
+    /// Parsed snapshots, ascending by sequence number.
+    pub snapshots: Vec<BenchReport>,
+    /// `(file, reason)` for snapshots that failed to parse — surfaced,
+    /// never silently dropped.
+    pub skipped: Vec<(String, String)>,
+}
+
+impl BenchSeries {
+    /// The lowest-sequence snapshot — the committed baseline by
+    /// convention.
+    pub fn baseline(&self) -> Option<&BenchReport> {
+        self.snapshots.first()
+    }
+
+    /// The highest-sequence snapshot — the candidate under test.
+    pub fn latest(&self) -> Option<&BenchReport> {
+        self.snapshots.last()
+    }
+}
+
+/// Loads every `BENCH_<seq>.json` under `dir` (padded and unpadded
+/// names), sorted by sequence. Unreadable snapshots land in `skipped`.
+pub fn load_series(dir: &Path) -> BenchSeries {
+    let mut series = BenchSeries::default();
+    for (_, path) in bench_files(dir) {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        match read_bench_report(&path) {
+            Ok(report) => series.snapshots.push(report),
+            Err(e) => series.skipped.push((name, e)),
+        }
+    }
+    series
+}
+
+/// One kernel's timing at one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPoint {
+    /// Snapshot sequence number.
+    pub seq: u32,
+    /// Fastest iteration (the gate statistic).
+    pub min_ns: f64,
+    /// Median iteration.
+    pub p50_ns: f64,
+    /// Raw samples behind the quantiles.
+    pub samples: u32,
+}
+
+/// One kernel's trajectory across the series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTrend {
+    /// Kernel name (`<crate>/<kernel>`).
+    pub name: String,
+    /// Per-snapshot points, ascending by sequence. Snapshots that did
+    /// not record the kernel simply contribute no point.
+    pub points: Vec<TrendPoint>,
+}
+
+impl KernelTrend {
+    /// Relative change of `min_ns` between the first and last point
+    /// (positive = slower), or `NaN` with fewer than two points.
+    pub fn rel_change(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) if self.points.len() >= 2 && a.min_ns > 0.0 => {
+                (b.min_ns - a.min_ns) / a.min_ns
+            }
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// Pivots the series into per-kernel time series, kernel-name sorted.
+pub fn history(series: &BenchSeries) -> Vec<KernelTrend> {
+    let mut trends: Vec<KernelTrend> = Vec::new();
+    for snap in &series.snapshots {
+        for k in &snap.kernels {
+            let point = TrendPoint {
+                seq: snap.seq,
+                min_ns: k.min_ns,
+                p50_ns: k.p50_ns,
+                samples: k.samples,
+            };
+            match trends.iter_mut().find(|t| t.name == k.name) {
+                Some(t) => t.points.push(point),
+                None => trends.push(KernelTrend {
+                    name: k.name.clone(),
+                    points: vec![point],
+                }),
+            }
+        }
+    }
+    trends.sort_by(|a, b| a.name.cmp(&b.name));
+    trends
+}
+
+/// Thresholds for the variance-aware regression rule.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated relative slowdown of `min_ns` at the reference
+    /// sample size (`0.25` = 25%).
+    pub rel_threshold: f64,
+    /// A change must also exceed this many nanoseconds in absolute terms
+    /// — sub-microsecond kernels see relative swings that are pure timer
+    /// jitter.
+    pub abs_floor_ns: f64,
+    /// Sample count at which `rel_threshold` applies unscaled; fewer
+    /// samples loosen the threshold by `sqrt(ref_samples / samples)`
+    /// (the min-of-N estimator tightens roughly with sample count, so a
+    /// 5-sample snapshot must clear a wider bar than a 100-sample one).
+    pub ref_samples: u32,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            rel_threshold: 0.25,
+            abs_floor_ns: 10_000.0,
+            ref_samples: 30,
+        }
+    }
+}
+
+impl GateConfig {
+    /// The relative threshold after sample-size scaling: the smaller of
+    /// the two sides' sample counts sets the noise level.
+    pub fn effective_rel(&self, samples_a: u32, samples_b: u32) -> f64 {
+        let n = samples_a.min(samples_b).max(1) as f64;
+        let scale = (f64::from(self.ref_samples.max(1)) / n).sqrt().max(1.0);
+        self.rel_threshold * scale
+    }
+}
+
+/// How one kernel fared under the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Within thresholds.
+    Ok,
+    /// Faster by more than the thresholds.
+    Improved,
+    /// Slower by more than the thresholds — fails the gate.
+    Regressed,
+    /// In the baseline but absent from the candidate (renamed kernel or
+    /// a filtered run) — reported, never a failure.
+    Missing,
+    /// In the candidate but absent from the baseline — the trajectory
+    /// picks it up from here.
+    New,
+}
+
+/// One gated kernel.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline `min_ns` (`NaN` for new kernels).
+    pub base_min_ns: f64,
+    /// Candidate `min_ns` (`NaN` for missing kernels).
+    pub cand_min_ns: f64,
+    /// Relative change of `min_ns` (positive = slower), `NaN` when a
+    /// side is absent.
+    pub rel_change: f64,
+    /// The sample-size-scaled relative threshold this row was judged
+    /// against.
+    pub eff_threshold: f64,
+    /// The verdict.
+    pub verdict: GateVerdict,
+}
+
+/// A full gate comparison between a baseline and a candidate snapshot.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Baseline sequence number.
+    pub base_seq: u32,
+    /// Candidate sequence number.
+    pub cand_seq: u32,
+    /// Baseline run id.
+    pub base_run: String,
+    /// Candidate run id.
+    pub cand_run: String,
+    /// Configuration the verdicts used.
+    pub config: GateConfig,
+    /// Every kernel seen on either side, baseline order then new ones.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// True when any kernel regressed — the condition under which
+    /// `obsctl perf gate` exits non-zero.
+    pub fn any_regression(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.verdict == GateVerdict::Regressed)
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "perf gate: BENCH_{:04} (baseline, {}) vs BENCH_{:04} (candidate, {})",
+            self.base_seq, self.base_run, self.cand_seq, self.cand_run
+        )?;
+        writeln!(
+            f,
+            "  rule: min-of-N, rel > {:.0}% (sample-scaled) AND abs > {} ns",
+            self.config.rel_threshold * 100.0,
+            self.config.abs_floor_ns
+        )?;
+        writeln!(
+            f,
+            "  {:<32} {:>14} {:>14} {:>9}  verdict",
+            "kernel", "base min_ns", "cand min_ns", "change"
+        )?;
+        for r in &self.rows {
+            let verdict = match r.verdict {
+                GateVerdict::Ok => "ok",
+                GateVerdict::Improved => "improved",
+                GateVerdict::Regressed => "REGRESSED",
+                GateVerdict::Missing => "missing",
+                GateVerdict::New => "new",
+            };
+            let change = if r.rel_change.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:+.1}%", r.rel_change * 100.0)
+            };
+            writeln!(
+                f,
+                "  {:<32} {:>14} {:>14} {:>9}  {verdict}",
+                r.name,
+                fmt_ns(r.base_min_ns),
+                fmt_ns(r.cand_min_ns),
+                change
+            )?;
+        }
+        let verdict = if self.any_regression() {
+            "REGRESSION"
+        } else {
+            "clean"
+        };
+        write!(f, "  overall: {verdict}")
+    }
+}
+
+fn fmt_ns(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Applies the variance-aware rule to every kernel of the two snapshots.
+pub fn gate(base: &BenchReport, cand: &BenchReport, cfg: &GateConfig) -> GateReport {
+    let find = |side: &[KernelStats], name: &str| -> Option<KernelStats> {
+        side.iter().find(|k| k.name == name).cloned()
+    };
+    let mut rows = Vec::with_capacity(base.kernels.len());
+    for bk in &base.kernels {
+        match find(&cand.kernels, &bk.name) {
+            Some(ck) => {
+                let eff = cfg.effective_rel(bk.samples, ck.samples);
+                let delta = ck.min_ns - bk.min_ns;
+                let rel = if bk.min_ns > 0.0 {
+                    delta / bk.min_ns
+                } else {
+                    f64::NAN
+                };
+                let verdict = if rel.is_finite() && rel > eff && delta > cfg.abs_floor_ns {
+                    GateVerdict::Regressed
+                } else if rel.is_finite() && rel < -eff && -delta > cfg.abs_floor_ns {
+                    GateVerdict::Improved
+                } else {
+                    GateVerdict::Ok
+                };
+                rows.push(GateRow {
+                    name: bk.name.clone(),
+                    base_min_ns: bk.min_ns,
+                    cand_min_ns: ck.min_ns,
+                    rel_change: rel,
+                    eff_threshold: eff,
+                    verdict,
+                });
+            }
+            None => rows.push(GateRow {
+                name: bk.name.clone(),
+                base_min_ns: bk.min_ns,
+                cand_min_ns: f64::NAN,
+                rel_change: f64::NAN,
+                eff_threshold: cfg.rel_threshold,
+                verdict: GateVerdict::Missing,
+            }),
+        }
+    }
+    for ck in &cand.kernels {
+        if find(&base.kernels, &ck.name).is_none() {
+            rows.push(GateRow {
+                name: ck.name.clone(),
+                base_min_ns: f64::NAN,
+                cand_min_ns: ck.min_ns,
+                rel_change: f64::NAN,
+                eff_threshold: cfg.rel_threshold,
+                verdict: GateVerdict::New,
+            });
+        }
+    }
+    GateReport {
+        base_seq: base.seq,
+        cand_seq: cand.seq,
+        base_run: base.run_id.clone(),
+        cand_run: cand.run_id.clone(),
+        config: *cfg,
+        rows,
+    }
+}
+
+/// The trajectory report as JSON: baseline/latest per kernel plus the
+/// full per-snapshot series.
+pub fn report_json(series: &BenchSeries) -> String {
+    let trends = history(series);
+    let mut kernels = Vec::with_capacity(trends.len());
+    for t in &trends {
+        let points: Vec<String> = t
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"seq\":{},\"min_ns\":{},\"p50_ns\":{},\"samples\":{}}}",
+                    p.seq,
+                    json_num(p.min_ns),
+                    json_num(p.p50_ns),
+                    p.samples
+                )
+            })
+            .collect();
+        kernels.push(format!(
+            "{{\"name\":{},\"rel_change\":{},\"points\":[{}]}}",
+            json_str(&t.name),
+            json_num(t.rel_change()),
+            points.join(",")
+        ));
+    }
+    format!(
+        "{{\"baseline_seq\":{},\"latest_seq\":{},\"snapshots\":{},\"kernels\":[{}]}}",
+        series.baseline().map(|s| s.seq).unwrap_or(0),
+        series.latest().map(|s| s.seq).unwrap_or(0),
+        series.snapshots.len(),
+        kernels.join(",")
+    )
+}
+
+/// The trajectory report as a markdown table — ready to paste into a PR
+/// comment.
+pub fn report_md(series: &BenchSeries) -> String {
+    let trends = history(series);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Perf trajectory ({} snapshot{})",
+        series.snapshots.len(),
+        if series.snapshots.len() == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| kernel | baseline min (ns) | latest min (ns) | change | latest p50 (ns) | samples |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+    for t in &trends {
+        let (Some(first), Some(last)) = (t.points.first(), t.points.last()) else {
+            continue;
+        };
+        let change = if t.points.len() < 2 {
+            "n/a".to_string()
+        } else {
+            format!("{:+.1}%", t.rel_change() * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "| `{}` | {:.0} | {:.0} | {} | {:.0} | {} |",
+            t.name, first.min_ns, last.min_ns, change, last.p50_ns, last.samples
+        );
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_telemetry::BenchProvenance;
+
+    fn kernel(name: &str, min_ns: f64, samples: u32) -> KernelStats {
+        KernelStats {
+            name: name.to_string(),
+            iters: samples,
+            samples,
+            mean_ns: min_ns * 1.2,
+            min_ns,
+            p50_ns: min_ns * 1.1,
+            p90_ns: min_ns * 1.3,
+            p99_ns: min_ns * 1.5,
+            max_ns: min_ns * 2.0,
+        }
+    }
+
+    fn snapshot(seq: u32, kernels: Vec<KernelStats>) -> BenchReport {
+        BenchReport {
+            schema_version: 2,
+            seq,
+            run_id: format!("run-{seq}"),
+            warmup_iters: 3,
+            iters: Some(30),
+            provenance: Some(BenchProvenance {
+                git_commit: format!("c{seq}"),
+                cores: 4,
+                opad_threads: None,
+            }),
+            kernels,
+        }
+    }
+
+    #[test]
+    fn a_large_slow_regression_trips_the_gate() {
+        let base = snapshot(1, vec![kernel("tensor/matmul_128", 1_000_000.0, 30)]);
+        let cand = snapshot(2, vec![kernel("tensor/matmul_128", 1_400_000.0, 30)]);
+        let report = gate(&base, &cand, &GateConfig::default());
+        assert!(report.any_regression());
+        assert_eq!(report.rows[0].verdict, GateVerdict::Regressed);
+        assert!((report.rows[0].rel_change - 0.4).abs() < 1e-9);
+        assert!(report.to_string().contains("REGRESSED"), "{report}");
+    }
+
+    #[test]
+    fn an_improvement_is_reported_but_never_fails() {
+        let base = snapshot(1, vec![kernel("tensor/matmul_128", 1_000_000.0, 30)]);
+        let cand = snapshot(2, vec![kernel("tensor/matmul_128", 500_000.0, 30)]);
+        let report = gate(&base, &cand, &GateConfig::default());
+        assert!(!report.any_regression());
+        assert_eq!(report.rows[0].verdict, GateVerdict::Improved);
+    }
+
+    #[test]
+    fn the_absolute_floor_keeps_fast_kernels_from_flapping() {
+        // +50% relative, but only 150 ns absolute — timer jitter, not a
+        // regression under the 10 µs default floor.
+        let base = snapshot(1, vec![kernel("par/stream_seed_4k", 300.0, 30)]);
+        let cand = snapshot(2, vec![kernel("par/stream_seed_4k", 450.0, 30)]);
+        let report = gate(&base, &cand, &GateConfig::default());
+        assert!(!report.any_regression());
+        assert_eq!(report.rows[0].verdict, GateVerdict::Ok);
+        // Dropping the floor to zero exposes the relative rule.
+        let strict = GateConfig {
+            abs_floor_ns: 0.0,
+            ..GateConfig::default()
+        };
+        assert!(gate(&base, &cand, &strict).any_regression());
+    }
+
+    #[test]
+    fn few_samples_loosen_the_relative_threshold() {
+        let cfg = GateConfig::default();
+        // At the reference sample size the threshold is unscaled...
+        assert!((cfg.effective_rel(30, 30) - 0.25).abs() < 1e-12);
+        // ...more samples never tighten below the configured bar...
+        assert!((cfg.effective_rel(300, 300) - 0.25).abs() < 1e-12);
+        // ...and 5-vs-30 samples widen it by sqrt(30/5).
+        let loose = cfg.effective_rel(5, 30);
+        assert!((loose - 0.25 * (30.0f64 / 5.0).sqrt()).abs() < 1e-12);
+        // A +40% slowdown measured with 5 samples passes; with 30 it fails.
+        let base = snapshot(1, vec![kernel("nn/conv2d_8", 1_000_000.0, 5)]);
+        let cand = snapshot(2, vec![kernel("nn/conv2d_8", 1_400_000.0, 5)]);
+        assert!(!gate(&base, &cand, &cfg).any_regression());
+        let base = snapshot(1, vec![kernel("nn/conv2d_8", 1_000_000.0, 30)]);
+        let cand = snapshot(2, vec![kernel("nn/conv2d_8", 1_400_000.0, 30)]);
+        assert!(gate(&base, &cand, &cfg).any_regression());
+    }
+
+    #[test]
+    fn missing_and_new_kernels_are_reported_but_do_not_fail() {
+        let base = snapshot(
+            1,
+            vec![
+                kernel("tensor/matmul_128", 1_000_000.0, 30),
+                kernel("tensor/gone", 2_000_000.0, 30),
+            ],
+        );
+        let cand = snapshot(
+            2,
+            vec![
+                kernel("tensor/matmul_128", 1_000_000.0, 30),
+                kernel("tensor/fresh", 3_000_000.0, 30),
+            ],
+        );
+        let report = gate(&base, &cand, &GateConfig::default());
+        assert!(!report.any_regression());
+        let verdict_of = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.verdict)
+        };
+        assert_eq!(verdict_of("tensor/gone"), Some(GateVerdict::Missing));
+        assert_eq!(verdict_of("tensor/fresh"), Some(GateVerdict::New));
+        let text = report.to_string();
+        assert!(text.contains("missing"), "{text}");
+        assert!(text.contains("new"), "{text}");
+        assert!(text.contains("overall: clean"), "{text}");
+    }
+
+    #[test]
+    fn history_pivots_the_series_per_kernel() {
+        let series = BenchSeries {
+            snapshots: vec![
+                snapshot(
+                    1,
+                    vec![kernel("a/x", 100_000.0, 30), kernel("a/y", 50_000.0, 30)],
+                ),
+                snapshot(2, vec![kernel("a/x", 90_000.0, 30)]),
+                snapshot(
+                    3,
+                    vec![kernel("a/x", 80_000.0, 30), kernel("a/y", 55_000.0, 30)],
+                ),
+            ],
+            skipped: Vec::new(),
+        };
+        let trends = history(&series);
+        assert_eq!(trends.len(), 2);
+        let x = &trends[0];
+        assert_eq!(x.name, "a/x");
+        assert_eq!(
+            x.points.iter().map(|p| p.seq).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        assert!((x.rel_change() - (-0.2)).abs() < 1e-12);
+        let y = &trends[1];
+        assert_eq!(y.points.len(), 2, "gap snapshots contribute no point");
+    }
+
+    #[test]
+    fn reports_render_json_and_markdown() {
+        let series = BenchSeries {
+            snapshots: vec![
+                snapshot(1, vec![kernel("a/x", 100_000.0, 30)]),
+                snapshot(4, vec![kernel("a/x", 150_000.0, 30)]),
+            ],
+            skipped: Vec::new(),
+        };
+        let json = report_json(&series);
+        let doc = opad_telemetry::parse_json(&json).expect("report_json emits valid JSON");
+        assert_eq!(doc.get("baseline_seq").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("latest_seq").and_then(|v| v.as_u64()), Some(4));
+        let kernels = doc
+            .get("kernels")
+            .and_then(|v| v.as_arr())
+            .expect("kernels array");
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].get("name").and_then(|v| v.as_str()), Some("a/x"));
+        let md = report_md(&series);
+        assert!(md.contains("| `a/x` |"), "{md}");
+        assert!(md.contains("+50.0%"), "{md}");
+    }
+
+    #[test]
+    fn load_series_sorts_and_surfaces_unreadable_snapshots() {
+        let dir = std::env::temp_dir().join("opad_obs_perf_series_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        std::fs::write(
+            dir.join("BENCH_2.json"),
+            "{\"schema_version\": 1, \"seq\": 2, \"run_id\": \"b\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+        std::fs::write(
+            dir.join("BENCH_0001.json"),
+            "{\"schema_version\": 2, \"seq\": 1, \"run_id\": \"a\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+        std::fs::write(dir.join("BENCH_0003.json"), "not json").expect("fixture writes");
+        let series = load_series(&dir);
+        assert_eq!(
+            series.snapshots.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            [1, 2]
+        );
+        assert_eq!(series.baseline().map(|s| s.seq), Some(1));
+        assert_eq!(series.latest().map(|s| s.seq), Some(2));
+        assert_eq!(series.skipped.len(), 1);
+        assert_eq!(series.skipped[0].0, "BENCH_0003.json");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -216,7 +216,8 @@ fn bench_writes_a_sequenced_snapshot_and_selfcheck_validates_everything() {
     ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("fixture/spin"), "{out}");
-    assert!(dir.join("BENCH_0.json").exists());
+    // The series is 1-based and zero-padded on write.
+    assert!(dir.join("BENCH_0001.json").exists());
 
     // Second run advances the sequence.
     let (code, _) = run_cli(&[
@@ -227,7 +228,7 @@ fn bench_writes_a_sequenced_snapshot_and_selfcheck_validates_everything() {
         dir.to_str().expect("utf8"),
     ]);
     assert_eq!(code, 0);
-    assert!(dir.join("BENCH_1.json").exists());
+    assert!(dir.join("BENCH_0002.json").exists());
 
     // Filtering trims the kernel set.
     let (code, out) = run_cli(&[
@@ -458,6 +459,139 @@ fn flame_accepts_a_raw_trace_path_and_rejects_missing_files() {
     let (code, out) = run_cli(&["flame", dir.join("nope.jsonl").to_str().expect("utf8")]);
     assert_eq!(code, 2, "{out}");
     assert!(out.contains("error"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Writes a synthetic schema-v2 bench snapshot with controlled per-kernel
+/// `min_ns` values, so the gate tests can inject exact regressions.
+fn write_bench_snapshot(dir: &Path, file: &str, seq: u32, kernels: &[(&str, f64)]) {
+    let rows: Vec<String> = kernels
+        .iter()
+        .map(|(name, min_ns)| {
+            format!(
+                r#"{{"name": "{name}", "iters": 30, "samples": 30, "mean_ns": {m}, "min_ns": {min_ns}, "p50_ns": {m}, "p90_ns": {p90}, "p99_ns": {p99}, "max_ns": {p99}}}"#,
+                m = min_ns * 1.1,
+                p90 = min_ns * 1.3,
+                p99 = min_ns * 1.5,
+            )
+        })
+        .collect();
+    let doc = format!(
+        r#"{{"schema_version": 2, "seq": {seq}, "run_id": "run-{seq}", "warmup_iters": 3, "iters": 30,
+  "provenance": {{"git_commit": "fix{seq}", "cores": 8, "opad_threads": null}},
+  "kernels": [{}]}}"#,
+        rows.join(", ")
+    );
+    std::fs::write(dir.join(file), doc).expect("bench fixture writes");
+}
+
+#[test]
+fn perf_gate_catches_a_synthetic_regression_and_passes_baseline_vs_self() {
+    let dir = fixture_dir("perf_gate");
+    // fixture/spin doubles from 1 ms to 2 ms — past the 25% relative
+    // threshold and the 10 µs absolute floor; fixture/noop is unchanged.
+    write_bench_snapshot(
+        &dir,
+        "BENCH_0001.json",
+        1,
+        &[("fixture/spin", 1.0e6), ("fixture/noop", 5.0e5)],
+    );
+    write_bench_snapshot(
+        &dir,
+        "BENCH_0002.json",
+        2,
+        &[("fixture/spin", 2.0e6), ("fixture/noop", 5.0e5)],
+    );
+    let (code, out) = run_cli(&["perf", "gate", dir.to_str().expect("utf8")]);
+    assert_eq!(code, 1, "a 2x slowdown must trip the gate:\n{out}");
+    assert!(out.contains("REGRESSED"), "{out}");
+    assert!(out.contains("overall: REGRESSION"), "{out}");
+
+    // The baseline against itself is clean.
+    let base = dir.join("BENCH_0001.json");
+    let (code, out) = run_cli(&[
+        "perf",
+        "gate",
+        base.to_str().expect("utf8"),
+        base.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("overall: clean"), "{out}");
+
+    // A loosened relative threshold lets the slow candidate through.
+    let (code, out) = run_cli(&["perf", "gate", dir.to_str().expect("utf8"), "--rel", "1.5"]);
+    assert_eq!(code, 0, "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn perf_gate_skips_with_a_notice_when_only_the_baseline_exists() {
+    let dir = fixture_dir("perf_gate_single");
+    write_bench_snapshot(&dir, "BENCH_0001.json", 1, &[("fixture/spin", 1.0e6)]);
+    let (code, out) = run_cli(&["perf", "gate", dir.to_str().expect("utf8")]);
+    assert_eq!(code, 0, "a lone baseline must not fail CI:\n{out}");
+    assert!(out.contains("skipped"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn perf_gate_reports_missing_and_new_kernels_without_failing() {
+    let dir = fixture_dir("perf_gate_missing");
+    write_bench_snapshot(
+        &dir,
+        "BENCH_0001.json",
+        1,
+        &[("fixture/spin", 1.0e6), ("fixture/gone", 2.0e6)],
+    );
+    write_bench_snapshot(
+        &dir,
+        "BENCH_0002.json",
+        2,
+        &[("fixture/spin", 1.0e6), ("fixture/fresh", 3.0e6)],
+    );
+    let (code, out) = run_cli(&["perf", "gate", dir.to_str().expect("utf8")]);
+    assert_eq!(code, 0, "kernel-set churn alone must not regress:\n{out}");
+    assert!(out.contains("missing"), "{out}");
+    assert!(out.contains("new"), "{out}");
+    assert!(out.contains("overall: clean"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn perf_history_and_reports_render_the_series() {
+    let dir = fixture_dir("perf_history");
+    // Mixed filename forms: an unpadded v1-era name plus a padded one.
+    write_bench_snapshot(&dir, "BENCH_1.json", 1, &[("fixture/spin", 1.0e6)]);
+    write_bench_snapshot(
+        &dir,
+        "BENCH_0002.json",
+        2,
+        &[("fixture/spin", 1.2e6), ("fixture/fresh", 3.0e6)],
+    );
+    let (code, out) = run_cli(&["perf", "history", dir.to_str().expect("utf8")]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("2 snapshot(s)"), "{out}");
+    assert!(out.contains("fixture/spin"), "{out}");
+    assert!(out.contains("commit fix2"), "{out}");
+
+    let (code, out) = run_cli(&["perf", "report", dir.to_str().expect("utf8"), "--md"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("| kernel |"), "{out}");
+    assert!(out.contains("fixture/spin"), "{out}");
+
+    let (code, out) = run_cli(&["perf", "report", dir.to_str().expect("utf8"), "--json"]);
+    assert_eq!(code, 0, "{out}");
+    let doc = opad_telemetry::parse_json(out.trim()).expect("perf report --json is valid JSON");
+    let kernels = doc
+        .get("kernels")
+        .and_then(|v| v.as_arr())
+        .expect("kernels array");
+    assert!(
+        kernels
+            .iter()
+            .any(|k| k.get("name").and_then(|v| v.as_str()) == Some("fixture/spin")),
+        "{out}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

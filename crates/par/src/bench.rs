@@ -1,0 +1,89 @@
+//! Micro-benchmark registry for the worker pool (`obsctl bench`).
+//!
+//! These kernels measure the pool's own overheads — dispatch, slot
+//! collection, ordered reduction, RNG stream splitting — the fixed costs
+//! every parallelised kernel in the workspace pays on top of its real
+//! work. Std-only, so a baseline is recordable even where the
+//! rand/serde-dependent kernel crates cannot compile.
+
+use crate::{override_threads, par_map, par_reduce, splitmix64, stream_seed};
+use opad_telemetry::{BenchKernel, Benchmarkable};
+use std::hint::black_box;
+
+/// The crate's [`Benchmarkable`] registry: pool dispatch at 1 and 4
+/// threads over identical work, plus the RNG-splitting helpers.
+pub struct ParBenches;
+
+impl Benchmarkable for ParBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        let items: Vec<u64> = (0..4096).collect();
+        // Serial-vs-parallel pair over the same mixing workload, thread
+        // count pinned from inside the kernel (the override serialises
+        // concurrent holders, so snapshots stay deterministic).
+        let map_at = |name: &'static str, threads: usize| {
+            let items = items.clone();
+            BenchKernel::new(name, move || {
+                let _pin = override_threads(threads);
+                black_box(par_map(&items, |_, &x| {
+                    let mut h = x;
+                    for _ in 0..16 {
+                        h = splitmix64(h);
+                    }
+                    h
+                }));
+            })
+        };
+        vec![
+            map_at("par/par_map_4k_t1", 1),
+            map_at("par/par_map_4k_t4", 4),
+            BenchKernel::new("par/par_reduce_64x1k", || {
+                let _pin = override_threads(4);
+                let total = par_reduce(
+                    64,
+                    |task| {
+                        let mut acc = 0u64;
+                        for i in 0..1000u64 {
+                            acc = acc.wrapping_add(splitmix64(task as u64 ^ i));
+                        }
+                        acc
+                    },
+                    0u64,
+                    |acc, p| acc.wrapping_add(p),
+                );
+                black_box(total);
+            }),
+            BenchKernel::new("par/stream_seed_4k", || {
+                let mut acc = 0u64;
+                for i in 0..4096 {
+                    acc ^= stream_seed(0x9e37_79b9_7f4a_7c15, i);
+                }
+                black_box(acc);
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = ParBenches::bench_kernels();
+        assert!(kernels.len() >= 4);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("par/"), "{}", k.name);
+            (k.run)();
+        }
+    }
+
+    #[test]
+    fn the_t1_t4_pair_computes_identical_results() {
+        let items: Vec<u64> = (0..512).collect();
+        let run = |threads| {
+            let _pin = override_threads(threads);
+            par_map(&items, |_, &x| splitmix64(x))
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

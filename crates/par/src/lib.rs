@@ -49,6 +49,10 @@
 
 #![warn(missing_docs)]
 
+mod bench;
+
+pub use bench::ParBenches;
+
 use opad_telemetry as telemetry;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,131 @@
+//! The newest `BENCH_<seq>.json` snapshot, loaded for `/metrics`.
+//!
+//! `opad-serve` exposes the latest benchmark snapshot's per-kernel
+//! `p50_ns` / `min_ns` as labeled gauges so dashboards can plot the perf
+//! trajectory next to the live pipeline metrics. The loader is
+//! deliberately forgiving: a missing directory, an unparsable snapshot
+//! or a schema from the future simply means no bench gauges — a broken
+//! benchmark file must never take down the scrape endpoint.
+
+use opad_telemetry::{bench_files, parse_json, JsonValue, BENCH_SCHEMA_VERSION};
+use std::path::Path;
+
+/// One kernel's exported timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchKernelGauge {
+    /// Kernel name (`<crate>/<kernel>`), exported as the `kernel` label.
+    pub name: String,
+    /// Median iteration time in nanoseconds.
+    pub p50_ns: f64,
+    /// Fastest iteration in nanoseconds (the gate statistic).
+    pub min_ns: f64,
+}
+
+/// The slice of a bench snapshot `/metrics` exposes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchGauges {
+    /// Snapshot sequence number.
+    pub seq: u32,
+    /// Run id of the recording working tree.
+    pub run_id: String,
+    /// Per-kernel timings, in snapshot order.
+    pub kernels: Vec<BenchKernelGauge>,
+}
+
+/// Loads the highest-sequence `BENCH_<seq>.json` under `dir` (padded and
+/// unpadded names). `None` when no snapshot exists or the newest one is
+/// unreadable, unparsable, or declares a newer schema than supported.
+pub fn load_latest_bench(dir: &Path) -> Option<BenchGauges> {
+    let (seq, path) = bench_files(dir).into_iter().next_back()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = parse_json(&text).ok()?;
+    let version = doc.get("schema_version").and_then(JsonValue::as_u64)?;
+    if version > u64::from(BENCH_SCHEMA_VERSION) {
+        return None;
+    }
+    let run_id = doc.get("run_id").and_then(JsonValue::as_str)?.to_string();
+    let kernels = doc
+        .get("kernels")
+        .and_then(JsonValue::as_arr)?
+        .iter()
+        .filter_map(|k| {
+            Some(BenchKernelGauge {
+                name: k.get("name")?.as_str()?.to_string(),
+                p50_ns: k.get("p50_ns").and_then(JsonValue::as_f64)?,
+                min_ns: k.get("min_ns").and_then(JsonValue::as_f64)?,
+            })
+        })
+        .collect();
+    Some(BenchGauges {
+        seq,
+        run_id,
+        kernels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("opad_serve_bench_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        dir
+    }
+
+    #[test]
+    fn the_highest_sequence_snapshot_wins() {
+        let dir = fixture_dir("latest");
+        std::fs::write(
+            dir.join("BENCH_1.json"),
+            "{\"schema_version\": 1, \"run_id\": \"old\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+        std::fs::write(
+            dir.join("BENCH_0002.json"),
+            "{\"schema_version\": 2, \"run_id\": \"new\", \"kernels\": [\
+             {\"name\": \"par/par_map_4k_t1\", \"p50_ns\": 120000.5, \"min_ns\": 110000.0}]}",
+        )
+        .expect("fixture writes");
+        let g = load_latest_bench(&dir).expect("latest snapshot loads");
+        assert_eq!(g.seq, 2);
+        assert_eq!(g.run_id, "new");
+        assert_eq!(g.kernels.len(), 1);
+        assert_eq!(g.kernels[0].name, "par/par_map_4k_t1");
+        assert!((g.kernels[0].min_ns - 110000.0).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn broken_or_future_snapshots_yield_no_gauges() {
+        let dir = fixture_dir("broken");
+        assert_eq!(load_latest_bench(&dir), None);
+        std::fs::write(dir.join("BENCH_0001.json"), "not json").expect("fixture writes");
+        assert_eq!(load_latest_bench(&dir), None);
+        std::fs::write(
+            dir.join("BENCH_0002.json"),
+            "{\"schema_version\": 99, \"run_id\": \"future\", \"kernels\": []}",
+        )
+        .expect("fixture writes");
+        assert_eq!(load_latest_bench(&dir), None);
+        assert_eq!(load_latest_bench(Path::new("/nonexistent/nowhere")), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rows_missing_required_fields_are_skipped_not_fatal() {
+        let dir = fixture_dir("partial");
+        std::fs::write(
+            dir.join("BENCH_0001.json"),
+            "{\"schema_version\": 2, \"run_id\": \"r\", \"kernels\": [\
+             {\"name\": \"ok/kernel\", \"p50_ns\": 10.0, \"min_ns\": 9.0},\
+             {\"name\": \"broken/no_numbers\"}]}",
+        )
+        .expect("fixture writes");
+        let g = load_latest_bench(&dir).expect("snapshot loads");
+        assert_eq!(g.kernels.len(), 1);
+        assert_eq!(g.kernels[0].name, "ok/kernel");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,7 +11,10 @@
 //!   counters as `opad_*_total`, gauges as `opad_*`, histograms and
 //!   per-span wall-time rollups as `_bucket`/`_sum`/`_count` families,
 //!   with metric-name sanitization and label-value escaping per the
-//!   exposition spec;
+//!   exposition spec, plus the newest `BENCH_<seq>.json` snapshot's
+//!   per-kernel `p50_ns`/`min_ns` as `opad_bench_kernel_*` gauges
+//!   labeled by kernel (the perf trajectory, scrapeable next to the
+//!   live pipeline metrics);
 //! * `GET /healthz` — liveness JSON including the pipeline's current
 //!   round and phase (read off the `pipeline.round` / `pipeline.phase`
 //!   gauges published by `opad-core`);
@@ -46,12 +49,16 @@
 
 #![warn(missing_docs)]
 
+mod bench;
 mod http;
 mod prom;
 mod runs;
 mod server;
 
+pub use bench::{load_latest_bench, BenchGauges, BenchKernelGauge};
 pub use http::{read_request, write_response, Request};
-pub use prom::{escape_label_value, render_metrics, sanitize_metric_name, CONTENT_TYPE};
+pub use prom::{
+    escape_label_value, render_bench_metrics, render_metrics, sanitize_metric_name, CONTENT_TYPE,
+};
 pub use runs::runs_json;
 pub use server::{MetricsServer, ServerConfig, ServerHandle};

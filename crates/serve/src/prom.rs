@@ -19,6 +19,7 @@
 //!   `opad_span_wall_ms` with a `span` label per name, so dashboards
 //!   aggregate across spans without knowing the name set up front.
 
+use crate::bench::BenchGauges;
 use opad_telemetry::{FixedHistogram, LiveSnapshot};
 use std::fmt::Write;
 
@@ -139,6 +140,42 @@ pub fn render_metrics(snap: &LiveSnapshot) -> String {
             let labels = format!("span=\"{}\"", escape_label_value(name));
             render_histogram(&mut out, "opad_span_wall_ms", &labels, h);
         }
+    }
+    out
+}
+
+/// Renders the newest bench snapshot's per-kernel timings as labeled
+/// gauges, appended to the `/metrics` document after the live families.
+///
+/// Per-kernel `p50_ns`/`min_ns` share two families with a `kernel` label
+/// each (the same pattern as the span rollups), plus an unlabeled
+/// `opad_bench_snapshot_seq` so dashboards can tell which snapshot the
+/// numbers came from. Kernel order follows the snapshot, so consecutive
+/// scrapes are byte-identical.
+pub fn render_bench_metrics(g: &BenchGauges) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "# TYPE opad_bench_snapshot_seq gauge");
+    let _ = writeln!(out, "opad_bench_snapshot_seq {}", g.seq);
+    if g.kernels.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "# TYPE opad_bench_kernel_p50_ns gauge");
+    for k in &g.kernels {
+        let _ = writeln!(
+            out,
+            "opad_bench_kernel_p50_ns{{kernel=\"{}\"}} {}",
+            escape_label_value(&k.name),
+            fmt_value(k.p50_ns)
+        );
+    }
+    let _ = writeln!(out, "# TYPE opad_bench_kernel_min_ns gauge");
+    for k in &g.kernels {
+        let _ = writeln!(
+            out,
+            "opad_bench_kernel_min_ns{{kernel=\"{}\"}} {}",
+            escape_label_value(&k.name),
+            fmt_value(k.min_ns)
+        );
     }
     out
 }

@@ -1,7 +1,8 @@
 //! The accept loop: bind, serve, shut down gracefully.
 
+use crate::bench::load_latest_bench;
 use crate::http::{read_request, write_response, Request};
-use crate::prom::{render_metrics, CONTENT_TYPE};
+use crate::prom::{render_bench_metrics, render_metrics, CONTENT_TYPE};
 use crate::runs::runs_json;
 use opad_telemetry::{phase, LiveRecorder};
 use std::io;
@@ -28,6 +29,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Directory `/runs` scans for run envelopes.
     pub results_dir: PathBuf,
+    /// Directory `/metrics` scans for the newest `BENCH_<seq>.json`
+    /// snapshot, whose per-kernel timings are appended as gauges.
+    pub bench_dir: PathBuf,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +39,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:9184".to_string(),
             results_dir: PathBuf::from("results"),
+            bench_dir: PathBuf::from("."),
         }
     }
 }
@@ -176,7 +181,10 @@ fn respond(
     let path = request.target.split('?').next().unwrap_or("");
     match path {
         "/metrics" => {
-            let body = render_metrics(&recorder.snapshot());
+            let mut body = render_metrics(&recorder.snapshot());
+            if let Some(gauges) = load_latest_bench(&config.bench_dir) {
+                body.push_str(&render_bench_metrics(&gauges));
+            }
             write_response(stream, 200, "OK", CONTENT_TYPE, &body)
         }
         "/healthz" => {

@@ -45,6 +45,13 @@ fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
            "telemetry":{"wall_ms":77.0}}"#,
     )
     .expect("fixture writes");
+    let bench = fixture_dir("endpoints_bench");
+    std::fs::write(
+        bench.join("BENCH_0003.json"),
+        r#"{"schema_version":2,"seq":3,"run_id":"live-1","kernels":[
+           {"name":"par/par_map_4k_t1","p50_ns":1500.5,"min_ns":1400.0}]}"#,
+    )
+    .expect("fixture writes");
 
     let recorder = Arc::new(LiveRecorder::new());
     recorder.counter_add("pipeline.seeds_attacked", 30);
@@ -60,6 +67,7 @@ fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             results_dir: results.clone(),
+            bench_dir: bench.clone(),
         },
     )
     .spawn()
@@ -80,6 +88,11 @@ fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
     );
     assert!(
         body.contains("opad_attack_iters_bucket{le=\"+Inf\"} 1"),
+        "{body}"
+    );
+    assert!(body.contains("opad_bench_snapshot_seq 3"), "{body}");
+    assert!(
+        body.contains("opad_bench_kernel_min_ns{kernel=\"par/par_map_4k_t1\"} 1400"),
         "{body}"
     );
 
@@ -111,6 +124,7 @@ fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
         "listener must be closed after shutdown"
     );
     let _ = std::fs::remove_dir_all(&results);
+    let _ = std::fs::remove_dir_all(&bench);
 }
 
 #[test]
@@ -121,6 +135,7 @@ fn malformed_requests_get_400_and_do_not_wedge_the_loop() {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             results_dir: fixture_dir("bad_requests"),
+            bench_dir: fixture_dir("bad_requests_bench"),
         },
     )
     .spawn()

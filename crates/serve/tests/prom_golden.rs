@@ -2,7 +2,7 @@
 //! structural parse of everything it emits — the acceptance gate that
 //! `/metrics` output is actually scrapeable.
 
-use opad_serve::render_metrics;
+use opad_serve::{render_bench_metrics, render_metrics, BenchGauges, BenchKernelGauge};
 use opad_telemetry::{FixedHistogram, LiveRecorder, LiveSnapshot, Recorder};
 use std::sync::Arc;
 
@@ -140,6 +140,56 @@ fn a_live_recorder_driven_snapshot_parses_too() {
         "{text}"
     );
     assert_parses(&text);
+}
+
+/// A deterministic bench snapshot slice, with one kernel name chosen to
+/// exercise label escaping.
+fn fixture_bench_gauges() -> BenchGauges {
+    let kernel = |name: &str, p50_ns: f64, min_ns: f64| BenchKernelGauge {
+        name: name.to_string(),
+        p50_ns,
+        min_ns,
+    };
+    BenchGauges {
+        seq: 7,
+        run_id: "abc1234".to_string(),
+        kernels: vec![
+            kernel("par/par_map_4k_t1", 152000.5, 140250.0),
+            kernel("telemetry/counter_add_1k", 9800.0, 9500.25),
+            kernel("odd\"kernel", 10.0, 9.0),
+        ],
+    }
+}
+
+#[test]
+fn bench_exposition_matches_the_golden_file() {
+    let rendered = render_bench_metrics(&fixture_bench_gauges());
+    let golden = include_str!("golden/bench_metrics.txt");
+    assert_eq!(
+        rendered, golden,
+        "bench exposition drifted from tests/golden/bench_metrics.txt — if \
+         the change is intentional, regenerate the golden file from this \
+         output"
+    );
+}
+
+#[test]
+fn bench_exposition_parses_structurally() {
+    assert_parses(&render_bench_metrics(&fixture_bench_gauges()));
+}
+
+#[test]
+fn an_empty_bench_snapshot_emits_only_the_sequence_gauge() {
+    let rendered = render_bench_metrics(&BenchGauges {
+        seq: 1,
+        run_id: "abc1234".to_string(),
+        kernels: Vec::new(),
+    });
+    assert_eq!(
+        rendered,
+        "# TYPE opad_bench_snapshot_seq gauge\nopad_bench_snapshot_seq 1\n"
+    );
+    assert_parses(&rendered);
 }
 
 #[test]

@@ -1,4 +1,5 @@
-//! The micro-benchmark registry contract.
+//! The micro-benchmark registry contract and the `BENCH_<seq>.json`
+//! snapshot conventions.
 //!
 //! Each workspace crate that owns a hot kernel (tensor matmul, conv
 //! forward, PGD step, KDE/GMM scoring, posterior update, …) exposes a
@@ -9,7 +10,15 @@
 //! schema-versioned `BENCH_<seq>.json` snapshot.
 //!
 //! The contract lives here (and not in the harness) because this is the
-//! one std-only crate every kernel crate already depends on.
+//! one std-only crate every kernel crate already depends on. For the same
+//! reason this module also owns the pieces of the snapshot format every
+//! consumer shares — the [`BENCH_SCHEMA_VERSION`] constant, the
+//! [`BenchProvenance`] block stamped into each snapshot, and the
+//! [`bench_seq`]/[`bench_files`] filename conventions — so `opad-obs`
+//! (which writes and analyses snapshots) and `opad-serve` (which exposes
+//! the newest one as `/metrics` gauges) cannot drift apart.
+
+use std::path::{Path, PathBuf};
 
 /// One registered micro-benchmark: a stable name and a closure running a
 /// single iteration of the kernel on pre-built inputs.
@@ -46,6 +55,151 @@ pub trait Benchmarkable {
     fn bench_kernels() -> Vec<BenchKernel>;
 }
 
+/// Version of the `BENCH_<seq>.json` snapshot layout.
+///
+/// v2 added the zero-padded filename, the top-level `iters`, per-kernel
+/// `samples`, and the [`BenchProvenance`] block; v1 snapshots stay
+/// readable (the added fields simply come back absent).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Where a benchmark snapshot came from: enough context to judge whether
+/// two snapshots are comparable at all before comparing their numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchProvenance {
+    /// `git describe --always --dirty`-style identifier of the tree that
+    /// produced the snapshot (`"unknown"` outside a checkout).
+    pub git_commit: String,
+    /// `std::thread::available_parallelism` on the recording machine —
+    /// a 1-core container's `_t4` numbers are not comparable to a
+    /// workstation's.
+    pub cores: u32,
+    /// The `OPAD_THREADS` override active during recording, if any.
+    pub opad_threads: Option<u32>,
+}
+
+impl BenchProvenance {
+    /// Captures the recording machine's context. The git commit is passed
+    /// in (resolution lives with the caller's run-id convention); cores
+    /// and `OPAD_THREADS` are read here.
+    pub fn capture(git_commit: &str) -> BenchProvenance {
+        BenchProvenance {
+            git_commit: git_commit.to_string(),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            opad_threads: std::env::var("OPAD_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0),
+        }
+    }
+}
+
+/// Parses the sequence number out of a `BENCH_<seq>.json` file name.
+///
+/// Accepts both historical unpadded (`BENCH_3.json`) and current
+/// zero-padded (`BENCH_0003.json`) forms; anything else is `None`.
+pub fn bench_seq(file_name: &str) -> Option<u32> {
+    file_name
+        .strip_prefix("BENCH_")?
+        .strip_suffix(".json")?
+        .parse::<u32>()
+        .ok()
+}
+
+/// Every `BENCH_<seq>.json` in `dir`, sorted by sequence number (a
+/// missing or unreadable directory is just an empty series).
+pub fn bench_files(dir: &Path) -> Vec<(u32, PathBuf)> {
+    let mut files: Vec<(u32, PathBuf)> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(Result::ok)
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            Some((bench_seq(&name)?, e.path()))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// The telemetry substrate's own micro-benchmarks: the per-event costs
+/// every instrumented hot path pays. Std-only, so these kernels are
+/// runnable (and a baseline recordable) even in build environments where
+/// the rand/serde-dependent kernel crates cannot compile.
+pub struct TelemetryBenches;
+
+impl Benchmarkable for TelemetryBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        use crate::{LiveRecorder, Recorder};
+        use std::sync::Arc;
+
+        let counter_rec = Arc::new(LiveRecorder::new());
+        let hist_rec = Arc::new(LiveRecorder::new());
+        let span_rec = Arc::new(LiveRecorder::new());
+        let snap_rec = Arc::new(LiveRecorder::new());
+        for i in 0..64 {
+            snap_rec.counter_add("bench.fixture", i);
+            snap_rec.histogram_record("bench.fixture_ms", i as f64 * 0.3);
+            snap_rec.span_start("round", i, None);
+            snap_rec.span_end("round", i, None, 1.0);
+        }
+        // A realistic 256-event trace text for the parse path (the same
+        // reader obsctl and selfcheck run over every artefact).
+        let mut trace_text = String::new();
+        for i in 0..128u64 {
+            trace_text.push_str(
+                &crate::Event::SpanStart {
+                    id: i,
+                    parent: None,
+                    name: "round".to_string(),
+                    t_ms: i as f64,
+                }
+                .to_json(),
+            );
+            trace_text.push('\n');
+            trace_text.push_str(
+                &crate::Event::SpanEnd {
+                    id: i,
+                    parent: None,
+                    name: "round".to_string(),
+                    t_ms: i as f64 + 0.5,
+                    wall_ms: 0.5,
+                }
+                .to_json(),
+            );
+            trace_text.push('\n');
+        }
+        vec![
+            BenchKernel::new("telemetry/counter_add_1k", move || {
+                for _ in 0..1000 {
+                    counter_rec.counter_add("bench.counter", 1);
+                }
+                std::hint::black_box(counter_rec.counter("bench.counter"));
+            }),
+            BenchKernel::new("telemetry/histogram_record_1k", move || {
+                for i in 0..1000 {
+                    hist_rec.histogram_record("bench.hist_ms", (i % 97) as f64 * 0.11);
+                }
+                std::hint::black_box(&hist_rec);
+            }),
+            BenchKernel::new("telemetry/span_cycle_256", move || {
+                for i in 0..256 {
+                    span_rec.span_start("bench_span", i, None);
+                    span_rec.span_end("bench_span", i, None, 0.01);
+                }
+                std::hint::black_box(&span_rec);
+            }),
+            BenchKernel::new("telemetry/live_snapshot", move || {
+                std::hint::black_box(snap_rec.snapshot());
+            }),
+            BenchKernel::new("telemetry/parse_trace_256", move || {
+                std::hint::black_box(crate::parse_trace(&trace_text));
+            }),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +215,55 @@ mod tests {
         (k.run)();
         assert_eq!(hits.get(), 2);
         assert!(format!("{k:?}").contains("test/counting"));
+    }
+
+    #[test]
+    fn sequence_numbers_parse_from_padded_and_unpadded_names() {
+        assert_eq!(bench_seq("BENCH_0.json"), Some(0));
+        assert_eq!(bench_seq("BENCH_7.json"), Some(7));
+        assert_eq!(bench_seq("BENCH_0001.json"), Some(1));
+        assert_eq!(bench_seq("BENCH_0123.json"), Some(123));
+        assert_eq!(bench_seq("BENCH_.json"), None);
+        assert_eq!(bench_seq("BENCH_x.json"), None);
+        assert_eq!(bench_seq("BENCH_1.txt"), None);
+        assert_eq!(bench_seq("exp1_op_mismatch.json"), None);
+    }
+
+    #[test]
+    fn bench_files_sorts_mixed_forms_by_sequence() {
+        let dir = std::env::temp_dir().join("opad_telemetry_bench_files_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        for name in ["BENCH_10.json", "BENCH_0002.json", "BENCH_1.json", "x.json"] {
+            std::fs::write(dir.join(name), "{}").expect("fixture writes");
+        }
+        let seqs: Vec<u32> = bench_files(&dir).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, [1, 2, 10]);
+        assert!(bench_files(Path::new("/nonexistent/nowhere")).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn provenance_captures_cores_and_thread_override() {
+        let p = BenchProvenance::capture("abc123-dirty");
+        assert_eq!(p.git_commit, "abc123-dirty");
+        assert!(p.cores >= 1);
+        // opad_threads mirrors the environment; just ensure parse sanity.
+        if let Ok(v) = std::env::var("OPAD_THREADS") {
+            assert_eq!(
+                p.opad_threads,
+                v.trim().parse::<u32>().ok().filter(|&n| n > 0)
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_registry_builds_and_every_kernel_runs() {
+        let mut kernels = TelemetryBenches::bench_kernels();
+        assert!(kernels.len() >= 5);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("telemetry/"), "{}", k.name);
+            (k.run)();
+        }
     }
 }

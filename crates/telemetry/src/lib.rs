@@ -61,7 +61,10 @@ mod recorder;
 mod sink;
 mod span;
 
-pub use bench_api::{BenchKernel, Benchmarkable};
+pub use bench_api::{
+    bench_files, bench_seq, BenchKernel, BenchProvenance, Benchmarkable, TelemetryBenches,
+    BENCH_SCHEMA_VERSION,
+};
 pub use event::{Event, SCHEMA_VERSION};
 pub use hist::{FixedHistogram, HistogramSummary};
 pub use json::{parse_json, JsonError, JsonValue};

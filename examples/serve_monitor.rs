@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerConfig {
             addr,
             results_dir: "results".into(),
+            bench_dir: ".".into(),
         },
     )
     .spawn()?;

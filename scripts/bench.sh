@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Micro-benchmark snapshot: runs every crate's Benchmarkable registry via
 # `obsctl bench` and writes the next BENCH_<seq>.json at the repo root.
-# Compare snapshots across commits to track kernel-level performance.
+# Compare snapshots across commits to track kernel-level performance —
+# `obsctl perf history` / `gate` / `report` analyse the whole series.
 #
 # Parallel kernels register serial-vs-parallel pairs (`..._t1` / `..._t4`
 # suffixes) that pin the opad-par pool width from inside the kernel, so a
@@ -11,10 +12,31 @@
 #
 # Usage: scripts/bench.sh [extra obsctl bench flags]
 #   e.g. scripts/bench.sh --iters 100 --filter tensor/
+#
+#        scripts/bench.sh --gate [extra obsctl perf gate flags]
+#   records a snapshot, then runs the variance-aware perf gate
+#   (committed baseline vs the fresh snapshot) and exits non-zero on a
+#   kernel regression. With fewer than two snapshots the gate skips
+#   with a notice instead of failing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release -q --bin obsctl -- bench --out . "$@"
+gate=0
+if [[ "${1:-}" == "--gate" ]]; then
+  gate=1
+  shift
+fi
+
+if [[ "${gate}" == 1 ]]; then
+  cargo run --release -q --bin obsctl -- bench --out .
+else
+  cargo run --release -q --bin obsctl -- bench --out . "$@"
+fi
 
 latest=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
 echo "snapshot: ${latest}"
+
+if [[ "${gate}" == 1 ]]; then
+  echo "==> obsctl perf gate (baseline vs ${latest})"
+  cargo run --release -q --bin obsctl -- perf gate . "$@"
+fi

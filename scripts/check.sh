@@ -35,4 +35,14 @@ cargo run --release -q --bin obsctl -- flame results/serve_monitor_trace.jsonl |
 echo "==> obsctl selfcheck (results/ + BENCH_*.json schema validation, incl. the fresh trace)"
 cargo run --release -q --bin obsctl -- selfcheck results .
 
+# Variance-aware bench regression gate over the committed BENCH_<seq>.json
+# series. With only the baseline present (fresh clone, no local
+# scripts/bench.sh runs) the gate prints a skip notice and passes; the
+# baseline-vs-self smoke below still proves the gate machinery end to end.
+echo "==> obsctl perf gate (bench trajectory; auto-skips with <2 snapshots)"
+cargo run --release -q --bin obsctl -- perf gate .
+
+echo "==> obsctl perf gate smoke (baseline vs itself must be clean)"
+cargo run --release -q --bin obsctl -- perf gate BENCH_0001.json BENCH_0001.json >/dev/null
+
 echo "All checks passed."
