@@ -1,0 +1,180 @@
+//! [`AlertCenter`]: the shared, thread-safe face of one
+//! [`AlertEngine`] — the thing the watch thread evaluates through, the
+//! pipeline installs rules into, and `opad-serve` reads `/alerts` from.
+
+use crate::engine::{AlertEngine, AlertStatus, Transition};
+use crate::frame::MetricsFrame;
+use crate::log::transition_to_json;
+use crate::rule::Rule;
+use opad_telemetry::{JsonlSink, LiveSnapshot, Sink};
+use std::sync::{Arc, Mutex};
+
+/// How many recent transitions the in-memory history ring keeps (the
+/// full stream goes to the JSONL log; the ring only feeds `/alerts` and
+/// demos).
+const HISTORY_CAP: usize = 256;
+
+/// A shared alert engine: interior-mutable, with an optional
+/// `alerts.jsonl` log every transition is appended to.
+///
+/// Evaluation serialises on one mutex, which is fine by construction:
+/// frames arrive from a single watch thread every few hundred
+/// milliseconds, and readers (`/alerts`, `/healthz`) only take the lock
+/// long enough to clone statuses. The metrics hot path never touches
+/// this lock — rules see snapshots, not recording calls.
+pub struct AlertCenter {
+    engine: Mutex<AlertEngine>,
+    history: Mutex<Vec<Transition>>,
+    log: Option<Arc<JsonlSink>>,
+}
+
+impl AlertCenter {
+    /// A center over `rules`, with no transition log.
+    pub fn new(rules: Vec<Rule>) -> AlertCenter {
+        AlertCenter {
+            engine: Mutex::new(AlertEngine::new(rules)),
+            history: Mutex::new(Vec::new()),
+            log: None,
+        }
+    }
+
+    /// A center that appends every transition to `log` (one JSON object
+    /// per line, the [`crate::log`] format).
+    pub fn with_log(rules: Vec<Rule>, log: Arc<JsonlSink>) -> AlertCenter {
+        AlertCenter {
+            log: Some(log),
+            ..AlertCenter::new(rules)
+        }
+    }
+
+    /// Installs every rule not already present (by name); returns how
+    /// many were added. Idempotent per pack — `opad-core` calls this
+    /// every round.
+    pub fn ensure_rules(&self, rules: &[Rule]) -> usize {
+        self.lock_engine().ensure_rules(rules)
+    }
+
+    /// Whether a rule with this name is installed.
+    pub fn has_rule(&self, name: &str) -> bool {
+        self.lock_engine().has_rule(name)
+    }
+
+    /// Evaluates every rule against an explicit frame, logging and
+    /// remembering any transitions. Returns them.
+    pub fn eval_frame(&self, frame: &MetricsFrame) -> Vec<Transition> {
+        let transitions = self.lock_engine().eval(frame);
+        if !transitions.is_empty() {
+            if let Some(log) = &self.log {
+                for t in &transitions {
+                    log.append_line(&transition_to_json(t));
+                }
+                log.flush();
+            }
+            let mut history = self.history.lock().expect("alert lock poisoned");
+            for t in &transitions {
+                if history.len() == HISTORY_CAP {
+                    history.remove(0);
+                }
+                history.push(t.clone());
+            }
+        }
+        transitions
+    }
+
+    /// Evaluates against a live recorder snapshot (the watch thread's
+    /// path).
+    pub fn eval_snapshot(&self, snap: &LiveSnapshot) -> Vec<Transition> {
+        self.eval_frame(&MetricsFrame::from_snapshot(snap))
+    }
+
+    /// Every rule's current status, in rule order.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        self.lock_engine().statuses()
+    }
+
+    /// Whether any rule is currently firing.
+    pub fn any_firing(&self) -> bool {
+        self.lock_engine().any_firing()
+    }
+
+    /// How many rules are currently firing.
+    pub fn firing_count(&self) -> usize {
+        self.lock_engine()
+            .statuses()
+            .iter()
+            .filter(|s| s.state == crate::engine::AlertState::Firing)
+            .count()
+    }
+
+    /// The most recent transitions (up to an internal cap), oldest
+    /// first.
+    pub fn history(&self) -> Vec<Transition> {
+        self.history.lock().expect("alert lock poisoned").clone()
+    }
+
+    fn lock_engine(&self) -> std::sync::MutexGuard<'_, AlertEngine> {
+        self.engine.lock().expect("alert lock poisoned")
+    }
+}
+
+impl std::fmt::Debug for AlertCenter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlertCenter")
+            .field("rules", &self.lock_engine().rules().len())
+            .field("logging", &self.log.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::parse_rules;
+
+    fn rules(text: &str) -> Vec<Rule> {
+        let (rules, errors) = parse_rules(text);
+        assert!(errors.is_empty(), "{errors:?}");
+        rules
+    }
+
+    #[test]
+    fn center_logs_every_transition_as_jsonl() {
+        let dir = std::env::temp_dir().join("opad_alert_center_log_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("alerts.jsonl");
+        let log = Arc::new(JsonlSink::create(&path).expect("log creates"));
+        let center =
+            AlertCenter::with_log(rules("alert b severity=critical when gauge g > 1"), log);
+        let mut frame = MetricsFrame::new(10.0);
+        frame.set_gauge("g", 2.0);
+        let fired = center.eval_frame(&frame);
+        assert_eq!(fired.len(), 2, "inactive→pending→firing");
+        assert!(center.any_firing());
+        assert_eq!(center.firing_count(), 1);
+        let mut frame = MetricsFrame::new(20.0);
+        frame.set_gauge("g", 0.0);
+        center.eval_frame(&frame);
+        let text = std::fs::read_to_string(&path).expect("log exists");
+        let parsed: Vec<_> = text
+            .lines()
+            .map(|l| crate::log::transition_from_json(l).expect("parses"))
+            .collect();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[2].to, crate::engine::AlertState::Resolved);
+        assert_eq!(center.history().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_evaluation_reads_the_live_recorder() {
+        use opad_telemetry::{LiveRecorder, Recorder};
+        let center = AlertCenter::new(rules("alert seeds when counter c >= 3"));
+        let rec = LiveRecorder::new();
+        rec.counter_add("c", 2);
+        assert!(center.eval_snapshot(&rec.snapshot()).is_empty());
+        rec.counter_add("c", 1);
+        let ts = center.eval_snapshot(&rec.snapshot());
+        assert_eq!(ts.len(), 2);
+        assert!(center.any_firing());
+    }
+}

@@ -1,0 +1,586 @@
+//! The evaluation engine: rules × frames → lifecycle transitions.
+//!
+//! Lifecycle (Prometheus-flavoured, plus an explicit resolved state):
+//!
+//! ```text
+//!             cond true                    held for `for=`
+//! inactive ──────────────► pending ──────────────────────► firing
+//!    ▲                        │ cond false                    │ cond false
+//!    │                        ▼                               ▼
+//!    └───────────────────── (back)                        resolved
+//!                                                            │ cond true
+//!                                                            ▼
+//!                                                         pending
+//! ```
+//!
+//! * A condition that becomes true moves the rule to **pending** and
+//!   stamps the time; once it has held continuously for the rule's
+//!   `for=` duration (inclusive: *exactly* at the boundary counts) the
+//!   rule **fires**. `for=0` still passes through pending — every alert
+//!   transcript shows the same four-state sequence, which is what the
+//!   replay fixtures assert on.
+//! * A condition that goes false ends the episode: pending falls back
+//!   to **inactive** (the hysteresis did its job — no alert happened),
+//!   firing moves to **resolved**. A later recurrence starts a new
+//!   episode from pending.
+//!
+//! Evaluation is pull-based and pure: [`AlertEngine::eval`] looks only
+//! at the [`MetricsFrame`] argument and its own per-rule state, so the
+//! same frame sequence always yields the same transition sequence —
+//! replayability is a construction property, not a test hope.
+
+use crate::frame::MetricsFrame;
+use crate::rule::{Condition, Rule, Severity};
+use opad_telemetry::phase;
+use std::fmt;
+
+/// Where a rule currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition false; nothing happening.
+    Inactive,
+    /// Condition true, `for=` budget not yet exhausted.
+    Pending,
+    /// Condition has held long enough; the alert is live.
+    Firing,
+    /// Previously firing; condition has gone false again.
+    Resolved,
+}
+
+impl AlertState {
+    /// The lowercase wire/label form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+
+    /// Parses the lowercase form back.
+    pub fn parse(s: &str) -> Option<AlertState> {
+        match s {
+            "inactive" => Some(AlertState::Inactive),
+            "pending" => Some(AlertState::Pending),
+            "firing" => Some(AlertState::Firing),
+            "resolved" => Some(AlertState::Resolved),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AlertState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lifecycle edge, ready for the `alerts.jsonl` log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Frame clock at which the edge happened.
+    pub t_ms: f64,
+    /// Alert (rule) name.
+    pub alert: String,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// State before.
+    pub from: AlertState,
+    /// State after.
+    pub to: AlertState,
+    /// The observed metric value that drove the evaluation, when the
+    /// condition had one (absent metrics evaluate without a value).
+    pub value: Option<f64>,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>10.1} ms  {:<24} {} -> {}",
+            self.t_ms, self.alert, self.from, self.to
+        )?;
+        if let Some(v) = self.value {
+            write!(f, "  (value {v})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A rule's current status, as served on `/alerts`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertStatus {
+    /// Alert (rule) name.
+    pub name: String,
+    /// Severity from the rule.
+    pub severity: Severity,
+    /// Current lifecycle state.
+    pub state: AlertState,
+    /// Frame clock at which the current state was entered.
+    pub since_ms: f64,
+    /// Last observed metric value, if the condition had one.
+    pub value: Option<f64>,
+    /// The condition, rendered in rule-grammar form.
+    pub condition: String,
+}
+
+/// Per-rule mutable evaluation state.
+#[derive(Debug, Clone)]
+struct RuleRuntime {
+    state: AlertState,
+    state_since_ms: f64,
+    /// When the current continuous true-streak began.
+    pending_since_ms: Option<f64>,
+    /// Last observed value (for statuses and transition records).
+    last_value: Option<f64>,
+    /// `CounterStall`: the last total seen, to detect "stopped moving".
+    last_total: Option<u64>,
+    /// `PhaseStuck`: the last phase gauge value and since when.
+    phase_value: Option<f64>,
+    phase_since_ms: Option<f64>,
+}
+
+impl RuleRuntime {
+    fn new() -> RuleRuntime {
+        RuleRuntime {
+            state: AlertState::Inactive,
+            state_since_ms: 0.0,
+            pending_since_ms: None,
+            last_value: None,
+            last_total: None,
+            phase_value: None,
+            phase_since_ms: None,
+        }
+    }
+}
+
+/// The rule engine: owns the rules and their runtime state; feed it
+/// frames, get back transitions.
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    rules: Vec<Rule>,
+    runtime: Vec<RuleRuntime>,
+}
+
+impl AlertEngine {
+    /// An engine over `rules`, all starting inactive.
+    pub fn new(rules: Vec<Rule>) -> AlertEngine {
+        let runtime = rules.iter().map(|_| RuleRuntime::new()).collect();
+        AlertEngine { rules, runtime }
+    }
+
+    /// The rules, in evaluation order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Whether a rule with this name is installed.
+    pub fn has_rule(&self, name: &str) -> bool {
+        self.rules.iter().any(|r| r.name == name)
+    }
+
+    /// Adds every rule whose name is not already installed (new rules
+    /// start inactive). Returns how many were added — calling this each
+    /// round with the same pack is an idempotent no-op after the first.
+    pub fn ensure_rules(&mut self, rules: &[Rule]) -> usize {
+        let mut added = 0;
+        for rule in rules {
+            if !self.has_rule(&rule.name) {
+                self.rules.push(rule.clone());
+                self.runtime.push(RuleRuntime::new());
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Whether any rule is currently firing.
+    pub fn any_firing(&self) -> bool {
+        self.runtime.iter().any(|r| r.state == AlertState::Firing)
+    }
+
+    /// Every rule's current status, in rule order.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        self.rules
+            .iter()
+            .zip(&self.runtime)
+            .map(|(rule, rt)| AlertStatus {
+                name: rule.name.clone(),
+                severity: rule.severity,
+                state: rt.state,
+                since_ms: rt.state_since_ms,
+                value: rt.last_value,
+                condition: rule.condition.to_string(),
+            })
+            .collect()
+    }
+
+    /// Evaluates every rule against `frame`, returning the transitions
+    /// this frame caused (empty when nothing changed state).
+    pub fn eval(&mut self, frame: &MetricsFrame) -> Vec<Transition> {
+        let mut transitions = Vec::new();
+        for (rule, rt) in self.rules.iter().zip(self.runtime.iter_mut()) {
+            let (cond, value) = eval_condition(&rule.condition, frame, rt);
+            rt.last_value = value;
+            let next = next_state(rt.state, cond, rule.for_ms, frame.t_ms, rt);
+            for (from, to) in next {
+                transitions.push(Transition {
+                    t_ms: frame.t_ms,
+                    alert: rule.name.clone(),
+                    severity: rule.severity,
+                    from,
+                    to,
+                    value,
+                });
+                rt.state = to;
+                rt.state_since_ms = frame.t_ms;
+            }
+        }
+        transitions
+    }
+}
+
+/// The pure lifecycle step: which edges (if any) the rule takes this
+/// frame. At most two — `inactive → pending → firing` in one frame when
+/// the `for=` budget is already exhausted (notably `for=0`).
+fn next_state(
+    state: AlertState,
+    cond: bool,
+    for_ms: f64,
+    t_ms: f64,
+    rt: &mut RuleRuntime,
+) -> Vec<(AlertState, AlertState)> {
+    use AlertState::*;
+    if cond {
+        match state {
+            Inactive | Resolved => {
+                rt.pending_since_ms = Some(t_ms);
+                if for_ms <= 0.0 {
+                    vec![(state, Pending), (Pending, Firing)]
+                } else {
+                    vec![(state, Pending)]
+                }
+            }
+            Pending => {
+                let since = rt.pending_since_ms.unwrap_or(t_ms);
+                if t_ms - since >= for_ms {
+                    vec![(Pending, Firing)]
+                } else {
+                    Vec::new()
+                }
+            }
+            Firing => Vec::new(),
+        }
+    } else {
+        rt.pending_since_ms = None;
+        match state {
+            Pending => vec![(Pending, Inactive)],
+            Firing => vec![(Firing, Resolved)],
+            Inactive | Resolved => Vec::new(),
+        }
+    }
+}
+
+/// Evaluates one condition against one frame. Returns the truth value
+/// and the observed metric value (for transition records). Missing
+/// metrics are false for threshold rules, and "no progress" for stall
+/// rules — see each arm.
+fn eval_condition(
+    condition: &Condition,
+    frame: &MetricsFrame,
+    rt: &mut RuleRuntime,
+) -> (bool, Option<f64>) {
+    match condition {
+        Condition::GaugeThreshold {
+            metric,
+            cmp,
+            threshold,
+        } => match frame.gauge(metric) {
+            Some(v) => (cmp.eval(v, *threshold), Some(v)),
+            None => (false, None),
+        },
+        Condition::CounterThreshold {
+            metric,
+            cmp,
+            threshold,
+        } => match frame.counter(metric) {
+            Some(total) => (cmp.eval(total as f64, *threshold), Some(total as f64)),
+            None => (false, None),
+        },
+        Condition::CounterStall { metric } => {
+            // "No progress" is true both for a counter that has never
+            // appeared and for one whose total stopped moving; the first
+            // appearance and every increment count as progress. The
+            // rule's `for=` duration is the grace budget in both cases
+            // (the lifecycle's pending clock starts at the first
+            // no-progress evaluation), so the condition itself is simply
+            // "no progress since the last evaluation".
+            let cur = frame.counter(metric);
+            let progressed = match (rt.last_total, cur) {
+                (None, Some(_)) => true, // first appearance
+                (Some(prev), Some(now)) => now != prev,
+                (_, None) => false, // never appeared (or withdrew)
+            };
+            rt.last_total = cur.or(rt.last_total);
+            (!progressed, cur.map(|c| c as f64))
+        }
+        Condition::HistQuantile {
+            metric,
+            q,
+            cmp,
+            threshold,
+        } => match frame.hist(metric) {
+            Some(h) if h.count > 0 => {
+                let v = match q {
+                    crate::rule::Quantile::P50 => h.p50,
+                    crate::rule::Quantile::P90 => h.p90,
+                    crate::rule::Quantile::P99 => h.p99,
+                };
+                (cmp.eval(v, *threshold), Some(v))
+            }
+            _ => (false, None),
+        },
+        Condition::PhaseStuck { budget_ms } => {
+            let Some(raw) = frame.gauge(phase::PHASE_GAUGE) else {
+                // No pipeline has published yet: nothing to watch.
+                rt.phase_value = None;
+                rt.phase_since_ms = None;
+                return (false, None);
+            };
+            // idle/done are parked states, not stuck ones. Unknown codes
+            // (from_gauge rejects them) still count as stuck-able: a
+            // corrupt phase gauge pinned at 7.3 is exactly the kind of
+            // wedge the watchdog exists for.
+            if matches!(phase::from_gauge(raw), Ok(phase::IDLE) | Ok(phase::DONE)) {
+                rt.phase_value = None;
+                rt.phase_since_ms = None;
+                return (false, Some(raw));
+            }
+            if rt.phase_value != Some(raw) {
+                rt.phase_value = Some(raw);
+                rt.phase_since_ms = Some(frame.t_ms);
+                return (false, Some(raw));
+            }
+            let since = rt.phase_since_ms.unwrap_or(frame.t_ms);
+            (frame.t_ms - since >= *budget_ms, Some(raw))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::parse_rules;
+
+    fn engine(text: &str) -> AlertEngine {
+        let (rules, errors) = parse_rules(text);
+        assert!(errors.is_empty(), "{errors:?}");
+        AlertEngine::new(rules)
+    }
+
+    fn gauge_frame(t_ms: f64, name: &str, value: f64) -> MetricsFrame {
+        let mut f = MetricsFrame::new(t_ms);
+        f.set_gauge(name, value);
+        f
+    }
+
+    fn edges(ts: &[Transition]) -> Vec<(AlertState, AlertState)> {
+        ts.iter().map(|t| (t.from, t.to)).collect()
+    }
+
+    #[test]
+    fn full_lifecycle_with_hysteresis() {
+        use AlertState::*;
+        let mut e = engine("alert breach severity=critical for=100ms when gauge g > 1");
+        // Below threshold: nothing.
+        assert!(e.eval(&gauge_frame(0.0, "g", 0.5)).is_empty());
+        // Breach starts an episode.
+        assert_eq!(
+            edges(&e.eval(&gauge_frame(10.0, "g", 2.0))),
+            vec![(Inactive, Pending)]
+        );
+        // Still inside the for-budget: pending holds, no edge.
+        assert!(e.eval(&gauge_frame(60.0, "g", 2.0)).is_empty());
+        // Budget exhausted: fires.
+        assert_eq!(
+            edges(&e.eval(&gauge_frame(120.0, "g", 2.0))),
+            vec![(Pending, Firing)]
+        );
+        assert!(e.any_firing());
+        // Recovery resolves.
+        let ts = e.eval(&gauge_frame(200.0, "g", 0.5));
+        assert_eq!(edges(&ts), vec![(Firing, Resolved)]);
+        assert_eq!(ts[0].value, Some(0.5));
+        assert!(!e.any_firing());
+        // Recurrence starts a fresh episode from resolved.
+        assert_eq!(
+            edges(&e.eval(&gauge_frame(300.0, "g", 3.0))),
+            vec![(Resolved, Pending)]
+        );
+    }
+
+    #[test]
+    fn pending_fires_exactly_at_the_for_boundary() {
+        use AlertState::*;
+        let mut e = engine("alert b for=100ms when gauge g > 1");
+        e.eval(&gauge_frame(50.0, "g", 2.0));
+        // 99.999… of the budget: still pending.
+        assert!(e.eval(&gauge_frame(149.0, "g", 2.0)).is_empty());
+        // Exactly at the boundary (t - since == for): fires. The
+        // comparison is `>=`, so the boundary belongs to firing.
+        assert_eq!(
+            edges(&e.eval(&gauge_frame(150.0, "g", 2.0))),
+            vec![(Pending, Firing)]
+        );
+    }
+
+    #[test]
+    fn for_zero_still_passes_through_pending() {
+        use AlertState::*;
+        let mut e = engine("alert b when gauge g > 1");
+        assert_eq!(
+            edges(&e.eval(&gauge_frame(5.0, "g", 2.0))),
+            vec![(Inactive, Pending), (Pending, Firing)]
+        );
+    }
+
+    #[test]
+    fn pending_that_recovers_never_fires() {
+        use AlertState::*;
+        let mut e = engine("alert b for=100ms when gauge g > 1");
+        e.eval(&gauge_frame(0.0, "g", 2.0));
+        assert_eq!(
+            edges(&e.eval(&gauge_frame(50.0, "g", 0.0))),
+            vec![(Pending, Inactive)]
+        );
+        // A later breach restarts the budget from scratch: at 149 the
+        // *new* episode is only 49ms old, so no firing.
+        e.eval(&gauge_frame(100.0, "g", 2.0));
+        assert!(e.eval(&gauge_frame(149.0, "g", 2.0)).is_empty());
+    }
+
+    #[test]
+    fn withdrawn_gauge_is_not_a_breach() {
+        use AlertState::*;
+        let mut e = engine("alert b for=100ms when gauge g > 1");
+        e.eval(&gauge_frame(0.0, "g", 2.0)); // pending
+                                             // The gauge disappears from the next frame entirely.
+        let ts = e.eval(&MetricsFrame::new(50.0));
+        assert_eq!(edges(&ts), vec![(Pending, Inactive)]);
+        assert_eq!(ts[0].value, None);
+        // And while absent, nothing ever fires.
+        assert!(e.eval(&MetricsFrame::new(500.0)).is_empty());
+    }
+
+    #[test]
+    fn counter_stall_covers_never_appeared_and_stopped_moving() {
+        use AlertState::*;
+        // Absent from the start: the stall condition is true from the
+        // first evaluation, so the for-budget runs from watch start.
+        let mut e = engine("alert dead for=100ms when counter_stall c");
+        assert_eq!(
+            edges(&e.eval(&MetricsFrame::new(0.0))),
+            vec![(Inactive, Pending)]
+        );
+        assert_eq!(
+            edges(&e.eval(&MetricsFrame::new(100.0))),
+            vec![(Pending, Firing)]
+        );
+        // First appearance is progress: resolves.
+        let mut f = MetricsFrame::new(150.0);
+        f.set_counter("c", 1);
+        assert_eq!(edges(&e.eval(&f)), vec![(Firing, Resolved)]);
+        // Unchanged total: a new stall episode begins…
+        let mut f = MetricsFrame::new(200.0);
+        f.set_counter("c", 1);
+        assert_eq!(edges(&e.eval(&f)), vec![(Resolved, Pending)]);
+        // …and an increment ends it before the budget runs out.
+        let mut f = MetricsFrame::new(250.0);
+        f.set_counter("c", 2);
+        assert_eq!(edges(&e.eval(&f)), vec![(Pending, Inactive)]);
+    }
+
+    #[test]
+    fn hist_quantile_thresholds_and_empty_histograms() {
+        use AlertState::*;
+        let mut e = engine("alert slow when hist h p99 >= 10");
+        // No histogram at all: false.
+        assert!(e.eval(&MetricsFrame::new(0.0)).is_empty());
+        let mut f = MetricsFrame::new(10.0);
+        f.set_hist(
+            "h",
+            crate::frame::HistStats {
+                count: 100,
+                p50: 2.0,
+                p90: 6.0,
+                p99: 12.0,
+            },
+        );
+        let ts = e.eval(&f);
+        assert_eq!(edges(&ts), vec![(Inactive, Pending), (Pending, Firing)]);
+        assert_eq!(ts[0].value, Some(12.0));
+    }
+
+    #[test]
+    fn phase_stuck_fires_on_a_wedged_working_phase_only() {
+        use opad_telemetry::phase;
+        use AlertState::*;
+        let mut e = engine("alert stuck for=0ms when phase_stuck 100ms");
+        let phase_frame = |t: f64, code: f64| gauge_frame(t, phase::PHASE_GAUGE, code);
+        // idle forever is fine.
+        assert!(e.eval(&phase_frame(0.0, phase::IDLE as f64)).is_empty());
+        assert!(e.eval(&phase_frame(500.0, phase::IDLE as f64)).is_empty());
+        // Entering fuzz starts the budget…
+        assert!(e.eval(&phase_frame(600.0, phase::FUZZ as f64)).is_empty());
+        // …phase changes reset it…
+        assert!(e
+            .eval(&phase_frame(650.0, phase::EVALUATE as f64))
+            .is_empty());
+        assert!(e.eval(&phase_frame(700.0, phase::FUZZ as f64)).is_empty());
+        // …and only an *unchanged working* phase past the budget fires.
+        let ts = e.eval(&phase_frame(800.0, phase::FUZZ as f64));
+        assert_eq!(edges(&ts), vec![(Inactive, Pending), (Pending, Firing)]);
+        assert_eq!(ts[0].value, Some(phase::FUZZ as f64));
+        // done resolves the watchdog.
+        assert_eq!(
+            edges(&e.eval(&phase_frame(900.0, phase::DONE as f64))),
+            vec![(Firing, Resolved)]
+        );
+    }
+
+    #[test]
+    fn phase_stuck_counts_unknown_codes_as_stuck_able() {
+        use opad_telemetry::phase;
+        use AlertState::*;
+        let mut e = engine("alert stuck when phase_stuck 50ms");
+        e.eval(&gauge_frame(0.0, phase::PHASE_GAUGE, 7.3));
+        let ts = e.eval(&gauge_frame(60.0, phase::PHASE_GAUGE, 7.3));
+        assert_eq!(edges(&ts), vec![(Inactive, Pending), (Pending, Firing)]);
+    }
+
+    #[test]
+    fn ensure_rules_is_idempotent_and_preserves_state() {
+        let (pack, _) = parse_rules("alert a when gauge g > 1\nalert b when gauge h > 1");
+        let mut e = AlertEngine::new(Vec::new());
+        assert_eq!(e.ensure_rules(&pack), 2);
+        e.eval(&gauge_frame(0.0, "g", 2.0)); // `a` fires
+        assert_eq!(e.ensure_rules(&pack), 0, "same pack adds nothing");
+        assert!(e.any_firing(), "re-ensuring must not reset state");
+        let statuses = e.statuses();
+        assert_eq!(statuses.len(), 2);
+        assert_eq!(statuses[0].state, AlertState::Firing);
+        assert_eq!(statuses[1].state, AlertState::Inactive);
+        assert_eq!(statuses[0].condition, "gauge g > 1");
+    }
+
+    #[test]
+    fn statuses_track_since_and_value() {
+        let mut e = engine("alert b for=100ms when gauge g > 1");
+        e.eval(&gauge_frame(40.0, "g", 2.5));
+        let s = &e.statuses()[0];
+        assert_eq!(s.state, AlertState::Pending);
+        assert_eq!(s.since_ms, 40.0);
+        assert_eq!(s.value, Some(2.5));
+    }
+}

@@ -1,0 +1,171 @@
+//! [`MetricsFrame`]: one timestamped, immutable view of the metric space
+//! that the engine evaluates rules against.
+//!
+//! A frame is deliberately the *lowest common denominator* of the three
+//! places rule evaluation happens: a [`LiveSnapshot`] polled off a
+//! running recorder, a replayed sample stream (`obsctl alerts replay`),
+//! and a finished run's envelope telemetry summary. Histograms are
+//! reduced to [`HistStats`] (count + the three quantiles the grammar can
+//! threshold) precisely because the envelope form only carries
+//! summaries — any rule that evaluates live is therefore guaranteed to
+//! evaluate identically offline.
+
+use opad_telemetry::LiveSnapshot;
+
+/// The histogram facts a rule may reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStats {
+    /// Recorded sample count.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// A point-in-time view of every metric, keyed by workspace dotted name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsFrame {
+    /// The frame's evaluation clock, in milliseconds. All lifecycle
+    /// arithmetic (`for=` hysteresis, stall budgets) runs on this value,
+    /// so replays over recorded timestamps are exactly as deterministic
+    /// as the recording.
+    pub t_ms: f64,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, HistStats)>,
+}
+
+impl MetricsFrame {
+    /// An empty frame at time `t_ms`.
+    pub fn new(t_ms: f64) -> MetricsFrame {
+        MetricsFrame {
+            t_ms,
+            ..MetricsFrame::default()
+        }
+    }
+
+    /// Builds a frame from a live recorder snapshot. The frame clock is
+    /// the snapshot's `wall_ms` (milliseconds since the recorder was
+    /// created), so one recorder's frames share a monotone clock.
+    pub fn from_snapshot(snap: &LiveSnapshot) -> MetricsFrame {
+        let mut frame = MetricsFrame::new(snap.wall_ms);
+        for (name, total) in &snap.counters {
+            frame.set_counter(name, *total);
+        }
+        for (name, value) in &snap.gauges {
+            frame.set_gauge(name, *value);
+        }
+        for (name, h) in &snap.histograms {
+            if h.count() > 0 {
+                frame.set_hist(
+                    name,
+                    HistStats {
+                        count: h.count(),
+                        p50: h.quantile(0.5).unwrap_or(0.0),
+                        p90: h.quantile(0.9).unwrap_or(0.0),
+                        p99: h.quantile(0.99).unwrap_or(0.0),
+                    },
+                );
+            }
+        }
+        frame
+    }
+
+    /// Sets (or replaces) a counter total.
+    pub fn set_counter(&mut self, name: &str, total: u64) {
+        upsert(&mut self.counters, name, total);
+    }
+
+    /// Sets (or replaces) a gauge value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        upsert(&mut self.gauges, name, value);
+    }
+
+    /// Sets (or replaces) a histogram summary.
+    pub fn set_hist(&mut self, name: &str, stats: HistStats) {
+        upsert(&mut self.hists, name, stats);
+    }
+
+    /// Removes a metric from every namespace — the "gauge published,
+    /// then withdrawn" case a threshold rule must treat as *no breach*.
+    pub fn remove(&mut self, name: &str) {
+        self.counters.retain(|(n, _)| n != name);
+        self.gauges.retain(|(n, _)| n != name);
+        self.hists.retain(|(n, _)| n != name);
+    }
+
+    /// Current counter total, `None` if absent from this frame.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name)
+    }
+
+    /// Current gauge value, `None` if absent from this frame.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        lookup(&self.gauges, name)
+    }
+
+    /// Current histogram summary, `None` if absent from this frame.
+    pub fn hist(&self, name: &str) -> Option<HistStats> {
+        lookup(&self.hists, name)
+    }
+}
+
+fn upsert<T: Copy>(list: &mut Vec<(String, T)>, name: &str, value: T) {
+    match list.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = value,
+        None => list.push((name.to_string(), value)),
+    }
+}
+
+fn lookup<T: Copy>(list: &[(String, T)], name: &str) -> Option<T> {
+    list.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_telemetry::{LiveRecorder, Recorder};
+
+    #[test]
+    fn upsert_lookup_and_remove_round_trip() {
+        let mut f = MetricsFrame::new(10.0);
+        f.set_counter("c", 3);
+        f.set_counter("c", 5);
+        f.set_gauge("g", 1.5);
+        f.set_hist(
+            "h",
+            HistStats {
+                count: 2,
+                p50: 1.0,
+                p90: 2.0,
+                p99: 2.0,
+            },
+        );
+        assert_eq!(f.counter("c"), Some(5));
+        assert_eq!(f.gauge("g"), Some(1.5));
+        assert_eq!(f.hist("h").map(|h| h.count), Some(2));
+        assert_eq!(f.counter("missing"), None);
+        f.remove("g");
+        assert_eq!(f.gauge("g"), None);
+    }
+
+    #[test]
+    fn snapshot_frames_carry_counters_gauges_and_quantiles() {
+        let rec = LiveRecorder::new();
+        rec.counter_add("pipeline.seeds_attacked", 30);
+        rec.gauge_set("reliability.pfd_mean", 0.01);
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            rec.histogram_record("attack.pgd.iters_to_success", v);
+        }
+        let frame = MetricsFrame::from_snapshot(&rec.snapshot());
+        assert!(frame.t_ms >= 0.0);
+        assert_eq!(frame.counter("pipeline.seeds_attacked"), Some(30));
+        assert_eq!(frame.gauge("reliability.pfd_mean"), Some(0.01));
+        let h = frame.hist("attack.pgd.iters_to_success").expect("recorded");
+        assert_eq!(h.count, 5);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
+    }
+}

@@ -1,0 +1,127 @@
+//! # opad-alert
+//!
+//! Alerting & watchdog plane over the live metrics the rest of the
+//! workspace already publishes: a std-only rule engine that evaluates
+//! declarative rules against [`LiveRecorder`](opad_telemetry::LiveRecorder)
+//! snapshots on a background thread, drives a Prometheus-style alert
+//! lifecycle (inactive → pending → firing → resolved, with `for=`
+//! hysteresis), and appends every transition to an `alerts.jsonl` log
+//! through the existing sink machinery.
+//!
+//! The paper's pitch is *runtime* reliability assessment — a claimed pfd
+//! bound is only useful if someone notices when the live estimate
+//! crosses it. This crate is that someone:
+//!
+//! * **Rules** ([`rule`]) — a one-line grammar:
+//!   `alert <name> [severity=…] [for=<dur>] when <condition>`, with
+//!   gauge/counter thresholds, counter-stall liveness, histogram
+//!   quantile thresholds, and a `phase_stuck` pipeline watchdog.
+//! * **Frames** ([`frame`]) — the lowest-common-denominator view rules
+//!   evaluate against, buildable identically from a live snapshot, a
+//!   recorded sample stream, or a finished run's envelope. Whatever
+//!   fires live fires in replay.
+//! * **Engine** ([`engine`]) — pure state machine; all time comes from
+//!   the frame clock, never the wall clock, so replays are
+//!   deterministic.
+//! * **Center & watch** ([`center`], [`watch`]) — the shared live face:
+//!   a poll thread snapshots the recorder every interval and feeds the
+//!   engine; `opad-serve` reads `/alerts` from the same center.
+//! * **Replay** ([`replay`]) — `obsctl alerts replay` runs the same
+//!   engine over a recorded JSONL sample stream and reproduces the
+//!   exact transition transcript.
+//! * **Pack** ([`pack`]) — the default rules `opad-core` installs:
+//!   pfd-bound breach, naturalness drift off the training OP, dead fuzz
+//!   fan-out, stalled seeds, stuck phase.
+//!
+//! Like the telemetry recorder, there is a process-global [`AlertCenter`]
+//! slot ([`install`]/[`current`]/[`uninstall`]) so the pipeline can
+//! contribute rules without threading a handle through every layer.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use opad_alert::{AlertCenter, AlertState, MetricsFrame};
+//! use opad_alert::rule::parse_rules;
+//!
+//! let (rules, errors) =
+//!     parse_rules("alert breach severity=critical when gauge reliability.pfd_mean > 0.05");
+//! assert!(errors.is_empty());
+//! let center = AlertCenter::new(rules);
+//!
+//! let mut frame = MetricsFrame::new(0.0);
+//! frame.set_gauge("reliability.pfd_mean", 0.21);
+//! center.eval_frame(&frame);
+//! assert!(center.any_firing());
+//!
+//! let mut frame = MetricsFrame::new(100.0);
+//! frame.set_gauge("reliability.pfd_mean", 0.01);
+//! center.eval_frame(&frame);
+//! assert_eq!(center.statuses()[0].state, AlertState::Resolved);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod center;
+pub mod engine;
+pub mod frame;
+pub mod log;
+pub mod pack;
+pub mod replay;
+pub mod rule;
+pub mod watch;
+
+pub use center::AlertCenter;
+pub use engine::{AlertEngine, AlertState, AlertStatus, Transition};
+pub use frame::{HistStats, MetricsFrame};
+pub use log::{transition_from_json, transition_to_json, ALERT_LOG_VERSION};
+pub use pack::{default_pack_text, default_rules};
+pub use replay::{eval_once, replay, ReplayOutcome, SAMPLE_STREAM_VERSION};
+pub use rule::{check_vocabulary, parse_rules, Condition, ParseError, Rule, Severity};
+pub use watch::{AlertWatch, WatchHandle};
+
+use std::sync::{Arc, RwLock};
+
+static CENTER: RwLock<Option<Arc<AlertCenter>>> = RwLock::new(None);
+
+/// Installs `center` as the process-global alert center, replacing any
+/// previous one. `opad-core` contributes its default rule pack through
+/// this slot; nothing alert-related happens for processes that never
+/// install one.
+pub fn install(center: Arc<AlertCenter>) {
+    *CENTER.write().expect("alert lock poisoned") = Some(center);
+}
+
+/// Removes the global alert center, returning it so callers can take a
+/// final status read.
+pub fn uninstall() -> Option<Arc<AlertCenter>> {
+    CENTER.write().expect("alert lock poisoned").take()
+}
+
+/// The currently installed alert center, if any.
+pub fn current() -> Option<Arc<AlertCenter>> {
+    CENTER.read().expect("alert lock poisoned").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The global center is process state; tests touching it serialize.
+    static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn global_center_installs_and_uninstalls() {
+        let _g = GLOBAL_GUARD.lock().unwrap();
+        uninstall();
+        assert!(current().is_none());
+        let (rules, _) = parse_rules("alert a when gauge g > 1");
+        install(Arc::new(AlertCenter::new(rules)));
+        let center = current().expect("installed");
+        assert!(center.has_rule("a"));
+        let back = uninstall().expect("returned");
+        assert!(back.has_rule("a"));
+        assert!(current().is_none());
+    }
+}

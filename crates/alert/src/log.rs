@@ -1,0 +1,109 @@
+//! The `alerts.jsonl` line format: one schema-versioned JSON object per
+//! lifecycle transition, appended through the existing
+//! [`JsonlSink`](opad_telemetry::JsonlSink) machinery so alert history
+//! gets the same buffered, drop-flushed, line-oriented discipline as
+//! run traces — and the same readers.
+//!
+//! ```json
+//! {"v":1,"kind":"alert","t_ms":120.0,"alert":"pfd_bound_breach",
+//!  "severity":"critical","from":"pending","to":"firing","value":0.21}
+//! ```
+
+use crate::engine::{AlertState, Transition};
+use crate::rule::Severity;
+use opad_telemetry::{parse_json, JsonValue};
+
+/// Version of the alert-log line layout.
+pub const ALERT_LOG_VERSION: u32 = 1;
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialises one transition as an `alerts.jsonl` line (no trailing
+/// newline; [`JsonlSink::append_line`](opad_telemetry::JsonlSink::append_line)
+/// adds it).
+pub fn transition_to_json(t: &Transition) -> String {
+    let mut out = format!(
+        "{{\"v\":{ALERT_LOG_VERSION},\"kind\":\"alert\",\"t_ms\":{},\"alert\":\"{}\",\"severity\":\"{}\",\"from\":\"{}\",\"to\":\"{}\"",
+        json_f64(t.t_ms),
+        t.alert,
+        t.severity,
+        t.from,
+        t.to,
+    );
+    if let Some(v) = t.value {
+        out.push_str(&format!(",\"value\":{}", json_f64(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// Parses one `alerts.jsonl` line back into a [`Transition`]. Returns
+/// `None` for lines that are not version-1 alert records (other kinds
+/// sharing the file are skipped, mirroring the trace reader's
+/// unknown-field tolerance).
+pub fn transition_from_json(line: &str) -> Option<Transition> {
+    let v = parse_json(line).ok()?;
+    if v.get("kind").and_then(JsonValue::as_str) != Some("alert") {
+        return None;
+    }
+    if v.get("v").and_then(JsonValue::as_u64)? > ALERT_LOG_VERSION as u64 {
+        return None;
+    }
+    Some(Transition {
+        t_ms: v.get("t_ms").and_then(JsonValue::as_f64)?,
+        alert: v.get("alert").and_then(JsonValue::as_str)?.to_string(),
+        severity: Severity::parse(v.get("severity").and_then(JsonValue::as_str)?)?,
+        from: AlertState::parse(v.get("from").and_then(JsonValue::as_str)?)?,
+        to: AlertState::parse(v.get("to").and_then(JsonValue::as_str)?)?,
+        value: v.get("value").and_then(JsonValue::as_f64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_round_trip_through_the_line_format() {
+        let t = Transition {
+            t_ms: 120.5,
+            alert: "pfd_bound_breach".to_string(),
+            severity: Severity::Critical,
+            from: AlertState::Pending,
+            to: AlertState::Firing,
+            value: Some(0.21),
+        };
+        let line = transition_to_json(&t);
+        assert!(line.starts_with("{\"v\":1,\"kind\":\"alert\""), "{line}");
+        assert_eq!(transition_from_json(&line), Some(t));
+        // Value-less transitions omit the field and come back None.
+        let t2 = Transition {
+            t_ms: 0.0,
+            alert: "x".to_string(),
+            severity: Severity::Info,
+            from: AlertState::Firing,
+            to: AlertState::Resolved,
+            value: None,
+        };
+        let line2 = transition_to_json(&t2);
+        assert!(!line2.contains("value"), "{line2}");
+        assert_eq!(transition_from_json(&line2), Some(t2));
+    }
+
+    #[test]
+    fn foreign_lines_are_skipped_not_errors() {
+        assert_eq!(transition_from_json("{\"v\":1,\"kind\":\"sample\"}"), None);
+        assert_eq!(transition_from_json("not json"), None);
+        assert_eq!(
+            transition_from_json("{\"v\":99,\"kind\":\"alert\",\"t_ms\":0}"),
+            None,
+            "future versions are not guessed at"
+        );
+    }
+}

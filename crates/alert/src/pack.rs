@@ -1,0 +1,96 @@
+//! The default rule pack `opad-core` installs at the top of every
+//! testing round: the four "is this run still trustworthy?" checks the
+//! paper's operational-reliability story needs, parameterised on the
+//! run's own claims (its pfd bound and its training-OP naturalness
+//! floor).
+
+use crate::rule::{parse_rules, Rule};
+
+/// Alert name: the estimated pfd has risen above the claimed bound.
+pub const PFD_BOUND_BREACH: &str = "pfd_bound_breach";
+/// Alert name: fuzzed seeds score well below the training operational
+/// profile (the attack is drifting off-distribution, so accepted AEs
+/// stop being *operational* adversarial examples).
+pub const NATURALNESS_DRIFT: &str = "naturalness_drift";
+/// Alert name: the fuzz fan-out has stopped accepting proposals.
+pub const FUZZ_DEAD: &str = "fuzz_dead";
+/// Alert name: no seed has entered the attack stage recently.
+pub const SEEDS_STALLED: &str = "seeds_stalled";
+/// Alert name: the pipeline has sat in one non-idle phase too long.
+pub const STUCK_PHASE: &str = "stuck_phase";
+
+/// Renders the default pack as rule-grammar text. This is the exact
+/// format `obsctl alerts check` parses, so the shipped
+/// `rules/default.alerts` file and the pack `opad-core` installs stay
+/// one artifact expressed two ways.
+pub fn default_pack_text(pfd_bound: f64, naturalness_floor: f64) -> String {
+    format!(
+        "\
+# Default opad alert pack.
+# pfd_bound is the run's claimed reliability target; naturalness_floor
+# is a low quantile of log-density over the training operational profile.
+
+# The reliability claim itself: estimated pfd above the claimed bound,
+# sustained for half a second (one MC batch of noise is not a breach).
+alert {PFD_BOUND_BREACH} severity=critical for=500ms when gauge reliability.pfd_mean > {pfd_bound}
+
+# Fuzzed candidates scoring far below the training OP: the attack is
+# wandering off-distribution and \"operational\" AEs no longer are.
+alert {NATURALNESS_DRIFT} severity=warning for=500ms when hist attack.fuzz.naturalness p50 < {naturalness_floor}
+
+# Liveness: the fuzz fan-out stopped accepting, or seeds stopped
+# flowing into the attack stage at all.
+alert {FUZZ_DEAD} severity=warning for=10s when counter_stall attack.fuzz.accepted
+alert {SEEDS_STALLED} severity=warning for=10s when counter_stall pipeline.seeds_attacked
+
+# Watchdog: parked in one non-idle phase beyond any sane budget.
+alert {STUCK_PHASE} severity=critical when phase_stuck 30s
+"
+    )
+}
+
+/// The default pack, parsed. `pfd_bound` should be the run's claimed
+/// reliability target (its `target_pfd`); `naturalness_floor` a low
+/// quantile of training-OP log-density (see `opad-core`'s floor
+/// estimate).
+pub fn default_rules(pfd_bound: f64, naturalness_floor: f64) -> Vec<Rule> {
+    let (rules, errors) = parse_rules(&default_pack_text(pfd_bound, naturalness_floor));
+    debug_assert!(errors.is_empty(), "default pack must parse: {errors:?}");
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::check_vocabulary;
+
+    #[test]
+    fn default_pack_parses_and_names_only_known_metrics() {
+        let rules = default_rules(0.05, -25.0);
+        assert_eq!(rules.len(), 5);
+        let names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                PFD_BOUND_BREACH,
+                NATURALNESS_DRIFT,
+                FUZZ_DEAD,
+                SEEDS_STALLED,
+                STUCK_PHASE
+            ]
+        );
+        assert_eq!(check_vocabulary(&rules), Vec::<String>::new());
+    }
+
+    #[test]
+    fn pack_text_round_trips_through_rule_display() {
+        let rules = default_rules(0.05, -25.0);
+        for rule in &rules {
+            let rendered = rule.to_string();
+            let (back, errors) = parse_rules(&rendered);
+            assert!(errors.is_empty(), "{rendered}: {errors:?}");
+            assert_eq!(back.len(), 1);
+            assert_eq!(&back[0], rule, "display must render parseable grammar");
+        }
+    }
+}

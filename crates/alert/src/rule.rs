@@ -1,0 +1,552 @@
+//! The declarative rule grammar: one rule per line, parsed from plain
+//! text so packs can be committed, diffed and validated offline.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! alert <name> [severity=info|warning|critical] [for=<dur>] when <condition>
+//! ```
+//!
+//! Conditions:
+//!
+//! ```text
+//! gauge <metric> <op> <number>          last-written gauge value
+//! counter <metric> <op> <number>        counter running total
+//! counter_stall <metric>                no progress (absent, or total unchanged)
+//! hist <metric> p50|p90|p99 <op> <number>   histogram quantile
+//! phase_stuck <dur>                     pipeline.phase unchanged beyond the budget
+//! ```
+//!
+//! `<op>` is one of `> < >= <=`; `<dur>` is `250ms`, `10s`, `2m` or
+//! `1h`. A rule's `for=` duration is the hysteresis budget: the
+//! condition must hold continuously that long before the alert fires
+//! (see [`engine`](crate::engine) for the lifecycle).
+
+use std::fmt;
+
+/// How loudly a firing rule should be treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; nothing is wrong yet.
+    Info,
+    /// Needs a look; the run can continue.
+    Warning,
+    /// The run's output should not be trusted until resolved.
+    Critical,
+}
+
+impl Severity {
+    /// The lowercase wire/label form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses the lowercase form back.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A threshold comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+impl Cmp {
+    /// Applies the comparison.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Gt => lhs > rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Le => lhs <= rhs,
+        }
+    }
+
+    /// The source-text operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Lt => "<",
+            Cmp::Ge => ">=",
+            Cmp::Le => "<=",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Cmp> {
+        match s {
+            ">" => Some(Cmp::Gt),
+            "<" => Some(Cmp::Lt),
+            ">=" => Some(Cmp::Ge),
+            "<=" => Some(Cmp::Le),
+            _ => None,
+        }
+    }
+}
+
+/// A histogram quantile a rule may threshold on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantile {
+    /// Median.
+    P50,
+    /// 90th percentile.
+    P90,
+    /// 99th percentile.
+    P99,
+}
+
+impl Quantile {
+    /// The source-text form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Quantile::P50 => "p50",
+            Quantile::P90 => "p90",
+            Quantile::P99 => "p99",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Quantile> {
+        match s {
+            "p50" => Some(Quantile::P50),
+            "p90" => Some(Quantile::P90),
+            "p99" => Some(Quantile::P99),
+            _ => None,
+        }
+    }
+}
+
+/// What a rule watches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// The last-written value of a gauge against a threshold. A gauge
+    /// that was never published (or was withdrawn from the frame) makes
+    /// the condition false — absence of evidence is not a breach.
+    GaugeThreshold {
+        /// Gauge name (workspace dotted form).
+        metric: String,
+        /// Comparison direction.
+        cmp: Cmp,
+        /// Threshold value.
+        threshold: f64,
+    },
+    /// A counter's running total against a threshold.
+    CounterThreshold {
+        /// Counter name.
+        metric: String,
+        /// Comparison direction.
+        cmp: Cmp,
+        /// Threshold on the total.
+        threshold: f64,
+    },
+    /// A counter making no progress: either it has never appeared, or
+    /// its total stopped moving between evaluations. The rule's `for=`
+    /// duration is the grace budget.
+    CounterStall {
+        /// Counter name.
+        metric: String,
+    },
+    /// A histogram quantile against a threshold. Empty histograms make
+    /// the condition false.
+    HistQuantile {
+        /// Histogram name.
+        metric: String,
+        /// Which quantile to threshold.
+        q: Quantile,
+        /// Comparison direction.
+        cmp: Cmp,
+        /// Threshold value.
+        threshold: f64,
+    },
+    /// The watchdog: `pipeline.phase` reporting the same *working*
+    /// phase for longer than `budget_ms`. `idle` and `done` are exempt
+    /// (a parked pipeline is not stuck); unknown phase codes are not.
+    PhaseStuck {
+        /// How long one phase may persist before the condition holds.
+        budget_ms: f64,
+    },
+}
+
+impl Condition {
+    /// The metric name this condition reads, if any. `PhaseStuck`
+    /// implicitly reads [`opad_telemetry::phase::PHASE_GAUGE`].
+    pub fn metric(&self) -> Option<&str> {
+        match self {
+            Condition::GaugeThreshold { metric, .. }
+            | Condition::CounterThreshold { metric, .. }
+            | Condition::CounterStall { metric }
+            | Condition::HistQuantile { metric, .. } => Some(metric),
+            Condition::PhaseStuck { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::GaugeThreshold {
+                metric,
+                cmp,
+                threshold,
+            } => write!(f, "gauge {metric} {} {threshold}", cmp.symbol()),
+            Condition::CounterThreshold {
+                metric,
+                cmp,
+                threshold,
+            } => write!(f, "counter {metric} {} {threshold}", cmp.symbol()),
+            Condition::CounterStall { metric } => write!(f, "counter_stall {metric}"),
+            Condition::HistQuantile {
+                metric,
+                q,
+                cmp,
+                threshold,
+            } => write!(
+                f,
+                "hist {metric} {} {} {threshold}",
+                q.as_str(),
+                cmp.symbol()
+            ),
+            Condition::PhaseStuck { budget_ms } => write!(f, "phase_stuck {budget_ms}ms"),
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Unique alert name (the `alertname` label).
+    pub name: String,
+    /// How loud a firing instance is.
+    pub severity: Severity,
+    /// Hysteresis: how long the condition must hold continuously before
+    /// the alert moves from pending to firing. `0` fires on the first
+    /// true evaluation.
+    pub for_ms: f64,
+    /// What the rule watches.
+    pub condition: Condition,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alert {} severity={} for={}ms when {}",
+            self.name, self.severity, self.for_ms, self.condition
+        )
+    }
+}
+
+/// A rule-file parse problem, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line in the rule text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a duration literal: `250ms`, `10s`, `2m`, `1h` (integer or
+/// decimal magnitude). Returns milliseconds.
+pub fn parse_duration_ms(s: &str) -> Option<f64> {
+    let (num, unit) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000.0)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60_000.0)
+    } else if let Some(n) = s.strip_suffix('h') {
+        (n, 3_600_000.0)
+    } else {
+        return None;
+    };
+    let v: f64 = num.parse().ok()?;
+    (v.is_finite() && v >= 0.0).then_some(v * unit)
+}
+
+fn parse_condition(tokens: &[&str]) -> Result<Condition, String> {
+    let threshold = |tokens: &[&str]| -> Result<(Cmp, f64), String> {
+        let [op, value] = tokens else {
+            return Err("expected `<op> <number>`".to_string());
+        };
+        let cmp = Cmp::parse(op).ok_or_else(|| format!("unknown operator {op:?}"))?;
+        let threshold: f64 = value
+            .parse()
+            .map_err(|_| format!("threshold {value:?} is not a number"))?;
+        if !threshold.is_finite() {
+            return Err(format!("threshold {value:?} must be finite"));
+        }
+        Ok((cmp, threshold))
+    };
+    match tokens {
+        ["gauge", metric, rest @ ..] => {
+            let (cmp, threshold) = threshold(rest)?;
+            Ok(Condition::GaugeThreshold {
+                metric: metric.to_string(),
+                cmp,
+                threshold,
+            })
+        }
+        ["counter", metric, rest @ ..] => {
+            let (cmp, threshold) = threshold(rest)?;
+            Ok(Condition::CounterThreshold {
+                metric: metric.to_string(),
+                cmp,
+                threshold,
+            })
+        }
+        ["counter_stall", metric] => Ok(Condition::CounterStall {
+            metric: metric.to_string(),
+        }),
+        ["hist", metric, quantile, rest @ ..] => {
+            let q = Quantile::parse(quantile)
+                .ok_or_else(|| format!("unknown quantile {quantile:?} (p50|p90|p99)"))?;
+            let (cmp, threshold) = threshold(rest)?;
+            Ok(Condition::HistQuantile {
+                metric: metric.to_string(),
+                q,
+                cmp,
+                threshold,
+            })
+        }
+        ["phase_stuck", budget] => {
+            let budget_ms = parse_duration_ms(budget)
+                .ok_or_else(|| format!("bad duration {budget:?} (e.g. 30s, 2m)"))?;
+            Ok(Condition::PhaseStuck { budget_ms })
+        }
+        [kind, ..] => Err(format!(
+            "unknown condition kind {kind:?} (gauge|counter|counter_stall|hist|phase_stuck)"
+        )),
+        [] => Err("empty condition".to_string()),
+    }
+}
+
+fn parse_rule_line(line: &str) -> Result<Rule, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let ["alert", name, rest @ ..] = tokens.as_slice() else {
+        return Err("rule lines start with `alert <name>`".to_string());
+    };
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        || name.is_empty()
+    {
+        return Err(format!("alert name {name:?} must be [A-Za-z0-9_-]+"));
+    }
+    let mut severity = Severity::Warning;
+    let mut for_ms = 0.0;
+    let mut idx = 0;
+    while idx < rest.len() && rest[idx] != "when" {
+        let opt = rest[idx];
+        if let Some(v) = opt.strip_prefix("severity=") {
+            severity = Severity::parse(v).ok_or_else(|| format!("unknown severity {v:?}"))?;
+        } else if let Some(v) = opt.strip_prefix("for=") {
+            for_ms = parse_duration_ms(v)
+                .ok_or_else(|| format!("bad duration {v:?} (e.g. 250ms, 10s, 2m)"))?;
+        } else {
+            return Err(format!("unexpected token {opt:?} before `when`"));
+        }
+        idx += 1;
+    }
+    if idx >= rest.len() {
+        return Err("missing `when <condition>`".to_string());
+    }
+    let condition = parse_condition(&rest[idx + 1..])?;
+    Ok(Rule {
+        name: name.to_string(),
+        severity,
+        for_ms,
+        condition,
+    })
+}
+
+/// Parses a whole rule file. Comments (`#`) and blank lines are
+/// skipped; every malformed line becomes one [`ParseError`] (parsing
+/// continues, so a file reports all its problems at once). Duplicate
+/// alert names are an error — the engine keys state by name.
+pub fn parse_rules(text: &str) -> (Vec<Rule>, Vec<ParseError>) {
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_rule_line(line) {
+            Ok(rule) => {
+                if rules.iter().any(|r| r.name == rule.name) {
+                    errors.push(ParseError {
+                        line: i + 1,
+                        message: format!("duplicate alert name {:?}", rule.name),
+                    });
+                } else {
+                    rules.push(rule);
+                }
+            }
+            Err(message) => errors.push(ParseError {
+                line: i + 1,
+                message,
+            }),
+        }
+    }
+    (rules, errors)
+}
+
+/// Validates every metric reference in `rules` against the workspace
+/// vocabulary ([`opad_telemetry::vocab`]): the name must be known *and*
+/// published as the kind the condition reads. Returns one human-readable
+/// problem string per mismatch; empty means the pack is clean.
+pub fn check_vocabulary(rules: &[Rule]) -> Vec<String> {
+    use opad_telemetry::vocab::{kind_of, MetricKind};
+    let mut problems = Vec::new();
+    for rule in rules {
+        let want = match &rule.condition {
+            Condition::GaugeThreshold { .. } => MetricKind::Gauge,
+            Condition::CounterThreshold { .. } | Condition::CounterStall { .. } => {
+                MetricKind::Counter
+            }
+            Condition::HistQuantile { .. } => MetricKind::Histogram,
+            Condition::PhaseStuck { .. } => continue, // reads the known phase gauge
+        };
+        let Some(metric) = rule.condition.metric() else {
+            continue;
+        };
+        match kind_of(metric) {
+            None => problems.push(format!(
+                "rule {:?}: unknown metric {metric:?} (not in the published vocabulary)",
+                rule.name
+            )),
+            Some(kind) if kind != want => problems.push(format!(
+                "rule {:?}: metric {metric:?} is a {kind:?}, but the condition reads a {want:?}",
+                rule.name
+            )),
+            Some(_) => {}
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_parse_in_all_units() {
+        assert_eq!(parse_duration_ms("250ms"), Some(250.0));
+        assert_eq!(parse_duration_ms("10s"), Some(10_000.0));
+        assert_eq!(parse_duration_ms("2m"), Some(120_000.0));
+        assert_eq!(parse_duration_ms("1h"), Some(3_600_000.0));
+        assert_eq!(parse_duration_ms("0.5s"), Some(500.0));
+        assert_eq!(parse_duration_ms("0s"), Some(0.0));
+        assert_eq!(parse_duration_ms("10"), None, "unit is mandatory");
+        assert_eq!(parse_duration_ms("-1s"), None);
+        assert_eq!(parse_duration_ms("xs"), None);
+    }
+
+    #[test]
+    fn a_full_rule_file_parses() {
+        let text = "\
+# pack header comment
+alert pfd_breach severity=critical for=500ms when gauge reliability.pfd_mean > 0.05
+alert fuzz_dead for=10s when counter_stall attack.fuzz.accepted   # trailing comment
+alert slow_pgd when hist attack.pgd.iters_to_success p99 >= 14
+alert stuck severity=critical when phase_stuck 30s
+alert few_seeds when counter pipeline.seeds_attacked < 1
+";
+        let (rules, errors) = parse_rules(text);
+        assert_eq!(errors, Vec::new());
+        assert_eq!(rules.len(), 5);
+        assert_eq!(rules[0].name, "pfd_breach");
+        assert_eq!(rules[0].severity, Severity::Critical);
+        assert_eq!(rules[0].for_ms, 500.0);
+        assert_eq!(
+            rules[0].condition,
+            Condition::GaugeThreshold {
+                metric: "reliability.pfd_mean".to_string(),
+                cmp: Cmp::Gt,
+                threshold: 0.05,
+            }
+        );
+        assert_eq!(rules[1].severity, Severity::Warning, "default severity");
+        assert_eq!(rules[2].for_ms, 0.0, "default for-duration");
+        assert_eq!(
+            rules[3].condition,
+            Condition::PhaseStuck {
+                budget_ms: 30_000.0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_each_report_with_their_line_number() {
+        let text = "\
+alert ok when gauge pipeline.round >= 0
+alert bad-op when gauge pipeline.round >> 1
+not_a_rule
+alert ok when counter par.tasks > 0
+alert noq when hist par.task_us p42 > 1
+alert nofor for=10 when gauge pipeline.round > 0
+";
+        let (rules, errors) = parse_rules(text);
+        assert_eq!(rules.len(), 1, "{errors:?}");
+        let lines: Vec<usize> = errors.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5, 6]);
+        assert!(errors[2].message.contains("duplicate"), "{:?}", errors[2]);
+        assert!(errors[0].to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn vocabulary_check_flags_unknown_names_and_kind_mismatches() {
+        let (rules, errors) = parse_rules(
+            "\
+alert ok when gauge reliability.pfd_mean > 0.1
+alert typo when gauge reliability.pfd_meen > 0.1
+alert wrong_kind when counter_stall pipeline.round
+alert watchdog when phase_stuck 5s
+",
+        );
+        assert!(errors.is_empty());
+        let problems = check_vocabulary(&rules);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("pfd_meen"));
+        assert!(problems[1].contains("Gauge"), "{}", problems[1]);
+    }
+
+    #[test]
+    fn rules_render_back_to_parseable_text() {
+        let (rules, _) =
+            parse_rules("alert x severity=info for=2s when hist attack.fuzz.naturalness p50 < -20");
+        let rendered = rules[0].to_string();
+        let (reparsed, errors) = parse_rules(&rendered);
+        assert!(errors.is_empty(), "{rendered}: {errors:?}");
+        assert_eq!(reparsed[0], rules[0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! [`AlertWatch`]: the background evaluation thread — polls a
+//! [`LiveRecorder`] snapshot every interval and feeds it to an
+//! [`AlertCenter`].
+//!
+//! Polling (rather than hooking the recording path) is the whole
+//! design: the hot path keeps its wait-free counters, and rule cost is
+//! bounded by `rules × poll rate` regardless of event volume. A few
+//! hundred milliseconds of detection latency is irrelevant for alerts
+//! whose `for=` budgets are measured in seconds.
+
+use crate::center::AlertCenter;
+use opad_telemetry::LiveRecorder;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default poll interval.
+const DEFAULT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// How finely the sleep is sliced so `stop` is honoured promptly even
+/// with long intervals.
+const STOP_POLL: Duration = Duration::from_millis(10);
+
+/// A not-yet-started watch: a recorder to poll and a center to feed.
+pub struct AlertWatch {
+    recorder: Arc<LiveRecorder>,
+    center: Arc<AlertCenter>,
+    interval: Duration,
+}
+
+impl AlertWatch {
+    /// Pairs `recorder` with `center` at the default poll interval.
+    pub fn new(recorder: Arc<LiveRecorder>, center: Arc<AlertCenter>) -> AlertWatch {
+        AlertWatch {
+            recorder,
+            center,
+            interval: DEFAULT_INTERVAL,
+        }
+    }
+
+    /// Overrides the poll interval.
+    pub fn interval(mut self, interval: Duration) -> AlertWatch {
+        self.interval = interval;
+        self
+    }
+
+    /// Starts the background evaluation thread.
+    pub fn spawn(self) -> WatchHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("opad-alert-watch".to_string())
+            .spawn(move || {
+                while !loop_stop.load(Ordering::Acquire) {
+                    self.center.eval_snapshot(&self.recorder.snapshot());
+                    let mut slept = Duration::ZERO;
+                    while slept < self.interval && !loop_stop.load(Ordering::Acquire) {
+                        let step = STOP_POLL.min(self.interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+                // One final evaluation so the end-of-run state (e.g. a
+                // breach resolving as the pipeline parks) still lands in
+                // the log before shutdown.
+                self.center.eval_snapshot(&self.recorder.snapshot());
+            })
+            .expect("spawning the alert watch thread");
+        WatchHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Handle to a running watch; dropping it stops the thread.
+pub struct WatchHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WatchHandle {
+    /// Stops the watch (after one final evaluation) and joins the
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for WatchHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::parse_rules;
+    use opad_telemetry::Recorder;
+
+    #[test]
+    fn watch_picks_up_a_breach_and_final_eval_runs_on_shutdown() {
+        let (rules, _) = parse_rules("alert b when gauge g > 1");
+        let center = Arc::new(AlertCenter::new(rules));
+        let recorder = Arc::new(LiveRecorder::new());
+        let watch = AlertWatch::new(recorder.clone(), center.clone())
+            .interval(Duration::from_millis(5))
+            .spawn();
+        recorder.gauge_set("g", 2.0);
+        // The watch should observe the breach within a few polls.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !center.any_firing() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(center.any_firing(), "watch never observed the breach");
+        // Recovery lands at the latest via the final shutdown eval.
+        recorder.gauge_set("g", 0.0);
+        watch.shutdown();
+        assert!(!center.any_firing());
+        let history = center.history();
+        assert_eq!(
+            history.last().map(|t| t.to),
+            Some(crate::engine::AlertState::Resolved)
+        );
+    }
+}

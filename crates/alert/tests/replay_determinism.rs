@@ -1,0 +1,114 @@
+//! Replay determinism across worker-pool widths.
+//!
+//! The alerting contract is that a recorded run replays to the *exact*
+//! same transition transcript no matter the machine — including when
+//! the metrics being recorded were produced by `opad-par` fan-outs at
+//! different thread counts. Counters are commutative sums and the
+//! engine's clock is the frame clock, so OPAD_THREADS must be
+//! invisible to the transcript.
+
+use opad_alert::rule::parse_rules;
+use opad_alert::{replay, AlertState, MetricsFrame, Transition};
+use opad_par::{override_threads, par_map};
+use opad_telemetry::{LiveRecorder, Recorder};
+
+const PACK: &str = "\
+alert breach severity=critical for=500ms when gauge reliability.pfd_mean > 0.05
+alert stall for=1s when counter_stall par.tasks
+alert slow when hist task_score p99 >= 90
+";
+
+/// Runs a deterministic metric-producing workload at `threads` workers
+/// and returns the frame the engine would see at clock `t_ms`.
+fn workload_frame(threads: usize, t_ms: f64, pfd: f64) -> MetricsFrame {
+    let _guard = override_threads(threads);
+    let rec = LiveRecorder::new();
+    let scores: Vec<u64> = par_map(&(0..64).collect::<Vec<u64>>(), |_, i| (*i * 13) % 100);
+    for s in &scores {
+        rec.counter_add("par.tasks", 1);
+        rec.histogram_record("task_score", *s as f64);
+    }
+    rec.gauge_set("reliability.pfd_mean", pfd);
+    let mut frame = MetricsFrame::from_snapshot(&rec.snapshot());
+    // Pin the clock: wall time is the one legitimately nondeterministic
+    // snapshot field, and the engine only ever reads t_ms from frames.
+    frame.t_ms = t_ms;
+    frame
+}
+
+/// Drives one full lifecycle (quiet → breach → sustain → recover)
+/// through a fresh engine at the given thread count.
+fn transcript(threads: usize) -> (Vec<Transition>, Vec<(String, AlertState)>) {
+    let (rules, errors) = parse_rules(PACK);
+    assert!(errors.is_empty(), "{errors:?}");
+    let mut engine = opad_alert::AlertEngine::new(rules);
+    let mut transitions = Vec::new();
+    for (t_ms, pfd) in [(0.0, 0.01), (100.0, 0.21), (700.0, 0.21), (900.0, 0.02)] {
+        transitions.extend(engine.eval(&workload_frame(threads, t_ms, pfd)));
+    }
+    let finals = engine
+        .statuses()
+        .into_iter()
+        .map(|s| (s.name, s.state))
+        .collect();
+    (transitions, finals)
+}
+
+#[test]
+fn transcripts_match_at_one_and_four_threads() {
+    let (t1, f1) = transcript(1);
+    let (t4, f4) = transcript(4);
+    assert_eq!(t1, t4, "thread count leaked into the alert transcript");
+    assert_eq!(f1, f4);
+    // And the transcript is the canonical full lifecycle for `breach`.
+    let breach: Vec<(AlertState, AlertState)> = t1
+        .iter()
+        .filter(|t| t.alert == "breach")
+        .map(|t| (t.from, t.to))
+        .collect();
+    assert_eq!(
+        breach,
+        vec![
+            (AlertState::Inactive, AlertState::Pending),
+            (AlertState::Pending, AlertState::Firing),
+            (AlertState::Firing, AlertState::Resolved),
+        ]
+    );
+}
+
+#[test]
+fn recorded_stream_replays_identically_regardless_of_ambient_threads() {
+    // A textual sample stream is already thread-independent; assert the
+    // whole replay path (parse → accumulate → evaluate) is too, even
+    // when run under different pool widths.
+    let stream = r#"
+{"v":1,"kind":"sample","t_ms":0,"type":"gauge","name":"reliability.pfd_mean","value":0.01}
+{"v":1,"kind":"sample","t_ms":0,"type":"counter","name":"par.tasks","total":64}
+{"v":1,"kind":"tick","t_ms":0}
+{"v":1,"kind":"sample","t_ms":100,"type":"gauge","name":"reliability.pfd_mean","value":0.30}
+{"v":1,"kind":"tick","t_ms":100}
+{"v":1,"kind":"tick","t_ms":700}
+{"v":1,"kind":"sample","t_ms":2000,"type":"gauge","name":"reliability.pfd_mean","value":0.01}
+{"v":1,"kind":"tick","t_ms":2000}
+"#;
+    let run = |threads: usize| {
+        let _guard = override_threads(threads);
+        let (rules, errors) = parse_rules(PACK);
+        assert!(errors.is_empty(), "{errors:?}");
+        replay(rules, stream)
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.transitions, b.transitions);
+    assert_eq!(a.statuses, b.statuses);
+    assert_eq!(a.errors, b.errors);
+    // The stall rule trips at t=2000 (counter frozen past its 1s
+    // budget) in both runs — a real transition, not an empty transcript.
+    assert!(
+        a.transitions
+            .iter()
+            .any(|t| t.alert == "stall" && t.to == AlertState::Firing),
+        "{:?}",
+        a.transitions
+    );
+}

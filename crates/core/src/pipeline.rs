@@ -6,6 +6,7 @@ use crate::{
     classify_outcome, retrain_with_aes, AeCorpus, DetectedAe, PipelineError, RetrainConfig,
     SeedSampler, SeedWeighting,
 };
+use opad_alert::{default_rules, Rule as AlertRule};
 use opad_attack::Attack;
 use opad_data::Dataset;
 use opad_nn::Network;
@@ -32,6 +33,25 @@ const PURPOSE_RETRAIN: u64 = 4;
 /// is also what makes the parallel fuzz fan-out order-independent.
 fn purpose_rng(round_seed: u64, purpose: u64) -> StdRng {
     StdRng::seed_from_u64(opad_par::stream_seed(round_seed, purpose))
+}
+
+// The `naturalness_drift` floor is the field data's own low log-density
+// quantile minus a generous margin: fuzzed candidates scoring below it
+// are less plausible than (almost) anything the operational profile ever
+// produced, so accepted AEs have stopped being *operational*.
+const NATURALNESS_FLOOR_QUANTILE: f64 = 0.05;
+const NATURALNESS_FLOOR_MARGIN: f64 = 10.0;
+
+fn naturalness_floor<D: Density>(density: &D, field_data: &Dataset) -> Result<f64, PipelineError> {
+    let d = field_data.feature_dim();
+    let xs = field_data.features().as_slice();
+    let mut scores = Vec::with_capacity(field_data.len());
+    for i in 0..field_data.len() {
+        scores.push(density.log_density(&xs[i * d..(i + 1) * d])?);
+    }
+    scores.sort_by(f64::total_cmp);
+    let ix = ((scores.len() - 1) as f64 * NATURALNESS_FLOOR_QUANTILE).floor() as usize;
+    Ok(scores[ix] - NATURALNESS_FLOOR_MARGIN)
 }
 
 /// Configuration of the testing loop.
@@ -182,6 +202,7 @@ pub struct TestingLoop<D> {
     sampler: SeedSampler,
     config: LoopConfig,
     rounds_run: usize,
+    alert_rules: Vec<AlertRule>,
 }
 
 impl<D: Density> TestingLoop<D> {
@@ -210,6 +231,13 @@ impl<D: Density> TestingLoop<D> {
         let cell_op = partition.cell_distribution(field_data.features(), 0.5)?;
         let reliability = CellReliabilityModel::new(cell_op.clone())?;
         let sampler = SeedSampler::new(config.weighting);
+        // The run's own claims parameterise its watchdogs: the pfd bound
+        // it set out to demonstrate, and a naturalness floor derived from
+        // the training OP's log-density over the field data.
+        let alert_rules = default_rules(
+            target.target_pfd,
+            naturalness_floor(op.density(), field_data)?,
+        );
         Ok(TestingLoop {
             net,
             op,
@@ -221,6 +249,7 @@ impl<D: Density> TestingLoop<D> {
             sampler,
             config,
             rounds_run: 0,
+            alert_rules,
         })
     }
 
@@ -254,6 +283,15 @@ impl<D: Density> TestingLoop<D> {
         &self.reliability
     }
 
+    /// The default alert pack this loop installs into the global
+    /// [`opad_alert`] center (when one is installed) at the top of every
+    /// round: pfd-bound breach, naturalness drift against the training
+    /// OP, dead fuzz fan-out / stalled seeds, and the stuck-phase
+    /// watchdog — parameterised on this run's own target and data.
+    pub fn alert_rules(&self) -> &[AlertRule] {
+        &self.alert_rules
+    }
+
     /// Replaces the operational profile mid-loop (RQ1 re-learning after
     /// drift): recomputes the per-cell OP from `fresh_field_data` and
     /// resets the reliability evidence, since the old demands were drawn
@@ -277,6 +315,11 @@ impl<D: Density> TestingLoop<D> {
             .partition
             .cell_distribution(fresh_field_data.features(), 0.5)?;
         self.reliability = CellReliabilityModel::new(self.cell_op.clone())?;
+        // The naturalness floor belongs to the profile that defined it.
+        self.alert_rules = default_rules(
+            self.timeline.target().target_pfd,
+            naturalness_floor(op.density(), fresh_field_data)?,
+        );
         self.op = op;
         Ok(())
     }
@@ -331,6 +374,12 @@ impl<D: Density> TestingLoop<D> {
         // Live observers (opad-serve `/healthz`, `/metrics`) read these
         // gauges to report where the run currently is.
         telemetry::phase::set_round(round);
+        // If an alert center is watching this process, make sure it has
+        // the default pack for this run (idempotent by rule name, so
+        // operator-tuned overrides with the same names win).
+        if let Some(center) = opad_alert::current() {
+            center.ensure_rules(&self.alert_rules);
+        }
         let mut step_ms = StepDurations::default();
 
         let round_seed: u64 = rng.gen();
@@ -653,6 +702,75 @@ mod tests {
         assert!(report.wall_ms > 0.0);
         assert!(report.step_ms.fuzz_ms > 0.0);
         assert!(report.step_ms.total_ms() <= report.wall_ms);
+    }
+
+    #[test]
+    fn constructed_loop_carries_the_default_alert_pack() {
+        let f = fixture();
+        let target = ReliabilityTarget::new(0.05, 0.95).unwrap();
+        let lp = TestingLoop::new(
+            f.net,
+            f.op.clone(),
+            f.partition,
+            &f.field,
+            target,
+            small_config(),
+        )
+        .unwrap();
+        let names: Vec<&str> = lp.alert_rules().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                opad_alert::pack::PFD_BOUND_BREACH,
+                opad_alert::pack::NATURALNESS_DRIFT,
+                opad_alert::pack::FUZZ_DEAD,
+                opad_alert::pack::SEEDS_STALLED,
+                opad_alert::pack::STUCK_PHASE,
+            ]
+        );
+        // The breach rule carries this run's own target as its threshold,
+        // and the drift floor sits below anything the field data scores.
+        let breach = &lp.alert_rules()[0];
+        match &breach.condition {
+            opad_alert::Condition::GaugeThreshold { threshold, .. } => {
+                assert!((threshold - 0.05).abs() < 1e-12)
+            }
+            other => panic!("unexpected breach condition {other:?}"),
+        }
+        let floor = match &lp.alert_rules()[1].condition {
+            opad_alert::Condition::HistQuantile { threshold, .. } => *threshold,
+            other => panic!("unexpected drift condition {other:?}"),
+        };
+        let d = f.field.feature_dim();
+        let xs = f.field.features().as_slice();
+        for i in 0..f.field.len() {
+            let score = f.op.density().log_density(&xs[i * d..(i + 1) * d]).unwrap();
+            assert!(score > floor, "field point {i} scores {score} <= {floor}");
+        }
+    }
+
+    #[test]
+    fn run_round_installs_the_pack_into_the_global_center() {
+        let f = fixture();
+        let target = ReliabilityTarget::new(1e-4, 0.95).unwrap();
+        let mut lp =
+            TestingLoop::new(f.net, f.op, f.partition, &f.field, target, small_config()).unwrap();
+        let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 5, 0.08).unwrap();
+        let mut r = rng();
+        let center = std::sync::Arc::new(opad_alert::AlertCenter::new(Vec::new()));
+        opad_alert::install(center.clone());
+        let ran = lp.run_round(&f.field, &f.train, &attack, &mut r);
+        opad_alert::uninstall();
+        ran.unwrap();
+        for name in [
+            opad_alert::pack::PFD_BOUND_BREACH,
+            opad_alert::pack::NATURALNESS_DRIFT,
+            opad_alert::pack::FUZZ_DEAD,
+            opad_alert::pack::SEEDS_STALLED,
+            opad_alert::pack::STUCK_PHASE,
+        ] {
+            assert!(center.has_rule(name), "pack rule {name} not installed");
+        }
     }
 
     #[test]

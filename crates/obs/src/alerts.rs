@@ -1,0 +1,304 @@
+//! `obsctl alerts` — offline faces of the alerting plane.
+//!
+//! * `alerts check <rules>` parses a rule file and validates every
+//!   referenced metric against the workspace vocabulary
+//!   ([`opad_telemetry::vocab`]), so a typo'd rule fails CI instead of
+//!   silently never firing.
+//! * `alerts replay <rules> <recording>` runs the rules over a recorded
+//!   sample stream (`*.jsonl`, the [`opad_alert::replay`] format) or a
+//!   finished run envelope (`*.json`, evaluated as one final frame) and
+//!   prints the exact transition transcript the live engine would have
+//!   produced. `--expect name=state,...` turns the final states into a
+//!   gate: non-zero exit on mismatch.
+
+use crate::envelope::{read_envelope, TelemetrySummary};
+use opad_alert::{
+    check_vocabulary, eval_once, parse_rules, replay, AlertState, HistStats, MetricsFrame,
+    ReplayOutcome, Rule,
+};
+use std::io::Write;
+use std::path::Path;
+
+const ALERTS_USAGE: &str = "\
+usage:
+  obsctl alerts check <rules-file>
+  obsctl alerts replay <rules-file> <stream.jsonl|envelope.json> [--expect name=state,...]";
+
+/// `obsctl alerts <check|replay> ...`. Exit codes follow the CLI
+/// convention: 0 clean, 1 gate failure (bad rules, failed expectation),
+/// 2 usage or I/O error.
+pub fn cmd_alerts(args: &[String], out: &mut dyn Write) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..], out),
+        Some("replay") => cmd_replay(&args[1..], out),
+        _ => {
+            let _ = writeln!(out, "{ALERTS_USAGE}");
+            2
+        }
+    }
+}
+
+fn load_rules(path: &str, out: &mut dyn Write) -> Result<Vec<Rule>, i32> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            let _ = writeln!(out, "error: {path}: {e}");
+            return Err(2);
+        }
+    };
+    let (rules, errors) = parse_rules(&text);
+    for e in &errors {
+        let _ = writeln!(out, "{path}:{}: {}", e.line, e.message);
+    }
+    if !errors.is_empty() {
+        let _ = writeln!(out, "{} parse error(s)", errors.len());
+        return Err(1);
+    }
+    if rules.is_empty() {
+        let _ = writeln!(out, "error: {path} defines no rules");
+        return Err(1);
+    }
+    Ok(rules)
+}
+
+fn cmd_check(args: &[String], out: &mut dyn Write) -> i32 {
+    let Some(path) = args.first() else {
+        let _ = writeln!(out, "{ALERTS_USAGE}");
+        return 2;
+    };
+    let rules = match load_rules(path, out) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let problems = check_vocabulary(&rules);
+    for p in &problems {
+        let _ = writeln!(out, "{path}: {p}");
+    }
+    if !problems.is_empty() {
+        let _ = writeln!(out, "{} vocabulary problem(s)", problems.len());
+        return 1;
+    }
+    let _ = writeln!(
+        out,
+        "{path}: {} rule(s) ok, all metric names in the workspace vocabulary",
+        rules.len()
+    );
+    for rule in &rules {
+        let _ = writeln!(out, "  {rule}");
+    }
+    0
+}
+
+/// `name=state` pairs from every `--expect` argument (comma-separable).
+fn parse_expectations(
+    args: &[String],
+    out: &mut dyn Write,
+) -> Result<Vec<(String, AlertState)>, i32> {
+    let mut expect = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a != "--expect" {
+            continue;
+        }
+        let Some(spec) = it.next() else {
+            let _ = writeln!(out, "error: --expect needs name=state,...");
+            return Err(2);
+        };
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let Some((name, state)) = pair.split_once('=') else {
+                let _ = writeln!(
+                    out,
+                    "error: malformed expectation {pair:?} (want name=state)"
+                );
+                return Err(2);
+            };
+            let Some(state) = AlertState::parse(state) else {
+                let _ = writeln!(
+                    out,
+                    "error: unknown state {state:?} (inactive|pending|firing|resolved)"
+                );
+                return Err(2);
+            };
+            expect.push((name.to_string(), state));
+        }
+    }
+    Ok(expect)
+}
+
+fn cmd_replay(args: &[String], out: &mut dyn Write) -> i32 {
+    let positional: Vec<&String> = {
+        // Skip flag values: everything after --expect is its spec.
+        let mut pos = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--expect" {
+                let _ = it.next();
+            } else if !a.starts_with("--") {
+                pos.push(a);
+            }
+        }
+        pos
+    };
+    let (Some(rules_path), Some(recording)) = (positional.first(), positional.get(1)) else {
+        let _ = writeln!(out, "{ALERTS_USAGE}");
+        return 2;
+    };
+    let rules = match load_rules(rules_path, out) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let expect = match parse_expectations(args, out) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    for (name, _) in &expect {
+        if !rules.iter().any(|r| &r.name == name) {
+            let _ = writeln!(out, "error: --expect names unknown rule {name:?}");
+            return 2;
+        }
+    }
+    let outcome = match run_recording(rules, recording, out) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    for (line, message) in &outcome.errors {
+        let _ = writeln!(out, "{recording}:{line}: skipped: {message}");
+    }
+    let _ = writeln!(
+        out,
+        "replayed {} evaluation point(s), {} transition(s):",
+        outcome.ticks,
+        outcome.transitions.len()
+    );
+    for t in &outcome.transitions {
+        let _ = writeln!(out, "  {t}");
+    }
+    let _ = writeln!(out, "final states:");
+    for s in &outcome.statuses {
+        let _ = writeln!(out, "  {:<24} {}", s.name, s.state.as_str());
+    }
+    let mut failures = 0;
+    for (name, want) in &expect {
+        let got = outcome
+            .statuses
+            .iter()
+            .find(|s| &s.name == name)
+            .map(|s| s.state)
+            .expect("expectation names were validated against the rules");
+        if got != *want {
+            let _ = writeln!(
+                out,
+                "FAIL: {name} ended {} (expected {})",
+                got.as_str(),
+                want.as_str()
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        let _ = writeln!(out, "{failures} expectation(s) failed");
+        return 1;
+    }
+    if !expect.is_empty() {
+        let _ = writeln!(out, "all {} expectation(s) hold", expect.len());
+    }
+    0
+}
+
+/// Dispatches on recording type: a run envelope replays as one final
+/// frame; anything else is treated as a sample stream.
+fn run_recording(
+    rules: Vec<Rule>,
+    recording: &str,
+    out: &mut dyn Write,
+) -> Result<ReplayOutcome, i32> {
+    let path = Path::new(recording);
+    if path.extension().is_some_and(|e| e == "json") {
+        let envelope = match read_envelope(path) {
+            Ok(e) => e,
+            Err(e) => {
+                let _ = writeln!(out, "error: {recording}: {e}");
+                return Err(2);
+            }
+        };
+        let Some(telemetry) = envelope.telemetry else {
+            let _ = writeln!(out, "error: {recording} has no telemetry block to evaluate");
+            return Err(2);
+        };
+        let _ = writeln!(
+            out,
+            "evaluating run {} as one final frame (wall {:.0} ms)",
+            envelope.run_id, telemetry.wall_ms
+        );
+        Ok(eval_once(rules, &envelope_frame(&telemetry)))
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(replay(rules, &text)),
+            Err(e) => {
+                let _ = writeln!(out, "error: {recording}: {e}");
+                Err(2)
+            }
+        }
+    }
+}
+
+/// A finished run's telemetry summary as one evaluation frame: counters
+/// and gauges verbatim, histogram summaries reduced to the same
+/// [`HistStats`] shape live snapshots produce.
+pub fn envelope_frame(t: &TelemetrySummary) -> MetricsFrame {
+    let mut frame = MetricsFrame::new(t.wall_ms);
+    for (name, total) in &t.counters {
+        frame.set_counter(name, *total);
+    }
+    for (name, value) in &t.gauges {
+        frame.set_gauge(name, *value);
+    }
+    for h in &t.histograms {
+        if h.count > 0 {
+            frame.set_hist(
+                &h.name,
+                HistStats {
+                    count: h.count,
+                    p50: h.p50,
+                    p90: h.p90,
+                    p99: h.p99,
+                },
+            );
+        }
+    }
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::HistStat;
+
+    #[test]
+    fn envelope_frames_carry_the_summary_shape() {
+        let t = TelemetrySummary {
+            wall_ms: 900.0,
+            counters: vec![("pipeline.seeds_attacked".to_string(), 30)],
+            gauges: vec![("reliability.pfd_mean".to_string(), 0.2)],
+            histograms: vec![HistStat {
+                name: "attack.fuzz.naturalness".to_string(),
+                count: 10,
+                min: -40.0,
+                max: -10.0,
+                mean: -25.0,
+                p50: -26.0,
+                p90: -14.0,
+                p99: -11.0,
+            }],
+            ..TelemetrySummary::default()
+        };
+        let frame = envelope_frame(&t);
+        assert_eq!(frame.t_ms, 900.0);
+        assert_eq!(frame.counter("pipeline.seeds_attacked"), Some(30));
+        assert_eq!(frame.gauge("reliability.pfd_mean"), Some(0.2));
+        assert_eq!(
+            frame.hist("attack.fuzz.naturalness").map(|h| h.p50),
+            Some(-26.0)
+        );
+    }
+}

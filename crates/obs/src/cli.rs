@@ -6,6 +6,7 @@
 //! code: `0` clean, `1` gate failure (regression or selfcheck error),
 //! `2` usage or I/O error.
 
+use crate::alerts::cmd_alerts;
 use crate::bench::{
     json_str, next_bench_seq, read_bench_report, run_benchmarks, write_bench_report, BenchConfig,
 };
@@ -50,6 +51,12 @@ usage:
                                             notice when fewer than two snapshots exist)
   obsctl perf report [bench_dir] [--json|--md]
                                             trajectory report for CI / PR comments
+  obsctl alerts check <rules-file>          parse an alert rule file and validate
+                                            metric names against the vocabulary
+  obsctl alerts replay <rules-file> <stream.jsonl|envelope.json> [--expect name=state,...]
+                                            deterministic rule replay over a recorded
+                                            sample stream or run envelope (non-zero
+                                            exit when an expectation fails)
   obsctl list [results_dir]                 discover every run envelope
   obsctl selfcheck [results_dir] [bench_dir]
                                             validate all artefacts against their schema versions
@@ -65,6 +72,7 @@ pub fn run(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
         "diff" => cmd_diff(rest, out),
         "bench" => cmd_bench(rest, env, out),
         "perf" => cmd_perf(rest, out),
+        "alerts" => cmd_alerts(rest, out),
         "list" => cmd_list(rest, out),
         "selfcheck" => cmd_selfcheck(rest, out),
         "help" | "--help" | "-h" => {

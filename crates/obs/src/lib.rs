@@ -28,6 +28,12 @@
 //!   under a relative threshold plus an absolute-ns floor, sample-size
 //!   scaled; non-zero exit on regression), and JSON/markdown trajectory
 //!   reports for CI;
+//! * `obsctl alerts check` / `alerts replay` — the offline faces of the
+//!   `opad-alert` plane: rule-file validation against the workspace
+//!   metric vocabulary, and deterministic replay of a rule pack over a
+//!   recorded sample stream or run envelope, reproducing the exact
+//!   inactive → pending → firing → resolved transcript (with `--expect`
+//!   as a CI gate);
 //! * `obsctl list` / `obsctl selfcheck` — uniform discovery of every run
 //!   envelope and schema validation of every artefact in `results/`.
 //!
@@ -39,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+mod alerts;
 mod bench;
 mod cli;
 mod diff;
@@ -49,6 +56,7 @@ mod perf;
 mod selfcheck;
 mod tree;
 
+pub use alerts::envelope_frame;
 pub use bench::{next_bench_seq, run_benchmarks, write_bench_report, BenchConfig, KernelStats};
 pub use bench::{read_bench_report, BenchReport, BENCH_SCHEMA_VERSION};
 pub use cli::{run, CliEnv};

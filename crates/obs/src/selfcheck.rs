@@ -1,15 +1,16 @@
 //! `obsctl selfcheck` — validate every artefact against its declared
 //! schema version.
 //!
-//! Covers the three artefact families: `results/*.json` run envelopes,
-//! `results/*_trace.jsonl` span streams, and `BENCH_*.json` benchmark
-//! snapshots. A truncated trace tail is reported as a warning (a crashed
-//! run is a fact, not a malformed file); everything else unparseable is
-//! an error.
+//! Covers the four artefact families: `results/*.json` run envelopes,
+//! `results/*_trace.jsonl` span streams, `results/*_alerts.jsonl` alert
+//! transition logs, and `BENCH_*.json` benchmark snapshots. A truncated
+//! trace tail is reported as a warning (a crashed run is a fact, not a
+//! malformed file); everything else unparseable is an error.
 
 use crate::bench::read_bench_report;
 use crate::envelope::read_envelope;
-use opad_telemetry::parse_trace;
+use opad_alert::transition_from_json;
+use opad_telemetry::{parse_json, parse_trace, JsonValue};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -77,6 +78,14 @@ pub fn selfcheck_dir(results_dir: &Path, bench_dir: &Path) -> CheckOutcome {
             } else {
                 out.ok.push(name);
             }
+        } else if name.ends_with("_alerts.jsonl") {
+            match std::fs::read_to_string(&path) {
+                Err(_) => out.errors.push((name, "unreadable".into())),
+                Ok(text) => match first_bad_alert_line(&text) {
+                    Some((line, m)) => out.errors.push((name, format!("line {line}: {m}"))),
+                    None => out.ok.push(name),
+                },
+            }
         } else if name.ends_with(".json") && !name.starts_with("BENCH_") {
             // Bench snapshots are validated by the bench pass below, even
             // when `bench_dir` happens to be the same directory.
@@ -111,6 +120,26 @@ pub fn selfcheck_dir(results_dir: &Path, bench_dir: &Path) -> CheckOutcome {
         }
     }
     out
+}
+
+/// First invalid line of an alert transition log, if any. Lines of other
+/// kinds sharing the file are tolerated (mirroring the reader), but they
+/// must still be JSON, and anything claiming `kind:"alert"` must decode.
+fn first_bad_alert_line(text: &str) -> Option<(usize, String)> {
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = parse_json(line) else {
+            return Some((i + 1, "unparseable line".to_string()));
+        };
+        if v.get("kind").and_then(JsonValue::as_str) == Some("alert")
+            && transition_from_json(line).is_none()
+        {
+            return Some((i + 1, "malformed alert transition".to_string()));
+        }
+    }
+    None
 }
 
 fn sorted_files(dir: &Path) -> Vec<std::path::PathBuf> {
@@ -190,6 +219,23 @@ mod tests {
         assert!(outcome.errors[0].1.contains("newer than supported"));
         let report = outcome.render();
         assert!(report.contains("selfcheck: 3 ok, 1 warnings, 1 errors"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn alert_logs_validate_line_by_line() {
+        let dir = fixture_dir("alerts");
+        let good = "{\"v\":1,\"kind\":\"alert\",\"t_ms\":10.0,\"alert\":\"b\",\
+                    \"severity\":\"critical\",\"from\":\"pending\",\"to\":\"firing\"}\n";
+        std::fs::write(dir.join("results/run_alerts.jsonl"), good).expect("fixture writes");
+        // A transition with an unknown state is an error, not skipped.
+        let bad = "{\"v\":1,\"kind\":\"alert\",\"t_ms\":10.0,\"alert\":\"b\",\
+                   \"severity\":\"critical\",\"from\":\"pending\",\"to\":\"exploded\"}\n";
+        std::fs::write(dir.join("results/broken_alerts.jsonl"), bad).expect("fixture writes");
+        let outcome = selfcheck_dir(&dir.join("results"), &dir);
+        assert_eq!(outcome.ok, vec!["run_alerts.jsonl"]);
+        assert_eq!(outcome.errors.len(), 1);
+        assert!(outcome.errors[0].1.contains("line 1"), "{outcome:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

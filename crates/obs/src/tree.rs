@@ -87,9 +87,9 @@ pub fn aggregate_spans(events: &[Event]) -> SpanTree {
             start_info.insert(*id, (*parent, name));
         }
     }
-    fn path_of<'a>(
+    fn path_of(
         id: u64,
-        start_info: &std::collections::HashMap<u64, (Option<u64>, &'a str)>,
+        start_info: &std::collections::HashMap<u64, (Option<u64>, &str)>,
         cache: &mut std::collections::HashMap<u64, Vec<String>>,
     ) -> Vec<String> {
         if let Some(p) = cache.get(&id) {
@@ -152,14 +152,11 @@ pub fn aggregate_spans(events: &[Event]) -> SpanTree {
 pub fn critical_path(root: &SpanTree) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut node = root;
-    loop {
-        let Some(next) = node
-            .children
-            .iter()
-            .max_by(|a, b| a.total_ms.total_cmp(&b.total_ms))
-        else {
-            break;
-        };
+    while let Some(next) = node
+        .children
+        .iter()
+        .max_by(|a, b| a.total_ms.total_cmp(&b.total_ms))
+    {
         out.push((next.name.clone(), next.total_ms));
         node = next;
     }

@@ -607,3 +607,142 @@ fn list_discovers_every_envelope_uniformly() {
     assert!(out.contains("rows"), "{out}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The committed replay fixture: a short recorded run in which the pfd
+/// estimate breaches its bound, sustains, and recovers, while the fuzz
+/// and seed counters keep moving.
+fn alerts_fixture() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/alerts_replay.jsonl"
+    )
+}
+
+/// Writes the default rule pack (the same text shipped as
+/// `rules/default.alerts`) into `dir`.
+fn write_default_pack(dir: &Path) -> PathBuf {
+    let path = dir.join("default.alerts");
+    std::fs::write(&path, opad_alert::default_pack_text(0.05, -25.0)).expect("pack writes");
+    path
+}
+
+#[test]
+fn alerts_check_validates_the_default_pack() {
+    let dir = fixture_dir("alerts_check");
+    let pack = write_default_pack(&dir);
+    let (code, out) = run_cli(&["alerts", "check", pack.to_str().expect("utf8")]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("5 rule(s) ok"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn alerts_check_rejects_unknown_metrics_and_bad_grammar() {
+    let dir = fixture_dir("alerts_check_bad");
+    // A typo'd metric name parses but fails the vocabulary check.
+    let typo = dir.join("typo.alerts");
+    std::fs::write(
+        &typo,
+        "alert breach when gauge reliability.pfd_meen > 0.05\n",
+    )
+    .expect("writes");
+    let (code, out) = run_cli(&["alerts", "check", typo.to_str().expect("utf8")]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("pfd_meen"), "{out}");
+    // A grammar error names its line.
+    let broken = dir.join("broken.alerts");
+    std::fs::write(&broken, "alert broken when gauge\n").expect("writes");
+    let (code, out) = run_cli(&["alerts", "check", broken.to_str().expect("utf8")]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains(":1:"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn alerts_replay_reproduces_the_exact_lifecycle_transcript() {
+    let dir = fixture_dir("alerts_replay");
+    let pack = write_default_pack(&dir);
+    let (code, out) = run_cli(&[
+        "alerts",
+        "replay",
+        pack.to_str().expect("utf8"),
+        alerts_fixture(),
+        "--expect",
+        "pfd_bound_breach=resolved,fuzz_dead=inactive,seeds_stalled=inactive,naturalness_drift=inactive,stuck_phase=inactive",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    // The exact transition sequence, in order: the breach walks the full
+    // inactive → pending → firing → resolved lifecycle and nothing else
+    // transitions at all.
+    let transitions: Vec<&str> = out
+        .lines()
+        .filter(|l| l.contains("->"))
+        .map(str::trim)
+        .collect();
+    assert_eq!(transitions.len(), 3, "{out}");
+    assert!(
+        transitions[0].contains("pfd_bound_breach")
+            && transitions[0].contains("inactive -> pending"),
+        "{out}"
+    );
+    assert!(transitions[1].contains("pending -> firing"), "{out}");
+    assert!(transitions[2].contains("firing -> resolved"), "{out}");
+    assert!(out.contains("all 5 expectation(s) hold"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn alerts_replay_gates_on_failed_expectations() {
+    let dir = fixture_dir("alerts_replay_gate");
+    let pack = write_default_pack(&dir);
+    let (code, out) = run_cli(&[
+        "alerts",
+        "replay",
+        pack.to_str().expect("utf8"),
+        alerts_fixture(),
+        "--expect",
+        "pfd_bound_breach=inactive",
+    ]);
+    assert_eq!(code, 1, "a wrong final state must fail the gate:\n{out}");
+    assert!(
+        out.contains("FAIL: pfd_bound_breach ended resolved"),
+        "{out}"
+    );
+    // Naming a rule the pack doesn't define is a usage error, not a
+    // silently-passing gate.
+    let (code, out) = run_cli(&[
+        "alerts",
+        "replay",
+        pack.to_str().expect("utf8"),
+        alerts_fixture(),
+        "--expect",
+        "no_such_rule=firing",
+    ]);
+    assert_eq!(code, 2, "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn alerts_replay_evaluates_an_envelope_as_a_final_frame() {
+    let dir = fixture_dir("alerts_envelope");
+    // The fixture run ends with pfd_mean 0.012 — under the bound.
+    write_run(&dir, "exp_done", 800.0, 400, 5.0, false);
+    let rules = dir.join("pfd.alerts");
+    std::fs::write(
+        &rules,
+        "alert breach when gauge pipeline.pfd_mean > 0.05\nalert hot when gauge pipeline.pfd_mean > 0.01\n",
+    )
+    .expect("writes");
+    let envelope = dir.join("exp_done.json");
+    let (code, out) = run_cli(&[
+        "alerts",
+        "replay",
+        rules.to_str().expect("utf8"),
+        envelope.to_str().expect("utf8"),
+        "--expect",
+        "breach=inactive,hot=firing",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("as one final frame"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

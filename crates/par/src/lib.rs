@@ -176,7 +176,9 @@ where
     } else {
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(&drain);
+                // `drain` only captures shared references, so it is Copy
+                // and every worker gets its own handle.
+                scope.spawn(drain);
             }
         });
     }

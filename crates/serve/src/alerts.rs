@@ -1,0 +1,179 @@
+//! The alert faces of the server: `/alerts` JSON and the
+//! `ALERTS{alertname,severity,state}` exposition series, plus the
+//! `opad_build_info` provenance gauge.
+
+use crate::prom::escape_label_value;
+use opad_alert::{AlertState, AlertStatus};
+use std::fmt::Write;
+
+/// Renders `/alerts`: every rule's current lifecycle state, plus the
+/// firing count a dashboard needs for its banner. Rule order (= install
+/// order) is preserved, so consecutive reads of a quiet center are
+/// byte-identical.
+pub fn alerts_json(statuses: &[AlertStatus], firing: usize) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(out, "{{\"firing\":{firing},\"alerts\":[");
+    for (i, s) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"severity\":\"{}\",\"state\":\"{}\",\"since_ms\":{},\"condition\":{}",
+            json_str(&s.name),
+            s.severity,
+            s.state.as_str(),
+            fmt_json_f64(s.since_ms),
+            json_str(&s.condition),
+        );
+        if let Some(v) = s.value {
+            let _ = write!(out, ",\"value\":{}", fmt_json_f64(v));
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders the Prometheus-convention `ALERTS` series: one constant-1
+/// sample per *active* (pending or firing) alert, labeled by name,
+/// severity and state — the exact shape Prometheus itself synthesises
+/// for its own rules, so existing alert dashboards work unchanged.
+/// Inactive and resolved rules emit nothing, which is how the series
+/// disappearing signals recovery.
+pub fn render_alert_metrics(statuses: &[AlertStatus]) -> String {
+    let active: Vec<&AlertStatus> = statuses
+        .iter()
+        .filter(|s| matches!(s.state, AlertState::Pending | AlertState::Firing))
+        .collect();
+    let mut out = String::with_capacity(256);
+    let _ = writeln!(out, "# TYPE opad_alerts_firing gauge");
+    let _ = writeln!(
+        out,
+        "opad_alerts_firing {}",
+        active
+            .iter()
+            .filter(|s| s.state == AlertState::Firing)
+            .count()
+    );
+    if active.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "# TYPE ALERTS gauge");
+    for s in active {
+        let _ = writeln!(
+            out,
+            "ALERTS{{alertname=\"{}\",severity=\"{}\",state=\"{}\"}} 1",
+            escape_label_value(&s.name),
+            s.severity,
+            s.state.as_str()
+        );
+    }
+    out
+}
+
+/// Renders the `opad_build_info` constant-1 gauge: build provenance as
+/// labels (the standard `*_build_info` pattern), so every scrape is
+/// joinable to the exact tree that produced it.
+pub fn render_build_info(git_commit: &str) -> String {
+    format!(
+        "# TYPE opad_build_info gauge\nopad_build_info{{git_commit=\"{}\",version=\"{}\"}} 1\n",
+        escape_label_value(git_commit),
+        env!("CARGO_PKG_VERSION"),
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_alert::Severity;
+
+    fn status(name: &str, state: AlertState) -> AlertStatus {
+        AlertStatus {
+            name: name.to_string(),
+            severity: Severity::Critical,
+            state,
+            since_ms: 120.0,
+            value: Some(0.21),
+            condition: "gauge reliability.pfd_mean > 0.05".to_string(),
+        }
+    }
+
+    #[test]
+    fn alerts_json_carries_state_value_and_condition() {
+        let body = alerts_json(&[status("breach", AlertState::Firing)], 1);
+        assert!(body.starts_with("{\"firing\":1,\"alerts\":["), "{body}");
+        assert!(body.contains("\"name\":\"breach\""), "{body}");
+        assert!(body.contains("\"state\":\"firing\""), "{body}");
+        assert!(body.contains("\"value\":0.21"), "{body}");
+        assert!(
+            body.contains("\"condition\":\"gauge reliability.pfd_mean > 0.05\""),
+            "{body}"
+        );
+        assert!(opad_telemetry::parse_json(body.trim()).is_ok(), "{body}");
+    }
+
+    #[test]
+    fn only_pending_and_firing_emit_alert_series() {
+        let statuses = vec![
+            status("quiet", AlertState::Inactive),
+            status("warming", AlertState::Pending),
+            status("live", AlertState::Firing),
+            status("over", AlertState::Resolved),
+        ];
+        let out = render_alert_metrics(&statuses);
+        assert!(out.contains("opad_alerts_firing 1"), "{out}");
+        assert!(
+            out.contains("ALERTS{alertname=\"warming\",severity=\"critical\",state=\"pending\"} 1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("ALERTS{alertname=\"live\",severity=\"critical\",state=\"firing\"} 1"),
+            "{out}"
+        );
+        assert!(!out.contains("quiet"), "{out}");
+        assert!(!out.contains("over"), "{out}");
+        // Nothing active → no ALERTS family at all, just the zero count.
+        let quiet = render_alert_metrics(&[status("quiet", AlertState::Inactive)]);
+        assert!(!quiet.contains("ALERTS{"), "{quiet}");
+        assert!(quiet.contains("opad_alerts_firing 0"), "{quiet}");
+    }
+
+    #[test]
+    fn build_info_is_a_labeled_constant_one() {
+        let out = render_build_info("abc123-dirty");
+        assert!(
+            out.contains("opad_build_info{git_commit=\"abc123-dirty\",version=\""),
+            "{out}"
+        );
+        assert!(out.trim_end().ends_with("\"} 1"), "{out}");
+    }
+}

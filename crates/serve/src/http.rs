@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn rejects_an_oversized_head() {
         let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
-        wire.extend(std::iter::repeat(b'a').take(MAX_HEAD_BYTES + 1));
+        wire.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1));
         let err = read_request(&mut wire.as_slice()).expect_err("oversized head errors");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

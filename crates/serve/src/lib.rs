@@ -17,10 +17,22 @@
 //!   live pipeline metrics);
 //! * `GET /healthz` — liveness JSON including the pipeline's current
 //!   round and phase (read off the `pipeline.round` / `pipeline.phase`
-//!   gauges published by `opad-core`);
+//!   gauges published by `opad-core`, decoded through the checked
+//!   [`phase::gauge_label`](opad_telemetry::phase::gauge_label)), build
+//!   provenance (`git_commit`, `version`), and — when an
+//!   [`AlertCenter`](opad_alert::AlertCenter) is attached — a `status`
+//!   that flips from `ok` to `degraded` while any alert is firing;
+//! * `GET /alerts` — JSON state of every attached alert rule (name,
+//!   severity, lifecycle state, last value, condition) plus the firing
+//!   count;
 //! * `GET /runs` — JSON list of the run envelopes discovered under the
 //!   configured `results/` directory, so a dashboard can pair the live
 //!   metrics with finished-run artefacts.
+//!
+//! `/metrics` additionally carries `opad_build_info{git_commit,version} 1`
+//! and, with an alert center attached, the Prometheus-convention
+//! `ALERTS{alertname,severity,state}` constant-1 series for every
+//! pending/firing alert (attach via [`MetricsServer::alerts`]).
 //!
 //! The accept loop is bounded: one handler services connections
 //! sequentially off a non-blocking accept with a short poll sleep, so a
@@ -49,12 +61,14 @@
 
 #![warn(missing_docs)]
 
+mod alerts;
 mod bench;
 mod http;
 mod prom;
 mod runs;
 mod server;
 
+pub use alerts::{alerts_json, render_alert_metrics, render_build_info};
 pub use bench::{load_latest_bench, BenchGauges, BenchKernelGauge};
 pub use http::{read_request, write_response, Request};
 pub use prom::{

@@ -1,9 +1,11 @@
 //! The accept loop: bind, serve, shut down gracefully.
 
+use crate::alerts::{alerts_json, render_alert_metrics, render_build_info};
 use crate::bench::load_latest_bench;
 use crate::http::{read_request, write_response, Request};
 use crate::prom::{render_bench_metrics, render_metrics, CONTENT_TYPE};
 use crate::runs::runs_json;
+use opad_alert::AlertCenter;
 use opad_telemetry::{phase, LiveRecorder};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -32,6 +34,12 @@ pub struct ServerConfig {
     /// Directory `/metrics` scans for the newest `BENCH_<seq>.json`
     /// snapshot, whose per-kernel timings are appended as gauges.
     pub bench_dir: PathBuf,
+    /// Build provenance stamped into `/healthz` and the
+    /// `opad_build_info` gauge — the same `git describe --always
+    /// --dirty` convention as
+    /// [`BenchProvenance`](opad_telemetry::BenchProvenance).
+    /// `"unknown"` outside a checkout.
+    pub git_commit: String,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +48,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:9184".to_string(),
             results_dir: PathBuf::from("results"),
             bench_dir: PathBuf::from("."),
+            git_commit: "unknown".to_string(),
         }
     }
 }
@@ -50,12 +59,26 @@ impl Default for ServerConfig {
 pub struct MetricsServer {
     recorder: Arc<LiveRecorder>,
     config: ServerConfig,
+    center: Option<Arc<AlertCenter>>,
 }
 
 impl MetricsServer {
     /// Pairs `recorder` with `config`; nothing is bound yet.
     pub fn new(recorder: Arc<LiveRecorder>, config: ServerConfig) -> MetricsServer {
-        MetricsServer { recorder, config }
+        MetricsServer {
+            recorder,
+            config,
+            center: None,
+        }
+    }
+
+    /// Attaches an [`AlertCenter`]: `/alerts` serves its rule states,
+    /// `/metrics` gains the `ALERTS{...}` series, and `/healthz`
+    /// degrades while any rule is firing. Wiring is explicit (no global
+    /// lookup) so a server only reports alerts its owner opted into.
+    pub fn alerts(mut self, center: Arc<AlertCenter>) -> MetricsServer {
+        self.center = Some(center);
+        self
     }
 
     /// Binds the listener and starts the accept loop on a background
@@ -70,7 +93,9 @@ impl MetricsServer {
         let loop_stop = stop.clone();
         let thread = std::thread::Builder::new()
             .name("opad-serve".to_string())
-            .spawn(move || accept_loop(listener, self.recorder, self.config, loop_stop))
+            .spawn(move || {
+                accept_loop(listener, self.recorder, self.config, self.center, loop_stop)
+            })
             .expect("spawning the server thread");
         Ok(ServerHandle {
             addr,
@@ -118,6 +143,7 @@ fn accept_loop(
     listener: TcpListener,
     recorder: Arc<LiveRecorder>,
     config: ServerConfig,
+    center: Option<Arc<AlertCenter>>,
     stop: Arc<AtomicBool>,
 ) {
     // One connection at a time, by design: exposition responses are
@@ -127,7 +153,7 @@ fn accept_loop(
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = handle_connection(stream, &recorder, &config);
+                let _ = handle_connection(stream, &recorder, &config, center.as_deref());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -143,6 +169,7 @@ fn handle_connection(
     mut stream: TcpStream,
     recorder: &LiveRecorder,
     config: &ServerConfig,
+    center: Option<&AlertCenter>,
 ) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
@@ -159,7 +186,7 @@ fn handle_connection(
             )
         }
     };
-    respond(&mut stream, &request, recorder, config)
+    respond(&mut stream, &request, recorder, config, center)
 }
 
 fn respond(
@@ -167,6 +194,7 @@ fn respond(
     request: &Request,
     recorder: &LiveRecorder,
     config: &ServerConfig,
+    center: Option<&AlertCenter>,
 ) -> io::Result<()> {
     if request.method != "GET" {
         return write_response(
@@ -182,19 +210,36 @@ fn respond(
     match path {
         "/metrics" => {
             let mut body = render_metrics(&recorder.snapshot());
+            body.push_str(&render_build_info(&config.git_commit));
             if let Some(gauges) = load_latest_bench(&config.bench_dir) {
                 body.push_str(&render_bench_metrics(&gauges));
+            }
+            if let Some(center) = center {
+                body.push_str(&render_alert_metrics(&center.statuses()));
             }
             write_response(stream, 200, "OK", CONTENT_TYPE, &body)
         }
         "/healthz" => {
             let round = recorder.gauge(phase::ROUND_GAUGE).unwrap_or(0.0) as u64;
-            let code = recorder.gauge(phase::PHASE_GAUGE).unwrap_or(0.0) as u8;
+            // Checked phase decode (shared with the watchdog rule): a
+            // gauge outside the phase vocabulary renders `unknown(<n>)`
+            // instead of silently truncating to some valid phase.
+            let phase_label = phase::gauge_label(recorder.gauge(phase::PHASE_GAUGE).unwrap_or(0.0));
+            let firing = center.map(AlertCenter::firing_count).unwrap_or(0);
+            let status = if firing > 0 { "degraded" } else { "ok" };
             let body = format!(
-                "{{\"status\":\"ok\",\"uptime_ms\":{:.0},\"round\":{round},\"phase\":\"{}\"}}\n",
+                "{{\"status\":\"{status}\",\"uptime_ms\":{:.0},\"round\":{round},\"phase\":\"{phase_label}\",\"git_commit\":\"{}\",\"version\":\"{}\",\"alerts_firing\":{firing}}}\n",
                 recorder.elapsed_ms(),
-                phase::name(code)
+                crate::prom::escape_label_value(&config.git_commit),
+                env!("CARGO_PKG_VERSION"),
             );
+            write_response(stream, 200, "OK", "application/json", &body)
+        }
+        "/alerts" => {
+            let body = match center {
+                Some(center) => alerts_json(&center.statuses(), center.firing_count()),
+                None => "{\"firing\":0,\"alerts\":[]}\n".to_string(),
+            };
             write_response(stream, 200, "OK", "application/json", &body)
         }
         "/runs" => {

@@ -68,6 +68,7 @@ fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
             addr: "127.0.0.1:0".to_string(),
             results_dir: results.clone(),
             bench_dir: bench.clone(),
+            git_commit: "smoke123".to_string(),
         },
     )
     .spawn()
@@ -96,12 +97,33 @@ fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
         "{body}"
     );
 
+    assert!(
+        body.contains("opad_build_info{git_commit=\"smoke123\",version=\""),
+        "{body}"
+    );
+
     let (status, body) = get(addr, "/healthz");
     assert!(status.contains("200"), "{status}");
     let health = parse_json(body.trim()).expect("healthz is valid JSON");
     assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
     assert_eq!(health.get("round").and_then(|v| v.as_u64()), Some(3));
     assert_eq!(health.get("phase").and_then(|v| v.as_str()), Some("fuzz"));
+    assert_eq!(
+        health.get("git_commit").and_then(|v| v.as_str()),
+        Some("smoke123")
+    );
+    assert_eq!(
+        health.get("alerts_firing").and_then(|v| v.as_u64()),
+        Some(0),
+        "no alert center attached"
+    );
+
+    // Without an attached alert center, /alerts is an empty (but valid)
+    // document rather than an error.
+    let (status, body) = get(addr, "/alerts");
+    assert!(status.contains("200"), "{status}");
+    let alerts = parse_json(body.trim()).expect("alerts is valid JSON");
+    assert_eq!(alerts.get("firing").and_then(|v| v.as_u64()), Some(0));
 
     let (status, body) = get(addr, "/runs");
     assert!(status.contains("200"), "{status}");
@@ -128,6 +150,83 @@ fn serves_metrics_healthz_and_runs_then_shuts_down_gracefully() {
 }
 
 #[test]
+fn alert_center_drives_alerts_metrics_and_degraded_health() {
+    use opad_alert::{parse_rules, AlertCenter, MetricsFrame};
+
+    let (rules, errors) =
+        parse_rules("alert pfd_breach severity=critical when gauge reliability.pfd_mean > 0.05");
+    assert!(errors.is_empty(), "{errors:?}");
+    let center = Arc::new(AlertCenter::new(rules));
+    let recorder = Arc::new(LiveRecorder::new());
+    let handle = MetricsServer::new(
+        recorder.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            results_dir: fixture_dir("alerts"),
+            bench_dir: fixture_dir("alerts_bench"),
+            git_commit: "smoke123".to_string(),
+        },
+    )
+    .alerts(center.clone())
+    .spawn()
+    .expect("ephemeral port binds");
+    let addr = handle.addr();
+
+    // Quiet: /alerts lists the rule inactive, health is ok.
+    let (_, body) = get(addr, "/alerts");
+    let alerts = parse_json(body.trim()).expect("alerts is valid JSON");
+    assert_eq!(alerts.get("firing").and_then(|v| v.as_u64()), Some(0));
+    let rows = alerts
+        .get("alerts")
+        .and_then(|v| v.as_arr())
+        .expect("array");
+    assert_eq!(rows.len(), 1, "{body}");
+    assert_eq!(
+        rows[0].get("state").and_then(|v| v.as_str()),
+        Some("inactive")
+    );
+    let (_, body) = get(addr, "/metrics");
+    assert!(body.contains("opad_alerts_firing 0"), "{body}");
+    assert!(!body.contains("ALERTS{"), "{body}");
+
+    // Breach: the server reports the same state the engine holds.
+    recorder.gauge_set("reliability.pfd_mean", 0.21);
+    let mut frame = MetricsFrame::from_snapshot(&recorder.snapshot());
+    frame.t_ms = 100.0;
+    center.eval_frame(&frame);
+
+    let (_, body) = get(addr, "/alerts");
+    let alerts = parse_json(body.trim()).expect("alerts is valid JSON");
+    assert_eq!(alerts.get("firing").and_then(|v| v.as_u64()), Some(1));
+    let (_, body) = get(addr, "/metrics");
+    assert!(
+        body.contains("ALERTS{alertname=\"pfd_breach\",severity=\"critical\",state=\"firing\"} 1"),
+        "{body}"
+    );
+    let (_, body) = get(addr, "/healthz");
+    let health = parse_json(body.trim()).expect("healthz is valid JSON");
+    assert_eq!(
+        health.get("status").and_then(|v| v.as_str()),
+        Some("degraded")
+    );
+    assert_eq!(
+        health.get("alerts_firing").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    // Recovery: /healthz flips back to ok.
+    recorder.gauge_set("reliability.pfd_mean", 0.01);
+    let mut frame = MetricsFrame::from_snapshot(&recorder.snapshot());
+    frame.t_ms = 200.0;
+    center.eval_frame(&frame);
+    let (_, body) = get(addr, "/healthz");
+    let health = parse_json(body.trim()).expect("healthz is valid JSON");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+
+    handle.shutdown();
+}
+
+#[test]
 fn malformed_requests_get_400_and_do_not_wedge_the_loop() {
     let recorder = Arc::new(LiveRecorder::new());
     let handle = MetricsServer::new(
@@ -136,6 +235,7 @@ fn malformed_requests_get_400_and_do_not_wedge_the_loop() {
             addr: "127.0.0.1:0".to_string(),
             results_dir: fixture_dir("bad_requests"),
             bench_dir: fixture_dir("bad_requests_bench"),
+            ..ServerConfig::default()
         },
     )
     .spawn()

@@ -2,7 +2,11 @@
 //! structural parse of everything it emits — the acceptance gate that
 //! `/metrics` output is actually scrapeable.
 
-use opad_serve::{render_bench_metrics, render_metrics, BenchGauges, BenchKernelGauge};
+use opad_alert::{AlertState, AlertStatus, Severity};
+use opad_serve::{
+    render_alert_metrics, render_bench_metrics, render_build_info, render_metrics, BenchGauges,
+    BenchKernelGauge,
+};
 use opad_telemetry::{FixedHistogram, LiveRecorder, LiveSnapshot, Recorder};
 use std::sync::Arc;
 
@@ -92,7 +96,7 @@ fn assert_parses(text: &str) {
         if name.ends_with("_bucket") {
             let count: u64 = value.parse().expect("bucket counts are integers");
             let key = series
-                .replace(|c: char| c == ' ', "")
+                .replace(' ', "")
                 .split("le=")
                 .next()
                 .expect("le label present")
@@ -190,6 +194,69 @@ fn an_empty_bench_snapshot_emits_only_the_sequence_gauge() {
         "# TYPE opad_bench_snapshot_seq gauge\nopad_bench_snapshot_seq 1\n"
     );
     assert_parses(&rendered);
+}
+
+/// A deterministic alert-state slice: one of each lifecycle state, so
+/// the golden pins both what renders (pending, firing) and what must
+/// not (inactive, resolved).
+fn fixture_alert_statuses() -> Vec<AlertStatus> {
+    let status = |name: &str, severity, state, value| AlertStatus {
+        name: name.to_string(),
+        severity,
+        state,
+        since_ms: 500.0,
+        value,
+        condition: "gauge reliability.pfd_mean > 0.05".to_string(),
+    };
+    vec![
+        status(
+            "pfd_bound_breach",
+            Severity::Critical,
+            AlertState::Firing,
+            Some(0.21),
+        ),
+        status(
+            "naturalness_drift",
+            Severity::Warning,
+            AlertState::Pending,
+            Some(-31.0),
+        ),
+        status("fuzz_dead", Severity::Warning, AlertState::Inactive, None),
+        status(
+            "stuck_phase",
+            Severity::Critical,
+            AlertState::Resolved,
+            None,
+        ),
+    ]
+}
+
+#[test]
+fn alert_exposition_matches_the_golden_file() {
+    let rendered = render_alert_metrics(&fixture_alert_statuses());
+    let golden = include_str!("golden/alert_metrics.txt");
+    assert_eq!(
+        rendered, golden,
+        "alert exposition drifted from tests/golden/alert_metrics.txt — if \
+         the change is intentional, regenerate the golden file from this \
+         output"
+    );
+}
+
+#[test]
+fn alert_exposition_parses_structurally() {
+    assert_parses(&render_alert_metrics(&fixture_alert_statuses()));
+}
+
+#[test]
+fn build_info_exposition_parses_and_carries_the_commit() {
+    let rendered = render_build_info("abc1234-dirty");
+    assert_parses(&rendered);
+    assert!(
+        rendered.contains("opad_build_info{git_commit=\"abc1234-dirty\",version=\""),
+        "{rendered}"
+    );
+    assert!(rendered.ends_with("\"} 1\n"), "{rendered}");
 }
 
 #[test]

@@ -60,6 +60,7 @@ pub mod phase;
 mod recorder;
 mod sink;
 mod span;
+pub mod vocab;
 
 pub use bench_api::{
     bench_files, bench_seq, BenchKernel, BenchProvenance, Benchmarkable, TelemetryBenches,

@@ -28,6 +28,32 @@ pub const RETRAIN: u8 = 5;
 /// The run has finished all rounds.
 pub const DONE: u8 = 6;
 
+/// Decodes a raw [`PHASE_GAUGE`] value into a phase code.
+///
+/// The gauge is an `f64` (that is all the recorder stores), so a reader
+/// must not simply truncate it: a corrupted or future value like `7.0`
+/// or `3.7` would silently wrap or round into a *named* phase. This is
+/// the one shared decoder — `opad-serve`'s `/healthz` and the
+/// `opad-alert` stuck-phase watchdog both route through it. Returns
+/// `Err(raw)` for anything that is not exactly a known code.
+pub fn from_gauge(raw: f64) -> Result<u8, f64> {
+    if raw.fract() == 0.0 && (0.0..=DONE as f64).contains(&raw) {
+        Ok(raw as u8)
+    } else {
+        Err(raw)
+    }
+}
+
+/// Renders a raw [`PHASE_GAUGE`] value for humans: the phase name for a
+/// known code, `unknown(<raw>)` otherwise — so a bad gauge is visible as
+/// bad instead of masquerading as a real phase.
+pub fn gauge_label(raw: f64) -> String {
+    match from_gauge(raw) {
+        Ok(code) => name(code).to_string(),
+        Err(raw) => format!("unknown({raw})"),
+    }
+}
+
 /// Human-readable name for a phase code; unknown codes map to `"unknown"`.
 pub fn name(code: u8) -> &'static str {
     match code {
@@ -57,6 +83,23 @@ pub fn set_round(round: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_decoding_accepts_exact_codes_and_rejects_everything_else() {
+        for code in [IDLE, SAMPLE_SEEDS, FUZZ, EVALUATE, ASSESS, RETRAIN, DONE] {
+            assert_eq!(from_gauge(code as f64), Ok(code));
+            assert_eq!(gauge_label(code as f64), name(code));
+        }
+        // Out of range, fractional, and non-finite raw values all surface
+        // as errors instead of truncating into a named phase.
+        assert_eq!(from_gauge(7.0), Err(7.0));
+        assert_eq!(from_gauge(-1.0), Err(-1.0));
+        assert_eq!(from_gauge(3.7), Err(3.7));
+        assert_eq!(from_gauge(256.0 + FUZZ as f64), Err(256.0 + FUZZ as f64));
+        assert!(from_gauge(f64::NAN).is_err());
+        assert_eq!(gauge_label(7.0), "unknown(7)");
+        assert_eq!(gauge_label(3.7), "unknown(3.7)");
+    }
 
     #[test]
     fn codes_round_trip_to_distinct_names() {

@@ -41,6 +41,20 @@ impl JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
         })
     }
+
+    /// Appends one pre-serialised JSON object as its own line.
+    ///
+    /// This is the raw half of `emit`, exposed for producers whose line
+    /// formats live outside the [`Event`] enum (e.g. `opad-alert`'s
+    /// transition records) but who want the same buffered, best-effort,
+    /// one-object-per-line discipline — and the same drop-flush
+    /// guarantee. `line` must be a complete JSON object without a
+    /// trailing newline; the newline is added here.
+    pub fn append_line(&self, line: &str) {
+        let mut w = self.writer.lock().expect("telemetry lock poisoned");
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
 }
 
 impl Drop for JsonlSink {
@@ -57,10 +71,7 @@ impl Drop for JsonlSink {
 
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
-        let mut line = event.to_json();
-        line.push('\n');
-        let mut w = self.writer.lock().expect("telemetry lock poisoned");
-        let _ = w.write_all(line.as_bytes());
+        self.append_line(&event.to_json());
     }
 
     fn flush(&self) {
@@ -186,6 +197,28 @@ mod tests {
         assert!(text.ends_with('\n'), "final line must be complete");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 64);
+        for line in &lines {
+            crate::parse_json(line).expect("every line is complete JSON");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_line_interleaves_cleanly_with_emitted_events() {
+        let dir = std::env::temp_dir().join("opad_telemetry_append_line_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("mixed.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Event::Counter {
+            name: "c".into(),
+            total: 1,
+        });
+        sink.append_line(r#"{"v":1,"kind":"alert","alert":"x"}"#);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"kind\":\"alert\""));
         for line in &lines {
             crate::parse_json(line).expect("every line is complete JSON");
         }

@@ -151,9 +151,12 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
+    /// `(name, id, parent, is_end)` — one row per span edge.
+    type SpanEdge = (String, u64, Option<u64>, bool);
+
     #[derive(Default)]
     struct LogRecorder {
-        log: Mutex<Vec<(String, u64, Option<u64>, bool)>>,
+        log: Mutex<Vec<SpanEdge>>,
     }
 
     impl Recorder for LogRecorder {

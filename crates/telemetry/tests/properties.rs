@@ -24,7 +24,7 @@ impl Lcg {
     /// Mixed-sign, mixed-magnitude sample: 10^[-6, 6) scaled, ~half negative.
     fn sample(&mut self) -> f64 {
         let mag = 10f64.powf(self.next_f64() * 12.0 - 6.0);
-        if self.next_u64() % 2 == 0 {
+        if self.next_u64().is_multiple_of(2) {
             mag
         } else {
             -mag

@@ -28,7 +28,7 @@ impl Lcg {
     /// not round-trip by design: the writer emits `null`).
     fn sample(&mut self) -> f64 {
         let mag = 10f64.powf(self.next_f64() * 12.0 - 6.0);
-        if self.next_u64() % 2 == 0 {
+        if self.next_u64().is_multiple_of(2) {
             mag
         } else {
             -mag

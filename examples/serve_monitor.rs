@@ -1,7 +1,9 @@
 //! The exp2-style testing loop with the live observability plane
-//! attached: a `LiveRecorder` (teeing the usual JSONL trace) plus the
-//! `opad-serve` HTTP server, so `/metrics`, `/healthz` and `/runs` can
-//! be scraped while the rounds are in flight.
+//! attached: a `LiveRecorder` (teeing the usual JSONL trace), the
+//! `opad-serve` HTTP server, and the `opad-alert` watchdog plane — so
+//! `/metrics`, `/healthz`, `/runs` and `/alerts` can be scraped while
+//! the rounds are in flight, and a demo alert is driven through its
+//! full pending → firing → resolved lifecycle at the end.
 //!
 //! Run with: `cargo run --release --example serve_monitor`
 //!
@@ -10,8 +12,9 @@
 //!
 //! ```text
 //! curl http://127.0.0.1:9184/metrics   # Prometheus text exposition
-//! curl http://127.0.0.1:9184/healthz   # current round + phase
+//! curl http://127.0.0.1:9184/healthz   # round + phase + alert status
 //! curl http://127.0.0.1:9184/runs      # finished-run envelopes
+//! curl http://127.0.0.1:9184/alerts    # live alert states
 //! ```
 //!
 //! Set `OPAD_SERVE_ADDR` to change the bind address (e.g.
@@ -20,7 +23,39 @@
 use opad::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::{Read as _, Write as _};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// `git describe --always --dirty`, or `"unknown"` outside a checkout —
+/// the same provenance `obsctl bench` stamps into its reports.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// A one-shot HTTP GET against our own server (std-only, like the
+/// server itself) so the example can show what a scraper would see.
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(response))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
@@ -32,6 +67,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let recorder = Arc::new(LiveRecorder::with_sink(sink));
     opad::telemetry::install(recorder.clone());
 
+    // The alerting plane: an empty center (the testing loop installs its
+    // own default pack on the first round) plus one demo rule we can
+    // drive through the full lifecycle by hand at the end. Transitions
+    // are appended to an alerts JSONL log as they happen.
+    let alert_log = Arc::new(JsonlSink::create("results/serve_monitor_alerts.jsonl")?);
+    let (demo_rules, parse_errors) =
+        parse_rules("alert demo_hot severity=info for=200ms when gauge demo.temperature > 90");
+    assert!(parse_errors.is_empty(), "{parse_errors:?}");
+    let center = Arc::new(AlertCenter::with_log(demo_rules, alert_log));
+    opad::alert::install(center.clone());
+    let watch = AlertWatch::new(recorder.clone(), center.clone())
+        .interval(Duration::from_millis(100))
+        .spawn();
+
     let addr = std::env::var("OPAD_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:9184".to_string());
     let server = opad::serve::MetricsServer::new(
         recorder.clone(),
@@ -39,12 +88,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             addr,
             results_dir: "results".into(),
             bench_dir: ".".into(),
+            git_commit: git_commit(),
         },
     )
+    .alerts(center.clone())
     .spawn()?;
     println!("live metrics: http://{}/metrics", server.addr());
     println!("health:       http://{}/healthz", server.addr());
     println!("run index:    http://{}/runs", server.addr());
+    println!("alerts:       http://{}/alerts", server.addr());
 
     // The detection-efficiency setup: balanced training data, a
     // Zipf-skewed operational profile, and the full Fig. 1 loop.
@@ -90,6 +142,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // Drive the demo rule through its lifecycle: publish a breaching
+    // gauge, let the watch see it long enough to clear the 200 ms
+    // hysteresis budget, then recover. `/healthz` flips to `degraded`
+    // while the alert is firing and back to `ok` once it resolves.
+    println!("\ndriving demo_hot through pending -> firing -> resolved:");
+    recorder.gauge_set("demo.temperature", 97.0);
+    std::thread::sleep(Duration::from_millis(600));
+    println!(
+        "  while firing, /healthz reports: {}",
+        http_get(&server.addr().to_string(), "/healthz")?.trim()
+    );
+    recorder.gauge_set("demo.temperature", 20.0);
+    std::thread::sleep(Duration::from_millis(400));
+    for t in center.history() {
+        println!("  {t}");
+    }
+    println!(
+        "\n/alerts now reports: {}",
+        http_get(&server.addr().to_string(), "/alerts")?.trim()
+    );
+
     // Keep serving after the loop so a human (or a scrape job) can look
     // at the final state; CI leaves the default of 0.
     let hold: u64 = std::env::var("OPAD_SERVE_HOLD_SECS")
@@ -101,16 +174,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::thread::sleep(std::time::Duration::from_secs(hold));
     }
 
+    watch.shutdown();
+    opad::alert::uninstall();
     opad::telemetry::uninstall();
     recorder.flush_summary();
     server.shutdown();
     let s = recorder.summary();
     println!(
-        "\ntelemetry: {:.0} ms wall, {} events — trace in results/serve_monitor_trace.jsonl",
+        "\ntelemetry: {:.0} ms wall, {} events — trace in results/serve_monitor_trace.jsonl, \
+         alert transitions in results/serve_monitor_alerts.jsonl",
         s.wall_ms, s.events
     );
     println!(
         "flamegraph: cargo run -p opad-obs --bin obsctl -- flame results/serve_monitor_trace.jsonl"
     );
+    println!("replay:     cargo run -p opad-obs --bin obsctl -- alerts check rules/default.alerts");
     Ok(())
 }

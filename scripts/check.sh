@@ -23,17 +23,28 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> serve smoke test (ephemeral port, /metrics + /healthz over TcpStream, graceful shutdown)"
+echo "==> serve smoke test (ephemeral port; /metrics, /healthz, /alerts over TcpStream; degraded health while firing)"
 cargo test -q -p opad-serve --test http_smoke
 
-echo "==> serve_monitor example (live exp2-style run with the server attached)"
+echo "==> serve_monitor example (live exp2-style run with the server and alert watch attached)"
 OPAD_SERVE_ADDR=127.0.0.1:0 cargo run --release -q --example serve_monitor
 
 echo "==> obsctl flame over the freshly produced trace"
 cargo run --release -q --bin obsctl -- flame results/serve_monitor_trace.jsonl | head -5
 
-echo "==> obsctl selfcheck (results/ + BENCH_*.json schema validation, incl. the fresh trace)"
+echo "==> obsctl selfcheck (results/ + BENCH_*.json schema validation, incl. the fresh trace and alert log)"
 cargo run --release -q --bin obsctl -- selfcheck results .
+
+echo "==> obsctl alerts check (shipped default pack vs the workspace metric vocabulary)"
+cargo run --release -q --bin obsctl -- alerts check rules/default.alerts
+
+# Deterministic replay over the committed fixture: the pfd breach must
+# walk the full inactive -> pending -> firing -> resolved lifecycle while
+# the liveness rules stay quiet. Non-zero exit on any mismatch.
+echo "==> obsctl alerts replay smoke (committed fixture; breach resolves, stalls stay inactive)"
+cargo run --release -q --bin obsctl -- alerts replay rules/default.alerts \
+  crates/obs/tests/fixtures/alerts_replay.jsonl \
+  --expect pfd_bound_breach=resolved,fuzz_dead=inactive,seeds_stalled=inactive,naturalness_drift=inactive >/dev/null
 
 # Variance-aware bench regression gate over the committed BENCH_<seq>.json
 # series. With only the baseline present (fresh clone, no local

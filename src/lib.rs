@@ -19,7 +19,11 @@
 //!   kernels (`OPAD_THREADS` controls width, results never change);
 //! * [`telemetry`] — std-only spans, counters and run traces;
 //! * [`serve`] — the live observability server: Prometheus `/metrics`,
-//!   `/healthz` and `/runs` over a `LiveRecorder`.
+//!   `/healthz`, `/runs` and `/alerts` over a `LiveRecorder`;
+//! * [`alert`] — the alerting & watchdog plane: declarative rules over
+//!   live metrics with Prometheus-style pending/firing hysteresis, a
+//!   background watch thread, and deterministic offline replay
+//!   (`obsctl alerts check|replay`).
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub use opad_alert as alert;
 pub use opad_attack as attack;
 pub use opad_core as core;
 pub use opad_data as data;
@@ -56,6 +61,7 @@ pub use opad_tensor as tensor;
 
 /// One-stop imports for examples and downstream binaries.
 pub mod prelude {
+    pub use opad_alert::{parse_rules, AlertCenter, AlertState, AlertWatch, Transition};
     pub use opad_attack::{
         Attack, AttackOutcome, DensityNaturalness, Fgsm, NaturalFuzz, Naturalness, NormBall,
         PcaNaturalness, Pgd, RandomFuzz,

@@ -1,0 +1,32 @@
+//! The shipped rule file and the pack `opad-core` installs are one
+//! artifact expressed two ways: `rules/default.alerts` must stay
+//! byte-identical to `opad_alert::default_pack_text` rendered at the
+//! documented reference parameters, and both must survive the
+//! `obsctl alerts check` validation path (parse + vocabulary).
+
+use opad::alert::{check_vocabulary, default_pack_text, parse_rules};
+
+/// The parameters `rules/default.alerts` is rendered at (a 5% pfd bound
+/// and a -25 log-density floor — the workspace-wide reference demo
+/// values, not any particular run's).
+const REFERENCE_PFD_BOUND: f64 = 0.05;
+const REFERENCE_NATURALNESS_FLOOR: f64 = -25.0;
+
+#[test]
+fn shipped_rule_file_matches_the_rendered_default_pack() {
+    let shipped = include_str!("../rules/default.alerts");
+    let rendered = default_pack_text(REFERENCE_PFD_BOUND, REFERENCE_NATURALNESS_FLOOR);
+    assert_eq!(
+        shipped, rendered,
+        "rules/default.alerts has drifted from opad_alert::default_pack_text; \
+         regenerate the file from the pack (they are one artifact)"
+    );
+}
+
+#[test]
+fn shipped_rule_file_passes_the_check_gate() {
+    let (rules, errors) = parse_rules(include_str!("../rules/default.alerts"));
+    assert!(errors.is_empty(), "parse errors: {errors:?}");
+    assert_eq!(rules.len(), 5);
+    assert_eq!(check_vocabulary(&rules), Vec::<String>::new());
+}
