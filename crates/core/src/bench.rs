@@ -1,8 +1,11 @@
 //! Micro-benchmark registry for the core pipeline kernels (`obsctl bench`).
 
+use crate::{LoopConfig, RetrainConfig, SeedWeighting, ShardedCampaign, ShardedConfig};
 use opad_attack::{Attack, NormBall, Pgd};
 use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
 use opad_nn::{Activation, Network};
+use opad_opmodel::{CentroidPartition, Gmm, GmmComponent, OperationalProfile};
+use opad_reliability::ReliabilityTarget;
 use opad_telemetry::{BenchKernel, Benchmarkable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,9 +52,66 @@ impl Benchmarkable for CoreBenches {
                 black_box(outcomes);
             })
         };
+        // One full sharded campaign round (sample → fuzz → eval → assess
+        // → retrain) at 1 and 4 shards, so snapshots capture the cost of
+        // the shard/merge machinery itself next to the raw fan-out.
+        let sharded_round_at = |name: &'static str, shards: usize| {
+            let data = data.clone();
+            let net = net.clone();
+            let pgd = pgd.clone();
+            BenchKernel::new(name, move || {
+                let op = OperationalProfile::new(
+                    uniform_probs(3),
+                    Gmm::from_components(vec![GmmComponent {
+                        weight: 1.0,
+                        mean: vec![0.0, 0.0],
+                        std: 2.0,
+                    }])
+                    .expect("one unit-weight component"),
+                )
+                .expect("uniform probs sum to one");
+                let mut fit_rng = StdRng::seed_from_u64(1);
+                let partition = CentroidPartition::fit(data.features(), 4, 5, &mut fit_rng)
+                    .expect("enough rows for 4 centroids");
+                let mut campaign = ShardedCampaign::new(
+                    net.clone(),
+                    op,
+                    partition,
+                    &data,
+                    ReliabilityTarget {
+                        target_pfd: 1e-6,
+                        confidence: 0.95,
+                    },
+                    ShardedConfig {
+                        shards,
+                        base: LoopConfig {
+                            seeds_per_round: 8,
+                            eval_per_round: 32,
+                            weighting: SeedWeighting::OpTimesMargin,
+                            priority_feedback: true,
+                            retrain: RetrainConfig {
+                                epochs: 1,
+                                ..RetrainConfig::default()
+                            },
+                            ae_evidence: true,
+                            max_rounds: 1,
+                            mc_samples: 100,
+                        },
+                    },
+                    42,
+                )
+                .expect("bench world is valid");
+                let report = campaign
+                    .run_round(&data, &data, &pgd)
+                    .expect("bench round runs");
+                black_box(report);
+            })
+        };
         vec![
             round_at("core/attack_round32_t1", 1),
             round_at("core/attack_round32_t4", 4),
+            sharded_round_at("core/sharded_round_s1", 1),
+            sharded_round_at("core/sharded_round_s4", 4),
         ]
     }
 }

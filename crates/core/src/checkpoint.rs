@@ -1,0 +1,281 @@
+//! Campaign checkpoint/resume: the schema-versioned `CKPT_<seq>.json`
+//! envelope a [`ShardedCampaign`] can be frozen into between rounds and
+//! thawed from later — in a different process, on a different machine.
+//!
+//! The envelope carries everything round `r+1` depends on: the
+//! (retrained) network, the merged reliability posterior, the growth
+//! timeline, the cumulative AE corpus, the discretised cell OP, the
+//! config, the campaign seed and the round counter. It deliberately does
+//! **not** carry RNG state — a campaign derives round `r`'s streams from
+//! `(campaign_seed, r)` alone, which is the whole reason resume can be
+//! bit-exact (pinned by `tests/checkpoint_roundtrip.rs`).
+//!
+//! The operational profile and the partition are *not* serialized
+//! either: they are inputs the caller already owns (a `Density` is a
+//! trait object boundary), so [`ShardedCampaign::resume`] takes them
+//! back and cross-checks their geometry against the envelope. A profile
+//! swap between save and resume is caught by those checks wherever
+//! geometry changes; swapping in a different same-shape profile is the
+//! caller's responsibility, exactly as with
+//! [`TestingLoop::update_profile`](crate::TestingLoop::update_profile).
+//!
+//! Filename conventions (`CKPT_0007.json`, historical unpadded forms
+//! tolerated) and the schema-version constant live in
+//! [`opad_telemetry`] next to the `BENCH_` family, so `obsctl
+//! selfcheck` validates checkpoints without linking this crate.
+
+use crate::pipeline::RoundReport;
+use crate::sharded::{ShardedCampaign, ShardedConfig};
+use crate::{AeCorpus, PipelineError, SeedSampler};
+use opad_data::Dataset;
+use opad_nn::Network;
+use opad_opmodel::{CentroidPartition, Density, OperationalProfile, Partition};
+use opad_reliability::{CellReliabilityModel, GrowthTimeline};
+use opad_telemetry::{ckpt_files, CHECKPOINT_KIND_SHARDED, CHECKPOINT_SCHEMA_VERSION};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A frozen [`ShardedCampaign`], serializable as one self-describing
+/// JSON document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Layout version ([`CHECKPOINT_SCHEMA_VERSION`] at write time).
+    /// Readers reject versions newer than they understand.
+    pub schema_version: u32,
+    /// Envelope family tag ([`CHECKPOINT_KIND_SHARDED`]).
+    pub kind: String,
+    /// The campaign's RNG root.
+    pub campaign_seed: u64,
+    /// Rounds completed when the checkpoint was taken.
+    pub rounds_run: usize,
+    /// The campaign configuration.
+    pub config: ShardedConfig,
+    /// The discretised per-cell OP the reliability model runs on.
+    pub cell_op: Vec<f64>,
+    /// The model under test, including any retraining so far.
+    pub net: Network,
+    /// The merged reliability posterior (reset state after a retrain).
+    pub reliability: CellReliabilityModel,
+    /// The reliability-growth timeline (carries the target).
+    pub timeline: GrowthTimeline,
+    /// The cumulative AE corpus, in canonical seed-index order.
+    pub corpus: AeCorpus,
+    /// Reports of every completed round.
+    pub reports: Vec<RoundReport>,
+}
+
+impl<D: Density> ShardedCampaign<D> {
+    /// Freezes the campaign's state into an envelope.
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            kind: CHECKPOINT_KIND_SHARDED.to_string(),
+            campaign_seed: self.campaign_seed,
+            rounds_run: self.rounds_run,
+            config: self.config.clone(),
+            cell_op: self.cell_op.clone(),
+            net: self.net.clone(),
+            reliability: self.reliability.clone(),
+            timeline: self.timeline.clone(),
+            corpus: self.corpus.clone(),
+            reports: self.reports.clone(),
+        }
+    }
+
+    /// Writes the campaign's checkpoint as the next `CKPT_<seq>.json` in
+    /// `dir` (created if missing), returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on serialization or I/O errors.
+    pub fn save_checkpoint(&self, dir: &Path) -> Result<PathBuf, PipelineError> {
+        let ckpt = self.checkpoint();
+        std::fs::create_dir_all(dir).map_err(|e| PipelineError::Checkpoint {
+            reason: format!("cannot create {}: {e}", dir.display()),
+        })?;
+        let seq = ckpt_files(dir).last().map_or(0, |(s, _)| s + 1);
+        let path = dir.join(format!("CKPT_{seq:04}.json"));
+        let text = serde_json::to_string_pretty(&ckpt).map_err(|e| PipelineError::Checkpoint {
+            reason: format!("cannot serialize checkpoint: {e}"),
+        })?;
+        std::fs::write(&path, text).map_err(|e| PipelineError::Checkpoint {
+            reason: format!("cannot write {}: {e}", path.display()),
+        })?;
+        opad_telemetry::counter_add("shard.checkpoints", 1);
+        Ok(path)
+    }
+
+    /// Thaws a checkpoint back into a runnable campaign. The caller
+    /// re-supplies the operational profile and partition (not part of
+    /// the envelope — see the module docs); their geometry is
+    /// cross-checked against the frozen state.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the envelope is inconsistent or the supplied profile
+    /// and partition do not match its geometry.
+    pub fn resume(
+        op: OperationalProfile<D>,
+        partition: CentroidPartition,
+        field_data: &Dataset,
+        ckpt: CampaignCheckpoint,
+    ) -> Result<Self, PipelineError> {
+        validate_envelope(&ckpt)?;
+        ckpt.config.validate()?;
+        if partition.num_cells() != ckpt.cell_op.len() {
+            return Err(PipelineError::Checkpoint {
+                reason: format!(
+                    "partition has {} cells but the checkpoint froze {}",
+                    partition.num_cells(),
+                    ckpt.cell_op.len()
+                ),
+            });
+        }
+        if ckpt.reliability.num_cells() != ckpt.cell_op.len() {
+            return Err(PipelineError::Checkpoint {
+                reason: format!(
+                    "reliability model spans {} cells but cell_op has {}",
+                    ckpt.reliability.num_cells(),
+                    ckpt.cell_op.len()
+                ),
+            });
+        }
+        if ckpt.rounds_run != ckpt.reports.len() {
+            return Err(PipelineError::Checkpoint {
+                reason: format!(
+                    "{} rounds run but {} reports frozen",
+                    ckpt.rounds_run,
+                    ckpt.reports.len()
+                ),
+            });
+        }
+        let sampler = SeedSampler::new(ckpt.config.base.weighting);
+        let alert_rules = opad_alert::default_rules(
+            ckpt.timeline.target().target_pfd,
+            crate::pipeline::naturalness_floor(op.density(), field_data)?,
+        );
+        Ok(ShardedCampaign {
+            net: ckpt.net,
+            op,
+            partition,
+            cell_op: ckpt.cell_op,
+            reliability: ckpt.reliability,
+            timeline: ckpt.timeline,
+            corpus: ckpt.corpus,
+            sampler,
+            config: ckpt.config,
+            campaign_seed: ckpt.campaign_seed,
+            rounds_run: ckpt.rounds_run,
+            reports: ckpt.reports,
+            alert_rules,
+        })
+    }
+}
+
+/// Reads and validates a checkpoint envelope from disk. Truncated,
+/// malformed, foreign-kind and future-versioned files all fail loudly.
+///
+/// # Errors
+///
+/// Fails on I/O errors, parse errors, or an invalid envelope.
+pub fn read_checkpoint(path: &Path) -> Result<CampaignCheckpoint, PipelineError> {
+    let text = std::fs::read_to_string(path).map_err(|e| PipelineError::Checkpoint {
+        reason: format!("cannot read {}: {e}", path.display()),
+    })?;
+    let ckpt: CampaignCheckpoint =
+        serde_json::from_str(&text).map_err(|e| PipelineError::Checkpoint {
+            reason: format!("{} is not a valid checkpoint: {e}", path.display()),
+        })?;
+    validate_envelope(&ckpt)?;
+    Ok(ckpt)
+}
+
+fn validate_envelope(ckpt: &CampaignCheckpoint) -> Result<(), PipelineError> {
+    if ckpt.kind != CHECKPOINT_KIND_SHARDED {
+        return Err(PipelineError::Checkpoint {
+            reason: format!(
+                "unknown checkpoint kind {:?} (expected {CHECKPOINT_KIND_SHARDED:?})",
+                ckpt.kind
+            ),
+        });
+    }
+    if ckpt.schema_version > CHECKPOINT_SCHEMA_VERSION {
+        return Err(PipelineError::Checkpoint {
+            reason: format!(
+                "checkpoint schema v{} is newer than supported v{CHECKPOINT_SCHEMA_VERSION}",
+                ckpt.schema_version
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_envelope() -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            kind: CHECKPOINT_KIND_SHARDED.to_string(),
+            campaign_seed: 7,
+            rounds_run: 0,
+            config: ShardedConfig {
+                shards: 2,
+                base: crate::LoopConfig::default(),
+            },
+            cell_op: vec![0.5, 0.5],
+            net: {
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+                Network::mlp(&[2, 3, 2], opad_nn::Activation::Relu, &mut rng).unwrap()
+            },
+            reliability: CellReliabilityModel::new(vec![0.5, 0.5]).unwrap(),
+            timeline: GrowthTimeline::new(opad_reliability::ReliabilityTarget {
+                target_pfd: 1e-3,
+                confidence: 0.9,
+            }),
+            corpus: AeCorpus::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_through_json() {
+        let ckpt = minimal_envelope();
+        let text = serde_json::to_string(&ckpt).unwrap();
+        let back: CampaignCheckpoint = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.campaign_seed, 7);
+        assert_eq!(back.cell_op, ckpt.cell_op);
+        assert!(validate_envelope(&back).is_ok());
+    }
+
+    #[test]
+    fn foreign_kind_and_future_schema_are_rejected() {
+        let mut ckpt = minimal_envelope();
+        ckpt.kind = "something_else".into();
+        assert!(matches!(
+            validate_envelope(&ckpt),
+            Err(PipelineError::Checkpoint { .. })
+        ));
+        let mut ckpt = minimal_envelope();
+        ckpt.schema_version = CHECKPOINT_SCHEMA_VERSION + 1;
+        let err = validate_envelope(&ckpt).unwrap_err();
+        assert!(err.to_string().contains("newer than supported"));
+    }
+
+    #[test]
+    fn truncated_files_fail_loudly() {
+        let dir = std::env::temp_dir().join("opad_core_ckpt_truncation_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = serde_json::to_string(&minimal_envelope()).unwrap();
+        let path = dir.join("CKPT_0000.json");
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(PipelineError::Checkpoint { .. })
+        ));
+        assert!(read_checkpoint(&dir.join("CKPT_0001.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -43,6 +43,15 @@ pub enum PipelineError {
         /// Human-readable description.
         reason: String,
     },
+
+    /// A campaign checkpoint could not be written, read, or resumed.
+    /// Truncated or tampered files fail here, loudly — a resume must
+    /// never silently continue from half a posterior.
+    #[error("checkpoint error: {reason}")]
+    Checkpoint {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 #[cfg(test)]

@@ -18,7 +18,10 @@
 //!    cell priorities feed back into step 2.
 //!
 //! [`TestingLoop`] wires the steps together and iterates until the
-//! reliability target is met.
+//! reliability target is met. [`ShardedCampaign`] runs the same loop
+//! partitioned over the cell space — bit-identical at any shard count
+//! thanks to mergeable sufficient statistics everywhere — and can be
+//! frozen into a [`CampaignCheckpoint`] between rounds and resumed.
 //!
 //! # Examples
 //!
@@ -34,15 +37,19 @@
 #![warn(missing_docs)]
 
 mod bench;
+mod checkpoint;
 mod error;
 mod operational_ae;
 mod pipeline;
 mod retrain;
 mod seed_sampler;
+mod sharded;
 
 pub use bench::CoreBenches;
+pub use checkpoint::{read_checkpoint, CampaignCheckpoint};
 pub use error::PipelineError;
 pub use operational_ae::{classify_outcome, AeCorpus, DetectedAe};
-pub use pipeline::{LoopConfig, RoundReport, TestingLoop};
+pub use pipeline::{LoopConfig, RoundReport, StepDurations, TestingLoop};
 pub use retrain::{retrain_with_aes, RetrainConfig};
-pub use seed_sampler::{SeedSampler, SeedWeighting};
+pub use seed_sampler::{SeedSampler, SeedWeightAccumulator, SeedWeighting};
+pub use sharded::{shard_ranges, ShardedCampaign, ShardedConfig};

@@ -21,17 +21,17 @@ use std::time::Instant;
 // Stream indices of the per-purpose generators inside one round (see
 // `purpose_rng`). Distinct constants, not positions in a sequence: adding
 // a purpose never renumbers the existing ones.
-const PURPOSE_SAMPLE: u64 = 0;
-const PURPOSE_FUZZ: u64 = 1;
-const PURPOSE_EVAL: u64 = 2;
-const PURPOSE_ASSESS: u64 = 3;
-const PURPOSE_RETRAIN: u64 = 4;
+pub(crate) const PURPOSE_SAMPLE: u64 = 0;
+pub(crate) const PURPOSE_FUZZ: u64 = 1;
+pub(crate) const PURPOSE_EVAL: u64 = 2;
+pub(crate) const PURPOSE_ASSESS: u64 = 3;
+pub(crate) const PURPOSE_RETRAIN: u64 = 4;
 
 /// One independent generator per round step, derived from a single draw on
 /// the caller's generator. Because each step owns its stream, the number
 /// of draws one step makes can never shift what another step sees — which
 /// is also what makes the parallel fuzz fan-out order-independent.
-fn purpose_rng(round_seed: u64, purpose: u64) -> StdRng {
+pub(crate) fn purpose_rng(round_seed: u64, purpose: u64) -> StdRng {
     StdRng::seed_from_u64(opad_par::stream_seed(round_seed, purpose))
 }
 
@@ -42,7 +42,10 @@ fn purpose_rng(round_seed: u64, purpose: u64) -> StdRng {
 const NATURALNESS_FLOOR_QUANTILE: f64 = 0.05;
 const NATURALNESS_FLOOR_MARGIN: f64 = 10.0;
 
-fn naturalness_floor<D: Density>(density: &D, field_data: &Dataset) -> Result<f64, PipelineError> {
+pub(crate) fn naturalness_floor<D: Density>(
+    density: &D,
+    field_data: &Dataset,
+) -> Result<f64, PipelineError> {
     let d = field_data.feature_dim();
     let xs = field_data.features().as_slice();
     let mut scores = Vec::with_capacity(field_data.len());

@@ -77,6 +77,10 @@ impl SeedSampler {
     /// `op` supplies the density for OP-aware weightings (mandatory for
     /// those; ignored otherwise).
     ///
+    /// Implemented as one [`SeedWeightAccumulator`] pass over the whole
+    /// dataset, so a sharded campaign that accumulates disjoint index
+    /// slices and merges produces the same weights this method does.
+    ///
     /// # Errors
     ///
     /// Fails when an OP-aware weighting lacks a density, or the model
@@ -93,56 +97,10 @@ impl SeedSampler {
                 reason: "empty operational dataset".into(),
             });
         }
-        let needs_op = matches!(
-            self.weighting,
-            SeedWeighting::OpDensity | SeedWeighting::OpTimesMargin | SeedWeighting::OpTimesEntropy
-        );
-        let needs_model = matches!(
-            self.weighting,
-            SeedWeighting::Margin
-                | SeedWeighting::Entropy
-                | SeedWeighting::OpTimesMargin
-                | SeedWeighting::OpTimesEntropy
-        );
-        let op_w: Option<Vec<f64>> = if needs_op {
-            let density = op.ok_or(PipelineError::InvalidConfig {
-                reason: format!("weighting {:?} needs an OP density", self.weighting),
-            })?;
-            let logs = log_density_batch(density, data.features())?;
-            // Normalise in log space to avoid underflow.
-            let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            Some(logs.into_iter().map(|l| (l - m).exp()).collect())
-        } else {
-            None
-        };
-        let model_w: Option<Vec<f64>> = if needs_model {
-            let logits = net.forward(data.features(), false)?;
-            let v: Vec<f64> = match self.weighting {
-                SeedWeighting::Margin | SeedWeighting::OpTimesMargin => prediction_margin(&logits)?
-                    .into_iter()
-                    .map(|m| (1.0 - m as f64).max(1e-9))
-                    .collect(),
-                _ => prediction_entropy(&logits)?
-                    .into_iter()
-                    .map(|h| (h as f64).max(1e-9))
-                    .collect(),
-            };
-            Some(v)
-        } else {
-            None
-        };
-        let weights: Vec<f64> = (0..n)
-            .map(|i| {
-                let a = op_w.as_ref().map_or(1.0, |w| w[i]);
-                let b = model_w.as_ref().map_or(1.0, |w| w[i]);
-                a * b
-            })
-            .collect();
-        if weights.iter().sum::<f64>() <= 0.0 {
-            // Degenerate: fall back to uniform rather than failing the run.
-            return Ok(vec![1.0; n]);
-        }
-        Ok(weights)
+        let mut acc = SeedWeightAccumulator::new(self.weighting);
+        let all: Vec<usize> = (0..n).collect();
+        acc.accumulate(net, data, &all, op)?;
+        acc.finalize(n)
     }
 
     /// Multiplies `weights` by the reliability model's per-cell testing
@@ -178,6 +136,12 @@ impl SeedSampler {
             *w *= priority[cell].max(1e-12);
         }
         Ok(())
+    }
+
+    /// Starts an empty mergeable weight computation for this sampler's
+    /// weighting scheme.
+    pub fn accumulator(&self) -> SeedWeightAccumulator {
+        SeedWeightAccumulator::new(self.weighting)
     }
 
     /// Samples `k` distinct indices with probability proportional to
@@ -220,6 +184,179 @@ impl SeedSampler {
             .collect();
         keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys"));
         Ok(keyed.into_iter().take(k).map(|(_, i)| i).collect())
+    }
+}
+
+/// One seed's raw (unnormalized) weight statistics.
+#[derive(Debug, Clone, Copy)]
+struct WeightEntry {
+    index: usize,
+    /// Raw OP log-density (0.0 when the weighting ignores the OP — the
+    /// shared max then cancels to exactly 1.0 in `finalize`).
+    log_op: f64,
+    /// Model-uncertainty factor (1.0 when the weighting ignores it).
+    model: f64,
+}
+
+/// A mergeable partial computation of [`SeedSampler::weights`].
+///
+/// Shards accumulate disjoint index subsets independently and merge; the
+/// result finalizes to the same bits as a single pass over the whole
+/// dataset, because per-seed statistics are stored *raw* (log-densities,
+/// uncertainty scores) and every global operation — max-normalization in
+/// log space, the all-zero uniform fallback — is deferred to
+/// [`finalize`](Self::finalize), which first canonicalizes entry order by
+/// seed index.
+#[derive(Debug, Clone)]
+pub struct SeedWeightAccumulator {
+    weighting: SeedWeighting,
+    entries: Vec<WeightEntry>,
+}
+
+impl SeedWeightAccumulator {
+    /// Creates an empty accumulator for `weighting`.
+    pub fn new(weighting: SeedWeighting) -> Self {
+        SeedWeightAccumulator {
+            weighting,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The weighting scheme this accumulator computes.
+    pub fn weighting(&self) -> SeedWeighting {
+        self.weighting
+    }
+
+    /// Number of seeds accumulated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no seeds have been accumulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Scores the seeds at `indices` (positions into `data`) and records
+    /// their raw statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an OP-aware weighting lacks a density, an index is out
+    /// of range, or the model rejects the batch.
+    pub fn accumulate<D: Density + Sync>(
+        &mut self,
+        net: &mut Network,
+        data: &Dataset,
+        indices: &[usize],
+        op: Option<&D>,
+    ) -> Result<(), PipelineError> {
+        if indices.is_empty() {
+            return Ok(());
+        }
+        let needs_op = matches!(
+            self.weighting,
+            SeedWeighting::OpDensity | SeedWeighting::OpTimesMargin | SeedWeighting::OpTimesEntropy
+        );
+        let needs_model = matches!(
+            self.weighting,
+            SeedWeighting::Margin
+                | SeedWeighting::Entropy
+                | SeedWeighting::OpTimesMargin
+                | SeedWeighting::OpTimesEntropy
+        );
+        let subset = data.select(indices)?;
+        let log_op: Option<Vec<f64>> = if needs_op {
+            let density = op.ok_or(PipelineError::InvalidConfig {
+                reason: format!("weighting {:?} needs an OP density", self.weighting),
+            })?;
+            Some(log_density_batch(density, subset.features())?)
+        } else {
+            None
+        };
+        let model: Option<Vec<f64>> = if needs_model {
+            let logits = net.forward(subset.features(), false)?;
+            let v: Vec<f64> = match self.weighting {
+                SeedWeighting::Margin | SeedWeighting::OpTimesMargin => prediction_margin(&logits)?
+                    .into_iter()
+                    .map(|m| (1.0 - m as f64).max(1e-9))
+                    .collect(),
+                _ => prediction_entropy(&logits)?
+                    .into_iter()
+                    .map(|h| (h as f64).max(1e-9))
+                    .collect(),
+            };
+            Some(v)
+        } else {
+            None
+        };
+        for (j, &index) in indices.iter().enumerate() {
+            self.entries.push(WeightEntry {
+                index,
+                log_op: log_op.as_ref().map_or(0.0, |v| v[j]),
+                model: model.as_ref().map_or(1.0, |v| v[j]),
+            });
+        }
+        Ok(())
+    }
+
+    /// Absorbs another shard's entries.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the weighting schemes differ.
+    pub fn merge(&mut self, other: &SeedWeightAccumulator) -> Result<(), PipelineError> {
+        if self.weighting != other.weighting {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "cannot merge a {:?} accumulator into a {:?} one",
+                    other.weighting, self.weighting
+                ),
+            });
+        }
+        self.entries.extend_from_slice(&other.entries);
+        Ok(())
+    }
+
+    /// Resolves the accumulated statistics into the final weight vector
+    /// over seeds `0..n`, in index order.
+    ///
+    /// Applies the global operations exactly as the single-pass
+    /// [`SeedSampler::weights`] does: max-normalization of OP
+    /// log-densities, product with the model factor, and the degenerate
+    /// all-zero → uniform fallback.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the entries cover `0..n` exactly once each —
+    /// duplicates or gaps mean shards overlapped or dropped seeds, which
+    /// would silently skew the distribution.
+    pub fn finalize(self, n: usize) -> Result<Vec<f64>, PipelineError> {
+        let mut entries = self.entries;
+        entries.sort_by_key(|e| e.index);
+        if entries.len() != n || entries.iter().enumerate().any(|(i, e)| e.index != i) {
+            return Err(PipelineError::InvalidConfig {
+                reason: format!(
+                    "accumulator holds {} entries for {} seeds (shards overlapped or dropped indices)",
+                    entries.len(),
+                    n
+                ),
+            });
+        }
+        // Normalise in log space to avoid underflow.
+        let m = entries
+            .iter()
+            .map(|e| e.log_op)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = entries
+            .iter()
+            .map(|e| (e.log_op - m).exp() * e.model)
+            .collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            // Degenerate: fall back to uniform rather than failing the run.
+            return Ok(vec![1.0; n]);
+        }
+        Ok(weights)
     }
 }
 
@@ -379,6 +516,97 @@ mod tests {
         assert!(s
             .apply_cell_priority(&mut w2, &data, &partition, &[1.0])
             .is_err());
+    }
+
+    #[test]
+    fn accumulator_fold_matches_weights_bitwise() {
+        // The sharding contract for RQ2: scoring disjoint index slices
+        // independently and merging reproduces the single-pass weights
+        // bit for bit, for every weighting and shard count.
+        let data = toy_data();
+        let op = origin_op();
+        for weighting in SeedWeighting::all() {
+            let mut net = toy_net();
+            let s = SeedSampler::new(weighting);
+            let reference = s.weights(&mut net, &data, Some(&op)).unwrap();
+            for shards in [1usize, 2, 3, 4] {
+                let mut acc = s.accumulator();
+                for shard in 0..shards {
+                    let idx: Vec<usize> = (0..data.len()).filter(|i| i % shards == shard).collect();
+                    let mut partial = s.accumulator();
+                    partial
+                        .accumulate(&mut net, &data, &idx, Some(&op))
+                        .unwrap();
+                    acc.merge(&partial).unwrap();
+                }
+                let folded = acc.finalize(data.len()).unwrap();
+                let same = reference
+                    .iter()
+                    .zip(&folded)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    same,
+                    "{weighting:?}/{shards} shards: {reference:?} vs {folded:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_merge_commutes_up_to_ordering() {
+        let data = toy_data();
+        let op = origin_op();
+        let mut net = toy_net();
+        let s = SeedSampler::new(SeedWeighting::OpTimesEntropy);
+        let mut a = s.accumulator();
+        a.accumulate(&mut net, &data, &[0, 2], Some(&op)).unwrap();
+        let mut b = s.accumulator();
+        b.accumulate(&mut net, &data, &[3, 1], Some(&op)).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(!b.is_empty());
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        let wab = ab.finalize(4).unwrap();
+        let wba = ba.finalize(4).unwrap();
+        let same = wab
+            .iter()
+            .zip(&wba)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "merge order changed the weights: {wab:?} vs {wba:?}");
+    }
+
+    #[test]
+    fn accumulator_identity_and_validation() {
+        let data = toy_data();
+        let mut net = toy_net();
+        let s = SeedSampler::new(SeedWeighting::Entropy);
+        // Empty accumulators are the identity element.
+        let mut acc = s.accumulator();
+        acc.merge(&s.accumulator()).unwrap();
+        acc.accumulate::<Gmm>(&mut net, &data, &[0, 1, 2, 3], None)
+            .unwrap();
+        acc.merge(&s.accumulator()).unwrap();
+        let w = acc.clone().finalize(4).unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(acc.weighting(), SeedWeighting::Entropy);
+        // Mixed weightings must not merge.
+        let other = SeedSampler::new(SeedWeighting::Uniform).accumulator();
+        assert!(acc.merge(&other).is_err());
+        // Gaps and duplicates fail loudly.
+        let mut gap = s.accumulator();
+        gap.accumulate::<Gmm>(&mut net, &data, &[0, 1], None)
+            .unwrap();
+        assert!(gap.finalize(4).is_err());
+        let mut dup = s.accumulator();
+        dup.accumulate::<Gmm>(&mut net, &data, &[0, 1, 1, 2], None)
+            .unwrap();
+        assert!(dup.finalize(4).is_err());
+        // Accumulating nothing is a no-op, not an error.
+        let mut noop = s.accumulator();
+        noop.accumulate::<Gmm>(&mut net, &data, &[], None).unwrap();
+        assert!(noop.is_empty());
     }
 
     #[test]

@@ -1,0 +1,626 @@
+//! Sharded testing campaigns: the Figure-1 loop partitioned over the
+//! cell space, folded back together through the mergeable sufficient
+//! statistics of each subsystem.
+//!
+//! A [`ShardedCampaign`] deterministically splits the partition's cells
+//! into contiguous shard ranges ([`shard_ranges`]). Each round, every
+//! step that touches per-cell state runs shard-local — seed-weight
+//! accumulation ([`crate::SeedWeightAccumulator`]), fuzz evidence and
+//! operational evaluation (each into a fresh
+//! [`CellReliabilityModel`]) — and the partial results fold back in
+//! shard order. Because every per-shard random stream is keyed by a
+//! *global* identity (seed index, cell index) via
+//! [`opad_par::stream_seed`], and all merges add integer counts (exact
+//! in f64 far below 2^53), the merged posterior and the full
+//! [`RoundReport`] are bit-identical at any shard count and any
+//! `OPAD_THREADS` — pinned by `tests/shard_equivalence.rs`.
+//!
+//! Unlike [`TestingLoop`](crate::TestingLoop), a campaign owns its RNG
+//! root: round `r` runs on `stream_seed(campaign_seed, r)` rather than a
+//! draw from a caller generator. That makes a campaign resumable — a
+//! checkpoint needs only the round counter, not serialized RNG state
+//! (see [`crate::CampaignCheckpoint`]).
+
+use crate::pipeline::{
+    naturalness_floor, purpose_rng, LoopConfig, RoundReport, StepDurations, PURPOSE_ASSESS,
+    PURPOSE_EVAL, PURPOSE_FUZZ, PURPOSE_RETRAIN, PURPOSE_SAMPLE,
+};
+use crate::{
+    classify_outcome, retrain_with_aes, AeCorpus, DetectedAe, PipelineError, SeedSampler,
+    SeedWeightAccumulator,
+};
+use opad_alert::{default_rules, Rule as AlertRule};
+use opad_attack::Attack;
+use opad_data::Dataset;
+use opad_nn::Network;
+use opad_opmodel::{CentroidPartition, Density, OperationalProfile, Partition};
+use opad_reliability::{Assessment, CellReliabilityModel, GrowthTimeline, ReliabilityTarget};
+use opad_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Span names are `&'static str`, so per-shard spans come from a static
+/// table; campaigns wider than the table share the overflow name.
+const SHARD_SPAN_NAMES: [&str; 16] = [
+    "shard[0]",
+    "shard[1]",
+    "shard[2]",
+    "shard[3]",
+    "shard[4]",
+    "shard[5]",
+    "shard[6]",
+    "shard[7]",
+    "shard[8]",
+    "shard[9]",
+    "shard[10]",
+    "shard[11]",
+    "shard[12]",
+    "shard[13]",
+    "shard[14]",
+    "shard[15]",
+];
+
+fn shard_span_name(shard: usize) -> &'static str {
+    SHARD_SPAN_NAMES.get(shard).copied().unwrap_or("shard[*]")
+}
+
+/// Configuration of a sharded campaign: the number of shards plus the
+/// full per-round [`LoopConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedConfig {
+    /// Number of cell-space shards. `1` is the sequential reference the
+    /// equivalence suite compares against.
+    pub shards: usize,
+    /// The Figure-1 loop configuration applied within each round.
+    pub base: LoopConfig,
+}
+
+impl ShardedConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on zero shards or an invalid base config.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.shards == 0 {
+            return Err(PipelineError::InvalidConfig {
+                reason: "shard count must be nonzero".into(),
+            });
+        }
+        self.base.validate()
+    }
+}
+
+/// Deterministic partition of `num_cells` cells into `shards` contiguous
+/// ranges (the same `div_ceil` chunking as `opad_par::par_ranges`, so
+/// geometry rules match the thread pool's). Trailing ranges may be empty
+/// when `shards` exceeds `num_cells`.
+pub fn shard_ranges(num_cells: usize, shards: usize) -> Vec<Range<usize>> {
+    let chunk = num_cells.div_ceil(shards.max(1)).max(1);
+    (0..shards)
+        .map(|s| (s * chunk).min(num_cells)..((s + 1) * chunk).min(num_cells))
+        .collect()
+}
+
+/// The Figure-1 testing loop run as a resumable, cell-sharded campaign.
+///
+/// See the module docs for the determinism contract. Construction
+/// mirrors [`TestingLoop::new`](crate::TestingLoop::new) plus a
+/// `campaign_seed` that replaces the caller-held RNG.
+#[derive(Debug, Clone)]
+pub struct ShardedCampaign<D> {
+    pub(crate) net: Network,
+    pub(crate) op: OperationalProfile<D>,
+    pub(crate) partition: CentroidPartition,
+    pub(crate) cell_op: Vec<f64>,
+    pub(crate) reliability: CellReliabilityModel,
+    pub(crate) timeline: GrowthTimeline,
+    pub(crate) corpus: AeCorpus,
+    pub(crate) sampler: SeedSampler,
+    pub(crate) config: ShardedConfig,
+    pub(crate) campaign_seed: u64,
+    pub(crate) rounds_run: usize,
+    pub(crate) reports: Vec<RoundReport>,
+    pub(crate) alert_rules: Vec<AlertRule>,
+}
+
+impl<D: Density> ShardedCampaign<D> {
+    /// Creates a campaign.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid config or degenerate field data.
+    pub fn new(
+        net: Network,
+        op: OperationalProfile<D>,
+        partition: CentroidPartition,
+        field_data: &Dataset,
+        target: ReliabilityTarget,
+        config: ShardedConfig,
+        campaign_seed: u64,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        if field_data.is_empty() {
+            return Err(PipelineError::InvalidConfig {
+                reason: "field data must be nonempty".into(),
+            });
+        }
+        let cell_op = partition.cell_distribution(field_data.features(), 0.5)?;
+        let reliability = CellReliabilityModel::new(cell_op.clone())?;
+        let sampler = SeedSampler::new(config.base.weighting);
+        let alert_rules = default_rules(
+            target.target_pfd,
+            naturalness_floor(op.density(), field_data)?,
+        );
+        Ok(ShardedCampaign {
+            net,
+            op,
+            partition,
+            cell_op,
+            reliability,
+            timeline: GrowthTimeline::new(target),
+            corpus: AeCorpus::new(),
+            sampler,
+            config,
+            campaign_seed,
+            rounds_run: 0,
+            reports: Vec::new(),
+            alert_rules,
+        })
+    }
+
+    /// The model under test (read-only).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The cumulative corpus of detected operational AEs.
+    pub fn corpus(&self) -> &AeCorpus {
+        &self.corpus
+    }
+
+    /// The reliability-growth timeline.
+    pub fn timeline(&self) -> &GrowthTimeline {
+        &self.timeline
+    }
+
+    /// The current (merged) reliability model.
+    pub fn reliability(&self) -> &CellReliabilityModel {
+        &self.reliability
+    }
+
+    /// The discretised (per-cell) operational profile.
+    pub fn cell_op(&self) -> &[f64] {
+        &self.cell_op
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// The campaign's RNG root.
+    pub fn campaign_seed(&self) -> u64 {
+        self.campaign_seed
+    }
+
+    /// Rounds completed so far (across resumes).
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Every round report so far, including rounds run before a
+    /// checkpoint/resume cycle.
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.reports
+    }
+
+    /// The cell index of every row of `data`, plus the inverse map from
+    /// cell to row indices (ascending within each cell).
+    fn cell_index(&self, data: &Dataset) -> Result<(Vec<usize>, Vec<Vec<usize>>), PipelineError> {
+        let d = data.feature_dim();
+        let xs = data.features().as_slice();
+        let mut point_cells = Vec::with_capacity(data.len());
+        let mut cell_points: Vec<Vec<usize>> = vec![Vec::new(); self.partition.num_cells()];
+        for i in 0..data.len() {
+            let cell = self.partition.cell_of(&xs[i * d..(i + 1) * d])?;
+            point_cells.push(cell);
+            cell_points[cell].push(i);
+        }
+        Ok((point_cells, cell_points))
+    }
+
+    /// Runs one sharded round. The flow is step-for-step the one of
+    /// [`TestingLoop::run_round`](crate::TestingLoop::run_round); only
+    /// the iteration geometry differs, never the evidence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling, attack, assessment and retraining failures
+    /// (the first error in shard order surfaces).
+    pub fn run_round<A: Attack + Sync>(
+        &mut self,
+        field_data: &Dataset,
+        train_data: &Dataset,
+        attack: &A,
+    ) -> Result<RoundReport, PipelineError>
+    where
+        D: Sync,
+    {
+        let round = self.rounds_run;
+        let round_start = Instant::now();
+        let _round_span = telemetry::span("round");
+        telemetry::phase::set_round(round);
+        telemetry::gauge_set("shard.count", self.config.shards as f64);
+        if let Some(center) = opad_alert::current() {
+            center.ensure_rules(&self.alert_rules);
+        }
+        let mut step_ms = StepDurations::default();
+
+        // The campaign owns its RNG root: no caller draw, so a resumed
+        // campaign re-derives round r's streams from (seed, r) alone.
+        let round_seed = opad_par::stream_seed(self.campaign_seed, round as u64);
+        let mut sample_rng = purpose_rng(round_seed, PURPOSE_SAMPLE);
+        let fuzz_base = opad_par::stream_seed(round_seed, PURPOSE_FUZZ);
+        let eval_base = opad_par::stream_seed(round_seed, PURPOSE_EVAL);
+        let mut assess_rng = purpose_rng(round_seed, PURPOSE_ASSESS);
+        let mut retrain_rng = purpose_rng(round_seed, PURPOSE_RETRAIN);
+
+        let shards = self.config.shards;
+        let ranges = shard_ranges(self.partition.num_cells(), shards);
+        let (point_cells, cell_points) = self.cell_index(field_data)?;
+
+        // ---- Step 2: sharded weight accumulation + global sampling. ----
+        let step_start = Instant::now();
+        telemetry::phase::set(telemetry::phase::SAMPLE_SEEDS);
+        let seed_idx = {
+            let _span = telemetry::span("sample_seeds");
+            let net = &self.net;
+            let density = self.op.density();
+            let sampler = &self.sampler;
+            let partials = opad_par::par_map(
+                &ranges,
+                |s, cells: &Range<usize>| -> Result<SeedWeightAccumulator, PipelineError> {
+                    let _span = telemetry::span(shard_span_name(s));
+                    telemetry::gauge_set("shard.id", s as f64);
+                    let _t = telemetry::timer("shard.task_ms");
+                    let idx: Vec<usize> = (0..field_data.len())
+                        .filter(|&i| cells.contains(&point_cells[i]))
+                        .collect();
+                    let mut shard_net = net.clone();
+                    let mut acc = sampler.accumulator();
+                    acc.accumulate(&mut shard_net, field_data, &idx, Some(density))?;
+                    Ok(acc)
+                },
+            );
+            let mut acc = self.sampler.accumulator();
+            for partial in partials {
+                acc.merge(&partial?)?;
+                telemetry::counter_add("shard.merges", 1);
+            }
+            let mut weights = acc.finalize(field_data.len())?;
+            if self.config.base.priority_feedback && round > 0 {
+                let priority = self.reliability.cell_priority();
+                self.sampler.apply_cell_priority(
+                    &mut weights,
+                    field_data,
+                    &self.partition,
+                    &priority,
+                )?;
+            }
+            let k = self.config.base.seeds_per_round.min(field_data.len());
+            self.sampler.sample(&weights, k, &mut sample_rng)?
+        };
+        let k = seed_idx.len();
+        step_ms.sample_seeds_ms = telemetry::ms_since(step_start);
+
+        // ---- Step 3: sharded fuzzing, seeds grouped by home cell. ----
+        let step_start = Instant::now();
+        let mut round_corpus = AeCorpus::new();
+        let d = field_data.feature_dim();
+        telemetry::phase::set(telemetry::phase::FUZZ);
+        {
+            let _span = telemetry::span("fuzz");
+            let net = &self.net;
+            let partition = &self.partition;
+            let density = self.op.density();
+            // Each shard fuzzes the seeds whose cell it owns, gathering
+            // evidence in its own fresh model. Per-seed RNG streams are
+            // keyed by the *global* seed index, so a seed's outcome does
+            // not depend on which shard ran it.
+            type ShardCatch = (CellReliabilityModel, Vec<DetectedAe>);
+            let cell_op = &self.cell_op;
+            let ae_evidence = self.config.base.ae_evidence;
+            let results = opad_par::par_map(
+                &ranges,
+                |s, cells: &Range<usize>| -> Result<ShardCatch, PipelineError> {
+                    let _span = telemetry::span(shard_span_name(s));
+                    telemetry::gauge_set("shard.id", s as f64);
+                    let _t = telemetry::timer("shard.task_ms");
+                    let mut model = CellReliabilityModel::new(cell_op.clone())?;
+                    let mut aes = Vec::new();
+                    for &i in seed_idx
+                        .iter()
+                        .filter(|&&i| cells.contains(&point_cells[i]))
+                    {
+                        let mut seed_net = net.clone();
+                        let mut seed_rng =
+                            StdRng::seed_from_u64(opad_par::stream_seed(fuzz_base, i as u64));
+                        let (seed, label) = field_data.sample(i)?;
+                        let outcome = attack.run(&mut seed_net, &seed, label, &mut seed_rng)?;
+                        let seed_cell = point_cells[i];
+                        let seed_pred = {
+                            let batch = seed.reshape(&[1, d])?;
+                            seed_net.predict_labels(&batch)?[0]
+                        };
+                        model.observe(seed_cell, seed_pred != label)?;
+                        telemetry::counter_add("shard.demands", 1);
+                        if let Some(ae) =
+                            classify_outcome(i, &seed, label, &outcome, density, partition)?
+                        {
+                            if ae_evidence {
+                                model.observe(ae.cell, true)?;
+                            }
+                            aes.push(ae);
+                        }
+                    }
+                    Ok((model, aes))
+                },
+            );
+            // Fold in shard order; counts are integers, so the merged
+            // posterior is independent of the grouping. AEs enter the
+            // corpus in canonical (seed-index) order so retraining sees
+            // the same batch at every shard count.
+            let mut all_aes: Vec<DetectedAe> = Vec::new();
+            for result in results {
+                let (model, aes) = result?;
+                self.reliability.merge(&model)?;
+                telemetry::counter_add("shard.merges", 1);
+                all_aes.extend(aes);
+            }
+            all_aes.sort_by_key(|ae| ae.seed_index);
+            for ae in all_aes {
+                round_corpus.push(ae);
+            }
+        }
+        step_ms.fuzz_ms = telemetry::ms_since(step_start);
+        let aes_found = round_corpus.len();
+        telemetry::counter_add("pipeline.seeds_attacked", k as u64);
+        telemetry::counter_add("pipeline.aes_found", aes_found as u64);
+        telemetry::counter_add(
+            "pipeline.cells_hit",
+            round_corpus.distinct_cells().len() as u64,
+        );
+        self.corpus.extend_from(&round_corpus);
+
+        // ---- Step 5a: sharded operational evaluation. ----
+        // The eval budget is apportioned to cells by OP mass (largest
+        // remainder), and every cell draws demands from its own stream —
+        // a per-cell keying that makes the step shardable at all, where
+        // the sequential loop's single draw sequence would not be.
+        let step_start = Instant::now();
+        telemetry::phase::set(telemetry::phase::EVALUATE);
+        let op_accuracy = {
+            let _span = telemetry::span("evaluate");
+            let quota = apportion(&self.cell_op, self.config.base.eval_per_round);
+            let net = &self.net;
+            type ShardEval = (CellReliabilityModel, u64, u64);
+            let cell_op = &self.cell_op;
+            let results = opad_par::par_map(
+                &ranges,
+                |s, cells: &Range<usize>| -> Result<ShardEval, PipelineError> {
+                    let _span = telemetry::span(shard_span_name(s));
+                    telemetry::gauge_set("shard.id", s as f64);
+                    let _t = telemetry::timer("shard.task_ms");
+                    let mut model = CellReliabilityModel::new(cell_op.clone())?;
+                    let mut shard_net = net.clone();
+                    let (mut correct, mut attempted) = (0u64, 0u64);
+                    for cell in cells.clone() {
+                        let pts = &cell_points[cell];
+                        if pts.is_empty() || quota[cell] == 0 {
+                            continue;
+                        }
+                        let mut cell_rng =
+                            StdRng::seed_from_u64(opad_par::stream_seed(eval_base, cell as u64));
+                        for _ in 0..quota[cell] {
+                            let i = pts[cell_rng.gen_range(0..pts.len())];
+                            let (x, label) = field_data.sample(i)?;
+                            let pred = {
+                                let batch = x.reshape(&[1, d])?;
+                                shard_net.predict_labels(&batch)?[0]
+                            };
+                            let failed = pred != label;
+                            model.observe(cell, failed)?;
+                            telemetry::counter_add("shard.demands", 1);
+                            attempted += 1;
+                            if !failed {
+                                correct += 1;
+                            }
+                        }
+                    }
+                    Ok((model, correct, attempted))
+                },
+            );
+            let (mut correct, mut attempted) = (0u64, 0u64);
+            for result in results {
+                let (model, c, a) = result?;
+                self.reliability.merge(&model)?;
+                telemetry::counter_add("shard.merges", 1);
+                correct += c;
+                attempted += a;
+            }
+            correct as f64 / (attempted.max(1)) as f64
+        };
+        step_ms.evaluate_ms = telemetry::ms_since(step_start);
+
+        // ---- Step 5b: global reliability claim on the merged model. ----
+        let step_start = Instant::now();
+        telemetry::phase::set(telemetry::phase::ASSESS);
+        let (pfd_mean, pfd_upper, target_met) = {
+            let _span = telemetry::span("assess");
+            let pfd_mean = self.reliability.pfd_mean();
+            let pfd_upper = self.reliability.pfd_upper_bound(
+                self.timeline.target().confidence,
+                self.config.base.mc_samples,
+                &mut assess_rng,
+            )?;
+            self.timeline.record(Assessment {
+                round,
+                pfd_mean,
+                pfd_upper,
+                tests_spent: k + self.config.base.eval_per_round,
+                aes_found,
+            })?;
+            (pfd_mean, pfd_upper, self.timeline.target_met())
+        };
+        step_ms.assess_ms = telemetry::ms_since(step_start);
+        telemetry::gauge_set("pipeline.pfd_mean", pfd_mean);
+        telemetry::gauge_set("pipeline.pfd_upper", pfd_upper);
+        telemetry::gauge_set("reliability.pfd_mean", pfd_mean);
+
+        // ---- Step 4: global retrain on the canonical corpus. ----
+        let step_start = Instant::now();
+        if !target_met {
+            telemetry::phase::set(telemetry::phase::RETRAIN);
+            let _span = telemetry::span("retrain");
+            retrain_with_aes(
+                &mut self.net,
+                train_data,
+                &self.corpus,
+                Some(self.op.density()),
+                &self.config.base.retrain,
+                &mut retrain_rng,
+            )?;
+            // Evidence gathered against the old model no longer applies.
+            self.reliability = CellReliabilityModel::new(self.cell_op.clone())?;
+            step_ms.retrain_ms = telemetry::ms_since(step_start);
+        }
+
+        self.rounds_run += 1;
+        telemetry::phase::set(telemetry::phase::IDLE);
+        let report = RoundReport {
+            round,
+            seeds_attacked: k,
+            aes_found,
+            op_mass_detected: self.corpus.op_mass_detected(&self.cell_op)?,
+            pfd_mean,
+            pfd_upper,
+            op_accuracy,
+            target_met,
+            wall_ms: telemetry::ms_since(round_start),
+            step_ms,
+        };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// Runs rounds until the reliability target is met or `max_rounds`
+    /// is exhausted (counting rounds run before a resume); returns every
+    /// report from the whole campaign, pre-resume rounds included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run<A: Attack + Sync>(
+        &mut self,
+        field_data: &Dataset,
+        train_data: &Dataset,
+        attack: &A,
+    ) -> Result<Vec<RoundReport>, PipelineError>
+    where
+        D: Sync,
+    {
+        while self.rounds_run < self.config.base.max_rounds
+            && !self.reports.last().is_some_and(|r| r.target_met)
+        {
+            self.run_round(field_data, train_data, attack)?;
+        }
+        telemetry::phase::set(telemetry::phase::DONE);
+        Ok(self.reports.clone())
+    }
+}
+
+/// Largest-remainder apportionment of `total` demands to cells by OP
+/// mass. Computed globally from the cell OP alone, so every shard count
+/// sees the same per-cell quotas.
+fn apportion(cell_op: &[f64], total: usize) -> Vec<usize> {
+    let mut quota: Vec<usize> = cell_op
+        .iter()
+        .map(|&p| (p * total as f64).floor() as usize)
+        .collect();
+    let assigned: usize = quota.iter().sum();
+    let mut remainders: Vec<(f64, usize)> = cell_op
+        .iter()
+        .enumerate()
+        .map(|(c, &p)| (p * total as f64 - quota[c] as f64, c))
+        .collect();
+    // Largest fraction first; ties break to the lower cell index.
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for i in 0..total.saturating_sub(assigned) {
+        quota[remainders[i % remainders.len()].1] += 1;
+    }
+    quota
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_cells_exactly_once() {
+        for (cells, shards) in [(8usize, 1usize), (8, 2), (8, 3), (8, 8), (3, 8), (1, 4)] {
+            let ranges = shard_ranges(cells, shards);
+            assert_eq!(ranges.len(), shards);
+            let mut seen = vec![false; cells];
+            for r in &ranges {
+                for c in r.clone() {
+                    assert!(!seen[c], "cell {c} in two shards ({cells}/{shards})");
+                    seen[c] = true;
+                }
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "uncovered cell at {cells}/{shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn apportion_spends_the_whole_budget_on_nonempty_op() {
+        let op = vec![0.5, 0.25, 0.125, 0.125];
+        let q = apportion(&op, 10);
+        assert_eq!(q.iter().sum::<usize>(), 10);
+        assert_eq!(q[0], 5);
+        // A skewed profile with awkward fractions still spends exactly
+        // the budget, remainder going to the largest fractions.
+        let op = vec![0.4, 0.35, 0.15, 0.1];
+        let q = apportion(&op, 7);
+        assert_eq!(q.iter().sum::<usize>(), 7);
+        assert!(q[0] >= q[3]);
+    }
+
+    #[test]
+    fn sharded_config_validates() {
+        let bad = ShardedConfig {
+            shards: 0,
+            base: LoopConfig::default(),
+        };
+        assert!(bad.validate().is_err());
+        let good = ShardedConfig {
+            shards: 4,
+            base: LoopConfig::default(),
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn shard_span_names_are_static_and_bounded() {
+        assert_eq!(shard_span_name(0), "shard[0]");
+        assert_eq!(shard_span_name(15), "shard[15]");
+        assert_eq!(shard_span_name(16), "shard[*]");
+        assert_eq!(shard_span_name(1000), "shard[*]");
+    }
+}

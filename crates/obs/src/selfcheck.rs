@@ -1,16 +1,22 @@
 //! `obsctl selfcheck` — validate every artefact against its declared
 //! schema version.
 //!
-//! Covers the four artefact families: `results/*.json` run envelopes,
+//! Covers the five artefact families: `results/*.json` run envelopes,
 //! `results/*_trace.jsonl` span streams, `results/*_alerts.jsonl` alert
-//! transition logs, and `BENCH_*.json` benchmark snapshots. A truncated
-//! trace tail is reported as a warning (a crashed run is a fact, not a
-//! malformed file); everything else unparseable is an error.
+//! transition logs, `CKPT_*.json` campaign checkpoints, and
+//! `BENCH_*.json` benchmark snapshots. A truncated trace tail is
+//! reported as a warning (a crashed run is a fact, not a malformed
+//! file); everything else unparseable is an error — a checkpoint in
+//! particular must fail loudly here for the same reason resume rejects
+//! it: continuing from half a posterior is worse than not resuming.
 
 use crate::bench::read_bench_report;
 use crate::envelope::read_envelope;
 use opad_alert::transition_from_json;
-use opad_telemetry::{parse_json, parse_trace, JsonValue};
+use opad_telemetry::{
+    ckpt_seq, parse_json, parse_trace, JsonValue, CHECKPOINT_KIND_SHARDED,
+    CHECKPOINT_SCHEMA_VERSION,
+};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -86,6 +92,17 @@ pub fn selfcheck_dir(results_dir: &Path, bench_dir: &Path) -> CheckOutcome {
                     None => out.ok.push(name),
                 },
             }
+        } else if ckpt_seq(&name).is_some() {
+            // Campaign checkpoints: self-describing envelopes, but of
+            // their own family — the generic run-envelope reader below
+            // would misjudge them on `experiment`/file-name grounds.
+            match std::fs::read_to_string(&path) {
+                Err(_) => out.errors.push((name, "unreadable".into())),
+                Ok(text) => match first_checkpoint_fault(&text) {
+                    Some(m) => out.errors.push((name, m)),
+                    None => out.ok.push(name),
+                },
+            }
         } else if name.ends_with(".json") && !name.starts_with("BENCH_") {
             // Bench snapshots are validated by the bench pass below, even
             // when `bench_dir` happens to be the same directory.
@@ -137,6 +154,48 @@ fn first_bad_alert_line(text: &str) -> Option<(usize, String)> {
             && transition_from_json(line).is_none()
         {
             return Some((i + 1, "malformed alert transition".to_string()));
+        }
+    }
+    None
+}
+
+/// Why a `CKPT_<seq>.json` body is not a valid campaign checkpoint, if
+/// it isn't. Structural validation only — the std-only analytics layer
+/// cannot (and should not) deserialize the network — but enough to catch
+/// truncation, foreign kinds, future schemas and missing state blocks.
+fn first_checkpoint_fault(text: &str) -> Option<String> {
+    let v = match parse_json(text) {
+        Ok(v) => v,
+        Err(e) => return Some(format!("unparseable checkpoint: {e}")),
+    };
+    let Some(version) = v.get("schema_version").and_then(JsonValue::as_u64) else {
+        return Some("missing schema_version".into());
+    };
+    if version > CHECKPOINT_SCHEMA_VERSION as u64 {
+        return Some(format!(
+            "checkpoint schema v{version} is newer than supported v{CHECKPOINT_SCHEMA_VERSION}"
+        ));
+    }
+    match v.get("kind").and_then(JsonValue::as_str) {
+        None => return Some("missing kind".into()),
+        Some(kind) if kind != CHECKPOINT_KIND_SHARDED => {
+            return Some(format!("unknown checkpoint kind {kind:?}"));
+        }
+        Some(_) => {}
+    }
+    for field in [
+        "campaign_seed",
+        "rounds_run",
+        "config",
+        "cell_op",
+        "net",
+        "reliability",
+        "timeline",
+        "corpus",
+        "reports",
+    ] {
+        if v.get(field).is_none() {
+            return Some(format!("missing state block {field:?}"));
         }
     }
     None
@@ -253,6 +312,47 @@ mod tests {
         let outcome = selfcheck_dir(&results, &results);
         assert!(outcome.passed(), "{outcome:?}");
         assert_eq!(outcome.ok.len(), 2, "{outcome:?}"); // envelope + bench, once each
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_validate_as_their_own_family() {
+        let dir = fixture_dir("ckpt");
+        let results = dir.join("results");
+        let good = format!(
+            "{{\"schema_version\": {CHECKPOINT_SCHEMA_VERSION}, \
+             \"kind\": \"{CHECKPOINT_KIND_SHARDED}\", \"campaign_seed\": 7, \
+             \"rounds_run\": 1, \"config\": {{}}, \"cell_op\": [0.5, 0.5], \
+             \"net\": {{}}, \"reliability\": {{}}, \"timeline\": {{}}, \
+             \"corpus\": {{}}, \"reports\": []}}"
+        );
+        // Padded and unpadded names are both recognised.
+        std::fs::write(results.join("CKPT_0000.json"), &good).expect("fixture writes");
+        std::fs::write(results.join("CKPT_7.json"), &good).expect("fixture writes");
+        // Truncation is an error, not a silently skipped file.
+        std::fs::write(results.join("CKPT_0001.json"), &good[..good.len() / 2])
+            .expect("fixture writes");
+        // Future schema and missing state blocks are errors.
+        std::fs::write(
+            results.join("CKPT_0002.json"),
+            good.replace(
+                &format!("\"schema_version\": {CHECKPOINT_SCHEMA_VERSION}"),
+                "\"schema_version\": 99",
+            ),
+        )
+        .expect("fixture writes");
+        std::fs::write(
+            results.join("CKPT_0003.json"),
+            good.replace("\"reliability\": {}, ", ""),
+        )
+        .expect("fixture writes");
+        let outcome = selfcheck_dir(&results, &dir);
+        assert_eq!(outcome.ok.len(), 2, "{outcome:?}");
+        assert_eq!(outcome.errors.len(), 3, "{outcome:?}");
+        let messages: Vec<&str> = outcome.errors.iter().map(|(_, m)| m.as_str()).collect();
+        assert!(messages.iter().any(|m| m.contains("unparseable")));
+        assert!(messages.iter().any(|m| m.contains("newer than supported")));
+        assert!(messages.iter().any(|m| m.contains("reliability")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

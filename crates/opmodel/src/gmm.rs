@@ -85,6 +85,52 @@ impl Gmm {
         Ok(Gmm { components, dim })
     }
 
+    /// Weighted-moment merge of two shard mixtures.
+    ///
+    /// When each part was fitted on a disjoint data slice, the pooled
+    /// density is the sample-count-weighted mixture of the parts:
+    /// `p(x) = (n₁ p₁(x) + n₂ p₂(x)) / (n₁ + n₂)`. Every moment of the
+    /// pooled distribution (mean, covariance, …) is preserved exactly,
+    /// because a mixture's moments are the weighted moments of its
+    /// members. Component count grows additively; callers that need a
+    /// fixed-size model can refit on samples of the merge.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a dimension mismatch or when both sample counts are zero.
+    pub fn merge_weighted(
+        &self,
+        other: &Gmm,
+        n_self: u64,
+        n_other: u64,
+    ) -> Result<Gmm, OpModelError> {
+        if self.dim != other.dim {
+            return Err(OpModelError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        let total = n_self + n_other;
+        if total == 0 {
+            return Err(OpModelError::InvalidParameter {
+                reason: "cannot merge mixtures with zero total sample weight".into(),
+            });
+        }
+        let (wa, wb) = (n_self as f64 / total as f64, n_other as f64 / total as f64);
+        let mut components = Vec::with_capacity(self.components.len() + other.components.len());
+        components.extend(self.components.iter().map(|c| GmmComponent {
+            weight: c.weight * wa,
+            mean: c.mean.clone(),
+            std: c.std,
+        }));
+        components.extend(other.components.iter().map(|c| GmmComponent {
+            weight: c.weight * wb,
+            mean: c.mean.clone(),
+            std: c.std,
+        }));
+        Gmm::from_components(components)
+    }
+
     /// Fits a `k`-component mixture with expectation–maximisation,
     /// initialised from `k` random data points.
     ///

@@ -84,6 +84,44 @@ impl Kde {
         Kde::fit(data, h.max(1e-6))
     }
 
+    /// Merges two KDEs fitted on disjoint reference slices with the same
+    /// bandwidth.
+    ///
+    /// The union estimate is exactly the point-count-weighted mixture of
+    /// the parts, so stacking the reference rows (`self` first) reproduces
+    /// a single [`Kde::fit`] over the concatenated data bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a dimension mismatch or differing bandwidths (a weighted
+    /// bandwidth merge would change the estimator, not just reassemble its
+    /// shards).
+    pub fn merge(&self, other: &Kde) -> Result<Kde, OpModelError> {
+        let d = self.points.dims()[1];
+        if other.points.dims()[1] != d {
+            return Err(OpModelError::DimensionMismatch {
+                expected: d,
+                actual: other.points.dims()[1],
+            });
+        }
+        if self.bandwidth.to_bits() != other.bandwidth.to_bits() {
+            return Err(OpModelError::InvalidParameter {
+                reason: format!(
+                    "cannot merge KDEs with bandwidths {} and {}",
+                    self.bandwidth, other.bandwidth
+                ),
+            });
+        }
+        let (na, nb) = (self.points.dims()[0], other.points.dims()[0]);
+        let mut rows = Vec::with_capacity((na + nb) * d);
+        rows.extend_from_slice(self.points.as_slice());
+        rows.extend_from_slice(other.points.as_slice());
+        Ok(Kde {
+            points: Tensor::from_vec(rows, &[na + nb, d])?,
+            bandwidth: self.bandwidth,
+        })
+    }
+
     /// The bandwidth in use.
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth

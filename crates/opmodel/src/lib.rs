@@ -44,7 +44,7 @@ pub use divergence::{js_divergence, kl_divergence, tv_distance};
 pub use error::OpModelError;
 pub use gmm::{Gmm, GmmComponent};
 pub use kde::Kde;
-pub use partition::{CentroidPartition, GridPartition, Partition};
+pub use partition::{CellOccupancy, CentroidPartition, GridPartition, Partition};
 pub use profile::{
     empirical_class_probs, learn_op_gmm, learn_op_kde, LinearDrift, OperationalProfile,
 };

@@ -44,6 +44,101 @@ pub trait Partition {
     }
 }
 
+/// Mergeable cell-occupancy counts — the sufficient statistic behind
+/// [`Partition::cell_distribution`], split out so sharded campaigns can
+/// histogram disjoint data slices independently and fold the partials.
+///
+/// The counts are integers, so merging is exact: any grouping of the data
+/// into shards folds to the same counts, and the normalised distribution
+/// is bit-identical to a single pass (Laplace smoothing and the division
+/// happen once, at [`CellOccupancy::distribution`] time, never per shard).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellOccupancy {
+    counts: Vec<u64>,
+}
+
+impl CellOccupancy {
+    /// An empty occupancy over `k` cells — the merge identity.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `k` is zero.
+    pub fn new(k: usize) -> Result<Self, OpModelError> {
+        if k == 0 {
+            return Err(OpModelError::InvalidParameter {
+                reason: "occupancy needs at least one cell".into(),
+            });
+        }
+        Ok(CellOccupancy { counts: vec![0; k] })
+    }
+
+    /// Counts the rows of `data` into cells of `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Partition::cell_of`] failures.
+    pub fn accumulate<P: Partition>(
+        &mut self,
+        partition: &P,
+        data: &Tensor,
+    ) -> Result<(), OpModelError> {
+        if partition.num_cells() != self.counts.len() {
+            return Err(OpModelError::InvalidParameter {
+                reason: format!(
+                    "occupancy over {} cells fed a {}-cell partition",
+                    self.counts.len(),
+                    partition.num_cells()
+                ),
+            });
+        }
+        let (n, d) = (data.dims()[0], data.dims()[1]);
+        let xs = data.as_slice();
+        for i in 0..n {
+            self.counts[partition.cell_of(&xs[i * d..(i + 1) * d])?] += 1;
+        }
+        Ok(())
+    }
+
+    /// Folds another occupancy's counts into this one.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a cell-count mismatch.
+    pub fn merge(&mut self, other: &CellOccupancy) -> Result<(), OpModelError> {
+        if self.counts.len() != other.counts.len() {
+            return Err(OpModelError::InvalidParameter {
+                reason: format!(
+                    "cannot merge occupancies over {} and {} cells",
+                    self.counts.len(),
+                    other.counts.len()
+                ),
+            });
+        }
+        for (acc, &add) in self.counts.iter_mut().zip(&other.counts) {
+            *acc += add;
+        }
+        Ok(())
+    }
+
+    /// The raw per-cell counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total rows counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The Laplace-smoothed occupancy distribution, matching
+    /// [`Partition::cell_distribution`] bit-for-bit for the same data.
+    pub fn distribution(&self, alpha: f64) -> Vec<f64> {
+        let smoothed: Vec<f64> = self.counts.iter().map(|&c| alpha + c as f64).collect();
+        let total: f64 = smoothed.iter().sum();
+        smoothed.into_iter().map(|c| c / total).collect()
+    }
+}
+
 /// A k-means centroid (Voronoi) partition: each cell is the set of points
 /// closest to one learned centroid.
 ///

@@ -1,0 +1,291 @@
+//! Merge laws for the OP-estimator sufficient statistics: cell-occupancy
+//! histograms (integer counts — bit-exact laws), and the weighted-moment
+//! merges of the KDE and GMM density estimators (mixture identities —
+//! exact up to floating point, asserted at 1e-12).
+//!
+//! Generators are deterministic closed forms; no RNG crate is involved,
+//! so the laws hold identically on every platform and thread count.
+
+use opad_opmodel::{CellOccupancy, CentroidPartition, Density, Gmm, GmmComponent, Kde, Partition};
+use opad_tensor::Tensor;
+
+/// A deterministic [n, 2] point cloud spread across the partition below.
+fn cloud(seed: u64, n: usize) -> Tensor {
+    Tensor::from_fn(&[n, 2], |ix| {
+        let t = (ix[0] as u64).wrapping_mul(2654435761).wrapping_add(seed) % 997;
+        let v = t as f32 / 997.0 * 8.0 - 4.0;
+        if ix[1] == 0 {
+            v
+        } else {
+            -v * 0.5
+        }
+    })
+}
+
+fn partition() -> CentroidPartition {
+    CentroidPartition::from_centroids(
+        Tensor::from_vec(vec![-3.0, 1.5, -1.0, 0.5, 1.0, -0.5, 3.0, -1.5], &[4, 2]).unwrap(),
+    )
+    .unwrap()
+}
+
+fn occupancy_of(data: &Tensor) -> CellOccupancy {
+    let mut occ = CellOccupancy::new(4).unwrap();
+    occ.accumulate(&partition(), data).unwrap();
+    occ
+}
+
+#[test]
+fn occupancy_identity_element() {
+    let identity = CellOccupancy::new(4).unwrap();
+    let mut occ = occupancy_of(&cloud(1, 60));
+    let before = occ.clone();
+    occ.merge(&identity).unwrap();
+    assert_eq!(occ, before);
+    let mut left = identity;
+    left.merge(&before).unwrap();
+    assert_eq!(left, before);
+}
+
+#[test]
+fn occupancy_commutes_and_associates() {
+    let parts = [
+        occupancy_of(&cloud(2, 40)),
+        occupancy_of(&cloud(3, 50)),
+        occupancy_of(&cloud(4, 30)),
+    ];
+    let mut ab = parts[0].clone();
+    ab.merge(&parts[1]).unwrap();
+    let mut ba = parts[1].clone();
+    ba.merge(&parts[0]).unwrap();
+    assert_eq!(ab, ba);
+
+    let mut left = ab;
+    left.merge(&parts[2]).unwrap();
+    let mut bc = parts[1].clone();
+    bc.merge(&parts[2]).unwrap();
+    let mut right = parts[0].clone();
+    right.merge(&bc).unwrap();
+    assert_eq!(left, right);
+}
+
+#[test]
+fn occupancy_fold_matches_single_pass_bitwise() {
+    // The sharding contract: counting disjoint row ranges independently
+    // and folding gives the same distribution bits as one pass, and both
+    // match Partition::cell_distribution.
+    let part = partition();
+    let data = cloud(5, 120);
+    let whole = occupancy_of(&data);
+    for shards in [1usize, 2, 4, 8] {
+        let chunk = 120usize.div_ceil(shards);
+        let mut merged = CellOccupancy::new(4).unwrap();
+        for s in 0..shards {
+            let lo = (s * chunk).min(120);
+            let hi = ((s + 1) * chunk).min(120);
+            let rows: Vec<f32> = data.as_slice()[lo * 2..hi * 2].to_vec();
+            if rows.is_empty() {
+                continue;
+            }
+            let slice = Tensor::from_vec(rows, &[hi - lo, 2]).unwrap();
+            let mut partial = CellOccupancy::new(4).unwrap();
+            partial.accumulate(&part, &slice).unwrap();
+            merged.merge(&partial).unwrap();
+        }
+        assert_eq!(merged, whole, "fold over {shards} shards");
+    }
+    assert_eq!(whole.total(), 120);
+    let via_trait = part.cell_distribution(&data, 0.5).unwrap();
+    let via_counts = whole.distribution(0.5);
+    let same_bits = via_trait
+        .iter()
+        .zip(&via_counts)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same_bits, "occupancy distribution diverged from the trait");
+}
+
+#[test]
+fn occupancy_validation() {
+    assert!(CellOccupancy::new(0).is_err());
+    let mut occ = CellOccupancy::new(3).unwrap();
+    assert!(occ.merge(&CellOccupancy::new(4).unwrap()).is_err());
+    assert!(occ.accumulate(&partition(), &cloud(0, 5)).is_err());
+}
+
+// ---- KDE weighted merge ----
+
+#[test]
+fn kde_merge_equals_fit_on_union() {
+    let (a_data, b_data) = (cloud(6, 25), cloud(7, 35));
+    let a = Kde::fit(&a_data, 0.4).unwrap();
+    let b = Kde::fit(&b_data, 0.4).unwrap();
+    let merged = a.merge(&b).unwrap();
+    let mut rows = a_data.as_slice().to_vec();
+    rows.extend_from_slice(b_data.as_slice());
+    let union = Kde::fit(&Tensor::from_vec(rows, &[60, 2]).unwrap(), 0.4).unwrap();
+    assert_eq!(merged, union, "merged KDE must be the union fit, exactly");
+    assert_eq!(merged.num_points(), 60);
+}
+
+#[test]
+fn kde_merge_is_count_weighted_mixture() {
+    let a = Kde::fit(&cloud(8, 10), 0.5).unwrap();
+    let b = Kde::fit(&cloud(9, 30), 0.5).unwrap();
+    let merged = a.merge(&b).unwrap();
+    for x in [[-1.0f32, 0.5], [0.0, 0.0], [2.0, -1.0]] {
+        let pa = a.log_density(&x).unwrap().exp();
+        let pb = b.log_density(&x).unwrap().exp();
+        let pm = merged.log_density(&x).unwrap().exp();
+        let expect = (10.0 * pa + 30.0 * pb) / 40.0;
+        assert!((pm - expect).abs() < 1e-12, "at {x:?}: {pm} vs {expect}");
+    }
+}
+
+#[test]
+fn kde_merge_associates_up_to_ordering() {
+    let parts = [
+        Kde::fit(&cloud(10, 12), 0.3).unwrap(),
+        Kde::fit(&cloud(11, 18), 0.3).unwrap(),
+        Kde::fit(&cloud(12, 9), 0.3).unwrap(),
+    ];
+    let left = parts[0].merge(&parts[1]).unwrap().merge(&parts[2]).unwrap();
+    let right = parts[0].merge(&parts[1].merge(&parts[2]).unwrap()).unwrap();
+    // Same point order either way (ordered concatenation), so bit-equal.
+    assert_eq!(left, right);
+    // Commuted order reorders reference points — a different struct but
+    // the same density (sum over kernels is order-free up to fp).
+    let swapped = parts[1].merge(&parts[0]).unwrap();
+    let forward = parts[0].merge(&parts[1]).unwrap();
+    let x = [0.3f32, -0.7];
+    assert!((swapped.log_density(&x).unwrap() - forward.log_density(&x).unwrap()).abs() < 1e-12);
+}
+
+#[test]
+fn kde_merge_validation() {
+    let a = Kde::fit(&cloud(13, 5), 0.3).unwrap();
+    let b = Kde::fit(&cloud(14, 5), 0.4).unwrap();
+    assert!(a.merge(&b).is_err(), "bandwidth mismatch must be rejected");
+    let one_d = Kde::fit(&Tensor::from_vec(vec![0.0, 1.0], &[2, 1]).unwrap(), 0.3).unwrap();
+    assert!(a.merge(&one_d).is_err(), "dim mismatch must be rejected");
+}
+
+// ---- GMM weighted-moment merge ----
+
+fn gmm(weight_split: f64, m0: f32, m1: f32) -> Gmm {
+    Gmm::from_components(vec![
+        GmmComponent {
+            weight: weight_split,
+            mean: vec![m0, 0.0],
+            std: 0.8,
+        },
+        GmmComponent {
+            weight: 1.0 - weight_split,
+            mean: vec![m1, 1.0],
+            std: 1.2,
+        },
+    ])
+    .unwrap()
+}
+
+#[test]
+fn gmm_merge_is_count_weighted_mixture() {
+    let a = gmm(0.3, -2.0, 0.0);
+    let b = gmm(0.7, 1.0, 3.0);
+    let merged = a.merge_weighted(&b, 100, 300).unwrap();
+    assert_eq!(merged.num_components(), 4);
+    for x in [[-2.0f32, 0.0], [0.5, 0.5], [3.0, 1.0]] {
+        let pm = merged.log_density(&x).unwrap().exp();
+        let expect =
+            0.25 * a.log_density(&x).unwrap().exp() + 0.75 * b.log_density(&x).unwrap().exp();
+        assert!((pm - expect).abs() < 1e-12, "at {x:?}: {pm} vs {expect}");
+    }
+}
+
+#[test]
+fn gmm_merge_identity_behavior() {
+    // Zero sample weight on one side leaves the other side's density
+    // untouched: the zero-weight components contribute nothing.
+    let a = gmm(0.5, -1.0, 1.0);
+    let b = gmm(0.2, 4.0, -4.0);
+    let merged = a.merge_weighted(&b, 50, 0).unwrap();
+    for x in [[0.0f32, 0.0], [1.5, -0.5]] {
+        let d = (merged.log_density(&x).unwrap() - a.log_density(&x).unwrap()).abs();
+        assert!(d < 1e-12, "zero-weight merge shifted density by {d}");
+    }
+    assert!(a.merge_weighted(&b, 0, 0).is_err());
+}
+
+#[test]
+fn gmm_merge_commutes_and_associates_as_density() {
+    let parts = [gmm(0.4, -2.0, 2.0), gmm(0.6, 0.0, 1.0), gmm(0.5, -1.0, 3.0)];
+    let counts = [60u64, 25, 15];
+    let left = parts[0]
+        .merge_weighted(&parts[1], counts[0], counts[1])
+        .unwrap()
+        .merge_weighted(&parts[2], counts[0] + counts[1], counts[2])
+        .unwrap();
+    let right = parts[0]
+        .merge_weighted(
+            &parts[1]
+                .merge_weighted(&parts[2], counts[1], counts[2])
+                .unwrap(),
+            counts[0],
+            counts[1] + counts[2],
+        )
+        .unwrap();
+    let swapped = parts[1]
+        .merge_weighted(&parts[0], counts[1], counts[0])
+        .unwrap();
+    for x in [[-1.0f32, 0.2], [0.7, 1.1]] {
+        let l = left.log_density(&x).unwrap().exp();
+        let r = right.log_density(&x).unwrap().exp();
+        assert!((l - r).abs() < 1e-12, "associativity at {x:?}: {l} vs {r}");
+        let ab = parts[0]
+            .merge_weighted(&parts[1], counts[0], counts[1])
+            .unwrap()
+            .log_density(&x)
+            .unwrap()
+            .exp();
+        let ba = swapped.log_density(&x).unwrap().exp();
+        assert!((ab - ba).abs() < 1e-12, "commutativity at {x:?}");
+    }
+}
+
+#[test]
+fn gmm_merge_preserves_pooled_moments() {
+    // Single-component parts: the pooled mean must be the count-weighted
+    // mean of the parts — the defining weighted-moment property.
+    let a = Gmm::from_components(vec![GmmComponent {
+        weight: 1.0,
+        mean: vec![-2.0, 0.0],
+        std: 1.0,
+    }])
+    .unwrap();
+    let b = Gmm::from_components(vec![GmmComponent {
+        weight: 1.0,
+        mean: vec![4.0, 2.0],
+        std: 1.0,
+    }])
+    .unwrap();
+    let merged = a.merge_weighted(&b, 300, 100).unwrap();
+    let mut mean = [0.0f64; 2];
+    for c in merged.components() {
+        for (j, m) in mean.iter_mut().enumerate() {
+            *m += c.weight * c.mean[j] as f64;
+        }
+    }
+    assert!((mean[0] - (0.75 * -2.0 + 0.25 * 4.0)).abs() < 1e-12);
+    assert!((mean[1] - (0.75 * 0.0 + 0.25 * 2.0)).abs() < 1e-12);
+}
+
+#[test]
+fn gmm_merge_validation() {
+    let a = gmm(0.5, -1.0, 1.0);
+    let one_d = Gmm::from_components(vec![GmmComponent {
+        weight: 1.0,
+        mean: vec![0.0],
+        std: 1.0,
+    }])
+    .unwrap();
+    assert!(a.merge_weighted(&one_d, 1, 1).is_err());
+}

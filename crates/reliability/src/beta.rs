@@ -113,6 +113,36 @@ impl Beta {
         Ok(())
     }
 
+    /// Folds the evidence accumulated in `other` into this posterior,
+    /// relative to the shared `prior` both started from.
+    ///
+    /// A Beta posterior is its prior plus summable observation counts:
+    /// `other`'s evidence is exactly `other.alpha − prior.alpha` failures
+    /// and `other.beta − prior.beta` successes. Adding those increments
+    /// reproduces the posterior a single accumulator would have reached —
+    /// bit-identically while the counts are integers, because
+    /// integer-valued f64 additions below 2⁵³ are exact.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `other` carries negative evidence relative to `prior`
+    /// (it cannot have evolved from that prior by observation).
+    pub fn merge(&mut self, other: &Beta, prior: &Beta) -> Result<(), ReliabilityError> {
+        let da = other.alpha - prior.alpha;
+        let db = other.beta - prior.beta;
+        if da < 0.0 || db < 0.0 || !da.is_finite() || !db.is_finite() {
+            return Err(ReliabilityError::InvalidParameter {
+                reason: format!(
+                    "cannot merge Beta({}, {}) relative to prior Beta({}, {})",
+                    other.alpha, other.beta, prior.alpha, prior.beta
+                ),
+            });
+        }
+        self.alpha += da;
+        self.beta += db;
+        Ok(())
+    }
+
     /// CDF at `x`: the regularized incomplete beta function `I_x(α, β)`.
     pub fn cdf(&self, x: f64) -> f64 {
         reg_inc_beta(self.alpha, self.beta, x.clamp(0.0, 1.0))

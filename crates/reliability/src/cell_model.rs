@@ -135,6 +135,54 @@ impl CellReliabilityModel {
         Ok(())
     }
 
+    /// Per-cell demand counts — the mergeable sufficient statistic.
+    pub fn demands(&self) -> &[u64] {
+        &self.demands
+    }
+
+    /// Per-cell failure counts — the mergeable sufficient statistic.
+    pub fn failures(&self) -> &[u64] {
+        &self.failures
+    }
+
+    /// Folds another model's evidence into this one.
+    ///
+    /// Only the *observation counts* transfer: `other`'s per-cell
+    /// `demands`/`failures` are replayed into this model's posteriors as
+    /// batch updates. `other`'s prior never transfers, which is what lets
+    /// an ordered fold over fresh shard models reproduce the single-shard
+    /// posterior bit-for-bit — the counts are integers, so the f64 shape
+    /// updates are exact, and Beta updates commute.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the OP vectors differ (bitwise): merging evidence
+    /// gathered under a different profile would silently change what the
+    /// pfd aggregation means.
+    pub fn merge(&mut self, other: &CellReliabilityModel) -> Result<(), ReliabilityError> {
+        if self.op.len() != other.op.len()
+            || self
+                .op
+                .iter()
+                .zip(&other.op)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Err(ReliabilityError::InvalidDistribution {
+                reason: format!(
+                    "cannot merge reliability models over different OP vectors ({} vs {} cells)",
+                    self.op.len(),
+                    other.op.len()
+                ),
+            });
+        }
+        for cell in 0..self.op.len() {
+            self.posteriors[cell].observe_counts(other.failures[cell], other.demands[cell])?;
+            self.demands[cell] += other.demands[cell];
+            self.failures[cell] += other.failures[cell];
+        }
+        Ok(())
+    }
+
     /// Total demands observed.
     pub fn total_demands(&self) -> u64 {
         self.demands.iter().sum()

@@ -1,0 +1,224 @@
+//! Merge laws for the mergeable sufficient statistics that make sharded
+//! campaigns sound: associativity, commutativity-up-to-ordering, and
+//! identity-element behavior for `Beta` and `CellReliabilityModel`.
+//!
+//! All equalities here are asserted on *bits*, not tolerances: the merge
+//! contract is that a fold over shard partials reproduces the single
+//! accumulator exactly, and that only holds because the transferred
+//! statistics are integer counts (exact in f64 below 2⁵³). The generators
+//! are a self-contained splitmix64 so the suite needs no RNG crate.
+
+use opad_reliability::{Beta, CellReliabilityModel};
+
+/// splitmix64 — the same stream-splitting permutation `opad-par` uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic (failures, demands) pairs with failures ≤ demands.
+fn counts(seed: u64, n: usize) -> Vec<(u64, u64)> {
+    (0..n as u64)
+        .map(|i| {
+            let demands = splitmix64(seed.wrapping_add(i)) % 50;
+            let failures = if demands == 0 {
+                0
+            } else {
+                splitmix64(seed ^ i.wrapping_mul(0x517C_C1B7_2722_0A95)) % (demands + 1)
+            };
+            (failures, demands)
+        })
+        .collect()
+}
+
+fn beta_bits(b: &Beta) -> (u64, u64) {
+    (b.alpha().to_bits(), b.beta().to_bits())
+}
+
+fn posterior_of(prior: Beta, evidence: &[(u64, u64)]) -> Beta {
+    let mut b = prior;
+    for &(f, n) in evidence {
+        b.observe_counts(f, n).unwrap();
+    }
+    b
+}
+
+#[test]
+fn beta_merge_identity_element() {
+    let prior = Beta::jeffreys().unwrap();
+    let mut post = posterior_of(prior, &counts(1, 5));
+    let before = beta_bits(&post);
+    // Merging an untouched prior contributes zero evidence.
+    post.merge(&prior, &prior).unwrap();
+    assert_eq!(beta_bits(&post), before);
+    // Merging evidence into a fresh prior reproduces the posterior.
+    let mut fresh = prior;
+    fresh.merge(&post, &prior).unwrap();
+    assert_eq!(beta_bits(&fresh), before);
+}
+
+#[test]
+fn beta_merge_commutes() {
+    let prior = Beta::uniform();
+    let a = posterior_of(prior, &counts(2, 7));
+    let b = posterior_of(prior, &counts(3, 7));
+    let mut ab = a;
+    ab.merge(&b, &prior).unwrap();
+    let mut ba = b;
+    ba.merge(&a, &prior).unwrap();
+    assert_eq!(beta_bits(&ab), beta_bits(&ba));
+}
+
+#[test]
+fn beta_merge_associates() {
+    let prior = Beta::uniform();
+    let parts: Vec<Beta> = (0..3)
+        .map(|s| posterior_of(prior, &counts(10 + s, 6)))
+        .collect();
+    // (a ⊕ b) ⊕ c
+    let mut left = parts[0];
+    left.merge(&parts[1], &prior).unwrap();
+    left.merge(&parts[2], &prior).unwrap();
+    // a ⊕ (b ⊕ c)
+    let mut bc = parts[1];
+    bc.merge(&parts[2], &prior).unwrap();
+    let mut right = parts[0];
+    right.merge(&bc, &prior).unwrap();
+    assert_eq!(beta_bits(&left), beta_bits(&right));
+}
+
+#[test]
+fn beta_merge_matches_sequential_observation() {
+    let prior = Beta::jeffreys().unwrap();
+    let evidence = counts(4, 12);
+    let (first, second) = evidence.split_at(5);
+    let mut merged = posterior_of(prior, first);
+    merged.merge(&posterior_of(prior, second), &prior).unwrap();
+    let sequential = posterior_of(prior, &evidence);
+    assert_eq!(beta_bits(&merged), beta_bits(&sequential));
+}
+
+#[test]
+fn beta_merge_rejects_negative_evidence() {
+    // `other` below the claimed prior cannot have evolved from it.
+    let mut acc = Beta::uniform();
+    let other = Beta::uniform();
+    let claimed_prior = Beta::new(2.0, 2.0).unwrap();
+    assert!(acc.merge(&other, &claimed_prior).is_err());
+}
+
+// ---- CellReliabilityModel ----
+
+const CELLS: usize = 6;
+
+fn op() -> Vec<f64> {
+    // Normalised weights 1..=CELLS.
+    let z: f64 = (1..=CELLS).map(|i| i as f64).sum();
+    (1..=CELLS).map(|i| i as f64 / z).collect()
+}
+
+/// A shard model carrying one deterministic evidence stream.
+fn shard(seed: u64) -> CellReliabilityModel {
+    let mut m = CellReliabilityModel::new(op()).unwrap();
+    for (i, &(f, n)) in counts(seed, 4 * CELLS).iter().enumerate() {
+        let cell = i % CELLS;
+        for j in 0..n {
+            m.observe(cell, j < f).unwrap();
+        }
+    }
+    m
+}
+
+fn model_bits(m: &CellReliabilityModel) -> Vec<(u64, u64)> {
+    (0..m.num_cells())
+        .map(|c| beta_bits(m.posterior(c).unwrap()))
+        .collect()
+}
+
+#[test]
+fn cell_merge_identity_element() {
+    let fresh = CellReliabilityModel::new(op()).unwrap();
+    let mut m = shard(7);
+    let before = (model_bits(&m), m.pfd_mean().to_bits());
+    m.merge(&fresh).unwrap();
+    assert_eq!((model_bits(&m), m.pfd_mean().to_bits()), before);
+    // Identity on the left too: fresh ⊕ m == m.
+    let mut acc = fresh;
+    acc.merge(&m).unwrap();
+    assert_eq!(model_bits(&acc), before.0);
+}
+
+#[test]
+fn cell_merge_commutes_up_to_ordering() {
+    let (a, b) = (shard(20), shard(21));
+    let mut ab = a.clone();
+    ab.merge(&b).unwrap();
+    let mut ba = b.clone();
+    ba.merge(&a).unwrap();
+    assert_eq!(model_bits(&ab), model_bits(&ba));
+    assert_eq!(ab.pfd_mean().to_bits(), ba.pfd_mean().to_bits());
+    assert_eq!(ab.demands(), ba.demands());
+    assert_eq!(ab.failures(), ba.failures());
+}
+
+#[test]
+fn cell_merge_associates() {
+    let parts = [shard(30), shard(31), shard(32)];
+    let mut left = parts[0].clone();
+    left.merge(&parts[1]).unwrap();
+    left.merge(&parts[2]).unwrap();
+    let mut bc = parts[1].clone();
+    bc.merge(&parts[2]).unwrap();
+    let mut right = parts[0].clone();
+    right.merge(&bc).unwrap();
+    assert_eq!(model_bits(&left), model_bits(&right));
+}
+
+#[test]
+fn cell_fold_matches_single_accumulator() {
+    // The sharding contract itself: evidence split across shard models and
+    // folded in order reproduces one model observing everything, exactly.
+    let evidence: Vec<(usize, bool)> = counts(40, 10 * CELLS)
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(f, n))| (0..n).map(move |j| (i % CELLS, j < f)))
+        .collect();
+    let mut reference = CellReliabilityModel::new(op()).unwrap();
+    for &(cell, failed) in &evidence {
+        reference.observe(cell, failed).unwrap();
+    }
+    for shards in [1usize, 2, 4, 8] {
+        let mut partials: Vec<CellReliabilityModel> = (0..shards)
+            .map(|_| CellReliabilityModel::new(op()).unwrap())
+            .collect();
+        for &(cell, failed) in &evidence {
+            partials[cell % shards].observe(cell, failed).unwrap();
+        }
+        let mut merged = CellReliabilityModel::new(op()).unwrap();
+        for part in &partials {
+            merged.merge(part).unwrap();
+        }
+        assert_eq!(
+            model_bits(&merged),
+            model_bits(&reference),
+            "fold over {shards} shards"
+        );
+        assert_eq!(merged.pfd_mean().to_bits(), reference.pfd_mean().to_bits());
+        assert_eq!(merged.total_demands(), reference.total_demands());
+        assert_eq!(merged.total_failures(), reference.total_failures());
+    }
+}
+
+#[test]
+fn cell_merge_rejects_mismatched_op() {
+    let mut m = CellReliabilityModel::new(op()).unwrap();
+    let other = CellReliabilityModel::new(vec![0.5, 0.5]).unwrap();
+    assert!(m.merge(&other).is_err());
+    // Same length, different weights: still rejected (bitwise check).
+    let mut skewed = op();
+    skewed.swap(0, CELLS - 1);
+    let other = CellReliabilityModel::new(skewed).unwrap();
+    assert!(m.merge(&other).is_err());
+}

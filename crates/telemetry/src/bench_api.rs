@@ -95,32 +95,69 @@ impl BenchProvenance {
     }
 }
 
-/// Parses the sequence number out of a `BENCH_<seq>.json` file name.
+/// Parses the sequence number out of a `<prefix><seq>.json` file name.
 ///
-/// Accepts both historical unpadded (`BENCH_3.json`) and current
-/// zero-padded (`BENCH_0003.json`) forms; anything else is `None`.
-pub fn bench_seq(file_name: &str) -> Option<u32> {
+/// Accepts both unpadded (`BENCH_3.json`) and zero-padded
+/// (`BENCH_0003.json`) forms; anything else is `None`. Shared by every
+/// sequence-numbered artefact family (`BENCH_`, `CKPT_`) so their
+/// filename tolerance cannot drift apart.
+pub fn seq_of(file_name: &str, prefix: &str) -> Option<u32> {
     file_name
-        .strip_prefix("BENCH_")?
+        .strip_prefix(prefix)?
         .strip_suffix(".json")?
         .parse::<u32>()
         .ok()
 }
 
-/// Every `BENCH_<seq>.json` in `dir`, sorted by sequence number (a
+/// Every `<prefix><seq>.json` in `dir`, sorted by sequence number (a
 /// missing or unreadable directory is just an empty series).
-pub fn bench_files(dir: &Path) -> Vec<(u32, PathBuf)> {
+pub fn seq_files(dir: &Path, prefix: &str) -> Vec<(u32, PathBuf)> {
     let mut files: Vec<(u32, PathBuf)> = std::fs::read_dir(dir)
         .into_iter()
         .flatten()
         .filter_map(Result::ok)
         .filter_map(|e| {
             let name = e.file_name().into_string().ok()?;
-            Some((bench_seq(&name)?, e.path()))
+            Some((seq_of(&name, prefix)?, e.path()))
         })
         .collect();
     files.sort();
     files
+}
+
+/// Parses the sequence number out of a `BENCH_<seq>.json` file name.
+///
+/// Accepts both historical unpadded (`BENCH_3.json`) and current
+/// zero-padded (`BENCH_0003.json`) forms; anything else is `None`.
+pub fn bench_seq(file_name: &str) -> Option<u32> {
+    seq_of(file_name, "BENCH_")
+}
+
+/// Every `BENCH_<seq>.json` in `dir`, sorted by sequence number (a
+/// missing or unreadable directory is just an empty series).
+pub fn bench_files(dir: &Path) -> Vec<(u32, PathBuf)> {
+    seq_files(dir, "BENCH_")
+}
+
+/// Version of the `CKPT_<seq>.json` campaign-checkpoint layout written
+/// by `opad_core`'s sharded campaign driver. The constant lives here —
+/// with the other shared artefact conventions — so the writer
+/// (`opad-core`) and the std-only validator (`obsctl selfcheck`) agree
+/// by construction.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// The `kind` tag stamped into sharded-campaign checkpoints.
+pub const CHECKPOINT_KIND_SHARDED: &str = "sharded_campaign";
+
+/// Parses the sequence number out of a `CKPT_<seq>.json` file name
+/// (padded or unpadded, like [`bench_seq`]).
+pub fn ckpt_seq(file_name: &str) -> Option<u32> {
+    seq_of(file_name, "CKPT_")
+}
+
+/// Every `CKPT_<seq>.json` in `dir`, sorted by sequence number.
+pub fn ckpt_files(dir: &Path) -> Vec<(u32, PathBuf)> {
+    seq_files(dir, "CKPT_")
 }
 
 /// The telemetry substrate's own micro-benchmarks: the per-event costs
@@ -227,6 +264,29 @@ mod tests {
         assert_eq!(bench_seq("BENCH_x.json"), None);
         assert_eq!(bench_seq("BENCH_1.txt"), None);
         assert_eq!(bench_seq("exp1_op_mismatch.json"), None);
+    }
+
+    #[test]
+    fn checkpoint_names_share_the_bench_tolerance() {
+        assert_eq!(ckpt_seq("CKPT_0.json"), Some(0));
+        assert_eq!(ckpt_seq("CKPT_5.json"), Some(5));
+        assert_eq!(ckpt_seq("CKPT_0012.json"), Some(12));
+        assert_eq!(ckpt_seq("CKPT_.json"), None);
+        assert_eq!(ckpt_seq("BENCH_1.json"), None);
+        assert_eq!(ckpt_seq("CKPT_1.jsonl"), None);
+    }
+
+    #[test]
+    fn ckpt_files_sorts_mixed_forms_by_sequence() {
+        let dir = std::env::temp_dir().join("opad_telemetry_ckpt_files_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        for name in ["CKPT_3.json", "CKPT_0001.json", "BENCH_2.json", "y.json"] {
+            std::fs::write(dir.join(name), "{}").expect("fixture writes");
+        }
+        let seqs: Vec<u32> = ckpt_files(&dir).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, [1, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

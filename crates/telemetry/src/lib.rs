@@ -63,8 +63,9 @@ mod span;
 pub mod vocab;
 
 pub use bench_api::{
-    bench_files, bench_seq, BenchKernel, BenchProvenance, Benchmarkable, TelemetryBenches,
-    BENCH_SCHEMA_VERSION,
+    bench_files, bench_seq, ckpt_files, ckpt_seq, seq_files, seq_of, BenchKernel, BenchProvenance,
+    Benchmarkable, TelemetryBenches, BENCH_SCHEMA_VERSION, CHECKPOINT_KIND_SHARDED,
+    CHECKPOINT_SCHEMA_VERSION,
 };
 pub use event::{Event, SCHEMA_VERSION};
 pub use hist::{FixedHistogram, HistogramSummary};

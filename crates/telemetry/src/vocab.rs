@@ -40,6 +40,9 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     ("pipeline.seeds_attacked", MetricKind::Counter),
     ("reliability.mc_samples", MetricKind::Counter),
     ("reliability.observations", MetricKind::Counter),
+    ("shard.checkpoints", MetricKind::Counter),
+    ("shard.demands", MetricKind::Counter),
+    ("shard.merges", MetricKind::Counter),
     // Gauges.
     ("nn.train.loss", MetricKind::Gauge),
     ("pipeline.pfd_mean", MetricKind::Gauge),
@@ -47,6 +50,8 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     ("pipeline.phase", MetricKind::Gauge),
     ("pipeline.round", MetricKind::Gauge),
     ("reliability.pfd_mean", MetricKind::Gauge),
+    ("shard.count", MetricKind::Gauge),
+    ("shard.id", MetricKind::Gauge),
     // Histograms.
     ("attack.fuzz.naturalness", MetricKind::Histogram),
     ("attack.pgd.iters_to_success", MetricKind::Histogram),
@@ -54,6 +59,7 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     ("nn.train.epoch_ms", MetricKind::Histogram),
     ("par.task_us", MetricKind::Histogram),
     ("reliability.pfd_upper_ms", MetricKind::Histogram),
+    ("shard.task_ms", MetricKind::Histogram),
     ("tensor.matmul_ms", MetricKind::Histogram),
 ];
 

@@ -17,6 +17,20 @@ OPAD_THREADS=1 cargo test -q
 echo "==> cargo test -q (OPAD_THREADS=4, parallel pool)"
 OPAD_THREADS=4 cargo test -q
 
+# Shard conformance is the campaign engine's headline contract: the same
+# campaign must be bit-identical at 1/2/4/8 shards under both pool
+# widths, and a frozen CKPT_<seq>.json must thaw into a byte-identical
+# finish. Both suites run inside the full tree above; naming them here
+# keeps the gate explicit when the tree grows.
+echo "==> shard equivalence (bit-exact at shards {1,2,4,8}, OPAD_THREADS=1)"
+OPAD_THREADS=1 cargo test -q --test shard_equivalence
+
+echo "==> shard equivalence (bit-exact at shards {1,2,4,8}, OPAD_THREADS=4)"
+OPAD_THREADS=4 cargo test -q --test shard_equivalence
+
+echo "==> checkpoint round-trip (freeze/thaw byte-identity; truncation and tamper rejection)"
+cargo test -q --test checkpoint_roundtrip
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -67,8 +67,10 @@ pub mod prelude {
         PcaNaturalness, Pgd, RandomFuzz,
     };
     pub use opad_core::{
-        classify_outcome, retrain_with_aes, AeCorpus, DetectedAe, LoopConfig, PipelineError,
-        RetrainConfig, RoundReport, SeedSampler, SeedWeighting, TestingLoop,
+        classify_outcome, read_checkpoint, retrain_with_aes, shard_ranges, AeCorpus,
+        CampaignCheckpoint, DetectedAe, LoopConfig, PipelineError, RetrainConfig, RoundReport,
+        SeedSampler, SeedWeightAccumulator, SeedWeighting, ShardedCampaign, ShardedConfig,
+        TestingLoop,
     };
     pub use opad_data::{
         gaussian_clusters, glyphs, rings, two_moons, uniform_probs, zipf_probs, Dataset,

@@ -1,0 +1,216 @@
+//! Checkpoint/resume conformance for the sharded campaign engine.
+//!
+//! A campaign frozen mid-run into a `CKPT_<seq>.json` envelope, dropped,
+//! read back and resumed must finish **byte-identically** to the
+//! uninterrupted run — reports, posterior bits, corpus. Truncated or
+//! tampered envelopes must fail loudly: resuming from half a posterior
+//! would silently corrupt a reliability claim.
+
+use opad::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("opad_ckpt_roundtrip_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct World {
+    net: Network,
+    op: OperationalProfile<Gmm>,
+    partition: CentroidPartition,
+    train: Dataset,
+    field: Dataset,
+}
+
+fn world() -> World {
+    let mut rng = StdRng::seed_from_u64(17);
+    let cfg = GaussianClustersConfig {
+        separation: 2.0,
+        std: 0.9,
+        ..Default::default()
+    };
+    let train = gaussian_clusters(&cfg, 240, &uniform_probs(3), &mut rng).unwrap();
+    let field = gaussian_clusters(&cfg, 400, &zipf_probs(3, 1.5), &mut rng).unwrap();
+    let mut net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut rng).unwrap();
+    Trainer::new(TrainConfig::new(12, 32), Optimizer::adam(0.01))
+        .fit(&mut net, train.features(), train.labels(), None, &mut rng)
+        .unwrap();
+    let op = learn_op_gmm(&field, 3, 10, &mut rng).unwrap();
+    let partition = CentroidPartition::fit(field.features(), 8, 15, &mut rng).unwrap();
+    World {
+        net,
+        op,
+        partition,
+        train,
+        field,
+    }
+}
+
+fn attack() -> Pgd {
+    Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap()
+}
+
+fn campaign(w: &World) -> ShardedCampaign<Gmm> {
+    ShardedCampaign::new(
+        w.net.clone(),
+        w.op.clone(),
+        w.partition.clone(),
+        &w.field,
+        ReliabilityTarget::new(1e-5, 0.95).unwrap(),
+        ShardedConfig {
+            shards: 4,
+            base: LoopConfig {
+                seeds_per_round: 10,
+                eval_per_round: 50,
+                max_rounds: 3,
+                mc_samples: 500,
+                retrain: RetrainConfig {
+                    epochs: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        },
+        1234,
+    )
+    .unwrap()
+}
+
+fn report_bytes(reports: &[RoundReport]) -> String {
+    let mut reports = reports.to_vec();
+    for r in &mut reports {
+        r.wall_ms = 0.0;
+        r.step_ms = Default::default();
+    }
+    serde_json::to_string(&reports).unwrap()
+}
+
+fn posterior_bits(c: &ShardedCampaign<Gmm>) -> Vec<(u64, u64)> {
+    let model = c.reliability();
+    (0..model.num_cells())
+        .map(|cell| {
+            let b = model.posterior(cell).unwrap();
+            (b.alpha().to_bits(), b.beta().to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn resumed_campaign_is_byte_identical_to_uninterrupted_run() {
+    let w = world();
+    let dir = temp_dir("resume");
+
+    // Reference: three rounds straight through.
+    let mut uninterrupted = campaign(&w);
+    let full_reports = uninterrupted.run(&w.field, &w.train, &attack()).unwrap();
+    assert_eq!(full_reports.len(), 3, "hard target exhausts max_rounds");
+
+    // Interrupted: one round, freeze, drop the driver entirely.
+    let mut first = campaign(&w);
+    first.run_round(&w.field, &w.train, &attack()).unwrap();
+    let path = first.save_checkpoint(&dir).unwrap();
+    assert!(
+        opad::telemetry::ckpt_seq(path.file_name().unwrap().to_str().unwrap()).is_some(),
+        "checkpoint files follow the CKPT_<seq>.json convention"
+    );
+    drop(first);
+
+    // Thaw in a fresh driver and finish.
+    let ckpt = read_checkpoint(&path).unwrap();
+    assert_eq!(ckpt.rounds_run, 1);
+    let mut resumed =
+        ShardedCampaign::resume(w.op.clone(), w.partition.clone(), &w.field, ckpt).unwrap();
+    let resumed_reports = resumed.run(&w.field, &w.train, &attack()).unwrap();
+
+    assert_eq!(
+        resumed_reports, full_reports,
+        "reports diverged after resume"
+    );
+    assert_eq!(
+        report_bytes(&resumed_reports),
+        report_bytes(&full_reports),
+        "serialized reports diverged after resume"
+    );
+    assert_eq!(
+        posterior_bits(&resumed),
+        posterior_bits(&uninterrupted),
+        "posterior bits diverged after resume"
+    );
+    assert_eq!(
+        resumed.corpus().len(),
+        uninterrupted.corpus().len(),
+        "AE corpus diverged after resume"
+    );
+
+    // A second checkpoint in the same directory gets the next sequence.
+    let path2 = resumed.save_checkpoint(&dir).unwrap();
+    assert!(path2.ends_with("CKPT_0001.json"), "{}", path2.display());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_checkpoints_fail_loudly() {
+    let w = world();
+    let dir = temp_dir("truncated");
+    let mut c = campaign(&w);
+    c.run_round(&w.field, &w.train, &attack()).unwrap();
+    let path = c.save_checkpoint(&dir).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Every prefix of the file must be rejected, never half-resumed.
+    for keep in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(
+            matches!(err, PipelineError::Checkpoint { .. }),
+            "truncation at {keep} bytes gave {err:?}"
+        );
+    }
+    // Restored in full, it reads back fine.
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(read_checkpoint(&path).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_envelopes_are_rejected_on_resume() {
+    let w = world();
+    let dir = temp_dir("tampered");
+    let mut c = campaign(&w);
+    c.run_round(&w.field, &w.train, &attack()).unwrap();
+    let path = c.save_checkpoint(&dir).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+
+    // Future schema version.
+    std::fs::write(
+        &path,
+        text.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1),
+    )
+    .unwrap();
+    let err = read_checkpoint(&path).unwrap_err();
+    assert!(err.to_string().contains("newer than supported"), "{err}");
+
+    // Foreign kind.
+    std::fs::write(
+        &path,
+        text.replacen("sharded_campaign", "other_campaign", 1),
+    )
+    .unwrap();
+    assert!(read_checkpoint(&path).is_err());
+
+    // Geometry mismatch on resume: a partition with the wrong cell count.
+    std::fs::write(&path, &text).unwrap();
+    let ckpt = read_checkpoint(&path).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let small = CentroidPartition::fit(w.field.features(), 4, 5, &mut rng).unwrap();
+    let err = ShardedCampaign::resume(w.op.clone(), small, &w.field, ckpt).unwrap_err();
+    assert!(
+        matches!(err, PipelineError::Checkpoint { .. }),
+        "wrong geometry gave {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

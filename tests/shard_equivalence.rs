@@ -1,0 +1,205 @@
+//! Shard-conformance suite for the sharded campaign engine.
+//!
+//! The headline guarantee of `ShardedCampaign`: the same configuration
+//! and campaign seed produce **bit-identical** results at any shard
+//! count and any `OPAD_THREADS` — the merged pfd posterior down to the
+//! bits of every per-cell Beta, and the full `RoundReport` stream down
+//! to its serialized bytes (timing fields excepted, as in
+//! `par_equivalence.rs`). Shard counts {1, 2, 4, 8} are crossed with
+//! thread counts {1, 4}; the 1-shard campaign is the reference.
+
+use opad::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Runs `f` with the worker pool pinned to `threads`.
+fn at<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _pin = opad::par::override_threads(threads);
+    f()
+}
+
+/// The shared world: trained net, learned OP, partition, field data —
+/// the same construction as `par_equivalence.rs`'s pipeline world.
+struct World {
+    net: Network,
+    op: OperationalProfile<Gmm>,
+    partition: CentroidPartition,
+    train: Dataset,
+    field: Dataset,
+}
+
+fn world() -> World {
+    let mut rng = StdRng::seed_from_u64(17);
+    let cfg = GaussianClustersConfig {
+        separation: 2.0,
+        std: 0.9,
+        ..Default::default()
+    };
+    let train = gaussian_clusters(&cfg, 240, &uniform_probs(3), &mut rng).unwrap();
+    let field = gaussian_clusters(&cfg, 400, &zipf_probs(3, 1.5), &mut rng).unwrap();
+    let mut net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut rng).unwrap();
+    Trainer::new(TrainConfig::new(12, 32), Optimizer::adam(0.01))
+        .fit(&mut net, train.features(), train.labels(), None, &mut rng)
+        .unwrap();
+    let op = learn_op_gmm(&field, 3, 10, &mut rng).unwrap();
+    let partition = CentroidPartition::fit(field.features(), 8, 15, &mut rng).unwrap();
+    World {
+        net,
+        op,
+        partition,
+        train,
+        field,
+    }
+}
+
+fn attack() -> Pgd {
+    Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap()
+}
+
+fn config(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        base: LoopConfig {
+            seeds_per_round: 10,
+            eval_per_round: 50,
+            max_rounds: 2,
+            mc_samples: 500,
+            retrain: RetrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+fn campaign(w: &World, shards: usize, target_pfd: f64) -> ShardedCampaign<Gmm> {
+    ShardedCampaign::new(
+        w.net.clone(),
+        w.op.clone(),
+        w.partition.clone(),
+        &w.field,
+        ReliabilityTarget::new(target_pfd, 0.95).unwrap(),
+        config(shards),
+        1234,
+    )
+    .unwrap()
+}
+
+/// Serializes reports with the timing fields zeroed — byte-exact on
+/// everything determinism promises.
+fn report_bytes(reports: &[RoundReport]) -> String {
+    let mut reports = reports.to_vec();
+    for r in &mut reports {
+        r.wall_ms = 0.0;
+        r.step_ms = Default::default();
+    }
+    serde_json::to_string(&reports).unwrap()
+}
+
+/// Per-cell posterior (alpha, beta) bits plus the pfd MC draws, bitwise.
+fn posterior_fingerprint(c: &ShardedCampaign<Gmm>) -> (Vec<(u64, u64)>, Vec<u64>) {
+    let model = c.reliability();
+    let betas: Vec<(u64, u64)> = (0..model.num_cells())
+        .map(|cell| {
+            let b = model.posterior(cell).unwrap();
+            (b.alpha().to_bits(), b.beta().to_bits())
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(99);
+    let draws: Vec<u64> = model
+        .pfd_samples(600, &mut rng)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    (betas, draws)
+}
+
+#[test]
+fn campaigns_are_bit_identical_at_any_shard_and_thread_count() {
+    // Hard target: both rounds run, retraining included — the reports
+    // (pfd posterior summaries among them) carry the determinism claim.
+    let w = world();
+    let run = |shards: usize| {
+        let mut c = campaign(&w, shards, 1e-5);
+        c.run(&w.field, &w.train, &attack()).unwrap()
+    };
+    let ref_reports = at(1, || run(1));
+    assert_eq!(ref_reports.len(), 2, "hard target runs both rounds");
+    let ref_bytes = report_bytes(&ref_reports);
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let reports = at(threads, || run(shards));
+            assert_eq!(
+                reports, ref_reports,
+                "round reports differ at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                report_bytes(&reports),
+                ref_bytes,
+                "serialized reports differ at {shards} shards / {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_pfd_posterior_is_bit_identical_across_shard_counts() {
+    // Loose target: met after one round, so no retrain resets the
+    // evidence and the *merged posterior itself* can be fingerprinted.
+    let w = world();
+    let run = |shards: usize, threads: usize| {
+        at(threads, || {
+            let mut c = campaign(&w, shards, 0.999);
+            let reports = c.run(&w.field, &w.train, &attack()).unwrap();
+            assert!(
+                reports.last().unwrap().target_met,
+                "loose target must be met in round 1"
+            );
+            let (betas, draws) = posterior_fingerprint(&c);
+            let counts = (
+                c.reliability().demands().to_vec(),
+                c.reliability().failures().to_vec(),
+            );
+            (betas, draws, counts)
+        })
+    };
+    let reference = run(1, 1);
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let got = run(shards, threads);
+            assert_eq!(
+                got.0, reference.0,
+                "posterior bits differ at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                got.1, reference.1,
+                "pfd MC draws differ at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                got.2, reference.2,
+                "evidence counts differ at {shards} shards / {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharding_geometry_follows_par_rules() {
+    // shard_ranges mirrors par_ranges' div_ceil chunking: contiguous,
+    // ordered, disjoint, covering — for any (cells, shards) pairing.
+    for shards in SHARD_COUNTS {
+        let ranges = shard_ranges(8, shards);
+        assert_eq!(ranges.len(), shards);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 8, "{shards} shards must cover all 8 cells");
+        for pair in ranges.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "ranges must be ordered");
+        }
+    }
+    let wide = shard_ranges(3, 8);
+    assert_eq!(wide.iter().map(|r| r.len()).sum::<usize>(), 3);
+}
