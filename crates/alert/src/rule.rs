@@ -541,6 +541,23 @@ alert watchdog when phase_stuck 5s
     }
 
     #[test]
+    fn detector_plane_metrics_are_watchable() {
+        // The detector zoo publishes `detector.*` metrics; rules over
+        // them must clear the vocabulary check so a silent-detector
+        // watchdog can actually be written.
+        let (rules, errors) = parse_rules(
+            "\
+alert detector_idle for=10s when counter_stall detector.scored
+alert detector_never_fit when counter detector.fit_rows < 1
+alert suspicious_world when hist detector.score p50 > 100.0
+alert adaptive_never_lands for=10s when counter_stall attack.adaptive.success
+",
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(check_vocabulary(&rules), Vec::<String>::new());
+    }
+
+    #[test]
     fn rules_render_back_to_parseable_text() {
         let (rules, _) =
             parse_rules("alert x severity=info for=2s when hist attack.fuzz.naturalness p50 < -20");

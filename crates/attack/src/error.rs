@@ -17,6 +17,10 @@ pub enum AttackError {
     #[error("operational-profile model error: {0}")]
     OpModel(#[from] opad_opmodel::OpModelError),
 
+    /// The detector an adaptive attack is trying to evade failed.
+    #[error("detector error: {0}")]
+    Detect(#[from] opad_detect::DetectError),
+
     /// An attack was configured with invalid parameters.
     #[error("invalid attack configuration: {reason}")]
     InvalidConfig {

@@ -11,8 +11,11 @@
 //!   (black-box baseline) and [`NaturalFuzz`] (loss + λ·naturalness ascent
 //!   with an acceptance threshold τ);
 //! * naturalness oracles ([`Naturalness`]): [`DensityNaturalness`]
-//!   (log-density under an OP model — the paper's "local OP") and
-//!   [`PcaNaturalness`] (reconstruction-error manifold proxy).
+//!   (log-density under an OP model — the paper's "local OP", now routed
+//!   through the `opad-detect` zoo's `Detector` trait) and
+//!   [`PcaNaturalness`] (reconstruction-error manifold proxy);
+//! * [`AdaptivePgd`] — detector-aware PGD ascending the Carlini–Wagner
+//!   combined loss `CE − α·score`, for honest detector evaluation.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod adaptive;
 mod bench;
 mod error;
 mod fgsm;
@@ -43,6 +47,7 @@ mod outcome;
 mod pgd;
 mod random_fuzz;
 
+pub use adaptive::AdaptivePgd;
 pub use bench::AttackBenches;
 pub use error::AttackError;
 pub use fgsm::Fgsm;

@@ -1,8 +1,17 @@
 //! Naturalness oracles — quantified approximations of the "local OP"
 //! (paper Sec. II-b).
+//!
+//! Since the detector zoo landed, naturalness is the flip side of
+//! detection: a naturalness oracle is a [`Detector`] with its sign
+//! reversed (detectors score *suspicion*, oracles score *plausibility*).
+//! [`DensityNaturalness`] is literally the paper's
+//! [`OpDensityDetector`] routed through the shared trait — scores are
+//! bit-identical to the pre-zoo implementation because negation is exact
+//! in IEEE 754.
 
 use crate::AttackError;
-use opad_opmodel::Density;
+use opad_detect::{Detector, OpDensityDetector};
+use opad_opmodel::{Density, Pca};
 use opad_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -27,42 +36,57 @@ pub trait Naturalness {
 
 /// Naturalness as log-density under an operational-profile density model —
 /// the most literal reading of "naturalness approximates the local OP".
+///
+/// Internally this is the detector zoo's [`OpDensityDetector`] with the
+/// sign flipped back: `score = −detector.score = −(−log p) = log p`,
+/// bit-for-bit the log-density (double negation is exact).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DensityNaturalness<D> {
-    density: D,
+    density: OpDensityDetector<D>,
 }
 
 impl<D: Density> DensityNaturalness<D> {
     /// Wraps a density model.
     pub fn new(density: D) -> Self {
-        DensityNaturalness { density }
+        DensityNaturalness {
+            density: OpDensityDetector::new(density),
+        }
     }
 
     /// The wrapped density.
     pub fn density(&self) -> &D {
+        self.density.density()
+    }
+
+    /// The same oracle seen from the detector side: suspicion instead of
+    /// plausibility.
+    pub fn as_detector(&self) -> &OpDensityDetector<D> {
         &self.density
     }
 }
 
-impl<D: Density> Naturalness for DensityNaturalness<D> {
+impl<D: Density + PartialEq> Naturalness for DensityNaturalness<D> {
     fn score(&self, x: &[f32]) -> Result<f64, AttackError> {
-        Ok(self.density.log_density(x)?)
+        Ok(-self.density.score(x)?)
     }
 
     fn score_gradient(&self, x: &[f32]) -> Result<Vec<f32>, AttackError> {
-        Ok(self.density.grad_log_density(x)?)
+        let mut g = self.density.score_gradient(x)?;
+        for v in &mut g {
+            *v = -*v;
+        }
+        Ok(g)
     }
 }
 
 /// Naturalness as negative PCA reconstruction error: natural inputs lie
 /// near the training-data manifold spanned by the top principal
-/// components. This is the classical autoencoder-style detector, built
-/// here from a from-scratch PCA (power iteration with deflation).
+/// components. The PCA machinery itself lives in [`opad_opmodel::Pca`]
+/// (shared with the MagNet detector); this wrapper keeps the historical
+/// serialized form (`{"mean": …, "components": …}`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PcaNaturalness {
-    mean: Vec<f32>,
-    components: Tensor, // [k, d] orthonormal rows
-}
+#[serde(transparent)]
+pub struct PcaNaturalness(Pca);
 
 impl PcaNaturalness {
     /// Fits a `k`-component PCA on the rows of `data`.
@@ -72,85 +96,17 @@ impl PcaNaturalness {
     /// Fails when `data` is not a matrix with at least 2 rows, or
     /// `k` exceeds the dimensionality.
     pub fn fit(data: &Tensor, k: usize) -> Result<Self, AttackError> {
-        if data.rank() != 2 || data.dims()[0] < 2 {
-            return Err(AttackError::InvalidConfig {
-                reason: "PCA needs a [n≥2, d] matrix".into(),
-            });
-        }
-        let (n, d) = (data.dims()[0], data.dims()[1]);
-        if k == 0 || k > d {
-            return Err(AttackError::InvalidConfig {
-                reason: format!("k must be in 1..={d}, got {k}"),
-            });
-        }
-        // Mean-centre.
-        let mean_t = data.mean_axis(0)?;
-        let mean: Vec<f32> = mean_t.as_slice().to_vec();
-        // Covariance (d×d), fine for the dimensionalities in this toolkit.
-        let mut cov = vec![0.0f64; d * d];
-        let xs = data.as_slice();
-        for i in 0..n {
-            let row = &xs[i * d..(i + 1) * d];
-            for a in 0..d {
-                let va = (row[a] - mean[a]) as f64;
-                for b in a..d {
-                    let vb = (row[b] - mean[b]) as f64;
-                    cov[a * d + b] += va * vb;
-                }
-            }
-        }
-        for a in 0..d {
-            for b in a..d {
-                let v = cov[a * d + b] / (n - 1) as f64;
-                cov[a * d + b] = v;
-                cov[b * d + a] = v;
-            }
-        }
-        // Power iteration with deflation for the top-k eigenvectors.
-        let mut components = Vec::with_capacity(k * d);
-        let mut deflated = cov;
-        for comp in 0..k {
-            // Deterministic start (varies per component to avoid
-            // pathological orthogonality).
-            let mut v: Vec<f64> = (0..d)
-                .map(|j| if j % (comp + 1) == 0 { 1.0 } else { 0.5 })
-                .collect();
-            normalize(&mut v);
-            let mut eigval = 0.0f64;
-            for _ in 0..200 {
-                let mut w = vec![0.0f64; d];
-                for a in 0..d {
-                    let mut acc = 0.0;
-                    for b in 0..d {
-                        acc += deflated[a * d + b] * v[b];
-                    }
-                    w[a] = acc;
-                }
-                eigval = norm(&w);
-                if eigval < 1e-12 {
-                    break; // rank exhausted: keep current direction
-                }
-                for (vi, wi) in v.iter_mut().zip(&w) {
-                    *vi = wi / eigval;
-                }
-            }
-            // Deflate: C ← C − λ v vᵀ.
-            for a in 0..d {
-                for b in 0..d {
-                    deflated[a * d + b] -= eigval * v[a] * v[b];
-                }
-            }
-            components.extend(v.iter().map(|&x| x as f32));
-        }
-        Ok(PcaNaturalness {
-            mean,
-            components: Tensor::from_vec(components, &[k, d])?,
-        })
+        Ok(PcaNaturalness(Pca::fit(data, k)?))
     }
 
     /// Number of principal components retained.
     pub fn num_components(&self) -> usize {
-        self.components.dims()[0]
+        self.0.num_components()
+    }
+
+    /// The underlying PCA model.
+    pub fn pca(&self) -> &Pca {
+        &self.0
     }
 
     /// Squared reconstruction error of `x` under the retained subspace.
@@ -159,78 +115,23 @@ impl PcaNaturalness {
     ///
     /// Fails on dimension mismatch.
     pub fn reconstruction_error(&self, x: &[f32]) -> Result<f64, AttackError> {
-        let d = self.mean.len();
-        if x.len() != d {
-            return Err(AttackError::InvalidConfig {
-                reason: format!("expected dimension {d}, got {}", x.len()),
-            });
-        }
-        let centered: Vec<f64> = x
-            .iter()
-            .zip(&self.mean)
-            .map(|(&a, &m)| (a - m) as f64)
-            .collect();
-        let k = self.num_components();
-        let comps = self.components.as_slice();
-        // ‖c‖² − Σ (vᵀc)²  (Pythagoras in the orthonormal basis).
-        let total: f64 = centered.iter().map(|v| v * v).sum();
-        let mut explained = 0.0f64;
-        for c in 0..k {
-            let proj: f64 = comps[c * d..(c + 1) * d]
-                .iter()
-                .zip(&centered)
-                .map(|(&v, &x)| v as f64 * x)
-                .sum();
-            explained += proj * proj;
-        }
-        Ok((total - explained).max(0.0))
+        Ok(self.0.reconstruction_error(x)?)
     }
 }
 
 impl Naturalness for PcaNaturalness {
     fn score(&self, x: &[f32]) -> Result<f64, AttackError> {
-        Ok(-self.reconstruction_error(x)?)
+        Ok(-self.0.reconstruction_error(x)?)
     }
 
     /// Analytic gradient of `−‖(I − VVᵀ)(x − μ)‖²`:
     /// `−2 (I − VVᵀ)(x − μ)`.
     fn score_gradient(&self, x: &[f32]) -> Result<Vec<f32>, AttackError> {
-        let d = self.mean.len();
-        if x.len() != d {
-            return Err(AttackError::InvalidConfig {
-                reason: format!("expected dimension {d}, got {}", x.len()),
-            });
+        let mut g = self.0.reconstruction_error_gradient(x)?;
+        for v in &mut g {
+            *v = -*v;
         }
-        let centered: Vec<f64> = x
-            .iter()
-            .zip(&self.mean)
-            .map(|(&a, &m)| (a - m) as f64)
-            .collect();
-        let k = self.num_components();
-        let comps = self.components.as_slice();
-        // residual = c − V Vᵀ c
-        let mut residual = centered.clone();
-        for c in 0..k {
-            let row = &comps[c * d..(c + 1) * d];
-            let proj: f64 = row.iter().zip(&centered).map(|(&v, &x)| v as f64 * x).sum();
-            for (r, &v) in residual.iter_mut().zip(row) {
-                *r -= proj * v as f64;
-            }
-        }
-        Ok(residual.into_iter().map(|r| (-2.0 * r) as f32).collect())
-    }
-}
-
-fn norm(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
-}
-
-fn normalize(v: &mut [f64]) {
-    let n = norm(v);
-    if n > 0.0 {
-        for x in v {
-            *x /= n;
-        }
+        Ok(g)
     }
 }
 
@@ -242,19 +143,58 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    #[test]
-    fn density_naturalness_orders_points() {
-        let gmm = Gmm::from_components(vec![GmmComponent {
+    fn unit_gmm() -> Gmm {
+        Gmm::from_components(vec![GmmComponent {
             weight: 1.0,
             mean: vec![0.0, 0.0],
             std: 1.0,
         }])
-        .unwrap();
-        let nat = DensityNaturalness::new(gmm);
+        .unwrap()
+    }
+
+    #[test]
+    fn density_naturalness_orders_points() {
+        let nat = DensityNaturalness::new(unit_gmm());
         assert!(nat.score(&[0.0, 0.0]).unwrap() > nat.score(&[3.0, 3.0]).unwrap());
         let g = nat.score_gradient(&[2.0, 0.0]).unwrap();
         assert!((g[0] + 2.0).abs() < 1e-5);
         assert!(nat.score(&[0.0]).is_err());
+    }
+
+    /// The satellite pin: routing through the detector trait must be a
+    /// pure re-expression — score and gradient stay **bitwise** equal to
+    /// the raw density, and the detector face is the exact negation.
+    #[test]
+    fn density_naturalness_is_bitwise_log_density() {
+        let gmm = unit_gmm();
+        let nat = DensityNaturalness::new(gmm.clone());
+        for q in [[0.0f32, 0.0], [1.3, -0.4], [3.0, 3.0], [-7.5, 0.01]] {
+            let direct = gmm.log_density(&q).unwrap();
+            let routed = nat.score(&q).unwrap();
+            assert_eq!(routed.to_bits(), direct.to_bits(), "score at {q:?}");
+            assert_eq!(
+                nat.as_detector().score(&q).unwrap().to_bits(),
+                (-direct).to_bits(),
+                "detector face at {q:?}"
+            );
+            let g_direct = gmm.grad_log_density(&q).unwrap();
+            let g_routed = nat.score_gradient(&q).unwrap();
+            for (a, b) in g_routed.iter().zip(&g_direct) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gradient at {q:?}");
+            }
+        }
+    }
+
+    /// Serde compatibility: the trait-backed wrapper keeps the historical
+    /// `{"density": …}` shape (the detector layer is transparent).
+    #[test]
+    fn density_naturalness_serde_shape_is_unchanged() {
+        let nat = DensityNaturalness::new(unit_gmm());
+        let json = serde_json::to_value(&nat).unwrap();
+        assert!(json.get("density").is_some(), "{json}");
+        assert!(json["density"].get("components").is_some(), "{json}");
+        let back: DensityNaturalness<Gmm> = serde_json::from_value(json).unwrap();
+        assert_eq!(back, nat);
     }
 
     /// Data on a line in 2-D: PCA with 1 component reconstructs on-line
@@ -331,7 +271,7 @@ mod tests {
         let scale = Tensor::from_vec(vec![3.0, 1.0, 0.3], &[3]).unwrap();
         let data = base.checked_mul(&scale).unwrap();
         let pca = PcaNaturalness::fit(&data, 3).unwrap();
-        let c = pca.components.as_slice();
+        let c = pca.pca().components().as_slice();
         for a in 0..3 {
             for b in 0..3 {
                 let dot: f32 = (0..3).map(|j| c[a * 3 + j] * c[b * 3 + j]).sum();
@@ -339,5 +279,23 @@ mod tests {
                 assert!((dot - expect).abs() < 1e-3, "⟨v{a}, v{b}⟩ = {dot}");
             }
         }
+    }
+
+    /// The serialized form must not have changed when the machinery moved
+    /// to `opmodel::Pca`: same top-level keys as the historical struct.
+    #[test]
+    fn pca_serde_shape_is_unchanged() {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            let t = i as f32;
+            rows.push(Tensor::from_slice(&[t, -t]));
+        }
+        let data = Tensor::stack_rows(&rows).unwrap();
+        let pca = PcaNaturalness::fit(&data, 1).unwrap();
+        let json = serde_json::to_value(&pca).unwrap();
+        assert!(json.get("mean").is_some(), "{json}");
+        assert!(json.get("components").is_some(), "{json}");
+        let back: PcaNaturalness = serde_json::from_value(json).unwrap();
+        assert_eq!(back, pca);
     }
 }

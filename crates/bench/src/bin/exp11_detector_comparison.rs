@@ -1,0 +1,246 @@
+//! E11 — detector zoo comparison under naive and adaptive attacks.
+//!
+//! Fits all five members of the detector zoo (LID, feature squeezing,
+//! MagNet reconstruction, DLA, and the paper's own OP-density signal) on
+//! clean operational data, generates adversarial examples with a naive
+//! gradient attack (PGD), a gradient-free attack (random fuzzing) and a
+//! detector-aware Carlini–Wagner adaptive attack targeted at each
+//! detector in turn, then reports the full AUROC grid — the adaptive
+//! column printed alongside the naive ones for every detector, because a
+//! detector evaluated only against attackers that ignore it is not
+//! evaluated at all.
+//!
+//! Run with: `cargo run --release -p opad-bench --bin exp11_detector_comparison`
+
+use opad_attack::{AdaptivePgd, Attack, NormBall, Pgd, RandomFuzz};
+use opad_bench::{build_cluster_world, print_header, print_row, ClusterWorldConfig, ExpRun};
+use opad_data::Dataset;
+use opad_detect::{
+    auroc, score_batch, Detector, Dla, FeatureSqueeze, Lid, Magnet, OpDensityDetector,
+};
+use opad_nn::Network;
+use opad_opmodel::Gmm;
+use opad_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const EPS: f32 = 0.8;
+const SEEDS: usize = 80;
+const CLEAN_HOLDOUT: usize = 100;
+
+#[derive(Serialize)]
+struct GridRow {
+    detector: String,
+    attack: String,
+    adaptive: bool,
+    aes: usize,
+    auroc: f64,
+}
+
+/// Splits the field data into a fit set and a clean-score holdout, so no
+/// detector is scored on rows it memorised.
+fn split_field(field: &Dataset) -> (Dataset, Dataset) {
+    let n = field.len();
+    let d = field.feature_dim();
+    let cut = n - CLEAN_HOLDOUT;
+    let xs = field.features().as_slice();
+    let slice = |lo: usize, hi: usize| {
+        Dataset::new(
+            Tensor::from_vec(xs[lo * d..hi * d].to_vec(), &[hi - lo, d]).unwrap(),
+            field.labels()[lo..hi].to_vec(),
+            field.num_classes(),
+        )
+        .unwrap()
+    };
+    (slice(0, cut), slice(cut, n))
+}
+
+/// Runs `attack` over the seed pool and returns the successful candidates.
+fn harvest(attack: &dyn Attack, net: &Network, seeds: &Dataset, rng_seed: u64) -> Vec<Vec<f32>> {
+    let mut net = net.clone();
+    let d = seeds.feature_dim();
+    let xs = seeds.features().as_slice();
+    let mut out = Vec::new();
+    for i in 0..seeds.len().min(SEEDS) {
+        let seed = Tensor::from_vec(xs[i * d..(i + 1) * d].to_vec(), &[d]).unwrap();
+        let mut rng = StdRng::seed_from_u64(opad_par::stream_seed(rng_seed, i as u64));
+        let outcome = attack
+            .run(&mut net, &seed, seeds.labels()[i], &mut rng)
+            .expect("attack on a valid seed succeeds");
+        if outcome.success {
+            out.push(outcome.candidate.as_slice().to_vec());
+        }
+    }
+    out
+}
+
+/// Scores a pool of harvested candidates under one detector.
+fn scores_of_dyn(det: &(dyn Detector + Sync), rows: &[Vec<f32>]) -> Vec<f64> {
+    let d = rows[0].len();
+    let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+    let batch = Tensor::from_vec(flat, &[rows.len(), d]).unwrap();
+    score_batch(det, &batch).expect("fitted detector scores the batch")
+}
+
+fn main() {
+    let run = ExpRun::begin(
+        "exp11_detector_comparison",
+        &serde_json::json!({
+            "world_seed": 23,
+            "eps_linf": EPS,
+            "seeds_attacked": SEEDS,
+            "clean_holdout": CLEAN_HOLDOUT,
+            "detectors": ["lid", "feature_squeeze", "magnet", "dla", "op_density"],
+            "attacks": ["pgd", "random_fuzz", "adaptive_pgd"],
+            "adaptive_alpha": 1.0,
+        }),
+    );
+    println!("## E11 — detector zoo: AUROC under naive and adaptive attacks\n");
+    let world = build_cluster_world(&ClusterWorldConfig {
+        seed: 23,
+        n_train: 240,
+        n_field: 500,
+        cells: 8,
+        epochs: 12,
+        ..ClusterWorldConfig::default()
+    });
+    let (fit_set, holdout) = split_field(&world.field);
+
+    // ---- Fit the zoo on clean operational data. ----
+    let mut lid = Lid::new(world.net.clone(), 10).expect("k=10 over the trained net");
+    lid.fit(&fit_set).expect("field slice fits LID");
+    let mut squeeze = FeatureSqueeze::new(world.net.clone(), 4, 3).expect("4 bits, window 3");
+    squeeze
+        .fit(&fit_set)
+        .expect("field slice calibrates ranges");
+    let mut magnet = Magnet::new(2, 1).expect("1 component of dim 2");
+    magnet.fit(&fit_set).expect("field slice fits the PCA");
+    let mut dla = Dla::new(world.net.clone()).expect("the MLP has dense layers");
+    dla.fit(&fit_set).expect("field slice fits unit stats");
+    let mut op_density: OpDensityDetector<Gmm> = OpDensityDetector::new(world.op.density().clone());
+    op_density
+        .fit(&fit_set)
+        .expect("dims agree with the learned OP");
+
+    // ---- Naive adversarial pools, shared by every detector. ----
+    let ball = NormBall::linf(EPS).unwrap();
+    let pgd = Pgd::new(ball, 20, 0.15).unwrap().with_random_start(false);
+    let fuzz = RandomFuzz::new(ball, 30).unwrap();
+    let pgd_aes = harvest(&pgd, &world.net, &world.test, 1101);
+    let fuzz_aes = harvest(&fuzz, &world.net, &world.test, 1102);
+    assert!(pgd_aes.len() >= 10, "PGD found only {} AEs", pgd_aes.len());
+    assert!(
+        fuzz_aes.len() >= 10,
+        "fuzz found only {} AEs",
+        fuzz_aes.len()
+    );
+    println!(
+        "attacked {} test seeds inside L∞({EPS}): pgd {} AEs, random_fuzz {} AEs\n",
+        SEEDS,
+        pgd_aes.len(),
+        fuzz_aes.len()
+    );
+
+    // ---- The grid: each detector scored against each attack, with the
+    // adaptive attack re-targeted at the detector being evaluated. ----
+    print_header(&["detector", "attack", "AEs", "AUROC"]);
+    let mut rows: Vec<GridRow> = Vec::new();
+    {
+        let mut eval = |name: &str, det: &(dyn Detector + Sync)| {
+            let clean = score_batch(det, holdout.features()).expect("holdout scores");
+            let adaptive_attack = AdaptivePgd::new(det, ball, 20, 0.15, 1.0).unwrap();
+            let adaptive_aes = harvest(&adaptive_attack, &world.net, &world.test, 1103);
+            assert!(
+                adaptive_aes.len() >= 10,
+                "adaptive attack on {name} found only {} AEs",
+                adaptive_aes.len()
+            );
+            let pools: [(&str, bool, &Vec<Vec<f32>>); 3] = [
+                ("pgd", false, &pgd_aes),
+                ("random_fuzz", false, &fuzz_aes),
+                ("adaptive_pgd", true, &adaptive_aes),
+            ];
+            for (attack, adaptive, pool) in pools {
+                let adv = scores_of_dyn(det, pool);
+                let a = auroc(&clean, &adv).expect("nonempty finite score samples");
+                print_row(&[
+                    name.to_string(),
+                    attack.to_string(),
+                    format!("{}", pool.len()),
+                    format!("{a:.4}"),
+                ]);
+                rows.push(GridRow {
+                    detector: name.to_string(),
+                    attack: attack.to_string(),
+                    adaptive,
+                    aes: pool.len(),
+                    auroc: a,
+                });
+            }
+        };
+        eval("lid", &lid);
+        eval("feature_squeeze", &squeeze);
+        eval("magnet", &magnet);
+        eval("dla", &dla);
+        eval("op_density", &op_density);
+    }
+
+    // ---- Self-gating: the grid must be complete and meaningful. ----
+    let detectors = ["lid", "feature_squeeze", "magnet", "dla", "op_density"];
+    assert_eq!(rows.len(), detectors.len() * 3, "incomplete AUROC grid");
+    for d in detectors {
+        assert!(
+            rows.iter().any(|r| r.detector == d && r.adaptive),
+            "{d} is missing its adaptive-attack AUROC"
+        );
+        assert!(
+            rows.iter().filter(|r| r.detector == d).count() >= 3,
+            "{d} evaluated against fewer than 3 attacks"
+        );
+    }
+    assert!(rows
+        .iter()
+        .all(|r| (0.0..=1.0).contains(&r.auroc) && r.auroc.is_finite()));
+    let naive_mean = rows
+        .iter()
+        .filter(|r| !r.adaptive)
+        .map(|r| r.auroc)
+        .sum::<f64>()
+        / rows.iter().filter(|r| !r.adaptive).count() as f64;
+    let adaptive_mean = rows
+        .iter()
+        .filter(|r| r.adaptive)
+        .map(|r| r.auroc)
+        .sum::<f64>()
+        / rows.iter().filter(|r| r.adaptive).count() as f64;
+    assert!(
+        naive_mean > 0.45,
+        "detectors collectively worse than chance against naive attacks: {naive_mean}"
+    );
+
+    println!(
+        "\nReading: the grid's naive columns (mean AUROC {naive_mean:.3}) are the\n\
+         numbers detector papers usually report; the adaptive column (mean\n\
+         {adaptive_mean:.3}) is what survives an attacker that descends the\n\
+         detector's own score with a Carlini–Wagner penalty term. The gap\n\
+         between the two is each detector's *false security margin*. The\n\
+         OP-density row is the paper's operational signal competing in the\n\
+         same harness: it needs no access to the classifier's internals,\n\
+         and its adaptive column degrades only as far as the OP itself\n\
+         allows — evading it means moving into operationally dense, i.e.\n\
+         well-tested, regions."
+    );
+    let mut run = run;
+    run.section("auroc_grid", &rows);
+    run.section(
+        "summary",
+        &serde_json::json!([{
+            "naive_mean_auroc": naive_mean,
+            "adaptive_mean_auroc": adaptive_mean,
+            "pgd_aes": pgd_aes.len(),
+            "fuzz_aes": fuzz_aes.len(),
+        }]),
+    );
+    run.finish_sections();
+}

@@ -7,8 +7,8 @@
 use opad_telemetry::{BenchKernel, Benchmarkable};
 
 /// Every registered kernel across the workspace, in a stable order
-/// (telemetry → par → tensor → nn → attack → opmodel → reliability →
-/// core, each crate's own order within).
+/// (telemetry → par → tensor → nn → attack → opmodel → detect →
+/// reliability → core, each crate's own order within).
 pub fn all_bench_kernels() -> Vec<BenchKernel> {
     let mut kernels = Vec::new();
     kernels.extend(opad_telemetry::TelemetryBenches::bench_kernels());
@@ -17,6 +17,7 @@ pub fn all_bench_kernels() -> Vec<BenchKernel> {
     kernels.extend(opad_nn::NnBenches::bench_kernels());
     kernels.extend(opad_attack::AttackBenches::bench_kernels());
     kernels.extend(opad_opmodel::OpModelBenches::bench_kernels());
+    kernels.extend(opad_detect::DetectBenches::bench_kernels());
     kernels.extend(opad_reliability::ReliabilityBenches::bench_kernels());
     kernels.extend(opad_core::CoreBenches::bench_kernels());
     kernels

@@ -25,6 +25,10 @@ pub enum PipelineError {
     #[error("attack error: {0}")]
     Attack(#[from] opad_attack::AttackError),
 
+    /// An attached adversarial-example detector failed.
+    #[error("detector error: {0}")]
+    Detect(#[from] opad_detect::DetectError),
+
     /// A reliability-model operation failed.
     #[error("reliability error: {0}")]
     Reliability(#[from] opad_reliability::ReliabilityError),

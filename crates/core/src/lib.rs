@@ -49,7 +49,7 @@ pub use bench::CoreBenches;
 pub use checkpoint::{read_checkpoint, CampaignCheckpoint};
 pub use error::PipelineError;
 pub use operational_ae::{classify_outcome, AeCorpus, DetectedAe};
-pub use pipeline::{LoopConfig, RoundReport, StepDurations, TestingLoop};
+pub use pipeline::{DetectorRoundScore, LoopConfig, RoundReport, StepDurations, TestingLoop};
 pub use retrain::{retrain_with_aes, RetrainConfig};
 pub use seed_sampler::{SeedSampler, SeedWeightAccumulator, SeedWeighting};
 pub use sharded::{shard_ranges, ShardedCampaign, ShardedConfig};

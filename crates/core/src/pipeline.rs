@@ -9,6 +9,7 @@ use crate::{
 use opad_alert::{default_rules, Rule as AlertRule};
 use opad_attack::Attack;
 use opad_data::Dataset;
+use opad_detect::Detector;
 use opad_nn::Network;
 use opad_opmodel::{CentroidPartition, Density, OperationalProfile, Partition};
 use opad_reliability::{Assessment, CellReliabilityModel, GrowthTimeline, ReliabilityTarget};
@@ -16,6 +17,8 @@ use opad_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 // Stream indices of the per-purpose generators inside one round (see
@@ -143,6 +146,18 @@ impl StepDurations {
     }
 }
 
+/// Per-detector summary of one round's AE candidates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorRoundScore {
+    /// The detector's stable name.
+    pub detector: String,
+    /// Mean suspicion score over this round's detected AEs (0 when the
+    /// round found none).
+    pub mean_score: f64,
+    /// Number of AE candidates scored.
+    pub scored: usize,
+}
+
 /// Summary of one loop round.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoundReport {
@@ -163,6 +178,10 @@ pub struct RoundReport {
     pub op_accuracy: f64,
     /// Whether the reliability target was met (testing stops).
     pub target_met: bool,
+    /// Mean suspicion score of this round's AEs under every attached
+    /// detector (empty when no detectors are attached).
+    #[serde(default)]
+    pub detector_scores: Vec<DetectorRoundScore>,
     /// Wall-clock duration of the whole round in milliseconds.
     #[serde(default)]
     pub wall_ms: f64,
@@ -184,6 +203,17 @@ impl PartialEq for RoundReport {
             && self.pfd_upper == other.pfd_upper
             && self.op_accuracy == other.op_accuracy
             && self.target_met == other.target_met
+            && self.detector_scores == other.detector_scores
+    }
+}
+
+/// A detector riding along with the loop (shared, scored read-only).
+#[derive(Clone)]
+pub(crate) struct AttachedDetector(Arc<dyn Detector + Send + Sync>);
+
+impl fmt::Debug for AttachedDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttachedDetector({})", self.0.name())
     }
 }
 
@@ -206,6 +236,7 @@ pub struct TestingLoop<D> {
     config: LoopConfig,
     rounds_run: usize,
     alert_rules: Vec<AlertRule>,
+    detectors: Vec<AttachedDetector>,
 }
 
 impl<D: Density> TestingLoop<D> {
@@ -253,7 +284,22 @@ impl<D: Density> TestingLoop<D> {
             config,
             rounds_run: 0,
             alert_rules,
+            detectors: Vec::new(),
         })
+    }
+
+    /// Attaches a fitted detector: every subsequent round scores its AE
+    /// candidates through it and reports the mean suspicion per detector
+    /// on [`RoundReport::detector_scores`]. Detectors observe the round
+    /// read-only, so attaching them never perturbs sampling, fuzzing or
+    /// the reliability claim.
+    pub fn attach_detector(&mut self, detector: Arc<dyn Detector + Send + Sync>) {
+        self.detectors.push(AttachedDetector(detector));
+    }
+
+    /// Names of the attached detectors, in attachment order.
+    pub fn detector_names(&self) -> Vec<&'static str> {
+        self.detectors.iter().map(|d| d.0.name()).collect()
     }
 
     /// The model under test (read-only).
@@ -474,6 +520,32 @@ impl<D: Density> TestingLoop<D> {
         );
         self.corpus.extend_from(&round_corpus);
 
+        // ---- Detector plane: score this round's AE candidates through
+        // every attached detector. Serial, in corpus (= seed) order, so
+        // the reported means are byte-identical at any thread count. ----
+        let detector_scores = {
+            let mut scores = Vec::with_capacity(self.detectors.len());
+            for det in &self.detectors {
+                let mut total = 0.0f64;
+                for ae in round_corpus.aes() {
+                    let s = det.0.score(ae.candidate.as_slice())?;
+                    telemetry::histogram_record("detector.score", s);
+                    total += s;
+                }
+                telemetry::counter_add("detector.scored", round_corpus.len() as u64);
+                scores.push(DetectorRoundScore {
+                    detector: det.0.name().to_string(),
+                    mean_score: if round_corpus.is_empty() {
+                        0.0
+                    } else {
+                        total / round_corpus.len() as f64
+                    },
+                    scored: round_corpus.len(),
+                });
+            }
+            scores
+        };
+
         // ---- Step 5a: operational evaluation (statistical testing). ----
         let step_start = Instant::now();
         telemetry::phase::set(telemetry::phase::EVALUATE);
@@ -555,6 +627,7 @@ impl<D: Density> TestingLoop<D> {
             pfd_upper,
             op_accuracy,
             target_met,
+            detector_scores,
             wall_ms: telemetry::ms_since(round_start),
             step_ms,
         })

@@ -510,6 +510,10 @@ impl<D: Density> ShardedCampaign<D> {
             pfd_upper,
             op_accuracy,
             target_met,
+            // Sharded campaigns carry no detector bank (detectors attach
+            // to single-loop runs); an empty list keeps report equality
+            // meaningful against unsharded runs without detectors.
+            detector_scores: Vec::new(),
             wall_ms: telemetry::ms_since(round_start),
             step_ms,
         };

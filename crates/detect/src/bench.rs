@@ -1,0 +1,79 @@
+//! Micro-benchmark registry for the detector kernels (`obsctl bench`).
+
+use crate::{score_batch, Detector, Dla, FeatureSqueeze, Lid, Magnet};
+use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
+use opad_nn::{Activation, Network};
+use opad_telemetry::{BenchKernel, Benchmarkable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The crate's [`Benchmarkable`] registry: the per-query cost of every
+/// detector in the zoo, plus the batch scorer at 1 and 4 threads.
+pub struct DetectBenches;
+
+impl Benchmarkable for DetectBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = GaussianClustersConfig::default();
+        let data = gaussian_clusters(&cfg, 200, &uniform_probs(3), &mut rng)
+            .expect("default cluster config synthesises");
+        let net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut rng)
+            .expect("static mlp dims are valid");
+
+        let mut lid = Lid::new(net.clone(), 10).expect("k=10 is valid");
+        lid.fit(&data).expect("200 clean rows fit LID");
+        let mut squeeze = FeatureSqueeze::new(net.clone(), 4, 3).expect("4 bits / window 3");
+        squeeze.fit(&data).expect("200 clean rows calibrate ranges");
+        let mut magnet = Magnet::new(2, 1).expect("k=1 of dim 2");
+        magnet
+            .fit(&data)
+            .expect("200 clean rows fit a 1-component PCA");
+        let mut dla = Dla::new(net).expect("mlp has dense layers");
+        dla.fit(&data).expect("200 clean rows fit unit stats");
+
+        let q = [0.5f32, -0.5];
+        // Serial-vs-parallel pair for the batch scorer: all 200 training
+        // points against the n=200 LID banks with the pool pinned.
+        let batch = data.features().clone();
+        let lid_batch = lid.clone();
+        let batch_at = |name: &'static str, threads: usize| {
+            let (lid, batch) = (lid_batch.clone(), batch.clone());
+            BenchKernel::new(name, move || {
+                let _pin = opad_par::override_threads(threads);
+                black_box(score_batch(&lid, &batch).expect("batch dim matches fit"));
+            })
+        };
+        vec![
+            BenchKernel::new("detect/lid_score_n200", move || {
+                black_box(lid.score(&q).expect("query dim matches fit"));
+            }),
+            BenchKernel::new("detect/squeeze_score", move || {
+                black_box(squeeze.score(&q).expect("query dim matches fit"));
+            }),
+            BenchKernel::new("detect/magnet_score", move || {
+                black_box(magnet.score(&q).expect("query dim matches fit"));
+            }),
+            BenchKernel::new("detect/dla_score", move || {
+                black_box(dla.score(&q).expect("query dim matches fit"));
+            }),
+            batch_at("detect/lid_batch_n200_t1", 1),
+            batch_at("detect/lid_batch_n200_t4", 4),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = DetectBenches::bench_kernels();
+        assert!(kernels.len() >= 5);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("detect/"), "{}", k.name);
+            (k.run)();
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The [`Detector`] trait: one contract for every adversarial-example
+//! detector in the zoo.
+
+use crate::DetectError;
+use opad_data::Dataset;
+use opad_tensor::Tensor;
+
+/// An adversarial-example detector.
+///
+/// Detectors follow the fit/merge/score contract of the OP-model
+/// sufficient statistics (PR-8): `fit` *accumulates* reference state from
+/// clean data (calling it again appends more), `merge` folds another
+/// shard's accumulated state into this one, and `score` maps an input to a
+/// suspicion score where **higher means more adversarial**.
+///
+/// # Shard laws
+///
+/// Implementations must keep `merge` bit-exact against a single-shard fit:
+/// splitting a clean dataset into row-order shards, fitting one detector
+/// per shard and merging them in shard order must produce scores that are
+/// **bit-identical** to fitting one detector on the whole set. The zoo
+/// achieves this the same way `Kde::merge` does — raw reference rows are
+/// retained in canonical order, merging concatenates them, and any derived
+/// statistics are recomputed as a pure function of that order.
+/// `crates/detect/tests/detector_laws.rs` enforces this at shard counts
+/// {1, 2, 4, 8}.
+///
+/// # Degeneracy
+///
+/// Scoring must never return NaN: when the reference data cannot support a
+/// score (nothing fitted, too few rows, zero variance), implementations
+/// return [`DetectError::NotFitted`] or [`DetectError::DegenerateInput`].
+pub trait Detector {
+    /// Stable short name (used in telemetry, reports and experiment
+    /// tables).
+    fn name(&self) -> &'static str;
+
+    /// Input dimensionality the detector expects.
+    fn dim(&self) -> usize;
+
+    /// Accumulates reference state from a clean dataset. Calling `fit`
+    /// repeatedly appends — it never resets.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch, empty datasets, or a failing forward
+    /// pass.
+    fn fit(&mut self, clean: &Dataset) -> Result<(), DetectError>;
+
+    /// Folds `other`'s accumulated reference state into `self` (shard
+    /// order matters: merge shards in the same order the rows were
+    /// split).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the two shards disagree on configuration
+    /// ([`DetectError::MergeMismatch`]).
+    fn merge(&mut self, other: &Self) -> Result<(), DetectError>
+    where
+        Self: Sized;
+
+    /// Suspicion score of `x`: higher = more adversarial.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch, unfitted or degenerate reference
+    /// state — never returns NaN.
+    fn score(&self, x: &[f32]) -> Result<f64, DetectError>;
+
+    /// Gradient `∇ₓ score(x)` — what a detector-aware (adaptive) attack
+    /// descends to stay invisible.
+    ///
+    /// The default implementation uses central finite differences with
+    /// step `1e-3`; detectors with a closed form override it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Detector::score`].
+    fn score_gradient(&self, x: &[f32]) -> Result<Vec<f32>, DetectError> {
+        let h = 1e-3f32;
+        let mut grad = vec![0.0f32; x.len()];
+        let mut probe = x.to_vec();
+        for j in 0..x.len() {
+            probe[j] = x[j] + h;
+            let fp = self.score(&probe)?;
+            probe[j] = x[j] - h;
+            let fm = self.score(&probe)?;
+            probe[j] = x[j];
+            grad[j] = ((fp - fm) / (2.0 * h as f64)) as f32;
+        }
+        Ok(grad)
+    }
+}
+
+/// Scores every row of a `[n, d]` matrix, fanning out over fixed 64-row
+/// chunks (mirrors `opmodel::log_density_batch`).
+///
+/// Determinism: chunk boundaries depend only on `n`, each row is scored
+/// exactly as in the serial loop, and chunk results (including errors) are
+/// combined in row order — so the output, and which error surfaces when
+/// several rows fail, are identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`DetectError::DimensionMismatch`] when `data` is not a matrix
+/// of `detector.dim()`-wide rows, and propagates the first (by row order)
+/// [`Detector::score`] failure.
+pub fn score_batch<D>(detector: &D, data: &Tensor) -> Result<Vec<f64>, DetectError>
+where
+    D: Detector + Sync + ?Sized,
+{
+    let d = detector.dim();
+    if data.rank() != 2 || data.dims()[1] != d {
+        return Err(DetectError::DimensionMismatch {
+            expected: d,
+            actual: if data.rank() == 2 {
+                data.dims()[1]
+            } else {
+                data.len()
+            },
+        });
+    }
+    let n = data.dims()[0];
+    let xs = data.as_slice();
+    const CHUNK_ROWS: usize = 64;
+    let chunks = opad_par::par_ranges(n, CHUNK_ROWS, |_, rows| {
+        let mut part = Vec::with_capacity(rows.len());
+        for i in rows {
+            part.push(detector.score(&xs[i * d..(i + 1) * d])?);
+        }
+        Ok::<Vec<f64>, DetectError>(part)
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    opad_telemetry::counter_add("detector.scored", n as u64);
+    Ok(out)
+}

@@ -1,0 +1,212 @@
+//! Dense-layer-activation (DLA) analysis (after Sperl et al., EuroS&P
+//! 2020).
+//!
+//! DLA watches the network's *dense-layer* activations: adversarial
+//! inputs, even when the final prediction looks confident, drive hidden
+//! dense units into statistically unusual configurations. Sperl et al.
+//! train a secondary classifier on the concatenated dense activations;
+//! this from-scratch variant fits per-unit Gaussians on clean activations
+//! and scores the mean squared z-score of a query's units (higher = more
+//! adversarial) — the same alarm, without a second network to train.
+
+use crate::{DetectError, Detector};
+use opad_data::Dataset;
+use opad_nn::Network;
+use opad_tensor::Tensor;
+
+/// Per-unit clean statistics (computed in f64 from the canonical row
+/// order).
+#[derive(Debug, Clone)]
+struct UnitStat {
+    mean: f64,
+    std: f64,
+}
+
+/// Dense-layer activation detector over a fixed network.
+#[derive(Debug, Clone)]
+pub struct Dla {
+    net: Network,
+    dim: usize,
+    dense_idx: Vec<usize>,
+    width: usize,
+    rows: Vec<f32>,
+    n: usize,
+    stats: Option<Vec<UnitStat>>,
+}
+
+impl Dla {
+    /// Creates an unfitted DLA detector tapping every dense layer of
+    /// `net`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the network has no dense layers or no known input
+    /// width.
+    pub fn new(net: Network) -> Result<Self, DetectError> {
+        let dense_idx = net.dense_layer_indices();
+        if dense_idx.is_empty() {
+            return Err(DetectError::InvalidConfig {
+                reason: "DLA needs a network with at least one dense layer".into(),
+            });
+        }
+        let dim = net.input_dim().ok_or_else(|| DetectError::InvalidConfig {
+            reason: "DLA needs a network with a known input width".into(),
+        })?;
+        Ok(Dla {
+            net,
+            dim,
+            dense_idx,
+            width: 0,
+            rows: Vec::new(),
+            n: 0,
+            stats: None,
+        })
+    }
+
+    /// Number of clean reference rows accumulated.
+    pub fn reference_len(&self) -> usize {
+        self.n
+    }
+
+    /// Runs a `[n, dim]` batch and returns the concatenated dense-layer
+    /// activations as `(width, row-major values)`.
+    fn dense_activations(&self, batch: &Tensor) -> Result<(usize, Vec<f32>), DetectError> {
+        let taps = self.net.forward_recording(batch)?;
+        let n = batch.dims()[0];
+        let width: usize = self.dense_idx.iter().map(|&i| taps[i].dims()[1]).sum();
+        let mut rows = Vec::with_capacity(n * width);
+        for r in 0..n {
+            for &i in &self.dense_idx {
+                let w = taps[i].dims()[1];
+                rows.extend_from_slice(&taps[i].as_slice()[r * w..(r + 1) * w]);
+            }
+        }
+        Ok((width, rows))
+    }
+
+    /// Recomputes per-unit mean/std from the canonical row order. Stays
+    /// unfitted below 2 rows or when every unit has zero variance.
+    fn derive(&mut self) {
+        self.stats = None;
+        if self.n < 2 {
+            return;
+        }
+        let w = self.width;
+        let mut stats: Vec<UnitStat> = (0..w)
+            .map(|_| UnitStat {
+                mean: 0.0,
+                std: 0.0,
+            })
+            .collect();
+        for row in self.rows.chunks_exact(w) {
+            for (s, &v) in stats.iter_mut().zip(row) {
+                s.mean += v as f64;
+            }
+        }
+        for s in &mut stats {
+            s.mean /= self.n as f64;
+        }
+        for row in self.rows.chunks_exact(w) {
+            for (s, &v) in stats.iter_mut().zip(row) {
+                let dev = v as f64 - s.mean;
+                s.std += dev * dev;
+            }
+        }
+        let mut usable = 0usize;
+        for s in &mut stats {
+            s.std = (s.std / (self.n - 1) as f64).sqrt();
+            if s.std > 1e-12 {
+                usable += 1;
+            }
+        }
+        if usable > 0 {
+            self.stats = Some(stats);
+        }
+    }
+}
+
+impl Detector for Dla {
+    fn name(&self) -> &'static str {
+        "dla"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn fit(&mut self, clean: &Dataset) -> Result<(), DetectError> {
+        if clean.is_empty() {
+            return Err(DetectError::DegenerateInput {
+                reason: "cannot fit DLA on an empty dataset".into(),
+            });
+        }
+        if clean.feature_dim() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: clean.feature_dim(),
+            });
+        }
+        let (width, rows) = self.dense_activations(clean.features())?;
+        self.width = width;
+        self.rows.extend_from_slice(&rows);
+        self.n += clean.len();
+        opad_telemetry::counter_add("detector.fit_rows", clean.len() as u64);
+        self.derive();
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), DetectError> {
+        if self.dim != other.dim || self.dense_idx != other.dense_idx {
+            return Err(DetectError::MergeMismatch {
+                reason: "DLA shards disagree on dim or tapped dense layers".into(),
+            });
+        }
+        if other.n > 0 {
+            if self.n > 0 && self.width != other.width {
+                return Err(DetectError::MergeMismatch {
+                    reason: "DLA shards disagree on total dense width".into(),
+                });
+            }
+            self.width = other.width;
+            self.rows.extend_from_slice(&other.rows);
+            self.n += other.n;
+        }
+        opad_telemetry::counter_add("detector.merges", 1);
+        self.derive();
+        Ok(())
+    }
+
+    fn score(&self, x: &[f32]) -> Result<f64, DetectError> {
+        if x.len() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        if self.n == 0 {
+            return Err(DetectError::NotFitted { detector: "dla" });
+        }
+        let stats = self
+            .stats
+            .as_ref()
+            .ok_or_else(|| DetectError::DegenerateInput {
+                reason: if self.n < 2 {
+                    format!("DLA needs ≥ 2 reference rows, have {}", self.n)
+                } else {
+                    "every dense unit has zero variance on the reference data".into()
+                },
+            })?;
+        let query = Tensor::from_vec(x.to_vec(), &[1, self.dim])?;
+        let (_, acts) = self.dense_activations(&query)?;
+        let mut total = 0.0f64;
+        let mut usable = 0usize;
+        for (s, &a) in stats.iter().zip(&acts) {
+            if s.std > 1e-12 {
+                let z = (a as f64 - s.mean) / s.std;
+                total += z * z;
+                usable += 1;
+            }
+        }
+        Ok(total / usable as f64)
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the detector zoo.
+
+use thiserror::Error;
+
+/// Everything that can go wrong fitting, merging or scoring a detector.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum DetectError {
+    /// A tensor shape/arithmetic failure bubbled up.
+    #[error(transparent)]
+    Tensor(#[from] opad_tensor::TensorError),
+
+    /// A network forward pass failed.
+    #[error(transparent)]
+    Network(#[from] opad_nn::NnError),
+
+    /// An OP-model (density / PCA) operation failed.
+    #[error(transparent)]
+    OpModel(#[from] opad_opmodel::OpModelError),
+
+    /// The detector was constructed with invalid parameters.
+    #[error("invalid detector config: {reason}")]
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+
+    /// The input has the wrong dimensionality for this detector.
+    #[error("dimension mismatch: detector expects {expected}, got {actual}")]
+    DimensionMismatch {
+        /// Dimensionality the detector was built for.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+
+    /// `score` was called before any reference data was fitted.
+    #[error("detector `{detector}` is not fitted")]
+    NotFitted {
+        /// Name of the detector.
+        detector: &'static str,
+    },
+
+    /// The fitted reference data cannot support scoring (too few rows,
+    /// zero variance, …). Scores are errors here — never NaN.
+    #[error("degenerate reference data: {reason}")]
+    DegenerateInput {
+        /// Why the reference set is unusable.
+        reason: String,
+    },
+
+    /// Two shards disagree on state that must match to merge.
+    #[error("cannot merge detector shards: {reason}")]
+    MergeMismatch {
+        /// What differed between the shards.
+        reason: String,
+    },
+}

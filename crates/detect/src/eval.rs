@@ -1,0 +1,167 @@
+//! ROC / AUROC evaluation of detector scores.
+//!
+//! Convention: detectors emit *suspicion* scores (higher = more
+//! adversarial), adversarial examples are the positive class, and a
+//! threshold classifies `score ≥ t` as adversarial.
+
+use crate::DetectError;
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// The decision threshold (`score ≥ threshold` ⇒ flagged).
+    pub threshold: f64,
+    /// False-positive rate: clean inputs flagged.
+    pub fpr: f64,
+    /// True-positive rate: adversarial inputs flagged.
+    pub tpr: f64,
+}
+
+/// A full threshold sweep plus its area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Operating points from the strictest threshold (nothing flagged) to
+    /// the loosest (everything flagged), monotone in both rates.
+    pub points: Vec<RocPoint>,
+    /// Area under the curve (ties counted half — identical to the
+    /// rank-based [`auroc`]).
+    pub auroc: f64,
+}
+
+fn check_scores(name: &str, scores: &[f64]) -> Result<(), DetectError> {
+    if scores.is_empty() {
+        return Err(DetectError::DegenerateInput {
+            reason: format!("ROC needs at least one {name} score"),
+        });
+    }
+    if let Some(bad) = scores.iter().find(|s| !s.is_finite()) {
+        return Err(DetectError::DegenerateInput {
+            reason: format!("non-finite {name} score {bad}"),
+        });
+    }
+    Ok(())
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic: the
+/// probability that a random adversarial score exceeds a random clean
+/// score, ties counted half. 1.0 = perfect separation, 0.5 = chance.
+///
+/// # Errors
+///
+/// Fails when either sample is empty or contains non-finite scores —
+/// never returns NaN.
+pub fn auroc(clean: &[f64], adv: &[f64]) -> Result<f64, DetectError> {
+    check_scores("clean", clean)?;
+    check_scores("adversarial", adv)?;
+    let mut u = 0.0f64;
+    for &a in adv {
+        for &c in clean {
+            if a > c {
+                u += 1.0;
+            } else if a == c {
+                u += 0.5;
+            }
+        }
+    }
+    Ok(u / (adv.len() as f64 * clean.len() as f64))
+}
+
+/// Sweeps every distinct score as a threshold and returns the operating
+/// points plus the area.
+///
+/// # Errors
+///
+/// Same as [`auroc`].
+pub fn roc_curve(clean: &[f64], adv: &[f64]) -> Result<RocCurve, DetectError> {
+    let area = auroc(clean, adv)?;
+    let mut thresholds: Vec<f64> = clean.iter().chain(adv).copied().collect();
+    thresholds.sort_unstable_by(|a, b| f64::total_cmp(b, a)); // descending
+    thresholds.dedup();
+    let mut points = Vec::with_capacity(thresholds.len() + 1);
+    points.push(RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    });
+    let frac_ge = |scores: &[f64], t: f64| {
+        scores.iter().filter(|&&s| s >= t).count() as f64 / scores.len() as f64
+    };
+    for t in thresholds {
+        points.push(RocPoint {
+            threshold: t,
+            fpr: frac_ge(clean, t),
+            tpr: frac_ge(adv, t),
+        });
+    }
+    Ok(RocCurve {
+        points,
+        auroc: area,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let clean = [0.0, 0.1, 0.2];
+        let adv = [1.0, 2.0, 3.0];
+        assert_eq!(auroc(&clean, &adv).unwrap(), 1.0);
+        assert_eq!(auroc(&adv, &clean).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn all_tied_is_chance() {
+        assert_eq!(auroc(&[0.5, 0.5], &[0.5, 0.5, 0.5]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_mixed_case() {
+        // adv=2 beats clean {1,3}: 1 win + 0 → adv=4 beats both: 2.
+        // U = 3 of 4 pairs → 0.75.
+        assert_eq!(auroc(&[1.0, 3.0], &[2.0, 4.0]).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(auroc(&[], &[1.0]).is_err());
+        assert!(auroc(&[1.0], &[]).is_err());
+        assert!(auroc(&[f64::NAN], &[1.0]).is_err());
+        assert!(auroc(&[1.0], &[f64::INFINITY]).is_err());
+        assert!(roc_curve(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn curve_endpoints_and_monotonicity() {
+        let clean = [0.1, 0.2, 0.15];
+        let adv = [0.8, 0.9];
+        let curve = roc_curve(&clean, &adv).unwrap();
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].fpr >= pair[0].fpr);
+            assert!(pair[1].tpr >= pair[0].tpr);
+            assert!(pair[1].threshold <= pair[0].threshold);
+        }
+        assert_eq!(curve.auroc, 1.0);
+    }
+
+    #[test]
+    fn trapezoid_over_curve_matches_rank_auroc() {
+        // Overlapping scores with ties: the curve's trapezoid area must
+        // equal the Mann–Whitney value.
+        let clean = [0.1, 0.4, 0.4, 0.7];
+        let adv = [0.3, 0.4, 0.8, 0.9];
+        let curve = roc_curve(&clean, &adv).unwrap();
+        let mut trap = 0.0;
+        for pair in curve.points.windows(2) {
+            trap += (pair[1].fpr - pair[0].fpr) * (pair[1].tpr + pair[0].tpr) / 2.0;
+        }
+        let rank = auroc(&clean, &adv).unwrap();
+        assert!((trap - rank).abs() < 1e-12, "{trap} vs {rank}");
+    }
+}

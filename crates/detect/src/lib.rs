@@ -1,0 +1,62 @@
+//! # opad-detect
+//!
+//! The adversarial-example detector zoo, behind one [`Detector`] trait.
+//!
+//! The paper's central claim is that *operational context* changes which
+//! adversarial examples matter; testing that claim needs the OP-density
+//! signal to compete with the literature's detectors inside one harness.
+//! This crate provides that harness:
+//!
+//! * [`Detector`] — fit / merge / score contract with PR-8-style sharding
+//!   laws (merge of row-order shards is **bit-identical** to a
+//!   single-shard fit);
+//! * [`Lid`] — k-NN local intrinsic dimensionality over per-layer
+//!   activations (Ma et al.);
+//! * [`FeatureSqueeze`] — prediction shift under bit-depth quantization
+//!   and median smoothing (Xu et al.);
+//! * [`Magnet`] — PCA reconstruction error (MagNet-style, Meng & Chen);
+//! * [`Dla`] — dense-layer activation z-scores (after Sperl et al.);
+//! * [`OpDensityDetector`] — the paper's own naturalness signal wrapped
+//!   as the fifth zoo member;
+//! * [`auroc`] / [`roc_curve`] — rank-based evaluation, and
+//!   [`score_batch`] — the deterministic parallel scorer.
+//!
+//! # Examples
+//!
+//! ```
+//! use opad_data::{gaussian_clusters, uniform_probs, GaussianClustersConfig};
+//! use opad_detect::{auroc, Detector, Magnet};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let cfg = GaussianClustersConfig::default();
+//! let clean = gaussian_clusters(&cfg, 100, &uniform_probs(3), &mut rng)?;
+//! let mut det = Magnet::new(2, 1)?;
+//! det.fit(&clean)?;
+//! let natural = det.score(&[0.0, 0.0])?;
+//! let hostile = det.score(&[50.0, -50.0])?;
+//! assert!(hostile > natural);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod bench;
+mod detector;
+mod dla;
+mod error;
+mod eval;
+mod lid;
+mod magnet;
+mod opdensity;
+mod squeeze;
+
+pub use bench::DetectBenches;
+pub use detector::{score_batch, Detector};
+pub use dla::Dla;
+pub use error::DetectError;
+pub use eval::{auroc, roc_curve, RocCurve, RocPoint};
+pub use lid::Lid;
+pub use magnet::Magnet;
+pub use opdensity::OpDensityDetector;
+pub use squeeze::FeatureSqueeze;

@@ -1,0 +1,213 @@
+//! Local Intrinsic Dimensionality (LID) detection.
+//!
+//! Ma et al. (ICLR 2018) observed that adversarial examples sit in regions
+//! of higher local intrinsic dimensionality than natural data: an AE must
+//! leave the data manifold to cross a decision boundary, and the
+//! maximum-likelihood LID estimate over k-nearest-neighbour distances in
+//! every layer's activation space picks that up. Score = mean LID estimate
+//! across layers (higher = more adversarial).
+
+use crate::{DetectError, Detector};
+use opad_data::Dataset;
+use opad_nn::Network;
+use opad_tensor::Tensor;
+
+/// Per-layer bank of reference activations (row-major, canonical fit
+/// order).
+#[derive(Debug, Clone)]
+struct LayerBank {
+    width: usize,
+    rows: Vec<f32>,
+}
+
+/// k-NN LID detector over per-layer activations of a fixed network.
+///
+/// `fit` records the activations of clean data at **every** layer tap of
+/// the wrapped network (via `Network::forward_recording`); `score` runs
+/// the query through the same network and averages the maximum-likelihood
+/// LID estimate across layers.
+#[derive(Debug, Clone)]
+pub struct Lid {
+    net: Network,
+    k: usize,
+    dim: usize,
+    banks: Vec<LayerBank>,
+    n: usize,
+}
+
+impl Lid {
+    /// Creates an unfitted LID detector over `net` with neighbourhood
+    /// size `k`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `k == 0` or the network's input width is unknown.
+    pub fn new(net: Network, k: usize) -> Result<Self, DetectError> {
+        if k == 0 {
+            return Err(DetectError::InvalidConfig {
+                reason: "LID neighbourhood size k must be ≥ 1".into(),
+            });
+        }
+        let dim = net.input_dim().ok_or_else(|| DetectError::InvalidConfig {
+            reason: "LID needs a network with a known input width".into(),
+        })?;
+        Ok(Lid {
+            net,
+            k,
+            dim,
+            banks: Vec::new(),
+            n: 0,
+        })
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of reference rows accumulated so far.
+    pub fn reference_len(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum-likelihood LID estimate from a query's activation `a` and a
+    /// bank of reference activations. Returns an error when fewer than
+    /// `k + 1` references exist.
+    fn layer_lid(&self, a: &[f32], bank: &LayerBank) -> Result<f64, DetectError> {
+        let w = bank.width;
+        let n = bank.rows.len() / w;
+        if n < self.k + 1 {
+            return Err(DetectError::DegenerateInput {
+                reason: format!(
+                    "LID with k={} needs ≥ {} reference rows, have {n}",
+                    self.k,
+                    self.k + 1
+                ),
+            });
+        }
+        let mut dists: Vec<f64> = (0..n)
+            .map(|i| {
+                bank.rows[i * w..(i + 1) * w]
+                    .iter()
+                    .zip(a)
+                    .map(|(&r, &q)| {
+                        let d = (r - q) as f64;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        dists.sort_unstable_by(f64::total_cmp);
+        // Skip a zero leading distance (the query coinciding with one
+        // reference) so self-matches during evaluation don't zero out the
+        // estimate, then take the k nearest.
+        let start = usize::from(dists[0] == 0.0 && n > self.k + 1);
+        let knn = &dists[start..start + self.k];
+        let d_k = knn[self.k - 1];
+        if d_k <= 0.0 {
+            // All k neighbours coincide with the query: zero local
+            // dimensionality, minimal suspicion.
+            return Ok(0.0);
+        }
+        let floor = d_k * 1e-12;
+        let sum: f64 = knn.iter().map(|&d| (d.max(floor) / d_k).ln()).sum();
+        // sum ≤ 0; clamp so uniform neighbourhoods give a large finite LID
+        // instead of ∞.
+        Ok(-(self.k as f64) / sum.min(-1e-9))
+    }
+}
+
+impl Detector for Lid {
+    fn name(&self) -> &'static str {
+        "lid"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn fit(&mut self, clean: &Dataset) -> Result<(), DetectError> {
+        if clean.is_empty() {
+            return Err(DetectError::DegenerateInput {
+                reason: "cannot fit LID on an empty dataset".into(),
+            });
+        }
+        if clean.feature_dim() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: clean.feature_dim(),
+            });
+        }
+        let taps = self.net.forward_recording(clean.features())?;
+        if self.banks.is_empty() {
+            self.banks = taps
+                .iter()
+                .map(|t| LayerBank {
+                    width: t.dims()[1],
+                    rows: Vec::new(),
+                })
+                .collect();
+        }
+        for (bank, tap) in self.banks.iter_mut().zip(&taps) {
+            bank.rows.extend_from_slice(tap.as_slice());
+        }
+        self.n += clean.len();
+        opad_telemetry::counter_add("detector.fit_rows", clean.len() as u64);
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), DetectError> {
+        if self.k != other.k || self.dim != other.dim {
+            return Err(DetectError::MergeMismatch {
+                reason: format!(
+                    "LID shards disagree: k {} vs {}, dim {} vs {}",
+                    self.k, other.k, self.dim, other.dim
+                ),
+            });
+        }
+        if other.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            self.banks = other.banks.clone();
+            self.n = other.n;
+        } else {
+            if self.banks.len() != other.banks.len() {
+                return Err(DetectError::MergeMismatch {
+                    reason: "LID shards tapped different layer counts".into(),
+                });
+            }
+            for (mine, theirs) in self.banks.iter_mut().zip(&other.banks) {
+                if mine.width != theirs.width {
+                    return Err(DetectError::MergeMismatch {
+                        reason: "LID shards disagree on a layer width".into(),
+                    });
+                }
+                mine.rows.extend_from_slice(&theirs.rows);
+            }
+            self.n += other.n;
+        }
+        opad_telemetry::counter_add("detector.merges", 1);
+        Ok(())
+    }
+
+    fn score(&self, x: &[f32]) -> Result<f64, DetectError> {
+        if x.len() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        if self.n == 0 {
+            return Err(DetectError::NotFitted { detector: "lid" });
+        }
+        let query = Tensor::from_vec(x.to_vec(), &[1, self.dim])?;
+        let taps = self.net.forward_recording(&query)?;
+        let mut total = 0.0f64;
+        for (bank, tap) in self.banks.iter().zip(&taps) {
+            total += self.layer_lid(tap.as_slice(), bank)?;
+        }
+        Ok(total / self.banks.len() as f64)
+    }
+}

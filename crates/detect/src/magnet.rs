@@ -1,0 +1,161 @@
+//! MagNet-style reconstruction-error detection (Meng & Chen, CCS 2017).
+//!
+//! MagNet trains an autoencoder on clean data and flags inputs whose
+//! reconstruction error is large — adversarial examples lie off the clean
+//! manifold the autoencoder learned. This implementation reuses the
+//! workspace's linear manifold learner (`opmodel::Pca`) as the
+//! reconstructor: score = squared residual outside the top-k principal
+//! subspace of the clean data (higher = more adversarial).
+
+use crate::{DetectError, Detector};
+use opad_data::Dataset;
+use opad_opmodel::Pca;
+use opad_tensor::Tensor;
+
+/// PCA-reconstruction detector.
+///
+/// Raw clean rows are retained in canonical fit order; `merge`
+/// concatenates them and the PCA is recomputed as a pure function of that
+/// order, so sharded fits are bit-identical to a single fit.
+#[derive(Debug, Clone)]
+pub struct Magnet {
+    dim: usize,
+    k: usize,
+    rows: Vec<f32>,
+    n: usize,
+    pca: Option<Pca>,
+}
+
+impl Magnet {
+    /// Creates an unfitted MagNet detector keeping `k` principal
+    /// components of `dim`-dimensional inputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `1 ≤ k ≤ dim`.
+    pub fn new(dim: usize, k: usize) -> Result<Self, DetectError> {
+        if dim == 0 || k == 0 || k > dim {
+            return Err(DetectError::InvalidConfig {
+                reason: format!("MagNet needs 1 ≤ k ≤ dim, got k={k}, dim={dim}"),
+            });
+        }
+        Ok(Magnet {
+            dim,
+            k,
+            rows: Vec::new(),
+            n: 0,
+            pca: None,
+        })
+    }
+
+    /// Number of clean reference rows accumulated.
+    pub fn reference_len(&self) -> usize {
+        self.n
+    }
+
+    /// Recomputes the PCA from the canonical row order. With fewer than 2
+    /// rows or zero variance the reconstructor stays unfitted (scoring
+    /// then reports the degeneracy instead of producing NaN).
+    fn derive(&mut self) -> Result<(), DetectError> {
+        self.pca = None;
+        if self.n < 2 {
+            return Ok(());
+        }
+        let d = self.dim;
+        let mut mean = vec![0.0f64; d];
+        for row in self.rows.chunks_exact(d) {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.n as f64;
+        }
+        let mut ss = 0.0f64;
+        for row in self.rows.chunks_exact(d) {
+            for (m, &v) in mean.iter().zip(row) {
+                let dev = v as f64 - m;
+                ss += dev * dev;
+            }
+        }
+        if ss <= 0.0 {
+            return Ok(()); // constant data: no manifold to reconstruct
+        }
+        let data = Tensor::from_vec(self.rows.clone(), &[self.n, d])?;
+        self.pca = Some(Pca::fit(&data, self.k)?);
+        Ok(())
+    }
+
+    /// The fitted reconstructor, or the precise reason there isn't one.
+    fn pca_or_err(&self, x: &[f32]) -> Result<&Pca, DetectError> {
+        if x.len() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        if self.n == 0 {
+            return Err(DetectError::NotFitted { detector: "magnet" });
+        }
+        self.pca
+            .as_ref()
+            .ok_or_else(|| DetectError::DegenerateInput {
+                reason: if self.n < 2 {
+                    format!("MagNet needs ≥ 2 reference rows, have {}", self.n)
+                } else {
+                    "reference data has zero variance".into()
+                },
+            })
+    }
+}
+
+impl Detector for Magnet {
+    fn name(&self) -> &'static str {
+        "magnet"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn fit(&mut self, clean: &Dataset) -> Result<(), DetectError> {
+        if clean.is_empty() {
+            return Err(DetectError::DegenerateInput {
+                reason: "cannot fit MagNet on an empty dataset".into(),
+            });
+        }
+        if clean.feature_dim() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: clean.feature_dim(),
+            });
+        }
+        self.rows.extend_from_slice(clean.features().as_slice());
+        self.n += clean.len();
+        opad_telemetry::counter_add("detector.fit_rows", clean.len() as u64);
+        self.derive()
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), DetectError> {
+        if self.dim != other.dim || self.k != other.k {
+            return Err(DetectError::MergeMismatch {
+                reason: format!(
+                    "MagNet shards disagree: dim {} vs {}, k {} vs {}",
+                    self.dim, other.dim, self.k, other.k
+                ),
+            });
+        }
+        self.rows.extend_from_slice(&other.rows);
+        self.n += other.n;
+        opad_telemetry::counter_add("detector.merges", 1);
+        self.derive()
+    }
+
+    fn score(&self, x: &[f32]) -> Result<f64, DetectError> {
+        Ok(self.pca_or_err(x)?.reconstruction_error(x)?)
+    }
+
+    fn score_gradient(&self, x: &[f32]) -> Result<Vec<f32>, DetectError> {
+        Ok(self.pca_or_err(x)?.reconstruction_error_gradient(x)?)
+    }
+}

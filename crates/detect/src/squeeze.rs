@@ -1,0 +1,188 @@
+//! Feature-squeezing detection (Xu et al., NDSS 2018).
+//!
+//! Squeeze the input — reduce bit depth, smooth locally — and compare the
+//! model's prediction on the squeezed input with its prediction on the
+//! original. Natural inputs barely move; adversarial perturbations, which
+//! live in the high-frequency residue the squeezers destroy, move a lot.
+//! Score = max over squeezers of the L1 distance between the two softmax
+//! vectors (higher = more adversarial).
+
+use crate::{DetectError, Detector};
+use opad_data::Dataset;
+use opad_nn::{softmax, Network};
+use opad_tensor::Tensor;
+
+/// Prediction-shift-under-squeezing detector.
+///
+/// The fitted state is the per-feature range of clean data (elementwise
+/// min/max — the one detector whose merge is a pure lattice join, bit-exact
+/// and order-free), which calibrates the bit-depth quantizer.
+#[derive(Debug, Clone)]
+pub struct FeatureSqueeze {
+    net: Network,
+    bits: u32,
+    window: usize,
+    dim: usize,
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+    n: usize,
+}
+
+impl FeatureSqueeze {
+    /// Creates an unfitted feature-squeezing detector: `bits` of precision
+    /// for the quantizer, `window`-wide (odd) median smoothing.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `1 ≤ bits ≤ 16`, `window` is odd, and the network's
+    /// input width is known.
+    pub fn new(net: Network, bits: u32, window: usize) -> Result<Self, DetectError> {
+        if !(1..=16).contains(&bits) {
+            return Err(DetectError::InvalidConfig {
+                reason: format!("squeeze bit depth must be in 1..=16, got {bits}"),
+            });
+        }
+        if window % 2 == 0 {
+            return Err(DetectError::InvalidConfig {
+                reason: format!("median window must be odd, got {window}"),
+            });
+        }
+        let dim = net.input_dim().ok_or_else(|| DetectError::InvalidConfig {
+            reason: "feature squeezing needs a network with a known input width".into(),
+        })?;
+        Ok(FeatureSqueeze {
+            net,
+            bits,
+            window,
+            dim,
+            lo: vec![f32::INFINITY; dim],
+            hi: vec![f32::NEG_INFINITY; dim],
+            n: 0,
+        })
+    }
+
+    /// Number of clean rows the range calibration has seen.
+    pub fn reference_len(&self) -> usize {
+        self.n
+    }
+
+    /// Bit-depth squeezer: snap each feature to `2^bits − 1` levels of the
+    /// calibrated clean range. Zero-range features pass through.
+    fn quantize(&self, x: &[f32]) -> Vec<f32> {
+        let levels = ((1u32 << self.bits) - 1) as f32;
+        x.iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let (lo, hi) = (self.lo[j], self.hi[j]);
+                let range = hi - lo;
+                if range <= 0.0 {
+                    v
+                } else {
+                    let t = ((v - lo) / range).clamp(0.0, 1.0);
+                    lo + (t * levels).round() / levels * range
+                }
+            })
+            .collect()
+    }
+
+    /// Median smoothing over the feature axis with replicated edges.
+    fn median_smooth(&self, x: &[f32]) -> Vec<f32> {
+        let half = (self.window / 2) as isize;
+        let d = x.len() as isize;
+        let mut buf = Vec::with_capacity(self.window);
+        (0..d)
+            .map(|j| {
+                buf.clear();
+                for off in -half..=half {
+                    buf.push(x[(j + off).clamp(0, d - 1) as usize]);
+                }
+                buf.sort_unstable_by(f32::total_cmp);
+                buf[buf.len() / 2]
+            })
+            .collect()
+    }
+
+    /// Softmax prediction of the wrapped network on one input.
+    fn predict(&self, x: &[f32]) -> Result<Vec<f64>, DetectError> {
+        let t = Tensor::from_vec(x.to_vec(), &[1, self.dim])?;
+        let logits = self.net.forward_infer(&t)?;
+        let probs = softmax(&logits)?;
+        Ok(probs.as_slice().iter().map(|&p| p as f64).collect())
+    }
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+impl Detector for FeatureSqueeze {
+    fn name(&self) -> &'static str {
+        "feature_squeeze"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn fit(&mut self, clean: &Dataset) -> Result<(), DetectError> {
+        if clean.is_empty() {
+            return Err(DetectError::DegenerateInput {
+                reason: "cannot calibrate squeezers on an empty dataset".into(),
+            });
+        }
+        if clean.feature_dim() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: clean.feature_dim(),
+            });
+        }
+        let xs = clean.features().as_slice();
+        for row in xs.chunks_exact(self.dim) {
+            for (j, &v) in row.iter().enumerate() {
+                self.lo[j] = self.lo[j].min(v);
+                self.hi[j] = self.hi[j].max(v);
+            }
+        }
+        self.n += clean.len();
+        opad_telemetry::counter_add("detector.fit_rows", clean.len() as u64);
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), DetectError> {
+        if self.bits != other.bits || self.window != other.window || self.dim != other.dim {
+            return Err(DetectError::MergeMismatch {
+                reason: "feature-squeeze shards disagree on bits/window/dim".into(),
+            });
+        }
+        for j in 0..self.dim {
+            self.lo[j] = self.lo[j].min(other.lo[j]);
+            self.hi[j] = self.hi[j].max(other.hi[j]);
+        }
+        self.n += other.n;
+        opad_telemetry::counter_add("detector.merges", 1);
+        Ok(())
+    }
+
+    fn score(&self, x: &[f32]) -> Result<f64, DetectError> {
+        if x.len() != self.dim {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        if self.n == 0 {
+            return Err(DetectError::NotFitted {
+                detector: "feature_squeeze",
+            });
+        }
+        if self.lo.iter().zip(&self.hi).all(|(l, h)| h - l <= 0.0) {
+            return Err(DetectError::DegenerateInput {
+                reason: "every feature is constant in the calibration data".into(),
+            });
+        }
+        let p0 = self.predict(x)?;
+        let p_quant = self.predict(&self.quantize(x))?;
+        let p_smooth = self.predict(&self.median_smooth(x))?;
+        Ok(l1(&p0, &p_quant).max(l1(&p0, &p_smooth)))
+    }
+}

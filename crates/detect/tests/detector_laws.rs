@@ -1,0 +1,357 @@
+//! Cross-detector laws: every member of the zoo must (1) score
+//! deterministically at any `OPAD_THREADS` setting, (2) keep sharded
+//! fit-then-merge **bit-identical** to a single-shard fit at shard counts
+//! {1, 2, 4, 8} — the same contract `opmodel`'s sufficient statistics obey
+//! in `merge_laws.rs` — and (3) rank clearly-perturbed inputs above the
+//! clean data they were fitted on.
+//!
+//! Generators are deterministic closed forms and the network weights are
+//! hand-written constants; no RNG crate is involved, so the laws hold
+//! identically on every platform and thread count.
+
+use opad_data::Dataset;
+use opad_detect::{score_batch, Detector, Dla, FeatureSqueeze, Lid, Magnet, OpDensityDetector};
+use opad_nn::{Activation, ActivationLayer, Dense, Layer, Network};
+use opad_opmodel::{Gmm, GmmComponent};
+use opad_tensor::Tensor;
+
+const N: usize = 48;
+
+/// A deterministic [n, 2] point cloud lying exactly on the line
+/// `y = -x / 2` (the same closed form as `opmodel`'s merge-law cloud), so
+/// the PCA reconstructor has a perfect rank-1 manifold to learn.
+fn cloud(seed: u64, n: usize) -> Tensor {
+    Tensor::from_fn(&[n, 2], |ix| {
+        let t = (ix[0] as u64).wrapping_mul(2654435761).wrapping_add(seed) % 997;
+        let v = t as f32 / 997.0 * 8.0 - 4.0;
+        if ix[1] == 0 {
+            v
+        } else {
+            -v * 0.5
+        }
+    })
+}
+
+fn labels_for(n: usize) -> Vec<usize> {
+    (0..n).map(|i| i % 3).collect()
+}
+
+fn dataset(seed: u64, n: usize) -> Dataset {
+    Dataset::new(cloud(seed, n), labels_for(n), 3).expect("closed-form dataset is valid")
+}
+
+/// A fixed-weight 2 → 3 → 3 ReLU MLP. Hand-written parameters keep every
+/// forward pass a pure closed form.
+fn fixed_net() -> Network {
+    let w1 = Tensor::from_vec(vec![1.0, 0.0, 0.5, 0.0, 1.0, -0.5], &[2, 3]).unwrap();
+    let b1 = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap();
+    let w2 =
+        Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0, 1.0, 0.0, -1.0, 0.0, 1.0], &[3, 3]).unwrap();
+    let b2 = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[3]).unwrap();
+    Network::new(vec![
+        Layer::Dense(Dense::from_params(w1, b1).unwrap()),
+        Layer::Activation(ActivationLayer::new(Activation::Relu)),
+        Layer::Dense(Dense::from_params(w2, b2).unwrap()),
+    ])
+    .expect("fixed layer stack is valid")
+}
+
+fn gmm() -> Gmm {
+    Gmm::from_components(vec![GmmComponent {
+        weight: 1.0,
+        mean: vec![0.0, 0.0],
+        std: 2.0,
+    }])
+    .unwrap()
+}
+
+/// Probe points: two on the clean manifold, two off it.
+fn queries() -> Vec<[f32; 2]> {
+    vec![[0.5, -0.25], [-2.0, 1.0], [3.0, 3.0], [0.6, 1.2]]
+}
+
+/// Splits the canonical dataset into `shards` row-order chunks
+/// (`div_ceil` geometry, mirroring `shard_ranges`), skipping empty tails.
+fn shard_datasets(data: &Tensor, labels: &[usize], shards: usize) -> Vec<Dataset> {
+    let n = data.dims()[0];
+    let d = data.dims()[1];
+    let chunk = n.div_ceil(shards);
+    let mut out = Vec::new();
+    for s in 0..shards {
+        let lo = (s * chunk).min(n);
+        let hi = ((s + 1) * chunk).min(n);
+        if lo == hi {
+            continue;
+        }
+        let rows = data.as_slice()[lo * d..hi * d].to_vec();
+        let features = Tensor::from_vec(rows, &[hi - lo, d]).unwrap();
+        out.push(Dataset::new(features, labels[lo..hi].to_vec(), 3).unwrap());
+    }
+    out
+}
+
+/// The shard law: fit one detector per row-order shard, fold the shards in
+/// order into a fresh detector, and demand bitwise score equality with a
+/// single fit over the whole set.
+fn assert_shard_law<D: Detector>(make: impl Fn() -> D, name: &str) {
+    let whole_ds = dataset(1, N);
+    let mut whole = make();
+    whole.fit(&whole_ds).unwrap();
+    for shards in [1usize, 2, 4, 8] {
+        let mut merged = make();
+        for shard in shard_datasets(whole_ds.features(), whole_ds.labels(), shards) {
+            let mut part = make();
+            part.fit(&shard).unwrap();
+            merged.merge(&part).unwrap();
+        }
+        for q in queries() {
+            let a = whole.score(&q).unwrap();
+            let b = merged.score(&q).unwrap();
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}: {shards}-shard merge diverged at {q:?}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lid_shard_merge_matches_single_fit_bitwise() {
+    assert_shard_law(|| Lid::new(fixed_net(), 5).unwrap(), "lid");
+}
+
+#[test]
+fn squeeze_shard_merge_matches_single_fit_bitwise() {
+    assert_shard_law(
+        || FeatureSqueeze::new(fixed_net(), 4, 3).unwrap(),
+        "feature_squeeze",
+    );
+}
+
+#[test]
+fn magnet_shard_merge_matches_single_fit_bitwise() {
+    assert_shard_law(|| Magnet::new(2, 1).unwrap(), "magnet");
+}
+
+#[test]
+fn dla_shard_merge_matches_single_fit_bitwise() {
+    assert_shard_law(|| Dla::new(fixed_net()).unwrap(), "dla");
+}
+
+#[test]
+fn op_density_merge_wants_identical_densities() {
+    let mut a = OpDensityDetector::new(gmm());
+    let b = OpDensityDetector::new(gmm());
+    a.fit(&dataset(1, 8)).unwrap();
+    let before: Vec<u64> = queries()
+        .iter()
+        .map(|q| a.score(q).unwrap().to_bits())
+        .collect();
+    a.merge(&b).unwrap();
+    let after: Vec<u64> = queries()
+        .iter()
+        .map(|q| a.score(q).unwrap().to_bits())
+        .collect();
+    assert_eq!(
+        before, after,
+        "merging an identical density must be a no-op"
+    );
+
+    let other = OpDensityDetector::new(
+        Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![1.0, 1.0],
+            std: 2.0,
+        }])
+        .unwrap(),
+    );
+    assert!(
+        a.merge(&other).is_err(),
+        "different densities must not merge"
+    );
+}
+
+#[test]
+fn repeated_fit_appends_exactly_like_one_fit() {
+    // fit(A); fit(B) must equal fit(A ∪ B) bit-for-bit — the accumulation
+    // face of the same canonical-row-order contract the shard law pins.
+    let (a, b) = (dataset(2, 20), dataset(3, 28));
+    let mut rows = a.features().as_slice().to_vec();
+    rows.extend_from_slice(b.features().as_slice());
+    let mut lab = a.labels().to_vec();
+    lab.extend_from_slice(b.labels());
+    let union = Dataset::new(Tensor::from_vec(rows, &[48, 2]).unwrap(), lab, 3).unwrap();
+
+    let mut twice = Magnet::new(2, 1).unwrap();
+    twice.fit(&a).unwrap();
+    twice.fit(&b).unwrap();
+    let mut once = Magnet::new(2, 1).unwrap();
+    once.fit(&union).unwrap();
+    assert_eq!(twice.reference_len(), 48);
+    for q in queries() {
+        assert_eq!(
+            twice.score(&q).unwrap().to_bits(),
+            once.score(&q).unwrap().to_bits(),
+            "incremental fit diverged from union fit at {q:?}"
+        );
+    }
+}
+
+fn assert_merge_identity<D: Detector>(make: impl Fn() -> D, name: &str) {
+    let ds = dataset(4, N);
+    let mut det = make();
+    det.fit(&ds).unwrap();
+    let before: Vec<u64> = queries()
+        .iter()
+        .map(|q| det.score(q).unwrap().to_bits())
+        .collect();
+    det.merge(&make()).unwrap();
+    let after: Vec<u64> = queries()
+        .iter()
+        .map(|q| det.score(q).unwrap().to_bits())
+        .collect();
+    assert_eq!(before, after, "{name}: right identity broken");
+
+    // Left identity: folding a fitted shard into a fresh detector.
+    let mut fresh = make();
+    let mut fitted = make();
+    fitted.fit(&ds).unwrap();
+    fresh.merge(&fitted).unwrap();
+    let via_fresh: Vec<u64> = queries()
+        .iter()
+        .map(|q| fresh.score(q).unwrap().to_bits())
+        .collect();
+    assert_eq!(before, via_fresh, "{name}: left identity broken");
+}
+
+#[test]
+fn merging_an_unfitted_detector_is_the_identity() {
+    assert_merge_identity(|| Lid::new(fixed_net(), 5).unwrap(), "lid");
+    assert_merge_identity(
+        || FeatureSqueeze::new(fixed_net(), 4, 3).unwrap(),
+        "feature_squeeze",
+    );
+    assert_merge_identity(|| Magnet::new(2, 1).unwrap(), "magnet");
+    assert_merge_identity(|| Dla::new(fixed_net()).unwrap(), "dla");
+}
+
+#[test]
+fn squeeze_merge_commutes_and_all_merges_associate() {
+    // FeatureSqueeze's fitted state is an elementwise min/max lattice join:
+    // the one merge in the zoo that is fully order-free.
+    let (da, db) = (dataset(5, 16), dataset(6, 16));
+    let fit_on = |ds: &Dataset| {
+        let mut s = FeatureSqueeze::new(fixed_net(), 4, 3).unwrap();
+        s.fit(ds).unwrap();
+        s
+    };
+    let mut ab = fit_on(&da);
+    ab.merge(&fit_on(&db)).unwrap();
+    let mut ba = fit_on(&db);
+    ba.merge(&fit_on(&da)).unwrap();
+    for q in queries() {
+        assert_eq!(
+            ab.score(&q).unwrap().to_bits(),
+            ba.score(&q).unwrap().to_bits(),
+            "squeeze merge must commute"
+        );
+    }
+
+    // Ordered-concatenation merges associate exactly: (A·B)·C and A·(B·C)
+    // build the same canonical row order.
+    let dc = dataset(7, 16);
+    let parts = |ds: &Dataset| {
+        let mut m = Magnet::new(2, 1).unwrap();
+        m.fit(ds).unwrap();
+        m
+    };
+    let mut left = parts(&da);
+    left.merge(&parts(&db)).unwrap();
+    left.merge(&parts(&dc)).unwrap();
+    let mut bc = parts(&db);
+    bc.merge(&parts(&dc)).unwrap();
+    let mut right = parts(&da);
+    right.merge(&bc).unwrap();
+    for q in queries() {
+        assert_eq!(
+            left.score(&q).unwrap().to_bits(),
+            right.score(&q).unwrap().to_bits(),
+            "magnet merge must associate"
+        );
+    }
+}
+
+fn assert_thread_invariance<D: Detector + Sync>(make: impl Fn() -> D, name: &str) {
+    let ds = dataset(8, N);
+    let probe = cloud(9, 24);
+    let mut det = make();
+    det.fit(&ds).unwrap();
+    let bits = |threads: usize| -> Vec<u64> {
+        let _pin = opad_par::override_threads(threads);
+        score_batch(&det, &probe)
+            .unwrap()
+            .iter()
+            .map(|s| s.to_bits())
+            .collect()
+    };
+    let baseline = bits(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            baseline,
+            bits(threads),
+            "{name}: scores moved at {threads} threads"
+        );
+    }
+    // Scoring is a pure function: a repeated call reproduces the bits.
+    assert_eq!(baseline, bits(1), "{name}: repeated scoring diverged");
+}
+
+#[test]
+fn scores_are_deterministic_across_thread_counts() {
+    assert_thread_invariance(|| Lid::new(fixed_net(), 5).unwrap(), "lid");
+    assert_thread_invariance(
+        || FeatureSqueeze::new(fixed_net(), 4, 3).unwrap(),
+        "feature_squeeze",
+    );
+    assert_thread_invariance(|| Magnet::new(2, 1).unwrap(), "magnet");
+    assert_thread_invariance(|| Dla::new(fixed_net()).unwrap(), "dla");
+    assert_thread_invariance(|| OpDensityDetector::new(gmm()), "op_density");
+}
+
+fn assert_monotone<D: Detector + Sync>(make: impl Fn() -> D, name: &str) {
+    // Monotonicity: push every clean point off the manifold along the
+    // direction orthogonal to the data line and the mean suspicion score
+    // must rise.
+    let ds = dataset(10, N);
+    let clean = ds.features().clone();
+    let adv = Tensor::from_fn(&[N, 2], |ix| {
+        let v = clean.as_slice()[ix[0] * 2 + ix[1]];
+        // (0.5, 1.0) ⟂ (1.0, -0.5): leaves the line, stays finite.
+        v + if ix[1] == 0 { 0.5 * 6.0 } else { 1.0 * 6.0 }
+    });
+    let mut det = make();
+    det.fit(&ds).unwrap();
+    let mean = |t: &Tensor| -> f64 {
+        let s = score_batch(&det, t).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()), "{name}: non-finite score");
+        s.iter().sum::<f64>() / s.len() as f64
+    };
+    let (mc, ma) = (mean(&clean), mean(&adv));
+    assert!(
+        ma > mc,
+        "{name}: perturbed mean score {ma} not above clean mean {mc}"
+    );
+}
+
+#[test]
+fn perturbed_inputs_outscore_the_clean_manifold() {
+    assert_monotone(|| Lid::new(fixed_net(), 5).unwrap(), "lid");
+    assert_monotone(
+        || FeatureSqueeze::new(fixed_net(), 4, 3).unwrap(),
+        "feature_squeeze",
+    );
+    assert_monotone(|| Magnet::new(2, 1).unwrap(), "magnet");
+    assert_monotone(|| Dla::new(fixed_net()).unwrap(), "dla");
+    assert_monotone(|| OpDensityDetector::new(gmm()), "op_density");
+}

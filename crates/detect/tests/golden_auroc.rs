@@ -1,0 +1,343 @@
+//! Golden ROC/AUROC pins and the degenerate-input suite.
+//!
+//! The separable fixture is closed-form (clean data exactly on a line,
+//! adversarial points pushed off it orthogonally), so the rank-based
+//! AUROC of the reconstruction and density detectors is *exactly* 1.0 —
+//! pinned with `assert_eq!`, not a tolerance. The degenerate suite pins
+//! the other half of the [`opad_detect::Detector`] contract: constant
+//! features, single samples, empty fits and unfitted scoring produce
+//! typed errors (or defined finite values), never NaN.
+
+use opad_data::Dataset;
+use opad_detect::{
+    auroc, roc_curve, score_batch, DetectError, Detector, Dla, FeatureSqueeze, Lid, Magnet,
+    OpDensityDetector,
+};
+use opad_nn::{Activation, ActivationLayer, Dense, Layer, Network};
+use opad_opmodel::{Gmm, GmmComponent};
+use opad_tensor::Tensor;
+
+const N: usize = 48;
+
+/// Deterministic clean cloud exactly on the line `y = -x / 2`.
+fn cloud(seed: u64, n: usize) -> Tensor {
+    Tensor::from_fn(&[n, 2], |ix| {
+        let t = (ix[0] as u64).wrapping_mul(2654435761).wrapping_add(seed) % 997;
+        let v = t as f32 / 997.0 * 8.0 - 4.0;
+        if ix[1] == 0 {
+            v
+        } else {
+            -v * 0.5
+        }
+    })
+}
+
+fn dataset(seed: u64, n: usize) -> Dataset {
+    Dataset::new(cloud(seed, n), (0..n).map(|i| i % 3).collect(), 3).unwrap()
+}
+
+/// Every clean point shifted by the off-manifold direction `(1.5, 3.0)`
+/// (orthogonal to the data line, norm > the widest clean excursion).
+fn adversarial(seed: u64, n: usize) -> Tensor {
+    let base = cloud(seed, n);
+    Tensor::from_fn(&[n, 2], |ix| {
+        base.as_slice()[ix[0] * 2 + ix[1]] + if ix[1] == 0 { 1.5 } else { 3.0 }
+    })
+}
+
+fn fixed_net() -> Network {
+    let w1 = Tensor::from_vec(vec![1.0, 0.0, 0.5, 0.0, 1.0, -0.5], &[2, 3]).unwrap();
+    let b1 = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap();
+    let w2 =
+        Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0, 1.0, 0.0, -1.0, 0.0, 1.0], &[3, 3]).unwrap();
+    let b2 = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[3]).unwrap();
+    Network::new(vec![
+        Layer::Dense(Dense::from_params(w1, b1).unwrap()),
+        Layer::Activation(ActivationLayer::new(Activation::Relu)),
+        Layer::Dense(Dense::from_params(w2, b2).unwrap()),
+    ])
+    .unwrap()
+}
+
+fn gmm() -> Gmm {
+    Gmm::from_components(vec![GmmComponent {
+        weight: 1.0,
+        mean: vec![0.0, 0.0],
+        std: 2.0,
+    }])
+    .unwrap()
+}
+
+fn sweep<D: Detector + Sync>(det: &D) -> (Vec<f64>, Vec<f64>) {
+    let clean = score_batch(det, &cloud(21, N)).unwrap();
+    let adv = score_batch(det, &adversarial(21, N)).unwrap();
+    for s in clean.iter().chain(&adv) {
+        assert!(s.is_finite(), "{}: non-finite score {s}", det.name());
+    }
+    (clean, adv)
+}
+
+#[test]
+fn magnet_auroc_is_exactly_one_on_separable_data() {
+    // Clean points lie exactly on the rank-1 manifold the PCA learns —
+    // residuals are fp dust — while each adversarial residual is ≈ the
+    // squared orthogonal shift (1.5² + 3² = 11.25). Perfect ranking.
+    let mut det = Magnet::new(2, 1).unwrap();
+    det.fit(&dataset(20, N)).unwrap();
+    let (clean, adv) = sweep(&det);
+    assert_eq!(auroc(&clean, &adv).unwrap(), 1.0);
+    assert!(
+        adv.iter().all(|&s| s > 10.0),
+        "adv residual ≈ 11.25 expected"
+    );
+    assert!(clean.iter().all(|&s| s < 1e-3), "clean residual is fp dust");
+}
+
+#[test]
+fn op_density_auroc_is_exactly_one_on_separable_data() {
+    // Under the isotropic Gaussian at the origin the density is monotone
+    // in ‖x‖, and the orthogonal shift makes every adversarial norm
+    // exceed every clean norm — so the ranking is again perfect.
+    let mut det = OpDensityDetector::new(gmm());
+    det.fit(&dataset(20, N)).unwrap();
+    let (clean, adv) = sweep(&det);
+    assert_eq!(auroc(&clean, &adv).unwrap(), 1.0);
+}
+
+#[test]
+fn every_detector_separates_the_golden_fixture() {
+    let ds = dataset(20, N);
+    let check = |clean: Vec<f64>, adv: Vec<f64>, name: &str| {
+        let a = auroc(&clean, &adv).unwrap();
+        assert!(a >= 0.9, "{name}: AUROC {a} below the 0.9 floor");
+        let curve = roc_curve(&clean, &adv).unwrap();
+        assert_eq!(curve.auroc, a);
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    };
+    let mut lid = Lid::new(fixed_net(), 5).unwrap();
+    lid.fit(&ds).unwrap();
+    let (c, a) = sweep(&lid);
+    check(c, a, "lid");
+
+    let mut squeeze = FeatureSqueeze::new(fixed_net(), 4, 3).unwrap();
+    squeeze.fit(&ds).unwrap();
+    let (c, a) = sweep(&squeeze);
+    check(c, a, "feature_squeeze");
+
+    let mut dla = Dla::new(fixed_net()).unwrap();
+    dla.fit(&ds).unwrap();
+    let (c, a) = sweep(&dla);
+    check(c, a, "dla");
+}
+
+#[test]
+fn roc_curve_golden_hand_computed() {
+    // 16 pairs, 15 adversarial wins → AUROC 15/16. Every operating point
+    // below is a hand-derived exact fraction.
+    let clean = [0.1, 0.2, 0.3, 0.4];
+    let adv = [0.35, 0.5, 0.6, 0.7];
+    let curve = roc_curve(&clean, &adv).unwrap();
+    assert_eq!(curve.auroc, 0.9375);
+    let expect: Vec<(f64, f64, f64)> = vec![
+        (f64::INFINITY, 0.0, 0.0),
+        (0.7, 0.0, 0.25),
+        (0.6, 0.0, 0.5),
+        (0.5, 0.0, 0.75),
+        (0.4, 0.25, 0.75),
+        (0.35, 0.25, 1.0),
+        (0.3, 0.5, 1.0),
+        (0.2, 0.75, 1.0),
+        (0.1, 1.0, 1.0),
+    ];
+    assert_eq!(curve.points.len(), expect.len());
+    for (p, (t, fpr, tpr)) in curve.points.iter().zip(&expect) {
+        assert_eq!((p.threshold, p.fpr, p.tpr), (*t, *fpr, *tpr));
+    }
+}
+
+// ---- degenerate-input suite: typed errors, never NaN ----
+
+fn constant_dataset(n: usize) -> Dataset {
+    Dataset::new(Tensor::full(&[n, 2], 1.0), vec![0; n], 3).unwrap()
+}
+
+fn empty_dataset() -> Dataset {
+    Dataset::new(Tensor::from_vec(vec![], &[0, 2]).unwrap(), vec![], 3).unwrap()
+}
+
+#[test]
+fn constant_features_are_reported_not_nan() {
+    let ds = constant_dataset(8);
+
+    let mut magnet = Magnet::new(2, 1).unwrap();
+    magnet.fit(&ds).unwrap();
+    assert!(matches!(
+        magnet.score(&[1.0, 1.0]),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+
+    let mut dla = Dla::new(fixed_net()).unwrap();
+    dla.fit(&ds).unwrap();
+    assert!(matches!(
+        dla.score(&[1.0, 1.0]),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+
+    let mut squeeze = FeatureSqueeze::new(fixed_net(), 4, 3).unwrap();
+    squeeze.fit(&ds).unwrap();
+    assert!(matches!(
+        squeeze.score(&[1.0, 1.0]),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+
+    // LID defines the collapsed neighbourhood: coincident references give
+    // zero local dimensionality, and a distinct query sees a uniform
+    // (huge but finite) one. Neither is NaN.
+    let mut lid = Lid::new(fixed_net(), 5).unwrap();
+    lid.fit(&ds).unwrap();
+    assert_eq!(lid.score(&[1.0, 1.0]).unwrap(), 0.0);
+    assert!(lid.score(&[2.0, -1.0]).unwrap().is_finite());
+}
+
+#[test]
+fn single_sample_fits_cannot_support_scores() {
+    let one = dataset(30, 1);
+
+    let mut magnet = Magnet::new(2, 1).unwrap();
+    magnet.fit(&one).unwrap();
+    assert!(matches!(
+        magnet.score(&[0.0, 0.0]),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+
+    let mut dla = Dla::new(fixed_net()).unwrap();
+    dla.fit(&one).unwrap();
+    assert!(matches!(
+        dla.score(&[0.0, 0.0]),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+
+    let mut squeeze = FeatureSqueeze::new(fixed_net(), 4, 3).unwrap();
+    squeeze.fit(&one).unwrap();
+    assert!(matches!(
+        squeeze.score(&[0.0, 0.0]),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+
+    let mut lid = Lid::new(fixed_net(), 5).unwrap();
+    lid.fit(&one).unwrap();
+    assert!(matches!(
+        lid.score(&[0.0, 0.0]),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+}
+
+#[test]
+fn empty_fit_is_an_error_for_the_whole_zoo() {
+    let empty = empty_dataset();
+    assert!(matches!(
+        Lid::new(fixed_net(), 5).unwrap().fit(&empty),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+    assert!(matches!(
+        FeatureSqueeze::new(fixed_net(), 4, 3).unwrap().fit(&empty),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+    assert!(matches!(
+        Magnet::new(2, 1).unwrap().fit(&empty),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+    assert!(matches!(
+        Dla::new(fixed_net()).unwrap().fit(&empty),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+    assert!(matches!(
+        OpDensityDetector::new(gmm()).fit(&empty),
+        Err(DetectError::DegenerateInput { .. })
+    ));
+}
+
+#[test]
+fn scoring_before_fit_is_not_fitted() {
+    let x = [0.0f32, 0.0];
+    assert!(matches!(
+        Lid::new(fixed_net(), 5).unwrap().score(&x),
+        Err(DetectError::NotFitted { detector: "lid" })
+    ));
+    assert!(matches!(
+        FeatureSqueeze::new(fixed_net(), 4, 3).unwrap().score(&x),
+        Err(DetectError::NotFitted {
+            detector: "feature_squeeze"
+        })
+    ));
+    assert!(matches!(
+        Magnet::new(2, 1).unwrap().score(&x),
+        Err(DetectError::NotFitted { detector: "magnet" })
+    ));
+    assert!(matches!(
+        Dla::new(fixed_net()).unwrap().score(&x),
+        Err(DetectError::NotFitted { detector: "dla" })
+    ));
+}
+
+#[test]
+fn dimension_mismatches_are_typed() {
+    let mut magnet = Magnet::new(2, 1).unwrap();
+    magnet.fit(&dataset(31, 8)).unwrap();
+    assert!(matches!(
+        magnet.score(&[1.0, 2.0, 3.0]),
+        Err(DetectError::DimensionMismatch {
+            expected: 2,
+            actual: 3
+        })
+    ));
+    let three_wide = Dataset::new(Tensor::full(&[4, 3], 0.5), vec![0; 4], 3).unwrap();
+    assert!(matches!(
+        magnet.fit(&three_wide),
+        Err(DetectError::DimensionMismatch {
+            expected: 2,
+            actual: 3
+        })
+    ));
+    assert!(matches!(
+        score_batch(&magnet, three_wide.features()),
+        Err(DetectError::DimensionMismatch {
+            expected: 2,
+            actual: 3
+        })
+    ));
+}
+
+#[test]
+fn fitted_detectors_stay_finite_across_a_wide_probe_grid() {
+    let ds = dataset(32, N);
+    let grid = Tensor::from_fn(&[25, 2], |ix| {
+        let (i, j) = (ix[0] / 5, ix[0] % 5);
+        let v = [-50.0f32, -7.5, 0.0, 7.5, 50.0];
+        if ix[1] == 0 {
+            v[i]
+        } else {
+            v[j]
+        }
+    });
+    let mut lid = Lid::new(fixed_net(), 5).unwrap();
+    lid.fit(&ds).unwrap();
+    let mut squeeze = FeatureSqueeze::new(fixed_net(), 4, 3).unwrap();
+    squeeze.fit(&ds).unwrap();
+    let mut magnet = Magnet::new(2, 1).unwrap();
+    magnet.fit(&ds).unwrap();
+    let mut dla = Dla::new(fixed_net()).unwrap();
+    dla.fit(&ds).unwrap();
+    for s in score_batch(&lid, &grid)
+        .unwrap()
+        .into_iter()
+        .chain(score_batch(&squeeze, &grid).unwrap())
+        .chain(score_batch(&magnet, &grid).unwrap())
+        .chain(score_batch(&dla, &grid).unwrap())
+    {
+        assert!(s.is_finite(), "detector emitted non-finite score {s}");
+    }
+}

@@ -104,6 +104,12 @@ impl ActivationLayer {
         if training {
             self.cached_input = Some(x.clone());
         }
+        self.forward_infer(x)
+    }
+
+    /// Immutable inference pass: the same elementwise map as
+    /// [`ActivationLayer::forward`], but through `&self`.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
         let a = self.activation;
         x.map(|v| a.apply(v))
     }

@@ -111,15 +111,27 @@ impl Conv2d {
     ///
     /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
     pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        let y = self.forward_infer(x)?;
+        if training {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    /// Immutable inference pass: identical arithmetic (including the
+    /// parallel band dispatch, which is bit-exact regardless of width) to
+    /// [`Conv2d::forward`] with `training = false`, but through `&self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
+    pub fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
         if x.rank() != 2 || x.dims()[1] != self.in_dim() {
             return Err(NnError::InputWidthMismatch {
                 layer: "Conv2d",
                 expected: self.in_dim(),
                 actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
             });
-        }
-        if training {
-            self.cached_input = Some(x.clone());
         }
         // One relaxed atomic load when telemetry is off.
         let _timer = opad_telemetry::timer("nn.conv.forward_ms");
@@ -315,6 +327,28 @@ impl MaxPool2d {
     ///
     /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
     pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        let (out, batch, argmax) = self.pool(x)?;
+        if training {
+            self.cached_argmax = Some((batch, argmax));
+        }
+        Ok(out)
+    }
+
+    /// Immutable inference pass: the same pooling as
+    /// [`MaxPool2d::forward`], but through `&self` (the argmax book-keeping
+    /// is computed and dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
+    pub fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        Ok(self.pool(x)?.0)
+    }
+
+    /// The shared pooling kernel: output tensor, batch size, and the
+    /// per-output argmax offsets the backward pass routes gradients
+    /// through.
+    fn pool(&self, x: &Tensor) -> Result<(Tensor, usize, Vec<usize>), NnError> {
         if x.rank() != 2 || x.dims()[1] != self.in_dim() {
             return Err(NnError::InputWidthMismatch {
                 layer: "MaxPool2d",
@@ -352,10 +386,11 @@ impl MaxPool2d {
                 }
             }
         }
-        if training {
-            self.cached_argmax = Some((batch, argmax));
-        }
-        Ok(Tensor::from_vec(out, &[batch, self.out_dim()])?)
+        Ok((
+            Tensor::from_vec(out, &[batch, self.out_dim()])?,
+            batch,
+            argmax,
+        ))
     }
 
     /// Backward pass: routes each output gradient to its argmax input.

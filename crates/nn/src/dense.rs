@@ -95,15 +95,28 @@ impl Dense {
     ///
     /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
     pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        let y = self.forward_infer(x)?;
+        if training {
+            self.cached_input = Some(x.clone());
+        }
+        Ok(y)
+    }
+
+    /// Immutable inference pass: same arithmetic as
+    /// [`Dense::forward`] with `training = false`, but through `&self`, so
+    /// shared references (detector scoring, recorded activations) can run
+    /// the layer without exclusive access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidthMismatch`] when the batch width is wrong.
+    pub fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
         if x.rank() != 2 || x.dims()[1] != self.in_dim() {
             return Err(NnError::InputWidthMismatch {
                 layer: "Dense",
                 expected: self.in_dim(),
                 actual: if x.rank() == 2 { x.dims()[1] } else { x.len() },
             });
-        }
-        if training {
-            self.cached_input = Some(x.clone());
         }
         let y = x.matmul(&self.weight)?;
         Ok(y.checked_add(&self.bias)?)

@@ -49,6 +49,11 @@ impl Dropout {
         self.rate
     }
 
+    /// Immutable inference pass: dropout is the identity outside training.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        x.clone()
+    }
+
     /// Forward pass; samples and caches a fresh mask when `training`.
     pub fn forward(&mut self, x: &Tensor, training: bool) -> Tensor {
         if !training || self.rate == 0.0 {

@@ -41,6 +41,24 @@ impl Layer {
         }
     }
 
+    /// Immutable inference pass: the same arithmetic as
+    /// [`Layer::forward`] with `training = false`, but through `&self` —
+    /// no caches are touched, so shared references can run the layer
+    /// concurrently. Dropout is the identity, as at inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped layer's shape errors.
+    pub fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        match self {
+            Layer::Dense(l) => l.forward_infer(x),
+            Layer::Activation(l) => Ok(l.forward_infer(x)),
+            Layer::Conv2d(l) => l.forward_infer(x),
+            Layer::MaxPool2d(l) => l.forward_infer(x),
+            Layer::Dropout(l) => Ok(l.forward_infer(x)),
+        }
+    }
+
     /// Backward pass; returns the gradient with respect to this layer's
     /// input.
     ///
@@ -214,6 +232,53 @@ impl Network {
             h = layer.forward(&h, training)?;
         }
         Ok(h)
+    }
+
+    /// Runs the network immutably, returning logits — bit-identical to
+    /// [`Network::forward`] with `training = false`, but through `&self`.
+    ///
+    /// This is the inference path detectors score through: scoring takes a
+    /// shared reference, so a fitted detector can be queried from many
+    /// threads against one network without cloning it per query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors (typically a wrong input width).
+    pub fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_infer(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Runs the network immutably, recording the activation *after every
+    /// layer* (the last entry is the logits). This is the feature tap the
+    /// activation-space detectors (LID, DLA) are built on: layer `i` of
+    /// the returned vector is exactly what [`Network::forward_infer`]
+    /// would feed into layer `i + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors (typically a wrong input width).
+    pub fn forward_recording(&self, x: &Tensor) -> Result<Vec<Tensor>, NnError> {
+        let mut taps = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_infer(&h)?;
+            taps.push(h.clone());
+        }
+        Ok(taps)
+    }
+
+    /// Indices of the [`Layer::Dense`] layers in the stack — the taps DLA
+    /// restricts itself to.
+    pub fn dense_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| matches!(l, Layer::Dense(_)).then_some(i))
+            .collect()
     }
 
     /// Backpropagates `grad_logits` through the whole stack, accumulating
@@ -514,6 +579,56 @@ mod tests {
         assert!(a.approx_eq(&b, 1e-6));
         assert!(Network::from_json("not json").is_err());
         assert!(Network::from_json("{\"layers\":[]}").is_err());
+    }
+
+    #[test]
+    fn forward_infer_is_bit_identical_to_inference_forward() {
+        let mut r = rng();
+        // A stack covering every layer kind, dropout included (identity
+        // at inference, so the immutable path must match regardless of
+        // its rate).
+        let mut net = Network::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 6, 6, 2, 3, &mut r).unwrap()),
+            Layer::Activation(ActivationLayer::new(Activation::Tanh)),
+            Layer::MaxPool2d(MaxPool2d::new(2, 4, 4, 2).unwrap()),
+            Layer::Dense(Dense::new(8, 5, &mut r)),
+            Layer::Dropout(Dropout::new(0.4, 3).unwrap()),
+            Layer::Dense(Dense::new(5, 3, &mut r)),
+        ])
+        .unwrap();
+        let x = Tensor::rand_normal(&[4, 36], 0.0, 1.0, &mut r);
+        let mutable = net.forward(&x, false).unwrap();
+        let immutable = net.forward_infer(&x).unwrap();
+        let same_bits = mutable
+            .as_slice()
+            .iter()
+            .zip(immutable.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same_bits, "forward_infer diverged from forward");
+        assert!(net.forward_infer(&Tensor::zeros(&[1, 5])).is_err());
+    }
+
+    #[test]
+    fn forward_recording_taps_every_layer() {
+        let mut r = rng();
+        let net = Network::mlp(&[4, 7, 3], Activation::Relu, &mut r).unwrap();
+        let x = Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut r);
+        let taps = net.forward_recording(&x).unwrap();
+        assert_eq!(taps.len(), net.num_layers());
+        assert_eq!(taps[0].dims(), &[2, 7]); // first dense
+        assert_eq!(taps[1].dims(), &[2, 7]); // relu
+        assert_eq!(taps[2].dims(), &[2, 3]); // output dense
+                                             // The last tap is exactly the logits.
+        let logits = net.forward_infer(&x).unwrap();
+        assert_eq!(taps.last().unwrap(), &logits);
+        assert!(net.forward_recording(&Tensor::zeros(&[2, 5])).is_err());
+    }
+
+    #[test]
+    fn dense_layer_indices_finds_the_dense_taps() {
+        let mut r = rng();
+        let net = Network::mlp(&[4, 7, 3], Activation::Relu, &mut r).unwrap();
+        assert_eq!(net.dense_layer_indices(), vec![0, 2]);
     }
 
     #[test]

@@ -357,6 +357,31 @@ mod tests {
     }
 
     #[test]
+    fn exp11_detector_envelope_validates_with_its_grid_sections() {
+        // The detector-comparison experiment emits a v1 envelope whose
+        // result tables are named sections (`auroc_grid`, `summary`)
+        // rather than `rows`; selfcheck must accept it under its own
+        // file stem like any other experiment.
+        let dir = fixture_dir("exp11");
+        let doc = "{\"schema_version\": 1, \
+                   \"experiment\": \"exp11_detector_comparison\", \
+                   \"run_id\": \"t\", \"config\": {\"eps_linf\": 0.8}, \
+                   \"telemetry\": null, \
+                   \"auroc_grid\": [{\"detector\": \"lid\", \"attack\": \"pgd\", \
+                                     \"adaptive\": false, \"aes\": 42, \"auroc\": 0.91}, \
+                                    {\"detector\": \"lid\", \"attack\": \"adaptive_pgd\", \
+                                     \"adaptive\": true, \"aes\": 40, \"auroc\": 0.55}], \
+                   \"summary\": [{\"naive_mean_auroc\": 0.8, \"adaptive_mean_auroc\": 0.6}]}";
+        std::fs::write(dir.join("results/exp11_detector_comparison.json"), doc)
+            .expect("fixture writes");
+        let outcome = selfcheck_dir(&dir.join("results"), &dir);
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(outcome.ok, vec!["exp11_detector_comparison.json"]);
+        assert!(outcome.warnings.is_empty(), "{outcome:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn a_name_mismatch_is_a_warning_not_an_error() {
         let dir = fixture_dir("mismatch");
         let doc = "{\"schema_version\": 1, \"experiment\": \"something_else\", \

@@ -36,6 +36,7 @@ mod error;
 mod gmm;
 mod kde;
 mod partition;
+mod pca;
 mod profile;
 
 pub use bench::OpModelBenches;
@@ -45,6 +46,7 @@ pub use error::OpModelError;
 pub use gmm::{Gmm, GmmComponent};
 pub use kde::Kde;
 pub use partition::{CellOccupancy, CentroidPartition, GridPartition, Partition};
+pub use pca::Pca;
 pub use profile::{
     empirical_class_probs, learn_op_gmm, learn_op_kde, LinearDrift, OperationalProfile,
 };

@@ -29,11 +29,16 @@ pub enum MetricKind {
 /// bearing.
 pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     // Counters.
+    ("attack.adaptive.failure", MetricKind::Counter),
+    ("attack.adaptive.success", MetricKind::Counter),
     ("attack.fuzz.accepted", MetricKind::Counter),
     ("attack.fuzz.proposals", MetricKind::Counter),
     ("attack.fuzz.rejected_unnatural", MetricKind::Counter),
     ("attack.pgd.failure", MetricKind::Counter),
     ("attack.pgd.success", MetricKind::Counter),
+    ("detector.fit_rows", MetricKind::Counter),
+    ("detector.merges", MetricKind::Counter),
+    ("detector.scored", MetricKind::Counter),
     ("par.tasks", MetricKind::Counter),
     ("pipeline.aes_found", MetricKind::Counter),
     ("pipeline.cells_hit", MetricKind::Counter),
@@ -55,6 +60,7 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     // Histograms.
     ("attack.fuzz.naturalness", MetricKind::Histogram),
     ("attack.pgd.iters_to_success", MetricKind::Histogram),
+    ("detector.score", MetricKind::Histogram),
     ("nn.conv.forward_ms", MetricKind::Histogram),
     ("nn.train.epoch_ms", MetricKind::Histogram),
     ("par.task_us", MetricKind::Histogram),

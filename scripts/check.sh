@@ -31,6 +31,20 @@ OPAD_THREADS=4 cargo test -q --test shard_equivalence
 echo "==> checkpoint round-trip (freeze/thaw byte-identity; truncation and tamper rejection)"
 cargo test -q --test checkpoint_roundtrip
 
+# The detector zoo's cross-detector contracts: shard-merge bit-equality
+# at {1,2,4,8} shards, thread-count invariance of score_batch, and the
+# golden ROC/AUROC pins with the degenerate-input suite (errors, never
+# NaN). Both suites live in opad-detect and also run inside the full
+# tree; named here because they are the PR-9 headline gates.
+echo "==> detector laws (merge == single fit bitwise; OPAD_THREADS=1)"
+OPAD_THREADS=1 cargo test -q -p opad-detect --test detector_laws
+
+echo "==> detector laws (merge == single fit bitwise; OPAD_THREADS=4)"
+OPAD_THREADS=4 cargo test -q -p opad-detect --test detector_laws
+
+echo "==> golden AUROC pins + degenerate-input suite"
+cargo test -q -p opad-detect --test golden_auroc
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -12,7 +12,11 @@
 //! * [`nn`] — from-scratch neural networks with input gradients;
 //! * [`data`] — procedural datasets with controllable class skew;
 //! * [`opmodel`] — operational profiles: densities, partitions, drift;
-//! * [`attack`] — FGSM/PGD baselines and the naturalness-guided fuzzer;
+//! * [`attack`] — FGSM/PGD baselines, the naturalness-guided fuzzer and
+//!   the detector-aware (Carlini–Wagner) adaptive attack;
+//! * [`detect`] — the detector zoo behind one [`detect::Detector`]
+//!   trait: LID, feature squeezing, MagNet reconstruction, DLA and the
+//!   paper's OP-density signal, plus ROC/AUROC evaluation;
 //! * [`reliability`] — ReAsDL-style Bayesian reliability assessment;
 //! * [`core`] — the five-step testing loop tying it all together;
 //! * [`par`] — the deterministic scoped worker pool behind the parallel
@@ -51,6 +55,7 @@ pub use opad_alert as alert;
 pub use opad_attack as attack;
 pub use opad_core as core;
 pub use opad_data as data;
+pub use opad_detect as detect;
 pub use opad_nn as nn;
 pub use opad_opmodel as opmodel;
 pub use opad_par as par;
@@ -63,18 +68,22 @@ pub use opad_tensor as tensor;
 pub mod prelude {
     pub use opad_alert::{parse_rules, AlertCenter, AlertState, AlertWatch, Transition};
     pub use opad_attack::{
-        Attack, AttackOutcome, DensityNaturalness, Fgsm, NaturalFuzz, Naturalness, NormBall,
-        PcaNaturalness, Pgd, RandomFuzz,
+        AdaptivePgd, Attack, AttackOutcome, DensityNaturalness, Fgsm, NaturalFuzz, Naturalness,
+        NormBall, PcaNaturalness, Pgd, RandomFuzz,
     };
     pub use opad_core::{
         classify_outcome, read_checkpoint, retrain_with_aes, shard_ranges, AeCorpus,
-        CampaignCheckpoint, DetectedAe, LoopConfig, PipelineError, RetrainConfig, RoundReport,
-        SeedSampler, SeedWeightAccumulator, SeedWeighting, ShardedCampaign, ShardedConfig,
-        TestingLoop,
+        CampaignCheckpoint, DetectedAe, DetectorRoundScore, LoopConfig, PipelineError,
+        RetrainConfig, RoundReport, SeedSampler, SeedWeightAccumulator, SeedWeighting,
+        ShardedCampaign, ShardedConfig, TestingLoop,
     };
     pub use opad_data::{
         gaussian_clusters, glyphs, rings, two_moons, uniform_probs, zipf_probs, Dataset,
         GaussianClustersConfig, GlyphConfig,
+    };
+    pub use opad_detect::{
+        auroc, roc_curve, score_batch, DetectError, Detector, Dla, FeatureSqueeze, Lid, Magnet,
+        OpDensityDetector, RocCurve, RocPoint,
     };
     pub use opad_nn::{
         cross_entropy, prediction_entropy, prediction_margin, Activation, ConfusionMatrix, Network,

@@ -197,6 +197,56 @@ fn loop_is_deterministic_across_identical_runs() {
 }
 
 #[test]
+fn detector_plane_scores_every_round() {
+    // Detectors attached to the loop score each round's fresh AEs and the
+    // per-round summary lands on RoundReport::detector_scores in
+    // attachment order.
+    use std::sync::Arc;
+    let w = build_world(11);
+    let target = ReliabilityTarget::new(1e-5, 0.95).unwrap();
+    let config = LoopConfig {
+        seeds_per_round: 12,
+        eval_per_round: 80,
+        max_rounds: 2,
+        mc_samples: 400,
+        retrain: RetrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut magnet = Magnet::new(2, 1).unwrap();
+    magnet.fit(&w.field).unwrap();
+    let op_density = OpDensityDetector::new(w.op.density().clone());
+    let mut lp = TestingLoop::new(
+        w.net.clone(),
+        w.op.clone(),
+        w.partition.clone(),
+        &w.field,
+        target,
+        config,
+    )
+    .unwrap();
+    lp.attach_detector(Arc::new(magnet));
+    lp.attach_detector(Arc::new(op_density));
+    assert_eq!(lp.detector_names(), vec!["magnet", "op_density"]);
+
+    let attack = Pgd::new(NormBall::linf(0.35).unwrap(), 12, 0.08).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let reports = lp.run(&w.field, &w.train, &attack, &mut rng).unwrap();
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        assert_eq!(r.detector_scores.len(), 2, "one summary per detector");
+        assert_eq!(r.detector_scores[0].detector, "magnet");
+        assert_eq!(r.detector_scores[1].detector, "op_density");
+        for ds in &r.detector_scores {
+            assert_eq!(ds.scored, r.aes_found, "detectors score the round corpus");
+            assert!(ds.mean_score.is_finite(), "round mean must never be NaN");
+        }
+    }
+}
+
+#[test]
 fn operational_mismatch_shows_up_in_weighted_accuracy() {
     // E1's mechanism as an invariant: with a skewed OP, class-weighted
     // accuracy under the OP differs from balanced test accuracy whenever

@@ -199,3 +199,79 @@ fn full_pipeline_reports_are_byte_identical_at_any_thread_count() {
         );
     }
 }
+
+/// Same two-round loop, but with the detector plane attached: a fitted
+/// MagNet reconstructor and the OP-density detector both score every
+/// round's AE corpus and their per-round means ride on the reports.
+fn run_pipeline_with_detectors() -> Vec<RoundReport> {
+    use std::sync::Arc;
+    let mut rng = StdRng::seed_from_u64(17);
+    let cfg = GaussianClustersConfig {
+        separation: 2.0,
+        std: 0.9,
+        ..Default::default()
+    };
+    let train = gaussian_clusters(&cfg, 240, &uniform_probs(3), &mut rng).unwrap();
+    let field = gaussian_clusters(&cfg, 400, &zipf_probs(3, 1.5), &mut rng).unwrap();
+    let mut net = Network::mlp(&[2, 16, 3], Activation::Relu, &mut rng).unwrap();
+    Trainer::new(TrainConfig::new(12, 32), Optimizer::adam(0.01))
+        .fit(&mut net, train.features(), train.labels(), None, &mut rng)
+        .unwrap();
+    let op = learn_op_gmm(&field, 3, 10, &mut rng).unwrap();
+    let partition = CentroidPartition::fit(field.features(), 8, 15, &mut rng).unwrap();
+    let target = ReliabilityTarget::new(1e-5, 0.95).unwrap();
+    let config = LoopConfig {
+        seeds_per_round: 10,
+        eval_per_round: 50,
+        max_rounds: 2,
+        mc_samples: 500,
+        retrain: RetrainConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut magnet = Magnet::new(2, 1).unwrap();
+    magnet.fit(&field).unwrap();
+    let op_density = OpDensityDetector::new(op.density().clone());
+    let mut lp = TestingLoop::new(net, op, partition, &field, target, config).unwrap();
+    lp.attach_detector(Arc::new(magnet));
+    lp.attach_detector(Arc::new(op_density));
+    let attack = Pgd::new(NormBall::linf(0.3).unwrap(), 10, 0.08).unwrap();
+    let mut loop_rng = StdRng::seed_from_u64(1234);
+    lp.run(&field, &train, &attack, &mut loop_rng).unwrap()
+}
+
+#[test]
+fn detector_scores_in_round_reports_are_byte_identical_at_any_thread_count() {
+    let serial = at(1, run_pipeline_with_detectors);
+    assert_eq!(serial.len(), 2, "hard target runs both rounds");
+    for r in &serial {
+        assert_eq!(r.detector_scores.len(), 2, "both detectors report");
+        for ds in &r.detector_scores {
+            assert!(ds.mean_score.is_finite());
+        }
+    }
+    let serial_bits: Vec<u64> = serial
+        .iter()
+        .flat_map(|r| r.detector_scores.iter().map(|ds| ds.mean_score.to_bits()))
+        .collect();
+    let serial_bytes = report_bytes(&serial);
+    for t in PAR_THREADS {
+        let par = at(t, run_pipeline_with_detectors);
+        let par_bits: Vec<u64> = par
+            .iter()
+            .flat_map(|r| r.detector_scores.iter().map(|ds| ds.mean_score.to_bits()))
+            .collect();
+        assert_eq!(
+            serial_bits, par_bits,
+            "detector round means differ at {t} threads"
+        );
+        assert_eq!(serial, par, "round reports differ at {t} threads");
+        assert_eq!(
+            serial_bytes,
+            report_bytes(&par),
+            "serialized reports differ at {t} threads"
+        );
+    }
+}
