@@ -7,6 +7,7 @@ use crate::frame::MetricsFrame;
 use crate::log::transition_to_json;
 use crate::rule::Rule;
 use opad_telemetry::{JsonlSink, LiveSnapshot, Sink};
+use opad_tsdb::TsdbStore;
 use std::sync::{Arc, Mutex};
 
 /// How many recent transitions the in-memory history ring keeps (the
@@ -26,6 +27,9 @@ pub struct AlertCenter {
     engine: Mutex<AlertEngine>,
     history: Mutex<Vec<Transition>>,
     log: Option<Arc<JsonlSink>>,
+    /// The history plane window conditions evaluate through, when one
+    /// is attached ([`attach_series`](AlertCenter::attach_series)).
+    series: Mutex<Option<Arc<TsdbStore>>>,
 }
 
 impl AlertCenter {
@@ -35,6 +39,7 @@ impl AlertCenter {
             engine: Mutex::new(AlertEngine::new(rules)),
             history: Mutex::new(Vec::new()),
             log: None,
+            series: Mutex::new(None),
         }
     }
 
@@ -59,10 +64,27 @@ impl AlertCenter {
         self.lock_engine().has_rule(name)
     }
 
+    /// Attaches the history store window conditions (`rate(c, 10s) >`)
+    /// evaluate through. Until one is attached those conditions are
+    /// simply false. Typically the same store a
+    /// [`Sampler`](opad_tsdb::Sampler) feeds from the same recorder the
+    /// watch thread polls.
+    pub fn attach_series(&self, store: Arc<TsdbStore>) {
+        *self.series.lock().expect("alert lock poisoned") = Some(store);
+    }
+
+    /// The attached history store, if any.
+    pub fn series(&self) -> Option<Arc<TsdbStore>> {
+        self.series.lock().expect("alert lock poisoned").clone()
+    }
+
     /// Evaluates every rule against an explicit frame, logging and
     /// remembering any transitions. Returns them.
     pub fn eval_frame(&self, frame: &MetricsFrame) -> Vec<Transition> {
-        let transitions = self.lock_engine().eval(frame);
+        let store = self.series();
+        let transitions = self
+            .lock_engine()
+            .eval_with_history(frame, store.as_deref());
         if !transitions.is_empty() {
             if let Some(log) = &self.log {
                 for t in &transitions {
@@ -163,6 +185,30 @@ mod tests {
         assert_eq!(parsed[2].to, crate::engine::AlertState::Resolved);
         assert_eq!(center.history().len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attached_series_feeds_window_conditions() {
+        use opad_tsdb::{Sample, SeriesKind};
+        let center = AlertCenter::new(rules("alert stalled when rate(c, 2s) < 1"));
+        let store = Arc::new(TsdbStore::new());
+        for i in 0..9u32 {
+            store.push(
+                "c",
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: i as f64 * 250.0,
+                    value: 5.0, // flat from the start: rate 0
+                },
+            );
+        }
+        // Window rules are inert until the store is attached.
+        assert!(center.eval_frame(&MetricsFrame::new(2_000.0)).is_empty());
+        center.attach_series(store.clone());
+        assert!(center.series().is_some());
+        let ts = center.eval_frame(&MetricsFrame::new(2_000.0));
+        assert_eq!(ts.len(), 2, "{ts:?}");
+        assert!(center.any_firing());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use crate::frame::MetricsFrame;
 use crate::rule::{Condition, Rule, Severity};
 use opad_telemetry::phase;
+use opad_tsdb::TsdbStore;
 use std::fmt;
 
 /// Where a rule currently is in its lifecycle.
@@ -217,11 +218,27 @@ impl AlertEngine {
     }
 
     /// Evaluates every rule against `frame`, returning the transitions
-    /// this frame caused (empty when nothing changed state).
+    /// this frame caused (empty when nothing changed state). Window
+    /// conditions evaluate as false — use
+    /// [`eval_with_history`](AlertEngine::eval_with_history) to give
+    /// them a history store.
     pub fn eval(&mut self, frame: &MetricsFrame) -> Vec<Transition> {
+        self.eval_with_history(frame, None)
+    }
+
+    /// Evaluates every rule against `frame`, with window conditions
+    /// answered from `history` at the frame's clock (`t_ms`). Pure in
+    /// the same sense as [`eval`](AlertEngine::eval): all time comes
+    /// from the frame and the samples, never the wall clock, so a
+    /// replayed store reproduces the live transcript bit for bit.
+    pub fn eval_with_history(
+        &mut self,
+        frame: &MetricsFrame,
+        history: Option<&TsdbStore>,
+    ) -> Vec<Transition> {
         let mut transitions = Vec::new();
         for (rule, rt) in self.rules.iter().zip(self.runtime.iter_mut()) {
-            let (cond, value) = eval_condition(&rule.condition, frame, rt);
+            let (cond, value) = eval_condition(&rule.condition, frame, rt, history);
             rt.last_value = value;
             let next = next_state(rt.state, cond, rule.for_ms, frame.t_ms, rt);
             for (from, to) in next {
@@ -290,8 +307,27 @@ fn eval_condition(
     condition: &Condition,
     frame: &MetricsFrame,
     rt: &mut RuleRuntime,
+    history: Option<&TsdbStore>,
 ) -> (bool, Option<f64>) {
     match condition {
+        Condition::Window {
+            expr,
+            cmp,
+            threshold,
+        } => {
+            // No attached history store, or a window that cannot answer
+            // (unknown series, too few samples, zero span): false, like
+            // every other absent-evidence case. The typed error is
+            // deliberately not a breach — a rule that should fire on
+            // silence wants counter_stall, not rate().
+            let Some(store) = history else {
+                return (false, None);
+            };
+            match store.eval_window(expr, frame.t_ms) {
+                Ok(v) => (cmp.eval(v, *threshold), Some(v)),
+                Err(_) => (false, None),
+            }
+        }
         Condition::GaugeThreshold {
             metric,
             cmp,
@@ -557,6 +593,60 @@ mod tests {
         e.eval(&gauge_frame(0.0, phase::PHASE_GAUGE, 7.3));
         let ts = e.eval(&gauge_frame(60.0, phase::PHASE_GAUGE, 7.3));
         assert_eq!(edges(&ts), vec![(Inactive, Pending), (Pending, Firing)]);
+    }
+
+    #[test]
+    fn window_condition_is_false_without_history_and_evaluates_with_it() {
+        use opad_tsdb::{Sample, SeriesKind};
+        use AlertState::*;
+        let mut e = engine("alert stall for=0ms when rate(c, 2s) < 5");
+        let store = TsdbStore::new();
+        // A healthy ramp: 10/s.
+        for i in 0..10u32 {
+            store.push(
+                "c",
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: i as f64 * 250.0,
+                    value: (i as f64) * 2.5,
+                },
+            );
+        }
+        // Without history the condition is false even though the rule
+        // would breach on an empty store.
+        assert!(e.eval(&MetricsFrame::new(2_250.0)).is_empty());
+        // With history and a healthy rate: still false.
+        assert!(e
+            .eval_with_history(&MetricsFrame::new(2_250.0), Some(&store))
+            .is_empty());
+        // The counter flatlines: rate over the trailing window decays
+        // below the threshold and the alert fires.
+        for i in 10..20u32 {
+            store.push(
+                "c",
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: i as f64 * 250.0,
+                    value: 22.5,
+                },
+            );
+        }
+        let ts = e.eval_with_history(&MetricsFrame::new(4_750.0), Some(&store));
+        assert_eq!(edges(&ts), vec![(Inactive, Pending), (Pending, Firing)]);
+        assert_eq!(ts[0].value, Some(0.0));
+    }
+
+    #[test]
+    fn window_rule_transitions_carry_the_observed_value() {
+        use opad_tsdb::{Sample, SeriesKind};
+        let mut e = engine("alert hot when avg_over_time(g, 1s) > 2");
+        let store = TsdbStore::new();
+        for (t, v) in [(0.0, 3.0), (500.0, 5.0), (1_000.0, 4.0)] {
+            store.push("g", SeriesKind::Gauge, Sample { t_ms: t, value: v });
+        }
+        let ts = e.eval_with_history(&MetricsFrame::new(1_000.0), Some(&store));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].value, Some(4.0), "mean of the trailing second");
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * **Rules** ([`rule`]) — a one-line grammar:
 //!   `alert <name> [severity=…] [for=<dur>] when <condition>`, with
 //!   gauge/counter thresholds, counter-stall liveness, histogram
-//!   quantile thresholds, and a `phase_stuck` pipeline watchdog.
+//!   quantile thresholds, a `phase_stuck` pipeline watchdog, and
+//!   windowed conditions over the [`opad_tsdb`] history plane
+//!   (`rate(pipeline.seeds_attacked, 10s) < 0.5`).
 //! * **Frames** ([`frame`]) — the lowest-common-denominator view rules
 //!   evaluate against, buildable identically from a live snapshot, a
 //!   recorded sample stream, or a finished run's envelope. Whatever

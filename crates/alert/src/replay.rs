@@ -24,6 +24,7 @@ use crate::engine::{AlertEngine, AlertStatus, Transition};
 use crate::frame::{HistStats, MetricsFrame};
 use crate::rule::Rule;
 use opad_telemetry::{parse_json, FixedHistogram, JsonValue};
+use opad_tsdb::{Sample, SeriesKind, TsdbStore};
 use std::collections::HashMap;
 
 /// Version of the sample-stream line layout.
@@ -50,6 +51,11 @@ pub fn replay(rules: Vec<Rule>, stream: &str) -> ReplayOutcome {
     let mut counters: HashMap<String, u64> = HashMap::new();
     let mut gauges: HashMap<String, f64> = HashMap::new();
     let mut hists: HashMap<String, FixedHistogram> = HashMap::new();
+    // Every counter/gauge sample also lands in a history store keyed by
+    // the recorded `t_ms`, so window conditions (`rate(c, 10s) >`)
+    // replay through exactly the machinery the live sampler feeds —
+    // same rings, same window cuts, bit-identical answers.
+    let history = TsdbStore::new();
     let mut transitions = Vec::new();
     let mut errors = Vec::new();
     let mut ticks = 0usize;
@@ -66,11 +72,11 @@ pub fn replay(rules: Vec<Rule>, stream: &str) -> ReplayOutcome {
                 continue;
             }
         };
-        match apply_record(&record, &mut counters, &mut gauges, &mut hists) {
+        match apply_record(&record, &mut counters, &mut gauges, &mut hists, &history) {
             Ok(Some(t_ms)) => {
                 ticks += 1;
                 let frame = build_frame(t_ms, &counters, &gauges, &hists);
-                transitions.extend(engine.eval(&frame));
+                transitions.extend(engine.eval_with_history(&frame, Some(&history)));
             }
             Ok(None) => {}
             Err(message) => errors.push((line_no, message)),
@@ -106,6 +112,7 @@ fn apply_record(
     counters: &mut HashMap<String, u64>,
     gauges: &mut HashMap<String, f64>,
     hists: &mut HashMap<String, FixedHistogram>,
+    history: &TsdbStore,
 ) -> Result<Option<f64>, String> {
     let version = record
         .get("v")
@@ -134,6 +141,7 @@ fn apply_record(
             counters.remove(name);
             gauges.remove(name);
             hists.remove(name);
+            history.clear_series(name);
             Ok(None)
         }
         "sample" => {
@@ -148,6 +156,14 @@ fn apply_record(
                         .get("total")
                         .and_then(JsonValue::as_u64)
                         .ok_or("counter sample needs integer \"total\"")?;
+                    history.push(
+                        &name,
+                        SeriesKind::Counter,
+                        Sample {
+                            t_ms,
+                            value: total as f64,
+                        },
+                    );
                     counters.insert(name, total);
                 }
                 Some("gauge") => {
@@ -155,6 +171,7 @@ fn apply_record(
                         .get("value")
                         .and_then(JsonValue::as_f64)
                         .ok_or("gauge sample needs \"value\"")?;
+                    history.push(&name, SeriesKind::Gauge, Sample { t_ms, value });
                     gauges.insert(name, value);
                 }
                 Some("hist") => {
@@ -286,6 +303,44 @@ mod tests {
                 (AlertState::Firing, AlertState::Resolved),
             ]
         );
+    }
+
+    #[test]
+    fn window_rules_replay_deterministically() {
+        // A counter that ramps 40/s for two seconds, then flatlines.
+        // The stall rule needs the full window to go quiet before the
+        // rate drops under threshold, then `for=` holds it in pending.
+        let mut stream = String::new();
+        for i in 0..=20u32 {
+            let t = i as f64 * 250.0;
+            let total = 10 * i.min(8);
+            stream.push_str(&format!(
+                "{{\"v\":1,\"kind\":\"sample\",\"t_ms\":{t},\"type\":\"counter\",\"name\":\"pipeline.seeds_attacked\",\"total\":{total}}}\n"
+            ));
+            stream.push_str(&format!("{{\"v\":1,\"kind\":\"tick\",\"t_ms\":{t}}}\n"));
+        }
+        let pack = "alert seed_rate_stall severity=warning for=500ms when rate(pipeline.seeds_attacked, 2s) < 1";
+        let a = replay(rules(pack), &stream);
+        assert_eq!(a.errors, Vec::new());
+        let edges: Vec<(AlertState, AlertState, f64)> = a
+            .transitions
+            .iter()
+            .map(|t| (t.from, t.to, t.t_ms))
+            .collect();
+        assert_eq!(
+            edges,
+            vec![
+                (AlertState::Inactive, AlertState::Pending, 4_000.0),
+                (AlertState::Pending, AlertState::Firing, 4_500.0),
+            ]
+        );
+        assert_eq!(a.statuses[0].state, AlertState::Firing);
+        let b = replay(rules(pack), &stream);
+        assert_eq!(
+            format!("{:?}", a.transitions),
+            format!("{:?}", b.transitions)
+        );
+        assert_eq!(format!("{:?}", a.statuses), format!("{:?}", b.statuses));
     }
 
     #[test]

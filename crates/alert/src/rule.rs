@@ -14,13 +14,24 @@
 //! counter_stall <metric>                no progress (absent, or total unchanged)
 //! hist <metric> p50|p90|p99 <op> <number>   histogram quantile
 //! phase_stuck <dur>                     pipeline.phase unchanged beyond the budget
+//! <window-fn>(<metric>, <dur>) <op> <number>   windowed history query
 //! ```
 //!
 //! `<op>` is one of `> < >= <=`; `<dur>` is `250ms`, `10s`, `2m` or
 //! `1h`. A rule's `for=` duration is the hysteresis budget: the
 //! condition must hold continuously that long before the alert fires
 //! (see [`engine`](crate::engine) for the lifecycle).
+//!
+//! Window conditions (`rate(pipeline.seeds_attacked, 10s) > 0.5`,
+//! `avg_over_time(pipeline.pfd_mean, 30s) < 0.01`,
+//! `quantile_over_time(g, 0.9, 1m) >= 2`) evaluate through the
+//! [`opad_tsdb`] history plane using the same expression grammar as
+//! `GET /query` — see [`opad_tsdb::parse_expr`]. They drive the same
+//! lifecycle as every other condition; without an attached history
+//! store the condition is simply false (absence of evidence is not a
+//! breach).
 
+use opad_tsdb::{parse_expr, Expr, WindowExpr};
 use std::fmt;
 
 /// How loudly a firing rule should be treated.
@@ -186,6 +197,19 @@ pub enum Condition {
         /// How long one phase may persist before the condition holds.
         budget_ms: f64,
     },
+    /// A window function over a series' recent history against a
+    /// threshold (`rate(c, 10s) > 0.5`). Evaluates through the
+    /// [`opad_tsdb`] store the engine was handed; without one — or when
+    /// the window cannot answer (unknown series, too few samples) — the
+    /// condition is false.
+    Window {
+        /// The windowed query.
+        expr: WindowExpr,
+        /// Comparison direction.
+        cmp: Cmp,
+        /// Threshold value.
+        threshold: f64,
+    },
 }
 
 impl Condition {
@@ -197,6 +221,7 @@ impl Condition {
             | Condition::CounterThreshold { metric, .. }
             | Condition::CounterStall { metric }
             | Condition::HistQuantile { metric, .. } => Some(metric),
+            Condition::Window { expr, .. } => Some(&expr.metric),
             Condition::PhaseStuck { .. } => None,
         }
     }
@@ -228,6 +253,11 @@ impl fmt::Display for Condition {
                 cmp.symbol()
             ),
             Condition::PhaseStuck { budget_ms } => write!(f, "phase_stuck {budget_ms}ms"),
+            Condition::Window {
+                expr,
+                cmp,
+                threshold,
+            } => write!(f, "{expr} {} {threshold}", cmp.symbol()),
         }
     }
 }
@@ -306,6 +336,29 @@ fn parse_condition(tokens: &[&str]) -> Result<Condition, String> {
         }
         Ok((cmp, threshold))
     };
+    // A window condition's first token contains '(' (the rule line is
+    // whitespace-tokenised, so `rate(c, 10s)` arrives as one or more
+    // tokens depending on spacing). Rejoin through the token holding
+    // ')' and hand the text to the shared tsdb expression grammar.
+    if tokens.first().is_some_and(|t| t.contains('(')) {
+        let close = tokens
+            .iter()
+            .position(|t| t.contains(')'))
+            .ok_or_else(|| "window condition is missing ')'".to_string())?;
+        let expr_text = tokens[..=close].join(" ");
+        let expr = parse_expr(&expr_text).map_err(|e| format!("bad window expression: {e}"))?;
+        let Expr::Window(expr) = expr else {
+            return Err(format!(
+                "bare metric {expr_text:?} — use `gauge`/`counter` for instantaneous reads"
+            ));
+        };
+        let (cmp, threshold) = threshold(&tokens[close + 1..])?;
+        return Ok(Condition::Window {
+            expr,
+            cmp,
+            threshold,
+        });
+    }
     match tokens {
         ["gauge", metric, rest @ ..] => {
             let (cmp, threshold) = threshold(rest)?;
@@ -343,7 +396,8 @@ fn parse_condition(tokens: &[&str]) -> Result<Condition, String> {
             Ok(Condition::PhaseStuck { budget_ms })
         }
         [kind, ..] => Err(format!(
-            "unknown condition kind {kind:?} (gauge|counter|counter_stall|hist|phase_stuck)"
+            "unknown condition kind {kind:?} \
+             (gauge|counter|counter_stall|hist|phase_stuck|<window-fn>(metric, dur))"
         )),
         [] => Err("empty condition".to_string()),
     }
@@ -434,6 +488,9 @@ pub fn check_vocabulary(rules: &[Rule]) -> Vec<String> {
                 MetricKind::Counter
             }
             Condition::HistQuantile { .. } => MetricKind::Histogram,
+            // A window function dictates its input kind: rate() reads a
+            // counter's history, the *_over_time family a gauge's.
+            Condition::Window { expr, .. } => expr.func.expected_kind(),
             Condition::PhaseStuck { .. } => continue, // reads the known phase gauge
         };
         let Some(metric) = rule.condition.metric() else {
@@ -558,12 +615,83 @@ alert adaptive_never_lands for=10s when counter_stall attack.adaptive.success
     }
 
     #[test]
+    fn window_conditions_parse_via_the_tsdb_grammar() {
+        use opad_tsdb::WindowFn;
+        let text = "\
+alert seed_rate_stall severity=warning for=1s when rate(pipeline.seeds_attacked, 10s) < 0.5
+alert pfd_drifting when avg_over_time(pipeline.pfd_mean, 30s) > 0.05
+alert spiky when quantile_over_time(pipeline.pfd_mean, 0.9, 1m) >= 0.2
+alert tight when delta(pipeline.round,5s) <= 0
+";
+        let (rules, errors) = parse_rules(text);
+        assert_eq!(errors, Vec::new());
+        assert_eq!(rules.len(), 4);
+        assert_eq!(
+            rules[0].condition,
+            Condition::Window {
+                expr: WindowExpr {
+                    func: WindowFn::Rate,
+                    metric: "pipeline.seeds_attacked".to_string(),
+                    window_ms: 10_000.0,
+                },
+                cmp: Cmp::Lt,
+                threshold: 0.5,
+            }
+        );
+        assert_eq!(rules[0].condition.metric(), Some("pipeline.seeds_attacked"));
+        // Tight spacing tokenises as a single token and still parses.
+        assert!(matches!(&rules[3].condition, Condition::Window { .. }));
+    }
+
+    #[test]
+    fn window_condition_parse_errors_are_reported() {
+        let bad = [
+            "alert a when rate(c, 10s)",          // missing op/threshold
+            "alert a when rate(c) > 1",           // missing window
+            "alert a when deriv(c, 10s) > 1",     // unknown function
+            "alert a when rate(c, 10s > 1",       // missing ')'
+            "alert a when rate(c, 10s) >> 1",     // bad operator
+            "alert a when rate(c, 10s) > banana", // bad threshold
+        ];
+        for text in bad {
+            let (rules, errors) = parse_rules(text);
+            assert!(rules.is_empty(), "{text} parsed: {rules:?}");
+            assert_eq!(errors.len(), 1, "{text}");
+        }
+    }
+
+    #[test]
+    fn window_conditions_validate_against_the_vocabulary() {
+        let (rules, errors) = parse_rules(
+            "\
+alert ok_rate when rate(pipeline.seeds_attacked, 10s) < 1
+alert ok_avg when avg_over_time(pipeline.pfd_mean, 30s) > 0.1
+alert rate_of_gauge when rate(pipeline.pfd_mean, 10s) > 1
+alert avg_of_counter when avg_over_time(pipeline.seeds_attacked, 10s) > 1
+alert unknown_series when rate(pipeline.seeds_attacked_typo, 10s) > 1
+",
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+        let problems = check_vocabulary(&rules);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems[0].contains("Gauge"), "{}", problems[0]);
+        assert!(problems[1].contains("Counter"), "{}", problems[1]);
+        assert!(problems[2].contains("typo"), "{}", problems[2]);
+    }
+
+    #[test]
     fn rules_render_back_to_parseable_text() {
-        let (rules, _) =
-            parse_rules("alert x severity=info for=2s when hist attack.fuzz.naturalness p50 < -20");
-        let rendered = rules[0].to_string();
-        let (reparsed, errors) = parse_rules(&rendered);
-        assert!(errors.is_empty(), "{rendered}: {errors:?}");
-        assert_eq!(reparsed[0], rules[0]);
+        for text in [
+            "alert x severity=info for=2s when hist attack.fuzz.naturalness p50 < -20",
+            "alert y for=1s when rate(pipeline.seeds_attacked, 10s) < 0.5",
+            "alert z when quantile_over_time(pipeline.pfd_mean, 0.9, 30s) >= 0.2",
+        ] {
+            let (rules, errors) = parse_rules(text);
+            assert!(errors.is_empty(), "{text}: {errors:?}");
+            let rendered = rules[0].to_string();
+            let (reparsed, errors) = parse_rules(&rendered);
+            assert!(errors.is_empty(), "{rendered}: {errors:?}");
+            assert_eq!(reparsed[0], rules[0]);
+        }
     }
 }

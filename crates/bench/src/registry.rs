@@ -7,12 +7,13 @@
 use opad_telemetry::{BenchKernel, Benchmarkable};
 
 /// Every registered kernel across the workspace, in a stable order
-/// (telemetry → par → tensor → nn → attack → opmodel → detect →
+/// (telemetry → par → tsdb → tensor → nn → attack → opmodel → detect →
 /// reliability → core, each crate's own order within).
 pub fn all_bench_kernels() -> Vec<BenchKernel> {
     let mut kernels = Vec::new();
     kernels.extend(opad_telemetry::TelemetryBenches::bench_kernels());
     kernels.extend(opad_par::ParBenches::bench_kernels());
+    kernels.extend(opad_tsdb::TsdbBenches::bench_kernels());
     kernels.extend(opad_tensor::TensorBenches::bench_kernels());
     kernels.extend(opad_nn::NnBenches::bench_kernels());
     kernels.extend(opad_attack::AttackBenches::bench_kernels());

@@ -267,11 +267,12 @@ impl<D: Density> TestingLoop<D> {
         let sampler = SeedSampler::new(config.weighting);
         // The run's own claims parameterise its watchdogs: the pfd bound
         // it set out to demonstrate, and a naturalness floor derived from
-        // the training OP's log-density over the field data.
-        let alert_rules = default_rules(
-            target.target_pfd,
-            naturalness_floor(op.density(), field_data)?,
-        );
+        // the training OP's log-density over the field data. The floor is
+        // also published as a gauge so the history plane records which
+        // threshold each stretch of a run was judged against.
+        let floor = naturalness_floor(op.density(), field_data)?;
+        telemetry::gauge_set("pipeline.naturalness_floor", floor);
+        let alert_rules = default_rules(target.target_pfd, floor);
         Ok(TestingLoop {
             net,
             op,
@@ -365,10 +366,9 @@ impl<D: Density> TestingLoop<D> {
             .cell_distribution(fresh_field_data.features(), 0.5)?;
         self.reliability = CellReliabilityModel::new(self.cell_op.clone())?;
         // The naturalness floor belongs to the profile that defined it.
-        self.alert_rules = default_rules(
-            self.timeline.target().target_pfd,
-            naturalness_floor(op.density(), fresh_field_data)?,
-        );
+        let floor = naturalness_floor(op.density(), fresh_field_data)?;
+        telemetry::gauge_set("pipeline.naturalness_floor", floor);
+        self.alert_rules = default_rules(self.timeline.target().target_pfd, floor);
         self.op = op;
         Ok(())
     }
@@ -596,6 +596,10 @@ impl<D: Density> TestingLoop<D> {
         // The reliability claim under its own namespace, so dashboards
         // watching the paper's convergence criterion need only this one.
         telemetry::gauge_set("reliability.pfd_mean", pfd_mean);
+        // Snapshot the freshly assessed gauges into the history plane
+        // immediately: the round boundary is the trajectory point that
+        // matters, not wherever the sampler's cadence happens to land.
+        opad_tsdb::pulse();
 
         // ---- Step 4: retrain on the cumulative corpus (skipped once the
         // target is met — testing stops). ----

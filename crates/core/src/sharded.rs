@@ -480,6 +480,8 @@ impl<D: Density> ShardedCampaign<D> {
         telemetry::gauge_set("pipeline.pfd_mean", pfd_mean);
         telemetry::gauge_set("pipeline.pfd_upper", pfd_upper);
         telemetry::gauge_set("reliability.pfd_mean", pfd_mean);
+        // Round boundary → history-plane sample (see run_round).
+        opad_tsdb::pulse();
 
         // ---- Step 4: global retrain on the canonical corpus. ----
         let step_start = Instant::now();

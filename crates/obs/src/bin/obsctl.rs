@@ -22,6 +22,7 @@ fn kernels() -> Vec<BenchKernel> {
     use opad_telemetry::{Benchmarkable, TelemetryBenches};
     let mut kernels = opad_par::ParBenches::bench_kernels();
     kernels.extend(TelemetryBenches::bench_kernels());
+    kernels.extend(opad_tsdb::TsdbBenches::bench_kernels());
     kernels
 }
 

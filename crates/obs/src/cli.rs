@@ -17,6 +17,7 @@ use crate::metrics::metrics_from_run;
 use crate::perf::{gate, history, load_series, report_json, report_md, GateConfig};
 use crate::selfcheck::selfcheck_dir;
 use crate::tree::{aggregate_spans, critical_path, SpanTree};
+use crate::watch::{cmd_series, cmd_watch};
 use opad_telemetry::{parse_trace, BenchKernel, BenchProvenance, Trace};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -57,6 +58,11 @@ usage:
                                             deterministic rule replay over a recorded
                                             sample stream or run envelope (non-zero
                                             exit when an expectation fails)
+  obsctl watch <stream.jsonl|--addr HOST:PORT> [--series a,b] [--window DUR] [--once] [--interval MS]
+                                            terminal sparklines over the history plane
+                                            (recorded stream or a live /timeseries)
+  obsctl series export <stream.jsonl|--addr HOST:PORT> [--out FILE]
+                                            ring contents as replayable sample-stream JSONL
   obsctl list [results_dir]                 discover every run envelope
   obsctl selfcheck [results_dir] [bench_dir]
                                             validate all artefacts against their schema versions
@@ -73,6 +79,8 @@ pub fn run(args: &[String], env: CliEnv, out: &mut dyn Write) -> i32 {
         "bench" => cmd_bench(rest, env, out),
         "perf" => cmd_perf(rest, out),
         "alerts" => cmd_alerts(rest, out),
+        "watch" => cmd_watch(rest, out),
+        "series" => cmd_series(rest, out),
         "list" => cmd_list(rest, out),
         "selfcheck" => cmd_selfcheck(rest, out),
         "help" | "--help" | "-h" => {

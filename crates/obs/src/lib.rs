@@ -34,6 +34,11 @@
 //!   recorded sample stream or run envelope, reproducing the exact
 //!   inactive → pending → firing → resolved transcript (with `--expect`
 //!   as a CI gate);
+//! * `obsctl watch` / `obsctl series export` — terminal sparklines over
+//!   the `opad-tsdb` history plane (a recorded sample stream, or a live
+//!   `opad-serve` `/timeseries` endpoint via `--addr`; `--once` renders
+//!   one frame for CI), and ring contents re-serialised as replayable
+//!   sample-stream JSONL;
 //! * `obsctl list` / `obsctl selfcheck` — uniform discovery of every run
 //!   envelope and schema validation of every artefact in `results/`.
 //!
@@ -55,6 +60,7 @@ mod metrics;
 mod perf;
 mod selfcheck;
 mod tree;
+mod watch;
 
 pub use alerts::envelope_frame;
 pub use bench::{next_bench_seq, run_benchmarks, write_bench_report, BenchConfig, KernelStats};
@@ -72,3 +78,4 @@ pub use perf::{
 };
 pub use selfcheck::{selfcheck_dir, CheckOutcome};
 pub use tree::{aggregate_spans, critical_path, SpanTree};
+pub use watch::render_watch;

@@ -1,0 +1,475 @@
+//! `obsctl watch` — terminal sparklines over the history plane — and
+//! `obsctl series export` — ring contents re-serialised as a replayable
+//! sample stream.
+//!
+//! Both commands read the same two sources: a recorded sample-stream
+//! file (the [`opad_alert::replay`] JSONL format, loaded into a
+//! [`TsdbStore`]) or a live `opad-serve` instance's
+//! `/timeseries?all=1` endpoint (`--addr HOST:PORT`). Rendering is a
+//! pure function of the store contents — timestamps come from the
+//! recorded frame clock, never the wall clock — so `watch --once` over
+//! a fixture is byte-stable and golden-testable.
+
+use opad_telemetry::{parse_json, JsonValue};
+use opad_tsdb::{parse_duration_ms, Sample, SeriesKind, TsdbStore};
+use std::io::{Read, Write as IoWrite};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const WATCH_USAGE: &str = "\
+usage:
+  obsctl watch <stream.jsonl> [--series a,b] [--window DUR] [--once]
+  obsctl watch --addr HOST:PORT [--series a,b] [--window DUR] [--once] [--interval MS]
+  obsctl series export <stream.jsonl|--addr HOST:PORT> [--out FILE]";
+
+/// Sparkline glyphs, lowest to highest.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// At most this many points render per line (the newest ones).
+const SPARK_WIDTH: usize = 32;
+
+/// How long a live fetch waits for the server.
+const HTTP_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Where the samples come from.
+enum Source {
+    File(String),
+    Addr(String),
+}
+
+struct WatchArgs {
+    source: Source,
+    series: Option<Vec<String>>,
+    window_ms: Option<f64>,
+    once: bool,
+    interval: Duration,
+}
+
+fn parse_watch_args(args: &[String], out: &mut dyn IoWrite) -> Result<WatchArgs, i32> {
+    let mut path: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut series: Option<Vec<String>> = None;
+    let mut window_ms: Option<f64> = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    let _ = writeln!(out, "error: --addr needs HOST:PORT");
+                    return Err(2);
+                }
+            },
+            "--series" => match it.next() {
+                Some(v) => {
+                    series = Some(
+                        v.split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(ToString::to_string)
+                            .collect(),
+                    )
+                }
+                None => {
+                    let _ = writeln!(out, "error: --series needs a,b,...");
+                    return Err(2);
+                }
+            },
+            "--window" => match it.next().map(|v| parse_duration_ms(v)) {
+                Some(Ok(ms)) => window_ms = Some(ms),
+                Some(Err(e)) => {
+                    let _ = writeln!(out, "error: bad --window: {e}");
+                    return Err(2);
+                }
+                None => {
+                    let _ = writeln!(out, "error: --window needs a duration (10s, 500ms, 2m)");
+                    return Err(2);
+                }
+            },
+            "--once" => once = true,
+            "--interval" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => interval = Duration::from_millis(ms),
+                _ => {
+                    let _ = writeln!(out, "error: --interval needs positive milliseconds");
+                    return Err(2);
+                }
+            },
+            other if !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                let _ = writeln!(out, "error: unknown watch flag {other:?}\n{WATCH_USAGE}");
+                return Err(2);
+            }
+        }
+    }
+    let source = match (path, addr) {
+        (Some(p), None) => Source::File(p),
+        (None, Some(a)) => Source::Addr(a),
+        _ => {
+            let _ = writeln!(out, "{WATCH_USAGE}");
+            return Err(2);
+        }
+    };
+    Ok(WatchArgs {
+        source,
+        series,
+        window_ms,
+        once,
+        interval,
+    })
+}
+
+/// `obsctl watch ...`: render sparklines for every (selected) series,
+/// once for a recorded stream or `--once`, repeatedly for a live server.
+pub fn cmd_watch(args: &[String], out: &mut dyn IoWrite) -> i32 {
+    let watch = match parse_watch_args(args, out) {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    match &watch.source {
+        // A recorded stream is a fixed artefact: there is nothing to
+        // poll, so one render regardless of --once.
+        Source::File(path) => {
+            let store = match load_file(path, out) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let _ = write!(
+                out,
+                "{}",
+                render_watch(&store, watch.series.as_deref(), watch.window_ms)
+            );
+            0
+        }
+        Source::Addr(addr) => loop {
+            let store = match fetch_store(addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                    return 2;
+                }
+            };
+            let _ = write!(
+                out,
+                "{}",
+                render_watch(&store, watch.series.as_deref(), watch.window_ms)
+            );
+            if watch.once {
+                return 0;
+            }
+            let _ = writeln!(out);
+            std::thread::sleep(watch.interval);
+        },
+    }
+}
+
+/// `obsctl series export ...`: ring contents as sample-stream JSONL (the
+/// same format `alerts replay` and `watch` consume), to stdout or
+/// `--out FILE`.
+pub fn cmd_series(args: &[String], out: &mut dyn IoWrite) -> i32 {
+    if args.first().map(String::as_str) != Some("export") {
+        let _ = writeln!(out, "{WATCH_USAGE}");
+        return 2;
+    }
+    let mut path: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    let _ = writeln!(out, "error: --addr needs HOST:PORT");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => {
+                    let _ = writeln!(out, "error: --out needs a file path");
+                    return 2;
+                }
+            },
+            other if !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                let _ = writeln!(out, "error: unknown series flag {other:?}\n{WATCH_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let store = match (path, addr) {
+        (Some(p), None) => match load_file(&p, out) {
+            Ok(s) => s,
+            Err(code) => return code,
+        },
+        (None, Some(a)) => match fetch_store(&a) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 2;
+            }
+        },
+        _ => {
+            let _ = writeln!(out, "{WATCH_USAGE}");
+            return 2;
+        }
+    };
+    let text = store.export_jsonl();
+    match out_path {
+        Some(p) => match std::fs::write(&p, &text) {
+            Ok(()) => {
+                let _ = writeln!(out, "wrote {} line(s) to {p}", text.lines().count());
+                0
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {p}: {e}");
+                2
+            }
+        },
+        None => {
+            let _ = write!(out, "{text}");
+            0
+        }
+    }
+}
+
+/// Loads a recorded sample stream into a fresh store, reporting skipped
+/// lines (same leniency as `alerts replay`).
+fn load_file(path: &str, out: &mut dyn IoWrite) -> Result<TsdbStore, i32> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            let _ = writeln!(out, "error: {path}: {e}");
+            return Err(2);
+        }
+    };
+    let store = TsdbStore::new();
+    for (line, message) in store.load_stream(&text) {
+        let _ = writeln!(out, "{path}:{line}: skipped: {message}");
+    }
+    Ok(store)
+}
+
+/// One GET against a live server; returns the body on HTTP 200.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(HTTP_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(HTTP_TIMEOUT)))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let status = response.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| format!("{addr}{path}: malformed response"))
+}
+
+/// Fetches `/timeseries?all=1` and rebuilds a local store from it.
+fn fetch_store(addr: &str) -> Result<TsdbStore, String> {
+    let body = http_get(addr, "/timeseries?all=1")?;
+    let doc = parse_json(body.trim()).map_err(|e| format!("{addr}/timeseries: {e}"))?;
+    let store = TsdbStore::new();
+    let series = doc
+        .get("series")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{addr}/timeseries: no series array"))?;
+    for s in series {
+        let name = s
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("series without a name")?;
+        let kind = match s.get("kind").and_then(JsonValue::as_str) {
+            Some("counter") => SeriesKind::Counter,
+            _ => SeriesKind::Gauge,
+        };
+        let samples = s
+            .get("samples")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("series {name} without samples (server too old?)"))?;
+        for pair in samples {
+            let pair = pair.as_arr().ok_or("sample is not a [t, v] pair")?;
+            let (Some(t_ms), Some(value)) = (
+                pair.first().and_then(JsonValue::as_f64),
+                pair.get(1).and_then(JsonValue::as_f64),
+            ) else {
+                return Err("sample pair is not numeric".to_string());
+            };
+            store.push(name, kind, Sample { t_ms, value });
+        }
+    }
+    Ok(store)
+}
+
+/// Renders one watch frame: a header with the store's newest frame-clock
+/// timestamp, then one sparkline row per series (name-sorted). Counters
+/// plot per-step increments (resets clamp to zero); gauges plot raw
+/// values.
+pub fn render_watch(
+    store: &TsdbStore,
+    filter: Option<&[String]>,
+    window_ms: Option<f64>,
+) -> String {
+    let mut out = String::new();
+    let t_last = store.last_sample_ms();
+    let infos: Vec<_> = store
+        .series_index()
+        .into_iter()
+        .filter(|i| filter.is_none_or(|names| names.iter().any(|n| n == &i.name)))
+        .collect();
+    out.push_str(&format!(
+        "watch @ t={}  {} series\n",
+        t_last.map_or_else(|| "-".to_string(), |t| format!("{t}ms")),
+        infos.len(),
+    ));
+    for info in infos {
+        let samples = match (window_ms, t_last) {
+            (Some(w), Some(t1)) => store
+                .samples_between(&info.name, t1 - w, t1)
+                .unwrap_or_default(),
+            _ => store.samples(&info.name).unwrap_or_default(),
+        };
+        let (values, summary) = match info.kind {
+            SeriesKind::Counter => {
+                let deltas: Vec<f64> = samples
+                    .windows(2)
+                    .map(|w| (w[1].value - w[0].value).max(0.0))
+                    .collect();
+                let total: f64 = deltas.iter().sum();
+                let last = samples.last().map(|s| s.value).unwrap_or(0.0);
+                (deltas, format!("total={last} Δshown={total}"))
+            }
+            SeriesKind::Gauge => {
+                let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for v in &values {
+                    lo = lo.min(*v);
+                    hi = hi.max(*v);
+                }
+                let last = values.last().copied().unwrap_or(0.0);
+                let summary = if values.is_empty() {
+                    "no samples".to_string()
+                } else {
+                    format!("last={last} min={lo} max={hi}")
+                };
+                (values, summary)
+            }
+        };
+        out.push_str(&format!(
+            "  {:<32} {:<7} {:<width$} {}\n",
+            info.name,
+            info.kind.as_str(),
+            sparkline(&values),
+            summary,
+            width = SPARK_WIDTH,
+        ));
+    }
+    out
+}
+
+/// Maps the newest `SPARK_WIDTH` values onto the eight sparkline
+/// glyphs, min-max normalised; a flat (or single-point) series renders
+/// at mid-height.
+fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "-".to_string();
+    }
+    let tail = &values[values.len().saturating_sub(SPARK_WIDTH)..];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in tail {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    let span = hi - lo;
+    tail.iter()
+        .map(|v| {
+            if span <= 0.0 {
+                SPARK[3]
+            } else {
+                let level = ((v - lo) / span * 7.0).round() as usize;
+                SPARK[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> TsdbStore {
+        let store = TsdbStore::new();
+        for i in 0..6u32 {
+            let t = i as f64 * 250.0;
+            store.push(
+                "c",
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: t,
+                    value: (i * i) as f64,
+                },
+            );
+            store.push(
+                "g",
+                SeriesKind::Gauge,
+                Sample {
+                    t_ms: t,
+                    value: (i % 3) as f64,
+                },
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function_of_the_store() {
+        let a = render_watch(&seeded(), None, None);
+        let b = render_watch(&seeded(), None, None);
+        assert_eq!(a, b);
+        assert!(a.starts_with("watch @ t=1250ms  2 series\n"), "{a}");
+        assert!(a.contains("total=25"), "{a}");
+        assert!(a.contains("last=2 min=0 max=2"), "{a}");
+    }
+
+    #[test]
+    fn filters_and_windows_cut_the_frame() {
+        let store = seeded();
+        let only_c = render_watch(&store, Some(&["c".to_string()]), None);
+        assert!(only_c.contains("1 series"), "{only_c}");
+        assert!(!only_c.contains(" g "), "{only_c}");
+        let windowed = render_watch(&store, None, Some(500.0));
+        // Window [750, 1250] keeps 3 samples → 2 counter deltas.
+        assert!(windowed.contains("Δshown=16"), "{windowed}");
+    }
+
+    #[test]
+    fn sparklines_normalise_and_handle_flat_series() {
+        assert_eq!(sparkline(&[]), "-");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(line, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn counter_resets_clamp_to_zero_increments() {
+        let store = TsdbStore::new();
+        for (t, v) in [(0.0, 10.0), (250.0, 20.0), (500.0, 3.0), (750.0, 6.0)] {
+            store.push("c", SeriesKind::Counter, Sample { t_ms: t, value: v });
+        }
+        let frame = render_watch(&store, None, None);
+        // 10 + 0 (reset) + 3 shown increments.
+        assert!(frame.contains("Δshown=13"), "{frame}");
+    }
+}

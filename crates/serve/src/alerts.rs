@@ -83,7 +83,7 @@ pub fn render_build_info(git_commit: &str) -> String {
     )
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -103,7 +103,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn fmt_json_f64(v: f64) -> String {
+pub(crate) fn fmt_json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

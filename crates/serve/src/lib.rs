@@ -27,7 +27,18 @@
 //!   count;
 //! * `GET /runs` — JSON list of the run envelopes discovered under the
 //!   configured `results/` directory, so a dashboard can pair the live
-//!   metrics with finished-run artefacts.
+//!   metrics with finished-run artefacts;
+//! * `GET /timeseries` — with a [`TsdbStore`](opad_tsdb::TsdbStore)
+//!   attached ([`MetricsServer::timeseries`]): the history plane's
+//!   series index, one series' windowed samples
+//!   (`?series=NAME&window=10s`), or index + samples for everything
+//!   (`?all=1` — the shape `obsctl watch` polls);
+//! * `GET /query?expr=rate(pipeline.seeds_attacked,10s)` — one window
+//!   expression evaluated at the newest sample's frame clock.
+//!
+//! With a history store attached, `/healthz` additionally reports
+//! sampler liveness (`sampler.age_ms`, the age of the newest sample)
+//! and degrades when the sampler has stalled.
 //!
 //! `/metrics` additionally carries `opad_build_info{git_commit,version} 1`
 //! and, with an alert center attached, the Prometheus-convention
@@ -67,6 +78,7 @@ mod http;
 mod prom;
 mod runs;
 mod server;
+mod timeseries;
 
 pub use alerts::{alerts_json, render_alert_metrics, render_build_info};
 pub use bench::{load_latest_bench, BenchGauges, BenchKernelGauge};
@@ -76,3 +88,4 @@ pub use prom::{
 };
 pub use runs::runs_json;
 pub use server::{MetricsServer, ServerConfig, ServerHandle};
+pub use timeseries::{parse_query, query_json, timeseries_json, TIMESERIES_VERSION};

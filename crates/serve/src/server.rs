@@ -1,12 +1,14 @@
 //! The accept loop: bind, serve, shut down gracefully.
 
-use crate::alerts::{alerts_json, render_alert_metrics, render_build_info};
+use crate::alerts::{alerts_json, fmt_json_f64, render_alert_metrics, render_build_info};
 use crate::bench::load_latest_bench;
 use crate::http::{read_request, write_response, Request};
 use crate::prom::{render_bench_metrics, render_metrics, CONTENT_TYPE};
 use crate::runs::runs_json;
+use crate::timeseries::{query_json, timeseries_json};
 use opad_alert::AlertCenter;
 use opad_telemetry::{phase, LiveRecorder};
+use opad_tsdb::TsdbStore;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -60,6 +62,7 @@ pub struct MetricsServer {
     recorder: Arc<LiveRecorder>,
     config: ServerConfig,
     center: Option<Arc<AlertCenter>>,
+    tsdb: Option<Arc<TsdbStore>>,
 }
 
 impl MetricsServer {
@@ -69,6 +72,7 @@ impl MetricsServer {
             recorder,
             config,
             center: None,
+            tsdb: None,
         }
     }
 
@@ -78,6 +82,16 @@ impl MetricsServer {
     /// lookup) so a server only reports alerts its owner opted into.
     pub fn alerts(mut self, center: Arc<AlertCenter>) -> MetricsServer {
         self.center = Some(center);
+        self
+    }
+
+    /// Attaches a [`TsdbStore`] history plane: `/timeseries` serves its
+    /// ring contents, `/query?expr=` evaluates window expressions over
+    /// it, and `/healthz` gains a `sampler` liveness block (age of the
+    /// newest sample; `status` degrades to `degraded` when the sampler
+    /// has gone quiet for more than four expected intervals).
+    pub fn timeseries(mut self, store: Arc<TsdbStore>) -> MetricsServer {
+        self.tsdb = Some(store);
         self
     }
 
@@ -94,7 +108,14 @@ impl MetricsServer {
         let thread = std::thread::Builder::new()
             .name("opad-serve".to_string())
             .spawn(move || {
-                accept_loop(listener, self.recorder, self.config, self.center, loop_stop)
+                accept_loop(
+                    listener,
+                    self.recorder,
+                    self.config,
+                    self.center,
+                    self.tsdb,
+                    loop_stop,
+                )
             })
             .expect("spawning the server thread");
         Ok(ServerHandle {
@@ -144,6 +165,7 @@ fn accept_loop(
     recorder: Arc<LiveRecorder>,
     config: ServerConfig,
     center: Option<Arc<AlertCenter>>,
+    tsdb: Option<Arc<TsdbStore>>,
     stop: Arc<AtomicBool>,
 ) {
     // One connection at a time, by design: exposition responses are
@@ -153,7 +175,13 @@ fn accept_loop(
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = handle_connection(stream, &recorder, &config, center.as_deref());
+                let _ = handle_connection(
+                    stream,
+                    &recorder,
+                    &config,
+                    center.as_deref(),
+                    tsdb.as_deref(),
+                );
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -170,6 +198,7 @@ fn handle_connection(
     recorder: &LiveRecorder,
     config: &ServerConfig,
     center: Option<&AlertCenter>,
+    tsdb: Option<&TsdbStore>,
 ) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
@@ -186,7 +215,7 @@ fn handle_connection(
             )
         }
     };
-    respond(&mut stream, &request, recorder, config, center)
+    respond(&mut stream, &request, recorder, config, center, tsdb)
 }
 
 fn respond(
@@ -195,6 +224,7 @@ fn respond(
     recorder: &LiveRecorder,
     config: &ServerConfig,
     center: Option<&AlertCenter>,
+    tsdb: Option<&TsdbStore>,
 ) -> io::Result<()> {
     if request.method != "GET" {
         return write_response(
@@ -205,8 +235,13 @@ fn respond(
             "only GET is supported\n",
         );
     }
-    // Ignore any query string: scrapers sometimes append cache busters.
-    let path = request.target.split('?').next().unwrap_or("");
+    // Split target into path and raw query. Non-history endpoints still
+    // ignore the query (scrapers sometimes append cache busters); the
+    // history endpoints parse it.
+    let (path, query) = match request.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.target.as_str(), ""),
+    };
     match path {
         "/metrics" => {
             let mut body = render_metrics(&recorder.snapshot());
@@ -226,13 +261,35 @@ fn respond(
             // instead of silently truncating to some valid phase.
             let phase_label = phase::gauge_label(recorder.gauge(phase::PHASE_GAUGE).unwrap_or(0.0));
             let firing = center.map(AlertCenter::firing_count).unwrap_or(0);
-            let status = if firing > 0 { "degraded" } else { "ok" };
-            let body = format!(
-                "{{\"status\":\"{status}\",\"uptime_ms\":{:.0},\"round\":{round},\"phase\":\"{phase_label}\",\"git_commit\":\"{}\",\"version\":\"{}\",\"alerts_firing\":{firing}}}\n",
+            // Sampler liveness, when a history store is attached: the
+            // age of the newest sample on the recorder's frame clock. A
+            // sampler quiet for more than four expected intervals (or
+            // one that never sampled at all) reads as stalled — the run
+            // is then flying without history, which degrades health
+            // just like a firing alert.
+            let sampler = tsdb.map(|store| sampler_health(store, recorder.elapsed_ms()));
+            let stale = sampler.as_ref().is_some_and(|s| s.stale);
+            let status = if firing > 0 || stale {
+                "degraded"
+            } else {
+                "ok"
+            };
+            let mut body = format!(
+                "{{\"status\":\"{status}\",\"uptime_ms\":{:.0},\"round\":{round},\"phase\":\"{phase_label}\",\"git_commit\":\"{}\",\"version\":\"{}\",\"alerts_firing\":{firing}",
                 recorder.elapsed_ms(),
                 crate::prom::escape_label_value(&config.git_commit),
                 env!("CARGO_PKG_VERSION"),
             );
+            if let Some(s) = sampler {
+                body.push_str(&format!(
+                    ",\"sampler\":{{\"last_sample_ms\":{},\"age_ms\":{},\"stale\":{}}}",
+                    s.last_sample_ms
+                        .map_or_else(|| "null".to_string(), fmt_json_f64),
+                    s.age_ms.map_or_else(|| "null".to_string(), fmt_json_f64),
+                    s.stale,
+                ));
+            }
+            body.push_str("}\n");
             write_response(stream, 200, "OK", "application/json", &body)
         }
         "/alerts" => {
@@ -246,6 +303,69 @@ fn respond(
             let body = runs_json(&config.results_dir);
             write_response(stream, 200, "OK", "application/json", &body)
         }
+        "/timeseries" => match tsdb {
+            Some(store) => {
+                let (code, body) = timeseries_json(store, query);
+                write_response(stream, code, reason(code), "application/json", &body)
+            }
+            None => write_response(
+                stream,
+                404,
+                "Not Found",
+                "application/json",
+                "{\"error\":\"no history store attached\"}\n",
+            ),
+        },
+        "/query" => match tsdb {
+            Some(store) => {
+                let (code, body) = query_json(store, query);
+                write_response(stream, code, reason(code), "application/json", &body)
+            }
+            None => write_response(
+                stream,
+                404,
+                "Not Found",
+                "application/json",
+                "{\"error\":\"no history store attached\"}\n",
+            ),
+        },
         _ => write_response(stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    }
+}
+
+struct SamplerHealth {
+    last_sample_ms: Option<f64>,
+    age_ms: Option<f64>,
+    stale: bool,
+}
+
+fn sampler_health(store: &TsdbStore, now_ms: f64) -> SamplerHealth {
+    match store.last_sample_ms() {
+        Some(last) => {
+            let age = (now_ms - last).max(0.0);
+            let stale = store
+                .expected_interval_ms()
+                .is_some_and(|interval| age > 4.0 * interval);
+            SamplerHealth {
+                last_sample_ms: Some(last),
+                age_ms: Some(age),
+                stale,
+            }
+        }
+        // Attached but never sampled: stalled from birth.
+        None => SamplerHealth {
+            last_sample_ms: None,
+            age_ms: None,
+            stale: true,
+        },
     }
 }

@@ -1,0 +1,342 @@
+//! The history faces of the server: `GET /timeseries` (series index and
+//! windowed raw samples out of the attached [`TsdbStore`]) and
+//! `GET /query?expr=` (one windowed expression, evaluated at the frame
+//! clock of the newest sample — never the wall clock, so a response is
+//! reproducible against an exported stream).
+
+use crate::alerts::{fmt_json_f64, json_str};
+use opad_tsdb::{parse_duration_ms, parse_expr, QueryError, Sample, SeriesInfo, TsdbStore};
+use std::fmt::Write;
+
+/// Version stamped into every `/timeseries` and `/query` body.
+pub const TIMESERIES_VERSION: u32 = 1;
+
+/// Renders `GET /timeseries` for a raw query string. Returns
+/// `(status, json_body)`.
+///
+/// * no parameters — the series index (name, kind, ring occupancy,
+///   eviction odometer, covered time span per series);
+/// * `?series=NAME[&window=DUR]` — one series' samples, optionally cut
+///   to the trailing window ending at the store's newest timestamp;
+/// * `?all=1[&window=DUR]` — index *and* samples for every series in
+///   one response (the shape `obsctl watch` polls).
+pub fn timeseries_json(store: &TsdbStore, query: &str) -> (u16, String) {
+    let params = parse_query(query);
+    let window_ms = match param(&params, "window") {
+        Some(text) => match parse_duration_ms(text) {
+            Ok(ms) => Some(ms),
+            Err(e) => return (400, error_body(&format!("bad window: {e}"))),
+        },
+        None => None,
+    };
+    let t_last = store.last_sample_ms();
+    if let Some(name) = param(&params, "series") {
+        let samples = match windowed_samples(store, name, t_last, window_ms) {
+            Ok(s) => s,
+            Err(e @ QueryError::UnknownSeries(_)) => return (404, error_body(&e.to_string())),
+            Err(e) => return (400, error_body(&e.to_string())),
+        };
+        let info = store
+            .series_index()
+            .into_iter()
+            .find(|i| i.name == name)
+            .expect("series exists: samples() succeeded");
+        let mut out = String::with_capacity(256);
+        let _ = write!(out, "{{\"v\":{TIMESERIES_VERSION},");
+        push_series_obj(&mut out, &info, Some(&samples));
+        out.push_str("}\n");
+        return (200, out);
+    }
+    let with_samples = param(&params, "all").is_some();
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"v\":{TIMESERIES_VERSION},\"t_last\":{},\"series\":[",
+        t_last.map_or_else(|| "null".to_string(), fmt_json_f64),
+    );
+    for (i, info) in store.series_index().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let samples = if with_samples {
+            windowed_samples(store, &info.name, t_last, window_ms).ok()
+        } else {
+            None
+        };
+        out.push('{');
+        push_series_obj(&mut out, info, samples.as_deref());
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    (200, out)
+}
+
+/// Renders `GET /query?expr=…`: parses the expression through the tsdb
+/// grammar, evaluates it at the newest sample's frame clock, and
+/// returns `{"v":…,"expr":…,"t_ms":…,"value":…}` — or a JSON error with
+/// 400 (malformed / unevaluable) or 404 (unknown series).
+pub fn query_json(store: &TsdbStore, query: &str) -> (u16, String) {
+    let params = parse_query(query);
+    let Some(text) = param(&params, "expr") else {
+        return (400, error_body("missing expr parameter"));
+    };
+    let expr = match parse_expr(text) {
+        Ok(e) => e,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let Some(t_end) = store.last_sample_ms() else {
+        return (404, error_body("no samples recorded yet"));
+    };
+    match store.eval_expr(&expr, t_end) {
+        Ok(value) => (
+            200,
+            format!(
+                "{{\"v\":{TIMESERIES_VERSION},\"expr\":{},\"t_ms\":{},\"value\":{}}}\n",
+                json_str(&expr.to_string()),
+                fmt_json_f64(t_end),
+                fmt_json_f64(value),
+            ),
+        ),
+        Err(e @ QueryError::UnknownSeries(_)) => (404, error_body(&e.to_string())),
+        Err(e) => (400, error_body(&e.to_string())),
+    }
+}
+
+/// One series' samples, cut to the trailing `window_ms` ending at the
+/// store's newest timestamp when a window was asked for.
+fn windowed_samples(
+    store: &TsdbStore,
+    name: &str,
+    t_last: Option<f64>,
+    window_ms: Option<f64>,
+) -> Result<Vec<Sample>, QueryError> {
+    match (window_ms, t_last) {
+        (Some(w), Some(t1)) => store.samples_between(name, t1 - w, t1),
+        _ => store.samples(name),
+    }
+}
+
+/// Appends the inner fields of one series object (no surrounding
+/// braces, so callers can prepend their own keys).
+fn push_series_obj(out: &mut String, info: &SeriesInfo, samples: Option<&[Sample]>) {
+    let _ = write!(
+        out,
+        "\"name\":{},\"kind\":\"{}\",\"len\":{},\"capacity\":{},\"evictions\":{},\"t_first\":{},\"t_last\":{}",
+        json_str(&info.name),
+        info.kind.as_str(),
+        info.len,
+        info.capacity,
+        info.evictions,
+        fmt_json_f64(info.t_first),
+        fmt_json_f64(info.t_last),
+    );
+    if let Some(samples) = samples {
+        out.push_str(",\"samples\":[");
+        for (i, s) in samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", fmt_json_f64(s.t_ms), fmt_json_f64(s.value));
+        }
+        out.push(']');
+    }
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}\n", json_str(message))
+}
+
+/// Splits a raw query string (`a=1&b=two%20words`) into decoded
+/// key/value pairs. Keys without `=` get an empty value.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+fn param<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Decodes `%XX` escapes and `+`-as-space (the form-encoding browsers
+/// and curl produce for expressions like `rate(c,+10s)`). Invalid
+/// escapes pass through literally rather than erroring — the decoded
+/// text then fails expression parsing with a better message.
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => match (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opad_telemetry::{parse_json, JsonValue};
+    use opad_tsdb::SeriesKind;
+
+    fn seeded_store() -> TsdbStore {
+        let store = TsdbStore::new();
+        for i in 0..5u32 {
+            let t = i as f64 * 250.0;
+            store.push(
+                "pipeline.seeds_attacked",
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: t,
+                    value: (i * 10) as f64,
+                },
+            );
+            store.push(
+                "reliability.pfd_mean",
+                SeriesKind::Gauge,
+                Sample {
+                    t_ms: t,
+                    value: 0.05 - i as f64 * 0.01,
+                },
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_plus() {
+        assert_eq!(percent_decode("rate(c%2C+10s)"), "rate(c, 10s)");
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("bad%2"), "bad%2");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+    }
+
+    #[test]
+    fn index_lists_every_series_name_sorted() {
+        let (code, body) = timeseries_json(&seeded_store(), "");
+        assert_eq!(code, 200);
+        let doc = parse_json(body.trim()).expect("valid JSON");
+        let series = doc.get("series").and_then(JsonValue::as_arr).unwrap();
+        let names: Vec<&str> = series
+            .iter()
+            .map(|s| s.get("name").and_then(JsonValue::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["pipeline.seeds_attacked", "reliability.pfd_mean"]
+        );
+        assert_eq!(
+            series[0].get("kind").and_then(JsonValue::as_str),
+            Some("counter")
+        );
+        assert_eq!(doc.get("t_last").and_then(JsonValue::as_f64), Some(1000.0));
+        // Index responses carry no sample payloads.
+        assert!(series[0].get("samples").is_none());
+    }
+
+    #[test]
+    fn single_series_window_cuts_the_tail() {
+        let store = seeded_store();
+        let (code, body) = timeseries_json(&store, "series=pipeline.seeds_attacked&window=500ms");
+        assert_eq!(code, 200, "{body}");
+        let doc = parse_json(body.trim()).expect("valid JSON");
+        let samples = doc.get("samples").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(samples.len(), 3, "window [500,1000] holds 3 samples");
+        assert_eq!(samples[0].as_arr().unwrap()[0].as_f64(), Some(500.0));
+        let (code, body) = timeseries_json(&store, "series=nope");
+        assert_eq!(code, 404, "{body}");
+        assert!(body.contains("unknown series"), "{body}");
+    }
+
+    #[test]
+    fn all_mode_carries_samples_for_every_series() {
+        let (code, body) = timeseries_json(&seeded_store(), "all=1");
+        assert_eq!(code, 200);
+        let doc = parse_json(body.trim()).expect("valid JSON");
+        for series in doc.get("series").and_then(JsonValue::as_arr).unwrap() {
+            let samples = series.get("samples").and_then(JsonValue::as_arr).unwrap();
+            assert_eq!(samples.len(), 5);
+        }
+    }
+
+    #[test]
+    fn query_evaluates_expressions_at_the_frame_clock() {
+        let store = seeded_store();
+        let (code, body) = query_json(&store, "expr=rate(pipeline.seeds_attacked,+10s)");
+        assert_eq!(code, 200, "{body}");
+        let doc = parse_json(body.trim()).expect("valid JSON");
+        assert_eq!(
+            doc.get("expr").and_then(JsonValue::as_str),
+            Some("rate(pipeline.seeds_attacked, 10s)")
+        );
+        assert_eq!(doc.get("t_ms").and_then(JsonValue::as_f64), Some(1000.0));
+        assert_eq!(doc.get("value").and_then(JsonValue::as_f64), Some(40.0));
+        let (code, _) = query_json(&store, "expr=reliability.pfd_mean");
+        assert_eq!(code, 200);
+    }
+
+    #[test]
+    fn query_errors_map_to_http_statuses() {
+        let store = seeded_store();
+        let cases = [
+            ("", 400, "missing expr"),
+            ("expr=rate(nope,10s)", 404, "unknown series"),
+            ("expr=rate(pipeline.seeds_attacked", 400, "missing"),
+            ("expr=avg_over_time(reliability.pfd_mean,0s)", 400, "window"),
+        ];
+        for (query, want_code, want_frag) in cases {
+            let (code, body) = query_json(&store, query);
+            assert_eq!(code, want_code, "{query}: {body}");
+            assert!(
+                body.to_lowercase().contains(want_frag),
+                "{query}: {body} should mention {want_frag}"
+            );
+        }
+        let empty = TsdbStore::new();
+        let (code, body) = query_json(&empty, "expr=rate(c,10s)");
+        assert_eq!(code, 404, "{body}");
+        assert!(body.contains("no samples"), "{body}");
+    }
+
+    #[test]
+    fn bad_window_parameter_is_a_400() {
+        let (code, body) = timeseries_json(&seeded_store(), "window=soon");
+        assert_eq!(code, 400);
+        assert!(body.contains("bad window"), "{body}");
+    }
+}

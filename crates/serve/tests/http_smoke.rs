@@ -227,6 +227,126 @@ fn alert_center_drives_alerts_metrics_and_degraded_health() {
 }
 
 #[test]
+fn timeseries_and_query_serve_the_attached_history_store() {
+    use opad_tsdb::{Sample, SeriesKind, TsdbStore};
+
+    let store = Arc::new(TsdbStore::new());
+    for i in 0..5u32 {
+        store.push(
+            "pipeline.seeds_attacked",
+            SeriesKind::Counter,
+            Sample {
+                t_ms: i as f64 * 250.0,
+                value: (i * 10) as f64,
+            },
+        );
+    }
+    store.set_expected_interval_ms(250.0);
+    let recorder = Arc::new(LiveRecorder::new());
+    let handle = MetricsServer::new(
+        recorder,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            results_dir: fixture_dir("tsdb"),
+            bench_dir: fixture_dir("tsdb_bench"),
+            git_commit: "smoke123".to_string(),
+        },
+    )
+    .timeseries(store.clone())
+    .spawn()
+    .expect("ephemeral port binds");
+    let addr = handle.addr();
+
+    let (status, body) = get(addr, "/timeseries");
+    assert!(status.contains("200"), "{status}");
+    let doc = parse_json(body.trim()).expect("valid JSON");
+    let series = doc.get("series").and_then(|v| v.as_arr()).expect("array");
+    assert_eq!(series.len(), 1, "{body}");
+    assert_eq!(
+        series[0].get("name").and_then(|v| v.as_str()),
+        Some("pipeline.seeds_attacked")
+    );
+
+    let (status, body) = get(addr, "/timeseries?all=1&window=500ms");
+    assert!(status.contains("200"), "{status}");
+    let doc = parse_json(body.trim()).expect("valid JSON");
+    let series = doc.get("series").and_then(|v| v.as_arr()).expect("array");
+    let samples = series[0]
+        .get("samples")
+        .and_then(|v| v.as_arr())
+        .expect("samples present in all mode");
+    assert_eq!(samples.len(), 3, "{body}");
+
+    let (status, body) = get(addr, "/query?expr=rate(pipeline.seeds_attacked,%2010s)");
+    assert!(status.contains("200"), "{status} {body}");
+    let doc = parse_json(body.trim()).expect("valid JSON");
+    assert_eq!(doc.get("value").and_then(|v| v.as_f64()), Some(40.0));
+
+    let (status, _) = get(addr, "/query?expr=rate(nope,10s)");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = get(addr, "/query?expr=%28%28");
+    assert!(status.contains("400"), "{status}");
+
+    // The sampler block: samples exist and the frame clock has barely
+    // advanced past them, but the store was stamped by hand at t=1000ms
+    // while the recorder just started — so age is near zero only if the
+    // recorder clock ran past 1000ms, which it hasn't: age clamps at 0
+    // and the sampler reads fresh.
+    let (_, body) = get(addr, "/healthz");
+    let health = parse_json(body.trim()).expect("valid JSON");
+    let sampler = health.get("sampler").expect("sampler block present");
+    assert_eq!(
+        sampler.get("last_sample_ms").and_then(|v| v.as_f64()),
+        Some(1000.0)
+    );
+    assert_eq!(sampler.get("stale").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_degrades_when_the_sampler_never_sampled() {
+    use opad_tsdb::TsdbStore;
+
+    let recorder = Arc::new(LiveRecorder::new());
+    let handle = MetricsServer::new(
+        recorder,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            results_dir: fixture_dir("tsdb_stale"),
+            bench_dir: fixture_dir("tsdb_stale_bench"),
+            git_commit: "smoke123".to_string(),
+        },
+    )
+    .timeseries(Arc::new(TsdbStore::new()))
+    .spawn()
+    .expect("ephemeral port binds");
+    let addr = handle.addr();
+
+    let (_, body) = get(addr, "/healthz");
+    let health = parse_json(body.trim()).expect("valid JSON");
+    assert_eq!(
+        health.get("status").and_then(|v| v.as_str()),
+        Some("degraded"),
+        "{body}"
+    );
+    let sampler = health.get("sampler").expect("sampler block present");
+    assert_eq!(sampler.get("stale").and_then(|v| v.as_bool()), Some(true));
+
+    // An empty /timeseries index is still a valid 200 document.
+    let (status, body) = get(addr, "/timeseries");
+    assert!(status.contains("200"), "{status}");
+    let doc = parse_json(body.trim()).expect("valid JSON");
+    assert_eq!(
+        doc.get("series").and_then(|v| v.as_arr()).map(|a| a.len()),
+        Some(0)
+    );
+
+    handle.shutdown();
+}
+
+#[test]
 fn malformed_requests_get_400_and_do_not_wedge_the_loop() {
     let recorder = Arc::new(LiveRecorder::new());
     let handle = MetricsServer::new(

@@ -1,0 +1,74 @@
+//! Golden-file tests of the `/timeseries` and `/query` JSON bodies:
+//! the exact bytes a dashboard or `obsctl watch` sees for a fixed store,
+//! pinned so renderer drift is a deliberate act, not an accident.
+
+use opad_serve::{query_json, timeseries_json};
+use opad_telemetry::parse_json;
+use opad_tsdb::{Sample, SeriesKind, TsdbStore};
+
+/// A deterministic history fixture: a counter ramping 40/s and a pfd
+/// gauge decaying, five samples each on a 250 ms cadence.
+fn fixture_store() -> TsdbStore {
+    let store = TsdbStore::new();
+    for i in 0..5u32 {
+        let t = i as f64 * 250.0;
+        store.push(
+            "pipeline.seeds_attacked",
+            SeriesKind::Counter,
+            Sample {
+                t_ms: t,
+                value: (i * 10) as f64,
+            },
+        );
+        store.push(
+            "reliability.pfd_mean",
+            SeriesKind::Gauge,
+            Sample {
+                t_ms: t,
+                value: 0.05 - i as f64 * 0.01,
+            },
+        );
+    }
+    store
+}
+
+#[test]
+fn timeseries_all_matches_the_golden_file() {
+    let (code, body) = timeseries_json(&fixture_store(), "all=1&window=500ms");
+    assert_eq!(code, 200);
+    let golden = include_str!("golden/timeseries_all.json");
+    assert_eq!(
+        body, golden,
+        "/timeseries body drifted from tests/golden/timeseries_all.json — \
+         if the change is intentional, regenerate the golden file from this \
+         output"
+    );
+    assert!(parse_json(body.trim()).is_ok(), "{body}");
+}
+
+#[test]
+fn timeseries_index_matches_the_golden_file() {
+    let (code, body) = timeseries_json(&fixture_store(), "");
+    assert_eq!(code, 200);
+    let golden = include_str!("golden/timeseries_index.json");
+    assert_eq!(
+        body, golden,
+        "/timeseries index drifted from tests/golden/timeseries_index.json — \
+         if the change is intentional, regenerate the golden file from this \
+         output"
+    );
+    assert!(parse_json(body.trim()).is_ok(), "{body}");
+}
+
+#[test]
+fn query_matches_the_golden_file() {
+    let (code, body) = query_json(&fixture_store(), "expr=rate(pipeline.seeds_attacked,+10s)");
+    assert_eq!(code, 200);
+    let golden = include_str!("golden/query_rate.json");
+    assert_eq!(
+        body, golden,
+        "/query body drifted from tests/golden/query_rate.json — if the \
+         change is intentional, regenerate the golden file from this output"
+    );
+    assert!(parse_json(body.trim()).is_ok(), "{body}");
+}

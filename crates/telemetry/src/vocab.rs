@@ -48,8 +48,11 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     ("shard.checkpoints", MetricKind::Counter),
     ("shard.demands", MetricKind::Counter),
     ("shard.merges", MetricKind::Counter),
+    ("tsdb.evictions", MetricKind::Counter),
+    ("tsdb.samples", MetricKind::Counter),
     // Gauges.
     ("nn.train.loss", MetricKind::Gauge),
+    ("pipeline.naturalness_floor", MetricKind::Gauge),
     ("pipeline.pfd_mean", MetricKind::Gauge),
     ("pipeline.pfd_upper", MetricKind::Gauge),
     ("pipeline.phase", MetricKind::Gauge),
@@ -67,6 +70,7 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     ("reliability.pfd_upper_ms", MetricKind::Histogram),
     ("shard.task_ms", MetricKind::Histogram),
     ("tensor.matmul_ms", MetricKind::Histogram),
+    ("tsdb.query_us", MetricKind::Histogram),
 ];
 
 /// The kind a metric name is published as, `None` for unknown names.
@@ -108,6 +112,17 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), before, "duplicate metric name in vocabulary");
+    }
+
+    #[test]
+    fn history_plane_metrics_are_registered() {
+        assert_eq!(kind_of("tsdb.samples"), Some(MetricKind::Counter));
+        assert_eq!(kind_of("tsdb.evictions"), Some(MetricKind::Counter));
+        assert_eq!(kind_of("tsdb.query_us"), Some(MetricKind::Histogram));
+        assert_eq!(
+            kind_of("pipeline.naturalness_floor"),
+            Some(MetricKind::Gauge)
+        );
     }
 
     #[test]

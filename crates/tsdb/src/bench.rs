@@ -1,0 +1,101 @@
+//! The history plane's micro-benchmarks: the per-sample and per-query
+//! costs the sampler and the alert engine's window conditions pay.
+//! Std-only, like [`TelemetryBenches`] — runnable and baseline-able in
+//! environments where the rand/serde kernel crates cannot compile.
+//!
+//! [`TelemetryBenches`]: opad_telemetry::TelemetryBenches
+
+use crate::expr::WindowExpr;
+use crate::ring::{Sample, SeriesRing};
+use crate::store::{SeriesKind, TsdbStore};
+use crate::window::WindowFn;
+use opad_telemetry::{BenchKernel, Benchmarkable};
+
+/// Registry of tsdb kernels (ring push, windowed quantile, full-ring
+/// rate).
+pub struct TsdbBenches;
+
+impl Benchmarkable for TsdbBenches {
+    fn bench_kernels() -> Vec<BenchKernel> {
+        // A full default-size ring of gauge readings for the quantile
+        // kernel: worst case, every query sorts the whole window.
+        let quantile_store = TsdbStore::new();
+        for i in 0..1_000u32 {
+            quantile_store.push(
+                "bench.gauge",
+                SeriesKind::Gauge,
+                Sample {
+                    t_ms: i as f64 * 250.0,
+                    value: (i.wrapping_mul(2_654_435_761) % 1_000) as f64 * 0.001,
+                },
+            );
+        }
+        let quantile_expr = WindowExpr {
+            func: WindowFn::QuantileOverTime(0.9),
+            metric: "bench.gauge".to_string(),
+            window_ms: 250_000.0,
+        };
+
+        // A wrapped counter ring for the rate kernel: the scan walks
+        // capacity-many samples across the wrap seam.
+        let rate_store = TsdbStore::new();
+        for i in 0..2_000u32 {
+            rate_store.push(
+                "bench.counter",
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: i as f64 * 250.0,
+                    value: (i * 3) as f64,
+                },
+            );
+        }
+        let rate_expr = WindowExpr {
+            func: WindowFn::Rate,
+            metric: "bench.counter".to_string(),
+            window_ms: 500_000.0,
+        };
+
+        vec![
+            BenchKernel::new("tsdb/ring_push_4k", move || {
+                let mut ring = SeriesRing::new(1_024);
+                for i in 0..4_096u32 {
+                    ring.push(Sample {
+                        t_ms: i as f64,
+                        value: i as f64 * 0.5,
+                    });
+                }
+                std::hint::black_box(ring.newest());
+            }),
+            BenchKernel::new("tsdb/quantile_1k", move || {
+                std::hint::black_box(
+                    quantile_store
+                        .eval_window(&quantile_expr, 250_000.0)
+                        .expect("bench window holds samples"),
+                );
+            }),
+            BenchKernel::new("tsdb/rate_full_ring", move || {
+                std::hint::black_box(
+                    rate_store
+                        .eval_window(&rate_expr, 500_000.0)
+                        .expect("bench window holds samples"),
+                );
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_every_kernel_runs() {
+        let mut kernels = TsdbBenches::bench_kernels();
+        assert_eq!(kernels.len(), 3);
+        for k in &mut kernels {
+            assert!(k.name.starts_with("tsdb/"), "{}", k.name);
+            (k.run)();
+            (k.run)();
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Typed query errors. Every window function returns `Result<f64, _>` —
+//! never NaN, never a silent default — so callers (the alert engine, the
+//! `/query` endpoint, `obsctl watch`) decide explicitly what an
+//! unanswerable query means in their context.
+
+use std::fmt;
+
+/// Why a query could not produce a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The named series has never been written.
+    UnknownSeries(String),
+    /// The window holds no samples.
+    EmptyWindow {
+        /// Series the window was cut from.
+        series: String,
+        /// Window width in milliseconds.
+        window_ms: f64,
+    },
+    /// The function needs at least two samples (`rate`, `delta`) but the
+    /// window holds fewer.
+    NeedTwoSamples {
+        /// Series the window was cut from.
+        series: String,
+        /// How many samples the window actually held.
+        got: usize,
+    },
+    /// All samples in the window share one timestamp, so a per-second
+    /// rate has no defined span.
+    ZeroSpan {
+        /// Series the window was cut from.
+        series: String,
+    },
+    /// The requested quantile is outside `[0, 1]` or not finite.
+    BadQuantile(f64),
+    /// The window width is not finite and positive.
+    BadWindow(f64),
+    /// The expression text did not parse.
+    Parse(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownSeries(name) => write!(f, "unknown series {name:?}"),
+            QueryError::EmptyWindow { series, window_ms } => {
+                write!(f, "no samples of {series:?} in the last {window_ms}ms")
+            }
+            QueryError::NeedTwoSamples { series, got } => write!(
+                f,
+                "need at least 2 samples of {series:?} in the window, got {got}"
+            ),
+            QueryError::ZeroSpan { series } => write!(
+                f,
+                "all samples of {series:?} in the window share one timestamp"
+            ),
+            QueryError::BadQuantile(q) => write!(f, "quantile {q} is outside [0, 1]"),
+            QueryError::BadWindow(w) => write!(f, "window width {w}ms must be finite and > 0"),
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,268 @@
+//! The tiny query-expression grammar shared by `GET /query?expr=`, the
+//! alert rule grammar's window conditions and `obsctl watch`:
+//!
+//! ```text
+//! expr  := metric                                  (latest value)
+//!        | func '(' metric ',' window ')'          (windowed)
+//!        | 'quantile_over_time' '(' metric ',' q ',' window ')'
+//! func  := rate | delta | avg_over_time | min_over_time | max_over_time
+//! window:= <number> ('ms' | 's' | 'm')
+//! ```
+//!
+//! Parsing is whitespace-tolerant; [`std::fmt::Display`] renders the
+//! canonical form (single spaces after commas, `10s` over `10000ms`
+//! when exact) and round-trips through [`parse_expr`] — the alert
+//! plane's rule `Display` relies on that for its own round-trip tests.
+
+use crate::error::QueryError;
+use crate::window::WindowFn;
+use std::fmt;
+
+/// A windowed query: `func(metric, window)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowExpr {
+    /// The window function applied.
+    pub func: WindowFn,
+    /// Series name the window is cut from.
+    pub metric: String,
+    /// Window width in milliseconds.
+    pub window_ms: f64,
+}
+
+/// A parsed query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The newest sample of a series.
+    Latest(String),
+    /// A window function over a series' recent history.
+    Window(WindowExpr),
+}
+
+impl Expr {
+    /// The series this expression reads.
+    pub fn metric(&self) -> &str {
+        match self {
+            Expr::Latest(m) => m,
+            Expr::Window(w) => &w.metric,
+        }
+    }
+}
+
+/// Renders `window_ms` in the most compact exact unit (`m`, `s`, `ms`).
+pub fn fmt_duration_ms(ms: f64) -> String {
+    if ms >= 60_000.0 && (ms / 60_000.0).fract() == 0.0 {
+        format!("{}m", ms / 60_000.0)
+    } else if ms >= 1_000.0 && (ms / 1_000.0).fract() == 0.0 {
+        format!("{}s", ms / 1_000.0)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+/// Parses a `10s` / `500ms` / `2m` duration into milliseconds.
+pub fn parse_duration_ms(text: &str) -> Result<f64, QueryError> {
+    let text = text.trim();
+    let (digits, unit) = match text.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => text.split_at(i),
+        None => return Err(QueryError::Parse(format!("duration {text:?} has no unit"))),
+    };
+    let n: f64 = digits
+        .parse()
+        .map_err(|_| QueryError::Parse(format!("bad duration value {digits:?}")))?;
+    let ms = match unit {
+        "ms" => n,
+        "s" => n * 1_000.0,
+        "m" => n * 60_000.0,
+        _ => {
+            return Err(QueryError::Parse(format!(
+                "unknown duration unit {unit:?} (want ms, s or m)"
+            )))
+        }
+    };
+    if !ms.is_finite() || ms <= 0.0 {
+        return Err(QueryError::BadWindow(ms));
+    }
+    Ok(ms)
+}
+
+/// Resolves a function keyword against its arguments; returns the
+/// function and its argument count beyond the metric name.
+fn build_window_fn(name: &str, args: &[&str]) -> Result<(WindowFn, usize), QueryError> {
+    match name {
+        "rate" => Ok((WindowFn::Rate, 1)),
+        "delta" => Ok((WindowFn::Delta, 1)),
+        "avg_over_time" => Ok((WindowFn::AvgOverTime, 1)),
+        "min_over_time" => Ok((WindowFn::MinOverTime, 1)),
+        "max_over_time" => Ok((WindowFn::MaxOverTime, 1)),
+        "quantile_over_time" => {
+            let q: f64 = args
+                .get(1)
+                .ok_or_else(|| QueryError::Parse("quantile_over_time needs a quantile".into()))?
+                .trim()
+                .parse()
+                .map_err(|_| QueryError::Parse("bad quantile".into()))?;
+            if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+                return Err(QueryError::BadQuantile(q));
+            }
+            Ok((WindowFn::QuantileOverTime(q), 2))
+        }
+        _ => Err(QueryError::Parse(format!(
+            "unknown function {name:?} (want rate, delta, avg/min/max_over_time \
+             or quantile_over_time)"
+        ))),
+    }
+}
+
+/// Parses an expression; see the module docs for the grammar.
+pub fn parse_expr(text: &str) -> Result<Expr, QueryError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(QueryError::Parse("empty expression".into()));
+    }
+    let Some(open) = text.find('(') else {
+        if text.contains(')') || text.contains(',') || text.contains(char::is_whitespace) {
+            return Err(QueryError::Parse(format!("bad metric name {text:?}")));
+        }
+        return Ok(Expr::Latest(text.to_string()));
+    };
+    if !text.ends_with(')') {
+        return Err(QueryError::Parse(format!("missing ')' in {text:?}")));
+    }
+    let name = text[..open].trim();
+    let inner = &text[open + 1..text.len() - 1];
+    let args: Vec<&str> = inner.split(',').map(str::trim).collect();
+    let (func, extra) = build_window_fn(name, &args)?;
+    if args.len() != extra + 1 {
+        return Err(QueryError::Parse(format!(
+            "{name} takes {} arguments, got {}",
+            extra + 1,
+            args.len()
+        )));
+    }
+    let metric = args[0];
+    if metric.is_empty() || metric.contains(char::is_whitespace) {
+        return Err(QueryError::Parse(format!("bad metric name {metric:?}")));
+    }
+    let window_ms = parse_duration_ms(args[extra])?;
+    Ok(Expr::Window(WindowExpr {
+        func,
+        metric: metric.to_string(),
+        window_ms,
+    }))
+}
+
+impl fmt::Display for WindowExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            WindowFn::QuantileOverTime(q) => write!(
+                f,
+                "quantile_over_time({}, {}, {})",
+                self.metric,
+                q,
+                fmt_duration_ms(self.window_ms)
+            ),
+            other => write!(
+                f,
+                "{}({}, {})",
+                other.name(),
+                self.metric,
+                fmt_duration_ms(self.window_ms)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Latest(m) => write!(f, "{m}"),
+            Expr::Window(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_metric_parses_as_latest() {
+        assert_eq!(
+            parse_expr("pipeline.pfd_mean").unwrap(),
+            Expr::Latest("pipeline.pfd_mean".into())
+        );
+        assert!(parse_expr("a b").is_err());
+        assert!(parse_expr("").is_err());
+    }
+
+    #[test]
+    fn window_functions_parse_with_or_without_spaces() {
+        let tight = parse_expr("rate(pipeline.seeds_attacked,10s)").unwrap();
+        let spaced = parse_expr("rate( pipeline.seeds_attacked , 10s )").unwrap();
+        assert_eq!(tight, spaced);
+        assert_eq!(
+            tight,
+            Expr::Window(WindowExpr {
+                func: WindowFn::Rate,
+                metric: "pipeline.seeds_attacked".into(),
+                window_ms: 10_000.0,
+            })
+        );
+    }
+
+    #[test]
+    fn quantile_takes_three_arguments() {
+        let e = parse_expr("quantile_over_time(pipeline.pfd_mean, 0.9, 30s)").unwrap();
+        assert_eq!(
+            e,
+            Expr::Window(WindowExpr {
+                func: WindowFn::QuantileOverTime(0.9),
+                metric: "pipeline.pfd_mean".into(),
+                window_ms: 30_000.0,
+            })
+        );
+        assert!(parse_expr("quantile_over_time(m, 30s)").is_err());
+        assert!(parse_expr("quantile_over_time(m, 1.5, 30s)").is_err());
+    }
+
+    #[test]
+    fn durations_cover_ms_s_m() {
+        assert_eq!(parse_duration_ms("250ms").unwrap(), 250.0);
+        assert_eq!(parse_duration_ms("10s").unwrap(), 10_000.0);
+        assert_eq!(parse_duration_ms("2m").unwrap(), 120_000.0);
+        assert!(parse_duration_ms("10").is_err());
+        assert!(parse_duration_ms("10h").is_err());
+        assert!(parse_duration_ms("-5s").is_err());
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        for text in [
+            "rate(pipeline.seeds_attacked, 10s)",
+            "delta(pipeline.round, 1m)",
+            "avg_over_time(pipeline.pfd_mean, 30s)",
+            "min_over_time(pipeline.pfd_mean, 500ms)",
+            "max_over_time(pipeline.pfd_upper, 2s)",
+            "quantile_over_time(pipeline.pfd_mean, 0.9, 30s)",
+            "pipeline.pfd_mean",
+        ] {
+            let e = parse_expr(text).unwrap();
+            assert_eq!(e.to_string(), text);
+            assert_eq!(parse_expr(&e.to_string()).unwrap(), e);
+        }
+        // Non-canonical input renders canonically.
+        let e = parse_expr("rate(c,10000ms)").unwrap();
+        assert_eq!(e.to_string(), "rate(c, 10s)");
+    }
+
+    #[test]
+    fn unknown_function_and_arity_errors() {
+        assert!(matches!(
+            parse_expr("deriv(c, 10s)"),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(parse_expr("rate(c)").is_err());
+        assert!(parse_expr("rate(c, 10s, 20s)").is_err());
+        assert!(parse_expr("rate(c, 10s").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # opad-tsdb — the history plane
+//!
+//! A std-only ring-buffer time-series store: per-series fixed-capacity
+//! rings of `(t_ms, value)` samples fed from [`LiveRecorder`] snapshots
+//! by a background [`Sampler`], plus the window-function library
+//! (`rate`, `delta`, `avg/min/max_over_time`, `quantile_over_time`,
+//! downsample/merge) that `GET /query`, the alert engine's window
+//! conditions and `obsctl watch` all evaluate through.
+//!
+//! Everything the instantaneous planes lack lives here: the paper's
+//! claims are *trajectories* — the pfd bound tightening round over
+//! round, the fuzzer's acceptance rate decaying, the operational
+//! profile drifting — and a trajectory needs history to be queryable.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Explicit frame clock.** Samples carry the clock of whatever
+//!    produced them; queries take an explicit `t_end`. No query ever
+//!    reads `SystemTime`, which is why a recorded stream replays
+//!    bit-identically to the live run that produced it.
+//! 2. **Typed errors, never NaN.** An unanswerable window is a
+//!    [`QueryError`], and non-finite values are dropped at ingest.
+//! 3. **Bounded memory.** Rings evict their oldest sample at capacity
+//!    and count the eviction (`tsdb.evictions`); a campaign of any
+//!    length holds a fixed-size sliding window of its own past.
+//!
+//! # Example
+//!
+//! ```
+//! use opad_tsdb::{parse_expr, Sample, SeriesKind, TsdbStore};
+//!
+//! let store = TsdbStore::new();
+//! for i in 0..20u32 {
+//!     store.push("pipeline.seeds_attacked", SeriesKind::Counter, Sample {
+//!         t_ms: i as f64 * 500.0,
+//!         value: (i * 30) as f64,
+//!     });
+//! }
+//! let expr = parse_expr("rate(pipeline.seeds_attacked, 5s)")?;
+//! // Evaluate at the stream's own clock — not the wall clock.
+//! let t_end = store.last_sample_ms().unwrap();
+//! let per_sec = store.eval_expr(&expr, t_end)?;
+//! assert_eq!(per_sec, 60.0);
+//! # Ok::<(), opad_tsdb::QueryError>(())
+//! ```
+//!
+//! [`LiveRecorder`]: opad_telemetry::LiveRecorder
+
+#![warn(missing_docs)]
+
+mod bench;
+mod error;
+mod expr;
+mod ring;
+mod sampler;
+mod store;
+mod window;
+
+pub use bench::TsdbBenches;
+pub use error::QueryError;
+pub use expr::{fmt_duration_ms, parse_duration_ms, parse_expr, Expr, WindowExpr};
+pub use ring::{Sample, SeriesRing};
+pub use sampler::{
+    current, install, pulse, uninstall, Sampler, SamplerHandle, TsdbLink, DEFAULT_SAMPLE_INTERVAL,
+};
+pub use store::{SeriesInfo, SeriesKind, TsdbStore, DEFAULT_RING_CAP};
+pub use window::{
+    avg_over_time, delta, downsample, max_over_time, merge_sorted, min_over_time,
+    quantile_over_time, rate, WindowFn,
+};
+
+/// Version of the sample-stream JSONL layout this crate reads and
+/// writes — the same format (and version) the alert plane's replay
+/// machinery consumes, so exported rings replay directly.
+pub const SAMPLE_STREAM_VERSION: u32 = 1;

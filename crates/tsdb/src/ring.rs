@@ -1,0 +1,233 @@
+//! One series' history: a fixed-capacity ring buffer of `(t_ms, value)`
+//! samples. Pushing past capacity evicts the oldest sample and counts
+//! the eviction, so a long campaign holds a bounded sliding window of
+//! its own past at O(1) per sample and zero allocation after warm-up.
+
+/// One `(t_ms, value)` observation.
+///
+/// `t_ms` is the *frame clock* — milliseconds since the recorder was
+/// created (or whatever clock the stream that produced the sample
+/// carried). It is never read from `SystemTime`, which is what keeps
+/// replayed queries bit-identical to live ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Frame-clock timestamp in milliseconds.
+    pub t_ms: f64,
+    /// Observed value (counter total or gauge reading).
+    pub value: f64,
+}
+
+/// Fixed-capacity ring of [`Sample`]s, oldest→newest.
+#[derive(Debug, Clone)]
+pub struct SeriesRing {
+    buf: Vec<Sample>,
+    /// Index of the oldest sample when the ring is full.
+    head: usize,
+    cap: usize,
+    evictions: u64,
+    pushed: u64,
+}
+
+impl SeriesRing {
+    /// An empty ring holding at most `capacity` samples.
+    ///
+    /// A zero capacity is rounded up to one — a ring that can never hold
+    /// a sample would make every query an [`UnknownSeries`-shaped]
+    /// surprise at a distance.
+    ///
+    /// [`UnknownSeries`-shaped]: crate::QueryError::UnknownSeries
+    pub fn new(capacity: usize) -> SeriesRing {
+        let cap = capacity.max(1);
+        SeriesRing {
+            buf: Vec::with_capacity(cap.min(64)),
+            head: 0,
+            cap,
+            evictions: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full. Timestamps that
+    /// run backwards are clamped to the newest sample's `t_ms` so the
+    /// ring stays monotone non-decreasing and every window query is one
+    /// O(len) scan with no sorting.
+    pub fn push(&mut self, mut sample: Sample) {
+        if let Some(last) = self.newest() {
+            if sample.t_ms < last.t_ms {
+                sample.t_ms = last.t_ms;
+            }
+        }
+        self.pushed += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(sample);
+        } else {
+            self.buf[self.head] = sample;
+            self.head = (self.head + 1) % self.cap;
+            self.evictions += 1;
+        }
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum samples the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Samples evicted to make room since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total samples ever pushed (including the evicted ones).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Oldest sample still held.
+    pub fn oldest(&self) -> Option<Sample> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.cap {
+            Some(self.buf[0])
+        } else {
+            Some(self.buf[self.head])
+        }
+    }
+
+    /// Newest sample.
+    pub fn newest(&self) -> Option<Sample> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.cap {
+            Some(self.buf[self.buf.len() - 1])
+        } else {
+            Some(self.buf[(self.head + self.cap - 1) % self.cap])
+        }
+    }
+
+    /// Iterates oldest→newest.
+    pub fn iter(&self) -> impl Iterator<Item = Sample> + '_ {
+        let (a, b) = if self.buf.len() < self.cap {
+            (&self.buf[..], &[][..])
+        } else {
+            let (newer, older) = self.buf.split_at(self.head);
+            (older, newer)
+        };
+        a.iter().chain(b.iter()).copied()
+    }
+
+    /// All held samples oldest→newest as one contiguous vector.
+    pub fn samples(&self) -> Vec<Sample> {
+        self.iter().collect()
+    }
+
+    /// Samples with `t0 <= t_ms <= t1`, oldest→newest. Inclusive on both
+    /// ends: a window cut at exactly a sample's timestamp keeps it.
+    pub fn between(&self, t0: f64, t1: f64) -> Vec<Sample> {
+        self.iter()
+            .filter(|s| s.t_ms >= t0 && s.t_ms <= t1)
+            .collect()
+    }
+
+    /// Drops every held sample (eviction/push totals are kept — they are
+    /// lifetime odometers, not occupancy).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64, v: f64) -> Sample {
+        Sample { t_ms: t, value: v }
+    }
+
+    #[test]
+    fn fills_then_wraps_evicting_oldest() {
+        let mut ring = SeriesRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(s(i as f64, (i * 10) as f64));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.evictions(), 2);
+        assert_eq!(ring.pushed(), 5);
+        let got: Vec<f64> = ring.iter().map(|s| s.value).collect();
+        assert_eq!(got, vec![20.0, 30.0, 40.0]);
+        assert_eq!(ring.oldest(), Some(s(2.0, 20.0)));
+        assert_eq!(ring.newest(), Some(s(4.0, 40.0)));
+    }
+
+    #[test]
+    fn between_is_inclusive_both_ends() {
+        let mut ring = SeriesRing::new(8);
+        for i in 0..6 {
+            ring.push(s(i as f64 * 100.0, i as f64));
+        }
+        let cut = ring.between(100.0, 400.0);
+        assert_eq!(cut.len(), 4);
+        assert_eq!(cut[0], s(100.0, 1.0));
+        assert_eq!(cut[3], s(400.0, 4.0));
+        assert!(ring.between(1000.0, 2000.0).is_empty());
+    }
+
+    #[test]
+    fn backwards_timestamps_are_clamped_monotone() {
+        let mut ring = SeriesRing::new(4);
+        ring.push(s(100.0, 1.0));
+        ring.push(s(50.0, 2.0));
+        ring.push(s(200.0, 3.0));
+        let ts: Vec<f64> = ring.iter().map(|s| s.t_ms).collect();
+        assert_eq!(ts, vec![100.0, 100.0, 200.0]);
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up_to_one() {
+        let mut ring = SeriesRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(s(1.0, 1.0));
+        ring.push(s(2.0, 2.0));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.newest(), Some(s(2.0, 2.0)));
+        assert_eq!(ring.evictions(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_odometers() {
+        let mut ring = SeriesRing::new(2);
+        ring.push(s(1.0, 1.0));
+        ring.push(s(2.0, 2.0));
+        ring.push(s(3.0, 3.0));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed(), 3);
+        assert_eq!(ring.evictions(), 1);
+        ring.push(s(4.0, 4.0));
+        assert_eq!(ring.samples(), vec![s(4.0, 4.0)]);
+    }
+
+    #[test]
+    fn iter_order_matches_samples_after_many_wraps() {
+        let mut ring = SeriesRing::new(5);
+        for i in 0..23 {
+            ring.push(s(i as f64, i as f64));
+        }
+        let via_iter: Vec<Sample> = ring.iter().collect();
+        assert_eq!(via_iter, ring.samples());
+        let ts: Vec<f64> = via_iter.iter().map(|s| s.t_ms).collect();
+        assert_eq!(ts, vec![18.0, 19.0, 20.0, 21.0, 22.0]);
+    }
+}

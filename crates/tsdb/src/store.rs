@@ -1,0 +1,599 @@
+//! The store: a name-keyed map of [`SeriesRing`]s behind one mutex,
+//! plus the query entry points the HTTP layer, the alert engine and
+//! `obsctl` share.
+//!
+//! Clock discipline: every sample carries the frame clock of whatever
+//! produced it (`LiveSnapshot::wall_ms` live, the recorded `t_ms`
+//! offline) and every query takes an explicit `t_end`. The store itself
+//! never consults `SystemTime` to answer a query — wall time appears
+//! only in the `tsdb.query_us` latency *telemetry*, which measures the
+//! query but never feeds its result. That is the whole determinism
+//! story: same samples + same `t_end` = same bytes, live or replayed.
+
+use crate::error::QueryError;
+use crate::expr::{Expr, WindowExpr};
+use crate::ring::{Sample, SeriesRing};
+use opad_telemetry::vocab::MetricKind;
+use opad_telemetry::{parse_json, JsonValue, LiveSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default per-series ring capacity. At the default 250ms sampling
+/// interval this holds ~4 minutes of history per series — enough for
+/// every shipped window rule (≤ 1m) with room for `obsctl watch` to
+/// draw a trend, while bounding a 30-series campaign under 1 MiB.
+pub const DEFAULT_RING_CAP: usize = 1024;
+
+/// How a series' samples were produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotone totals from `counter_add`.
+    Counter,
+    /// Last-writer-wins readings from `gauge_set`.
+    Gauge,
+}
+
+impl SeriesKind {
+    /// The wire name used in JSON (`counter` / `gauge`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        }
+    }
+
+    /// The matching vocabulary kind.
+    pub fn metric_kind(&self) -> MetricKind {
+        match self {
+            SeriesKind::Counter => MetricKind::Counter,
+            SeriesKind::Gauge => MetricKind::Gauge,
+        }
+    }
+}
+
+/// One row of the series index (`GET /timeseries`, `obsctl watch`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesInfo {
+    /// Series name.
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: SeriesKind,
+    /// Samples currently held.
+    pub len: usize,
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Samples evicted since creation.
+    pub evictions: u64,
+    /// Oldest held sample's timestamp.
+    pub t_first: f64,
+    /// Newest held sample's timestamp.
+    pub t_last: f64,
+}
+
+struct SeriesEntry {
+    kind: SeriesKind,
+    ring: SeriesRing,
+}
+
+/// The ring-buffer time-series store. Cheap to share (`Arc<TsdbStore>`);
+/// one short-held mutex guards the map — the hot path is the sampler's
+/// 4 Hz snapshot walk, not a per-event write.
+pub struct TsdbStore {
+    series: Mutex<BTreeMap<String, SeriesEntry>>,
+    cap: usize,
+    /// f64 bits; NaN = no sample recorded yet.
+    last_sample_ms: AtomicU64,
+    /// f64 bits; 0.0 = no sampler attached.
+    expected_interval_ms: AtomicU64,
+}
+
+impl Default for TsdbStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TsdbStore {
+    /// A store whose rings hold [`DEFAULT_RING_CAP`] samples each.
+    pub fn new() -> TsdbStore {
+        Self::with_capacity(DEFAULT_RING_CAP)
+    }
+
+    /// A store with a custom per-series ring capacity.
+    pub fn with_capacity(capacity: usize) -> TsdbStore {
+        TsdbStore {
+            series: Mutex::new(BTreeMap::new()),
+            cap: capacity.max(1),
+            last_sample_ms: AtomicU64::new(f64::NAN.to_bits()),
+            expected_interval_ms: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Per-series ring capacity.
+    pub fn ring_capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, SeriesEntry>> {
+        self.series.lock().expect("tsdb lock poisoned")
+    }
+
+    fn note_sample_time(&self, t_ms: f64) {
+        let prev = f64::from_bits(self.last_sample_ms.load(Ordering::Relaxed));
+        if prev.is_nan() || t_ms > prev {
+            self.last_sample_ms.store(t_ms.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one sample. Non-finite values are dropped (the store's
+    /// never-NaN contract starts at ingest). Returns whether the push
+    /// evicted an older sample.
+    pub fn push(&self, name: &str, kind: SeriesKind, sample: Sample) -> bool {
+        if !sample.value.is_finite() || !sample.t_ms.is_finite() {
+            return false;
+        }
+        self.note_sample_time(sample.t_ms);
+        let mut map = self.lock();
+        let entry = map.entry(name.to_string()).or_insert_with(|| SeriesEntry {
+            kind,
+            ring: SeriesRing::new(self.cap),
+        });
+        let before = entry.ring.evictions();
+        entry.ring.push(sample);
+        let evicted = entry.ring.evictions() > before;
+        drop(map);
+        opad_telemetry::counter_add("tsdb.samples", 1);
+        if evicted {
+            opad_telemetry::counter_add("tsdb.evictions", 1);
+        }
+        evicted
+    }
+
+    /// Folds one [`LiveSnapshot`] in: every counter total and gauge
+    /// reading becomes a sample stamped with the snapshot's `wall_ms`
+    /// frame clock. Histograms are not ringed — their quantile rollups
+    /// stay on the `/metrics` + alert `hist` path.
+    pub fn record_snapshot(&self, snap: &LiveSnapshot) {
+        // Heartbeat even when the snapshot carries no series yet: an
+        // alive-but-idle sampler must not read as stalled on /healthz.
+        self.note_sample_time(snap.wall_ms);
+        for (name, total) in &snap.counters {
+            self.push(
+                name,
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: snap.wall_ms,
+                    value: *total as f64,
+                },
+            );
+        }
+        for (name, value) in &snap.gauges {
+            self.push(
+                name,
+                SeriesKind::Gauge,
+                Sample {
+                    t_ms: snap.wall_ms,
+                    value: *value,
+                },
+            );
+        }
+    }
+
+    /// Frame-clock timestamp of the newest sample, `None` before the
+    /// first. `/healthz` compares this against the recorder's
+    /// `elapsed_ms` to detect a stalled sampler.
+    pub fn last_sample_ms(&self) -> Option<f64> {
+        let v = f64::from_bits(self.last_sample_ms.load(Ordering::Relaxed));
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Declares the cadence samples are expected at (set by the
+    /// [`Sampler`](crate::Sampler) when it spawns).
+    pub fn set_expected_interval_ms(&self, interval_ms: f64) {
+        self.expected_interval_ms
+            .store(interval_ms.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The declared sampling cadence, `None` when no sampler attached.
+    pub fn expected_interval_ms(&self) -> Option<f64> {
+        let v = f64::from_bits(self.expected_interval_ms.load(Ordering::Relaxed));
+        if v > 0.0 {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Name-sorted index of every series.
+    pub fn series_index(&self) -> Vec<SeriesInfo> {
+        self.lock()
+            .iter()
+            .map(|(name, entry)| SeriesInfo {
+                name: name.clone(),
+                kind: entry.kind,
+                len: entry.ring.len(),
+                capacity: entry.ring.capacity(),
+                evictions: entry.ring.evictions(),
+                t_first: entry.ring.oldest().map_or(0.0, |s| s.t_ms),
+                t_last: entry.ring.newest().map_or(0.0, |s| s.t_ms),
+            })
+            .collect()
+    }
+
+    /// The kind a series was written as.
+    pub fn kind_of(&self, name: &str) -> Option<SeriesKind> {
+        self.lock().get(name).map(|e| e.kind)
+    }
+
+    /// All held samples of one series, oldest→newest.
+    pub fn samples(&self, name: &str) -> Result<Vec<Sample>, QueryError> {
+        self.lock()
+            .get(name)
+            .map(|e| e.ring.samples())
+            .ok_or_else(|| QueryError::UnknownSeries(name.to_string()))
+    }
+
+    /// Samples of one series with `t0 <= t_ms <= t1`.
+    pub fn samples_between(&self, name: &str, t0: f64, t1: f64) -> Result<Vec<Sample>, QueryError> {
+        self.lock()
+            .get(name)
+            .map(|e| e.ring.between(t0, t1))
+            .ok_or_else(|| QueryError::UnknownSeries(name.to_string()))
+    }
+
+    /// The newest sample of one series.
+    pub fn latest(&self, name: &str) -> Result<Sample, QueryError> {
+        let map = self.lock();
+        let entry = map
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownSeries(name.to_string()))?;
+        entry.ring.newest().ok_or_else(|| QueryError::EmptyWindow {
+            series: name.to_string(),
+            window_ms: 0.0,
+        })
+    }
+
+    /// Drops one series' held samples (the ring and its odometers stay).
+    pub fn clear_series(&self, name: &str) {
+        if let Some(entry) = self.lock().get_mut(name) {
+            entry.ring.clear();
+        }
+    }
+
+    /// Evaluates a window expression over `[t_end - window, t_end]`.
+    ///
+    /// `t_end` is the caller's frame clock — the alert engine passes the
+    /// frame's `t_ms`, the HTTP layer the newest sample's timestamp —
+    /// so the same history always yields the same value.
+    pub fn eval_window(&self, expr: &WindowExpr, t_end: f64) -> Result<f64, QueryError> {
+        let started = Instant::now();
+        if !expr.window_ms.is_finite() || expr.window_ms <= 0.0 {
+            return Err(QueryError::BadWindow(expr.window_ms));
+        }
+        let window = self.samples_between(&expr.metric, t_end - expr.window_ms, t_end)?;
+        let result = if window.is_empty() {
+            Err(QueryError::EmptyWindow {
+                series: expr.metric.clone(),
+                window_ms: expr.window_ms,
+            })
+        } else {
+            expr.func.apply(&expr.metric, &window)
+        };
+        opad_telemetry::histogram_record("tsdb.query_us", started.elapsed().as_secs_f64() * 1e6);
+        result
+    }
+
+    /// Evaluates any expression at frame clock `t_end`.
+    pub fn eval_expr(&self, expr: &Expr, t_end: f64) -> Result<f64, QueryError> {
+        match expr {
+            Expr::Latest(name) => {
+                let s = self.latest(name)?;
+                if s.t_ms > t_end {
+                    return Err(QueryError::EmptyWindow {
+                        series: name.clone(),
+                        window_ms: 0.0,
+                    });
+                }
+                Ok(s.value)
+            }
+            Expr::Window(w) => self.eval_window(w, t_end),
+        }
+    }
+
+    /// Serialises every held sample as versioned sample-stream JSONL
+    /// (the `obsctl alerts replay` line format), sorted by
+    /// `(t_ms, name)` so export is byte-deterministic and an exported
+    /// ring replays in recording order.
+    pub fn export_jsonl(&self) -> String {
+        let map = self.lock();
+        let mut rows: Vec<(f64, &String, SeriesKind, f64)> = Vec::new();
+        for (name, entry) in map.iter() {
+            for s in entry.ring.iter() {
+                rows.push((s.t_ms, name, entry.kind, s.value));
+            }
+        }
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+        let mut out = String::new();
+        for (t_ms, name, kind, value) in rows {
+            match kind {
+                SeriesKind::Counter => out.push_str(&format!(
+                    "{{\"v\":1,\"kind\":\"sample\",\"t_ms\":{t_ms},\"type\":\"counter\",\
+                     \"name\":\"{name}\",\"total\":{}}}\n",
+                    value as u64
+                )),
+                SeriesKind::Gauge => out.push_str(&format!(
+                    "{{\"v\":1,\"kind\":\"sample\",\"t_ms\":{t_ms},\"type\":\"gauge\",\
+                     \"name\":\"{name}\",\"value\":{value}}}\n"
+                )),
+            }
+        }
+        out
+    }
+
+    /// Loads a recorded sample stream (the `obsctl alerts replay`
+    /// format) into the store: `sample` lines become ring pushes,
+    /// `clear` truncates the named series, `tick` only advances the
+    /// frame clock, `hist` samples are skipped (histograms are not
+    /// ringed). Returns `(1-based line, message)` for malformed lines;
+    /// loading continues past them.
+    pub fn load_stream(&self, text: &str) -> Vec<(usize, String)> {
+        let mut errors = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Err(message) = self.load_line(line) {
+                errors.push((i + 1, message));
+            }
+        }
+        errors
+    }
+
+    fn load_line(&self, line: &str) -> Result<(), String> {
+        let record = parse_json(line).map_err(|e| format!("not JSON: {e}"))?;
+        let version = record
+            .get("v")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing \"v\"")?;
+        if version > crate::SAMPLE_STREAM_VERSION as u64 {
+            return Err(format!(
+                "stream version {version} is newer than supported {}",
+                crate::SAMPLE_STREAM_VERSION
+            ));
+        }
+        let kind = record
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"kind\"")?;
+        let t_ms = record
+            .get("t_ms")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing \"t_ms\"")?;
+        match kind {
+            "tick" => {
+                self.note_sample_time(t_ms);
+                Ok(())
+            }
+            "clear" => {
+                let name = record
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("clear needs \"name\"")?;
+                self.clear_series(name);
+                Ok(())
+            }
+            "sample" => {
+                let name = record
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("sample needs \"name\"")?;
+                match record.get("type").and_then(JsonValue::as_str) {
+                    Some("counter") => {
+                        let total = record
+                            .get("total")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or("counter sample needs integer \"total\"")?;
+                        self.push(
+                            name,
+                            SeriesKind::Counter,
+                            Sample {
+                                t_ms,
+                                value: total as f64,
+                            },
+                        );
+                        Ok(())
+                    }
+                    Some("gauge") => {
+                        let value = record
+                            .get("value")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or("gauge sample needs \"value\"")?;
+                        self.push(name, SeriesKind::Gauge, Sample { t_ms, value });
+                        Ok(())
+                    }
+                    // Histograms live on the frame/alert path, not in
+                    // rings; their lines are valid stream, just not ours.
+                    Some("hist") => Ok(()),
+                    other => Err(format!("unknown sample type {other:?}")),
+                }
+            }
+            other => Err(format!("unknown record kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowFn;
+
+    fn push_gauge(store: &TsdbStore, name: &str, t: f64, v: f64) {
+        store.push(name, SeriesKind::Gauge, Sample { t_ms: t, value: v });
+    }
+
+    fn push_counter(store: &TsdbStore, name: &str, t: f64, v: f64) {
+        store.push(name, SeriesKind::Counter, Sample { t_ms: t, value: v });
+    }
+
+    #[test]
+    fn snapshot_recording_stamps_the_frame_clock() {
+        let store = TsdbStore::new();
+        let snap = LiveSnapshot {
+            wall_ms: 1_250.0,
+            events: 3,
+            counters: vec![("hits".into(), 7)],
+            gauges: vec![("phase".into(), 2.0)],
+            histograms: vec![],
+            spans: vec![],
+        };
+        store.record_snapshot(&snap);
+        assert_eq!(store.last_sample_ms(), Some(1_250.0));
+        assert_eq!(
+            store.samples("hits").unwrap(),
+            vec![Sample {
+                t_ms: 1_250.0,
+                value: 7.0
+            }]
+        );
+        assert_eq!(store.kind_of("hits"), Some(SeriesKind::Counter));
+        assert_eq!(store.kind_of("phase"), Some(SeriesKind::Gauge));
+        assert_eq!(store.kind_of("missing"), None);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped_at_ingest() {
+        let store = TsdbStore::new();
+        push_gauge(&store, "g", 0.0, f64::NAN);
+        push_gauge(&store, "g", 1.0, f64::INFINITY);
+        assert!(store.samples("g").is_err());
+        assert_eq!(store.last_sample_ms(), None);
+        push_gauge(&store, "g", 2.0, 1.5);
+        assert_eq!(store.samples("g").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn index_is_name_sorted_with_ring_stats() {
+        let store = TsdbStore::with_capacity(2);
+        push_gauge(&store, "zeta", 0.0, 1.0);
+        push_counter(&store, "alpha", 0.0, 1.0);
+        push_counter(&store, "alpha", 100.0, 2.0);
+        push_counter(&store, "alpha", 200.0, 3.0);
+        let index = store.series_index();
+        assert_eq!(index.len(), 2);
+        assert_eq!(index[0].name, "alpha");
+        assert_eq!(index[0].kind, SeriesKind::Counter);
+        assert_eq!(index[0].len, 2);
+        assert_eq!(index[0].evictions, 1);
+        assert_eq!(index[0].t_first, 100.0);
+        assert_eq!(index[0].t_last, 200.0);
+        assert_eq!(index[1].name, "zeta");
+    }
+
+    #[test]
+    fn eval_window_cuts_inclusive_and_uses_the_given_clock() {
+        let store = TsdbStore::new();
+        for i in 0..10 {
+            push_counter(&store, "c", i as f64 * 1_000.0, (i * 10) as f64);
+        }
+        let expr = WindowExpr {
+            func: WindowFn::Rate,
+            metric: "c".into(),
+            window_ms: 5_000.0,
+        };
+        // Window [4000, 9000]: 40 -> 90 over 5s = 10/s.
+        assert_eq!(store.eval_window(&expr, 9_000.0).unwrap(), 10.0);
+        // Same history, earlier clock: [0, 5000]: 0 -> 50 over 5s.
+        assert_eq!(store.eval_window(&expr, 5_000.0).unwrap(), 10.0);
+        // A clock before all samples: empty window, typed error.
+        assert!(matches!(
+            store.eval_window(&expr, -10_000.0),
+            Err(QueryError::EmptyWindow { .. })
+        ));
+        assert!(matches!(
+            store.eval_window(
+                &WindowExpr {
+                    func: WindowFn::Rate,
+                    metric: "nope".into(),
+                    window_ms: 5_000.0
+                },
+                9_000.0
+            ),
+            Err(QueryError::UnknownSeries(_))
+        ));
+    }
+
+    #[test]
+    fn eval_expr_latest_respects_the_clock() {
+        let store = TsdbStore::new();
+        push_gauge(&store, "g", 100.0, 0.5);
+        assert_eq!(store.eval_expr(&Expr::Latest("g".into()), 100.0), Ok(0.5));
+        assert!(store.eval_expr(&Expr::Latest("g".into()), 50.0).is_err());
+    }
+
+    #[test]
+    fn export_import_round_trips_bytes() {
+        let store = TsdbStore::new();
+        push_counter(&store, "hits", 0.0, 1.0);
+        push_gauge(&store, "pfd", 0.0, 0.01);
+        push_counter(&store, "hits", 500.0, 4.0);
+        push_gauge(&store, "pfd", 500.0, 0.02);
+        let text = store.export_jsonl();
+        let reloaded = TsdbStore::new();
+        assert_eq!(reloaded.load_stream(&text), vec![]);
+        assert_eq!(reloaded.export_jsonl(), text);
+        assert_eq!(
+            reloaded.samples("hits").unwrap(),
+            store.samples("hits").unwrap()
+        );
+        assert_eq!(reloaded.kind_of("hits"), Some(SeriesKind::Counter));
+        assert_eq!(reloaded.kind_of("pfd"), Some(SeriesKind::Gauge));
+        // Sorted by (t, name): hits@0, pfd@0, hits@500, pfd@500.
+        let names: Vec<&str> = text
+            .lines()
+            .map(|l| if l.contains("hits") { "hits" } else { "pfd" })
+            .collect();
+        assert_eq!(names, vec!["hits", "pfd", "hits", "pfd"]);
+    }
+
+    #[test]
+    fn load_stream_applies_clears_and_skips_hist_reporting_garbage() {
+        let store = TsdbStore::new();
+        let stream = r#"
+{"v":1,"kind":"sample","t_ms":0,"type":"gauge","name":"g","value":1.0}
+{"v":1,"kind":"sample","t_ms":0,"type":"hist","name":"h","value":9.0}
+{"v":1,"kind":"clear","t_ms":10,"name":"g"}
+{"v":1,"kind":"sample","t_ms":20,"type":"gauge","name":"g","value":2.0}
+{"v":1,"kind":"tick","t_ms":1000}
+garbage
+{"v":9,"kind":"tick","t_ms":2000}
+"#;
+        let errors = store.load_stream(stream);
+        let lines: Vec<usize> = errors.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![7, 8]);
+        assert_eq!(
+            store.samples("g").unwrap(),
+            vec![Sample {
+                t_ms: 20.0,
+                value: 2.0
+            }]
+        );
+        assert!(store.samples("h").is_err());
+        // The tick advanced the frame clock past the newest sample.
+        assert_eq!(store.last_sample_ms(), Some(1_000.0));
+    }
+
+    #[test]
+    fn expected_interval_defaults_to_unset() {
+        let store = TsdbStore::new();
+        assert_eq!(store.expected_interval_ms(), None);
+        store.set_expected_interval_ms(250.0);
+        assert_eq!(store.expected_interval_ms(), Some(250.0));
+    }
+}

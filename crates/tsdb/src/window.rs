@@ -1,0 +1,308 @@
+//! The window-function library: pure functions over a slice of
+//! [`Sample`]s cut from a ring. Every function returns a typed
+//! [`QueryError`] instead of NaN when the window cannot answer — the
+//! alert engine treats that as "no breach", the HTTP layer as a 400,
+//! `obsctl watch` as a blank cell; none of them ever propagates NaN.
+
+use crate::error::QueryError;
+use crate::ring::Sample;
+use opad_telemetry::vocab::MetricKind;
+
+/// The windowed functions the expression grammar exposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowFn {
+    /// Per-second increase of a counter, reset-aware.
+    Rate,
+    /// Last-minus-first value over the window.
+    Delta,
+    /// Arithmetic mean of the window's values.
+    AvgOverTime,
+    /// Smallest value in the window.
+    MinOverTime,
+    /// Largest value in the window.
+    MaxOverTime,
+    /// Nearest-rank quantile of the window's values.
+    QuantileOverTime(f64),
+}
+
+impl WindowFn {
+    /// The metric kind this function is meaningful over — `rate` wants a
+    /// monotone counter, everything else a gauge reading. Used by
+    /// `obsctl alerts check` to validate rules statically.
+    pub fn expected_kind(&self) -> MetricKind {
+        match self {
+            WindowFn::Rate => MetricKind::Counter,
+            _ => MetricKind::Gauge,
+        }
+    }
+
+    /// The grammar keyword (`rate`, `avg_over_time`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WindowFn::Rate => "rate",
+            WindowFn::Delta => "delta",
+            WindowFn::AvgOverTime => "avg_over_time",
+            WindowFn::MinOverTime => "min_over_time",
+            WindowFn::MaxOverTime => "max_over_time",
+            WindowFn::QuantileOverTime(_) => "quantile_over_time",
+        }
+    }
+
+    /// Applies this function to a window of samples from `series`.
+    pub fn apply(&self, series: &str, window: &[Sample]) -> Result<f64, QueryError> {
+        match self {
+            WindowFn::Rate => rate(series, window),
+            WindowFn::Delta => delta(series, window),
+            WindowFn::AvgOverTime => avg_over_time(series, window),
+            WindowFn::MinOverTime => min_over_time(series, window),
+            WindowFn::MaxOverTime => max_over_time(series, window),
+            WindowFn::QuantileOverTime(q) => quantile_over_time(series, *q, window),
+        }
+    }
+}
+
+fn need_two(series: &str, window: &[Sample]) -> Result<(Sample, Sample), QueryError> {
+    if window.len() < 2 {
+        return Err(QueryError::NeedTwoSamples {
+            series: series.to_string(),
+            got: window.len(),
+        });
+    }
+    Ok((window[0], window[window.len() - 1]))
+}
+
+fn need_one<'a>(series: &str, window: &'a [Sample]) -> Result<&'a [Sample], QueryError> {
+    if window.is_empty() {
+        return Err(QueryError::EmptyWindow {
+            series: series.to_string(),
+            window_ms: 0.0,
+        });
+    }
+    Ok(window)
+}
+
+/// Per-second rate of increase of a counter over the window.
+///
+/// Counter resets (a sample lower than its predecessor, e.g. after a
+/// process restart) contribute the post-reset total rather than a
+/// negative delta, so the result is never negative. Needs two samples
+/// spanning a non-zero time.
+pub fn rate(series: &str, window: &[Sample]) -> Result<f64, QueryError> {
+    let (first, last) = need_two(series, window)?;
+    let span_ms = last.t_ms - first.t_ms;
+    if span_ms <= 0.0 {
+        return Err(QueryError::ZeroSpan {
+            series: series.to_string(),
+        });
+    }
+    let mut increase = 0.0;
+    for pair in window.windows(2) {
+        let d = pair[1].value - pair[0].value;
+        // On reset the counter restarted from zero, so the post-reset
+        // total is itself the increase since the previous sample.
+        increase += if d >= 0.0 { d } else { pair[1].value };
+    }
+    Ok(increase / (span_ms / 1e3))
+}
+
+/// Last-minus-first value over the window (signed; gauges may fall).
+pub fn delta(series: &str, window: &[Sample]) -> Result<f64, QueryError> {
+    let (first, last) = need_two(series, window)?;
+    Ok(last.value - first.value)
+}
+
+/// Arithmetic mean of the window's values.
+pub fn avg_over_time(series: &str, window: &[Sample]) -> Result<f64, QueryError> {
+    let w = need_one(series, window)?;
+    Ok(w.iter().map(|s| s.value).sum::<f64>() / w.len() as f64)
+}
+
+/// Smallest value in the window.
+pub fn min_over_time(series: &str, window: &[Sample]) -> Result<f64, QueryError> {
+    let w = need_one(series, window)?;
+    Ok(w.iter().map(|s| s.value).fold(f64::INFINITY, f64::min))
+}
+
+/// Largest value in the window.
+pub fn max_over_time(series: &str, window: &[Sample]) -> Result<f64, QueryError> {
+    let w = need_one(series, window)?;
+    Ok(w.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Nearest-rank quantile (`q` in `[0, 1]`) of the window's values.
+/// `q = 0` is the minimum, `q = 1` the maximum, `q = 0.5` the median's
+/// nearest rank. Ties and ordering are resolved by `total_cmp`, so the
+/// result is deterministic for any input order.
+pub fn quantile_over_time(series: &str, q: f64, window: &[Sample]) -> Result<f64, QueryError> {
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return Err(QueryError::BadQuantile(q));
+    }
+    let w = need_one(series, window)?;
+    let mut values: Vec<f64> = w.iter().map(|s| s.value).collect();
+    values.sort_by(f64::total_cmp);
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    Ok(values[rank - 1])
+}
+
+/// Reduces a window to one sample per `bucket_ms`-wide time bucket:
+/// bucket mean, stamped at the bucket's end. Buckets are aligned to
+/// multiples of `bucket_ms` from t=0 so the same samples always land in
+/// the same buckets regardless of the window cut.
+pub fn downsample(window: &[Sample], bucket_ms: f64) -> Result<Vec<Sample>, QueryError> {
+    if !bucket_ms.is_finite() || bucket_ms <= 0.0 {
+        return Err(QueryError::BadWindow(bucket_ms));
+    }
+    let mut out: Vec<Sample> = Vec::new();
+    let mut bucket_end = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for s in window {
+        let end = ((s.t_ms / bucket_ms).floor() + 1.0) * bucket_ms;
+        if end != bucket_end && n > 0 {
+            out.push(Sample {
+                t_ms: bucket_end,
+                value: sum / n as f64,
+            });
+            sum = 0.0;
+            n = 0;
+        }
+        bucket_end = end;
+        sum += s.value;
+        n += 1;
+    }
+    if n > 0 {
+        out.push(Sample {
+            t_ms: bucket_end,
+            value: sum / n as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Merges two time-sorted sample runs into one (stable: on equal
+/// timestamps `a`'s sample comes first). Used to stitch a long
+/// campaign's exported ring contents back together across shards.
+pub fn merge_sorted(a: &[Sample], b: &[Sample]) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].t_ms <= b[j].t_ms {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: f64, v: f64) -> Sample {
+        Sample { t_ms: t, value: v }
+    }
+
+    #[test]
+    fn rate_is_per_second_and_reset_aware() {
+        // 0 -> 50 over 10s: 5/s.
+        let w = [s(0.0, 0.0), s(5_000.0, 20.0), s(10_000.0, 50.0)];
+        assert_eq!(rate("c", &w).unwrap(), 5.0);
+        // Reset between the second and third samples: increase is
+        // 20 (pre-reset) + 30 (post-reset total) over 10s = 5/s.
+        let w = [s(0.0, 100.0), s(5_000.0, 120.0), s(10_000.0, 30.0)];
+        assert_eq!(rate("c", &w).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn rate_needs_two_samples_and_nonzero_span() {
+        assert_eq!(
+            rate("c", &[s(1.0, 1.0)]),
+            Err(QueryError::NeedTwoSamples {
+                series: "c".into(),
+                got: 1
+            })
+        );
+        assert_eq!(
+            rate("c", &[s(1.0, 1.0), s(1.0, 2.0)]),
+            Err(QueryError::ZeroSpan { series: "c".into() })
+        );
+    }
+
+    #[test]
+    fn delta_is_signed() {
+        let w = [s(0.0, 5.0), s(100.0, 2.0)];
+        assert_eq!(delta("g", &w).unwrap(), -3.0);
+        assert!(delta("g", &[]).is_err());
+    }
+
+    #[test]
+    fn avg_min_max_over_time() {
+        let w = [s(0.0, 1.0), s(1.0, 4.0), s(2.0, -2.0)];
+        assert_eq!(avg_over_time("g", &w).unwrap(), 1.0);
+        assert_eq!(min_over_time("g", &w).unwrap(), -2.0);
+        assert_eq!(max_over_time("g", &w).unwrap(), 4.0);
+        assert!(avg_over_time("g", &[]).is_err());
+    }
+
+    #[test]
+    fn quantile_nearest_rank_is_order_independent() {
+        let fwd = [s(0.0, 1.0), s(1.0, 2.0), s(2.0, 3.0), s(3.0, 4.0)];
+        let rev = [s(0.0, 4.0), s(1.0, 3.0), s(2.0, 2.0), s(3.0, 1.0)];
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                quantile_over_time("g", q, &fwd).unwrap(),
+                quantile_over_time("g", q, &rev).unwrap()
+            );
+        }
+        assert_eq!(quantile_over_time("g", 0.0, &fwd).unwrap(), 1.0);
+        assert_eq!(quantile_over_time("g", 1.0, &fwd).unwrap(), 4.0);
+        assert_eq!(quantile_over_time("g", 0.5, &fwd).unwrap(), 2.0);
+        assert_eq!(
+            quantile_over_time("g", 1.5, &fwd),
+            Err(QueryError::BadQuantile(1.5))
+        );
+        assert_eq!(
+            quantile_over_time("g", f64::NAN, &fwd).map_err(|_| ()),
+            Err(())
+        );
+    }
+
+    #[test]
+    fn downsample_buckets_are_cut_aligned() {
+        let w = [s(100.0, 1.0), s(400.0, 3.0), s(600.0, 5.0), s(1_200.0, 7.0)];
+        let out = downsample(&w, 500.0).unwrap();
+        assert_eq!(out, vec![s(500.0, 2.0), s(1_000.0, 5.0), s(1_500.0, 7.0)]);
+        // Cutting the window later must not move earlier bucket edges.
+        let cut = downsample(&w[1..], 500.0).unwrap();
+        assert_eq!(cut[0].t_ms, 500.0);
+        assert!(downsample(&w, 0.0).is_err());
+        assert_eq!(downsample(&[], 500.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn merge_sorted_is_stable_on_ties() {
+        let a = [s(0.0, 1.0), s(2.0, 1.0)];
+        let b = [s(1.0, 2.0), s(2.0, 2.0), s(3.0, 2.0)];
+        let m = merge_sorted(&a, &b);
+        let ts: Vec<(f64, f64)> = m.iter().map(|s| (s.t_ms, s.value)).collect();
+        assert_eq!(
+            ts,
+            vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.0), (2.0, 2.0), (3.0, 2.0)]
+        );
+    }
+
+    #[test]
+    fn expected_kinds_follow_the_function() {
+        assert_eq!(WindowFn::Rate.expected_kind(), MetricKind::Counter);
+        assert_eq!(WindowFn::AvgOverTime.expected_kind(), MetricKind::Gauge);
+        assert_eq!(
+            WindowFn::QuantileOverTime(0.9).expected_kind(),
+            MetricKind::Gauge
+        );
+    }
+}

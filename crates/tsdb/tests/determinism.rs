@@ -1,0 +1,133 @@
+//! The history plane's headline contract: window-function results over
+//! a recorded stream are byte-identical across thread-pool widths and
+//! across repeated replays. Nothing in the query path reads the wall
+//! clock or ambient state, so the same stream + the same expressions
+//! must always produce the same bytes.
+
+use opad_par::{override_threads, par_map};
+use opad_tsdb::{parse_expr, Sample, SeriesKind, TsdbStore};
+
+/// A deterministic synthetic campaign stream: a counter ramping with a
+/// mid-stream reset, a decaying pfd gauge, and a clear record.
+fn recorded_stream() -> String {
+    let mut out = String::new();
+    for i in 0..48u32 {
+        let t = i as f64 * 250.0;
+        // Counter resets at i == 30 (process restart mid-campaign).
+        let total = if i < 30 { i * 40 } else { (i - 30) * 40 };
+        out.push_str(&format!(
+            "{{\"v\":1,\"kind\":\"sample\",\"t_ms\":{t},\"type\":\"counter\",\
+             \"name\":\"pipeline.seeds_attacked\",\"total\":{total}}}\n"
+        ));
+        let pfd = 0.2 / (1.0 + i as f64 * 0.25);
+        out.push_str(&format!(
+            "{{\"v\":1,\"kind\":\"sample\",\"t_ms\":{t},\"type\":\"gauge\",\
+             \"name\":\"pipeline.pfd_mean\",\"value\":{pfd}}}\n"
+        ));
+        if i == 20 {
+            out.push_str(&format!(
+                "{{\"v\":1,\"kind\":\"clear\",\"t_ms\":{t},\"name\":\"scratch.gauge\"}}\n"
+            ));
+        }
+        out.push_str(&format!("{{\"v\":1,\"kind\":\"tick\",\"t_ms\":{t}}}\n"));
+    }
+    out
+}
+
+const EXPRS: &[&str] = &[
+    "rate(pipeline.seeds_attacked, 2s)",
+    "rate(pipeline.seeds_attacked, 10s)",
+    "delta(pipeline.pfd_mean, 5s)",
+    "avg_over_time(pipeline.pfd_mean, 3s)",
+    "min_over_time(pipeline.pfd_mean, 10s)",
+    "max_over_time(pipeline.pfd_mean, 10s)",
+    "quantile_over_time(pipeline.pfd_mean, 0.9, 5s)",
+    "pipeline.pfd_mean",
+];
+
+/// Loads the stream and renders every expression at every tick as one
+/// text transcript — the unit of byte comparison.
+fn transcript(stream: &str) -> String {
+    let store = TsdbStore::new();
+    let errors = store.load_stream(stream);
+    assert!(errors.is_empty(), "{errors:?}");
+    let mut out = String::new();
+    for text in EXPRS {
+        let expr = parse_expr(text).expect("expression parses");
+        for i in 0..48u32 {
+            let t_end = i as f64 * 250.0;
+            match store.eval_expr(&expr, t_end) {
+                Ok(v) => out.push_str(&format!("{text} @{t_end} = {v:.17e}\n")),
+                Err(e) => out.push_str(&format!("{text} @{t_end} ! {e}\n")),
+            }
+        }
+    }
+    out.push_str(&store.export_jsonl());
+    out
+}
+
+#[test]
+fn transcript_is_identical_across_thread_widths() {
+    let stream = recorded_stream();
+    let serial = {
+        let _guard = override_threads(1);
+        transcript(&stream)
+    };
+    let parallel = {
+        let _guard = override_threads(4);
+        // Evaluate the transcript from inside pool workers too: ambient
+        // parallelism must not leak into query results.
+        let results = par_map(&[0, 1, 2, 3], |_, _| transcript(&stream));
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+        results[0].clone()
+    };
+    assert_eq!(serial, parallel, "thread width changed query bytes");
+}
+
+#[test]
+fn repeated_replays_are_byte_identical() {
+    let stream = recorded_stream();
+    let first = transcript(&stream);
+    for _ in 0..3 {
+        assert_eq!(transcript(&stream), first);
+    }
+    // And the exported ring replays to the same transcript again:
+    // export → load → export is a fixed point.
+    let store = TsdbStore::new();
+    assert!(store.load_stream(&stream).is_empty());
+    let exported = store.export_jsonl();
+    let reloaded = TsdbStore::new();
+    assert!(reloaded.load_stream(&exported).is_empty());
+    assert_eq!(reloaded.export_jsonl(), exported);
+}
+
+#[test]
+fn eviction_keeps_queries_deterministic() {
+    // A ring small enough that the stream wraps it several times: the
+    // survivors (and thus every windowed answer) must still be a pure
+    // function of the stream.
+    let build = || {
+        let store = TsdbStore::with_capacity(7);
+        for i in 0..100u32 {
+            store.push(
+                "c",
+                SeriesKind::Counter,
+                Sample {
+                    t_ms: i as f64 * 100.0,
+                    value: (i * 3) as f64,
+                },
+            );
+        }
+        store
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.export_jsonl(), b.export_jsonl());
+    assert_eq!(a.series_index(), b.series_index());
+    let expr = parse_expr("rate(c, 1s)").expect("expression parses");
+    let (ra, rb) = (a.eval_expr(&expr, 9_900.0), b.eval_expr(&expr, 9_900.0));
+    assert_eq!(ra, rb);
+    assert_eq!(ra.unwrap(), 30.0);
+}

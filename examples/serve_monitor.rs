@@ -1,9 +1,10 @@
 //! The exp2-style testing loop with the live observability plane
 //! attached: a `LiveRecorder` (teeing the usual JSONL trace), the
-//! `opad-serve` HTTP server, and the `opad-alert` watchdog plane — so
-//! `/metrics`, `/healthz`, `/runs` and `/alerts` can be scraped while
-//! the rounds are in flight, and a demo alert is driven through its
-//! full pending → firing → resolved lifecycle at the end.
+//! `opad-serve` HTTP server, the `opad-alert` watchdog plane and the
+//! `opad-tsdb` history plane — so `/metrics`, `/healthz`, `/runs`,
+//! `/alerts`, `/timeseries` and `/query` can be scraped while the
+//! rounds are in flight, and a demo alert is driven through its full
+//! pending → firing → resolved lifecycle at the end.
 //!
 //! Run with: `cargo run --release --example serve_monitor`
 //!
@@ -11,10 +12,18 @@
 //! default 0):
 //!
 //! ```text
-//! curl http://127.0.0.1:9184/metrics   # Prometheus text exposition
-//! curl http://127.0.0.1:9184/healthz   # round + phase + alert status
-//! curl http://127.0.0.1:9184/runs      # finished-run envelopes
-//! curl http://127.0.0.1:9184/alerts    # live alert states
+//! curl http://127.0.0.1:9184/metrics     # Prometheus text exposition
+//! curl http://127.0.0.1:9184/healthz     # round + phase + alert + sampler status
+//! curl http://127.0.0.1:9184/runs        # finished-run envelopes
+//! curl http://127.0.0.1:9184/alerts      # live alert states
+//! curl http://127.0.0.1:9184/timeseries  # ring-buffer history index
+//! curl 'http://127.0.0.1:9184/query?expr=rate(pipeline.seeds_attacked,10s)'
+//! ```
+//!
+//! Or watch the rings render live in a terminal:
+//!
+//! ```text
+//! cargo run -p opad-obs --bin obsctl -- watch --addr 127.0.0.1:9184
 //! ```
 //!
 //! Set `OPAD_SERVE_ADDR` to change the bind address (e.g.
@@ -81,6 +90,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .interval(Duration::from_millis(100))
         .spawn();
 
+    // The history plane: a ring-buffer store fed by a background sampler
+    // on the alert-watch cadence, plus the process-wide link that lets
+    // `run_round` pulse an extra sample at every round boundary.
+    let store = Arc::new(TsdbStore::new());
+    let sampler = Sampler::new(recorder.clone(), store.clone())
+        .interval(Duration::from_millis(100))
+        .spawn();
+    opad::tsdb::install(Arc::new(TsdbLink {
+        recorder: recorder.clone(),
+        store: store.clone(),
+    }));
+    center.attach_series(store.clone());
+
     let addr = std::env::var("OPAD_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:9184".to_string());
     let server = opad::serve::MetricsServer::new(
         recorder.clone(),
@@ -92,11 +114,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )
     .alerts(center.clone())
+    .timeseries(store.clone())
     .spawn()?;
     println!("live metrics: http://{}/metrics", server.addr());
     println!("health:       http://{}/healthz", server.addr());
     println!("run index:    http://{}/runs", server.addr());
     println!("alerts:       http://{}/alerts", server.addr());
+    println!("history:      http://{}/timeseries", server.addr());
 
     // The detection-efficiency setup: balanced training data, a
     // Zipf-skewed operational profile, and the full Fig. 1 loop.
@@ -163,6 +187,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         http_get(&server.addr().to_string(), "/alerts")?.trim()
     );
 
+    // The history plane answers windowed questions about the run we just
+    // watched — here, the seed-attack throughput over the last 10s.
+    println!(
+        "/query says:     {}",
+        http_get(
+            &server.addr().to_string(),
+            "/query?expr=rate(pipeline.seeds_attacked,10s)"
+        )?
+        .trim()
+    );
+
     // Keep serving after the loop so a human (or a scrape job) can look
     // at the final state; CI leaves the default of 0.
     let hold: u64 = std::env::var("OPAD_SERVE_HOLD_SECS")
@@ -175,6 +210,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     watch.shutdown();
+    sampler.shutdown();
+    opad::tsdb::uninstall();
     opad::alert::uninstall();
     opad::telemetry::uninstall();
     recorder.flush_summary();

@@ -45,6 +45,23 @@ OPAD_THREADS=4 cargo test -q -p opad-detect --test detector_laws
 echo "==> golden AUROC pins + degenerate-input suite"
 cargo test -q -p opad-detect --test golden_auroc
 
+# The history plane's acceptance contracts: window answers identical at
+# both pool widths, /timeseries + /query JSON pinned byte-for-byte, and
+# the cross-crate pulse → rings → HTTP → export round trip. All run
+# inside the full tree above; named here as the explicit gates.
+echo "==> tsdb determinism (window answers identical at OPAD_THREADS {1,4})"
+OPAD_THREADS=1 cargo test -q -p opad-tsdb --test determinism
+OPAD_THREADS=4 cargo test -q -p opad-tsdb --test determinism
+
+echo "==> timeseries golden (/timeseries and /query JSON pinned byte-for-byte)"
+cargo test -q -p opad-serve --test timeseries_golden
+
+echo "==> history plane end-to-end (pulse -> rings -> HTTP -> export round trip)"
+cargo test -q --test history_plane
+
+echo "==> obsctl watch --once golden (fixture render pinned, incl. sparklines)"
+cargo test -q -p opad-obs --test obsctl watch_once_matches_the_golden_file
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -54,8 +71,25 @@ cargo fmt --check
 echo "==> serve smoke test (ephemeral port; /metrics, /healthz, /alerts over TcpStream; degraded health while firing)"
 cargo test -q -p opad-serve --test http_smoke
 
-echo "==> serve_monitor example (live exp2-style run with the server and alert watch attached)"
-OPAD_SERVE_ADDR=127.0.0.1:0 cargo run --release -q --example serve_monitor
+# The example runs with the server held open afterwards so obsctl can
+# watch its /timeseries live — the end-to-end smoke for the history
+# plane's HTTP surface against a real sampler, not a fixture.
+echo "==> serve_monitor example (live exp2-style run; server held for the watch smoke)"
+OPAD_SERVE_ADDR=127.0.0.1:9185 OPAD_SERVE_HOLD_SECS=10 \
+  cargo run --release -q --example serve_monitor &
+MONITOR_PID=$!
+
+echo "==> obsctl watch --once live smoke (sparklines straight off the held server)"
+WATCH_OK=0
+for _ in $(seq 1 60); do
+  if cargo run --release -q --bin obsctl -- watch --once --addr 127.0.0.1:9185 2>/dev/null; then
+    WATCH_OK=1
+    break
+  fi
+  sleep 0.5
+done
+wait "$MONITOR_PID"
+[ "$WATCH_OK" = 1 ] || { echo "watch --once never reached the live server"; exit 1; }
 
 echo "==> obsctl flame over the freshly produced trace"
 cargo run --release -q --bin obsctl -- flame results/serve_monitor_trace.jsonl | head -5
@@ -66,6 +100,9 @@ cargo run --release -q --bin obsctl -- selfcheck results .
 echo "==> obsctl alerts check (shipped default pack vs the workspace metric vocabulary)"
 cargo run --release -q --bin obsctl -- alerts check rules/default.alerts
 
+echo "==> obsctl alerts check (history pack: windowed rules vs the vocabulary)"
+cargo run --release -q --bin obsctl -- alerts check rules/history.alerts
+
 # Deterministic replay over the committed fixture: the pfd breach must
 # walk the full inactive -> pending -> firing -> resolved lifecycle while
 # the liveness rules stay quiet. Non-zero exit on any mismatch.
@@ -73,6 +110,14 @@ echo "==> obsctl alerts replay smoke (committed fixture; breach resolves, stalls
 cargo run --release -q --bin obsctl -- alerts replay rules/default.alerts \
   crates/obs/tests/fixtures/alerts_replay.jsonl \
   --expect pfd_bound_breach=resolved,fuzz_dead=inactive,seeds_stalled=inactive,naturalness_drift=inactive >/dev/null
+
+# Window-condition replay: the committed stream ramps seeds for 2s then
+# flatlines; rate(pipeline.seeds_attacked, 10s) must walk the stall rule
+# to firing at exactly t=13000ms, bit-identically on every machine.
+echo "==> obsctl alerts replay smoke (history pack; windowed rate() stall ends firing)"
+cargo run --release -q --bin obsctl -- alerts replay rules/history.alerts \
+  crates/obs/tests/fixtures/history_replay.jsonl \
+  --expect seed_rate_stall=firing,pfd_spiked=inactive,pfd_estimate_noisy=inactive,history_stalled=inactive >/dev/null
 
 # Variance-aware bench regression gate over the committed BENCH_<seq>.json
 # series. With only the baseline present (fresh clone, no local

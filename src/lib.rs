@@ -27,7 +27,11 @@
 //! * [`alert`] — the alerting & watchdog plane: declarative rules over
 //!   live metrics with Prometheus-style pending/firing hysteresis, a
 //!   background watch thread, and deterministic offline replay
-//!   (`obsctl alerts check|replay`).
+//!   (`obsctl alerts check|replay`);
+//! * [`tsdb`] — the history plane: ring-buffer time series sampled from
+//!   the live recorder, window functions (`rate`, `quantile_over_time`,
+//!   …) behind `GET /timeseries`/`/query`, windowed alert conditions and
+//!   `obsctl watch`.
 //!
 //! # Quickstart
 //!
@@ -63,6 +67,7 @@ pub use opad_reliability as reliability;
 pub use opad_serve as serve;
 pub use opad_telemetry as telemetry;
 pub use opad_tensor as tensor;
+pub use opad_tsdb as tsdb;
 
 /// One-stop imports for examples and downstream binaries.
 pub mod prelude {
@@ -100,4 +105,5 @@ pub mod prelude {
     pub use opad_serve::{MetricsServer, ServerConfig};
     pub use opad_telemetry::{JsonlSink, LiveRecorder, MetricsRecorder, Recorder, Sink, TestSink};
     pub use opad_tensor::{Shape, Tensor, TensorError};
+    pub use opad_tsdb::{parse_expr, Sample, Sampler, SeriesKind, TsdbLink, TsdbStore};
 }
